@@ -1,0 +1,116 @@
+//! Basic block profiling (paper Table 4, 9 LoC in JS): "A classic dynamic
+//! analysis that counts how often each function, block, and loop is
+//! executed, which is useful, e.g., for finding 'hot' code."
+
+use std::collections::HashMap;
+
+use wasabi::hooks::{Analysis, BlockKind, Hook, HookSet};
+use wasabi::location::Location;
+
+/// Counts entries of every function, block, loop, if, and else body.
+#[derive(Debug, Default, Clone)]
+pub struct BasicBlockProfiling {
+    counts: HashMap<(Location, BlockKind), u64>,
+}
+
+impl BasicBlockProfiling {
+    /// An empty profile.
+    pub fn new() -> Self {
+        BasicBlockProfiling::default()
+    }
+
+    /// Entry count per block, keyed by the block's begin location.
+    pub fn counts(&self) -> &HashMap<(Location, BlockKind), u64> {
+        &self.counts
+    }
+
+    /// The hottest `n` blocks, by entry count (descending).
+    pub fn hottest(&self, n: usize) -> Vec<(Location, BlockKind, u64)> {
+        let mut entries: Vec<(Location, BlockKind, u64)> = self
+            .counts
+            .iter()
+            .map(|(&(loc, kind), &count)| (loc, kind, count))
+            .collect();
+        entries.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        entries.truncate(n);
+        entries
+    }
+
+    /// How often the function `func` was entered.
+    pub fn function_entries(&self, func: u32) -> u64 {
+        self.counts
+            .get(&(Location::function_entry(func), BlockKind::Function))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Analysis for BasicBlockProfiling {
+    fn hooks(&self) -> HookSet {
+        HookSet::of(&[Hook::Begin])
+    }
+
+    fn begin(&mut self, loc: Location, kind: BlockKind) {
+        *self.counts.entry((loc, kind)).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi::AnalysisSession;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::instr::Val;
+    use wasabi_wasm::types::ValType;
+
+    fn profiled_module() -> wasabi_wasm::Module {
+        let mut builder = ModuleBuilder::new();
+        let helper = builder.function("", &[], &[], |f| {
+            f.nop();
+        });
+        builder.function("main", &[ValType::I32], &[], |f| {
+            let i = f.local(ValType::I32);
+            f.block(None).loop_(None);
+            f.get_local(i).get_local(0u32).binary(wasabi_wasm::BinaryOp::I32GeS).br_if(1);
+            f.call(helper);
+            f.get_local(i).i32_const(1).i32_add().set_local(i);
+            f.br(0).end().end();
+        });
+        builder.finish()
+    }
+
+    #[test]
+    fn counts_function_and_loop_entries() {
+        let mut profile = BasicBlockProfiling::new();
+        let session = AnalysisSession::for_analysis(&profiled_module(), &profile).unwrap();
+        session.run(&mut profile, "main", &[Val::I32(4)]).unwrap();
+
+        assert_eq!(profile.function_entries(1), 1); // main
+        assert_eq!(profile.function_entries(0), 4); // helper, called in loop
+        // The loop body is entered 5 times (4 iterations + exit check).
+        let loops: u64 = profile
+            .counts()
+            .iter()
+            .filter(|((_, kind), _)| *kind == BlockKind::Loop)
+            .map(|(_, &c)| c)
+            .sum();
+        assert_eq!(loops, 5);
+    }
+
+    #[test]
+    fn hottest_block_is_the_loop() {
+        let mut profile = BasicBlockProfiling::new();
+        let session = AnalysisSession::for_analysis(&profiled_module(), &profile).unwrap();
+        session.run(&mut profile, "main", &[Val::I32(10)]).unwrap();
+        let hottest = profile.hottest(1);
+        assert_eq!(hottest.len(), 1);
+        assert_eq!(hottest[0].1, BlockKind::Loop);
+        assert_eq!(hottest[0].2, 11);
+    }
+
+    #[test]
+    fn uses_only_begin_hook() {
+        let profile = BasicBlockProfiling::new();
+        assert_eq!(profile.hooks(), HookSet::of(&[Hook::Begin]));
+    }
+}

@@ -1,0 +1,167 @@
+//! Dynamic call graph analysis (paper Table 4, 18 LoC in JS): "creates a
+//! dynamic call graph, including indirect calls and calls between functions
+//! that are neither imported nor exported. Call graphs are the basis of
+//! various other analyses, e.g., to find dynamically dead code or to
+//! reverse-engineer malware."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wasabi::hooks::{Analysis, Hook, HookSet};
+use wasabi::location::Location;
+use wasabi::ModuleInfo;
+use wasabi_wasm::instr::Val;
+
+/// A directed call edge `caller -> callee` (original function indices).
+pub type Edge = (u32, u32);
+
+/// Builds a dynamic call graph from `call_pre` events.
+#[derive(Debug, Default, Clone)]
+pub struct CallGraph {
+    /// Edge -> number of calls over this edge.
+    edges: BTreeMap<Edge, u64>,
+    /// Calls through the table (subset of `edges` made indirectly).
+    indirect: BTreeSet<Edge>,
+}
+
+impl CallGraph {
+    /// An empty call graph.
+    pub fn new() -> Self {
+        CallGraph::default()
+    }
+
+    /// All edges with their call counts.
+    pub fn edges(&self) -> &BTreeMap<Edge, u64> {
+        &self.edges
+    }
+
+    /// `true` if `edge` was (also) taken via `call_indirect`.
+    pub fn is_indirect(&self, edge: Edge) -> bool {
+        self.indirect.contains(&edge)
+    }
+
+    /// Functions that appear as callees.
+    pub fn called_functions(&self) -> BTreeSet<u32> {
+        self.edges.keys().map(|&(_, callee)| callee).collect()
+    }
+
+    /// Functions in `info` that were never called and are not exported —
+    /// candidates for dynamically dead code (paper's motivating use case).
+    pub fn dynamically_dead(&self, info: &ModuleInfo, entry_points: &[u32]) -> Vec<u32> {
+        let called = self.called_functions();
+        (0..info.functions.len() as u32)
+            .filter(|idx| {
+                !called.contains(idx)
+                    && !entry_points.contains(idx)
+                    && info.functions[*idx as usize].import.is_none()
+            })
+            .collect()
+    }
+
+    /// Render the graph in Graphviz dot format, with display names.
+    pub fn to_dot(&self, info: &ModuleInfo) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph calls {\n");
+        for (&(caller, callee), count) in &self.edges {
+            let style = if self.is_indirect((caller, callee)) {
+                ", style=dashed"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{count}\"{style}];",
+                info.functions
+                    .get(caller as usize)
+                    .map_or_else(|| format!("func#{caller}"), |f| f.display_name(caller)),
+                info.functions
+                    .get(callee as usize)
+                    .map_or_else(|| format!("func#{callee}"), |f| f.display_name(callee)),
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl Analysis for CallGraph {
+    fn hooks(&self) -> HookSet {
+        HookSet::of(&[Hook::CallPre])
+    }
+
+    fn call_pre(&mut self, loc: Location, func: u32, _: &[Val], table_index: Option<u32>) {
+        let edge = (loc.func, func);
+        *self.edges.entry(edge).or_insert(0) += 1;
+        if table_index.is_some() {
+            self.indirect.insert(edge);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi::AnalysisSession;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::types::ValType;
+
+    fn call_module() -> wasabi_wasm::Module {
+        let mut builder = ModuleBuilder::new();
+        let leaf = builder.function("", &[], &[ValType::I32], |f| {
+            f.i32_const(1);
+        });
+        let via_table = builder.function("", &[], &[ValType::I32], |f| {
+            f.i32_const(2);
+        });
+        let unused = builder.function("", &[], &[], |_| {});
+        let _ = unused;
+        builder.table(1);
+        builder.elements(0, vec![via_table]);
+        builder.function("main", &[], &[ValType::I32], |f| {
+            f.call(leaf).drop_();
+            f.call(leaf).drop_();
+            f.i32_const(0).call_indirect(&[], &[ValType::I32]);
+        });
+        builder.finish()
+    }
+
+    #[test]
+    fn records_direct_and_indirect_edges() {
+        let module = call_module();
+        let mut graph = CallGraph::new();
+        let session = AnalysisSession::for_analysis(&module, &graph).unwrap();
+        session.run(&mut graph, "main", &[]).unwrap();
+
+        // main = function 3, leaf = 0, via_table = 1.
+        assert_eq!(graph.edges()[&(3, 0)], 2);
+        assert_eq!(graph.edges()[&(3, 1)], 1);
+        assert!(graph.is_indirect((3, 1)));
+        assert!(!graph.is_indirect((3, 0)));
+    }
+
+    #[test]
+    fn finds_dynamically_dead_code() {
+        let module = call_module();
+        let mut graph = CallGraph::new();
+        let session = AnalysisSession::for_analysis(&module, &graph).unwrap();
+        session.run(&mut graph, "main", &[]).unwrap();
+        // Function 2 (unused) is never called; main (3) is the entry point.
+        assert_eq!(graph.dynamically_dead(session.info(), &[3]), vec![2]);
+    }
+
+    #[test]
+    fn dot_output_contains_edges() {
+        let module = call_module();
+        let mut graph = CallGraph::new();
+        let session = AnalysisSession::for_analysis(&module, &graph).unwrap();
+        session.run(&mut graph, "main", &[]).unwrap();
+        let dot = graph.to_dot(session.info());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"main\""));
+        assert!(dot.contains("style=dashed"), "indirect edge rendered dashed");
+    }
+
+    #[test]
+    fn uses_only_call_pre() {
+        assert_eq!(CallGraph::new().hooks(), HookSet::of(&[Hook::CallPre]));
+    }
+}

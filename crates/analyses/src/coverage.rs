@@ -1,0 +1,232 @@
+//! Instruction coverage and branch coverage (paper Table 4, 11 and 14 LoC
+//! in JS): "record for each instruction and branch, respectively, whether
+//! it is executed, which is useful to assess the quality of tests."
+//!
+//! The branch coverage analysis is the paper's Figure 7, ported to the Rust
+//! hook API: it observes `if`, `br_if`, `br_table`, and `select`, recording
+//! which directions/entries were taken at each location.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wasabi::hooks::{Analysis, BlockKind, Hook, HookSet, MemArg};
+use wasabi::location::{BranchTarget, Location};
+use wasabi::ModuleInfo;
+use wasabi_wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+
+/// Records which instructions executed at least once. Uses all hooks.
+#[derive(Debug, Default, Clone)]
+pub struct InstructionCoverage {
+    covered: BTreeSet<Location>,
+}
+
+impl InstructionCoverage {
+    /// Empty coverage.
+    pub fn new() -> Self {
+        InstructionCoverage::default()
+    }
+
+    fn mark(&mut self, loc: Location) {
+        if loc.instr >= 0 {
+            self.covered.insert(loc);
+        }
+    }
+
+    /// All covered instruction locations.
+    pub fn covered(&self) -> &BTreeSet<Location> {
+        &self.covered
+    }
+
+    /// Covered instructions in function `func`.
+    pub fn covered_in(&self, func: u32) -> usize {
+        self.covered.iter().filter(|l| l.func == func).count()
+    }
+
+    /// Coverage ratio (covered / total instructions) against the static
+    /// module info. Functions never entered count with zero coverage.
+    pub fn ratio(&self, info: &ModuleInfo) -> f64 {
+        let total: u64 = info.functions.iter().map(|f| u64::from(f.instr_count)).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        self.covered.len() as f64 / total as f64
+    }
+}
+
+impl Analysis for InstructionCoverage {
+    // All hooks: every instruction kind must be observable.
+
+    fn nop(&mut self, loc: Location) {
+        self.mark(loc);
+    }
+    fn unreachable(&mut self, loc: Location) {
+        self.mark(loc);
+    }
+    fn if_(&mut self, loc: Location, _: bool) {
+        self.mark(loc);
+    }
+    fn br(&mut self, loc: Location, _: BranchTarget) {
+        self.mark(loc);
+    }
+    fn br_if(&mut self, loc: Location, _: BranchTarget, _: bool) {
+        self.mark(loc);
+    }
+    fn br_table(&mut self, loc: Location, _: &[BranchTarget], _: BranchTarget, _: u32) {
+        self.mark(loc);
+    }
+    fn begin(&mut self, loc: Location, _: BlockKind) {
+        self.mark(loc);
+    }
+    fn end(&mut self, loc: Location, _: BlockKind, _: Location) {
+        self.mark(loc);
+    }
+    fn memory_size(&mut self, loc: Location, _: u32) {
+        self.mark(loc);
+    }
+    fn memory_grow(&mut self, loc: Location, _: u32, _: i32) {
+        self.mark(loc);
+    }
+    fn const_(&mut self, loc: Location, _: Val) {
+        self.mark(loc);
+    }
+    fn drop_(&mut self, loc: Location, _: Val) {
+        self.mark(loc);
+    }
+    fn select(&mut self, loc: Location, _: bool, _: Val, _: Val) {
+        self.mark(loc);
+    }
+    fn unary(&mut self, loc: Location, _: UnaryOp, _: Val, _: Val) {
+        self.mark(loc);
+    }
+    fn binary(&mut self, loc: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
+        self.mark(loc);
+    }
+    fn load(&mut self, loc: Location, _: LoadOp, _: MemArg, _: Val) {
+        self.mark(loc);
+    }
+    fn store(&mut self, loc: Location, _: StoreOp, _: MemArg, _: Val) {
+        self.mark(loc);
+    }
+    fn local(&mut self, loc: Location, _: LocalOp, _: u32, _: Val) {
+        self.mark(loc);
+    }
+    fn global(&mut self, loc: Location, _: GlobalOp, _: u32, _: Val) {
+        self.mark(loc);
+    }
+    fn return_(&mut self, loc: Location, _: &[Val]) {
+        self.mark(loc);
+    }
+    fn call_pre(&mut self, loc: Location, _: u32, _: &[Val], _: Option<u32>) {
+        self.mark(loc);
+    }
+}
+
+/// A direction/entry taken at a branching instruction.
+pub type Branch = u32;
+
+/// Branch coverage (paper Fig. 7): which outcomes of each conditional
+/// construct were exercised. Conditions record 0/1; `br_table` records the
+/// entry index.
+#[derive(Debug, Default, Clone)]
+pub struct BranchCoverage {
+    branches: BTreeMap<Location, BTreeSet<Branch>>,
+}
+
+impl BranchCoverage {
+    /// Empty coverage.
+    pub fn new() -> Self {
+        BranchCoverage::default()
+    }
+
+    fn add_branch(&mut self, loc: Location, branch: Branch) {
+        self.branches.entry(loc).or_default().insert(branch);
+    }
+
+    /// Outcomes seen per branching location.
+    pub fn branches(&self) -> &BTreeMap<Location, BTreeSet<Branch>> {
+        &self.branches
+    }
+
+    /// Locations where only one of the two condition outcomes was seen
+    /// (partially covered two-way branches).
+    pub fn partially_covered(&self) -> Vec<Location> {
+        self.branches
+            .iter()
+            .filter(|(_, outcomes)| outcomes.len() == 1)
+            .map(|(&loc, _)| loc)
+            .collect()
+    }
+}
+
+impl Analysis for BranchCoverage {
+    fn hooks(&self) -> HookSet {
+        // Exactly the four hooks of the paper's Figure 7.
+        HookSet::of(&[Hook::If, Hook::BrIf, Hook::BrTable, Hook::Select])
+    }
+
+    fn if_(&mut self, loc: Location, condition: bool) {
+        self.add_branch(loc, u32::from(condition));
+    }
+    fn br_if(&mut self, loc: Location, _: BranchTarget, condition: bool) {
+        self.add_branch(loc, u32::from(condition));
+    }
+    fn br_table(&mut self, loc: Location, _: &[BranchTarget], _: BranchTarget, index: u32) {
+        self.add_branch(loc, index);
+    }
+    fn select(&mut self, loc: Location, condition: bool, _: Val, _: Val) {
+        self.add_branch(loc, u32::from(condition));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi::AnalysisSession;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::types::ValType;
+
+    fn branchy_module() -> wasabi_wasm::Module {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+            f.get_local(0u32).if_(None).nop().end(); // if at 1
+            f.block(None).get_local(0u32).br_if(0).end(); // br_if at 7
+            f.i32_const(1).i32_const(2).get_local(0u32).select(); // select at 13
+        });
+        builder.finish()
+    }
+
+    #[test]
+    fn branch_coverage_records_directions() {
+        let module = branchy_module();
+        let mut cov = BranchCoverage::new();
+        let session = AnalysisSession::for_analysis(&module, &cov).unwrap();
+        session.run(&mut cov, "f", &[Val::I32(1)]).unwrap();
+        // Three branching locations, each with one outcome so far.
+        assert_eq!(cov.branches().len(), 3);
+        assert_eq!(cov.partially_covered().len(), 3);
+
+        session.run(&mut cov, "f", &[Val::I32(0)]).unwrap();
+        assert!(cov.partially_covered().is_empty());
+        assert!(cov.branches().values().all(|o| o.len() == 2));
+    }
+
+    #[test]
+    fn instruction_coverage_grows_with_inputs() {
+        let module = branchy_module();
+        let mut cov = InstructionCoverage::new();
+        let session = AnalysisSession::for_analysis(&module, &cov).unwrap();
+        let info = session.info().clone();
+        session.run(&mut cov, "f", &[Val::I32(0)]).unwrap();
+        let first = cov.covered().len();
+        assert!(cov.ratio(&info) > 0.0 && cov.ratio(&info) < 1.0);
+        session.run(&mut cov, "f", &[Val::I32(1)]).unwrap();
+        assert!(cov.covered().len() > first, "second input covers the if body");
+    }
+
+    #[test]
+    fn branch_coverage_uses_figure7_hooks() {
+        assert_eq!(
+            BranchCoverage::new().hooks(),
+            HookSet::of(&[Hook::If, Hook::BrIf, Hook::BrTable, Hook::Select])
+        );
+    }
+}

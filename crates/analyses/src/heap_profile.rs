@@ -1,0 +1,178 @@
+//! Heap profiling — an *extension analysis* beyond the paper's Table 4
+//! (its conclusion anticipates Wasabi as "a solid basis for various
+//! analyses to be implemented in the future").
+//!
+//! Tracks linear-memory growth and the write working set: peak memory in
+//! pages, `memory.grow` events with their locations, and which 64 KiB
+//! pages were actually written — useful for right-sizing initial memory
+//! and spotting leak-like monotone growth.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wasabi::hooks::{Analysis, Hook, HookSet, MemArg};
+use wasabi::location::Location;
+use wasabi_wasm::instr::{StoreOp, Val};
+use wasabi_wasm::types::PAGE_SIZE;
+
+/// One observed `memory.grow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowEvent {
+    pub location: Location,
+    pub delta_pages: u32,
+    /// Size before the grow, or -1 if the grow failed.
+    pub previous_pages: i32,
+}
+
+/// Profiles memory growth and the written working set.
+#[derive(Debug, Default, Clone)]
+pub struct HeapProfile {
+    grows: Vec<GrowEvent>,
+    peak_pages: u32,
+    bytes_written: u64,
+    written_pages: BTreeSet<u32>,
+    writes_per_page: BTreeMap<u32, u64>,
+}
+
+impl HeapProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        HeapProfile::default()
+    }
+
+    /// All observed `memory.grow` events, in order.
+    pub fn grows(&self) -> &[GrowEvent] {
+        &self.grows
+    }
+
+    /// The largest memory size observed (pages).
+    pub fn peak_pages(&self) -> u32 {
+        self.peak_pages
+    }
+
+    /// Total bytes written by store instructions.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Pages that received at least one write.
+    pub fn written_pages(&self) -> &BTreeSet<u32> {
+        &self.written_pages
+    }
+
+    /// Writes per page, for hot-page identification.
+    pub fn writes_per_page(&self) -> &BTreeMap<u32, u64> {
+        &self.writes_per_page
+    }
+
+    /// Fraction of the peak memory that was ever written — a low value
+    /// suggests over-allocation.
+    pub fn write_utilization(&self) -> f64 {
+        if self.peak_pages == 0 {
+            return 0.0;
+        }
+        self.written_pages.len() as f64 / f64::from(self.peak_pages)
+    }
+}
+
+impl Analysis for HeapProfile {
+    fn hooks(&self) -> HookSet {
+        HookSet::of(&[Hook::MemorySize, Hook::MemoryGrow, Hook::Store])
+    }
+
+    fn memory_size(&mut self, _: Location, current_pages: u32) {
+        self.peak_pages = self.peak_pages.max(current_pages);
+    }
+
+    fn memory_grow(&mut self, location: Location, delta_pages: u32, previous_pages: i32) {
+        self.grows.push(GrowEvent {
+            location,
+            delta_pages,
+            previous_pages,
+        });
+        if previous_pages >= 0 {
+            self.peak_pages = self.peak_pages.max(previous_pages as u32 + delta_pages);
+        }
+    }
+
+    fn store(&mut self, _: Location, op: StoreOp, memarg: MemArg, _: Val) {
+        let bytes = u64::from(op.access_bytes());
+        self.bytes_written += bytes;
+        let first_page = (memarg.effective_addr() / u64::from(PAGE_SIZE)) as u32;
+        let last_page = ((memarg.effective_addr() + bytes - 1) / u64::from(PAGE_SIZE)) as u32;
+        for page in first_page..=last_page {
+            self.written_pages.insert(page);
+            *self.writes_per_page.entry(page).or_insert(0) += 1;
+            self.peak_pages = self.peak_pages.max(page + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi::AnalysisSession;
+    use wasabi_wasm::builder::ModuleBuilder;
+
+    fn growing_module() -> wasabi_wasm::Module {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.function("run", &[], &[], |f| {
+            // Write into page 0, grow twice, write into page 2.
+            f.i32_const(100).i32_const(7).store(StoreOp::I32Store, 0);
+            f.i32_const(1).memory_grow().drop_();
+            f.i32_const(1).memory_grow().drop_();
+            f.i32_const(2 * 65536).i32_const(9).store(StoreOp::I32Store, 0);
+            f.memory_size().drop_();
+        });
+        builder.finish()
+    }
+
+    fn profiled() -> HeapProfile {
+        let mut profile = HeapProfile::new();
+        let session = AnalysisSession::for_analysis(&growing_module(), &profile).unwrap();
+        session.run(&mut profile, "run", &[]).unwrap();
+        profile
+    }
+
+    #[test]
+    fn tracks_grow_events_and_peak() {
+        let profile = profiled();
+        assert_eq!(profile.grows().len(), 2);
+        assert_eq!(profile.grows()[0].previous_pages, 1);
+        assert_eq!(profile.grows()[1].previous_pages, 2);
+        assert_eq!(profile.peak_pages(), 3);
+    }
+
+    #[test]
+    fn tracks_written_working_set() {
+        let profile = profiled();
+        assert_eq!(profile.bytes_written(), 8);
+        assert!(profile.written_pages().contains(&0));
+        assert!(profile.written_pages().contains(&2));
+        assert!(!profile.written_pages().contains(&1));
+        // 2 of 3 peak pages written.
+        assert!((profile.write_utilization() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straddling_store_touches_both_pages() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(2, None);
+        builder.function("run", &[], &[], |f| {
+            f.i32_const(65532).i64_const(-1).store(wasabi_wasm::StoreOp::I64Store, 0);
+        });
+        let mut profile = HeapProfile::new();
+        let session = AnalysisSession::for_analysis(&builder.finish(), &profile).unwrap();
+        session.run(&mut profile, "run", &[]).unwrap();
+        assert!(profile.written_pages().contains(&0));
+        assert!(profile.written_pages().contains(&1));
+    }
+
+    #[test]
+    fn uses_three_hooks() {
+        assert_eq!(
+            HeapProfile::new().hooks(),
+            HookSet::of(&[Hook::MemorySize, Hook::MemoryGrow, Hook::Store])
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Instruction mix analysis (paper Table 4, 42 LoC in JS): counts how often
+//! each kind of instruction is executed, "which can serve as a basis for
+//! performance and security analyses".
+
+use std::collections::BTreeMap;
+
+use wasabi::hooks::{Analysis, BlockKind, MemArg};
+use wasabi::location::{BranchTarget, Location};
+use wasabi_wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+
+/// Counts executed instructions by mnemonic. Uses all hooks.
+#[derive(Debug, Default, Clone)]
+pub struct InstructionMix {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl InstructionMix {
+    /// An empty profile.
+    pub fn new() -> Self {
+        InstructionMix::default()
+    }
+
+    fn bump(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Executed count per instruction mnemonic, alphabetically ordered.
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Total number of instructions observed.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The `n` most frequent instructions.
+    pub fn top(&self, n: usize) -> Vec<(&'static str, u64)> {
+        let mut entries: Vec<(&'static str, u64)> =
+            self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        entries.truncate(n);
+        entries
+    }
+}
+
+impl Analysis for InstructionMix {
+    // Default `hooks()` = all hooks: this analysis observes everything.
+
+    fn nop(&mut self, _: Location) {
+        self.bump("nop");
+    }
+    fn unreachable(&mut self, _: Location) {
+        self.bump("unreachable");
+    }
+    fn if_(&mut self, _: Location, _: bool) {
+        self.bump("if");
+    }
+    fn br(&mut self, _: Location, _: BranchTarget) {
+        self.bump("br");
+    }
+    fn br_if(&mut self, _: Location, _: BranchTarget, _: bool) {
+        self.bump("br_if");
+    }
+    fn br_table(&mut self, _: Location, _: &[BranchTarget], _: BranchTarget, _: u32) {
+        self.bump("br_table");
+    }
+    fn begin(&mut self, _: Location, kind: BlockKind) {
+        match kind {
+            BlockKind::Block => self.bump("block"),
+            BlockKind::Loop => self.bump("loop"),
+            _ => {}
+        }
+    }
+    fn memory_size(&mut self, _: Location, _: u32) {
+        self.bump("memory.size");
+    }
+    fn memory_grow(&mut self, _: Location, _: u32, _: i32) {
+        self.bump("memory.grow");
+    }
+    fn const_(&mut self, _: Location, value: Val) {
+        self.bump(match value {
+            Val::I32(_) => "i32.const",
+            Val::I64(_) => "i64.const",
+            Val::F32(_) => "f32.const",
+            Val::F64(_) => "f64.const",
+        });
+    }
+    fn drop_(&mut self, _: Location, _: Val) {
+        self.bump("drop");
+    }
+    fn select(&mut self, _: Location, _: bool, _: Val, _: Val) {
+        self.bump("select");
+    }
+    fn unary(&mut self, _: Location, op: UnaryOp, _: Val, _: Val) {
+        self.bump(op.name());
+    }
+    fn binary(&mut self, _: Location, op: BinaryOp, _: Val, _: Val, _: Val) {
+        self.bump(op.name());
+    }
+    fn load(&mut self, _: Location, op: LoadOp, _: MemArg, _: Val) {
+        self.bump(op.name());
+    }
+    fn store(&mut self, _: Location, op: StoreOp, _: MemArg, _: Val) {
+        self.bump(op.name());
+    }
+    fn local(&mut self, _: Location, op: LocalOp, _: u32, _: Val) {
+        self.bump(op.name());
+    }
+    fn global(&mut self, _: Location, op: GlobalOp, _: u32, _: Val) {
+        self.bump(op.name());
+    }
+    fn return_(&mut self, _: Location, _: &[Val]) {
+        self.bump("return");
+    }
+    fn call_pre(&mut self, _: Location, _: u32, _: &[Val], table_index: Option<u32>) {
+        self.bump(if table_index.is_some() {
+            "call_indirect"
+        } else {
+            "call"
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi::AnalysisSession;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::types::ValType;
+
+    #[test]
+    fn counts_executed_instructions() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[], &[ValType::I32], |f| {
+            f.i32_const(1).i32_const(2).i32_add();
+        });
+        let mut mix = InstructionMix::new();
+        let session = AnalysisSession::for_analysis(&builder.finish(), &mix).unwrap();
+        session.run(&mut mix, "f", &[]).unwrap();
+        assert_eq!(mix.counts()["i32.const"], 2);
+        assert_eq!(mix.counts()["i32.add"], 1);
+        assert_eq!(mix.total(), 3);
+    }
+
+    #[test]
+    fn loop_iterations_multiply_counts() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[], &[], |f| {
+            let i = f.local(ValType::I32);
+            f.block(None).loop_(None);
+            f.get_local(i).i32_const(5).binary(wasabi_wasm::BinaryOp::I32GeS).br_if(1);
+            f.get_local(i).i32_const(1).i32_add().set_local(i);
+            f.br(0).end().end();
+        });
+        let mut mix = InstructionMix::new();
+        let session = AnalysisSession::for_analysis(&builder.finish(), &mix).unwrap();
+        session.run(&mut mix, "f", &[]).unwrap();
+        assert_eq!(mix.counts()["loop"], 6); // 5 full + 1 exiting iteration
+        assert_eq!(mix.counts()["i32.add"], 5);
+        assert_eq!(mix.counts()["br"], 5);
+        assert_eq!(mix.counts()["br_if"], 6);
+    }
+
+    #[test]
+    fn top_orders_by_count() {
+        let mut mix = InstructionMix::new();
+        for _ in 0..3 {
+            mix.bump("i32.add");
+        }
+        mix.bump("i32.mul");
+        let top = mix.top(1);
+        assert_eq!(top, vec![("i32.add", 3)]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Memory access tracing (paper Table 4, 11 LoC in JS): "tracks all memory
+//! accesses and stores them for a later off-line analysis, e.g., to detect
+//! cache-unfriendly access patterns."
+
+use wasabi::hooks::{Analysis, Hook, HookSet, MemArg};
+use wasabi::location::Location;
+use wasabi_wasm::instr::{LoadOp, StoreOp, Val};
+
+/// Direction of a traced access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Load,
+    Store,
+}
+
+/// One traced memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    pub kind: AccessKind,
+    /// Mnemonic of the instruction (e.g. `i32.load8_u`).
+    pub op: &'static str,
+    /// Effective address (`addr + offset`).
+    pub addr: u64,
+    /// Access width in bytes.
+    pub bytes: u32,
+    pub location: Location,
+}
+
+/// Records every load and store for offline analysis.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryTracing {
+    trace: Vec<Access>,
+}
+
+impl MemoryTracing {
+    /// An empty trace.
+    pub fn new() -> Self {
+        MemoryTracing::default()
+    }
+
+    /// The recorded accesses, in execution order.
+    pub fn trace(&self) -> &[Access] {
+        &self.trace
+    }
+
+    /// Total bytes read and written.
+    pub fn bytes_transferred(&self) -> (u64, u64) {
+        let mut read = 0;
+        let mut written = 0;
+        for access in &self.trace {
+            match access.kind {
+                AccessKind::Load => read += u64::from(access.bytes),
+                AccessKind::Store => written += u64::from(access.bytes),
+            }
+        }
+        (read, written)
+    }
+
+    /// Offline analysis: fraction of accesses whose address is within
+    /// `window` bytes of the previous access (a simple locality measure for
+    /// spotting cache-unfriendly patterns, the paper's use case).
+    pub fn locality(&self, window: u64) -> f64 {
+        if self.trace.len() < 2 {
+            return 1.0;
+        }
+        let near = self
+            .trace
+            .windows(2)
+            .filter(|w| w[0].addr.abs_diff(w[1].addr) <= window)
+            .count();
+        near as f64 / (self.trace.len() - 1) as f64
+    }
+
+    /// Offline analysis: the dominant stride between consecutive accesses
+    /// issued by the same instruction, per location. Returns
+    /// `(location, stride, repetitions)` entries for strides that repeat.
+    pub fn strides(&self) -> Vec<(Location, i64, usize)> {
+        use std::collections::HashMap;
+        let mut last_addr: HashMap<Location, u64> = HashMap::new();
+        let mut stride_counts: HashMap<(Location, i64), usize> = HashMap::new();
+        for access in &self.trace {
+            if let Some(prev) = last_addr.insert(access.location, access.addr) {
+                let stride = access.addr as i64 - prev as i64;
+                *stride_counts.entry((access.location, stride)).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(Location, i64, usize)> = stride_counts
+            .into_iter()
+            .filter(|(_, count)| *count > 1)
+            .map(|((loc, stride), count)| (loc, stride, count))
+            .collect();
+        out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl Analysis for MemoryTracing {
+    fn hooks(&self) -> HookSet {
+        HookSet::of(&[Hook::Load, Hook::Store])
+    }
+
+    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, _: Val) {
+        self.trace.push(Access {
+            kind: AccessKind::Load,
+            op: op.name(),
+            addr: memarg.effective_addr(),
+            bytes: op.access_bytes(),
+            location: loc,
+        });
+    }
+
+    fn store(&mut self, loc: Location, op: StoreOp, memarg: MemArg, _: Val) {
+        self.trace.push(Access {
+            kind: AccessKind::Store,
+            op: op.name(),
+            addr: memarg.effective_addr(),
+            bytes: op.access_bytes(),
+            location: loc,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi::AnalysisSession;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::instr::BinaryOp;
+    use wasabi_wasm::types::ValType;
+
+    /// Writes `n` f64 elements with the given element stride, then reads
+    /// them back.
+    fn strided_module(n: i32, stride_bytes: i32) -> wasabi_wasm::Module {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(2, None);
+        builder.function("run", &[], &[ValType::F64], |f| {
+            let i = f.local(ValType::I32);
+            let acc = f.local(ValType::F64);
+            f.block(None).loop_(None);
+            f.get_local(i).i32_const(n).binary(BinaryOp::I32GeS).br_if(1);
+            // mem[i * stride] = i
+            f.get_local(i).i32_const(stride_bytes).i32_mul();
+            f.get_local(i).unary(wasabi_wasm::UnaryOp::F64ConvertSI32);
+            f.store(wasabi_wasm::StoreOp::F64Store, 0);
+            // acc += mem[i * stride]
+            f.get_local(acc);
+            f.get_local(i).i32_const(stride_bytes).i32_mul();
+            f.load(wasabi_wasm::LoadOp::F64Load, 0);
+            f.f64_add().set_local(acc);
+            f.get_local(i).i32_const(1).i32_add().set_local(i);
+            f.br(0).end().end();
+            f.get_local(acc);
+        });
+        builder.finish()
+    }
+
+    fn traced(module: &wasabi_wasm::Module) -> MemoryTracing {
+        let mut tracing = MemoryTracing::new();
+        let session = AnalysisSession::for_analysis(module, &tracing).unwrap();
+        session.run(&mut tracing, "run", &[]).unwrap();
+        tracing
+    }
+
+    #[test]
+    fn records_all_accesses() {
+        let tracing = traced(&strided_module(10, 8));
+        assert_eq!(tracing.trace().len(), 20); // 10 stores + 10 loads
+        assert_eq!(tracing.bytes_transferred(), (80, 80));
+        assert_eq!(tracing.trace()[0].kind, AccessKind::Store);
+        assert_eq!(tracing.trace()[1].kind, AccessKind::Load);
+        assert_eq!(tracing.trace()[0].op, "f64.store");
+    }
+
+    #[test]
+    fn sequential_access_has_high_locality() {
+        let sequential = traced(&strided_module(50, 8));
+        let scattered = traced(&strided_module(50, 1024));
+        assert!(sequential.locality(64) > scattered.locality(64));
+    }
+
+    #[test]
+    fn detects_constant_strides() {
+        let tracing = traced(&strided_module(20, 8));
+        let strides = tracing.strides();
+        assert!(!strides.is_empty());
+        // Both the store and the load instruction advance by 8 bytes.
+        assert!(strides.iter().all(|&(_, stride, _)| stride == 8));
+    }
+
+    #[test]
+    fn uses_load_store_hooks_only() {
+        assert_eq!(
+            MemoryTracing::new().hooks(),
+            HookSet::of(&[Hook::Load, Hook::Store])
+        );
+    }
+}

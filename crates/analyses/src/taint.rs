@@ -1,0 +1,466 @@
+//! Dynamic taint analysis (paper Table 4, 208 LoC in JS): "associates a
+//! taint with every value and tracks how taints propagate through
+//! instructions, function calls, and memory accesses, to detect illegal
+//! flows from sources to sinks."
+//!
+//! This is the paper's show-case for *memory shadowing* (§2.3): the
+//! analysis maintains shadow state — a shadow operand stack per frame,
+//! shadow locals, shadow globals, and a shadow memory map — entirely on the
+//! host side, so the program's own memory is never touched.
+
+use std::collections::{BTreeSet, HashMap};
+
+use wasabi::hooks::{Analysis, BlockKind, MemArg};
+use wasabi::location::{BranchTarget, Location};
+use wasabi_wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+
+/// A taint label: clean, or tainted with the location that introduced it.
+pub type Taint = Option<Location>;
+
+fn join(a: Taint, b: Taint) -> Taint {
+    a.or(b)
+}
+
+/// A detected source→sink flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// Location where the taint was introduced.
+    pub source: Location,
+    /// Location of the sink call.
+    pub sink_call: Location,
+    /// The sink function (original index).
+    pub sink_func: u32,
+    /// Which argument carried the taint (0-based).
+    pub arg_index: usize,
+}
+
+#[derive(Debug, Default)]
+struct Frame {
+    stack: Vec<Taint>,
+    locals: HashMap<u32, Taint>,
+    /// Shadow-stack heights at each open block, for truncation on `end`.
+    block_heights: Vec<usize>,
+    returned: bool,
+}
+
+impl Frame {
+    fn push(&mut self, taint: Taint) {
+        self.stack.push(taint);
+    }
+
+    /// Saturating pop: desyncs (which cannot happen for programs with
+    /// empty block result types, the case for all workloads in this repo)
+    /// degrade to "clean" rather than panicking.
+    fn pop(&mut self) -> Taint {
+        self.stack.pop().flatten()
+    }
+
+    fn pop_n(&mut self, n: usize) -> Vec<Taint> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.pop());
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Shadow-state taint tracker with configurable source and sink functions.
+///
+/// - A call to a *source* function taints its results.
+/// - A call to a *sink* function with a tainted argument records a [`Flow`].
+/// - [`TaintAnalysis::taint_memory`] and [`TaintAnalysis::taint_global`]
+///   introduce taint directly (e.g. to model tainted input buffers).
+///
+/// Uses all hooks (full instrumentation), like the paper's version.
+///
+/// Blocks with non-empty result types are not supported (shadow-stack
+/// truncation at block ends would lose the carried value's taint); all
+/// workloads in this repository use empty block types.
+#[derive(Debug, Default)]
+pub struct TaintAnalysis {
+    sources: BTreeSet<u32>,
+    sinks: BTreeSet<u32>,
+    frames: Vec<Frame>,
+    globals: HashMap<u32, Taint>,
+    memory: HashMap<u64, Taint>,
+    /// Argument taints of the most recent `call_pre`, consumed by the
+    /// callee's `begin(function)` (absent for host/imported callees).
+    pending_args: Option<Vec<Taint>>,
+    /// Result taints flowing out of the most recently finished function.
+    pending_results: Vec<Taint>,
+    /// Stack of currently active callees (by `call_pre`/`call_post`).
+    call_stack: Vec<u32>,
+    flows: Vec<Flow>,
+}
+
+impl TaintAnalysis {
+    /// A tracker where calls to `sources` taint their results and calls to
+    /// `sinks` with tainted arguments are reported.
+    pub fn new(sources: &[u32], sinks: &[u32]) -> Self {
+        TaintAnalysis {
+            sources: sources.iter().copied().collect(),
+            sinks: sinks.iter().copied().collect(),
+            ..TaintAnalysis::default()
+        }
+    }
+
+    /// Taint a byte range of linear memory (e.g. an untrusted input
+    /// buffer), attributing it to `source`.
+    pub fn taint_memory(&mut self, addr: u32, len: u32, source: Location) {
+        for offset in 0..u64::from(len) {
+            self.memory.insert(u64::from(addr) + offset, Some(source));
+        }
+    }
+
+    /// Taint a global variable.
+    pub fn taint_global(&mut self, index: u32, source: Location) {
+        self.globals.insert(index, Some(source));
+    }
+
+    /// All source→sink flows detected so far.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Number of currently tainted shadow-memory bytes.
+    pub fn tainted_memory_bytes(&self) -> usize {
+        self.memory.values().filter(|t| t.is_some()).count()
+    }
+
+    fn frame(&mut self) -> &mut Frame {
+        if self.frames.is_empty() {
+            // Events can arrive before any begin(function) if the begin
+            // hook of the entry function was filtered; stay robust.
+            self.frames.push(Frame::default());
+        }
+        self.frames.last_mut().expect("just ensured")
+    }
+}
+
+impl Analysis for TaintAnalysis {
+    // Default hooks() = all hooks, like the paper's JS taint analysis.
+
+    fn begin(&mut self, _: Location, kind: BlockKind) {
+        if kind == BlockKind::Function {
+            let mut frame = Frame::default();
+            if let Some(args) = self.pending_args.take() {
+                for (i, taint) in args.into_iter().enumerate() {
+                    frame.locals.insert(i as u32, taint);
+                }
+            }
+            self.frames.push(frame);
+        } else {
+            let height = self.frame().stack.len();
+            self.frame().block_heights.push(height);
+        }
+    }
+
+    fn end(&mut self, _: Location, kind: BlockKind, _: Location) {
+        if kind == BlockKind::Function {
+            let frame = self.frames.pop().unwrap_or_default();
+            if !frame.returned {
+                self.pending_results = frame.stack;
+            }
+        } else {
+            let frame = self.frame();
+            if let Some(height) = frame.block_heights.pop() {
+                frame.stack.truncate(height);
+            }
+        }
+    }
+
+    fn const_(&mut self, _: Location, _: Val) {
+        self.frame().push(None);
+    }
+
+    fn drop_(&mut self, _: Location, _: Val) {
+        self.frame().pop();
+    }
+
+    fn select(&mut self, _: Location, condition: bool, _: Val, _: Val) {
+        let frame = self.frame();
+        let cond = frame.pop();
+        let second = frame.pop();
+        let first = frame.pop();
+        let selected = if condition { first } else { second };
+        frame.push(join(selected, cond));
+    }
+
+    fn unary(&mut self, _: Location, _: UnaryOp, _: Val, _: Val) {
+        let frame = self.frame();
+        let input = frame.pop();
+        frame.push(input);
+    }
+
+    fn binary(&mut self, _: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
+        let frame = self.frame();
+        let second = frame.pop();
+        let first = frame.pop();
+        frame.push(join(first, second));
+    }
+
+    fn local(&mut self, _: Location, op: LocalOp, index: u32, _: Val) {
+        let frame = self.frame();
+        match op {
+            LocalOp::Get => {
+                let taint = frame.locals.get(&index).copied().flatten();
+                frame.push(taint);
+            }
+            LocalOp::Set => {
+                let taint = frame.pop();
+                frame.locals.insert(index, taint);
+            }
+            LocalOp::Tee => {
+                let taint = frame.stack.last().copied().flatten();
+                frame.locals.insert(index, taint);
+            }
+        }
+    }
+
+    fn global(&mut self, _: Location, op: GlobalOp, index: u32, _: Val) {
+        match op {
+            GlobalOp::Get => {
+                let taint = self.globals.get(&index).copied().flatten();
+                self.frame().push(taint);
+            }
+            GlobalOp::Set => {
+                let taint = self.frame().pop();
+                self.globals.insert(index, taint);
+            }
+        }
+    }
+
+    fn load(&mut self, _: Location, op: LoadOp, memarg: MemArg, _: Val) {
+        let addr_taint = self.frame().pop();
+        let base = memarg.effective_addr();
+        let mut taint = addr_taint;
+        for offset in 0..u64::from(op.access_bytes()) {
+            taint = join(taint, self.memory.get(&(base + offset)).copied().flatten());
+        }
+        self.frame().push(taint);
+    }
+
+    fn store(&mut self, _: Location, op: StoreOp, memarg: MemArg, _: Val) {
+        let frame = self.frame();
+        let value_taint = frame.pop();
+        let _addr_taint = frame.pop();
+        let base = memarg.effective_addr();
+        for offset in 0..u64::from(op.access_bytes()) {
+            self.memory.insert(base + offset, value_taint);
+        }
+    }
+
+    fn memory_size(&mut self, _: Location, _: u32) {
+        self.frame().push(None);
+    }
+
+    fn memory_grow(&mut self, _: Location, _: u32, _: i32) {
+        let frame = self.frame();
+        frame.pop();
+        frame.push(None);
+    }
+
+    fn if_(&mut self, _: Location, _: bool) {
+        self.frame().pop();
+    }
+
+    fn br_if(&mut self, _: Location, _: BranchTarget, _: bool) {
+        self.frame().pop();
+    }
+
+    fn br_table(&mut self, _: Location, _: &[BranchTarget], _: BranchTarget, _: u32) {
+        self.frame().pop();
+    }
+
+    fn return_(&mut self, _: Location, results: &[Val]) {
+        let n = results.len();
+        let frame = self.frame();
+        frame.returned = true;
+        let taints = frame.pop_n(n);
+        self.pending_results = taints;
+    }
+
+    fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {
+        if table_index.is_some() {
+            // The runtime table index operand.
+            self.frame().pop();
+        }
+        let arg_taints = {
+            let n = args.len();
+            self.frame().pop_n(n)
+        };
+
+        if self.sinks.contains(&func) {
+            for (arg_index, taint) in arg_taints.iter().enumerate() {
+                if let Some(source) = taint {
+                    self.flows.push(Flow {
+                        source: *source,
+                        sink_call: loc,
+                        sink_func: func,
+                        arg_index,
+                    });
+                }
+            }
+        }
+
+        self.pending_args = Some(arg_taints);
+        self.call_stack.push(func);
+    }
+
+    fn call_post(&mut self, loc: Location, results: &[Val]) {
+        let callee = self.call_stack.pop();
+        // If the callee was a host function, its begin(function) never
+        // consumed the pending arguments.
+        self.pending_args = None;
+
+        let taints: Vec<Taint> = if callee.is_some_and(|f| self.sources.contains(&f)) {
+            vec![Some(loc); results.len()]
+        } else {
+            let mut taints = std::mem::take(&mut self.pending_results);
+            taints.resize(results.len(), None);
+            taints
+        };
+        self.pending_results = Vec::new();
+        for taint in taints {
+            self.frame().push(taint);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi::AnalysisSession;
+    use wasabi_vm::host::HostFunctions;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::types::ValType;
+
+    /// source() -> i32 and sink(i32) are imports 0 and 1.
+    fn flow_module(launder: bool) -> wasabi_wasm::Module {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        let source = builder.import_function("env", "source", &[], &[ValType::I32]);
+        let sink = builder.import_function("env", "sink", &[ValType::I32], &[]);
+        builder.function("main", &[], &[], |f| {
+            f.call(source);
+            if launder {
+                // Taint propagates through arithmetic, a local, and memory.
+                let l = f.local(ValType::I32);
+                f.i32_const(3).i32_add();
+                f.set_local(l);
+                f.i32_const(64).get_local(l).store(StoreOp::I32Store, 0);
+                f.i32_const(64).load(LoadOp::I32Load, 0);
+            }
+            f.call(sink);
+        });
+        builder.finish()
+    }
+
+    fn host() -> HostFunctions {
+        let mut host = HostFunctions::new();
+        host.register("env", "source", |_, _| Ok(vec![Val::I32(1234)]));
+        host.register("env", "sink", |_, _| Ok(vec![]));
+        host
+    }
+
+    #[test]
+    fn detects_direct_flow() {
+        let module = flow_module(false);
+        let mut taint = TaintAnalysis::new(&[0], &[1]);
+        let session = AnalysisSession::for_analysis(&module, &taint).unwrap();
+        session
+            .run_with_host(&mut taint, &mut host(), "main", &[])
+            .unwrap();
+        assert_eq!(taint.flows().len(), 1);
+        assert_eq!(taint.flows()[0].sink_func, 1);
+        assert_eq!(taint.flows()[0].arg_index, 0);
+    }
+
+    #[test]
+    fn detects_flow_through_arithmetic_locals_and_memory() {
+        let module = flow_module(true);
+        let mut taint = TaintAnalysis::new(&[0], &[1]);
+        let session = AnalysisSession::for_analysis(&module, &taint).unwrap();
+        session
+            .run_with_host(&mut taint, &mut host(), "main", &[])
+            .unwrap();
+        assert_eq!(taint.flows().len(), 1, "taint survives laundering");
+        assert!(taint.tainted_memory_bytes() >= 4);
+    }
+
+    #[test]
+    fn no_flow_without_source() {
+        let module = flow_module(true);
+        // Nothing marked as a source: nothing can flow.
+        let mut taint = TaintAnalysis::new(&[], &[1]);
+        let session = AnalysisSession::for_analysis(&module, &taint).unwrap();
+        session
+            .run_with_host(&mut taint, &mut host(), "main", &[])
+            .unwrap();
+        assert!(taint.flows().is_empty());
+    }
+
+    #[test]
+    fn taint_propagates_through_wasm_function_returns() {
+        let mut builder = ModuleBuilder::new();
+        let source = builder.import_function("env", "source", &[], &[ValType::I32]);
+        let sink = builder.import_function("env", "sink", &[ValType::I32], &[]);
+        // wrapper() { return source() * 2 }
+        let wrapper = builder.function("", &[], &[ValType::I32], |f| {
+            f.call(source).i32_const(2).i32_mul();
+        });
+        builder.function("main", &[], &[], |f| {
+            f.call(wrapper).call(sink);
+        });
+        let module = builder.finish();
+
+        let mut taint = TaintAnalysis::new(&[0], &[1]);
+        let session = AnalysisSession::for_analysis(&module, &taint).unwrap();
+        session
+            .run_with_host(&mut taint, &mut host(), "main", &[])
+            .unwrap();
+        assert_eq!(taint.flows().len(), 1, "taint crosses function boundaries");
+    }
+
+    #[test]
+    fn tainted_memory_range_flows_to_sink() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        let sink = builder.import_function("env", "sink", &[ValType::I32], &[]);
+        builder.function("main", &[], &[], |f| {
+            f.i32_const(100).load(LoadOp::I32Load, 0).call(sink);
+        });
+        let module = builder.finish();
+
+        let mut taint = TaintAnalysis::new(&[], &[0]);
+        let input_marker = Location::new(u32::MAX, -1);
+        taint.taint_memory(100, 4, input_marker);
+        let session = AnalysisSession::for_analysis(&module, &taint).unwrap();
+        session
+            .run_with_host(&mut taint, &mut host(), "main", &[])
+            .unwrap();
+        assert_eq!(taint.flows().len(), 1);
+        assert_eq!(taint.flows()[0].source, input_marker);
+    }
+
+    #[test]
+    fn clean_values_do_not_leak_taint() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        let source = builder.import_function("env", "source", &[], &[ValType::I32]);
+        let sink = builder.import_function("env", "sink", &[ValType::I32], &[]);
+        builder.function("main", &[], &[], |f| {
+            f.call(source).drop_(); // tainted value dropped
+            f.i32_const(7).call(sink); // clean constant to sink
+        });
+        let module = builder.finish();
+
+        let mut taint = TaintAnalysis::new(&[0], &[1]);
+        let session = AnalysisSession::for_analysis(&module, &taint).unwrap();
+        session
+            .run_with_host(&mut taint, &mut host(), "main", &[])
+            .unwrap();
+        assert!(taint.flows().is_empty());
+    }
+}

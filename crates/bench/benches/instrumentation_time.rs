@@ -1,0 +1,61 @@
+//! Criterion benchmark for paper Table 5: instrumentation time across
+//! binary sizes, including single- vs multi-threaded instrumentation
+//! (paper §4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wasabi::hooks::HookSet;
+use wasabi::Instrumenter;
+use wasabi_bench::binary_size;
+use wasabi_workloads::synthetic::{synthetic_app, SyntheticConfig};
+use wasabi_workloads::{compile, polybench};
+
+fn instrumentation_time(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("instrument_full");
+    group.sample_size(20);
+
+    for name in ["gemm", "cholesky", "adi"] {
+        let module = compile(&polybench::by_name(name, 16).expect("known kernel"));
+        group.throughput(Throughput::Bytes(binary_size(&module) as u64));
+        group.bench_with_input(BenchmarkId::new("polybench", name), &module, |b, m| {
+            b.iter(|| wasabi::instrument(m, HookSet::all()).expect("instruments"));
+        });
+    }
+
+    for (label, kilobytes) in [("app_100k", 100), ("app_1m", 1000)] {
+        let module = synthetic_app(
+            &SyntheticConfig::pspdfkit_like().with_target_bytes(kilobytes * 1000),
+        );
+        group.throughput(Throughput::Bytes(binary_size(&module) as u64));
+        group.bench_with_input(BenchmarkId::new("synthetic", label), &module, |b, m| {
+            b.iter(|| wasabi::instrument(m, HookSet::all()).expect("instruments"));
+        });
+    }
+    group.finish();
+
+    // §4.4: single-threaded vs parallel on a larger binary.
+    let mut group = criterion.benchmark_group("instrument_threads");
+    group.sample_size(10);
+    let module =
+        synthetic_app(&SyntheticConfig::unreal_like().with_target_bytes(2_000_000));
+    let max_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for threads in [1, max_threads] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Instrumenter::new(HookSet::all())
+                        .threads(threads)
+                        .run(&module)
+                        .expect("instruments")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, instrumentation_time);
+criterion_main!(benches);

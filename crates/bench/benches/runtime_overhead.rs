@@ -1,0 +1,58 @@
+//! Criterion benchmark for paper Figure 9: execution time of instrumented
+//! vs uninstrumented programs, for a representative subset of hooks
+//! (the full sweep across all 21 hook groups is produced by the `fig9`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wasabi::hooks::{Hook, HookSet, NoAnalysis};
+use wasabi::{AnalysisSession, WasabiHost};
+use wasabi_vm::{EmptyHost, Instance};
+use wasabi_workloads::{compile, polybench};
+
+const KERNEL: &str = "gemm";
+const PROBLEM_SIZE: u32 = 8;
+
+fn runtime_overhead(criterion: &mut Criterion) {
+    let module = compile(&polybench::by_name(KERNEL, PROBLEM_SIZE).expect("known kernel"));
+
+    let mut group = criterion.benchmark_group(format!("run_{KERNEL}"));
+    group.sample_size(20);
+
+    group.bench_function("original", |b| {
+        b.iter(|| {
+            let mut host = EmptyHost;
+            let mut instance =
+                Instance::instantiate(module.clone(), &mut host).expect("instantiates");
+            instance.invoke_export("main", &[], &mut host).expect("runs")
+        });
+    });
+
+    let hook_sets: [(&str, HookSet); 5] = [
+        ("nop_only", HookSet::of(&[Hook::Nop])),
+        ("call", HookSet::of(&[Hook::CallPre, Hook::CallPost])),
+        ("load_store", HookSet::of(&[Hook::Load, Hook::Store])),
+        ("binary", HookSet::of(&[Hook::Binary])),
+        ("all", HookSet::all()),
+    ];
+    for (label, hooks) in hook_sets {
+        let session = AnalysisSession::new(&module, hooks).expect("instruments");
+        group.bench_with_input(
+            BenchmarkId::new("instrumented", label),
+            &session,
+            |b, session| {
+                b.iter(|| {
+                    let mut analysis = NoAnalysis;
+                    let mut host = WasabiHost::new(session.info(), &mut analysis);
+                    let mut instance =
+                        Instance::instantiate(session.module().clone(), &mut host)
+                            .expect("instantiates");
+                    instance.invoke_export("main", &[], &mut host).expect("runs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, runtime_overhead);
+criterion_main!(benches);

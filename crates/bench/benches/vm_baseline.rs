@@ -1,0 +1,50 @@
+//! Baseline benchmarks for the substrates: interpreter throughput on
+//! uninstrumented kernels, and codec (decode/encode/validate) throughput.
+//! These calibrate the absolute numbers behind Table 5 and Figure 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wasabi_vm::{EmptyHost, Instance};
+use wasabi_wasm::decode::decode;
+use wasabi_wasm::encode::encode;
+use wasabi_wasm::validate::validate;
+use wasabi_workloads::synthetic::{synthetic_app, SyntheticConfig};
+use wasabi_workloads::{compile, polybench};
+
+fn vm_throughput(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("vm_run");
+    group.sample_size(20);
+    for name in ["gemm", "jacobi-2d", "floyd-warshall"] {
+        let module = compile(&polybench::by_name(name, 12).expect("known kernel"));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &module, |b, m| {
+            b.iter(|| {
+                let mut host = EmptyHost;
+                let mut instance =
+                    Instance::instantiate(m.clone(), &mut host).expect("instantiates");
+                instance.invoke_export("main", &[], &mut host).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn codec_throughput(criterion: &mut Criterion) {
+    let module = synthetic_app(&SyntheticConfig::pspdfkit_like().with_target_bytes(500_000));
+    let bytes = encode(&module);
+
+    let mut group = criterion.benchmark_group("codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("decode", |b| {
+        b.iter(|| decode(&bytes).expect("decodes"));
+    });
+    group.bench_function("encode", |b| {
+        b.iter(|| encode(&module));
+    });
+    group.bench_function("validate", |b| {
+        b.iter(|| validate(&module).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, vm_throughput, codec_throughput);
+criterion_main!(benches);

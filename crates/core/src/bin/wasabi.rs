@@ -1,0 +1,155 @@
+//! The Wasabi command-line instrumenter, mirroring the original tool's
+//! interface: read a `.wasm` binary, instrument it, and write the
+//! instrumented binary plus the static module info for the runtime.
+//!
+//! ```text
+//! wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>]
+//! ```
+//!
+//! Outputs `<output_dir>/<input>.wasm` (instrumented) and
+//! `<output_dir>/<input>.info.json` (the analogue of the generated
+//! JavaScript `Wasabi.module.info` of the paper). Default output directory:
+//! `out/`. By default all hooks are instrumented; `--hooks` selects a
+//! subset (paper §2.4.2, selective instrumentation), e.g.
+//! `--hooks=call_pre,call_post,return`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wasabi::hooks::{Hook, HookSet};
+use wasabi::Instrumenter;
+
+struct Args {
+    input: PathBuf,
+    output_dir: PathBuf,
+    hooks: HookSet,
+    threads: Option<usize>,
+    emit_wat: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>] [--wat]\n\
+     hooks: start nop unreachable if br br_if br_table begin end memory_size\n\
+     memory_grow const drop select unary binary load store local global\n\
+     return call_pre call_post (default: all)\n\
+     --wat additionally writes a human-readable dump of the instrumented module"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut input = None;
+    let mut output_dir = None;
+    let mut hooks = HookSet::all();
+    let mut threads = None;
+    let mut emit_wat = false;
+
+    for arg in std::env::args().skip(1) {
+        if arg == "--wat" {
+            emit_wat = true;
+        } else if let Some(list) = arg.strip_prefix("--hooks=") {
+            let mut set = HookSet::empty();
+            for name in list.split(',').filter(|n| !n.is_empty()) {
+                let hook = Hook::ALL
+                    .into_iter()
+                    .find(|h| h.name() == name)
+                    .ok_or_else(|| format!("unknown hook {name:?}"))?;
+                set.insert(hook);
+            }
+            hooks = set;
+        } else if let Some(n) = arg.strip_prefix("--threads=") {
+            threads = Some(
+                n.parse::<usize>()
+                    .map_err(|_| format!("invalid thread count {n:?}"))?,
+            );
+        } else if arg == "--help" || arg == "-h" {
+            return Err(usage().to_string());
+        } else if input.is_none() {
+            input = Some(PathBuf::from(arg));
+        } else if output_dir.is_none() {
+            output_dir = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!("unexpected argument {arg:?}\n{}", usage()));
+        }
+    }
+
+    Ok(Args {
+        input: input.ok_or_else(|| usage().to_string())?,
+        output_dir: output_dir.unwrap_or_else(|| PathBuf::from("out")),
+        hooks,
+        threads,
+        emit_wat,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let bytes = std::fs::read(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
+
+    let module = wasabi_wasm::decode::decode(&bytes)
+        .map_err(|e| format!("cannot decode {}: {e}", args.input.display()))?;
+
+    let mut instrumenter = Instrumenter::new(args.hooks);
+    if let Some(threads) = args.threads {
+        instrumenter = instrumenter.threads(threads);
+    }
+    let start = Instant::now();
+    let (instrumented, info) = instrumenter
+        .run(&module)
+        .map_err(|e| format!("module does not validate: {e}"))?;
+    let elapsed = start.elapsed();
+
+    let output = wasabi_wasm::encode::encode(&instrumented);
+
+    std::fs::create_dir_all(&args.output_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.output_dir.display()))?;
+    let stem = args
+        .input
+        .file_stem()
+        .unwrap_or_else(|| args.input.as_os_str())
+        .to_string_lossy()
+        .to_string();
+    let wasm_path = args.output_dir.join(format!("{stem}.wasm"));
+    let info_path = args.output_dir.join(format!("{stem}.info.json"));
+    std::fs::write(&wasm_path, &output)
+        .map_err(|e| format!("cannot write {}: {e}", wasm_path.display()))?;
+    std::fs::write(&info_path, info.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", info_path.display()))?;
+    println!(
+        "instrumented {} for {} hook(s) in {:.1} ms",
+        args.input.display(),
+        args.hooks.len(),
+        elapsed.as_secs_f64() * 1000.0
+    );
+    println!(
+        "  {} -> {} bytes (+{:.0}%), {} low-level hooks generated",
+        bytes.len(),
+        output.len(),
+        (output.len() as f64 - bytes.len() as f64) / bytes.len() as f64 * 100.0,
+        info.hooks.len()
+    );
+    println!("  wrote {}", wasm_path.display());
+    println!("  wrote {}", info_path.display());
+    if args.emit_wat {
+        let wat_path = args.output_dir.join(format!("{stem}.wat"));
+        std::fs::write(&wat_path, wasabi_wasm::wat::render(&instrumented))
+            .map_err(|e| format!("cannot write {}: {e}", wat_path.display()))?;
+        println!("  wrote {}", wat_path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! The high-level analysis API: the 23 hooks of paper Table 2, the
+//! [`Analysis`] trait that analyses implement, and [`HookSet`] for selective
+//! instrumentation (paper §2.4.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wasabi_wasm::instr::{BinaryOp, GlobalOp, Instr, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+
+use crate::location::{BranchTarget, Location};
+
+/// The 23 high-level hooks of the Wasabi API (paper Table 2 plus the five
+/// hooks its caption mentions: `start`, `nop`, `unreachable`, `if`,
+/// `memory_size`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Hook {
+    Start,
+    Nop,
+    Unreachable,
+    If,
+    Br,
+    BrIf,
+    BrTable,
+    Begin,
+    End,
+    MemorySize,
+    MemoryGrow,
+    Const,
+    Drop,
+    Select,
+    Unary,
+    Binary,
+    Load,
+    Store,
+    Local,
+    Global,
+    Return,
+    CallPre,
+    CallPost,
+}
+
+impl Hook {
+    /// All hooks, in a fixed order.
+    pub const ALL: [Hook; 23] = [
+        Hook::Start,
+        Hook::Nop,
+        Hook::Unreachable,
+        Hook::If,
+        Hook::Br,
+        Hook::BrIf,
+        Hook::BrTable,
+        Hook::Begin,
+        Hook::End,
+        Hook::MemorySize,
+        Hook::MemoryGrow,
+        Hook::Const,
+        Hook::Drop,
+        Hook::Select,
+        Hook::Unary,
+        Hook::Binary,
+        Hook::Load,
+        Hook::Store,
+        Hook::Local,
+        Hook::Global,
+        Hook::Return,
+        Hook::CallPre,
+        Hook::CallPost,
+    ];
+
+    /// Snake-case name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hook::Start => "start",
+            Hook::Nop => "nop",
+            Hook::Unreachable => "unreachable",
+            Hook::If => "if",
+            Hook::Br => "br",
+            Hook::BrIf => "br_if",
+            Hook::BrTable => "br_table",
+            Hook::Begin => "begin",
+            Hook::End => "end",
+            Hook::MemorySize => "memory_size",
+            Hook::MemoryGrow => "memory_grow",
+            Hook::Const => "const",
+            Hook::Drop => "drop",
+            Hook::Select => "select",
+            Hook::Unary => "unary",
+            Hook::Binary => "binary",
+            Hook::Load => "load",
+            Hook::Store => "store",
+            Hook::Local => "local",
+            Hook::Global => "global",
+            Hook::Return => "return",
+            Hook::CallPre => "call_pre",
+            Hook::CallPost => "call_post",
+        }
+    }
+
+    /// The *primary* hook observing an instruction. Some instructions also
+    /// involve secondary hooks (`begin`/`end` for blocks, `end` replay on
+    /// branches); those are handled by the instrumenter directly.
+    pub fn for_instr(instr: &Instr) -> Option<Hook> {
+        Some(match instr {
+            Instr::Nop => Hook::Nop,
+            Instr::Unreachable => Hook::Unreachable,
+            Instr::Block(_) | Instr::Loop(_) => Hook::Begin,
+            Instr::If(_) => Hook::If,
+            Instr::Else => Hook::Begin,
+            Instr::End => Hook::End,
+            Instr::Br(_) => Hook::Br,
+            Instr::BrIf(_) => Hook::BrIf,
+            Instr::BrTable { .. } => Hook::BrTable,
+            Instr::Return => Hook::Return,
+            Instr::Call(_) | Instr::CallIndirect(..) => Hook::CallPre,
+            Instr::Drop => Hook::Drop,
+            Instr::Select => Hook::Select,
+            Instr::Local(..) => Hook::Local,
+            Instr::Global(..) => Hook::Global,
+            Instr::Load(..) => Hook::Load,
+            Instr::Store(..) => Hook::Store,
+            Instr::MemorySize(_) => Hook::MemorySize,
+            Instr::MemoryGrow(_) => Hook::MemoryGrow,
+            Instr::Const(_) => Hook::Const,
+            Instr::Unary(_) => Hook::Unary,
+            Instr::Binary(_) => Hook::Binary,
+        })
+    }
+
+    fn bit(self) -> u32 {
+        1 << (self as u32)
+    }
+}
+
+impl fmt::Display for Hook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of hooks, driving selective instrumentation (paper §2.4.2: "only
+/// those kinds of instructions are instrumented that have a matching
+/// high-level hook in the given analysis").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HookSet {
+    bits: u32,
+}
+
+impl HookSet {
+    /// The empty set (instrumentation is the identity).
+    pub fn empty() -> Self {
+        HookSet { bits: 0 }
+    }
+
+    /// All 23 hooks (full instrumentation).
+    pub fn all() -> Self {
+        let mut set = HookSet::empty();
+        for hook in Hook::ALL {
+            set.insert(hook);
+        }
+        set
+    }
+
+    /// A set containing exactly the given hooks.
+    pub fn of(hooks: &[Hook]) -> Self {
+        let mut set = HookSet::empty();
+        for &hook in hooks {
+            set.insert(hook);
+        }
+        set
+    }
+
+    /// Add a hook to the set.
+    pub fn insert(&mut self, hook: Hook) -> &mut Self {
+        self.bits |= hook.bit();
+        self
+    }
+
+    /// Remove a hook from the set.
+    pub fn remove(&mut self, hook: Hook) -> &mut Self {
+        self.bits &= !hook.bit();
+        self
+    }
+
+    /// `true` if `hook` is in the set.
+    pub fn contains(&self, hook: Hook) -> bool {
+        self.bits & hook.bit() != 0
+    }
+
+    /// `true` if no hook is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Set union.
+    pub fn union(mut self, other: HookSet) -> HookSet {
+        self.bits |= other.bits;
+        self
+    }
+
+    /// Iterate over the hooks in the set.
+    pub fn iter(&self) -> impl Iterator<Item = Hook> + '_ {
+        Hook::ALL.into_iter().filter(|h| self.contains(*h))
+    }
+
+    /// Number of hooks in the set.
+    pub fn len(&self) -> usize {
+        self.bits.count_ones() as usize
+    }
+}
+
+impl fmt::Display for HookSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, hook) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{hook}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Hook> for HookSet {
+    fn from_iter<I: IntoIterator<Item = Hook>>(iter: I) -> Self {
+        let mut set = HookSet::empty();
+        for hook in iter {
+            set.insert(hook);
+        }
+        set
+    }
+}
+
+/// Kind of a structured block, for the `begin`/`end` hooks (paper Table 2:
+/// "type : string ∈ {function, block, loop, if, else}").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    Function,
+    Block,
+    Loop,
+    If,
+    Else,
+}
+
+impl BlockKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockKind::Function => "function",
+            BlockKind::Block => "block",
+            BlockKind::Loop => "loop",
+            BlockKind::If => "if",
+            BlockKind::Else => "else",
+        }
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The memory-access immediate+operand bundle passed to `load`/`store`
+/// hooks (paper Table 2: "memarg : {addr, offset}").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemArg {
+    /// Dynamic address operand.
+    pub addr: u32,
+    /// Static offset immediate; the effective address is `addr + offset`.
+    pub offset: u32,
+}
+
+impl MemArg {
+    /// The effective address `addr + offset` of the access.
+    pub fn effective_addr(self) -> u64 {
+        u64::from(self.addr) + u64::from(self.offset)
+    }
+}
+
+/// A dynamic analysis: the user-facing high-level hook API (paper Table 2).
+///
+/// All methods default to no-ops; an analysis overrides the hooks it needs
+/// and declares them in [`Analysis::hooks`] so that Wasabi instruments
+/// selectively. (In the JavaScript original, the framework infers this set
+/// from the properties of the analysis object; in Rust the analysis states
+/// it explicitly.)
+///
+/// # Examples
+///
+/// The paper's Figure 1 cryptominer-detection profiler:
+///
+/// ```
+/// use std::collections::HashMap;
+/// use wasabi::hooks::{Analysis, Hook, HookSet};
+/// use wasabi::location::Location;
+/// use wasabi_wasm::instr::{BinaryOp, Val};
+///
+/// #[derive(Default)]
+/// struct Signature {
+///     counts: HashMap<&'static str, u64>,
+/// }
+///
+/// impl Analysis for Signature {
+///     fn hooks(&self) -> HookSet {
+///         HookSet::of(&[Hook::Binary])
+///     }
+///
+///     fn binary(&mut self, _: Location, op: BinaryOp, _: Val, _: Val, _: Val) {
+///         match op {
+///             BinaryOp::I32Add | BinaryOp::I32And | BinaryOp::I32Shl
+///             | BinaryOp::I32ShrU | BinaryOp::I32Xor => {
+///                 *self.counts.entry(op.name()).or_insert(0) += 1;
+///             }
+///             _ => {}
+///         }
+///     }
+/// }
+/// ```
+#[allow(unused_variables)]
+pub trait Analysis {
+    /// Which hooks this analysis uses; drives selective instrumentation.
+    /// Defaults to all hooks (full instrumentation).
+    fn hooks(&self) -> HookSet {
+        HookSet::all()
+    }
+
+    /// The module's start function begins executing.
+    fn start(&mut self, loc: Location) {}
+
+    /// A `nop` executed.
+    fn nop(&mut self, loc: Location) {}
+
+    /// An `unreachable` is about to trap.
+    fn unreachable(&mut self, loc: Location) {}
+
+    /// An `if` evaluated its condition.
+    fn if_(&mut self, loc: Location, condition: bool) {}
+
+    /// An unconditional branch executes.
+    fn br(&mut self, loc: Location, target: BranchTarget) {}
+
+    /// A conditional branch evaluated its condition.
+    fn br_if(&mut self, loc: Location, target: BranchTarget, condition: bool) {}
+
+    /// A multi-way branch selected entry `table_index` (the targets of all
+    /// entries plus the default are provided, paper Table 2).
+    fn br_table(
+        &mut self,
+        loc: Location,
+        table: &[BranchTarget],
+        default: BranchTarget,
+        table_index: u32,
+    ) {
+    }
+
+    /// A block is entered (called per iteration for loops).
+    fn begin(&mut self, loc: Location, kind: BlockKind) {}
+
+    /// A block is exited; `begin` is the location of the matching block
+    /// start. Also called for blocks left implicitly by branches and
+    /// returns (paper §2.4.5, dynamic block nesting).
+    fn end(&mut self, loc: Location, kind: BlockKind, begin: Location) {}
+
+    /// `memory.size` returned the current size in pages.
+    fn memory_size(&mut self, loc: Location, current_pages: u32) {}
+
+    /// `memory.grow` by `delta` pages returned `previous_pages` (or -1 cast
+    /// to u32::MAX on failure, as in the raw instruction result).
+    fn memory_grow(&mut self, loc: Location, delta: u32, previous_pages: i32) {}
+
+    /// A constant was pushed.
+    fn const_(&mut self, loc: Location, value: Val) {}
+
+    /// A value was dropped.
+    fn drop_(&mut self, loc: Location, value: Val) {}
+
+    /// A `select` picked `first` (condition true) or `second`.
+    fn select(&mut self, loc: Location, condition: bool, first: Val, second: Val) {}
+
+    /// A unary operation computed `result` from `input`.
+    fn unary(&mut self, loc: Location, op: UnaryOp, input: Val, result: Val) {}
+
+    /// A binary operation computed `result` from `first` and `second`.
+    fn binary(&mut self, loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {}
+
+    /// A load read `value` from `memarg.effective_addr()`.
+    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {}
+
+    /// A store wrote `value` to `memarg.effective_addr()`.
+    fn store(&mut self, loc: Location, op: StoreOp, memarg: MemArg, value: Val) {}
+
+    /// A local was read/written (`value` is the value read resp. written).
+    fn local(&mut self, loc: Location, op: LocalOp, index: u32, value: Val) {}
+
+    /// A global was read/written.
+    fn global(&mut self, loc: Location, op: GlobalOp, index: u32, value: Val) {}
+
+    /// The current function returns explicitly with `results`.
+    fn return_(&mut self, loc: Location, results: &[Val]) {}
+
+    /// A call is about to happen. `func` is the resolved target function
+    /// index in the original module; `table_index` is `Some(i)` for
+    /// `call_indirect` through table slot `i` and `None` for direct calls
+    /// (paper Table 2: "tableIndex == null iff direct call"). For an
+    /// indirect call whose table slot cannot be resolved (the call will
+    /// trap), `func` is `u32::MAX`.
+    fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {}
+
+    /// A call returned with `results`.
+    fn call_post(&mut self, loc: Location, results: &[Val]) {}
+}
+
+/// The trivial analysis: observes nothing, uses no hooks. Instrumenting for
+/// it is the identity transformation; useful as a baseline in benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAnalysis;
+
+impl Analysis for NoAnalysis {
+    fn hooks(&self) -> HookSet {
+        HookSet::empty()
+    }
+}
+
+/// Two analyses run over one execution: the module is instrumented for the
+/// *union* of both hook sets and every event is delivered to both.
+///
+/// Nest `Combined` for more than two: `Combined(a, Combined(b, c))`.
+///
+/// Each sub-analysis may receive events for hooks only the other one
+/// requested; those land in its default no-op methods, so observed results
+/// are identical to running the analyses separately (as long as an
+/// analysis' [`Analysis::hooks`] covers everything it overrides, which all
+/// analyses in this repository do).
+///
+/// # Examples
+///
+/// ```
+/// use wasabi::hooks::{Analysis, Combined, NoAnalysis};
+/// let combined = Combined(NoAnalysis, NoAnalysis);
+/// assert!(combined.hooks().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Combined<A, B>(pub A, pub B);
+
+impl<A: Analysis, B: Analysis> Analysis for Combined<A, B> {
+    fn hooks(&self) -> HookSet {
+        self.0.hooks().union(self.1.hooks())
+    }
+
+    fn start(&mut self, loc: Location) {
+        self.0.start(loc);
+        self.1.start(loc);
+    }
+    fn nop(&mut self, loc: Location) {
+        self.0.nop(loc);
+        self.1.nop(loc);
+    }
+    fn unreachable(&mut self, loc: Location) {
+        self.0.unreachable(loc);
+        self.1.unreachable(loc);
+    }
+    fn if_(&mut self, loc: Location, condition: bool) {
+        self.0.if_(loc, condition);
+        self.1.if_(loc, condition);
+    }
+    fn br(&mut self, loc: Location, target: BranchTarget) {
+        self.0.br(loc, target);
+        self.1.br(loc, target);
+    }
+    fn br_if(&mut self, loc: Location, target: BranchTarget, condition: bool) {
+        self.0.br_if(loc, target, condition);
+        self.1.br_if(loc, target, condition);
+    }
+    fn br_table(
+        &mut self,
+        loc: Location,
+        table: &[BranchTarget],
+        default: BranchTarget,
+        table_index: u32,
+    ) {
+        self.0.br_table(loc, table, default, table_index);
+        self.1.br_table(loc, table, default, table_index);
+    }
+    fn begin(&mut self, loc: Location, kind: BlockKind) {
+        self.0.begin(loc, kind);
+        self.1.begin(loc, kind);
+    }
+    fn end(&mut self, loc: Location, kind: BlockKind, begin: Location) {
+        self.0.end(loc, kind, begin);
+        self.1.end(loc, kind, begin);
+    }
+    fn memory_size(&mut self, loc: Location, current_pages: u32) {
+        self.0.memory_size(loc, current_pages);
+        self.1.memory_size(loc, current_pages);
+    }
+    fn memory_grow(&mut self, loc: Location, delta: u32, previous_pages: i32) {
+        self.0.memory_grow(loc, delta, previous_pages);
+        self.1.memory_grow(loc, delta, previous_pages);
+    }
+    fn const_(&mut self, loc: Location, value: Val) {
+        self.0.const_(loc, value);
+        self.1.const_(loc, value);
+    }
+    fn drop_(&mut self, loc: Location, value: Val) {
+        self.0.drop_(loc, value);
+        self.1.drop_(loc, value);
+    }
+    fn select(&mut self, loc: Location, condition: bool, first: Val, second: Val) {
+        self.0.select(loc, condition, first, second);
+        self.1.select(loc, condition, first, second);
+    }
+    fn unary(&mut self, loc: Location, op: UnaryOp, input: Val, result: Val) {
+        self.0.unary(loc, op, input, result);
+        self.1.unary(loc, op, input, result);
+    }
+    fn binary(&mut self, loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {
+        self.0.binary(loc, op, first, second, result);
+        self.1.binary(loc, op, first, second, result);
+    }
+    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {
+        self.0.load(loc, op, memarg, value);
+        self.1.load(loc, op, memarg, value);
+    }
+    fn store(&mut self, loc: Location, op: StoreOp, memarg: MemArg, value: Val) {
+        self.0.store(loc, op, memarg, value);
+        self.1.store(loc, op, memarg, value);
+    }
+    fn local(&mut self, loc: Location, op: LocalOp, index: u32, value: Val) {
+        self.0.local(loc, op, index, value);
+        self.1.local(loc, op, index, value);
+    }
+    fn global(&mut self, loc: Location, op: GlobalOp, index: u32, value: Val) {
+        self.0.global(loc, op, index, value);
+        self.1.global(loc, op, index, value);
+    }
+    fn return_(&mut self, loc: Location, results: &[Val]) {
+        self.0.return_(loc, results);
+        self.1.return_(loc, results);
+    }
+    fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {
+        self.0.call_pre(loc, func, args, table_index);
+        self.1.call_pre(loc, func, args, table_index);
+    }
+    fn call_post(&mut self, loc: Location, results: &[Val]) {
+        self.0.call_post(loc, results);
+        self.1.call_post(loc, results);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_23_hooks() {
+        // Paper §2.3: "Wasabi's API provides 23 hooks only."
+        assert_eq!(Hook::ALL.len(), 23);
+        assert_eq!(HookSet::all().len(), 23);
+    }
+
+    #[test]
+    fn hookset_operations() {
+        let mut set = HookSet::empty();
+        assert!(set.is_empty());
+        set.insert(Hook::Binary);
+        set.insert(Hook::Load);
+        assert!(set.contains(Hook::Binary));
+        assert!(!set.contains(Hook::Store));
+        assert_eq!(set.len(), 2);
+        set.remove(Hook::Binary);
+        assert!(!set.contains(Hook::Binary));
+    }
+
+    #[test]
+    fn hookset_union_and_iter() {
+        let a = HookSet::of(&[Hook::Br, Hook::BrIf]);
+        let b = HookSet::of(&[Hook::BrIf, Hook::BrTable]);
+        let u = a.union(b);
+        assert_eq!(u.len(), 3);
+        let collected: Vec<Hook> = u.iter().collect();
+        assert_eq!(collected, vec![Hook::Br, Hook::BrIf, Hook::BrTable]);
+    }
+
+    #[test]
+    fn hookset_display() {
+        let set = HookSet::of(&[Hook::Const, Hook::Binary]);
+        assert_eq!(set.to_string(), "{const, binary}");
+    }
+
+    #[test]
+    fn hook_for_instr_covers_all() {
+        use wasabi_wasm::instr::{BlockType, Idx, Label};
+        assert_eq!(Hook::for_instr(&Instr::Nop), Some(Hook::Nop));
+        assert_eq!(
+            Hook::for_instr(&Instr::Block(BlockType(None))),
+            Some(Hook::Begin)
+        );
+        assert_eq!(Hook::for_instr(&Instr::Br(Label(0))), Some(Hook::Br));
+        assert_eq!(
+            Hook::for_instr(&Instr::Call(Idx::from(0u32))),
+            Some(Hook::CallPre)
+        );
+        assert_eq!(
+            Hook::for_instr(&Instr::Const(Val::I32(1))),
+            Some(Hook::Const)
+        );
+    }
+
+    #[test]
+    fn memarg_effective_addr() {
+        let m = MemArg {
+            addr: u32::MAX,
+            offset: 8,
+        };
+        assert_eq!(m.effective_addr(), u64::from(u32::MAX) + 8);
+    }
+
+    #[test]
+    fn no_analysis_uses_no_hooks() {
+        assert!(NoAnalysis.hooks().is_empty());
+    }
+
+    #[test]
+    fn default_analysis_uses_all_hooks() {
+        struct Defaults;
+        impl Analysis for Defaults {}
+        assert_eq!(Defaults.hooks().len(), 23);
+    }
+}

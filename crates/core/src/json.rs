@@ -1,0 +1,172 @@
+//! Minimal JSON rendering of [`crate::info::ModuleInfo`].
+//!
+//! The paper's instrumenter hands its static module information to the
+//! JavaScript runtime as generated JS/JSON (Fig. 2). This module mirrors
+//! that boundary for the CLI without pulling in a JSON crate: a small,
+//! purpose-built serializer for exactly the `ModuleInfo` shape.
+
+use std::fmt::Write as _;
+
+use crate::info::{BrTableEntry, ModuleInfo};
+use crate::location::Location;
+
+/// Escape a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+fn location(loc: Location) -> String {
+    format!("{{\"func\":{},\"instr\":{}}}", loc.func, loc.instr)
+}
+
+fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+fn br_table_entry(entry: &BrTableEntry) -> String {
+    format!(
+        "{{\"label\":{},\"location\":{},\"ends\":{}}}",
+        entry.target.label,
+        location(entry.target.location),
+        array(entry.ends.iter().map(|e| format!(
+            "{{\"kind\":{},\"begin\":{},\"end\":{}}}",
+            string(e.kind.name()),
+            location(e.begin),
+            location(e.end)
+        )))
+    )
+}
+
+impl ModuleInfo {
+    /// Render this info as a JSON document (the analogue of the paper's
+    /// generated `Wasabi.module.info`).
+    pub fn to_json(&self) -> String {
+        let functions = array(self.functions.iter().map(|f| {
+            format!(
+                "{{\"type\":{},\"import\":{},\"export\":{},\"name\":{},\"instr_count\":{}}}",
+                string(&f.type_.to_string()),
+                f.import.as_ref().map_or_else(
+                    || "null".to_string(),
+                    |(m, n)| array([string(m), string(n)])
+                ),
+                array(f.export.iter().map(|e| string(e))),
+                f.name
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), string),
+                f.instr_count
+            )
+        }));
+        let table = array(self.table.iter().map(|segment| {
+            format!(
+                "{{\"offset\":{},\"functions\":{}}}",
+                segment
+                    .offset
+                    .map_or_else(|| "null".to_string(), |o| o.to_string()),
+                array(segment.functions.iter().map(ToString::to_string))
+            )
+        }));
+        let br_tables = array(self.br_tables.iter().map(|info| {
+            format!(
+                "{{\"location\":{},\"entries\":{},\"default\":{}}}",
+                location(info.location),
+                array(info.entries.iter().map(br_table_entry)),
+                br_table_entry(&info.default)
+            )
+        }));
+        let hooks = array(self.hooks.iter().map(|h| string(&h.name())));
+        let enabled = array(self.enabled.iter().map(|h| string(h.name())));
+
+        format!(
+            "{{\"functions\":{functions},\"table\":{table},\"brTables\":{br_tables},\
+             \"start\":{},\"hooks\":{hooks},\"enabledHooks\":{enabled},\
+             \"originalFunctionCount\":{}}}",
+            self.start
+                .map_or_else(|| "null".to_string(), |s| s.to_string()),
+            self.original_function_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::HookSet;
+    use crate::instrument::instrument;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::types::ValType;
+
+    fn sample_info() -> ModuleInfo {
+        let mut builder = ModuleBuilder::new();
+        builder.import_function("env", "print", &[ValType::I32], &[]);
+        let f = builder.function("dispatch", &[ValType::I32], &[ValType::I32], |f| {
+            f.block(None).block(None);
+            f.get_local(0u32).br_table(vec![0], 1);
+            f.end().i32_const(1).return_().end();
+            f.i32_const(2);
+        });
+        builder.table(1);
+        builder.elements(0, vec![f]);
+        let (_, info) = instrument(&builder.finish(), HookSet::all()).expect("instruments");
+        info
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = sample_info().to_json();
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_contains_expected_keys_and_values() {
+        let json = sample_info().to_json();
+        for key in [
+            "\"functions\":",
+            "\"table\":",
+            "\"brTables\":",
+            "\"hooks\":",
+            "\"enabledHooks\":",
+            "\"originalFunctionCount\":2",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"import\":[\"env\",\"print\"]"));
+        assert!(json.contains("\"export\":[\"dispatch\"]"));
+        // The br_table info made it through.
+        assert!(json.contains("\"entries\":["));
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

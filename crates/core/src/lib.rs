@@ -1,0 +1,70 @@
+//! # wasabi — dynamic analysis framework for WebAssembly
+//!
+//! A faithful Rust reproduction of *Wasabi: A Framework for Dynamically
+//! Analyzing WebAssembly* (Lehmann & Pradel, ASPLOS 2019).
+//!
+//! Wasabi instruments a WebAssembly binary ahead of time, inserting calls
+//! to *low-level hooks* between the program's original instructions
+//! (paper Fig. 2). At runtime those hooks are routed through the
+//! [`runtime::WasabiHost`] to the 23 *high-level hooks* of the
+//! [`hooks::Analysis`] trait (paper Table 2) — the API analyses are
+//! written against.
+//!
+//! Key mechanisms, each mapped to the paper:
+//!
+//! | paper | module |
+//! |---|---|
+//! | §2.4.1 instrumentation of instructions (Table 3) | [`mod@instrument`] |
+//! | §2.4.2 selective instrumentation | [`hooks::HookSet`] |
+//! | §2.4.3 on-demand monomorphization | [`hookmap::HookMap`] |
+//! | §2.4.4 resolving branch labels | [`mod@instrument`] (abstract control stack) |
+//! | §2.4.5 dynamic block nesting | [`mod@instrument`] + [`runtime`] (br_table replay) |
+//! | §2.4.6 handling i64 values | [`convention`] |
+//! | §3 parallel instrumentation | [`instrument::Instrumenter`] |
+//!
+//! # Examples
+//!
+//! Count executed binary instructions (the core of the paper's Fig. 1
+//! cryptominer detector):
+//!
+//! ```
+//! use wasabi::{AnalysisSession, hooks::{Analysis, Hook, HookSet}};
+//! use wasabi::location::Location;
+//! use wasabi_wasm::builder::ModuleBuilder;
+//! use wasabi_wasm::{BinaryOp, Val, ValType};
+//!
+//! #[derive(Default)]
+//! struct BinaryCounter(u64);
+//! impl Analysis for BinaryCounter {
+//!     fn hooks(&self) -> HookSet { HookSet::of(&[Hook::Binary]) }
+//!     fn binary(&mut self, _: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let mut builder = ModuleBuilder::new();
+//! builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+//!     f.get_local(0u32).i32_const(3).i32_mul().i32_const(1).i32_add();
+//! });
+//!
+//! let mut counter = BinaryCounter::default();
+//! let session = AnalysisSession::for_analysis(&builder.finish(), &counter)?;
+//! session.run(&mut counter, "f", &[Val::I32(5)])?;
+//! assert_eq!(counter.0, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod convention;
+pub mod hookmap;
+pub mod hooks;
+pub mod info;
+pub mod instrument;
+pub mod json;
+pub mod location;
+pub mod runtime;
+
+pub use hooks::{Analysis, BlockKind, Combined, Hook, HookSet, MemArg, NoAnalysis};
+pub use info::ModuleInfo;
+pub use instrument::{instrument, Instrumenter};
+pub use location::{BranchTarget, Location};
+pub use runtime::{AnalysisError, AnalysisSession, WasabiHost};

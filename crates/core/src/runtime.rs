@@ -1,0 +1,447 @@
+//! The Wasabi runtime (paper Fig. 2, bottom): receives low-level hook calls
+//! from the executing instrumented module and converts them into high-level
+//! [`Analysis`] events — joining split i64 values, attaching resolved branch
+//! targets, replaying `end` hooks for `br_table`, and resolving indirect
+//! call targets.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use wasabi_vm::host::{Host, HostCtx, HostFuncId};
+use wasabi_vm::trap::{InstantiationError, Trap};
+use wasabi_vm::Instance;
+use wasabi_wasm::instr::Val;
+use wasabi_wasm::module::Module;
+use wasabi_wasm::types::{FuncType, GlobalType, ValType};
+
+use crate::convention::{join_i64, LowLevelHook, HOOK_MODULE};
+use crate::hooks::{Analysis, Hook, HookSet, MemArg};
+use crate::info::ModuleInfo;
+use crate::instrument::instrument;
+use crate::location::{BranchTarget, Location};
+
+/// A [`Host`] that dispatches Wasabi's low-level hooks to an [`Analysis`]
+/// and forwards all other imports to an optional program host.
+pub struct WasabiHost<'a> {
+    analysis: &'a mut dyn Analysis,
+    info: &'a ModuleInfo,
+    program_host: Option<&'a mut dyn Host>,
+    hook_ids: HashMap<String, usize>,
+}
+
+impl fmt::Debug for WasabiHost<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WasabiHost")
+            .field("hooks", &self.info.hooks.len())
+            .field("has_program_host", &self.program_host.is_some())
+            .finish()
+    }
+}
+
+impl<'a> WasabiHost<'a> {
+    /// Create a host dispatching to `analysis`, for a module instrumented
+    /// with the given `info`.
+    pub fn new(info: &'a ModuleInfo, analysis: &'a mut dyn Analysis) -> Self {
+        let hook_ids = info
+            .hooks
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.name(), i))
+            .collect();
+        WasabiHost {
+            analysis,
+            info,
+            program_host: None,
+            hook_ids,
+        }
+    }
+
+    /// Forward the program's own (non-hook) imports to `host`.
+    pub fn with_program_host(mut self, host: &'a mut dyn Host) -> Self {
+        self.program_host = Some(host);
+        self
+    }
+
+    fn dispatch(&mut self, hook: &LowLevelHook, args: &[Val]) {
+        // Location is the trailing (func, instr) pair.
+        let n = args.len();
+        let loc = Location::new(
+            args[n - 2].as_i32().expect("location func is i32") as u32,
+            args[n - 1].as_i32().expect("location instr is i32"),
+        );
+
+        // Re-join the flattened payload (i64 halves were split, row 6).
+        let payload_types = hook.payload_types();
+        let mut vals = Vec::with_capacity(payload_types.len());
+        let mut i = 0;
+        for ty in &payload_types {
+            if *ty == ValType::I64 {
+                let low = args[i].as_i32().expect("low i64 half");
+                let high = args[i + 1].as_i32().expect("high i64 half");
+                vals.push(Val::I64(join_i64(low, high)));
+                i += 2;
+            } else {
+                vals.push(args[i]);
+                i += 1;
+            }
+        }
+
+        let as_u32 = |v: Val| v.as_i32().expect("i32 payload") as u32;
+        let as_bool = |v: Val| v.as_i32().expect("i32 condition") != 0;
+
+        match hook {
+            LowLevelHook::Start => self.analysis.start(loc),
+            LowLevelHook::Nop => self.analysis.nop(loc),
+            LowLevelHook::Unreachable => self.analysis.unreachable(loc),
+            LowLevelHook::If => self.analysis.if_(loc, as_bool(vals[0])),
+            LowLevelHook::Br => {
+                let target = BranchTarget {
+                    label: as_u32(vals[0]),
+                    location: Location::new(loc.func, vals[1].as_i32().expect("target")),
+                };
+                self.analysis.br(loc, target);
+            }
+            LowLevelHook::BrIf => {
+                let target = BranchTarget {
+                    label: as_u32(vals[0]),
+                    location: Location::new(loc.func, vals[1].as_i32().expect("target")),
+                };
+                self.analysis.br_if(loc, target, as_bool(vals[2]));
+            }
+            LowLevelHook::BrTable => {
+                let info_idx = as_u32(vals[0]) as usize;
+                let runtime_idx = as_u32(vals[1]);
+                let table_info = &self.info.br_tables[info_idx];
+                let entry = table_info
+                    .entries
+                    .get(runtime_idx as usize)
+                    .unwrap_or(&table_info.default);
+                // Replay the end hooks of the blocks this entry leaves
+                // (paper §2.4.5: selected inside the low-level hook).
+                if self.info.enabled.contains(Hook::End) {
+                    for end in &entry.ends {
+                        self.analysis.end(end.end, end.kind, end.begin);
+                    }
+                }
+                if self.info.enabled.contains(Hook::BrTable) {
+                    let targets: Vec<BranchTarget> =
+                        table_info.entries.iter().map(|e| e.target).collect();
+                    self.analysis
+                        .br_table(loc, &targets, table_info.default.target, runtime_idx);
+                }
+            }
+            LowLevelHook::Begin(kind) => self.analysis.begin(loc, *kind),
+            LowLevelHook::End(kind) => {
+                let begin = Location::new(loc.func, vals[0].as_i32().expect("begin"));
+                self.analysis.end(loc, *kind, begin);
+            }
+            LowLevelHook::MemorySize => self.analysis.memory_size(loc, as_u32(vals[0])),
+            LowLevelHook::MemoryGrow => {
+                self.analysis
+                    .memory_grow(loc, as_u32(vals[0]), vals[1].as_i32().expect("prev"));
+            }
+            LowLevelHook::Const(_) => self.analysis.const_(loc, vals[0]),
+            LowLevelHook::Drop(_) => self.analysis.drop_(loc, vals[0]),
+            LowLevelHook::Select(_) => {
+                self.analysis.select(loc, as_bool(vals[2]), vals[0], vals[1]);
+            }
+            LowLevelHook::Unary(op) => self.analysis.unary(loc, *op, vals[0], vals[1]),
+            LowLevelHook::Binary(op) => {
+                self.analysis.binary(loc, *op, vals[0], vals[1], vals[2]);
+            }
+            LowLevelHook::Load(op) => {
+                let memarg = MemArg {
+                    addr: as_u32(vals[0]),
+                    offset: as_u32(vals[1]),
+                };
+                self.analysis.load(loc, *op, memarg, vals[2]);
+            }
+            LowLevelHook::Store(op) => {
+                let memarg = MemArg {
+                    addr: as_u32(vals[0]),
+                    offset: as_u32(vals[1]),
+                };
+                self.analysis.store(loc, *op, memarg, vals[2]);
+            }
+            LowLevelHook::Local(op, _) => {
+                self.analysis.local(loc, *op, as_u32(vals[0]), vals[1]);
+            }
+            LowLevelHook::Global(op, _) => {
+                self.analysis.global(loc, *op, as_u32(vals[0]), vals[1]);
+            }
+            LowLevelHook::Return(_) => self.analysis.return_(loc, &vals),
+            LowLevelHook::CallPre { indirect, .. } => {
+                let (func, table_index) = if *indirect {
+                    let table_idx = as_u32(vals[0]);
+                    (
+                        self.info.resolve_table(table_idx).unwrap_or(u32::MAX),
+                        Some(table_idx),
+                    )
+                } else {
+                    (as_u32(vals[0]), None)
+                };
+                self.analysis.call_pre(loc, func, &vals[1..], table_index);
+            }
+            LowLevelHook::CallPost(_) => self.analysis.call_post(loc, &vals),
+        }
+    }
+}
+
+impl Host for WasabiHost<'_> {
+    fn resolve(&mut self, module: &str, name: &str, ty: &FuncType) -> Option<HostFuncId> {
+        let hook_count = self.info.hooks.len();
+        if module == HOOK_MODULE {
+            return self.hook_ids.get(name).map(|&i| HostFuncId(i));
+        }
+        let inner = self.program_host.as_mut()?.resolve(module, name, ty)?;
+        Some(HostFuncId(hook_count + inner.0))
+    }
+
+    fn call(&mut self, id: HostFuncId, args: &[Val], ctx: HostCtx<'_>) -> Result<Vec<Val>, Trap> {
+        let hook_count = self.info.hooks.len();
+        if id.0 < hook_count {
+            // Clone the descriptor to release the borrow on self.info.
+            let hook = self.info.hooks[id.0].clone();
+            self.dispatch(&hook, args);
+            Ok(Vec::new())
+        } else {
+            let inner = self
+                .program_host
+                .as_mut()
+                .ok_or_else(|| Trap::HostError("no program host".to_string()))?;
+            inner.call(HostFuncId(id.0 - hook_count), args, ctx)
+        }
+    }
+
+    fn resolve_global(&mut self, module: &str, name: &str, ty: &GlobalType) -> Option<Val> {
+        self.program_host
+            .as_mut()?
+            .resolve_global(module, name, ty)
+    }
+}
+
+/// Error running an analyzed program.
+#[derive(Debug)]
+pub enum AnalysisError {
+    /// The original module failed validation.
+    Invalid(wasabi_wasm::ValidationError),
+    /// The instrumented module could not be instantiated.
+    Instantiation(InstantiationError),
+    /// Execution trapped.
+    Trap(Trap),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Invalid(e) => write!(f, "invalid module: {e}"),
+            AnalysisError::Instantiation(e) => write!(f, "instantiation failed: {e}"),
+            AnalysisError::Trap(t) => write!(f, "execution trapped: {t}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+impl From<wasabi_wasm::ValidationError> for AnalysisError {
+    fn from(e: wasabi_wasm::ValidationError) -> Self {
+        AnalysisError::Invalid(e)
+    }
+}
+impl From<InstantiationError> for AnalysisError {
+    fn from(e: InstantiationError) -> Self {
+        AnalysisError::Instantiation(e)
+    }
+}
+impl From<Trap> for AnalysisError {
+    fn from(t: Trap) -> Self {
+        AnalysisError::Trap(t)
+    }
+}
+
+/// An instrumented module bundled with its static info, ready to run under
+/// different analyses.
+///
+/// # Examples
+///
+/// ```
+/// use wasabi::{AnalysisSession, hooks::{Analysis, Hook, HookSet}};
+/// use wasabi::location::Location;
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::{ValType, Val};
+///
+/// #[derive(Default)]
+/// struct CountConsts(u64);
+/// impl Analysis for CountConsts {
+///     fn hooks(&self) -> HookSet { HookSet::of(&[Hook::Const]) }
+///     fn const_(&mut self, _: Location, _: Val) { self.0 += 1; }
+/// }
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.function("f", &[], &[ValType::I32], |f| {
+///     f.i32_const(1).i32_const(2).i32_add();
+/// });
+/// let module = builder.finish();
+///
+/// let mut analysis = CountConsts::default();
+/// let session = AnalysisSession::new(&module, analysis.hooks())?;
+/// let results = session.run(&mut analysis, "f", &[])?;
+/// assert_eq!(results, vec![Val::I32(3)]);
+/// assert_eq!(analysis.0, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisSession {
+    module: Module,
+    info: ModuleInfo,
+}
+
+impl AnalysisSession {
+    /// Instrument `module` for the given hook set.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not validate.
+    pub fn new(module: &Module, hooks: HookSet) -> Result<Self, wasabi_wasm::ValidationError> {
+        let (module, info) = instrument(module, hooks)?;
+        Ok(AnalysisSession { module, info })
+    }
+
+    /// Instrument `module` selectively for the hooks `analysis` declares.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not validate.
+    pub fn for_analysis(
+        module: &Module,
+        analysis: &dyn Analysis,
+    ) -> Result<Self, wasabi_wasm::ValidationError> {
+        Self::new(module, analysis.hooks())
+    }
+
+    /// The instrumented module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The static info for the runtime.
+    pub fn info(&self) -> &ModuleInfo {
+        &self.info
+    }
+
+    /// Instantiate the instrumented module and invoke `export` under
+    /// `analysis`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn run(
+        &self,
+        analysis: &mut dyn Analysis,
+        export: &str,
+        args: &[Val],
+    ) -> Result<Vec<Val>, AnalysisError> {
+        let mut host = WasabiHost::new(&self.info, analysis);
+        let mut instance = Instance::instantiate(self.module.clone(), &mut host)?;
+        Ok(instance.invoke_export(export, args, &mut host)?)
+    }
+
+    /// Like [`AnalysisSession::run`], but with a program host for the
+    /// module's own (non-hook) imports.
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalysisError`].
+    pub fn run_with_host(
+        &self,
+        analysis: &mut dyn Analysis,
+        program_host: &mut dyn Host,
+        export: &str,
+        args: &[Val],
+    ) -> Result<Vec<Val>, AnalysisError> {
+        let mut host = WasabiHost::new(&self.info, analysis).with_program_host(program_host);
+        let mut instance = Instance::instantiate(self.module.clone(), &mut host)?;
+        Ok(instance.invoke_export(export, args, &mut host)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoAnalysis;
+    use wasabi_vm::host::HostFunctions;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::types::ValType;
+
+    fn session_with_hooks() -> AnalysisSession {
+        let mut builder = ModuleBuilder::new();
+        builder.import_function("env", "print", &[ValType::I32], &[]);
+        builder.function("f", &[], &[], |f| {
+            f.i32_const(1).drop_();
+        });
+        AnalysisSession::new(&builder.finish(), HookSet::all()).expect("instruments")
+    }
+
+    #[test]
+    fn resolves_hook_imports_by_name() {
+        let session = session_with_hooks();
+        let mut analysis = NoAnalysis;
+        let mut host = WasabiHost::new(session.info(), &mut analysis);
+        let first_hook = &session.info().hooks[0];
+        let id = host.resolve(
+            crate::convention::HOOK_MODULE,
+            &first_hook.name(),
+            &first_hook.wasm_type(),
+        );
+        assert_eq!(id, Some(HostFuncId(0)));
+        assert_eq!(
+            host.resolve(crate::convention::HOOK_MODULE, "no_such_hook", &FuncType::default()),
+            None
+        );
+    }
+
+    #[test]
+    fn non_hook_imports_need_a_program_host() {
+        let session = session_with_hooks();
+        let mut analysis = NoAnalysis;
+        let mut host = WasabiHost::new(session.info(), &mut analysis);
+        // Without a program host, the module's own import is unresolved.
+        assert_eq!(
+            host.resolve("env", "print", &FuncType::new(&[ValType::I32], &[])),
+            None
+        );
+    }
+
+    #[test]
+    fn program_host_ids_are_offset_past_hooks() {
+        let session = session_with_hooks();
+        let hook_count = session.info().hooks.len();
+        let mut analysis = NoAnalysis;
+        let mut inner = HostFunctions::new();
+        inner.register("env", "print", |_, _| Ok(vec![]));
+        let mut host = WasabiHost::new(session.info(), &mut analysis).with_program_host(&mut inner);
+        let id = host
+            .resolve("env", "print", &FuncType::new(&[ValType::I32], &[]))
+            .expect("resolves through the program host");
+        assert_eq!(id, HostFuncId(hook_count));
+    }
+
+    #[test]
+    fn analysis_error_display_covers_variants() {
+        let invalid: AnalysisError = wasabi_wasm::ValidationError::module("nope").into();
+        assert!(invalid.to_string().contains("invalid module"));
+        let trap: AnalysisError = Trap::Unreachable.into();
+        assert!(trap.to_string().contains("trapped"));
+        let inst: AnalysisError =
+            InstantiationError::NoSuchExport("x".to_string()).into();
+        assert!(inst.to_string().contains("instantiation failed"));
+    }
+
+    #[test]
+    fn session_exposes_module_and_info() {
+        let session = session_with_hooks();
+        assert!(session.module().functions.len() > session.info().original_function_count as usize);
+        assert_eq!(session.info().enabled, HookSet::all());
+    }
+}

@@ -1,0 +1,190 @@
+//! The host-import interface: how WebAssembly calls out of the sandbox.
+//!
+//! In the paper, the host side is JavaScript and the inserted hook calls are
+//! JS functions imported into the module. Here the host side is Rust: a
+//! [`Host`] resolves imports at instantiation and receives calls during
+//! execution. [`HostCtx`] exposes the calling instance's table, memory, and
+//! globals — the Wasabi runtime needs the table to resolve indirect call
+//! targets (paper §2.3, "resolves indirect call targets to actual
+//! functions").
+
+use wasabi_wasm::instr::Val;
+use wasabi_wasm::types::{FuncType, GlobalType};
+
+use crate::memory::LinearMemory;
+use crate::table::FuncTable;
+use crate::trap::Trap;
+
+/// Identifier for a resolved host function, assigned by the [`Host`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostFuncId(pub usize);
+
+/// A view of the calling instance's state, passed to host functions.
+#[derive(Debug)]
+pub struct HostCtx<'a> {
+    /// The instance's linear memory, if it has one.
+    pub memory: Option<&'a mut LinearMemory>,
+    /// The instance's function table, if it has one.
+    pub table: Option<&'a mut FuncTable>,
+    /// The instance's globals (after import resolution).
+    pub globals: &'a mut [Val],
+}
+
+/// The host environment of an instance.
+///
+/// `resolve` is called once per function import at instantiation time;
+/// `call` is invoked whenever the running code calls that import.
+pub trait Host {
+    /// Resolve a function import, or `None` if unknown (instantiation fails).
+    fn resolve(&mut self, module: &str, name: &str, ty: &FuncType) -> Option<HostFuncId>;
+
+    /// Execute a resolved host function.
+    ///
+    /// # Errors
+    ///
+    /// A returned [`Trap`] aborts the calling WebAssembly execution.
+    fn call(&mut self, id: HostFuncId, args: &[Val], ctx: HostCtx<'_>) -> Result<Vec<Val>, Trap>;
+
+    /// Resolve a global import to its initial value. Default: unresolved.
+    fn resolve_global(&mut self, module: &str, name: &str, ty: &GlobalType) -> Option<Val> {
+        let _ = (module, name, ty);
+        None
+    }
+}
+
+/// A host with no imports at all. Instantiation fails if the module imports
+/// any function.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyHost;
+
+impl Host for EmptyHost {
+    fn resolve(&mut self, _module: &str, _name: &str, _ty: &FuncType) -> Option<HostFuncId> {
+        None
+    }
+
+    fn call(&mut self, _id: HostFuncId, _args: &[Val], _ctx: HostCtx<'_>) -> Result<Vec<Val>, Trap> {
+        Err(Trap::HostError("EmptyHost cannot be called".to_string()))
+    }
+}
+
+type HostClosure = Box<dyn FnMut(&[Val], HostCtx<'_>) -> Result<Vec<Val>, Trap>>;
+
+/// A convenience [`Host`] backed by named closures.
+///
+/// # Examples
+///
+/// ```
+/// use wasabi_vm::host::{HostFunctions, HostCtx};
+/// use wasabi_wasm::instr::Val;
+///
+/// let mut host = HostFunctions::new();
+/// host.register("env", "print", |args: &[Val], _ctx: HostCtx<'_>| {
+///     println!("{args:?}");
+///     Ok(vec![])
+/// });
+/// ```
+#[derive(Default)]
+pub struct HostFunctions {
+    functions: Vec<(String, String, HostClosure)>,
+    globals: Vec<(String, String, Val)>,
+}
+
+impl std::fmt::Debug for HostFunctions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self
+            .functions
+            .iter()
+            .map(|(m, n, _)| format!("{m}.{n}"))
+            .collect();
+        f.debug_struct("HostFunctions")
+            .field("functions", &names)
+            .field("globals", &self.globals)
+            .finish()
+    }
+}
+
+impl HostFunctions {
+    /// An empty registry.
+    pub fn new() -> Self {
+        HostFunctions::default()
+    }
+
+    /// Register a host function under `module.name`.
+    pub fn register(
+        &mut self,
+        module: &str,
+        name: &str,
+        f: impl FnMut(&[Val], HostCtx<'_>) -> Result<Vec<Val>, Trap> + 'static,
+    ) -> &mut Self {
+        self.functions
+            .push((module.to_string(), name.to_string(), Box::new(f)));
+        self
+    }
+
+    /// Provide a value for a global import under `module.name`.
+    pub fn register_global(&mut self, module: &str, name: &str, value: Val) -> &mut Self {
+        self.globals
+            .push((module.to_string(), name.to_string(), value));
+        self
+    }
+}
+
+impl Host for HostFunctions {
+    fn resolve(&mut self, module: &str, name: &str, _ty: &FuncType) -> Option<HostFuncId> {
+        self.functions
+            .iter()
+            .position(|(m, n, _)| m == module && n == name)
+            .map(HostFuncId)
+    }
+
+    fn call(&mut self, id: HostFuncId, args: &[Val], ctx: HostCtx<'_>) -> Result<Vec<Val>, Trap> {
+        let (_, _, f) = self
+            .functions
+            .get_mut(id.0)
+            .ok_or_else(|| Trap::HostError(format!("unknown host function id {}", id.0)))?;
+        f(args, ctx)
+    }
+
+    fn resolve_global(&mut self, module: &str, name: &str, _ty: &GlobalType) -> Option<Val> {
+        self.globals
+            .iter()
+            .find(|(m, n, _)| m == module && n == name)
+            .map(|(_, _, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolution() {
+        let mut host = HostFunctions::new();
+        host.register("env", "f", |_, _| Ok(vec![Val::I32(1)]));
+        host.register("env", "g", |_, _| Ok(vec![]));
+        let ty = FuncType::new(&[], &[]);
+        assert_eq!(host.resolve("env", "f", &ty), Some(HostFuncId(0)));
+        assert_eq!(host.resolve("env", "g", &ty), Some(HostFuncId(1)));
+        assert_eq!(host.resolve("env", "h", &ty), None);
+    }
+
+    #[test]
+    fn registry_globals() {
+        let mut host = HostFunctions::new();
+        host.register_global("env", "base", Val::I32(1024));
+        assert_eq!(
+            host.resolve_global("env", "base", &GlobalType::const_(wasabi_wasm::ValType::I32)),
+            Some(Val::I32(1024))
+        );
+        assert_eq!(
+            host.resolve_global("env", "other", &GlobalType::const_(wasabi_wasm::ValType::I32)),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_host_rejects_everything() {
+        let mut host = EmptyHost;
+        assert_eq!(host.resolve("a", "b", &FuncType::new(&[], &[])), None);
+    }
+}

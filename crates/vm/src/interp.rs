@@ -1,0 +1,1053 @@
+//! The interpreter: instantiation and execution of validated modules.
+//!
+//! This is the execution substrate that stands in for the browser engine in
+//! the paper's evaluation (DESIGN.md §3). It is a straightforward stack
+//! machine over the structured instruction sequence, with branch targets
+//! precomputed at instantiation time.
+
+use std::sync::Arc;
+
+use wasabi_wasm::instr::{FunctionSpace, Idx, Instr, Label, LocalOp, GlobalOp, Val};
+use wasabi_wasm::module::{GlobalKind, Module};
+use wasabi_wasm::validate::validate;
+
+use crate::host::{Host, HostCtx, HostFuncId};
+use crate::memory::LinearMemory;
+use crate::numeric;
+use crate::table::FuncTable;
+use crate::trap::{InstantiationError, Trap};
+
+/// Default limit on nested WebAssembly calls.
+///
+/// Each WebAssembly frame is an interpreter stack frame, so the limit is
+/// conservative enough for 2 MiB threads even in debug builds; raise it with
+/// [`Instance::set_max_call_depth`] for deeply recursive workloads.
+pub const DEFAULT_MAX_CALL_DEPTH: usize = 300;
+
+/// Where a function index leads: interpreted code or a host function.
+#[derive(Debug, Clone, Copy)]
+enum FuncTarget {
+    Wasm,
+    Host(HostFuncId),
+}
+
+/// Precomputed structured-control-flow targets for one function body.
+#[derive(Debug, Clone, Default)]
+struct JumpTable {
+    /// For `block`/`loop`/`if` at pc: index of the matching `end`.
+    end: Vec<u32>,
+    /// For `if` at pc: index of the matching `else` (`u32::MAX` if absent).
+    else_: Vec<u32>,
+}
+
+fn compute_jump_table(body: &[Instr]) -> JumpTable {
+    let mut table = JumpTable {
+        end: vec![0; body.len()],
+        else_: vec![u32::MAX; body.len()],
+    };
+    let mut open: Vec<usize> = Vec::new();
+    for (pc, instr) in body.iter().enumerate() {
+        match instr {
+            Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => open.push(pc),
+            Instr::Else => {
+                let if_pc = *open.last().expect("validated: else inside if");
+                table.else_[if_pc] = pc as u32;
+            }
+            Instr::End => {
+                if let Some(start) = open.pop() {
+                    table.end[start] = pc as u32;
+                }
+                // else: the function body's own end.
+            }
+            _ => {}
+        }
+    }
+    table
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtrlKind {
+    Function,
+    Block,
+    Loop,
+    IfOrElse,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ctrl {
+    kind: CtrlKind,
+    /// pc of the opening instruction.
+    start_pc: usize,
+    /// pc of the matching `end`.
+    end_pc: usize,
+    /// Value stack height at entry.
+    height: usize,
+    /// Number of result values of the block.
+    arity: usize,
+}
+
+impl Ctrl {
+    /// Values carried by a branch to this frame (0 for loops).
+    fn label_arity(&self) -> usize {
+        if self.kind == CtrlKind::Loop {
+            0
+        } else {
+            self.arity
+        }
+    }
+}
+
+/// An instantiated module, ready to execute.
+///
+/// # Examples
+///
+/// ```
+/// use wasabi_vm::{Instance, host::EmptyHost};
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::{ValType, Val};
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.function("add1", &[ValType::I32], &[ValType::I32], |f| {
+///     f.get_local(0u32).i32_const(1).i32_add();
+/// });
+/// let mut host = EmptyHost;
+/// let mut instance = Instance::instantiate(builder.finish(), &mut host)?;
+/// let results = instance.invoke_export("add1", &[Val::I32(41)], &mut host)?;
+/// assert_eq!(results, vec![Val::I32(42)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Instance {
+    module: Arc<Module>,
+    jump_tables: Arc<Vec<JumpTable>>,
+    func_targets: Vec<FuncTarget>,
+    memory: Option<LinearMemory>,
+    table: Option<FuncTable>,
+    globals: Vec<Val>,
+    fuel: Option<u64>,
+    executed_instrs: u64,
+    max_call_depth: usize,
+}
+
+impl Instance {
+    /// Validate and instantiate `module` against `host`, running data and
+    /// element segment initialization and the start function (if any).
+    ///
+    /// Imported memories and tables are instantiated fresh with their
+    /// declared limits (this embedding is single-instance; see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// See [`InstantiationError`].
+    pub fn instantiate(module: Module, host: &mut dyn Host) -> Result<Self, InstantiationError> {
+        validate(&module)?;
+
+        let mut func_targets = Vec::with_capacity(module.functions.len());
+        for function in &module.functions {
+            match function.import() {
+                Some(import) => {
+                    let id = host
+                        .resolve(&import.module, &import.name, &function.type_)
+                        .ok_or_else(|| InstantiationError::UnresolvedFunctionImport {
+                            module: import.module.clone(),
+                            name: import.name.clone(),
+                        })?;
+                    func_targets.push(FuncTarget::Host(id));
+                }
+                None => func_targets.push(FuncTarget::Wasm),
+            }
+        }
+
+        let mut globals = Vec::with_capacity(module.globals.len());
+        for global in &module.globals {
+            match &global.kind {
+                GlobalKind::Import(import) => {
+                    let value = host
+                        .resolve_global(&import.module, &import.name, &global.type_)
+                        .ok_or_else(|| InstantiationError::UnresolvedGlobalImport {
+                            module: import.module.clone(),
+                            name: import.name.clone(),
+                        })?;
+                    globals.push(value);
+                }
+                GlobalKind::Init(init) => globals.push(eval_const_expr(init, &globals)),
+            }
+        }
+
+        let mut memory = module.memories.first().map(|m| LinearMemory::new(m.type_.0));
+        if let (Some(mem), Some(memory)) = (module.memories.first(), memory.as_mut()) {
+            for data in &mem.data {
+                let offset = eval_const_expr(&data.offset, &globals)
+                    .as_i32()
+                    .expect("validated: i32 offset") as u32;
+                memory
+                    .init(offset, &data.bytes)
+                    .map_err(|_| InstantiationError::DataSegmentOutOfBounds)?;
+            }
+        }
+
+        let mut table = module.tables.first().map(|t| FuncTable::new(t.type_.0));
+        if let (Some(t), Some(table)) = (module.tables.first(), table.as_mut()) {
+            for element in &t.elements {
+                let offset = eval_const_expr(&element.offset, &globals)
+                    .as_i32()
+                    .expect("validated: i32 offset") as u32;
+                table
+                    .init(offset, &element.functions)
+                    .map_err(|_| InstantiationError::ElementSegmentOutOfBounds)?;
+            }
+        }
+
+        let jump_tables = module
+            .functions
+            .iter()
+            .map(|f| f.code().map(|c| compute_jump_table(&c.body)).unwrap_or_default())
+            .collect();
+
+        let mut instance = Instance {
+            module: Arc::new(module),
+            jump_tables: Arc::new(jump_tables),
+            func_targets,
+            memory,
+            table,
+            globals,
+            fuel: None,
+            executed_instrs: 0,
+            max_call_depth: DEFAULT_MAX_CALL_DEPTH,
+        };
+
+        if let Some(start) = instance.module.start {
+            instance
+                .invoke(start, &[], host)
+                .map_err(InstantiationError::StartTrapped)?;
+        }
+
+        Ok(instance)
+    }
+
+    /// Set an optional fuel budget: execution traps with [`Trap::OutOfFuel`]
+    /// after this many instructions. `None` disables the limit.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.fuel = fuel;
+    }
+
+    /// Limit on nested WebAssembly calls (default
+    /// [`DEFAULT_MAX_CALL_DEPTH`]).
+    pub fn set_max_call_depth(&mut self, depth: usize) {
+        self.max_call_depth = depth;
+    }
+
+    /// Total number of WebAssembly instructions executed by this instance.
+    pub fn executed_instrs(&self) -> u64 {
+        self.executed_instrs
+    }
+
+    /// The module this instance was created from.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The instance's linear memory, if any.
+    pub fn memory(&self) -> Option<&LinearMemory> {
+        self.memory.as_ref()
+    }
+
+    /// Mutable access to the linear memory, if any.
+    pub fn memory_mut(&mut self) -> Option<&mut LinearMemory> {
+        self.memory.as_mut()
+    }
+
+    /// The instance's function table, if any.
+    pub fn table(&self) -> Option<&FuncTable> {
+        self.table.as_ref()
+    }
+
+    /// Current values of all globals.
+    pub fn globals(&self) -> &[Val] {
+        &self.globals
+    }
+
+    /// Invoke an exported function by name.
+    ///
+    /// # Errors
+    ///
+    /// Traps propagate; a missing export or argument type mismatch is
+    /// reported as a [`Trap::HostError`].
+    pub fn invoke_export(
+        &mut self,
+        name: &str,
+        args: &[Val],
+        host: &mut dyn Host,
+    ) -> Result<Vec<Val>, Trap> {
+        let idx = self
+            .module
+            .export_function(name)
+            .ok_or_else(|| Trap::HostError(format!("no exported function {name:?}")))?;
+        self.invoke(idx, args, host)
+    }
+
+    /// Invoke the function at `func_idx`.
+    ///
+    /// # Errors
+    ///
+    /// Traps propagate; argument count/type mismatches are a
+    /// [`Trap::HostError`].
+    pub fn invoke(
+        &mut self,
+        func_idx: Idx<FunctionSpace>,
+        args: &[Val],
+        host: &mut dyn Host,
+    ) -> Result<Vec<Val>, Trap> {
+        let ty = &self.module.functions[func_idx.to_usize()].type_;
+        if ty.params.len() != args.len()
+            || ty.params.iter().zip(args).any(|(&p, a)| a.ty() != p)
+        {
+            return Err(Trap::HostError(format!(
+                "invoke arguments {args:?} do not match type {ty}"
+            )));
+        }
+        self.call_function(func_idx, args.to_vec(), host, 0)
+    }
+
+    fn call_function(
+        &mut self,
+        func_idx: Idx<FunctionSpace>,
+        args: Vec<Val>,
+        host: &mut dyn Host,
+        depth: usize,
+    ) -> Result<Vec<Val>, Trap> {
+        if depth >= self.max_call_depth {
+            return Err(Trap::CallStackExhausted);
+        }
+        match self.func_targets[func_idx.to_usize()] {
+            FuncTarget::Host(id) => {
+                let ctx = HostCtx {
+                    memory: self.memory.as_mut(),
+                    table: self.table.as_mut(),
+                    globals: &mut self.globals,
+                };
+                host.call(id, &args, ctx)
+            }
+            FuncTarget::Wasm => self.run_wasm_function(func_idx, args, host, depth),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_wasm_function(
+        &mut self,
+        func_idx: Idx<FunctionSpace>,
+        args: Vec<Val>,
+        host: &mut dyn Host,
+        depth: usize,
+    ) -> Result<Vec<Val>, Trap> {
+        // Keep the code reachable while `self` is mutated during execution.
+        let module = Arc::clone(&self.module);
+        let jump_tables = Arc::clone(&self.jump_tables);
+        let function = &module.functions[func_idx.to_usize()];
+        let code = function.code().expect("call target is a wasm function");
+        let body = &code.body;
+        let jump = &jump_tables[func_idx.to_usize()];
+
+        let mut locals = args;
+        locals.extend(code.locals.iter().map(|&ty| Val::zero(ty)));
+
+        let mut stack: Vec<Val> = Vec::with_capacity(16);
+        let mut ctrl: Vec<Ctrl> = Vec::with_capacity(8);
+        ctrl.push(Ctrl {
+            kind: CtrlKind::Function,
+            start_pc: 0,
+            end_pc: body.len().saturating_sub(1),
+            height: 0,
+            arity: function.type_.results.len(),
+        });
+
+        let func_arity = function.type_.results.len();
+        let mut pc = 0usize;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().expect("validated: operand on stack")
+            };
+        }
+        macro_rules! pop_i32 {
+            () => {
+                pop!().as_i32().expect("validated: i32 operand")
+            };
+        }
+
+        /// Pop the top `n` values, preserving their order.
+        fn pop_n(stack: &mut Vec<Val>, n: usize) -> Vec<Val> {
+            stack.split_off(stack.len() - n)
+        }
+
+        loop {
+            self.executed_instrs += 1;
+            if let Some(fuel) = self.fuel.as_mut() {
+                if *fuel == 0 {
+                    return Err(Trap::OutOfFuel);
+                }
+                *fuel -= 1;
+            }
+
+            let instr = &body[pc];
+            match instr {
+                Instr::Nop => {}
+                Instr::Unreachable => return Err(Trap::Unreachable),
+
+                Instr::Block(bt) | Instr::Loop(bt) => {
+                    ctrl.push(Ctrl {
+                        kind: if matches!(instr, Instr::Loop(_)) {
+                            CtrlKind::Loop
+                        } else {
+                            CtrlKind::Block
+                        },
+                        start_pc: pc,
+                        end_pc: jump.end[pc] as usize,
+                        height: stack.len(),
+                        arity: usize::from(bt.0.is_some()),
+                    });
+                }
+                Instr::If(bt) => {
+                    let cond = pop_i32!();
+                    let end_pc = jump.end[pc] as usize;
+                    let else_pc = jump.else_[pc];
+                    let frame = Ctrl {
+                        kind: CtrlKind::IfOrElse,
+                        start_pc: pc,
+                        end_pc,
+                        height: stack.len(),
+                        arity: usize::from(bt.0.is_some()),
+                    };
+                    if cond != 0 {
+                        ctrl.push(frame);
+                    } else if else_pc != u32::MAX {
+                        ctrl.push(frame);
+                        pc = else_pc as usize; // continue after the `else`
+                    } else {
+                        pc = end_pc; // skip the block, including its `end`
+                    }
+                }
+                Instr::Else => {
+                    // Falling into `else` means the then-branch finished:
+                    // jump to the matching `end` (which pops the frame).
+                    pc = ctrl.last().expect("validated: frame").end_pc;
+                    continue;
+                }
+                Instr::End => {
+                    let frame = ctrl.pop().expect("validated: frame");
+                    if frame.kind == CtrlKind::Function {
+                        debug_assert!(ctrl.is_empty());
+                        return Ok(pop_n(&mut stack, func_arity));
+                    }
+                }
+
+                Instr::Br(label) => {
+                    if let Some(results) = branch(&mut ctrl, &mut stack, *label, &mut pc) {
+                        return Ok(results);
+                    }
+                    continue;
+                }
+                Instr::BrIf(label) => {
+                    let cond = pop_i32!();
+                    if cond != 0 {
+                        if let Some(results) = branch(&mut ctrl, &mut stack, *label, &mut pc) {
+                            return Ok(results);
+                        }
+                        continue;
+                    }
+                }
+                Instr::BrTable { table, default } => {
+                    let idx = pop_i32!() as u32 as usize;
+                    let label = *table.get(idx).unwrap_or(default);
+                    if let Some(results) = branch(&mut ctrl, &mut stack, label, &mut pc) {
+                        return Ok(results);
+                    }
+                    continue;
+                }
+                Instr::Return => {
+                    return Ok(pop_n(&mut stack, func_arity));
+                }
+
+                Instr::Call(callee) => {
+                    let param_count = module.functions[callee.to_usize()].type_.params.len();
+                    let args = pop_n(&mut stack, param_count);
+                    let results = self.call_function(*callee, args, host, depth + 1)?;
+                    stack.extend(results);
+                }
+                Instr::CallIndirect(expected_ty, _) => {
+                    let table_idx = pop_i32!() as u32;
+                    let target = self
+                        .table
+                        .as_ref()
+                        .expect("validated: table exists")
+                        .lookup(table_idx)?;
+                    let actual_ty = &module.functions[target.to_usize()].type_;
+                    if actual_ty != expected_ty {
+                        return Err(Trap::IndirectCallTypeMismatch);
+                    }
+                    let args = pop_n(&mut stack, expected_ty.params.len());
+                    let results = self.call_function(target, args, host, depth + 1)?;
+                    stack.extend(results);
+                }
+
+                Instr::Drop => {
+                    pop!();
+                }
+                Instr::Select => {
+                    let cond = pop_i32!();
+                    let second = pop!();
+                    let first = pop!();
+                    stack.push(if cond != 0 { first } else { second });
+                }
+
+                Instr::Local(op, idx) => match op {
+                    LocalOp::Get => stack.push(locals[idx.to_usize()]),
+                    LocalOp::Set => locals[idx.to_usize()] = pop!(),
+                    LocalOp::Tee => {
+                        locals[idx.to_usize()] = *stack.last().expect("validated: operand");
+                    }
+                },
+                Instr::Global(op, idx) => match op {
+                    GlobalOp::Get => stack.push(self.globals[idx.to_usize()]),
+                    GlobalOp::Set => self.globals[idx.to_usize()] = pop!(),
+                },
+
+                Instr::Load(op, memarg) => {
+                    let addr = pop_i32!() as u32;
+                    let memory = self.memory.as_ref().expect("validated: memory exists");
+                    let value = load_value(memory, *op, addr, memarg.offset)?;
+                    stack.push(value);
+                }
+                Instr::Store(op, memarg) => {
+                    let value = pop!();
+                    let addr = pop_i32!() as u32;
+                    let memory = self.memory.as_mut().expect("validated: memory exists");
+                    store_value(memory, *op, addr, memarg.offset, value)?;
+                }
+                Instr::MemorySize(_) => {
+                    let memory = self.memory.as_ref().expect("validated: memory exists");
+                    stack.push(Val::I32(memory.size_pages() as i32));
+                }
+                Instr::MemoryGrow(_) => {
+                    let delta = pop_i32!() as u32;
+                    let memory = self.memory.as_mut().expect("validated: memory exists");
+                    stack.push(Val::I32(memory.grow(delta)));
+                }
+
+                Instr::Const(val) => stack.push(*val),
+                Instr::Unary(op) => {
+                    let v = pop!();
+                    stack.push(numeric::unary(*op, v)?);
+                }
+                Instr::Binary(op) => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(numeric::binary(*op, a, b)?);
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// Perform a branch to `label`. Returns `Some(results)` if the branch leaves
+/// the function (branch to the function frame), otherwise updates `pc` to
+/// the next instruction.
+fn branch(
+    ctrl: &mut Vec<Ctrl>,
+    stack: &mut Vec<Val>,
+    label: Label,
+    pc: &mut usize,
+) -> Option<Vec<Val>> {
+    let target_idx = ctrl.len() - 1 - label.to_usize();
+    let target = ctrl[target_idx];
+    if target.kind == CtrlKind::Loop {
+        // Backward jump: keep the loop frame, restart after the `loop`.
+        ctrl.truncate(target_idx + 1);
+        stack.truncate(target.height);
+        *pc = target.start_pc + 1;
+        None
+    } else {
+        // Forward jump: carry the label arity, drop intermediate values.
+        let carried = stack.split_off(stack.len() - target.label_arity());
+        stack.truncate(target.height);
+        stack.extend(carried);
+        ctrl.truncate(target_idx);
+        if ctrl.is_empty() {
+            // Branch to the function frame: return.
+            let n = target.arity;
+            return Some(stack.split_off(stack.len() - n));
+        }
+        *pc = target.end_pc + 1;
+        None
+    }
+}
+
+fn eval_const_expr(expr: &[Instr], globals: &[Val]) -> Val {
+    match expr {
+        [Instr::Const(val), Instr::End] => *val,
+        [Instr::Global(GlobalOp::Get, idx), Instr::End] => globals[idx.to_usize()],
+        _ => panic!("validated: unsupported constant expression {expr:?}"),
+    }
+}
+
+fn load_value(memory: &LinearMemory, op: wasabi_wasm::LoadOp, addr: u32, offset: u32) -> Result<Val, Trap> {
+    use wasabi_wasm::LoadOp::*;
+    Ok(match op {
+        I32Load => Val::I32(i32::from_le_bytes(memory.read::<4>(addr, offset)?)),
+        I64Load => Val::I64(i64::from_le_bytes(memory.read::<8>(addr, offset)?)),
+        F32Load => Val::F32(f32::from_le_bytes(memory.read::<4>(addr, offset)?)),
+        F64Load => Val::F64(f64::from_le_bytes(memory.read::<8>(addr, offset)?)),
+        I32Load8S => Val::I32(i32::from(i8::from_le_bytes(memory.read::<1>(addr, offset)?))),
+        I32Load8U => Val::I32(i32::from(u8::from_le_bytes(memory.read::<1>(addr, offset)?))),
+        I32Load16S => Val::I32(i32::from(i16::from_le_bytes(memory.read::<2>(addr, offset)?))),
+        I32Load16U => Val::I32(i32::from(u16::from_le_bytes(memory.read::<2>(addr, offset)?))),
+        I64Load8S => Val::I64(i64::from(i8::from_le_bytes(memory.read::<1>(addr, offset)?))),
+        I64Load8U => Val::I64(i64::from(u8::from_le_bytes(memory.read::<1>(addr, offset)?))),
+        I64Load16S => Val::I64(i64::from(i16::from_le_bytes(memory.read::<2>(addr, offset)?))),
+        I64Load16U => Val::I64(i64::from(u16::from_le_bytes(memory.read::<2>(addr, offset)?))),
+        I64Load32S => Val::I64(i64::from(i32::from_le_bytes(memory.read::<4>(addr, offset)?))),
+        I64Load32U => Val::I64(i64::from(u32::from_le_bytes(memory.read::<4>(addr, offset)?))),
+    })
+}
+
+fn store_value(
+    memory: &mut LinearMemory,
+    op: wasabi_wasm::StoreOp,
+    addr: u32,
+    offset: u32,
+    value: Val,
+) -> Result<(), Trap> {
+    use wasabi_wasm::StoreOp::*;
+    match op {
+        I32Store => memory.write::<4>(addr, offset, value.as_i32().expect("validated").to_le_bytes()),
+        I64Store => memory.write::<8>(addr, offset, value.as_i64().expect("validated").to_le_bytes()),
+        F32Store => memory.write::<4>(addr, offset, value.as_f32().expect("validated").to_le_bytes()),
+        F64Store => memory.write::<8>(addr, offset, value.as_f64().expect("validated").to_le_bytes()),
+        I32Store8 => memory.write::<1>(addr, offset, [(value.as_i32().expect("validated") & 0xff) as u8]),
+        I32Store16 => {
+            memory.write::<2>(addr, offset, ((value.as_i32().expect("validated") & 0xffff) as u16).to_le_bytes())
+        }
+        I64Store8 => memory.write::<1>(addr, offset, [(value.as_i64().expect("validated") & 0xff) as u8]),
+        I64Store16 => {
+            memory.write::<2>(addr, offset, ((value.as_i64().expect("validated") & 0xffff) as u16).to_le_bytes())
+        }
+        I64Store32 => memory.write::<4>(
+            addr,
+            offset,
+            ((value.as_i64().expect("validated") & 0xffff_ffff) as u32).to_le_bytes(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{EmptyHost, HostFunctions};
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::instr::BinaryOp;
+    use wasabi_wasm::types::ValType;
+
+    fn run(
+        build: impl FnOnce(&mut ModuleBuilder),
+        export: &str,
+        args: &[Val],
+    ) -> Result<Vec<Val>, Trap> {
+        let mut builder = ModuleBuilder::new();
+        build(&mut builder);
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).expect("instantiates");
+        instance.invoke_export(export, args, &mut host)
+    }
+
+    #[test]
+    fn arithmetic_function() {
+        let r = run(
+            |b| {
+                b.function("mul_add", &[ValType::I32; 3], &[ValType::I32], |f| {
+                    f.get_local(0u32).get_local(1u32).i32_mul().get_local(2u32).i32_add();
+                });
+            },
+            "mul_add",
+            &[Val::I32(6), Val::I32(7), Val::I32(8)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![Val::I32(50)]);
+    }
+
+    #[test]
+    fn loop_sums_first_n_integers() {
+        let r = run(
+            |b| {
+                b.function("sum", &[ValType::I32], &[ValType::I32], |f| {
+                    let i = f.local(ValType::I32);
+                    let acc = f.local(ValType::I32);
+                    f.block(None).loop_(None);
+                    f.get_local(i).get_local(0u32).binary(BinaryOp::I32GeS).br_if(1);
+                    f.get_local(acc).get_local(i).i32_add().set_local(acc);
+                    f.get_local(i).i32_const(1).i32_add().set_local(i);
+                    f.br(0).end().end();
+                    f.get_local(acc);
+                });
+            },
+            "sum",
+            &[Val::I32(10)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![Val::I32(45)]);
+    }
+
+    #[test]
+    fn if_else_branches() {
+        let build = |b: &mut ModuleBuilder| {
+            b.function("abs", &[ValType::I32], &[ValType::I32], |f| {
+                f.get_local(0u32).i32_const(0).binary(BinaryOp::I32LtS);
+                f.if_(Some(ValType::I32));
+                f.i32_const(0).get_local(0u32).i32_sub();
+                f.else_();
+                f.get_local(0u32);
+                f.end();
+            });
+        };
+        assert_eq!(run(build, "abs", &[Val::I32(-5)]).unwrap(), vec![Val::I32(5)]);
+        assert_eq!(run(build, "abs", &[Val::I32(7)]).unwrap(), vec![Val::I32(7)]);
+    }
+
+    #[test]
+    fn if_without_else_skips() {
+        let build = |b: &mut ModuleBuilder| {
+            b.function("f", &[ValType::I32], &[ValType::I32], |f| {
+                let r = f.local(ValType::I32);
+                f.i32_const(1).set_local(r);
+                f.get_local(0u32).if_(None);
+                f.i32_const(99).set_local(r);
+                f.end();
+                f.get_local(r);
+            });
+        };
+        assert_eq!(run(build, "f", &[Val::I32(0)]).unwrap(), vec![Val::I32(1)]);
+        assert_eq!(run(build, "f", &[Val::I32(1)]).unwrap(), vec![Val::I32(99)]);
+    }
+
+    #[test]
+    fn paper_figure_4_branch_targets() {
+        // block block get_local 0 br_if 1 (X) end (Y) end
+        // local = true jumps to after the outer block.
+        let build = |b: &mut ModuleBuilder| {
+            b.function("f", &[ValType::I32], &[ValType::I32], |f| {
+                let r = f.local(ValType::I32);
+                f.block(None).block(None);
+                f.get_local(0u32).br_if(1);
+                f.get_local(r).i32_const(1).i32_add().set_local(r); // skipped if taken
+                f.end();
+                f.get_local(r).i32_const(10).i32_add().set_local(r); // skipped if taken
+                f.end();
+                f.get_local(r);
+            });
+        };
+        assert_eq!(run(build, "f", &[Val::I32(1)]).unwrap(), vec![Val::I32(0)]);
+        assert_eq!(run(build, "f", &[Val::I32(0)]).unwrap(), vec![Val::I32(11)]);
+    }
+
+    #[test]
+    fn br_table_dispatch() {
+        let build = |b: &mut ModuleBuilder| {
+            b.function("classify", &[ValType::I32], &[ValType::I32], |f| {
+                f.block(None).block(None).block(None);
+                f.get_local(0u32).br_table(vec![0, 1], 2);
+                f.end();
+                f.i32_const(100).return_();
+                f.end();
+                f.i32_const(200).return_();
+                f.end();
+                f.i32_const(300);
+            });
+        };
+        assert_eq!(run(build, "classify", &[Val::I32(0)]).unwrap(), vec![Val::I32(100)]);
+        assert_eq!(run(build, "classify", &[Val::I32(1)]).unwrap(), vec![Val::I32(200)]);
+        assert_eq!(run(build, "classify", &[Val::I32(7)]).unwrap(), vec![Val::I32(300)]);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_narrow_accesses() {
+        use wasabi_wasm::{LoadOp, StoreOp};
+        let r = run(
+            |b| {
+                b.memory(1, None);
+                b.function("f", &[], &[ValType::I32], |f| {
+                    f.i32_const(16).i32_const(-2).store(StoreOp::I32Store, 0);
+                    f.i32_const(16).load(LoadOp::I32Load8U, 0);
+                });
+            },
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r, vec![Val::I32(0xfe)]);
+    }
+
+    #[test]
+    fn oob_memory_access_traps() {
+        use wasabi_wasm::LoadOp;
+        let r = run(
+            |b| {
+                b.memory(1, None);
+                b.function("f", &[], &[ValType::I32], |f| {
+                    f.i32_const(65536).load(LoadOp::I32Load, 0);
+                });
+            },
+            "f",
+            &[],
+        );
+        assert_eq!(r.unwrap_err(), Trap::OutOfBoundsMemoryAccess);
+    }
+
+    #[test]
+    fn memory_grow_and_size() {
+        let r = run(
+            |b| {
+                b.memory(1, None);
+                b.function("f", &[], &[ValType::I32], |f| {
+                    f.i32_const(2).memory_grow().drop_();
+                    f.memory_size();
+                });
+            },
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r, vec![Val::I32(3)]);
+    }
+
+    #[test]
+    fn direct_calls() {
+        let r = run(
+            |b| {
+                let sq = b.function("", &[ValType::I32], &[ValType::I32], |f| {
+                    f.get_local(0u32).get_local(0u32).i32_mul();
+                });
+                b.function("sq_plus_one", &[ValType::I32], &[ValType::I32], |f| {
+                    f.get_local(0u32).call(sq).i32_const(1).i32_add();
+                });
+            },
+            "sq_plus_one",
+            &[Val::I32(9)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![Val::I32(82)]);
+    }
+
+    #[test]
+    fn indirect_calls_with_type_check() {
+        let r = run(
+            |b| {
+                let id = b.function("", &[ValType::I32], &[ValType::I32], |f| {
+                    f.get_local(0u32);
+                });
+                let dbl = b.function("", &[ValType::I32], &[ValType::I32], |f| {
+                    f.get_local(0u32).i32_const(2).i32_mul();
+                });
+                b.table(2);
+                b.elements(0, vec![id, dbl]);
+                b.function("dispatch", &[ValType::I32, ValType::I32], &[ValType::I32], |f| {
+                    f.get_local(1u32).get_local(0u32);
+                    f.call_indirect(&[ValType::I32], &[ValType::I32]);
+                });
+            },
+            "dispatch",
+            &[Val::I32(1), Val::I32(21)],
+        )
+        .unwrap();
+        assert_eq!(r, vec![Val::I32(42)]);
+    }
+
+    #[test]
+    fn indirect_call_type_mismatch_traps() {
+        let r = run(
+            |b| {
+                let nullary = b.function("", &[], &[], |_| {});
+                b.table(1);
+                b.elements(0, vec![nullary]);
+                b.function("f", &[], &[ValType::I32], |f| {
+                    f.i32_const(0).i32_const(0);
+                    f.call_indirect(&[ValType::I32], &[ValType::I32]);
+                });
+            },
+            "f",
+            &[],
+        );
+        assert_eq!(r.unwrap_err(), Trap::IndirectCallTypeMismatch);
+    }
+
+    #[test]
+    fn host_function_call() {
+        let mut builder = ModuleBuilder::new();
+        let log = builder.import_function("env", "log", &[ValType::I32], &[]);
+        builder.function("f", &[], &[], |f| {
+            f.i32_const(7).call(log);
+            f.i32_const(8).call(log);
+        });
+        let mut host = HostFunctions::new();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = std::rc::Rc::clone(&seen);
+        host.register("env", "log", move |args, _ctx| {
+            seen2.borrow_mut().push(args[0]);
+            Ok(vec![])
+        });
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        instance.invoke_export("f", &[], &mut host).unwrap();
+        assert_eq!(*seen.borrow(), vec![Val::I32(7), Val::I32(8)]);
+    }
+
+    #[test]
+    fn unresolved_import_fails_instantiation() {
+        let mut builder = ModuleBuilder::new();
+        builder.import_function("env", "missing", &[], &[]);
+        let mut host = EmptyHost;
+        let err = Instance::instantiate(builder.finish(), &mut host).unwrap_err();
+        assert!(matches!(
+            err,
+            InstantiationError::UnresolvedFunctionImport { .. }
+        ));
+    }
+
+    #[test]
+    fn start_function_runs_at_instantiation() {
+        let mut builder = ModuleBuilder::new();
+        let g = builder.global(Val::I32(0));
+        let start = builder.function("", &[], &[], |f| {
+            f.i32_const(42).set_global(g);
+        });
+        builder.start(start);
+        let mut host = EmptyHost;
+        let instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        assert_eq!(instance.globals()[0], Val::I32(42));
+    }
+
+    #[test]
+    fn data_segments_initialize_memory() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.data(10, vec![0xaa, 0xbb]);
+        builder.function("f", &[], &[], |_| {});
+        let mut host = EmptyHost;
+        let instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let mem = instance.memory().unwrap();
+        assert_eq!(mem.as_slice()[10], 0xaa);
+        assert_eq!(mem.as_slice()[11], 0xbb);
+    }
+
+    #[test]
+    fn out_of_bounds_data_segment_fails() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.data(65535, vec![1, 2, 3]);
+        builder.function("f", &[], &[], |_| {});
+        let mut host = EmptyHost;
+        let err = Instance::instantiate(builder.finish(), &mut host).unwrap_err();
+        assert_eq!(err, InstantiationError::DataSegmentOutOfBounds);
+    }
+
+    #[test]
+    fn unreachable_traps() {
+        let r = run(
+            |b| {
+                b.function("f", &[], &[], |f| {
+                    f.unreachable();
+                });
+            },
+            "f",
+            &[],
+        );
+        assert_eq!(r.unwrap_err(), Trap::Unreachable);
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("spin", &[], &[], |f| {
+            f.loop_(None).br(0).end();
+        });
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        instance.set_fuel(Some(10_000));
+        let err = instance.invoke_export("spin", &[], &mut host).unwrap_err();
+        assert_eq!(err, Trap::OutOfFuel);
+    }
+
+    #[test]
+    fn call_stack_exhaustion_traps() {
+        let mut builder = ModuleBuilder::new();
+        // Direct infinite recursion.
+        let mut module = {
+            builder.function("rec", &[], &[], |_| {});
+            builder.finish()
+        };
+        // Patch the body to call itself (builder has no self-reference).
+        let self_idx = module.export_function("rec").unwrap();
+        module.functions[self_idx.to_usize()]
+            .code_mut()
+            .unwrap()
+            .body
+            .insert(0, Instr::Call(self_idx));
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(module, &mut host).unwrap();
+        instance.set_max_call_depth(64);
+        let err = instance.invoke_export("rec", &[], &mut host).unwrap_err();
+        assert_eq!(err, Trap::CallStackExhausted);
+    }
+
+    #[test]
+    fn executed_instr_count_increases() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[], &[ValType::I32], |f| {
+            f.i32_const(1).i32_const(2).i32_add();
+        });
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        instance.invoke_export("f", &[], &mut host).unwrap();
+        // const, const, add, end
+        assert_eq!(instance.executed_instrs(), 4);
+    }
+
+    #[test]
+    fn select_picks_operand() {
+        let build = |b: &mut ModuleBuilder| {
+            b.function("f", &[ValType::I32], &[ValType::I32], |f| {
+                f.i32_const(10).i32_const(20).get_local(0u32).select();
+            });
+        };
+        assert_eq!(run(build, "f", &[Val::I32(1)]).unwrap(), vec![Val::I32(10)]);
+        assert_eq!(run(build, "f", &[Val::I32(0)]).unwrap(), vec![Val::I32(20)]);
+    }
+
+    #[test]
+    fn block_with_result_via_branch() {
+        let r = run(
+            |b| {
+                b.function("f", &[], &[ValType::I32], |f| {
+                    f.block(Some(ValType::I32));
+                    f.i32_const(5);
+                    f.br(0);
+                    f.end();
+                });
+            },
+            "f",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r, vec![Val::I32(5)]);
+    }
+
+    #[test]
+    fn invoke_argument_validation() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[ValType::I32], &[], |_| {});
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let err = instance
+            .invoke_export("f", &[Val::F64(1.0)], &mut host)
+            .unwrap_err();
+        assert!(matches!(err, Trap::HostError(_)));
+    }
+}

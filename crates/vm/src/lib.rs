@@ -1,0 +1,36 @@
+//! # wasabi-vm — WebAssembly execution substrate
+//!
+//! A from-scratch interpreter for WebAssembly 1.0, playing the role of the
+//! browser engine (Firefox in the paper's evaluation) for the Wasabi
+//! reproduction. Instrumented binaries import hook functions; the [`host`]
+//! module is the boundary where those imports call back into Rust — the
+//! analogue of the JavaScript host environment.
+//!
+//! The interpreter:
+//!
+//! - executes only validated modules (instantiation validates first),
+//! - implements all numeric semantics of the spec ([`numeric`]): wrapping
+//!   integer arithmetic, trapping division and float→int truncation,
+//!   NaN-propagating `min`/`max`, round-ties-even `nearest`,
+//! - implements all traps, plus host-side fuel and call-depth limits,
+//! - counts executed instructions ([`Instance::executed_instrs`]), which the
+//!   benchmark harness uses as a deterministic cost metric alongside wall
+//!   time.
+//!
+//! See [`Instance`] for the entry point.
+
+pub mod host;
+pub mod interp;
+pub mod memory;
+pub mod numeric;
+pub mod table;
+pub mod trap;
+
+pub use host::{EmptyHost, Host, HostCtx, HostFuncId, HostFunctions};
+pub use interp::{Instance, DEFAULT_MAX_CALL_DEPTH};
+pub use memory::LinearMemory;
+pub use table::FuncTable;
+pub use trap::{InstantiationError, Trap};
+
+/// Runtime values are the same representation as AST constants.
+pub use wasabi_wasm::Val as Value;

@@ -1,0 +1,162 @@
+//! Linear memory: a growable byte array addressed in 64 KiB pages
+//! (paper §2.2: "WebAssembly memory is a linear sequence of bytes, which can
+//! be increased at runtime with `memory.grow`").
+
+use wasabi_wasm::types::{Limits, MAX_PAGES, PAGE_SIZE};
+
+use crate::trap::Trap;
+
+/// A linear memory instance.
+#[derive(Debug, Clone)]
+pub struct LinearMemory {
+    bytes: Vec<u8>,
+    max_pages: u32,
+}
+
+impl LinearMemory {
+    /// Allocate a memory with the given limits, zero-initialized.
+    pub fn new(limits: Limits) -> Self {
+        let max_pages = limits.max.unwrap_or(MAX_PAGES).min(MAX_PAGES);
+        LinearMemory {
+            bytes: vec![0; limits.initial as usize * PAGE_SIZE as usize],
+            max_pages,
+        }
+    }
+
+    /// Current size in pages (`memory.size`).
+    pub fn size_pages(&self) -> u32 {
+        (self.bytes.len() / PAGE_SIZE as usize) as u32
+    }
+
+    /// Current size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Grow by `delta` pages (`memory.grow`). Returns the previous size in
+    /// pages, or -1 if the grow request exceeds the maximum.
+    pub fn grow(&mut self, delta: u32) -> i32 {
+        let current = self.size_pages();
+        let Some(requested) = current.checked_add(delta) else {
+            return -1;
+        };
+        if requested > self.max_pages {
+            return -1;
+        }
+        self.bytes
+            .resize(requested as usize * PAGE_SIZE as usize, 0);
+        current as i32
+    }
+
+    /// Raw view of the whole memory.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Raw mutable view of the whole memory.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Effective address of an access, trapping on overflow/out-of-bounds.
+    fn checked_range(&self, addr: u32, offset: u32, len: usize) -> Result<usize, Trap> {
+        let start = u64::from(addr) + u64::from(offset);
+        let end = start + len as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::OutOfBoundsMemoryAccess);
+        }
+        Ok(start as usize)
+    }
+
+    /// Read `N` bytes at `addr + offset`.
+    pub fn read<const N: usize>(&self, addr: u32, offset: u32) -> Result<[u8; N], Trap> {
+        let start = self.checked_range(addr, offset, N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.bytes[start..start + N]);
+        Ok(out)
+    }
+
+    /// Write `N` bytes at `addr + offset`.
+    pub fn write<const N: usize>(&mut self, addr: u32, offset: u32, data: [u8; N]) -> Result<(), Trap> {
+        let start = self.checked_range(addr, offset, N)?;
+        self.bytes[start..start + N].copy_from_slice(&data);
+        Ok(())
+    }
+
+    /// Copy a byte slice into memory at an absolute offset (data segments).
+    pub fn init(&mut self, offset: u32, data: &[u8]) -> Result<(), Trap> {
+        let start = self.checked_range(offset, 0, data.len())?;
+        self.bytes[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// A simple FNV-1a checksum of the whole memory, used by faithfulness
+    /// tests to compare memory states between runs.
+    pub fn checksum(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in &self.bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_memory_is_zeroed() {
+        let m = LinearMemory::new(Limits::at_least(1));
+        assert_eq!(m.size_pages(), 1);
+        assert_eq!(m.size_bytes(), 65536);
+        assert!(m.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = LinearMemory::new(Limits::at_least(1));
+        m.write::<4>(100, 4, 0xdead_beefu32.to_le_bytes()).unwrap();
+        assert_eq!(m.read::<4>(100, 4).unwrap(), 0xdead_beefu32.to_le_bytes());
+        assert_eq!(m.read::<1>(104, 0).unwrap(), [0xef]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_traps() {
+        let m = LinearMemory::new(Limits::at_least(1));
+        assert_eq!(m.read::<4>(65533, 0).unwrap_err(), Trap::OutOfBoundsMemoryAccess);
+        assert!(m.read::<4>(65532, 0).is_ok());
+        // Overflowing addr+offset must not wrap around.
+        assert_eq!(
+            m.read::<4>(u32::MAX, u32::MAX).unwrap_err(),
+            Trap::OutOfBoundsMemoryAccess
+        );
+    }
+
+    #[test]
+    fn grow_respects_max() {
+        let mut m = LinearMemory::new(Limits::bounded(1, 2));
+        assert_eq!(m.grow(1), 1);
+        assert_eq!(m.size_pages(), 2);
+        assert_eq!(m.grow(1), -1);
+        assert_eq!(m.size_pages(), 2);
+        assert_eq!(m.grow(0), 2);
+    }
+
+    #[test]
+    fn grown_memory_is_zeroed_and_accessible() {
+        let mut m = LinearMemory::new(Limits::at_least(0));
+        assert_eq!(m.read::<1>(0, 0).unwrap_err(), Trap::OutOfBoundsMemoryAccess);
+        assert_eq!(m.grow(1), 0);
+        assert_eq!(m.read::<1>(0, 0).unwrap(), [0]);
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let mut m = LinearMemory::new(Limits::at_least(1));
+        let c0 = m.checksum();
+        m.write::<1>(0, 0, [1]).unwrap();
+        assert_ne!(m.checksum(), c0);
+    }
+}

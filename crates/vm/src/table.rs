@@ -1,0 +1,114 @@
+//! Function tables, the target of `call_indirect` (paper §2.2: "The table
+//! maps indices to functions and is used for indirect calls, e.g., to
+//! implement function pointers or virtual calls").
+
+use wasabi_wasm::instr::{FunctionSpace, Idx};
+use wasabi_wasm::types::Limits;
+
+use crate::trap::Trap;
+
+/// A `funcref` table instance. Slots hold AST function indices of the owning
+/// instance, or `None` if uninitialized.
+#[derive(Debug, Clone)]
+pub struct FuncTable {
+    elements: Vec<Option<Idx<FunctionSpace>>>,
+}
+
+impl FuncTable {
+    /// Allocate a table of the given limits, all slots uninitialized.
+    pub fn new(limits: Limits) -> Self {
+        FuncTable {
+            elements: vec![None; limits.initial as usize],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` if the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Initialize a contiguous range of slots (element segments).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Trap::OutOfBoundsTableAccess`] if the range does not fit.
+    pub fn init(&mut self, offset: u32, functions: &[Idx<FunctionSpace>]) -> Result<(), Trap> {
+        let start = offset as usize;
+        let end = start
+            .checked_add(functions.len())
+            .ok_or(Trap::OutOfBoundsTableAccess)?;
+        if end > self.elements.len() {
+            return Err(Trap::OutOfBoundsTableAccess);
+        }
+        for (slot, &func) in self.elements[start..end].iter_mut().zip(functions) {
+            *slot = Some(func);
+        }
+        Ok(())
+    }
+
+    /// Look up the function at `index`, with the traps `call_indirect`
+    /// requires.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::OutOfBoundsTableAccess`] if `index >= len()`,
+    /// [`Trap::UninitializedTableElement`] if the slot is empty.
+    pub fn lookup(&self, index: u32) -> Result<Idx<FunctionSpace>, Trap> {
+        self.elements
+            .get(index as usize)
+            .copied()
+            .ok_or(Trap::OutOfBoundsTableAccess)?
+            .ok_or(Trap::UninitializedTableElement)
+    }
+
+    /// The function at `index`, if within bounds and initialized (no trap
+    /// semantics; used by the Wasabi runtime to resolve indirect call
+    /// targets for the `call_pre` hook).
+    pub fn get(&self, index: u32) -> Option<Idx<FunctionSpace>> {
+        self.elements.get(index as usize).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_and_lookup() {
+        let mut t = FuncTable::new(Limits::at_least(4));
+        t.init(1, &[Idx::from(10u32), Idx::from(11u32)]).unwrap();
+        assert_eq!(t.lookup(1).unwrap().to_u32(), 10);
+        assert_eq!(t.lookup(2).unwrap().to_u32(), 11);
+    }
+
+    #[test]
+    fn uninitialized_slot_traps() {
+        let t = FuncTable::new(Limits::at_least(2));
+        assert_eq!(t.lookup(0).unwrap_err(), Trap::UninitializedTableElement);
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let t = FuncTable::new(Limits::at_least(2));
+        assert_eq!(t.lookup(2).unwrap_err(), Trap::OutOfBoundsTableAccess);
+    }
+
+    #[test]
+    fn oversized_init_fails() {
+        let mut t = FuncTable::new(Limits::at_least(1));
+        let err = t.init(1, &[Idx::from(0u32)]).unwrap_err();
+        assert_eq!(err, Trap::OutOfBoundsTableAccess);
+    }
+
+    #[test]
+    fn non_trapping_get() {
+        let t = FuncTable::new(Limits::at_least(1));
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(5), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime traps and instantiation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A WebAssembly trap: abnormal termination of execution.
+///
+/// Covers every trap of the 1.0 specification plus the host-side failure
+/// modes of this embedding (fuel exhaustion, host errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// The `unreachable` instruction was executed.
+    Unreachable,
+    /// Integer division or remainder by zero.
+    IntegerDivideByZero,
+    /// `i{32,64}.div_s` overflow (MIN / -1).
+    IntegerOverflow,
+    /// `trunc` of NaN or of a float outside the target integer range.
+    InvalidConversionToInteger,
+    /// Linear memory access outside the current bounds.
+    OutOfBoundsMemoryAccess,
+    /// `call_indirect` index outside the table.
+    OutOfBoundsTableAccess,
+    /// `call_indirect` hit an uninitialized table slot.
+    UninitializedTableElement,
+    /// `call_indirect` target has a different type than expected.
+    IndirectCallTypeMismatch,
+    /// Wasm call depth exceeded the interpreter limit.
+    CallStackExhausted,
+    /// The configured fuel budget was exhausted (host-side, not in the spec).
+    OutOfFuel,
+    /// A host function failed.
+    HostError(String),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Unreachable => f.write_str("unreachable executed"),
+            Trap::IntegerDivideByZero => f.write_str("integer divide by zero"),
+            Trap::IntegerOverflow => f.write_str("integer overflow"),
+            Trap::InvalidConversionToInteger => f.write_str("invalid conversion to integer"),
+            Trap::OutOfBoundsMemoryAccess => f.write_str("out of bounds memory access"),
+            Trap::OutOfBoundsTableAccess => f.write_str("out of bounds table access"),
+            Trap::UninitializedTableElement => f.write_str("uninitialized table element"),
+            Trap::IndirectCallTypeMismatch => f.write_str("indirect call type mismatch"),
+            Trap::CallStackExhausted => f.write_str("call stack exhausted"),
+            Trap::OutOfFuel => f.write_str("fuel exhausted"),
+            Trap::HostError(msg) => write!(f, "host error: {msg}"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+/// Why a module could not be instantiated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstantiationError {
+    /// The module failed validation.
+    Invalid(wasabi_wasm::ValidationError),
+    /// A function import could not be resolved by the host.
+    UnresolvedFunctionImport { module: String, name: String },
+    /// A global import could not be resolved by the host.
+    UnresolvedGlobalImport { module: String, name: String },
+    /// An element segment lies outside the table.
+    ElementSegmentOutOfBounds,
+    /// A data segment lies outside the initial memory.
+    DataSegmentOutOfBounds,
+    /// Running the start function trapped.
+    StartTrapped(Trap),
+    /// The requested export does not exist (for `invoke_export`).
+    NoSuchExport(String),
+}
+
+impl fmt::Display for InstantiationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstantiationError::Invalid(e) => write!(f, "invalid module: {e}"),
+            InstantiationError::UnresolvedFunctionImport { module, name } => {
+                write!(f, "unresolved function import {module:?}.{name:?}")
+            }
+            InstantiationError::UnresolvedGlobalImport { module, name } => {
+                write!(f, "unresolved global import {module:?}.{name:?}")
+            }
+            InstantiationError::ElementSegmentOutOfBounds => {
+                f.write_str("element segment out of bounds")
+            }
+            InstantiationError::DataSegmentOutOfBounds => {
+                f.write_str("data segment out of bounds")
+            }
+            InstantiationError::StartTrapped(trap) => write!(f, "start function trapped: {trap}"),
+            InstantiationError::NoSuchExport(name) => write!(f, "no such export {name:?}"),
+        }
+    }
+}
+
+impl Error for InstantiationError {}
+
+impl From<wasabi_wasm::ValidationError> for InstantiationError {
+    fn from(e: wasabi_wasm::ValidationError) -> Self {
+        InstantiationError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_display() {
+        assert_eq!(Trap::Unreachable.to_string(), "unreachable executed");
+        assert_eq!(
+            Trap::HostError("boom".into()).to_string(),
+            "host error: boom"
+        );
+    }
+
+    #[test]
+    fn instantiation_error_display() {
+        let e = InstantiationError::UnresolvedFunctionImport {
+            module: "wasabi".into(),
+            name: "hook".into(),
+        };
+        assert!(e.to_string().contains("wasabi"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based differential tests: executing a numeric instruction
+//! through the full pipeline (build module → encode → decode → validate →
+//! instantiate → invoke) must agree with the reference semantics in
+//! `wasabi_vm::numeric`, for random operands — including trap behaviour.
+
+use proptest::prelude::*;
+
+use wasabi_vm::host::EmptyHost;
+use wasabi_vm::{numeric, Instance, Trap};
+use wasabi_wasm::builder::ModuleBuilder;
+use wasabi_wasm::instr::{BinaryOp, UnaryOp, Val};
+use wasabi_wasm::types::ValType;
+
+/// Build one module exporting a wrapper function per numeric instruction.
+fn all_ops_instance() -> Instance {
+    let mut builder = ModuleBuilder::new();
+    for &op in UnaryOp::ALL {
+        builder.function(&format!("u_{op}"), &[op.input()], &[op.result()], |f| {
+            f.get_local(0u32).unary(op);
+        });
+    }
+    for &op in BinaryOp::ALL {
+        builder.function(
+            &format!("b_{op}"),
+            &[op.input(), op.input()],
+            &[op.result()],
+            |f| {
+                f.get_local(0u32).get_local(1u32).binary(op);
+            },
+        );
+    }
+    let module = builder.finish();
+    // Through the codec, so the whole pipeline is exercised.
+    let bytes = wasabi_wasm::encode::encode(&module);
+    let module = wasabi_wasm::decode::decode(&bytes).expect("roundtrip");
+    Instance::instantiate(module, &mut EmptyHost).expect("instantiates")
+}
+
+fn value_of(ty: ValType, ints: (i32, i64), floats: (f32, f64)) -> Val {
+    match ty {
+        ValType::I32 => Val::I32(ints.0),
+        ValType::I64 => Val::I64(ints.1),
+        ValType::F32 => Val::F32(floats.0),
+        ValType::F64 => Val::F64(floats.1),
+    }
+}
+
+/// NaN-insensitive comparison: Wasm does not pin NaN payloads, so any NaN
+/// matches any NaN of the same type.
+fn same_result(a: &Result<Vec<Val>, Trap>, b: &Result<Val, Trap>) -> bool {
+    match (a, b) {
+        (Ok(xs), Ok(y)) => {
+            if xs.len() != 1 {
+                return false;
+            }
+            match (xs[0], *y) {
+                (Val::F32(p), Val::F32(q)) if p.is_nan() && q.is_nan() => true,
+                (Val::F64(p), Val::F64(q)) if p.is_nan() && q.is_nan() => true,
+                (p, q) => p == q,
+            }
+        }
+        (Err(t1), Err(t2)) => t1 == t2,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_numeric_ops_match_reference(
+        i32a: i32, i32b: i32,
+        i64a: i64, i64b: i64,
+        f32bits_a: u32, f32bits_b: u32,
+        f64bits_a: u64, f64bits_b: u64,
+    ) {
+        let f32a = f32::from_bits(f32bits_a);
+        let f32b = f32::from_bits(f32bits_b);
+        let f64a = f64::from_bits(f64bits_a);
+        let f64b = f64::from_bits(f64bits_b);
+        let mut instance = all_ops_instance();
+        let mut host = EmptyHost;
+
+        for &op in UnaryOp::ALL {
+            let v = value_of(op.input(), (i32a, i64a), (f32a, f64a));
+            let vm = instance.invoke_export(&format!("u_{op}"), &[v], &mut host);
+            let reference = numeric::unary(op, v);
+            prop_assert!(
+                same_result(&vm, &reference),
+                "unary {op}({v:?}): vm={vm:?} reference={reference:?}"
+            );
+        }
+        for &op in BinaryOp::ALL {
+            let a = value_of(op.input(), (i32a, i64a), (f32a, f64a));
+            let b = value_of(op.input(), (i32b, i64b), (f32b, f64b));
+            let vm = instance.invoke_export(&format!("b_{op}"), &[a, b], &mut host);
+            let reference = numeric::binary(op, a, b);
+            prop_assert!(
+                same_result(&vm, &reference),
+                "binary {op}({a:?}, {b:?}): vm={vm:?} reference={reference:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_byte_roundtrip(addr in 0u32..65528, value: i64) {
+        use wasabi_wasm::{LoadOp, StoreOp};
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.function("f", &[ValType::I32, ValType::I64], &[ValType::I64], |f| {
+            f.get_local(0u32).get_local(1u32).store(StoreOp::I64Store, 0);
+            f.get_local(0u32).load(LoadOp::I64Load, 0);
+        });
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let r = instance
+            .invoke_export("f", &[Val::I32(addr as i32), Val::I64(value)], &mut host)
+            .unwrap();
+        prop_assert_eq!(r, vec![Val::I64(value)]);
+    }
+
+    #[test]
+    fn narrow_stores_truncate(addr in 0u32..65000, value: i32) {
+        use wasabi_wasm::{LoadOp, StoreOp};
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.function("f", &[ValType::I32, ValType::I32], &[ValType::I32], |f| {
+            f.get_local(0u32).get_local(1u32).store(StoreOp::I32Store16, 0);
+            f.get_local(0u32).load(LoadOp::I32Load16U, 0);
+        });
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let r = instance
+            .invoke_export("f", &[Val::I32(addr as i32), Val::I32(value)], &mut host)
+            .unwrap();
+        prop_assert_eq!(r, vec![Val::I32(value & 0xffff)]);
+    }
+
+    #[test]
+    fn select_matches_condition(cond: i32, a: i64, b: i64) {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[ValType::I64, ValType::I64, ValType::I32], &[ValType::I64], |f| {
+            f.get_local(0u32).get_local(1u32).get_local(2u32).select();
+        });
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let r = instance
+            .invoke_export("f", &[Val::I64(a), Val::I64(b), Val::I32(cond)], &mut host)
+            .unwrap();
+        prop_assert_eq!(r, vec![Val::I64(if cond != 0 { a } else { b })]);
+    }
+}

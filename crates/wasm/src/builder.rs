@@ -1,0 +1,380 @@
+//! Ergonomic builders for constructing modules programmatically (used by the
+//! workload generators and throughout the test suites).
+
+use crate::instr::{
+    BinaryOp, BlockType, FunctionSpace, GlobalOp, GlobalSpace, Idx, Instr, Label, LoadOp, LocalOp,
+    LocalSpace, Memarg, StoreOp, UnaryOp, Val,
+};
+use crate::module::{Data, Element, Memory, Module, Table};
+use crate::types::{FuncType, GlobalType, Limits, ValType};
+
+/// Builder for a [`Module`].
+///
+/// # Examples
+///
+/// ```
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::types::ValType;
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.memory(1, Some("memory"));
+/// builder.function("add", &[ValType::I32, ValType::I32], &[ValType::I32], |f| {
+///     f.get_local(0u32).get_local(1u32).i32_add();
+/// });
+/// let module = builder.finish();
+/// wasabi_wasm::validate::validate(&module).expect("builder output is valid");
+/// ```
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Start building an empty module.
+    pub fn new() -> Self {
+        ModuleBuilder::default()
+    }
+
+    /// Add a memory with `initial_pages` pages, optionally exported.
+    pub fn memory(&mut self, initial_pages: u32, export: Option<&str>) -> &mut Self {
+        let mut memory = Memory::new(Limits::at_least(initial_pages));
+        if let Some(name) = export {
+            memory.export.push(name.to_string());
+        }
+        self.module.memories.push(memory);
+        self
+    }
+
+    /// Add a data segment to the (single) memory at the given offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no memory was added yet.
+    pub fn data(&mut self, offset: u32, bytes: Vec<u8>) -> &mut Self {
+        self.module
+            .memories
+            .last_mut()
+            .expect("add a memory before data segments")
+            .data
+            .push(Data {
+                offset: vec![Instr::Const(Val::I32(offset as i32)), Instr::End],
+                bytes,
+            });
+        self
+    }
+
+    /// Add a table with space for `size` elements.
+    pub fn table(&mut self, size: u32) -> &mut Self {
+        self.module.tables.push(Table::new(Limits::bounded(size, size)));
+        self
+    }
+
+    /// Fill the table with the given functions starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no table was added yet.
+    pub fn elements(&mut self, offset: u32, functions: Vec<Idx<FunctionSpace>>) -> &mut Self {
+        self.module
+            .tables
+            .last_mut()
+            .expect("add a table before element segments")
+            .elements
+            .push(Element {
+                offset: vec![Instr::Const(Val::I32(offset as i32)), Instr::End],
+                functions,
+            });
+        self
+    }
+
+    /// Add a mutable global with an initial value.
+    pub fn global(&mut self, init: Val) -> Idx<GlobalSpace> {
+        self.module
+            .add_global(GlobalType::mutable(init.ty()), init)
+    }
+
+    /// Add an imported function.
+    pub fn import_function(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+    ) -> Idx<FunctionSpace> {
+        self.module
+            .add_function_import(FuncType::new(params, results), module, name)
+    }
+
+    /// Add a function built by the closure; exported under `export` (pass an
+    /// empty string to keep it internal). The final `end` is appended
+    /// automatically.
+    pub fn function(
+        &mut self,
+        export: &str,
+        params: &[ValType],
+        results: &[ValType],
+        build: impl FnOnce(&mut FunctionBuilder),
+    ) -> Idx<FunctionSpace> {
+        let mut fb = FunctionBuilder::new(params.len());
+        build(&mut fb);
+        fb.end_function();
+        let idx = self
+            .module
+            .add_function(FuncType::new(params, results), fb.locals, fb.body);
+        if !export.is_empty() {
+            self.module.functions[idx.to_usize()]
+                .export
+                .push(export.to_string());
+        }
+        self.module.functions[idx.to_usize()].name = if export.is_empty() {
+            None
+        } else {
+            Some(export.to_string())
+        };
+        idx
+    }
+
+    /// Set the start function.
+    pub fn start(&mut self, idx: Idx<FunctionSpace>) -> &mut Self {
+        self.module.start = Some(idx);
+        self
+    }
+
+    /// Finish and return the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// Builder for one function body.
+///
+/// All emit methods return `&mut Self` for chaining. Structured blocks opened
+/// with [`FunctionBuilder::block`]/[`FunctionBuilder::loop_`]/
+/// [`FunctionBuilder::if_`] must be closed with [`FunctionBuilder::end`];
+/// the function's own terminating `end` is added by [`ModuleBuilder`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    param_count: usize,
+    locals: Vec<ValType>,
+    body: Vec<Instr>,
+}
+
+impl FunctionBuilder {
+    fn new(param_count: usize) -> Self {
+        FunctionBuilder {
+            param_count,
+            locals: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn end_function(&mut self) {
+        self.body.push(Instr::End);
+    }
+
+    /// Declare a new local of type `ty` and return its index.
+    pub fn local(&mut self, ty: ValType) -> Idx<LocalSpace> {
+        self.locals.push(ty);
+        Idx::from(self.param_count + self.locals.len() - 1)
+    }
+
+    /// Emit a raw instruction.
+    pub fn instr(&mut self, instr: Instr) -> &mut Self {
+        self.body.push(instr);
+        self
+    }
+
+    /// Emit several raw instructions.
+    pub fn instrs(&mut self, instrs: impl IntoIterator<Item = Instr>) -> &mut Self {
+        self.body.extend(instrs);
+        self
+    }
+
+    pub fn nop(&mut self) -> &mut Self {
+        self.instr(Instr::Nop)
+    }
+    pub fn unreachable(&mut self) -> &mut Self {
+        self.instr(Instr::Unreachable)
+    }
+
+    pub fn i32_const(&mut self, v: i32) -> &mut Self {
+        self.instr(Instr::Const(Val::I32(v)))
+    }
+    pub fn i64_const(&mut self, v: i64) -> &mut Self {
+        self.instr(Instr::Const(Val::I64(v)))
+    }
+    pub fn f32_const(&mut self, v: f32) -> &mut Self {
+        self.instr(Instr::Const(Val::F32(v)))
+    }
+    pub fn f64_const(&mut self, v: f64) -> &mut Self {
+        self.instr(Instr::Const(Val::F64(v)))
+    }
+
+    pub fn get_local(&mut self, idx: impl Into<Idx<LocalSpace>>) -> &mut Self {
+        self.instr(Instr::Local(LocalOp::Get, idx.into()))
+    }
+    pub fn set_local(&mut self, idx: impl Into<Idx<LocalSpace>>) -> &mut Self {
+        self.instr(Instr::Local(LocalOp::Set, idx.into()))
+    }
+    pub fn tee_local(&mut self, idx: impl Into<Idx<LocalSpace>>) -> &mut Self {
+        self.instr(Instr::Local(LocalOp::Tee, idx.into()))
+    }
+    pub fn get_global(&mut self, idx: impl Into<Idx<GlobalSpace>>) -> &mut Self {
+        self.instr(Instr::Global(GlobalOp::Get, idx.into()))
+    }
+    pub fn set_global(&mut self, idx: impl Into<Idx<GlobalSpace>>) -> &mut Self {
+        self.instr(Instr::Global(GlobalOp::Set, idx.into()))
+    }
+
+    pub fn unary(&mut self, op: UnaryOp) -> &mut Self {
+        self.instr(Instr::Unary(op))
+    }
+    pub fn binary(&mut self, op: BinaryOp) -> &mut Self {
+        self.instr(Instr::Binary(op))
+    }
+
+    pub fn i32_add(&mut self) -> &mut Self {
+        self.binary(BinaryOp::I32Add)
+    }
+    pub fn i32_sub(&mut self) -> &mut Self {
+        self.binary(BinaryOp::I32Sub)
+    }
+    pub fn i32_mul(&mut self) -> &mut Self {
+        self.binary(BinaryOp::I32Mul)
+    }
+    pub fn i32_lt_s(&mut self) -> &mut Self {
+        self.binary(BinaryOp::I32LtS)
+    }
+    pub fn i32_eq(&mut self) -> &mut Self {
+        self.binary(BinaryOp::I32Eq)
+    }
+    pub fn f64_add(&mut self) -> &mut Self {
+        self.binary(BinaryOp::F64Add)
+    }
+    pub fn f64_sub(&mut self) -> &mut Self {
+        self.binary(BinaryOp::F64Sub)
+    }
+    pub fn f64_mul(&mut self) -> &mut Self {
+        self.binary(BinaryOp::F64Mul)
+    }
+    pub fn f64_div(&mut self) -> &mut Self {
+        self.binary(BinaryOp::F64Div)
+    }
+
+    pub fn load(&mut self, op: LoadOp, offset: u32) -> &mut Self {
+        self.instr(Instr::Load(op, Memarg::with_offset(op.access_bytes(), offset)))
+    }
+    pub fn store(&mut self, op: StoreOp, offset: u32) -> &mut Self {
+        self.instr(Instr::Store(op, Memarg::with_offset(op.access_bytes(), offset)))
+    }
+    pub fn memory_size(&mut self) -> &mut Self {
+        self.instr(Instr::MemorySize(Idx::from(0u32)))
+    }
+    pub fn memory_grow(&mut self) -> &mut Self {
+        self.instr(Instr::MemoryGrow(Idx::from(0u32)))
+    }
+
+    pub fn block(&mut self, result: Option<ValType>) -> &mut Self {
+        self.instr(Instr::Block(BlockType(result)))
+    }
+    pub fn loop_(&mut self, result: Option<ValType>) -> &mut Self {
+        self.instr(Instr::Loop(BlockType(result)))
+    }
+    pub fn if_(&mut self, result: Option<ValType>) -> &mut Self {
+        self.instr(Instr::If(BlockType(result)))
+    }
+    pub fn else_(&mut self) -> &mut Self {
+        self.instr(Instr::Else)
+    }
+    pub fn end(&mut self) -> &mut Self {
+        self.instr(Instr::End)
+    }
+
+    pub fn br(&mut self, label: u32) -> &mut Self {
+        self.instr(Instr::Br(Label(label)))
+    }
+    pub fn br_if(&mut self, label: u32) -> &mut Self {
+        self.instr(Instr::BrIf(Label(label)))
+    }
+    pub fn br_table(&mut self, table: Vec<u32>, default: u32) -> &mut Self {
+        self.instr(Instr::BrTable {
+            table: table.into_iter().map(Label).collect(),
+            default: Label(default),
+        })
+    }
+    pub fn return_(&mut self) -> &mut Self {
+        self.instr(Instr::Return)
+    }
+
+    pub fn call(&mut self, idx: Idx<FunctionSpace>) -> &mut Self {
+        self.instr(Instr::Call(idx))
+    }
+    pub fn call_indirect(&mut self, params: &[ValType], results: &[ValType]) -> &mut Self {
+        self.instr(Instr::CallIndirect(
+            FuncType::new(params, results),
+            Idx::from(0u32),
+        ))
+    }
+
+    pub fn drop_(&mut self) -> &mut Self {
+        self.instr(Instr::Drop)
+    }
+    pub fn select(&mut self) -> &mut Self {
+        self.instr(Instr::Select)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn builder_produces_valid_module() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, Some("memory"));
+        let g = builder.global(Val::I32(0));
+        builder.function("count", &[ValType::I32], &[ValType::I32], |f| {
+            let acc = f.local(ValType::I32);
+            f.i32_const(0).set_local(acc);
+            f.block(None).loop_(None);
+            f.get_local(acc)
+                .get_local(0u32)
+                .binary(BinaryOp::I32GeU)
+                .br_if(1);
+            f.get_local(acc).i32_const(1).i32_add().set_local(acc);
+            f.br(0).end().end();
+            f.get_local(acc).tee_local(acc);
+            f.set_global(g);
+            f.get_local(acc);
+        });
+        let module = builder.finish();
+        validate(&module).expect("valid");
+    }
+
+    #[test]
+    fn fresh_locals_after_params() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[ValType::I32, ValType::F64], &[], |f| {
+            let a = f.local(ValType::I64);
+            let b = f.local(ValType::I32);
+            assert_eq!(a.to_u32(), 2);
+            assert_eq!(b.to_u32(), 3);
+        });
+        validate(&builder.finish()).expect("valid");
+    }
+
+    #[test]
+    fn indirect_call_machinery() {
+        let mut builder = ModuleBuilder::new();
+        let callee = builder.function("", &[], &[ValType::I32], |f| {
+            f.i32_const(7);
+        });
+        builder.table(1);
+        builder.elements(0, vec![callee]);
+        builder.function("main", &[], &[ValType::I32], |f| {
+            f.i32_const(0).call_indirect(&[], &[ValType::I32]);
+        });
+        validate(&builder.finish()).expect("valid");
+    }
+}

@@ -1,0 +1,148 @@
+//! Error types for decoding and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a binary failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// Magic number `\0asm` missing.
+    InvalidMagic,
+    /// Unsupported binary version (only 1 is supported).
+    InvalidVersion,
+    /// LEB128 integer too long or out of range for its type.
+    IntTooLarge,
+    /// A name was not valid UTF-8.
+    InvalidUtf8,
+    /// Unknown or unsupported opcode byte.
+    InvalidOpcode(u8),
+    /// Unknown value/element/block type byte.
+    InvalidType(u8),
+    /// Unknown import/export kind byte.
+    InvalidKind(u8),
+    /// Section id out of range or out of order.
+    InvalidSection(u8),
+    /// Section or body size did not match its content.
+    SizeMismatch,
+    /// An index referred to a non-existent entity.
+    IndexOutOfBounds,
+    /// Anything else (malformed structure).
+    Malformed(&'static str),
+}
+
+/// Error produced when decoding a WebAssembly binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    offset: usize,
+    kind: DecodeErrorKind,
+}
+
+impl DecodeError {
+    /// Create an error at the given byte offset.
+    pub fn new(offset: usize, kind: DecodeErrorKind) -> Self {
+        DecodeError { offset, kind }
+    }
+
+    /// Byte offset in the input where decoding failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The failure category.
+    pub fn kind(&self) -> DecodeErrorKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            DecodeErrorKind::UnexpectedEof => "unexpected end of input".to_string(),
+            DecodeErrorKind::InvalidMagic => "invalid magic number".to_string(),
+            DecodeErrorKind::InvalidVersion => "unsupported binary version".to_string(),
+            DecodeErrorKind::IntTooLarge => "integer representation too long".to_string(),
+            DecodeErrorKind::InvalidUtf8 => "name is not valid utf-8".to_string(),
+            DecodeErrorKind::InvalidOpcode(b) => format!("invalid opcode 0x{b:02x}"),
+            DecodeErrorKind::InvalidType(b) => format!("invalid type byte 0x{b:02x}"),
+            DecodeErrorKind::InvalidKind(b) => format!("invalid kind byte 0x{b:02x}"),
+            DecodeErrorKind::InvalidSection(b) => format!("invalid section id {b}"),
+            DecodeErrorKind::SizeMismatch => "declared size does not match content".to_string(),
+            DecodeErrorKind::IndexOutOfBounds => "index out of bounds".to_string(),
+            DecodeErrorKind::Malformed(msg) => format!("malformed module: {msg}"),
+        };
+        write!(f, "decode error at byte {}: {what}", self.offset)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Error produced by the validator (type checker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Function index, if validation failed inside a function body.
+    pub func: Option<u32>,
+    /// Instruction index within the function body, if applicable.
+    pub instr: Option<u32>,
+    /// Human-readable description of the violated rule.
+    pub message: String,
+}
+
+impl ValidationError {
+    /// Validation error not tied to a particular instruction.
+    pub fn module(message: impl Into<String>) -> Self {
+        ValidationError {
+            func: None,
+            instr: None,
+            message: message.into(),
+        }
+    }
+
+    /// Validation error at a particular instruction of a function.
+    pub fn at(func: u32, instr: u32, message: impl Into<String>) -> Self {
+        ValidationError {
+            func: Some(func),
+            instr: Some(instr),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.func, self.instr) {
+            (Some(func), Some(instr)) => {
+                write!(
+                    f,
+                    "validation error at function {func}, instruction {instr}: {}",
+                    self.message
+                )
+            }
+            (Some(func), None) => write!(f, "validation error in function {func}: {}", self.message),
+            _ => write!(f, "validation error: {}", self.message),
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::new(12, DecodeErrorKind::InvalidOpcode(0xff));
+        assert_eq!(e.to_string(), "decode error at byte 12: invalid opcode 0xff");
+    }
+
+    #[test]
+    fn validation_error_display() {
+        let e = ValidationError::at(3, 7, "type mismatch");
+        assert!(e.to_string().contains("function 3"));
+        assert!(e.to_string().contains("instruction 7"));
+        let m = ValidationError::module("no table");
+        assert!(m.to_string().contains("no table"));
+    }
+}

@@ -1,0 +1,319 @@
+//! LEB128 variable-length integer encoding, as used throughout the
+//! WebAssembly binary format (and DWARF, cf. paper footnote 13).
+//!
+//! Encoders always produce the canonical (shortest) encoding; the decoder
+//! accepts any valid encoding up to the type's maximum byte length, including
+//! non-canonical over-long encodings, like real engines do.
+
+use crate::error::{DecodeError, DecodeErrorKind};
+
+/// Maximum encoded length of a `u32`/`i32` LEB128 value.
+pub const MAX_BYTES_U32: usize = 5;
+/// Maximum encoded length of a `u64`/`i64` LEB128 value.
+pub const MAX_BYTES_U64: usize = 10;
+
+/// Append the unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append the unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append the signed LEB128 encoding of `value` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, i64::from(value));
+}
+
+/// Append the signed LEB128 encoding of `value` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_bit_clear = byte & 0x40 == 0;
+        let done = (value == 0 && sign_bit_clear) || (value == -1 && !sign_bit_clear);
+        if done {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes the unsigned LEB128 encoding of `value` occupies.
+pub fn len_u32(value: u32) -> usize {
+    let mut out = Vec::with_capacity(MAX_BYTES_U32);
+    write_u32(&mut out, value);
+    out.len()
+}
+
+/// A cursor over a byte slice with position tracking for error reporting.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over the full slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the slice.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` once all bytes are consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn eof(&self) -> DecodeError {
+        DecodeError::new(self.pos, DecodeErrorKind::UnexpectedEof)
+    }
+
+    /// Read a single byte.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.eof())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read exactly `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.eof());
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read an unsigned LEB128 `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let start = self.pos;
+        let mut result: u32 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = self.byte()?;
+            let payload = u32::from(byte & 0x7f);
+            // The 5th byte of a u32 may only contribute 4 bits.
+            if shift == 28 && payload > 0x0f {
+                return Err(DecodeError::new(start, DecodeErrorKind::IntTooLarge));
+            }
+            result |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+            if shift >= 35 {
+                return Err(DecodeError::new(start, DecodeErrorKind::IntTooLarge));
+            }
+        }
+    }
+
+    /// Read a signed LEB128 `i32`.
+    pub fn i32(&mut self) -> Result<i32, DecodeError> {
+        let start = self.pos;
+        let v = self.i64_with_max_bytes(MAX_BYTES_U32, start)?;
+        // The decoder already limits to 35 significant bits; fold to i32 by
+        // checking the value range.
+        i32::try_from(v).map_err(|_| DecodeError::new(start, DecodeErrorKind::IntTooLarge))
+    }
+
+    /// Read a signed LEB128 `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        let start = self.pos;
+        self.i64_with_max_bytes(MAX_BYTES_U64, start)
+    }
+
+    fn i64_with_max_bytes(&mut self, max_bytes: usize, start: usize) -> Result<i64, DecodeError> {
+        let mut result: i64 = 0;
+        let mut shift = 0u32;
+        for _ in 0..max_bytes {
+            let byte = self.byte()?;
+            if shift < 63 {
+                result |= i64::from(byte & 0x7f) << shift;
+            } else {
+                // Final bits: only sign-extension patterns are representable.
+                result |= i64::from(byte & 0x01) << shift;
+            }
+            shift += 7;
+            if byte & 0x80 == 0 {
+                // Sign-extend from the last written bit position.
+                if shift < 64 && byte & 0x40 != 0 {
+                    result |= -1i64 << shift;
+                }
+                return Ok(result);
+            }
+        }
+        Err(DecodeError::new(start, DecodeErrorKind::IntTooLarge))
+    }
+
+    /// Read a little-endian IEEE 754 `f32`.
+    pub fn f32(&mut self) -> Result<f32, DecodeError> {
+        let bytes = self.bytes(4)?;
+        Ok(f32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian IEEE 754 `f64`.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        let bytes = self.bytes(8)?;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed UTF-8 name.
+    pub fn name(&mut self) -> Result<String, DecodeError> {
+        let start = self.pos;
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError::new(start, DecodeErrorKind::InvalidUtf8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u32(v: u32) -> u32 {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, v);
+        Reader::new(&buf).u32().expect("decodes")
+    }
+
+    fn roundtrip_i64(v: i64) -> i64 {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        Reader::new(&buf).i64().expect("decodes")
+    }
+
+    #[test]
+    fn u32_known_encodings() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 624485);
+        assert_eq!(buf, vec![0xe5, 0x8e, 0x26]);
+        buf.clear();
+        write_u32(&mut buf, 0);
+        assert_eq!(buf, vec![0x00]);
+    }
+
+    #[test]
+    fn i64_known_encodings() {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, -123456);
+        assert_eq!(buf, vec![0xc0, 0xbb, 0x78]);
+    }
+
+    #[test]
+    fn u32_boundaries() {
+        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX - 1, u32::MAX] {
+            assert_eq!(roundtrip_u32(v), v);
+        }
+    }
+
+    #[test]
+    fn i64_boundaries() {
+        for v in [
+            0,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            assert_eq!(roundtrip_i64(v), v);
+        }
+    }
+
+    #[test]
+    fn i32_roundtrip_boundaries() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 0x40, -0x41] {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            assert_eq!(Reader::new(&buf).i32().expect("decodes"), v);
+        }
+    }
+
+    #[test]
+    fn non_canonical_encoding_accepted() {
+        // 0 encoded in two bytes.
+        let buf = [0x80, 0x00];
+        assert_eq!(Reader::new(&buf).u32().expect("decodes"), 0);
+    }
+
+    #[test]
+    fn overlong_u32_rejected() {
+        let buf = [0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert!(Reader::new(&buf).u32().is_err());
+    }
+
+    #[test]
+    fn u32_fifth_byte_overflow_rejected() {
+        // 5th byte contributes more than 4 bits.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(Reader::new(&buf).u32().is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let buf = [0x80];
+        let err = Reader::new(&buf).u32().expect_err("must fail");
+        assert_eq!(err.kind(), DecodeErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1.5f32.to_le_bytes());
+        buf.extend_from_slice(&(-2.25f64).to_le_bytes());
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.f32().expect("f32"), 1.5);
+        assert_eq!(r.f64().expect("f64"), -2.25);
+    }
+
+    #[test]
+    fn name_decoding() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 5);
+        buf.extend_from_slice(b"hello");
+        assert_eq!(Reader::new(&buf).name().expect("name"), "hello");
+    }
+
+    #[test]
+    fn invalid_utf8_name_rejected() {
+        let buf = [0x02, 0xff, 0xfe];
+        let err = Reader::new(&buf).name().expect_err("must fail");
+        assert_eq!(err.kind(), DecodeErrorKind::InvalidUtf8);
+    }
+}

@@ -1,0 +1,56 @@
+//! # wasabi-wasm — WebAssembly 1.0 language substrate
+//!
+//! A self-contained implementation of the WebAssembly 1.0 ("MVP") binary
+//! format and static semantics, built for the reproduction of *Wasabi: A
+//! Framework for Dynamically Analyzing WebAssembly* (ASPLOS 2019). It plays
+//! the role of the `wasm` crate plus WABT's `wasm-validate` in the paper's
+//! toolchain:
+//!
+//! - [`module::Module`]: a high-level AST with *stable indices* — imports
+//!   and local definitions may be freely interleaved, so that an
+//!   instrumenter can append hook imports without renumbering `call`s.
+//! - [`decode::decode`] / [`encode::encode`]: the binary codec. The encoder
+//!   performs the imports-first permutation the binary format requires.
+//! - [`validate::validate`]: the full type checker (also used streaming by
+//!   the Wasabi instrumenter, paper §2.4.3).
+//! - [`builder::ModuleBuilder`]: ergonomic construction, used by the
+//!   workload generators.
+//! - [`wat::render`]: human-readable text output for debugging.
+//!
+//! # Examples
+//!
+//! ```
+//! use wasabi_wasm::builder::ModuleBuilder;
+//! use wasabi_wasm::types::ValType;
+//!
+//! let mut builder = ModuleBuilder::new();
+//! builder.function("add1", &[ValType::I32], &[ValType::I32], |f| {
+//!     f.get_local(0u32).i32_const(1).i32_add();
+//! });
+//! let module = builder.finish();
+//!
+//! let bytes = wasabi_wasm::encode::encode(&module);
+//! let roundtripped = wasabi_wasm::decode::decode(&bytes)?;
+//! assert_eq!(module, roundtripped);
+//! wasabi_wasm::validate::validate(&module)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod builder;
+pub mod decode;
+pub mod encode;
+pub mod error;
+pub mod instr;
+pub mod leb128;
+pub mod module;
+pub mod types;
+pub mod validate;
+pub mod wat;
+
+pub use error::{DecodeError, ValidationError};
+pub use instr::{
+    BinaryOp, BlockType, FunctionSpace, GlobalOp, GlobalSpace, Idx, Instr, Label, LoadOp, LocalOp,
+    LocalSpace, Memarg, MemorySpace, StoreOp, TableSpace, UnaryOp, Val,
+};
+pub use module::{Code, Function, FunctionKind, Global, GlobalKind, Import, Memory, Module, Table};
+pub use types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType, PAGE_SIZE};

@@ -1,0 +1,888 @@
+//! Type checking and module validation (the paper's `wasm-validate`
+//! replacement, §4.3, and the abstract operand stack the instrumenter uses
+//! for on-demand monomorphization of `drop`/`select`, §2.4.3).
+//!
+//! Implements the validation algorithm from the WebAssembly 1.0
+//! specification appendix: an abstract operand stack of (possibly unknown)
+//! value types plus a control stack of frames, with stack-polymorphic
+//! unreachable code handling.
+
+use crate::error::ValidationError;
+use crate::instr::{BlockType, Idx, Instr, Label, LocalOp, GlobalOp};
+use crate::module::{Function, GlobalKind, Module};
+use crate::types::{FuncType, ValType, MAX_PAGES};
+
+/// A value type on the abstract stack: known, or unknown because it
+/// originates from stack-polymorphic (unreachable) code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferredType {
+    Known(ValType),
+    Unknown,
+}
+
+impl InferredType {
+    /// The concrete type, if known.
+    pub fn known(self) -> Option<ValType> {
+        match self {
+            InferredType::Known(t) => Some(t),
+            InferredType::Unknown => None,
+        }
+    }
+
+    fn matches(self, expected: ValType) -> bool {
+        match self {
+            InferredType::Known(t) => t == expected,
+            InferredType::Unknown => true,
+        }
+    }
+}
+
+/// What kind of structure opened the current control frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// The implicit block wrapping the whole function body.
+    Function,
+    Block,
+    Loop,
+    If,
+    Else,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    kind: FrameKind,
+    /// Result types of the block (at most one in Wasm 1.0, but kept general).
+    end_types: Vec<ValType>,
+    /// Operand stack height at frame entry.
+    height: usize,
+    /// Set once an unconditional branch/return/unreachable was seen.
+    unreachable: bool,
+}
+
+impl Frame {
+    /// Types a branch *to* this frame carries: none for loops (the branch
+    /// jumps back to the start), the result types otherwise.
+    fn label_types(&self) -> &[ValType] {
+        match self.kind {
+            FrameKind::Loop => &[],
+            _ => &self.end_types,
+        }
+    }
+}
+
+/// Streaming type checker for one function body.
+///
+/// Feed instructions in order with [`TypeChecker::step`]; query the abstract
+/// stack in between. This is exactly the "full type checking during
+/// instrumentation" of paper §2.4.3.
+#[derive(Debug)]
+pub struct TypeChecker {
+    frames: Vec<Frame>,
+    stack: Vec<InferredType>,
+    results: Vec<ValType>,
+}
+
+impl TypeChecker {
+    /// Start checking the body of `function` (pushes the implicit function
+    /// frame).
+    pub fn begin_function(function: &Function) -> Self {
+        TypeChecker {
+            frames: vec![Frame {
+                kind: FrameKind::Function,
+                end_types: function.type_.results.clone(),
+                height: 0,
+                unreachable: false,
+            }],
+            stack: Vec::new(),
+            results: function.type_.results.clone(),
+        }
+    }
+
+    /// `true` while the current code position is reachable.
+    pub fn reachable(&self) -> bool {
+        self.frames.last().is_none_or(|f| !f.unreachable)
+    }
+
+    /// `true` once the implicit function frame has been closed by the final
+    /// `end`.
+    pub fn done(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Type of the operand `depth` positions below the stack top (0 = top),
+    /// without popping. Returns `None` if that operand is not statically
+    /// available (below the current frame in unreachable code).
+    pub fn peek(&self, depth: usize) -> Option<InferredType> {
+        if depth < self.stack.len() {
+            let idx = self.stack.len() - 1 - depth;
+            if let Some(frame) = self.frames.last() {
+                if idx < frame.height {
+                    return if frame.unreachable {
+                        Some(InferredType::Unknown)
+                    } else {
+                        None
+                    };
+                }
+            }
+            Some(self.stack[idx])
+        } else if self.frames.last().is_some_and(|f| f.unreachable) {
+            Some(InferredType::Unknown)
+        } else {
+            None
+        }
+    }
+
+    /// Current depth of the control stack (function frame included).
+    pub fn control_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn push(&mut self, ty: InferredType) {
+        self.stack.push(ty);
+    }
+
+    fn push_known(&mut self, ty: ValType) {
+        self.stack.push(InferredType::Known(ty));
+    }
+
+    fn pop(&mut self) -> Result<InferredType, String> {
+        let frame = self.frames.last().ok_or("no open control frame")?;
+        if self.stack.len() == frame.height {
+            return if frame.unreachable {
+                Ok(InferredType::Unknown)
+            } else {
+                Err("operand stack underflow".to_string())
+            };
+        }
+        Ok(self.stack.pop().expect("height checked above"))
+    }
+
+    fn expect(&mut self, expected: ValType) -> Result<(), String> {
+        let actual = self.pop()?;
+        if actual.matches(expected) {
+            Ok(())
+        } else {
+            Err(format!(
+                "type mismatch: expected {expected}, found {actual:?}"
+            ))
+        }
+    }
+
+    fn expect_all(&mut self, expected: &[ValType]) -> Result<(), String> {
+        for &ty in expected.iter().rev() {
+            self.expect(ty)?;
+        }
+        Ok(())
+    }
+
+    fn set_unreachable(&mut self) {
+        let frame = self.frames.last_mut().expect("frame exists");
+        self.stack.truncate(frame.height);
+        frame.unreachable = true;
+    }
+
+    fn push_frame(&mut self, kind: FrameKind, block_type: BlockType) {
+        self.frames.push(Frame {
+            kind,
+            end_types: block_type.0.into_iter().collect(),
+            height: self.stack.len(),
+            unreachable: false,
+        });
+    }
+
+    fn pop_frame(&mut self) -> Result<Frame, String> {
+        let frame = self.frames.last().ok_or("unbalanced end")?.clone();
+        self.expect_all(&frame.end_types.clone())?;
+        if self.stack.len() != frame.height && !frame.unreachable {
+            return Err(format!(
+                "{} values left on stack at block end",
+                self.stack.len() - frame.height
+            ));
+        }
+        self.stack.truncate(frame.height);
+        Ok(self.frames.pop().expect("frame exists"))
+    }
+
+    fn label_types(&self, label: Label) -> Result<Vec<ValType>, String> {
+        let depth = label.to_usize();
+        if depth >= self.frames.len() {
+            return Err(format!("branch label {label} out of range"));
+        }
+        let frame = &self.frames[self.frames.len() - 1 - depth];
+        Ok(frame.label_types().to_vec())
+    }
+
+    /// Process one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated typing rule. After an error the
+    /// checker state is unspecified; abort checking this function.
+    pub fn step(
+        &mut self,
+        module: &Module,
+        function: &Function,
+        instr: &Instr,
+    ) -> Result<(), String> {
+        if self.frames.is_empty() {
+            return Err("instruction after function end".to_string());
+        }
+        match instr {
+            Instr::Nop => {}
+            Instr::Unreachable => self.set_unreachable(),
+
+            Instr::Block(bt) => self.push_frame(FrameKind::Block, *bt),
+            Instr::Loop(bt) => self.push_frame(FrameKind::Loop, *bt),
+            Instr::If(bt) => {
+                self.expect(ValType::I32)?;
+                self.push_frame(FrameKind::If, *bt);
+            }
+            Instr::Else => {
+                let frame = self.pop_frame()?;
+                if frame.kind != FrameKind::If {
+                    return Err("else without matching if".to_string());
+                }
+                self.push_frame(FrameKind::Else, BlockType(frame.end_types.first().copied()));
+            }
+            Instr::End => {
+                let frame = self.pop_frame()?;
+                if frame.kind == FrameKind::If && !frame.end_types.is_empty() {
+                    return Err("if with result type requires an else branch".to_string());
+                }
+                for ty in frame.end_types {
+                    self.push_known(ty);
+                }
+            }
+
+            Instr::Br(label) => {
+                let types = self.label_types(*label)?;
+                self.expect_all(&types)?;
+                self.set_unreachable();
+            }
+            Instr::BrIf(label) => {
+                self.expect(ValType::I32)?;
+                let types = self.label_types(*label)?;
+                self.expect_all(&types)?;
+                for ty in types {
+                    self.push_known(ty);
+                }
+            }
+            Instr::BrTable { table, default } => {
+                self.expect(ValType::I32)?;
+                let default_types = self.label_types(*default)?;
+                for label in table {
+                    let types = self.label_types(*label)?;
+                    if types != default_types {
+                        return Err("br_table labels have inconsistent types".to_string());
+                    }
+                }
+                self.expect_all(&default_types)?;
+                self.set_unreachable();
+            }
+            Instr::Return => {
+                self.expect_all(&self.results.clone())?;
+                self.set_unreachable();
+            }
+
+            Instr::Call(idx) => {
+                let callee = module
+                    .functions
+                    .get(idx.to_usize())
+                    .ok_or_else(|| format!("call to unknown function {idx}"))?;
+                let ty = callee.type_.clone();
+                self.expect_all(&ty.params)?;
+                for r in ty.results {
+                    self.push_known(r);
+                }
+            }
+            Instr::CallIndirect(ty, table_idx) => {
+                if module.tables.get(table_idx.to_usize()).is_none() {
+                    return Err("call_indirect without table".to_string());
+                }
+                self.expect(ValType::I32)?;
+                self.expect_all(&ty.params)?;
+                for &r in &ty.results {
+                    self.push_known(r);
+                }
+            }
+
+            Instr::Drop => {
+                self.pop()?;
+            }
+            Instr::Select => {
+                self.expect(ValType::I32)?;
+                let second = self.pop()?;
+                let first = self.pop()?;
+                match (first, second) {
+                    (InferredType::Known(a), InferredType::Known(b)) if a != b => {
+                        return Err(format!("select operands differ: {a} vs {b}"));
+                    }
+                    _ => {}
+                }
+                self.push(if first.known().is_some() { first } else { second });
+            }
+
+            Instr::Local(op, idx) => {
+                let ty = function
+                    .local_type(*idx)
+                    .ok_or_else(|| format!("unknown local {idx}"))?;
+                match op {
+                    LocalOp::Get => self.push_known(ty),
+                    LocalOp::Set => self.expect(ty)?,
+                    LocalOp::Tee => {
+                        self.expect(ty)?;
+                        self.push_known(ty);
+                    }
+                }
+            }
+            Instr::Global(op, idx) => {
+                let global = module
+                    .globals
+                    .get(idx.to_usize())
+                    .ok_or_else(|| format!("unknown global {idx}"))?;
+                match op {
+                    GlobalOp::Get => self.push_known(global.type_.val_type),
+                    GlobalOp::Set => {
+                        if !global.type_.mutable {
+                            return Err(format!("set_global of immutable global {idx}"));
+                        }
+                        self.expect(global.type_.val_type)?;
+                    }
+                }
+            }
+
+            Instr::Load(op, memarg) => {
+                if module.memories.is_empty() {
+                    return Err("load without memory".to_string());
+                }
+                if 1u64 << memarg.alignment_exp > u64::from(op.access_bytes()) {
+                    return Err(format!("alignment of {op} exceeds access width"));
+                }
+                self.expect(ValType::I32)?;
+                self.push_known(op.result());
+            }
+            Instr::Store(op, memarg) => {
+                if module.memories.is_empty() {
+                    return Err("store without memory".to_string());
+                }
+                if 1u64 << memarg.alignment_exp > u64::from(op.access_bytes()) {
+                    return Err(format!("alignment of {op} exceeds access width"));
+                }
+                self.expect(op.value_type())?;
+                self.expect(ValType::I32)?;
+            }
+            Instr::MemorySize(_) => {
+                if module.memories.is_empty() {
+                    return Err("memory.size without memory".to_string());
+                }
+                self.push_known(ValType::I32);
+            }
+            Instr::MemoryGrow(_) => {
+                if module.memories.is_empty() {
+                    return Err("memory.grow without memory".to_string());
+                }
+                self.expect(ValType::I32)?;
+                self.push_known(ValType::I32);
+            }
+
+            Instr::Const(val) => self.push_known(val.ty()),
+            Instr::Unary(op) => {
+                self.expect(op.input())?;
+                self.push_known(op.result());
+            }
+            Instr::Binary(op) => {
+                self.expect(op.input())?;
+                self.expect(op.input())?;
+                self.push_known(op.result());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validate a whole module: all function bodies type check, constant
+/// expressions are well-formed, and all indices are in bounds.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationError`] found.
+pub fn validate(module: &Module) -> Result<(), ValidationError> {
+    validate_module_structure(module)?;
+    for (func_idx, function) in module.iter_functions() {
+        if function.code().is_some() {
+            validate_function(module, func_idx.to_u32(), function)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_module_structure(module: &Module) -> Result<(), ValidationError> {
+    if module.tables.len() > 1 {
+        return Err(ValidationError::module("at most one table is allowed"));
+    }
+    if module.memories.len() > 1 {
+        return Err(ValidationError::module("at most one memory is allowed"));
+    }
+    for memory in &module.memories {
+        let limits = memory.type_.0;
+        if limits.initial > MAX_PAGES || limits.max.is_some_and(|max| max > MAX_PAGES) {
+            return Err(ValidationError::module("memory limits exceed 4 GiB"));
+        }
+        if limits.max.is_some_and(|max| max < limits.initial) {
+            return Err(ValidationError::module("memory max below initial size"));
+        }
+        for data in &memory.data {
+            validate_const_expr(module, &data.offset, ValType::I32)?;
+        }
+    }
+    for table in &module.tables {
+        let limits = table.type_.0;
+        if limits.max.is_some_and(|max| max < limits.initial) {
+            return Err(ValidationError::module("table max below initial size"));
+        }
+        for element in &table.elements {
+            validate_const_expr(module, &element.offset, ValType::I32)?;
+            for f in &element.functions {
+                if f.to_usize() >= module.functions.len() {
+                    return Err(ValidationError::module(format!(
+                        "element segment references unknown function {f}"
+                    )));
+                }
+            }
+        }
+    }
+    for (i, global) in module.globals.iter().enumerate() {
+        if let GlobalKind::Init(init) = &global.kind {
+            validate_const_expr(module, init, global.type_.val_type).map_err(|mut e| {
+                e.message = format!("global {i}: {}", e.message);
+                e
+            })?;
+        }
+    }
+    if let Some(start) = module.start {
+        let function = module
+            .functions
+            .get(start.to_usize())
+            .ok_or_else(|| ValidationError::module("start function index out of bounds"))?;
+        if function.type_ != FuncType::new(&[], &[]) {
+            return Err(ValidationError::module(
+                "start function must have type [] -> []",
+            ));
+        }
+    }
+
+    // Export names must be unique across all index spaces.
+    let mut names = std::collections::HashSet::new();
+    let all_exports = module
+        .functions
+        .iter()
+        .flat_map(|f| f.export.iter())
+        .chain(module.tables.iter().flat_map(|t| t.export.iter()))
+        .chain(module.memories.iter().flat_map(|m| m.export.iter()))
+        .chain(module.globals.iter().flat_map(|g| g.export.iter()));
+    for name in all_exports {
+        if !names.insert(name) {
+            return Err(ValidationError::module(format!(
+                "duplicate export name {name:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A constant expression is a single `const` or `get_global` (of an
+/// immutable imported global) followed by `end`.
+fn validate_const_expr(
+    module: &Module,
+    expr: &[Instr],
+    expected: ValType,
+) -> Result<(), ValidationError> {
+    let err = |msg: &str| Err(ValidationError::module(msg.to_string()));
+    match expr {
+        [Instr::Const(val), Instr::End] => {
+            if val.ty() != expected {
+                return err("constant expression has wrong type");
+            }
+            Ok(())
+        }
+        [Instr::Global(GlobalOp::Get, idx), Instr::End] => {
+            let global = match module.globals.get(idx.to_usize()) {
+                Some(g) => g,
+                None => return err("constant expression references unknown global"),
+            };
+            if global.import().is_none() {
+                return err("constant expression may only reference imported globals");
+            }
+            if global.type_.mutable {
+                return err("constant expression may not reference mutable globals");
+            }
+            if global.type_.val_type != expected {
+                return err("constant expression has wrong type");
+            }
+            Ok(())
+        }
+        _ => err("unsupported constant expression"),
+    }
+}
+
+fn validate_function(
+    module: &Module,
+    func_idx: u32,
+    function: &Function,
+) -> Result<(), ValidationError> {
+    let code = function.code().expect("caller checked");
+    let mut checker = TypeChecker::begin_function(function);
+    for (i, instr) in code.body.iter().enumerate() {
+        checker
+            .step(module, function, instr)
+            .map_err(|msg| ValidationError::at(func_idx, i as u32, msg))?;
+    }
+    if !checker.done() {
+        return Err(ValidationError {
+            func: Some(func_idx),
+            instr: None,
+            message: "function body not terminated by end".to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[allow(unused)]
+fn idx_usize<T>(idx: Idx<T>) -> usize {
+    idx.to_usize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinaryOp, Label, LoadOp, Memarg, StoreOp, UnaryOp, Val};
+    use crate::module::Memory;
+    use crate::types::Limits;
+
+    fn module_with_body(
+        params: &[ValType],
+        results: &[ValType],
+        body: Vec<Instr>,
+    ) -> (Module, Function) {
+        let mut module = Module::new();
+        module.memories.push(Memory::new(Limits::at_least(1)));
+        let idx = module.add_function(FuncType::new(params, results), vec![], body);
+        let function = module.function(idx).clone();
+        (module, function)
+    }
+
+    fn check(params: &[ValType], results: &[ValType], body: Vec<Instr>) -> Result<(), ValidationError> {
+        let (module, _) = module_with_body(params, results, body);
+        validate(&module)
+    }
+
+    #[test]
+    fn valid_add_function() {
+        check(
+            &[ValType::I32, ValType::I32],
+            &[ValType::I32],
+            vec![
+                Instr::Local(LocalOp::Get, Idx::from(0u32)),
+                Instr::Local(LocalOp::Get, Idx::from(1u32)),
+                Instr::Binary(BinaryOp::I32Add),
+                Instr::End,
+            ],
+        )
+        .expect("valid");
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let err = check(
+            &[],
+            &[ValType::I32],
+            vec![
+                Instr::Const(Val::F32(1.0)),
+                Instr::Const(Val::I32(1)),
+                Instr::Binary(BinaryOp::I32Add),
+                Instr::End,
+            ],
+        )
+        .expect_err("must fail");
+        assert!(err.message.contains("type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn stack_underflow_detected() {
+        let err = check(
+            &[],
+            &[],
+            vec![Instr::Binary(BinaryOp::I32Add), Instr::End],
+        )
+        .expect_err("must fail");
+        assert!(err.message.contains("underflow"), "{err}");
+    }
+
+    #[test]
+    fn leftover_values_detected() {
+        let err = check(&[], &[], vec![Instr::Const(Val::I32(1)), Instr::End])
+            .expect_err("must fail");
+        assert!(err.message.contains("left on stack"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_code_is_stack_polymorphic() {
+        // After `unreachable`, drop and add type check against the unknown
+        // stack (spec appendix algorithm).
+        check(
+            &[],
+            &[ValType::I32],
+            vec![
+                Instr::Unreachable,
+                Instr::Drop,
+                Instr::Binary(BinaryOp::I32Add),
+                Instr::End,
+            ],
+        )
+        .expect("valid per spec");
+    }
+
+    #[test]
+    fn branch_label_out_of_range() {
+        let err = check(&[], &[], vec![Instr::Br(Label(5)), Instr::End])
+            .expect_err("must fail");
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn paper_figure_4_control_flow_validates() {
+        // block block get_local 0 br_if 1 end end
+        check(
+            &[ValType::I32],
+            &[],
+            vec![
+                Instr::Block(BlockType(None)),
+                Instr::Block(BlockType(None)),
+                Instr::Local(LocalOp::Get, Idx::from(0u32)),
+                Instr::BrIf(Label(1)),
+                Instr::End,
+                Instr::End,
+                Instr::End,
+            ],
+        )
+        .expect("valid");
+    }
+
+    #[test]
+    fn block_result_types() {
+        check(
+            &[],
+            &[ValType::F64],
+            vec![
+                Instr::Block(BlockType(Some(ValType::F64))),
+                Instr::Const(Val::F64(3.25)),
+                Instr::End,
+                Instr::End,
+            ],
+        )
+        .expect("valid");
+    }
+
+    #[test]
+    fn loop_label_takes_no_values() {
+        // br to a loop must not carry the loop's result type.
+        check(
+            &[],
+            &[ValType::I32],
+            vec![
+                Instr::Loop(BlockType(Some(ValType::I32))),
+                Instr::Const(Val::I32(0)),
+                Instr::BrIf(Label(0)),
+                Instr::Const(Val::I32(42)),
+                Instr::End,
+                Instr::End,
+            ],
+        )
+        .expect("valid");
+    }
+
+    #[test]
+    fn if_with_result_requires_else() {
+        let err = check(
+            &[ValType::I32],
+            &[ValType::I32],
+            vec![
+                Instr::Local(LocalOp::Get, Idx::from(0u32)),
+                Instr::If(BlockType(Some(ValType::I32))),
+                Instr::Const(Val::I32(1)),
+                Instr::End,
+                Instr::End,
+            ],
+        )
+        .expect_err("must fail");
+        assert!(err.message.contains("else"), "{err}");
+    }
+
+    #[test]
+    fn if_else_with_result() {
+        check(
+            &[ValType::I32],
+            &[ValType::I32],
+            vec![
+                Instr::Local(LocalOp::Get, Idx::from(0u32)),
+                Instr::If(BlockType(Some(ValType::I32))),
+                Instr::Const(Val::I32(1)),
+                Instr::Else,
+                Instr::Const(Val::I32(2)),
+                Instr::End,
+                Instr::End,
+            ],
+        )
+        .expect("valid");
+    }
+
+    #[test]
+    fn select_requires_matching_operands() {
+        let err = check(
+            &[],
+            &[],
+            vec![
+                Instr::Const(Val::I32(1)),
+                Instr::Const(Val::F64(2.0)),
+                Instr::Const(Val::I32(0)),
+                Instr::Select,
+                Instr::Drop,
+                Instr::End,
+            ],
+        )
+        .expect_err("must fail");
+        assert!(err.message.contains("select"), "{err}");
+    }
+
+    #[test]
+    fn drop_type_inference_via_peek() {
+        let (module, function) = module_with_body(
+            &[],
+            &[],
+            vec![Instr::Const(Val::F64(1.0)), Instr::Drop, Instr::End],
+        );
+        let mut checker = TypeChecker::begin_function(&function);
+        checker
+            .step(&module, &function, &Instr::Const(Val::F64(1.0)))
+            .expect("ok");
+        assert_eq!(checker.peek(0), Some(InferredType::Known(ValType::F64)));
+    }
+
+    #[test]
+    fn set_of_immutable_global_rejected() {
+        let mut module = Module::new();
+        module.add_global(crate::types::GlobalType::const_(ValType::I32), Val::I32(0));
+        module.add_function(
+            FuncType::new(&[], &[]),
+            vec![],
+            vec![
+                Instr::Const(Val::I32(1)),
+                Instr::Global(GlobalOp::Set, Idx::from(0u32)),
+                Instr::End,
+            ],
+        );
+        let err = validate(&module).expect_err("must fail");
+        assert!(err.message.contains("immutable"), "{err}");
+    }
+
+    #[test]
+    fn load_store_without_memory_rejected() {
+        let mut module = Module::new();
+        module.add_function(
+            FuncType::new(&[], &[]),
+            vec![],
+            vec![
+                Instr::Const(Val::I32(0)),
+                Instr::Load(LoadOp::I32Load, Memarg::natural(4)),
+                Instr::Drop,
+                Instr::End,
+            ],
+        );
+        let err = validate(&module).expect_err("must fail");
+        assert!(err.message.contains("memory"), "{err}");
+    }
+
+    #[test]
+    fn excessive_alignment_rejected() {
+        let mut module = Module::new();
+        module.memories.push(Memory::new(Limits::at_least(1)));
+        module.add_function(
+            FuncType::new(&[], &[]),
+            vec![],
+            vec![
+                Instr::Const(Val::I32(0)),
+                Instr::Const(Val::I32(0)),
+                Instr::Store(
+                    StoreOp::I32Store,
+                    Memarg {
+                        alignment_exp: 3,
+                        offset: 0,
+                    },
+                ),
+                Instr::End,
+            ],
+        );
+        let err = validate(&module).expect_err("must fail");
+        assert!(err.message.contains("alignment"), "{err}");
+    }
+
+    #[test]
+    fn br_table_validates() {
+        check(
+            &[ValType::I32],
+            &[],
+            vec![
+                Instr::Block(BlockType(None)),
+                Instr::Block(BlockType(None)),
+                Instr::Local(LocalOp::Get, Idx::from(0u32)),
+                Instr::BrTable {
+                    table: vec![Label(0), Label(1)],
+                    default: Label(0),
+                },
+                Instr::End,
+                Instr::End,
+                Instr::End,
+            ],
+        )
+        .expect("valid");
+    }
+
+    #[test]
+    fn start_function_type_enforced() {
+        let mut module = Module::new();
+        let idx = module.add_function(
+            FuncType::new(&[ValType::I32], &[]),
+            vec![],
+            vec![Instr::End],
+        );
+        module.start = Some(idx);
+        let err = validate(&module).expect_err("must fail");
+        assert!(err.message.contains("start"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_export_names_rejected() {
+        let mut module = Module::new();
+        let a = module.add_function(FuncType::new(&[], &[]), vec![], vec![Instr::End]);
+        let b = module.add_function(FuncType::new(&[], &[]), vec![], vec![Instr::End]);
+        module.function_mut(a).export.push("f".to_string());
+        module.function_mut(b).export.push("f".to_string());
+        let err = validate(&module).expect_err("must fail");
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unary_conversion_chain_validates() {
+        check(
+            &[],
+            &[ValType::I64],
+            vec![
+                Instr::Const(Val::F32(1.5)),
+                Instr::Unary(UnaryOp::F64PromoteF32),
+                Instr::Unary(UnaryOp::I64TruncSF64),
+                Instr::End,
+            ],
+        )
+        .expect("valid");
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal text rendering of modules, loosely following the WebAssembly text
+//! format. Output is meant for humans (debugging, documentation, examples) —
+//! there is intentionally no parser.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::module::{FunctionKind, GlobalKind, Module};
+
+/// Render a module as indented pseudo-WAT text.
+pub fn render(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(module");
+
+    for (i, function) in module.functions.iter().enumerate() {
+        let mut head = format!("  (func $f{i}");
+        if let Some(name) = &function.name {
+            let _ = write!(head, " ;; {name}");
+            let _ = writeln!(out, "{head}");
+            head = String::from("   ");
+        }
+        let _ = write!(head, " {}", function.type_);
+        match &function.kind {
+            FunctionKind::Import(import) => {
+                let _ = writeln!(out, "{head} (import \"{}\" \"{}\"))", import.module, import.name);
+            }
+            FunctionKind::Local(code) => {
+                let _ = writeln!(out, "{head}");
+                if !code.locals.is_empty() {
+                    let locals: Vec<String> =
+                        code.locals.iter().map(ToString::to_string).collect();
+                    let _ = writeln!(out, "    (local {})", locals.join(" "));
+                }
+                let mut indent = 4usize;
+                for instr in &code.body {
+                    match instr {
+                        Instr::End | Instr::Else => indent = indent.saturating_sub(2),
+                        _ => {}
+                    }
+                    let _ = writeln!(out, "{:indent$}{instr}", "");
+                    match instr {
+                        Instr::Block(_) | Instr::Loop(_) | Instr::If(_) | Instr::Else => {
+                            indent += 2;
+                        }
+                        _ => {}
+                    }
+                }
+                let _ = writeln!(out, "  )");
+            }
+        }
+        for export in &function.export {
+            let _ = writeln!(out, "  (export \"{export}\" (func $f{i}))");
+        }
+    }
+
+    for (i, global) in module.globals.iter().enumerate() {
+        let mutability = if global.type_.mutable { "mut " } else { "" };
+        match &global.kind {
+            GlobalKind::Import(import) => {
+                let _ = writeln!(
+                    out,
+                    "  (global $g{i} ({mutability}{}) (import \"{}\" \"{}\"))",
+                    global.type_.val_type, import.module, import.name
+                );
+            }
+            GlobalKind::Init(init) => {
+                let init_str: Vec<String> = init
+                    .iter()
+                    .filter(|instr| !matches!(instr, Instr::End))
+                    .map(ToString::to_string)
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  (global $g{i} ({mutability}{}) ({}))",
+                    global.type_.val_type,
+                    init_str.join(" ")
+                );
+            }
+        }
+    }
+
+    for table in &module.tables {
+        let _ = writeln!(
+            out,
+            "  (table {} funcref) ;; {} element segment(s)",
+            table.type_.0.initial,
+            table.elements.len()
+        );
+    }
+    for memory in &module.memories {
+        let _ = writeln!(
+            out,
+            "  (memory {}) ;; {} data segment(s)",
+            memory.type_.0.initial,
+            memory.data.len()
+        );
+    }
+    if let Some(start) = module.start {
+        let _ = writeln!(out, "  (start $f{start})");
+    }
+
+    out.push_str(")\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::ValType;
+
+    #[test]
+    fn renders_functions_and_structure() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.import_function("env", "print", &[ValType::I32], &[]);
+        builder.function("main", &[], &[ValType::I32], |f| {
+            f.block(None).i32_const(1).br_if(0).end();
+            f.i32_const(42);
+        });
+        let text = render(&builder.finish());
+        assert!(text.contains("(module"));
+        assert!(text.contains("import \"env\" \"print\""));
+        assert!(text.contains("i32.const 42"));
+        assert!(text.contains("(export \"main\""));
+        assert!(text.contains("(memory 1)"));
+        // Nesting: br_if is indented deeper than block.
+        let block_line = text.lines().find(|l| l.trim_start().starts_with("block")).unwrap();
+        let br_line = text.lines().find(|l| l.trim_start().starts_with("br_if")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(br_line) > indent(block_line));
+    }
+}

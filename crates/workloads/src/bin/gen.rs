@@ -1,0 +1,63 @@
+//! Generate workload `.wasm` files on disk, for use with the `wasabi` CLI
+//! or external tools.
+//!
+//! ```text
+//! gen <kernel|app> <name|seed> <size> <output.wasm>
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! cargo run -p wasabi-workloads --bin gen -- kernel gemm 16 gemm.wasm
+//! cargo run -p wasabi-workloads --bin gen -- app 42 500000 app.wasm
+//! ```
+
+use std::process::ExitCode;
+
+use wasabi_workloads::synthetic::{synthetic_app, SyntheticConfig};
+use wasabi_workloads::{compile, polybench};
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [kind, ident, size, output] = args.as_slice() else {
+        return Err(format!(
+            "usage: gen <kernel|app> <name|seed> <size> <output.wasm>\n\
+             kernels: {}",
+            polybench::NAMES.join(", ")
+        ));
+    };
+
+    let module = match kind.as_str() {
+        "kernel" => {
+            let n: u32 = size.parse().map_err(|_| format!("bad size {size:?}"))?;
+            let program = polybench::by_name(ident, n)
+                .ok_or_else(|| format!("unknown kernel {ident:?}"))?;
+            compile(&program)
+        }
+        "app" => {
+            let seed: u64 = ident.parse().map_err(|_| format!("bad seed {ident:?}"))?;
+            let bytes: usize = size.parse().map_err(|_| format!("bad size {size:?}"))?;
+            let config = SyntheticConfig {
+                seed,
+                ..SyntheticConfig::pspdfkit_like().with_target_bytes(bytes)
+            };
+            synthetic_app(&config)
+        }
+        other => return Err(format!("unknown workload kind {other:?}")),
+    };
+
+    let bytes = wasabi_wasm::encode::encode(&module);
+    std::fs::write(output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!("wrote {output}: {} bytes", bytes.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! Compiles [`crate::dsl`] programs to WebAssembly modules.
+//!
+//! Layout and structure mirror what emscripten produces for PolyBench:
+//! `f64` arrays in linear memory (row-major, 8 bytes per element, laid out
+//! consecutively from address 0), an `init` function, the `kernel`
+//! function with the loop nests, and a `checksum` function standing in for
+//! PolyBench's `print_array` (the paper uses printed intermediate results
+//! to check faithfulness, §4.3; we use the checksum the same way).
+//!
+//! Exports: `init`, `kernel`, `checksum`, and `main` (init + kernel +
+//! checksum, returning the checksum).
+
+use std::collections::HashMap;
+
+use wasabi_wasm::builder::{FunctionBuilder, ModuleBuilder};
+use wasabi_wasm::instr::{BinaryOp, Idx, LocalSpace, UnaryOp};
+use wasabi_wasm::module::Module;
+use wasabi_wasm::types::{ValType, PAGE_SIZE};
+use wasabi_wasm::{LoadOp, StoreOp};
+
+use crate::dsl::{ArrayDecl, Cond, FExpr, IExpr, Program, Stmt};
+
+/// Compile a DSL program into a self-contained Wasm module.
+///
+/// # Panics
+///
+/// Panics if the program references an undeclared array or uses an index
+/// arity that does not match the array's declared dimensions — these are
+/// bugs in the kernel definition, caught by the kernel test suite.
+pub fn compile(program: &Program) -> Module {
+    let layout = Layout::new(&program.arrays);
+
+    let mut builder = ModuleBuilder::new();
+    let total_bytes = u64::from(layout.total_elements) * 8;
+    let pages = total_bytes.div_ceil(u64::from(PAGE_SIZE)).max(1) as u32;
+    builder.memory(pages, Some("memory"));
+
+    let init = builder.function("init", &[], &[], |f| {
+        FunctionCompiler::new(&layout, f).stmts(&program.init);
+    });
+    let kernel = builder.function("kernel", &[], &[], |f| {
+        FunctionCompiler::new(&layout, f).stmts(&program.kernel);
+    });
+    let checksum = builder.function("checksum", &[], &[ValType::F64], |f| {
+        emit_checksum(&layout, f);
+    });
+    builder.function("main", &[], &[ValType::F64], |f| {
+        f.call(init).call(kernel).call(checksum);
+    });
+
+    builder.finish()
+}
+
+/// Row-major array layout in linear memory.
+#[derive(Debug)]
+struct Layout {
+    /// name -> (base byte offset, dims).
+    arrays: HashMap<&'static str, (u32, Vec<u32>)>,
+    total_elements: u32,
+}
+
+impl Layout {
+    fn new(arrays: &[ArrayDecl]) -> Self {
+        let mut map = HashMap::new();
+        let mut offset = 0u32;
+        for array in arrays {
+            map.insert(array.name, (offset, array.dims.clone()));
+            offset += array.len() * 8;
+        }
+        Layout {
+            arrays: map,
+            total_elements: offset / 8,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> (u32, &[u32]) {
+        let (base, dims) = self
+            .arrays
+            .get(name)
+            .unwrap_or_else(|| panic!("kernel references undeclared array {name:?}"));
+        (*base, dims)
+    }
+}
+
+struct FunctionCompiler<'a, 'b> {
+    layout: &'a Layout,
+    f: &'a mut FunctionBuilder,
+    int_vars: HashMap<&'static str, Idx<LocalSpace>>,
+    float_vars: HashMap<&'static str, Idx<LocalSpace>>,
+    _marker: std::marker::PhantomData<&'b ()>,
+}
+
+impl<'a> FunctionCompiler<'a, '_> {
+    fn new(layout: &'a Layout, f: &'a mut FunctionBuilder) -> Self {
+        FunctionCompiler {
+            layout,
+            f,
+            int_vars: HashMap::new(),
+            float_vars: HashMap::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn int_var(&mut self, name: &'static str) -> Idx<LocalSpace> {
+        if let Some(&idx) = self.int_vars.get(name) {
+            return idx;
+        }
+        let idx = self.f.local(ValType::I32);
+        self.int_vars.insert(name, idx);
+        idx
+    }
+
+    fn float_var(&mut self, name: &'static str) -> Idx<LocalSpace> {
+        if let Some(&idx) = self.float_vars.get(name) {
+            return idx;
+        }
+        let idx = self.f.local(ValType::F64);
+        self.float_vars.insert(name, idx);
+        idx
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            self.stmt(stmt);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::For { var, lo, hi, body } => {
+                let i = self.int_var(var);
+                self.iexpr(lo);
+                self.f.set_local(i);
+                self.f.block(None).loop_(None);
+                self.f.get_local(i);
+                self.iexpr(hi);
+                self.f.binary(BinaryOp::I32GeS).br_if(1);
+                self.stmts(body);
+                self.f.get_local(i).i32_const(1).i32_add().set_local(i);
+                self.f.br(0).end().end();
+            }
+            Stmt::ForRev { var, lo, hi, body } => {
+                let i = self.int_var(var);
+                self.iexpr(hi);
+                self.f.i32_const(1).i32_sub().set_local(i);
+                self.f.block(None).loop_(None);
+                self.f.get_local(i);
+                self.iexpr(lo);
+                self.f.binary(BinaryOp::I32LtS).br_if(1);
+                self.stmts(body);
+                self.f.get_local(i).i32_const(1).i32_sub().set_local(i);
+                self.f.br(0).end().end();
+            }
+            Stmt::Store { array, index, value } => {
+                let offset = self.address(array, index);
+                self.fexpr(value);
+                self.f.store(StoreOp::F64Store, offset);
+            }
+            Stmt::Set { name, value } => {
+                // Evaluate before (possibly) allocating the target local so
+                // reads of the same scalar resolve consistently.
+                self.fexpr(value);
+                let idx = self.float_var(name);
+                self.f.set_local(idx);
+            }
+            Stmt::If { cond, then, else_ } => {
+                self.cond(cond);
+                self.f.if_(None);
+                self.stmts(then);
+                if !else_.is_empty() {
+                    self.f.else_();
+                    self.stmts(else_);
+                }
+                self.f.end();
+            }
+        }
+    }
+
+    /// Push the dynamic element address (in bytes) and return the constant
+    /// byte offset (the array base) to fold into the memarg.
+    fn address(&mut self, array: &'static str, index: &[IExpr]) -> u32 {
+        let (base, dims) = self.layout.lookup(array);
+        assert_eq!(
+            index.len(),
+            dims.len(),
+            "array {array:?} indexed with wrong arity"
+        );
+        let dims = dims.to_vec();
+        // Linear index: ((i0 * d1 + i1) * d2 + i2) ...
+        self.iexpr(&index[0]);
+        for (k, idx) in index.iter().enumerate().skip(1) {
+            self.f.i32_const(dims[k] as i32);
+            self.f.i32_mul();
+            self.iexpr(idx);
+            self.f.i32_add();
+        }
+        self.f.i32_const(8).i32_mul();
+        base
+    }
+
+    fn iexpr(&mut self, expr: &IExpr) {
+        match expr {
+            IExpr::Const(value) => {
+                self.f.i32_const(*value);
+            }
+            IExpr::Var(name) => {
+                let idx = self.int_var(name);
+                self.f.get_local(idx);
+            }
+            IExpr::Add(a, b) => {
+                self.iexpr(a);
+                self.iexpr(b);
+                self.f.i32_add();
+            }
+            IExpr::Sub(a, b) => {
+                self.iexpr(a);
+                self.iexpr(b);
+                self.f.i32_sub();
+            }
+            IExpr::Mul(a, b) => {
+                self.iexpr(a);
+                self.iexpr(b);
+                self.f.i32_mul();
+            }
+            IExpr::DivC(a, divisor) => {
+                assert!(*divisor > 0, "DivC requires a positive constant");
+                self.iexpr(a);
+                self.f.i32_const(*divisor);
+                self.f.binary(BinaryOp::I32DivS);
+            }
+            IExpr::RemC(a, divisor) => {
+                assert!(*divisor > 0, "RemC requires a positive constant");
+                self.iexpr(a);
+                self.f.i32_const(*divisor);
+                self.f.binary(BinaryOp::I32RemS);
+            }
+        }
+    }
+
+    fn fexpr(&mut self, expr: &FExpr) {
+        match expr {
+            FExpr::Const(value) => {
+                self.f.f64_const(*value);
+            }
+            FExpr::Scalar(name) => {
+                let idx = self.float_var(name);
+                self.f.get_local(idx);
+            }
+            FExpr::Load(array, index) => {
+                let offset = self.address(array, index);
+                self.f.load(LoadOp::F64Load, offset);
+            }
+            FExpr::Add(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+                self.f.f64_add();
+            }
+            FExpr::Sub(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+                self.f.f64_sub();
+            }
+            FExpr::Mul(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+                self.f.f64_mul();
+            }
+            FExpr::Div(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+                self.f.f64_div();
+            }
+            FExpr::Sqrt(a) => {
+                self.fexpr(a);
+                self.f.unary(UnaryOp::F64Sqrt);
+            }
+            FExpr::Abs(a) => {
+                self.fexpr(a);
+                self.f.unary(UnaryOp::F64Abs);
+            }
+            FExpr::Min(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+                self.f.binary(BinaryOp::F64Min);
+            }
+            FExpr::Max(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+                self.f.binary(BinaryOp::F64Max);
+            }
+            FExpr::FromInt(e) => {
+                self.iexpr(e);
+                self.f.unary(UnaryOp::F64ConvertSI32);
+            }
+        }
+    }
+
+    fn cond(&mut self, cond: &Cond) {
+        let (a, b, op) = match cond {
+            Cond::Lt(a, b) => (a, b, BinaryOp::I32LtS),
+            Cond::Le(a, b) => (a, b, BinaryOp::I32LeS),
+            Cond::Gt(a, b) => (a, b, BinaryOp::I32GtS),
+            Cond::Ge(a, b) => (a, b, BinaryOp::I32GeS),
+            Cond::Eq(a, b) => (a, b, BinaryOp::I32Eq),
+            Cond::Ne(a, b) => (a, b, BinaryOp::I32Ne),
+            Cond::FLt(a, b) | Cond::FLe(a, b) | Cond::FEq(a, b) => {
+                self.fexpr(a);
+                self.fexpr(b);
+                self.f.binary(match cond {
+                    Cond::FLt(..) => BinaryOp::F64Lt,
+                    Cond::FLe(..) => BinaryOp::F64Le,
+                    _ => BinaryOp::F64Eq,
+                });
+                return;
+            }
+        };
+        self.iexpr(a);
+        self.iexpr(b);
+        self.f.binary(op);
+    }
+}
+
+/// Sum of all array elements, the stand-in for PolyBench's `print_array`.
+fn emit_checksum(layout: &Layout, f: &mut FunctionBuilder) {
+    let acc = f.local(ValType::F64);
+    let i = f.local(ValType::I32);
+    let total = layout.total_elements as i32;
+    f.i32_const(0).set_local(i);
+    f.block(None).loop_(None);
+    f.get_local(i).i32_const(total).binary(BinaryOp::I32GeS).br_if(1);
+    f.get_local(acc);
+    f.get_local(i).i32_const(8).i32_mul();
+    f.load(LoadOp::F64Load, 0);
+    f.f64_add().set_local(acc);
+    f.get_local(i).i32_const(1).i32_add().set_local(i);
+    f.br(0).end().end();
+    f.get_local(acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use wasabi_vm::{EmptyHost, Instance};
+    use wasabi_wasm::validate::validate;
+
+    fn run_main(module: Module) -> f64 {
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(module, &mut host).expect("instantiates");
+        let results = instance.invoke_export("main", &[], &mut host).expect("runs");
+        results[0].as_f64().expect("f64 checksum")
+    }
+
+    /// `A[i] = i+1` for i in 0..4 → checksum 1+2+3+4 = 10.
+    #[test]
+    fn simple_init_sums() {
+        let program = Program {
+            name: "simple",
+            arrays: vec![Program::array("A", &[4])],
+            init: vec![for_(
+                "i",
+                c(0),
+                c(4),
+                vec![store("A", [v("i")], int(v("i") + c(1)))],
+            )],
+            kernel: vec![],
+        };
+        let module = compile(&program);
+        validate(&module).expect("compiled module is valid");
+        assert_eq!(run_main(module), 10.0);
+    }
+
+    /// Matrix sum C = A + B over 3x3 with A=1, B=2 everywhere → 27.
+    #[test]
+    fn two_dimensional_arrays() {
+        let program = Program {
+            name: "matsum",
+            arrays: vec![
+                Program::array("A", &[3, 3]),
+                Program::array("B", &[3, 3]),
+                Program::array("C", &[3, 3]),
+            ],
+            init: vec![for_(
+                "i",
+                c(0),
+                c(3),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(3),
+                    vec![
+                        store("A", [v("i"), v("j")], fc(1.0)),
+                        store("B", [v("i"), v("j")], fc(2.0)),
+                    ],
+                )],
+            )],
+            kernel: vec![for_(
+                "i",
+                c(0),
+                c(3),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(3),
+                    vec![store(
+                        "C",
+                        [v("i"), v("j")],
+                        ld("A", [v("i"), v("j")]) + ld("B", [v("i"), v("j")]),
+                    )],
+                )],
+            )],
+        };
+        let module = compile(&program);
+        validate(&module).expect("valid");
+        // A contributes 9, B contributes 18, C contributes 27.
+        assert_eq!(run_main(module), 9.0 + 18.0 + 27.0);
+    }
+
+    #[test]
+    fn reverse_loops_and_conditionals() {
+        // A[i] = (i >= 2) ? 5 : 1, filled by a downward loop.
+        let program = Program {
+            name: "rev",
+            arrays: vec![Program::array("A", &[4])],
+            init: vec![],
+            kernel: vec![for_rev(
+                "i",
+                c(0),
+                c(4),
+                vec![if_(
+                    Cond::Ge(v("i"), c(2)),
+                    vec![store("A", [v("i")], fc(5.0))],
+                    vec![store("A", [v("i")], fc(1.0))],
+                )],
+            )],
+        };
+        assert_eq!(run_main(compile(&program)), 5.0 + 5.0 + 1.0 + 1.0);
+    }
+
+    #[test]
+    fn scalars_accumulate() {
+        // s = 0; for i in 0..5 { s = s + i }; A[0] = s
+        let program = Program {
+            name: "scalars",
+            arrays: vec![Program::array("A", &[1])],
+            init: vec![],
+            kernel: vec![
+                set("s", fc(0.0)),
+                for_("i", c(0), c(5), vec![set("s", sc("s") + int(v("i")))]),
+                store("A", [c(0)], sc("s")),
+            ],
+        };
+        assert_eq!(run_main(compile(&program)), 10.0);
+    }
+
+    #[test]
+    fn min_max_sqrt() {
+        let program = Program {
+            name: "mms",
+            arrays: vec![Program::array("A", &[3])],
+            init: vec![],
+            kernel: vec![
+                store("A", [c(0)], min(fc(3.0), fc(7.0))),
+                store("A", [c(1)], max(fc(3.0), fc(7.0))),
+                store("A", [c(2)], sqrt(fc(16.0))),
+            ],
+        };
+        assert_eq!(run_main(compile(&program)), 3.0 + 7.0 + 4.0);
+    }
+
+    #[test]
+    fn invalid_array_reference_panics() {
+        let program = Program {
+            name: "bad",
+            arrays: vec![],
+            init: vec![],
+            kernel: vec![store("missing", [c(0)], fc(1.0))],
+        };
+        let result = std::panic::catch_unwind(|| compile(&program));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn triangular_loop_bounds() {
+        // Lower-triangular fill: for i in 0..4, j in 0..=i.
+        let program = Program {
+            name: "tri",
+            arrays: vec![Program::array("L", &[4, 4])],
+            init: vec![],
+            kernel: vec![for_(
+                "i",
+                c(0),
+                c(4),
+                vec![for_(
+                    "j",
+                    c(0),
+                    v("i") + c(1),
+                    vec![store("L", [v("i"), v("j")], fc(1.0))],
+                )],
+            )],
+        };
+        assert_eq!(run_main(compile(&program)), 10.0); // 1+2+3+4 entries
+    }
+}

@@ -1,0 +1,308 @@
+//! A small loop-nest DSL for expressing PolyBench-style numeric kernels.
+//!
+//! The paper evaluates Wasabi on the 30 PolyBench/C programs compiled with
+//! emscripten. This repository cannot ship a C compiler, so the kernels are
+//! written in this DSL and compiled to WebAssembly by [`mod@crate::compile`] —
+//! preserving what the paper uses PolyBench for: compute-intensive affine
+//! loop nests over `f64` arrays, dominated by `local.*`, `const`, `load`,
+//! `store`, and `binary` instructions (DESIGN.md §3).
+
+use std::ops;
+
+/// An integer (index) expression over loop variables and constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IExpr {
+    Const(i32),
+    /// A loop variable.
+    Var(&'static str),
+    Add(Box<IExpr>, Box<IExpr>),
+    Sub(Box<IExpr>, Box<IExpr>),
+    Mul(Box<IExpr>, Box<IExpr>),
+    /// Truncating division by a (positive) constant.
+    DivC(Box<IExpr>, i32),
+    /// Remainder by a (positive) constant.
+    RemC(Box<IExpr>, i32),
+}
+
+/// Integer constant.
+pub fn c(v: i32) -> IExpr {
+    IExpr::Const(v)
+}
+
+/// Loop variable reference.
+pub fn v(name: &'static str) -> IExpr {
+    IExpr::Var(name)
+}
+
+/// Truncating division by a positive constant.
+pub fn idiv(e: IExpr, divisor: i32) -> IExpr {
+    IExpr::DivC(Box::new(e), divisor)
+}
+
+/// Remainder by a positive constant (PolyBench's `% n` init pattern).
+pub fn irem(e: IExpr, divisor: i32) -> IExpr {
+    IExpr::RemC(Box::new(e), divisor)
+}
+
+impl ops::Add for IExpr {
+    type Output = IExpr;
+    fn add(self, rhs: IExpr) -> IExpr {
+        IExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+impl ops::Sub for IExpr {
+    type Output = IExpr;
+    fn sub(self, rhs: IExpr) -> IExpr {
+        IExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+impl ops::Mul for IExpr {
+    type Output = IExpr;
+    fn mul(self, rhs: IExpr) -> IExpr {
+        IExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+/// A floating-point (`f64`) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FExpr {
+    Const(f64),
+    /// A scalar `f64` variable.
+    Scalar(&'static str),
+    /// An array element read.
+    Load(&'static str, Vec<IExpr>),
+    Add(Box<FExpr>, Box<FExpr>),
+    Sub(Box<FExpr>, Box<FExpr>),
+    Mul(Box<FExpr>, Box<FExpr>),
+    Div(Box<FExpr>, Box<FExpr>),
+    Sqrt(Box<FExpr>),
+    Abs(Box<FExpr>),
+    Min(Box<FExpr>, Box<FExpr>),
+    Max(Box<FExpr>, Box<FExpr>),
+    /// Convert an index expression to `f64` (PolyBench's
+    /// `(DATA_TYPE)(i+1)` pattern).
+    FromInt(Box<IExpr>),
+}
+
+/// Float constant.
+pub fn fc(v: f64) -> FExpr {
+    FExpr::Const(v)
+}
+
+/// Scalar variable reference.
+pub fn sc(name: &'static str) -> FExpr {
+    FExpr::Scalar(name)
+}
+
+/// Array element read: `ld("A", [v("i"), v("j")])`.
+pub fn ld(array: &'static str, index: impl Into<Vec<IExpr>>) -> FExpr {
+    FExpr::Load(array, index.into())
+}
+
+/// Index-to-float conversion.
+pub fn int(e: IExpr) -> FExpr {
+    FExpr::FromInt(Box::new(e))
+}
+
+/// Square root.
+pub fn sqrt(e: FExpr) -> FExpr {
+    FExpr::Sqrt(Box::new(e))
+}
+
+/// Absolute value.
+pub fn abs(e: FExpr) -> FExpr {
+    FExpr::Abs(Box::new(e))
+}
+
+/// Minimum (used by floyd-warshall).
+pub fn min(a: FExpr, b: FExpr) -> FExpr {
+    FExpr::Min(Box::new(a), Box::new(b))
+}
+
+/// Maximum (used by nussinov).
+pub fn max(a: FExpr, b: FExpr) -> FExpr {
+    FExpr::Max(Box::new(a), Box::new(b))
+}
+
+impl ops::Add for FExpr {
+    type Output = FExpr;
+    fn add(self, rhs: FExpr) -> FExpr {
+        FExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+impl ops::Sub for FExpr {
+    type Output = FExpr;
+    fn sub(self, rhs: FExpr) -> FExpr {
+        FExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+impl ops::Mul for FExpr {
+    type Output = FExpr;
+    fn mul(self, rhs: FExpr) -> FExpr {
+        FExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+impl ops::Div for FExpr {
+    type Output = FExpr;
+    fn div(self, rhs: FExpr) -> FExpr {
+        FExpr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+/// A comparison condition over indices or `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    Lt(IExpr, IExpr),
+    Le(IExpr, IExpr),
+    Gt(IExpr, IExpr),
+    Ge(IExpr, IExpr),
+    Eq(IExpr, IExpr),
+    Ne(IExpr, IExpr),
+    /// `f64` comparisons (correlation's stddev guard, nussinov's match).
+    FLt(FExpr, FExpr),
+    FLe(FExpr, FExpr),
+    FEq(FExpr, FExpr),
+}
+
+/// A statement of the kernel language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for var in lo..hi { body }` (upward, exclusive upper bound).
+    For {
+        var: &'static str,
+        lo: IExpr,
+        hi: IExpr,
+        body: Vec<Stmt>,
+    },
+    /// `for var in (lo..hi).rev() { body }` (downward, starts at `hi - 1`,
+    /// ends at `lo` inclusive).
+    ForRev {
+        var: &'static str,
+        lo: IExpr,
+        hi: IExpr,
+        body: Vec<Stmt>,
+    },
+    /// `array[index...] = value`.
+    Store {
+        array: &'static str,
+        index: Vec<IExpr>,
+        value: FExpr,
+    },
+    /// `scalar = value`.
+    Set { name: &'static str, value: FExpr },
+    /// `if cond { then } else { else_ }`.
+    If {
+        cond: Cond,
+        then: Vec<Stmt>,
+        else_: Vec<Stmt>,
+    },
+}
+
+/// `for var in lo..hi { body }`.
+pub fn for_(var: &'static str, lo: IExpr, hi: IExpr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For { var, lo, hi, body }
+}
+
+/// Downward loop from `hi - 1` to `lo` inclusive.
+pub fn for_rev(var: &'static str, lo: IExpr, hi: IExpr, body: Vec<Stmt>) -> Stmt {
+    Stmt::ForRev { var, lo, hi, body }
+}
+
+/// `array[index...] = value`.
+pub fn store(array: &'static str, index: impl Into<Vec<IExpr>>, value: FExpr) -> Stmt {
+    Stmt::Store {
+        array,
+        index: index.into(),
+        value,
+    }
+}
+
+/// `scalar = value`.
+pub fn set(name: &'static str, value: FExpr) -> Stmt {
+    Stmt::Set { name, value }
+}
+
+/// Two-armed conditional.
+pub fn if_(cond: Cond, then: Vec<Stmt>, else_: Vec<Stmt>) -> Stmt {
+    Stmt::If { cond, then, else_ }
+}
+
+/// An array declaration: name and dimension extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    pub name: &'static str,
+    pub dims: Vec<u32>,
+}
+
+impl ArrayDecl {
+    /// Total number of `f64` elements.
+    pub fn len(&self) -> u32 {
+        self.dims.iter().product()
+    }
+
+    /// `true` if any dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A complete kernel program: arrays, an initialization phase, and the
+/// kernel loops (mirroring PolyBench's `init_array` + `kernel_*` split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub name: &'static str,
+    pub arrays: Vec<ArrayDecl>,
+    pub init: Vec<Stmt>,
+    pub kernel: Vec<Stmt>,
+}
+
+impl Program {
+    /// Declare an array helper.
+    pub fn array(name: &'static str, dims: &[u32]) -> ArrayDecl {
+        ArrayDecl {
+            name,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Total `f64` elements over all arrays.
+    pub fn total_elements(&self) -> u32 {
+        self.arrays.iter().map(ArrayDecl::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_operators_build_trees() {
+        let e = v("i") * c(8) + c(16);
+        assert_eq!(
+            e,
+            IExpr::Add(
+                Box::new(IExpr::Mul(Box::new(IExpr::Var("i")), Box::new(IExpr::Const(8)))),
+                Box::new(IExpr::Const(16))
+            )
+        );
+    }
+
+    #[test]
+    fn float_expression_helpers() {
+        let e = ld("A", [v("i")]) * fc(2.0) + sc("s");
+        match e {
+            FExpr::Add(lhs, rhs) => {
+                assert!(matches!(*lhs, FExpr::Mul(..)));
+                assert_eq!(*rhs, FExpr::Scalar("s"));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_len() {
+        let a = Program::array("A", &[4, 8]);
+        assert_eq!(a.len(), 32);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! # wasabi-workloads — evaluation inputs for the Wasabi reproduction
+//!
+//! Stand-ins for the paper's evaluation subjects (DESIGN.md §3):
+//!
+//! - [`polybench`]: all 30 PolyBench/C kernels, written in the loop-nest
+//!   [`dsl`] and compiled to Wasm by [`mod@compile`] (replacing
+//!   "PolyBench compiled with emscripten"),
+//! - [`synthetic`]: deterministic generators for large, diverse,
+//!   application-like binaries (replacing the closed-source PSPDFKit and
+//!   Unreal Engine 4 binaries), plus the miner-like kernel for the
+//!   cryptominer-detection example.
+
+pub mod compile;
+pub mod dsl;
+pub mod polybench;
+pub mod synthetic;
+
+pub use compile::compile;
+pub use dsl::Program;

@@ -1,0 +1,268 @@
+//! PolyBench linear-algebra/blas kernels: gemm, gemver, gesummv, symm,
+//! syr2k, syrk, trmm.
+
+use crate::dsl::*;
+
+fn frac(e: IExpr, modulus: i32) -> FExpr {
+    int(irem(e, modulus)) / fc(f64::from(modulus))
+}
+
+/// General matrix multiply: `C = alpha*A*B + beta*C`.
+pub fn gemm(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "gemm",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("B", &[n as u32, n as u32]),
+            Program::array("C", &[n as u32, n as u32]),
+        ],
+        init: vec![
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+                store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
+                store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+            ])]),
+        ],
+        kernel: vec![for_("i", c(0), c(n), vec![
+            for_("j", c(0), c(n), vec![store(
+                "C",
+                [v("i"), v("j")],
+                ld("C", [v("i"), v("j")]) * fc(1.2),
+            )]),
+            for_("k", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+                "C",
+                [v("i"), v("j")],
+                ld("C", [v("i"), v("j")])
+                    + fc(1.5) * ld("A", [v("i"), v("k")]) * ld("B", [v("k"), v("j")]),
+            )])]),
+        ])],
+    }
+}
+
+/// Vector multiplication and matrix addition:
+/// `A += u1*v1' + u2*v2'; x = beta*A'*y + z; w = alpha*A*x`.
+pub fn gemver(n: u32) -> Program {
+    let n = n as i32;
+    let vec1 = |name| Program::array(name, &[n as u32]);
+    Program {
+        name: "gemver",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            vec1("u1"),
+            vec1("v1"),
+            vec1("u2"),
+            vec1("v2"),
+            vec1("w"),
+            vec1("x"),
+            vec1("y"),
+            vec1("z"),
+        ],
+        init: vec![
+            for_("i", c(0), c(n), vec![
+                store("u1", [v("i")], int(v("i"))),
+                store("u2", [v("i")], frac(v("i") + c(1), n) / fc(2.0)),
+                store("v1", [v("i")], frac(v("i") + c(1), n) / fc(4.0)),
+                store("v2", [v("i")], frac(v("i") + c(1), n) / fc(6.0)),
+                store("y", [v("i")], frac(v("i") + c(1), n) / fc(8.0)),
+                store("z", [v("i")], frac(v("i") + c(1), n) / fc(9.0)),
+                store("x", [v("i")], fc(0.0)),
+                store("w", [v("i")], fc(0.0)),
+                for_("j", c(0), c(n), vec![store(
+                    "A",
+                    [v("i"), v("j")],
+                    frac(v("i") * v("j"), n),
+                )]),
+            ]),
+        ],
+        kernel: vec![
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+                "A",
+                [v("i"), v("j")],
+                ld("A", [v("i"), v("j")])
+                    + ld("u1", [v("i")]) * ld("v1", [v("j")])
+                    + ld("u2", [v("i")]) * ld("v2", [v("j")]),
+            )])]),
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+                "x",
+                [v("i")],
+                ld("x", [v("i")]) + fc(1.2) * ld("A", [v("j"), v("i")]) * ld("y", [v("j")]),
+            )])]),
+            for_("i", c(0), c(n), vec![store(
+                "x",
+                [v("i")],
+                ld("x", [v("i")]) + ld("z", [v("i")]),
+            )]),
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+                "w",
+                [v("i")],
+                ld("w", [v("i")]) + fc(1.5) * ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
+            )])]),
+        ],
+    }
+}
+
+/// Scalar, vector and matrix multiplication: `y = alpha*A*x + beta*B*x`.
+pub fn gesummv(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "gesummv",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("B", &[n as u32, n as u32]),
+            Program::array("tmp", &[n as u32]),
+            Program::array("x", &[n as u32]),
+            Program::array("y", &[n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![
+            store("x", [v("i")], frac(v("i"), n)),
+            for_("j", c(0), c(n), vec![
+                store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
+            ]),
+        ])],
+        kernel: vec![for_("i", c(0), c(n), vec![
+            store("tmp", [v("i")], fc(0.0)),
+            store("y", [v("i")], fc(0.0)),
+            for_("j", c(0), c(n), vec![
+                store(
+                    "tmp",
+                    [v("i")],
+                    ld("A", [v("i"), v("j")]) * ld("x", [v("j")]) + ld("tmp", [v("i")]),
+                ),
+                store(
+                    "y",
+                    [v("i")],
+                    ld("B", [v("i"), v("j")]) * ld("x", [v("j")]) + ld("y", [v("i")]),
+                ),
+            ]),
+            store("y", [v("i")], fc(1.5) * ld("tmp", [v("i")]) + fc(1.2) * ld("y", [v("i")])),
+        ])],
+    }
+}
+
+/// Symmetric matrix multiply: `C = alpha*A*B + beta*C`, A symmetric.
+pub fn symm(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "symm",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("B", &[n as u32, n as u32]),
+            Program::array("C", &[n as u32, n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            store("A", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+            store("B", [v("i"), v("j")], frac(v("j") + c(1), n)),
+            store("C", [v("i"), v("j")], frac(v("i") * v("j") + c(3), n)),
+        ])])],
+        kernel: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            set("temp2", fc(0.0)),
+            for_("k", c(0), v("i"), vec![
+                store(
+                    "C",
+                    [v("k"), v("j")],
+                    ld("C", [v("k"), v("j")])
+                        + fc(1.5) * ld("B", [v("i"), v("j")]) * ld("A", [v("i"), v("k")]),
+                ),
+                set(
+                    "temp2",
+                    sc("temp2") + ld("B", [v("k"), v("j")]) * ld("A", [v("i"), v("k")]),
+                ),
+            ]),
+            store(
+                "C",
+                [v("i"), v("j")],
+                fc(1.2) * ld("C", [v("i"), v("j")])
+                    + fc(1.5) * ld("B", [v("i"), v("j")]) * ld("A", [v("i"), v("i")])
+                    + fc(1.5) * sc("temp2"),
+            ),
+        ])])],
+    }
+}
+
+/// Symmetric rank-2k update: `C = alpha*A*B' + alpha*B*A' + beta*C`.
+pub fn syr2k(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "syr2k",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("B", &[n as u32, n as u32]),
+            Program::array("C", &[n as u32, n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+            store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
+            store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+        ])])],
+        kernel: vec![for_("i", c(0), c(n), vec![
+            for_("j", c(0), v("i") + c(1), vec![store(
+                "C",
+                [v("i"), v("j")],
+                ld("C", [v("i"), v("j")]) * fc(1.2),
+            )]),
+            for_("k", c(0), c(n), vec![for_("j", c(0), v("i") + c(1), vec![store(
+                "C",
+                [v("i"), v("j")],
+                ld("C", [v("i"), v("j")])
+                    + ld("A", [v("j"), v("k")]) * fc(1.5) * ld("B", [v("i"), v("k")])
+                    + ld("B", [v("j"), v("k")]) * fc(1.5) * ld("A", [v("i"), v("k")]),
+            )])]),
+        ])],
+    }
+}
+
+/// Symmetric rank-k update: `C = alpha*A*A' + beta*C`.
+pub fn syrk(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "syrk",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("C", &[n as u32, n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+            store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+        ])])],
+        kernel: vec![for_("i", c(0), c(n), vec![
+            for_("j", c(0), v("i") + c(1), vec![store(
+                "C",
+                [v("i"), v("j")],
+                ld("C", [v("i"), v("j")]) * fc(1.2),
+            )]),
+            for_("k", c(0), c(n), vec![for_("j", c(0), v("i") + c(1), vec![store(
+                "C",
+                [v("i"), v("j")],
+                ld("C", [v("i"), v("j")])
+                    + fc(1.5) * ld("A", [v("i"), v("k")]) * ld("A", [v("j"), v("k")]),
+            )])]),
+        ])],
+    }
+}
+
+/// Triangular matrix multiply: `B = alpha*A'*B`, A lower-unitriangular.
+pub fn trmm(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "trmm",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("B", &[n as u32, n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            store("A", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+            store("B", [v("i"), v("j")], frac(c(n) + v("i") - v("j"), n)),
+        ])])],
+        kernel: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            for_("k", v("i") + c(1), c(n), vec![store(
+                "B",
+                [v("i"), v("j")],
+                ld("B", [v("i"), v("j")])
+                    + ld("A", [v("k"), v("i")]) * ld("B", [v("k"), v("j")]),
+            )]),
+            store("B", [v("i"), v("j")], fc(1.5) * ld("B", [v("i"), v("j")])),
+        ])])],
+    }
+}

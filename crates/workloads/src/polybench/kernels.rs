@@ -1,0 +1,224 @@
+//! PolyBench linear-algebra/kernels: 2mm, 3mm, atax, bicg, doitgen, mvt.
+
+use crate::dsl::*;
+
+fn frac(e: IExpr, modulus: i32) -> FExpr {
+    int(irem(e, modulus)) / fc(f64::from(modulus))
+}
+
+fn matmul_into(dst: &'static str, a: &'static str, b: &'static str, n: i32, scale: f64) -> Stmt {
+    for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+        store(dst, [v("i"), v("j")], fc(0.0)),
+        for_("k", c(0), c(n), vec![store(
+            dst,
+            [v("i"), v("j")],
+            ld(dst, [v("i"), v("j")])
+                + fc(scale) * ld(a, [v("i"), v("k")]) * ld(b, [v("k"), v("j")]),
+        )]),
+    ])])
+}
+
+/// Two matrix multiplications: `D = alpha*A*B*C + beta*D`.
+pub fn two_mm(n: u32) -> Program {
+    let n = n as i32;
+    let mat = |name| Program::array(name, &[n as u32, n as u32]);
+    Program {
+        name: "2mm",
+        arrays: vec![mat("tmp"), mat("A"), mat("B"), mat("C"), mat("D")],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+            store("B", [v("i"), v("j")], frac(v("i") * (v("j") + c(1)), n)),
+            store("C", [v("i"), v("j")], frac(v("i") * (v("j") + c(3)) + c(1), n)),
+            store("D", [v("i"), v("j")], frac(v("i") * (v("j") + c(2)), n)),
+        ])])],
+        kernel: vec![
+            matmul_into("tmp", "A", "B", n, 1.5),
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+                store("D", [v("i"), v("j")], ld("D", [v("i"), v("j")]) * fc(1.2)),
+                for_("k", c(0), c(n), vec![store(
+                    "D",
+                    [v("i"), v("j")],
+                    ld("D", [v("i"), v("j")])
+                        + ld("tmp", [v("i"), v("k")]) * ld("C", [v("k"), v("j")]),
+                )]),
+            ])]),
+        ],
+    }
+}
+
+/// Three matrix multiplications: `G = (A*B) * (C*D)`.
+pub fn three_mm(n: u32) -> Program {
+    let n = n as i32;
+    let mat = |name| Program::array(name, &[n as u32, n as u32]);
+    Program {
+        name: "3mm",
+        arrays: vec![mat("A"), mat("B"), mat("C"), mat("D"), mat("E"), mat("F"), mat("G")],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+            store("B", [v("i"), v("j")], frac(v("i") * (v("j") + c(1)) + c(2), n)),
+            store("C", [v("i"), v("j")], frac(v("i") * (v("j") + c(3)), n)),
+            store("D", [v("i"), v("j")], frac(v("i") * (v("j") + c(2)) + c(2), n)),
+        ])])],
+        kernel: vec![
+            matmul_into("E", "A", "B", n, 1.0),
+            matmul_into("F", "C", "D", n, 1.0),
+            matmul_into("G", "E", "F", n, 1.0),
+        ],
+    }
+}
+
+/// Matrix-transpose-vector multiply: `y = A' * (A*x)`.
+pub fn atax(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "atax",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("x", &[n as u32]),
+            Program::array("y", &[n as u32]),
+            Program::array("tmp", &[n as u32]),
+        ],
+        init: vec![
+            for_("i", c(0), c(n), vec![
+                store("x", [v("i")], fc(1.0) + int(v("i")) / fc(f64::from(n))),
+                for_("j", c(0), c(n), vec![store(
+                    "A",
+                    [v("i"), v("j")],
+                    frac(v("i") + v("j"), n) / fc(5.0),
+                )]),
+            ]),
+            for_("i", c(0), c(n), vec![store("y", [v("i")], fc(0.0))]),
+        ],
+        kernel: vec![for_("i", c(0), c(n), vec![
+            store("tmp", [v("i")], fc(0.0)),
+            for_("j", c(0), c(n), vec![store(
+                "tmp",
+                [v("i")],
+                ld("tmp", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
+            )]),
+            for_("j", c(0), c(n), vec![store(
+                "y",
+                [v("j")],
+                ld("y", [v("j")]) + ld("A", [v("i"), v("j")]) * ld("tmp", [v("i")]),
+            )]),
+        ])],
+    }
+}
+
+/// BiCG sub-kernel: `s = A'*r; q = A*p`.
+pub fn bicg(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "bicg",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("s", &[n as u32]),
+            Program::array("q", &[n as u32]),
+            Program::array("p", &[n as u32]),
+            Program::array("r", &[n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![
+            store("p", [v("i")], frac(v("i"), n)),
+            store("r", [v("i")], frac(v("i") + c(1), n) / fc(2.0)),
+            for_("j", c(0), c(n), vec![store(
+                "A",
+                [v("i"), v("j")],
+                frac(v("i") * (v("j") + c(1)), n),
+            )]),
+        ])],
+        kernel: vec![
+            for_("i", c(0), c(n), vec![store("s", [v("i")], fc(0.0))]),
+            for_("i", c(0), c(n), vec![
+                store("q", [v("i")], fc(0.0)),
+                for_("j", c(0), c(n), vec![
+                    store(
+                        "s",
+                        [v("j")],
+                        ld("s", [v("j")]) + ld("r", [v("i")]) * ld("A", [v("i"), v("j")]),
+                    ),
+                    store(
+                        "q",
+                        [v("i")],
+                        ld("q", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("p", [v("j")]),
+                    ),
+                ]),
+            ]),
+        ],
+    }
+}
+
+/// Multi-resolution analysis kernel: `A[r][q][p] = sum_s A[r][q][s]*C4[s][p]`.
+pub fn doitgen(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "doitgen",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32, n as u32]),
+            Program::array("C4", &[n as u32, n as u32]),
+            Program::array("sum", &[n as u32]),
+        ],
+        init: vec![
+            for_("r", c(0), c(n), vec![for_("q", c(0), c(n), vec![for_("p", c(0), c(n), vec![
+                store("A", [v("r"), v("q"), v("p")], frac(v("r") * v("q") + v("p"), n)),
+            ])])]),
+            for_("s", c(0), c(n), vec![for_("p", c(0), c(n), vec![store(
+                "C4",
+                [v("s"), v("p")],
+                frac(v("s") * v("p") + c(1), n),
+            )])]),
+        ],
+        kernel: vec![for_("r", c(0), c(n), vec![for_("q", c(0), c(n), vec![
+            for_("p", c(0), c(n), vec![
+                store("sum", [v("p")], fc(0.0)),
+                for_("s", c(0), c(n), vec![store(
+                    "sum",
+                    [v("p")],
+                    ld("sum", [v("p")]) + ld("A", [v("r"), v("q"), v("s")]) * ld("C4", [v("s"), v("p")]),
+                )]),
+            ]),
+            for_("p", c(0), c(n), vec![store(
+                "A",
+                [v("r"), v("q"), v("p")],
+                ld("sum", [v("p")]),
+            )]),
+        ])])],
+    }
+}
+
+/// Matrix-vector product and transpose: `x1 += A*y1; x2 += A'*y2`.
+pub fn mvt(n: u32) -> Program {
+    let n = n as i32;
+    Program {
+        name: "mvt",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("x1", &[n as u32]),
+            Program::array("x2", &[n as u32]),
+            Program::array("y1", &[n as u32]),
+            Program::array("y2", &[n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![
+            store("x1", [v("i")], frac(v("i"), n)),
+            store("x2", [v("i")], frac(v("i") + c(1), n)),
+            store("y1", [v("i")], frac(v("i") + c(3), n)),
+            store("y2", [v("i")], frac(v("i") + c(4), n)),
+            for_("j", c(0), c(n), vec![store(
+                "A",
+                [v("i"), v("j")],
+                frac(v("i") * v("j"), n),
+            )]),
+        ])],
+        kernel: vec![
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+                "x1",
+                [v("i")],
+                ld("x1", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("y1", [v("j")]),
+            )])]),
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+                "x2",
+                [v("i")],
+                ld("x2", [v("i")]) + ld("A", [v("j"), v("i")]) * ld("y2", [v("j")]),
+            )])]),
+        ],
+    }
+}

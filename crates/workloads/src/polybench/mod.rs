@@ -1,0 +1,187 @@
+//! The 30 PolyBench/C 4.2 kernels, expressed in the loop-nest DSL
+//! (DESIGN.md §3: the stand-in for "PolyBench compiled with emscripten",
+//! 5,163 lines of C in the paper's evaluation, §4.1).
+//!
+//! Kernels take a base problem size `n`; stencil kernels derive their time
+//! steps from it. Use [`all`] to obtain all thirty, or [`by_name`] for one.
+//!
+//! Port notes (see DESIGN.md for the substitution rationale):
+//! - all arrays are `f64` (PolyBench uses `int` for floyd-warshall and
+//!   nussinov; the loop/dataflow structure is unchanged),
+//! - deriche's exponential coefficients are compile-time constants,
+//!   computed from `alpha` exactly like the C code does before its loops.
+
+pub mod blas;
+pub mod datamining;
+pub mod kernels;
+pub mod medley;
+pub mod solvers;
+pub mod stencils;
+
+use crate::dsl::Program;
+
+/// Names of all 30 kernels, grouped as in the PolyBench distribution.
+pub const NAMES: [&str; 30] = [
+    // datamining
+    "correlation",
+    "covariance",
+    // linear-algebra/blas
+    "gemm",
+    "gemver",
+    "gesummv",
+    "symm",
+    "syr2k",
+    "syrk",
+    "trmm",
+    // linear-algebra/kernels
+    "2mm",
+    "3mm",
+    "atax",
+    "bicg",
+    "doitgen",
+    "mvt",
+    // linear-algebra/solvers
+    "cholesky",
+    "durbin",
+    "gramschmidt",
+    "lu",
+    "ludcmp",
+    "trisolv",
+    // medley
+    "deriche",
+    "floyd-warshall",
+    "nussinov",
+    // stencils
+    "adi",
+    "fdtd-2d",
+    "heat-3d",
+    "jacobi-1d",
+    "jacobi-2d",
+    "seidel-2d",
+];
+
+/// Build the kernel `name` with base problem size `n`.
+///
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str, n: u32) -> Option<Program> {
+    Some(match name {
+        "correlation" => datamining::correlation(n),
+        "covariance" => datamining::covariance(n),
+        "gemm" => blas::gemm(n),
+        "gemver" => blas::gemver(n),
+        "gesummv" => blas::gesummv(n),
+        "symm" => blas::symm(n),
+        "syr2k" => blas::syr2k(n),
+        "syrk" => blas::syrk(n),
+        "trmm" => blas::trmm(n),
+        "2mm" => kernels::two_mm(n),
+        "3mm" => kernels::three_mm(n),
+        "atax" => kernels::atax(n),
+        "bicg" => kernels::bicg(n),
+        "doitgen" => kernels::doitgen(n),
+        "mvt" => kernels::mvt(n),
+        "cholesky" => solvers::cholesky(n),
+        "durbin" => solvers::durbin(n),
+        "gramschmidt" => solvers::gramschmidt(n),
+        "lu" => solvers::lu(n),
+        "ludcmp" => solvers::ludcmp(n),
+        "trisolv" => solvers::trisolv(n),
+        "deriche" => medley::deriche(n),
+        "floyd-warshall" => medley::floyd_warshall(n),
+        "nussinov" => medley::nussinov(n),
+        "adi" => stencils::adi(n),
+        "fdtd-2d" => stencils::fdtd_2d(n),
+        "heat-3d" => stencils::heat_3d(n),
+        "jacobi-1d" => stencils::jacobi_1d(n),
+        "jacobi-2d" => stencils::jacobi_2d(n),
+        "seidel-2d" => stencils::seidel_2d(n),
+        _ => return None,
+    })
+}
+
+/// All 30 kernels with base problem size `n`.
+pub fn all(n: u32) -> Vec<Program> {
+    NAMES
+        .iter()
+        .map(|name| by_name(name, n).expect("all NAMES are known"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use wasabi_vm::{EmptyHost, Instance};
+    use wasabi_wasm::validate::validate;
+
+    #[test]
+    fn there_are_30_kernels() {
+        // Paper §4.1: "30 of them are from the PolyBench/C benchmark suite".
+        assert_eq!(NAMES.len(), 30);
+        assert_eq!(all(4).len(), 30);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("not-a-kernel", 4).is_none());
+    }
+
+    #[test]
+    fn all_kernels_compile_and_validate() {
+        for program in all(6) {
+            let module = compile(&program);
+            validate(&module)
+                .unwrap_or_else(|e| panic!("{} does not validate: {e}", program.name));
+        }
+    }
+
+    #[test]
+    fn all_kernels_execute_and_produce_finite_checksums() {
+        for program in all(6) {
+            let module = compile(&program);
+            let mut host = EmptyHost;
+            let mut instance = Instance::instantiate(module, &mut host)
+                .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+            instance.set_fuel(Some(200_000_000));
+            let results = instance
+                .invoke_export("main", &[], &mut host)
+                .unwrap_or_else(|e| panic!("{} trapped: {e}", program.name));
+            let checksum = results[0].as_f64().expect("f64 checksum");
+            assert!(
+                checksum.is_finite(),
+                "{}: checksum {checksum} is not finite",
+                program.name
+            );
+        }
+    }
+
+    #[test]
+    fn checksums_are_deterministic() {
+        for name in ["gemm", "cholesky", "nussinov", "adi"] {
+            let run = |n: u32| {
+                let module = compile(&by_name(name, n).unwrap());
+                let mut host = EmptyHost;
+                let mut instance = Instance::instantiate(module, &mut host).unwrap();
+                instance
+                    .invoke_export("main", &[], &mut host)
+                    .unwrap()[0]
+                    .as_f64()
+                    .unwrap()
+            };
+            assert_eq!(run(6), run(6), "{name} not deterministic");
+            assert_ne!(run(6), run(8), "{name} insensitive to problem size");
+        }
+    }
+
+    #[test]
+    fn kernels_differ_from_each_other() {
+        // Guard against copy-paste mistakes: different kernels must produce
+        // different instruction streams.
+        use std::collections::HashSet;
+        let encoded: HashSet<Vec<u8>> = all(5)
+            .iter()
+            .map(|p| wasabi_wasm::encode::encode(&compile(p)))
+            .collect();
+        assert_eq!(encoded.len(), 30);
+    }
+}

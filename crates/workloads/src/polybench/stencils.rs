@@ -1,0 +1,301 @@
+//! PolyBench stencil kernels: adi, fdtd-2d, heat-3d, jacobi-1d, jacobi-2d,
+//! seidel-2d.
+
+use crate::dsl::*;
+
+fn tsteps(n: u32) -> i32 {
+    (n / 4).max(2) as i32
+}
+
+/// Alternating-direction implicit solver.
+pub fn adi(n: u32) -> Program {
+    let t = tsteps(n);
+    let n = n as i32;
+    let nf = f64::from(n);
+    let tf = f64::from(t);
+    let dx = 1.0 / nf;
+    let dy = 1.0 / nf;
+    let dt = 1.0 / tf;
+    let b1 = 2.0;
+    let b2 = 1.0;
+    let mul1 = b1 * dt / (dx * dx);
+    let mul2 = b2 * dt / (dy * dy);
+    let a = -mul1 / 2.0;
+    let b = 1.0 + mul1;
+    let cc = a;
+    let d = -mul2 / 2.0;
+    let e = 1.0 + mul2;
+    let f = d;
+
+    Program {
+        name: "adi",
+        arrays: vec![
+            Program::array("u", &[n as u32, n as u32]),
+            Program::array("vv", &[n as u32, n as u32]),
+            Program::array("p", &[n as u32, n as u32]),
+            Program::array("q", &[n as u32, n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+            "u",
+            [v("i"), v("j")],
+            int(v("i") + c(n) - v("j")) / fc(nf),
+        )])])],
+        kernel: vec![for_("t", c(1), c(t + 1), vec![
+            // Column sweep.
+            for_("i", c(1), c(n - 1), vec![
+                store("vv", [c(0), v("i")], fc(1.0)),
+                store("p", [v("i"), c(0)], fc(0.0)),
+                store("q", [v("i"), c(0)], fc(1.0)),
+                for_("j", c(1), c(n - 1), vec![
+                    store(
+                        "p",
+                        [v("i"), v("j")],
+                        fc(0.0) - fc(cc) / (fc(a) * ld("p", [v("i"), v("j") - c(1)]) + fc(b)),
+                    ),
+                    store(
+                        "q",
+                        [v("i"), v("j")],
+                        ((fc(0.0) - fc(d)) * ld("u", [v("j"), v("i") - c(1)])
+                            + (fc(1.0) + fc(2.0) * fc(d)) * ld("u", [v("j"), v("i")])
+                            - fc(f) * ld("u", [v("j"), v("i") + c(1)])
+                            - fc(a) * ld("q", [v("i"), v("j") - c(1)]))
+                            / (fc(a) * ld("p", [v("i"), v("j") - c(1)]) + fc(b)),
+                    ),
+                ]),
+                store("vv", [c(n - 1), v("i")], fc(1.0)),
+                for_rev("j", c(1), c(n - 1), vec![store(
+                    "vv",
+                    [v("j"), v("i")],
+                    ld("p", [v("i"), v("j")]) * ld("vv", [v("j") + c(1), v("i")])
+                        + ld("q", [v("i"), v("j")]),
+                )]),
+            ]),
+            // Row sweep.
+            for_("i", c(1), c(n - 1), vec![
+                store("u", [v("i"), c(0)], fc(1.0)),
+                store("p", [v("i"), c(0)], fc(0.0)),
+                store("q", [v("i"), c(0)], fc(1.0)),
+                for_("j", c(1), c(n - 1), vec![
+                    store(
+                        "p",
+                        [v("i"), v("j")],
+                        fc(0.0) - fc(f) / (fc(d) * ld("p", [v("i"), v("j") - c(1)]) + fc(e)),
+                    ),
+                    store(
+                        "q",
+                        [v("i"), v("j")],
+                        ((fc(0.0) - fc(a)) * ld("vv", [v("i") - c(1), v("j")])
+                            + (fc(1.0) + fc(2.0) * fc(a)) * ld("vv", [v("i"), v("j")])
+                            - fc(cc) * ld("vv", [v("i") + c(1), v("j")])
+                            - fc(d) * ld("q", [v("i"), v("j") - c(1)]))
+                            / (fc(d) * ld("p", [v("i"), v("j") - c(1)]) + fc(e)),
+                    ),
+                ]),
+                store("u", [v("i"), c(n - 1)], fc(1.0)),
+                for_rev("j", c(1), c(n - 1), vec![store(
+                    "u",
+                    [v("i"), v("j")],
+                    ld("p", [v("i"), v("j")]) * ld("u", [v("i"), v("j") + c(1)])
+                        + ld("q", [v("i"), v("j")]),
+                )]),
+            ]),
+        ])],
+    }
+}
+
+/// 2-D finite-difference time-domain kernel.
+pub fn fdtd_2d(n: u32) -> Program {
+    let t = tsteps(n);
+    let n = n as i32;
+    Program {
+        name: "fdtd-2d",
+        arrays: vec![
+            Program::array("ex", &[n as u32, n as u32]),
+            Program::array("ey", &[n as u32, n as u32]),
+            Program::array("hz", &[n as u32, n as u32]),
+            Program::array("fict", &[t as u32]),
+        ],
+        init: vec![
+            for_("i", c(0), c(t), vec![store("fict", [v("i")], int(v("i")))]),
+            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+                store("ex", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(1.0)) / fc(f64::from(n))),
+                store("ey", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(2.0)) / fc(f64::from(n))),
+                store("hz", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(3.0)) / fc(f64::from(n))),
+            ])]),
+        ],
+        kernel: vec![for_("t", c(0), c(t), vec![
+            for_("j", c(0), c(n), vec![store("ey", [c(0), v("j")], ld("fict", [v("t")]))]),
+            for_("i", c(1), c(n), vec![for_("j", c(0), c(n), vec![store(
+                "ey",
+                [v("i"), v("j")],
+                ld("ey", [v("i"), v("j")])
+                    - fc(0.5) * (ld("hz", [v("i"), v("j")]) - ld("hz", [v("i") - c(1), v("j")])),
+            )])]),
+            for_("i", c(0), c(n), vec![for_("j", c(1), c(n), vec![store(
+                "ex",
+                [v("i"), v("j")],
+                ld("ex", [v("i"), v("j")])
+                    - fc(0.5) * (ld("hz", [v("i"), v("j")]) - ld("hz", [v("i"), v("j") - c(1)])),
+            )])]),
+            for_("i", c(0), c(n - 1), vec![for_("j", c(0), c(n - 1), vec![store(
+                "hz",
+                [v("i"), v("j")],
+                ld("hz", [v("i"), v("j")])
+                    - fc(0.7)
+                        * (ld("ex", [v("i"), v("j") + c(1)]) - ld("ex", [v("i"), v("j")])
+                            + ld("ey", [v("i") + c(1), v("j")])
+                            - ld("ey", [v("i"), v("j")])),
+            )])]),
+        ])],
+    }
+}
+
+/// 3-D heat equation stencil.
+pub fn heat_3d(n: u32) -> Program {
+    let t = tsteps(n);
+    let n = n as i32;
+    let stencil = |dst: &'static str, src: &'static str| -> Stmt {
+        for_("i", c(1), c(n - 1), vec![for_("j", c(1), c(n - 1), vec![for_(
+            "k",
+            c(1),
+            c(n - 1),
+            vec![store(
+                dst,
+                [v("i"), v("j"), v("k")],
+                fc(0.125)
+                    * (ld(src, [v("i") + c(1), v("j"), v("k")])
+                        - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
+                        + ld(src, [v("i") - c(1), v("j"), v("k")]))
+                    + fc(0.125)
+                        * (ld(src, [v("i"), v("j") + c(1), v("k")])
+                            - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
+                            + ld(src, [v("i"), v("j") - c(1), v("k")]))
+                    + fc(0.125)
+                        * (ld(src, [v("i"), v("j"), v("k") + c(1)])
+                            - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
+                            + ld(src, [v("i"), v("j"), v("k") - c(1)]))
+                    + ld(src, [v("i"), v("j"), v("k")]),
+            )],
+        )])])
+    };
+    Program {
+        name: "heat-3d",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32, n as u32]),
+            Program::array("B", &[n as u32, n as u32, n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![for_(
+            "k",
+            c(0),
+            c(n),
+            vec![
+                store(
+                    "A",
+                    [v("i"), v("j"), v("k")],
+                    int(v("i") + v("j") + (c(n) - v("k"))) * fc(10.0) / fc(f64::from(n)),
+                ),
+                store(
+                    "B",
+                    [v("i"), v("j"), v("k")],
+                    int(v("i") + v("j") + (c(n) - v("k"))) * fc(10.0) / fc(f64::from(n)),
+                ),
+            ],
+        )])])],
+        kernel: vec![for_("t", c(1), c(t + 1), vec![stencil("B", "A"), stencil("A", "B")])],
+    }
+}
+
+/// 1-D Jacobi stencil.
+pub fn jacobi_1d(n: u32) -> Program {
+    let t = tsteps(n);
+    let n = n as i32;
+    Program {
+        name: "jacobi-1d",
+        arrays: vec![
+            Program::array("A", &[n as u32]),
+            Program::array("B", &[n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![
+            store("A", [v("i")], (int(v("i")) + fc(2.0)) / fc(f64::from(n))),
+            store("B", [v("i")], (int(v("i")) + fc(3.0)) / fc(f64::from(n))),
+        ])],
+        kernel: vec![for_("t", c(0), c(t), vec![
+            for_("i", c(1), c(n - 1), vec![store(
+                "B",
+                [v("i")],
+                fc(0.33333)
+                    * (ld("A", [v("i") - c(1)]) + ld("A", [v("i")]) + ld("A", [v("i") + c(1)])),
+            )]),
+            for_("i", c(1), c(n - 1), vec![store(
+                "A",
+                [v("i")],
+                fc(0.33333)
+                    * (ld("B", [v("i") - c(1)]) + ld("B", [v("i")]) + ld("B", [v("i") + c(1)])),
+            )]),
+        ])],
+    }
+}
+
+/// 2-D Jacobi stencil.
+pub fn jacobi_2d(n: u32) -> Program {
+    let t = tsteps(n);
+    let n = n as i32;
+    let sweep = |dst: &'static str, src: &'static str| -> Stmt {
+        for_("i", c(1), c(n - 1), vec![for_("j", c(1), c(n - 1), vec![store(
+            dst,
+            [v("i"), v("j")],
+            fc(0.2)
+                * (ld(src, [v("i"), v("j")])
+                    + ld(src, [v("i"), v("j") - c(1)])
+                    + ld(src, [v("i"), v("j") + c(1)])
+                    + ld(src, [v("i") + c(1), v("j")])
+                    + ld(src, [v("i") - c(1), v("j")])),
+        )])])
+    };
+    Program {
+        name: "jacobi-2d",
+        arrays: vec![
+            Program::array("A", &[n as u32, n as u32]),
+            Program::array("B", &[n as u32, n as u32]),
+        ],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
+            store("A", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(2.0)) / fc(f64::from(n))),
+            store("B", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(3.0)) / fc(f64::from(n))),
+        ])])],
+        kernel: vec![for_("t", c(0), c(t), vec![sweep("B", "A"), sweep("A", "B")])],
+    }
+}
+
+/// 2-D Gauss-Seidel stencil (in place).
+pub fn seidel_2d(n: u32) -> Program {
+    let t = tsteps(n);
+    let n = n as i32;
+    Program {
+        name: "seidel-2d",
+        arrays: vec![Program::array("A", &[n as u32, n as u32])],
+        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
+            "A",
+            [v("i"), v("j")],
+            (int(v("i")) * (int(v("j")) + fc(2.0)) + fc(2.0)) / fc(f64::from(n)),
+        )])])],
+        kernel: vec![for_("t", c(0), c(t), vec![for_("i", c(1), c(n - 1), vec![for_(
+            "j",
+            c(1),
+            c(n - 1),
+            vec![store(
+                "A",
+                [v("i"), v("j")],
+                (ld("A", [v("i") - c(1), v("j") - c(1)])
+                    + ld("A", [v("i") - c(1), v("j")])
+                    + ld("A", [v("i") - c(1), v("j") + c(1)])
+                    + ld("A", [v("i"), v("j") - c(1)])
+                    + ld("A", [v("i"), v("j")])
+                    + ld("A", [v("i"), v("j") + c(1)])
+                    + ld("A", [v("i") + c(1), v("j") - c(1)])
+                    + ld("A", [v("i") + c(1), v("j")])
+                    + ld("A", [v("i") + c(1), v("j") + c(1)]))
+                    / fc(9.0),
+            )],
+        )])])],
+    }
+}

@@ -1,0 +1,453 @@
+//! Deterministic generators for application-like WebAssembly binaries.
+//!
+//! The paper's two real-world subjects — PSPDFKit (9.5 MB) and the Unreal
+//! Engine 4 Zen Garden demo (39.5 MB) — are closed-source. These generators
+//! produce binaries with the *properties the paper's evaluation relies on*
+//! (DESIGN.md §3): multi-megabyte size, thousands of functions, a diverse
+//! instruction mix with more calls and branches than PolyBench, indirect
+//! calls through a table, data segments, and a function with 22 i32
+//! parameters (the §4.5 argument against eager monomorphization).
+//!
+//! Generation is seeded and fully deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wasabi_wasm::builder::{FunctionBuilder, ModuleBuilder};
+use wasabi_wasm::instr::{BinaryOp, FunctionSpace, Idx, UnaryOp};
+use wasabi_wasm::module::Module;
+use wasabi_wasm::types::ValType;
+use wasabi_wasm::{LoadOp, StoreOp};
+
+/// Configuration for [`synthetic_app`].
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// RNG seed; equal seeds give byte-identical modules.
+    pub seed: u64,
+    /// Number of generated functions.
+    pub function_count: usize,
+    /// Average number of statements per function body.
+    pub body_statements: usize,
+}
+
+impl SyntheticConfig {
+    /// A small app for tests (a few dozen KB).
+    pub fn small() -> Self {
+        SyntheticConfig {
+            seed: 0x5EED,
+            function_count: 64,
+            body_statements: 12,
+        }
+    }
+
+    /// Sized like the paper's PSPDFKit subject (~9.5 MB binary).
+    pub fn pspdfkit_like() -> Self {
+        SyntheticConfig {
+            seed: 0x9D_F1,
+            function_count: 21_000,
+            body_statements: 24,
+        }
+    }
+
+    /// Sized like the paper's Unreal Engine 4 subject (~39.5 MB binary).
+    pub fn unreal_like() -> Self {
+        SyntheticConfig {
+            seed: 0x04E4,
+            function_count: 88_000,
+            body_statements: 24,
+        }
+    }
+
+    /// Scale the function count so the encoded binary is roughly
+    /// `target_bytes` (same statement mix).
+    pub fn with_target_bytes(mut self, target_bytes: usize) -> Self {
+        // Empirical: ~450 encoded bytes per generated function with the
+        // default statement count.
+        let per_function = 19 * self.body_statements + 10;
+        self.function_count = (target_bytes / per_function).max(4);
+        self
+    }
+}
+
+/// Generate an application-like module per `config`.
+///
+/// The module exports `main() -> i32`, which deterministically exercises a
+/// sample of the generated functions (the call graph is a DAG, so execution
+/// always terminates; all division and memory accesses are guarded).
+pub fn synthetic_app(config: &SyntheticConfig) -> Module {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut builder = ModuleBuilder::new();
+    builder.memory(16, Some("memory"));
+
+    // String-table-like data segments (apps carry lots of static data).
+    let mut blob = Vec::new();
+    for i in 0..256u32 {
+        blob.extend_from_slice(format!("sym_{i:04x}\0").as_bytes());
+    }
+    builder.data(4096, blob);
+
+    let globals = [
+        builder.global(wasabi_wasm::Val::I32(0)),
+        builder.global(wasabi_wasm::Val::I64(1)),
+        builder.global(wasabi_wasm::Val::F64(1.5)),
+    ];
+
+    let mut functions: Vec<(Idx<FunctionSpace>, Vec<ValType>, Vec<ValType>)> = Vec::new();
+
+    // The §4.5 motivating case: one function taking 22 i32 arguments.
+    let many_args = builder.function("", &[ValType::I32; 22], &[ValType::I32], |f| {
+        f.get_local(0u32);
+        for i in 1..22u32 {
+            f.get_local(i).i32_add();
+        }
+    });
+    functions.push((many_args, vec![ValType::I32; 22], vec![ValType::I32]));
+
+    for index in 0..config.function_count {
+        let param_count = rng.gen_range(0..6);
+        let params: Vec<ValType> = (0..param_count)
+            .map(|_| *pick(&mut rng, &ValType::ALL))
+            .collect();
+        let results = if rng.gen_bool(0.7) {
+            vec![ValType::I32]
+        } else {
+            vec![]
+        };
+        let callees: Vec<(Idx<FunctionSpace>, Vec<ValType>, Vec<ValType>)> =
+            functions.clone();
+        let params_for_body = params.clone();
+        let results_for_body = results.clone();
+        let statements = config.body_statements.max(1);
+        let seed = rng.r#gen::<u64>();
+        let export = if index % 97 == 0 {
+            format!("entry_{index}")
+        } else {
+            String::new()
+        };
+        let idx = builder.function(&export, &params, &results, move |f| {
+            let mut body_rng = SmallRng::seed_from_u64(seed);
+            emit_body(
+                f,
+                &mut body_rng,
+                &params_for_body,
+                &results_for_body,
+                &callees,
+                statements,
+            );
+        });
+        functions.push((idx, params, results));
+    }
+
+    // Table with a sample of i32-returning nullary functions for indirect
+    // calls from main.
+    let table_targets: Vec<Idx<FunctionSpace>> = functions
+        .iter()
+        .filter(|(_, params, results)| params.is_empty() && results == &[ValType::I32])
+        .map(|(idx, _, _)| *idx)
+        .take(16)
+        .collect();
+    if !table_targets.is_empty() {
+        builder.table(table_targets.len() as u32);
+        builder.elements(0, table_targets.clone());
+    }
+
+    let main_targets: Vec<(Idx<FunctionSpace>, Vec<ValType>)> = functions
+        .iter()
+        .filter(|(_, _, results)| results == &[ValType::I32])
+        .map(|(idx, params, _)| (*idx, params.clone()))
+        .take(12)
+        .collect();
+    let indirect_count = table_targets.len() as i32;
+    builder.function("main", &[], &[ValType::I32], move |f| {
+        let acc = f.local(ValType::I32);
+        for (idx, params) in &main_targets {
+            for &p in params {
+                push_zero(f, p);
+            }
+            f.call(*idx);
+            f.get_local(acc).i32_add().set_local(acc);
+        }
+        for slot in 0..indirect_count {
+            f.i32_const(slot);
+            f.call_indirect(&[], &[ValType::I32]);
+            f.get_local(acc).i32_add().set_local(acc);
+        }
+        // Touch the globals so they appear in executions too.
+        f.get_global(globals[0]).get_local(acc).i32_add().set_global(globals[0]);
+        f.get_local(acc);
+    });
+
+    builder.finish()
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+fn push_zero(f: &mut FunctionBuilder, ty: ValType) {
+    match ty {
+        ValType::I32 => f.i32_const(0),
+        ValType::I64 => f.i64_const(0),
+        ValType::F32 => f.f32_const(0.0),
+        ValType::F64 => f.f64_const(0.0),
+    };
+}
+
+/// Emit a function body as a sequence of stack-neutral statements with an
+/// app-like mix: calls, branches, memory traffic, and diverse numeric ops.
+fn emit_body(
+    f: &mut FunctionBuilder,
+    rng: &mut SmallRng,
+    params: &[ValType],
+    results: &[ValType],
+    callees: &[(Idx<FunctionSpace>, Vec<ValType>, Vec<ValType>)],
+    statements: usize,
+) {
+    let scratch_i32 = f.local(ValType::I32);
+    let scratch_i64 = f.local(ValType::I64);
+    let scratch_f64 = f.local(ValType::F64);
+
+    for _ in 0..statements {
+        match rng.gen_range(0..100) {
+            // Integer arithmetic chain (apps: index math, flags).
+            0..=17 => {
+                let op = *pick(
+                    rng,
+                    &[
+                        BinaryOp::I32Add,
+                        BinaryOp::I32Sub,
+                        BinaryOp::I32Mul,
+                        BinaryOp::I32And,
+                        BinaryOp::I32Or,
+                        BinaryOp::I32Xor,
+                        BinaryOp::I32Shl,
+                        BinaryOp::I32ShrU,
+                        BinaryOp::I32LtS,
+                        BinaryOp::I32Eq,
+                    ],
+                );
+                f.get_local(scratch_i32)
+                    .i32_const(rng.gen_range(-1000..1000))
+                    .binary(op)
+                    .set_local(scratch_i32);
+            }
+            // i64 mixing (hash-like code paths).
+            18..=25 => {
+                let op = *pick(
+                    rng,
+                    &[
+                        BinaryOp::I64Add,
+                        BinaryOp::I64Mul,
+                        BinaryOp::I64Xor,
+                        BinaryOp::I64Rotl,
+                    ],
+                );
+                f.get_local(scratch_i64)
+                    .i64_const(rng.r#gen::<i64>() | 1)
+                    .binary(op)
+                    .set_local(scratch_i64);
+            }
+            // Float math (layout, rendering).
+            26..=35 => {
+                let op = *pick(
+                    rng,
+                    &[
+                        BinaryOp::F64Add,
+                        BinaryOp::F64Mul,
+                        BinaryOp::F64Sub,
+                        BinaryOp::F64Max,
+                    ],
+                );
+                f.get_local(scratch_f64)
+                    .f64_const(rng.gen_range(-8.0..8.0))
+                    .binary(op)
+                    .set_local(scratch_f64);
+                if rng.gen_bool(0.3) {
+                    f.get_local(scratch_f64)
+                        .unary(UnaryOp::F64Abs)
+                        .unary(UnaryOp::F64Sqrt)
+                        .set_local(scratch_f64);
+                }
+            }
+            // Memory traffic at guarded addresses.
+            36..=50 => {
+                let addr = rng.gen_range(0..8192i32) & !7;
+                if rng.gen_bool(0.5) {
+                    f.i32_const(addr)
+                        .get_local(scratch_i32)
+                        .store(StoreOp::I32Store, 0);
+                } else {
+                    f.i32_const(addr)
+                        .load(LoadOp::I32Load, 0)
+                        .get_local(scratch_i32)
+                        .i32_add()
+                        .set_local(scratch_i32);
+                }
+            }
+            // Direct call into the existing DAG.
+            51..=66 if !callees.is_empty() => {
+                let (idx, params, results) = pick(rng, callees).clone();
+                for &p in &params {
+                    push_zero(f, p);
+                }
+                f.call(idx);
+                for _ in &results {
+                    f.drop_();
+                }
+            }
+            // Conditional on a parameter or scratch value.
+            67..=78 => {
+                if params.first() == Some(&ValType::I32) {
+                    f.get_local(0u32);
+                } else {
+                    f.get_local(scratch_i32);
+                }
+                f.i32_const(rng.gen_range(0..4)).binary(BinaryOp::I32GtS);
+                f.if_(None);
+                f.get_local(scratch_i32).i32_const(1).i32_add().set_local(scratch_i32);
+                f.else_();
+                f.get_local(scratch_i32).i32_const(1).i32_sub().set_local(scratch_i32);
+                f.end();
+            }
+            // br_table dispatch (switch statements).
+            79..=85 => {
+                let arms = rng.gen_range(2..5u32);
+                for _ in 0..=arms {
+                    f.block(None);
+                }
+                f.get_local(scratch_i32).i32_const(7).binary(BinaryOp::I32And);
+                f.br_table((0..arms).collect(), arms);
+                f.end();
+                for arm in 0..arms {
+                    f.get_local(scratch_i32).i32_const(arm as i32).i32_add().set_local(scratch_i32);
+                    f.end();
+                }
+            }
+            // Bounded loop.
+            86..=92 => {
+                let iterations = rng.gen_range(1..5);
+                let counter = f.local(ValType::I32);
+                f.i32_const(0).set_local(counter);
+                f.block(None).loop_(None);
+                f.get_local(counter).i32_const(iterations).binary(BinaryOp::I32GeS).br_if(1);
+                f.get_local(scratch_i32).i32_const(3).i32_mul().i32_const(1).i32_add().set_local(scratch_i32);
+                f.get_local(counter).i32_const(1).i32_add().set_local(counter);
+                f.br(0).end().end();
+            }
+            // select / drop / globals.
+            _ => {
+                f.get_local(scratch_i32).i32_const(5).get_local(scratch_i32).select();
+                f.set_local(scratch_i32);
+                if rng.gen_bool(0.3) {
+                    f.get_global(0u32).drop_();
+                }
+            }
+        }
+    }
+
+    for &r in results {
+        match r {
+            ValType::I32 => f.get_local(scratch_i32),
+            ValType::I64 => f.get_local(scratch_i64),
+            ValType::F64 => f.get_local(scratch_f64),
+            ValType::F32 => f.f32_const(0.0),
+        };
+    }
+}
+
+/// A hash-round-like mining kernel (xor/shift/add/and in a hot loop),
+/// the subject of the cryptominer-detection example (paper Fig. 1).
+pub fn miner(rounds: i32) -> Module {
+    let mut builder = ModuleBuilder::new();
+    builder.function("mine", &[], &[ValType::I32], |f| {
+        let h = f.local(ValType::I32);
+        let i = f.local(ValType::I32);
+        f.i32_const(0x6a09_e667u32 as i32).set_local(h);
+        f.block(None).loop_(None);
+        f.get_local(i).i32_const(rounds).binary(BinaryOp::I32GeS).br_if(1);
+        f.get_local(h).i32_const(13).binary(BinaryOp::I32Shl);
+        f.get_local(h).i32_const(7).binary(BinaryOp::I32ShrU);
+        f.binary(BinaryOp::I32Xor);
+        f.get_local(h).binary(BinaryOp::I32Add);
+        f.i32_const(0x7fff_ffff).binary(BinaryOp::I32And);
+        f.set_local(h);
+        f.get_local(i).i32_const(1).i32_add().set_local(i);
+        f.br(0).end().end();
+        f.get_local(h);
+    });
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_vm::{EmptyHost, Instance};
+    use wasabi_wasm::validate::validate;
+
+    #[test]
+    fn small_app_validates_and_runs() {
+        let module = synthetic_app(&SyntheticConfig::small());
+        validate(&module).expect("valid");
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(module, &mut host).expect("instantiates");
+        instance.set_fuel(Some(50_000_000));
+        let results = instance.invoke_export("main", &[], &mut host).expect("runs");
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthetic_app(&SyntheticConfig::small());
+        let b = synthetic_app(&SyntheticConfig::small());
+        assert_eq!(
+            wasabi_wasm::encode::encode(&a),
+            wasabi_wasm::encode::encode(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut config = SyntheticConfig::small();
+        let a = synthetic_app(&config);
+        config.seed += 1;
+        let b = synthetic_app(&config);
+        assert_ne!(
+            wasabi_wasm::encode::encode(&a),
+            wasabi_wasm::encode::encode(&b)
+        );
+    }
+
+    #[test]
+    fn contains_the_22_arg_function() {
+        // Paper §4.5: "the call with the largest number of arguments passes
+        // 22 i32 values".
+        let module = synthetic_app(&SyntheticConfig::small());
+        let max_params = module
+            .functions
+            .iter()
+            .map(|f| f.type_.params.len())
+            .max()
+            .unwrap();
+        assert_eq!(max_params, 22);
+    }
+
+    #[test]
+    fn target_size_scaling() {
+        let config = SyntheticConfig::small().with_target_bytes(400_000);
+        let module = synthetic_app(&config);
+        let bytes = wasabi_wasm::encode::encode(&module).len();
+        assert!(
+            (200_000..1_000_000).contains(&bytes),
+            "got {bytes} bytes for a 400k target"
+        );
+    }
+
+    #[test]
+    fn miner_module_runs() {
+        let module = miner(100);
+        validate(&module).expect("valid");
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(module, &mut host).unwrap();
+        let results = instance.invoke_export("mine", &[], &mut host).unwrap();
+        assert!(results[0].as_i32().is_some());
+    }
+}

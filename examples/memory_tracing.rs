@@ -1,0 +1,75 @@
+//! Memory access tracing for offline locality analysis (paper Table 4:
+//! "detect cache-unfriendly access patterns").
+//!
+//! Traces a row-major and a column-major matrix traversal of the same
+//! matrix and compares their locality.
+//!
+//! ```sh
+//! cargo run --example memory_tracing
+//! ```
+
+use wasabi_repro::analyses::MemoryTracing;
+use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::workloads::dsl::*;
+use wasabi_repro::workloads::{compile, Program};
+
+fn traversal(name: &'static str, row_major: bool) -> Program {
+    let n = 24;
+    let index: Vec<IExpr> = if row_major {
+        vec![v("i"), v("j")]
+    } else {
+        vec![v("j"), v("i")]
+    };
+    Program {
+        name,
+        arrays: vec![Program::array("A", &[n as u32, n as u32])],
+        init: vec![],
+        kernel: vec![
+            set("s", fc(0.0)),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![
+                        store("A", index.clone(), sc("s") + fc(1.0)),
+                        set("s", sc("s") + ld("A", index.clone())),
+                    ],
+                )],
+            ),
+        ],
+    }
+}
+
+fn trace(program: &Program) -> Result<MemoryTracing, Box<dyn std::error::Error>> {
+    let module = compile(program);
+    let mut tracing = MemoryTracing::new();
+    let session = AnalysisSession::for_analysis(&module, &tracing)?;
+    session.run(&mut tracing, "kernel", &[])?;
+    Ok(tracing)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, row_major) in [("row-major", true), ("column-major", false)] {
+        let tracing = trace(&traversal("traversal", row_major))?;
+        let (read, written) = tracing.bytes_transferred();
+        println!("== {label} traversal");
+        println!("   accesses: {}", tracing.trace().len());
+        println!("   bytes: {read} read, {written} written");
+        println!(
+            "   64-byte (cache line) locality: {:.0}%",
+            tracing.locality(64) * 100.0
+        );
+        for (loc, stride, reps) in tracing.strides().into_iter().take(2) {
+            println!("   dominant stride at {loc}: {stride} bytes ({reps} repetitions)");
+        }
+        println!();
+    }
+    println!("row-major strides stay within a cache line; column-major strides");
+    println!("jump a full row — exactly the cache-unfriendly pattern the");
+    println!("paper's offline analysis is meant to spot.");
+    Ok(())
+}

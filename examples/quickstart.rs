@@ -1,0 +1,54 @@
+//! Quickstart: instrument a module, run it under an analysis, inspect the
+//! results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wasabi_repro::analyses::InstructionMix;
+use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::wasm::builder::ModuleBuilder;
+use wasabi_repro::wasm::{Val, ValType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A program to analyze. Normally this comes from `decode()`-ing a
+    //    .wasm file; here we build one: iterative factorial.
+    let mut builder = ModuleBuilder::new();
+    builder.function("factorial", &[ValType::I64], &[ValType::I64], |f| {
+        let acc = f.local(ValType::I64);
+        let i = f.local(ValType::I64);
+        f.i64_const(1).set_local(acc);
+        f.i64_const(1).set_local(i);
+        f.block(None).loop_(None);
+        f.get_local(i)
+            .get_local(0u32)
+            .binary(wasabi_repro::wasm::BinaryOp::I64GtS)
+            .br_if(1);
+        f.get_local(acc).get_local(i).binary(wasabi_repro::wasm::BinaryOp::I64Mul);
+        f.set_local(acc);
+        f.get_local(i).i64_const(1).binary(wasabi_repro::wasm::BinaryOp::I64Add);
+        f.set_local(i);
+        f.br(0).end().end();
+        f.get_local(acc);
+    });
+    let module = builder.finish();
+
+    // 2. Pick an analysis. `InstructionMix` counts every executed
+    //    instruction; its `hooks()` drive selective instrumentation.
+    let mut analysis = InstructionMix::new();
+
+    // 3. Instrument once, run as often as you like.
+    let session = AnalysisSession::for_analysis(&module, &analysis)?;
+    let results = session.run(&mut analysis, "factorial", &[Val::I64(10)])?;
+
+    println!("factorial(10) = {}", results[0]);
+    println!();
+    println!("{:<16} {:>8}", "instruction", "count");
+    println!("{:-<16} {:->8}", "", "");
+    for (name, count) in analysis.top(10) {
+        println!("{name:<16} {count:>8}");
+    }
+    println!("{:<16} {:>8}", "total", analysis.total());
+
+    Ok(())
+}

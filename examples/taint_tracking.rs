@@ -1,0 +1,67 @@
+//! Taint analysis with shadow memory (paper §2.3 and Table 4).
+//!
+//! A module reads a "secret" from a source import, launders it through
+//! arithmetic, a local, and linear memory, and finally passes it to a
+//! network-send sink. The analysis reports the flow without ever touching
+//! the program's memory (memory shadowing happens on the host side).
+//!
+//! ```sh
+//! cargo run --example taint_tracking
+//! ```
+
+use wasabi_repro::analyses::TaintAnalysis;
+use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::vm::host::HostFunctions;
+use wasabi_repro::wasm::builder::ModuleBuilder;
+use wasabi_repro::wasm::{LoadOp, StoreOp, Val, ValType};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut builder = ModuleBuilder::new();
+    builder.memory(1, None);
+    let read_secret = builder.import_function("env", "read_secret", &[], &[ValType::I32]);
+    let send = builder.import_function("env", "send", &[ValType::I32], &[]);
+
+    // main: secret = read_secret(); obfuscated = secret * 31 + 7;
+    //       mem[128] = obfuscated; send(mem[128]);
+    builder.function("main", &[], &[], |f| {
+        let tmp = f.local(ValType::I32);
+        f.call(read_secret);
+        f.i32_const(31).i32_mul().i32_const(7).i32_add();
+        f.set_local(tmp);
+        f.i32_const(128).get_local(tmp).store(StoreOp::I32Store, 0);
+        f.i32_const(128).load(LoadOp::I32Load, 0);
+        f.call(send);
+        // An innocuous send of a constant: must NOT be reported.
+        f.i32_const(42).call(send);
+    });
+    let module = builder.finish();
+
+    // Imports 0 and 1 are source and sink.
+    let mut taint = TaintAnalysis::new(&[read_secret.to_u32()], &[send.to_u32()]);
+    let session = AnalysisSession::for_analysis(&module, &taint)?;
+
+    let mut host = HostFunctions::new();
+    host.register("env", "read_secret", |_, _| Ok(vec![Val::I32(0xC0FFEE)]));
+    host.register("env", "send", |args, _| {
+        println!("  [network] send({:?})", args[0]);
+        Ok(vec![])
+    });
+
+    println!("running the program:");
+    session.run_with_host(&mut taint, &mut host, "main", &[])?;
+
+    println!();
+    println!(
+        "taint analysis: {} flow(s) detected, {} shadow-memory byte(s) tainted",
+        taint.flows().len(),
+        taint.tainted_memory_bytes()
+    );
+    for flow in taint.flows() {
+        println!(
+            "  ILLEGAL FLOW: value tainted at {} reaches sink call at {} (function {}, argument {})",
+            flow.source, flow.sink_call, flow.sink_func, flow.arg_index
+        );
+    }
+
+    Ok(())
+}

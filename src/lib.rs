@@ -1,0 +1,17 @@
+//! Umbrella crate for the Wasabi reproduction workspace.
+//!
+//! Re-exports the public crates so that the root `examples/` and `tests/`
+//! (and downstream users who want a single dependency) can reach the whole
+//! system through one import:
+//!
+//! ```
+//! use wasabi_repro::wasm::Module;
+//! let module = Module::new();
+//! assert_eq!(module.functions.len(), 0);
+//! ```
+
+pub use wasabi as core;
+pub use wasabi_analyses as analyses;
+pub use wasabi_vm as vm;
+pub use wasabi_wasm as wasm;
+pub use wasabi_workloads as workloads;

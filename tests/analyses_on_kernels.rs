@@ -1,0 +1,175 @@
+//! Cross-crate integration: each of the paper's eight analyses (Table 4)
+//! applied to real workloads, checking analysis-level invariants.
+
+use wasabi_repro::analyses::{
+    BasicBlockProfiling, BranchCoverage, CallGraph, CryptominerDetection, InstructionCoverage,
+    InstructionMix, MemoryTracing, TaintAnalysis,
+};
+use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::vm::{EmptyHost, Instance};
+use wasabi_repro::workloads::{compile, polybench, synthetic};
+
+fn gemm_module() -> wasabi_repro::wasm::Module {
+    compile(&polybench::by_name("gemm", 8).expect("known"))
+}
+
+#[test]
+fn instruction_mix_total_matches_vm_instruction_count() {
+    // The analysis sees every original instruction the VM executes —
+    // cross-check the hook-based count against the interpreter's own
+    // counter on the *uninstrumented* module.
+    let module = gemm_module();
+    let mut host = EmptyHost;
+    let mut instance = Instance::instantiate(module.clone(), &mut host).unwrap();
+    instance.invoke_export("main", &[], &mut host).unwrap();
+    let vm_count = instance.executed_instrs();
+
+    let mut mix = InstructionMix::new();
+    let session = AnalysisSession::for_analysis(&module, &mix).unwrap();
+    session.run(&mut mix, "main", &[]).unwrap();
+
+    // The two counters differ systematically: the VM executes `end`/`else`
+    // opcodes (not counted by the mix analysis), while the mix analysis
+    // counts a loop entry per *iteration* (the begin hook fires each time,
+    // paper Table 3 row 5) where the VM executes the `loop` opcode once.
+    // They must still be the same order of magnitude.
+    assert!(mix.total() > vm_count / 2, "{} vs {vm_count}", mix.total());
+    assert!(mix.total() < vm_count * 2, "{} vs {vm_count}", mix.total());
+    assert!(mix.counts()["f64.add"] > 0);
+    assert!(mix.counts()["f64.mul"] > 0);
+    assert_eq!(
+        mix.counts()["call"], 3, // main calls init, kernel, checksum
+    );
+}
+
+#[test]
+fn basic_block_profile_finds_hot_inner_loop() {
+    let module = gemm_module();
+    let mut profile = BasicBlockProfiling::new();
+    let session = AnalysisSession::for_analysis(&module, &profile).unwrap();
+    session.run(&mut profile, "main", &[]).unwrap();
+
+    let hottest = profile.hottest(1)[0];
+    // The hottest block must be a loop executed far more often than any
+    // function is entered.
+    assert_eq!(hottest.1, wasabi_repro::core::BlockKind::Loop);
+    assert!(hottest.2 > 100);
+}
+
+#[test]
+fn coverage_is_full_for_straight_line_kernels_after_one_run() {
+    // gemm has no input-dependent branches: one run covers everything
+    // except nothing — i.e. ratio == 1.0.
+    let module = gemm_module();
+    let mut coverage = InstructionCoverage::new();
+    let session = AnalysisSession::for_analysis(&module, &coverage).unwrap();
+    session.run(&mut coverage, "main", &[]).unwrap();
+    let ratio = coverage.ratio(session.info());
+    assert!(
+        (ratio - 1.0).abs() < 1e-9,
+        "gemm should be fully covered, got {ratio}"
+    );
+}
+
+#[test]
+fn branch_coverage_sees_loop_exits_both_ways() {
+    let module = gemm_module();
+    let mut coverage = BranchCoverage::new();
+    let session = AnalysisSession::for_analysis(&module, &coverage).unwrap();
+    session.run(&mut coverage, "main", &[]).unwrap();
+    // Every loop's exit br_if is taken (on exit) and not taken (while
+    // iterating): all branches fully covered.
+    assert!(!coverage.branches().is_empty());
+    assert!(coverage.partially_covered().is_empty());
+}
+
+#[test]
+fn call_graph_of_kernel_is_main_to_phases() {
+    let module = gemm_module();
+    let mut graph = CallGraph::new();
+    let session = AnalysisSession::for_analysis(&module, &graph).unwrap();
+    session.run(&mut graph, "main", &[]).unwrap();
+    // main (3) calls init (0), kernel (1), checksum (2) exactly once each.
+    assert_eq!(graph.edges().len(), 3);
+    assert!(graph.edges().values().all(|&count| count == 1));
+}
+
+#[test]
+fn call_graph_of_synthetic_app_is_rich() {
+    let module = synthetic::synthetic_app(&synthetic::SyntheticConfig::small());
+    let mut graph = CallGraph::new();
+    let session = AnalysisSession::for_analysis(&module, &graph).unwrap();
+    session.run(&mut graph, "main", &[]).unwrap();
+    assert!(graph.edges().len() > 10, "got {}", graph.edges().len());
+    // The app performs indirect calls from main.
+    assert!(graph
+        .edges()
+        .keys()
+        .any(|&edge| graph.is_indirect(edge)));
+}
+
+#[test]
+fn taint_analysis_handles_kernel_without_sources() {
+    // No sources configured: running a whole kernel must produce no flows
+    // and keep the shadow state consistent (no panics, balanced frames).
+    let module = gemm_module();
+    let mut taint = TaintAnalysis::new(&[], &[]);
+    let session = AnalysisSession::for_analysis(&module, &taint).unwrap();
+    session.run(&mut taint, "main", &[]).unwrap();
+    assert!(taint.flows().is_empty());
+}
+
+#[test]
+fn cryptominer_detector_separates_miner_from_kernels() {
+    let mut detector = CryptominerDetection::new();
+    let miner = synthetic::miner(50_000);
+    let session = AnalysisSession::for_analysis(&miner, &detector).unwrap();
+    session.run(&mut detector, "mine", &[]).unwrap();
+    assert!(detector.is_likely_miner());
+
+    for name in ["gemm", "jacobi-2d"] {
+        let mut detector = CryptominerDetection::new();
+        let module = compile(&polybench::by_name(name, 8).expect("known"));
+        let session = AnalysisSession::for_analysis(&module, &detector).unwrap();
+        session.run(&mut detector, "main", &[]).unwrap();
+        assert!(!detector.is_likely_miner(), "{name} misclassified");
+    }
+}
+
+#[test]
+fn combined_analyses_match_separate_runs() {
+    // Running two analyses over ONE execution (union hook set) must give
+    // each the same results as its own dedicated run.
+    use wasabi_repro::core::Combined;
+
+    let module = gemm_module();
+
+    let mut separate_graph = CallGraph::new();
+    let session = AnalysisSession::for_analysis(&module, &separate_graph).unwrap();
+    session.run(&mut separate_graph, "main", &[]).unwrap();
+
+    let mut separate_profile = BasicBlockProfiling::new();
+    let session = AnalysisSession::for_analysis(&module, &separate_profile).unwrap();
+    session.run(&mut separate_profile, "main", &[]).unwrap();
+
+    let mut combined = Combined(CallGraph::new(), BasicBlockProfiling::new());
+    let session = AnalysisSession::for_analysis(&module, &combined).unwrap();
+    session.run(&mut combined, "main", &[]).unwrap();
+
+    assert_eq!(combined.0.edges(), separate_graph.edges());
+    assert_eq!(combined.1.counts(), separate_profile.counts());
+}
+
+#[test]
+fn memory_tracing_matches_kernel_structure() {
+    let module = gemm_module();
+    let mut tracing = MemoryTracing::new();
+    let session = AnalysisSession::for_analysis(&module, &tracing).unwrap();
+    session.run(&mut tracing, "main", &[]).unwrap();
+    let (read, written) = tracing.bytes_transferred();
+    assert!(read > 0 && written > 0);
+    // gemm reads much more than it writes (A and B per C update).
+    assert!(read > written);
+    // All accesses are 8-byte f64 accesses.
+    assert!(tracing.trace().iter().all(|a| a.bytes == 8));
+}

@@ -1,0 +1,176 @@
+//! Asserts the public analysis API surface of paper Table 2: all 23 hooks
+//! exist with the documented argument structure. A compile-time contract —
+//! if a hook signature changes, this file stops compiling.
+
+use wasabi_repro::core::hooks::{Analysis, BlockKind, Hook, HookSet, MemArg};
+use wasabi_repro::core::location::{BranchTarget, Location};
+use wasabi_repro::wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+
+/// An analysis that overrides every hook with the exact Table 2 signature.
+#[derive(Default)]
+struct FullSurface {
+    events: u64,
+}
+
+impl Analysis for FullSurface {
+    fn hooks(&self) -> HookSet {
+        HookSet::all()
+    }
+
+    fn start(&mut self, _loc: Location) {
+        self.events += 1;
+    }
+    fn nop(&mut self, _loc: Location) {
+        self.events += 1;
+    }
+    fn unreachable(&mut self, _loc: Location) {
+        self.events += 1;
+    }
+    fn if_(&mut self, _loc: Location, _condition: bool) {
+        self.events += 1;
+    }
+    fn br(&mut self, _loc: Location, _target: BranchTarget) {
+        self.events += 1;
+    }
+    fn br_if(&mut self, _loc: Location, _target: BranchTarget, _condition: bool) {
+        self.events += 1;
+    }
+    fn br_table(
+        &mut self,
+        _loc: Location,
+        _table: &[BranchTarget],
+        _default: BranchTarget,
+        _table_index: u32,
+    ) {
+        self.events += 1;
+    }
+    fn begin(&mut self, _loc: Location, _kind: BlockKind) {
+        self.events += 1;
+    }
+    fn end(&mut self, _loc: Location, _kind: BlockKind, _begin: Location) {
+        self.events += 1;
+    }
+    fn memory_size(&mut self, _loc: Location, _current_pages: u32) {
+        self.events += 1;
+    }
+    fn memory_grow(&mut self, _loc: Location, _delta: u32, _previous_pages: i32) {
+        self.events += 1;
+    }
+    fn const_(&mut self, _loc: Location, _value: Val) {
+        self.events += 1;
+    }
+    fn drop_(&mut self, _loc: Location, _value: Val) {
+        self.events += 1;
+    }
+    fn select(&mut self, _loc: Location, _condition: bool, _first: Val, _second: Val) {
+        self.events += 1;
+    }
+    fn unary(&mut self, _loc: Location, _op: UnaryOp, _input: Val, _result: Val) {
+        self.events += 1;
+    }
+    fn binary(&mut self, _loc: Location, _op: BinaryOp, _first: Val, _second: Val, _result: Val) {
+        self.events += 1;
+    }
+    fn load(&mut self, _loc: Location, _op: LoadOp, _memarg: MemArg, _value: Val) {
+        self.events += 1;
+    }
+    fn store(&mut self, _loc: Location, _op: StoreOp, _memarg: MemArg, _value: Val) {
+        self.events += 1;
+    }
+    fn local(&mut self, _loc: Location, _op: LocalOp, _index: u32, _value: Val) {
+        self.events += 1;
+    }
+    fn global(&mut self, _loc: Location, _op: GlobalOp, _index: u32, _value: Val) {
+        self.events += 1;
+    }
+    fn return_(&mut self, _loc: Location, _results: &[Val]) {
+        self.events += 1;
+    }
+    fn call_pre(&mut self, _loc: Location, _func: u32, _args: &[Val], _table_index: Option<u32>) {
+        self.events += 1;
+    }
+    fn call_post(&mut self, _loc: Location, _results: &[Val]) {
+        self.events += 1;
+    }
+}
+
+#[test]
+fn the_api_has_exactly_23_hooks() {
+    // Paper §2.3: "Wasabi's API provides 23 hooks only" (Table 2 plus the
+    // five from its caption).
+    assert_eq!(Hook::ALL.len(), 23);
+}
+
+#[test]
+fn every_hook_can_fire() {
+    // A module touching all hook kinds; every hook must fire at least once.
+    use wasabi_repro::wasm::builder::ModuleBuilder;
+    use wasabi_repro::wasm::ValType;
+
+    let mut builder = ModuleBuilder::new();
+    builder.memory(1, None);
+    let g = builder.global(Val::I32(0));
+    let callee = builder.function("", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32).i32_const(1).i32_add().return_();
+    });
+    builder.table(1);
+    builder.elements(0, vec![callee]);
+    let start = builder.function("", &[], &[], |f| {
+        f.nop();
+    });
+    builder.start(start);
+    builder.function("exercise", &[], &[], |f| {
+        f.nop();
+        // const, binary, unary, drop, select
+        f.i32_const(1).i32_const(2).i32_add();
+        f.unary(wasabi_repro::wasm::UnaryOp::I32Eqz).drop_();
+        f.i32_const(1).i32_const(2).i32_const(0).select().drop_();
+        // local, global
+        let l = f.local(ValType::I32);
+        f.i32_const(5).set_local(l);
+        f.get_global(g).set_global(g);
+        // memory
+        f.i32_const(0).i32_const(7).store(wasabi_repro::wasm::StoreOp::I32Store, 0);
+        f.i32_const(0).load(wasabi_repro::wasm::LoadOp::I32Load, 0).drop_();
+        f.memory_size().drop_();
+        f.i32_const(0).memory_grow().drop_();
+        // control flow
+        f.i32_const(1).if_(None).nop().else_().nop().end();
+        f.block(None).i32_const(1).br_if(0).end();
+        f.block(None).br(0).end();
+        f.block(None).i32_const(0).br_table(vec![0], 0).end();
+        // calls
+        f.i32_const(1).call(callee).drop_();
+        f.i32_const(2).i32_const(0);
+        f.call_indirect(&[ValType::I32], &[ValType::I32]);
+        f.drop_();
+    });
+    let module = builder.finish();
+
+    let mut surface = FullSurface::default();
+    let session =
+        wasabi_repro::core::AnalysisSession::for_analysis(&module, &surface).expect("instruments");
+    session.run(&mut surface, "exercise", &[]).expect("runs");
+    assert!(surface.events > 40, "only {} events", surface.events);
+
+    // All monomorphized low-level hooks trace back to the 23 high-level
+    // hooks.
+    for hook in session.info().hooks.iter() {
+        assert!(Hook::ALL.contains(&hook.hook()));
+    }
+}
+
+#[test]
+fn unreachable_hook_fires_via_trap() {
+    use wasabi_repro::wasm::builder::ModuleBuilder;
+    let mut builder = ModuleBuilder::new();
+    builder.function("boom", &[], &[], |f| {
+        f.unreachable();
+    });
+    let mut surface = FullSurface::default();
+    let session =
+        wasabi_repro::core::AnalysisSession::for_analysis(&builder.finish(), &surface).unwrap();
+    let err = session.run(&mut surface, "boom", &[]).unwrap_err();
+    assert!(matches!(err, wasabi_repro::core::AnalysisError::Trap(_)));
+    assert!(surface.events >= 1);
+}

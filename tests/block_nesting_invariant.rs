@@ -1,0 +1,134 @@
+//! The dynamic block-nesting invariant of paper §2.4.5: at runtime, every
+//! `begin` event is matched by exactly one `end` event with the same block
+//! kind and begin location, in properly nested (stack) order — no matter
+//! how control leaves the block (fall-through, `br`, `br_if`, `br_table`,
+//! or `return`).
+//!
+//! A checking analysis maintains the block stack and asserts the pairing on
+//! every `end`; any missed or duplicated end-hook call anywhere in the
+//! instrumenter would break it.
+
+use wasabi_repro::core::hooks::{Analysis, BlockKind, Hook, HookSet};
+use wasabi_repro::core::location::Location;
+use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::wasm::builder::ModuleBuilder;
+use wasabi_repro::wasm::{BinaryOp, Val, ValType};
+use wasabi_repro::workloads::{compile, polybench, synthetic};
+
+#[derive(Default)]
+struct NestingChecker {
+    stack: Vec<(BlockKind, Location)>,
+    max_depth: usize,
+    pairs_checked: u64,
+}
+
+impl Analysis for NestingChecker {
+    fn hooks(&self) -> HookSet {
+        HookSet::of(&[Hook::Begin, Hook::End])
+    }
+
+    fn begin(&mut self, loc: Location, kind: BlockKind) {
+        self.stack.push((kind, loc));
+        self.max_depth = self.max_depth.max(self.stack.len());
+    }
+
+    fn end(&mut self, loc: Location, kind: BlockKind, begin: Location) {
+        let (open_kind, open_loc) = self
+            .stack
+            .pop()
+            .unwrap_or_else(|| panic!("end {kind} at {loc} with empty block stack"));
+        assert_eq!(
+            (open_kind, open_loc),
+            (kind, begin),
+            "end at {loc} closes ({kind}, {begin}) but the innermost open \
+             block is ({open_kind}, {open_loc})"
+        );
+        self.pairs_checked += 1;
+    }
+}
+
+fn check(module: &wasabi_repro::wasm::Module, export: &str, args: &[Val]) -> NestingChecker {
+    let mut checker = NestingChecker::default();
+    let session = AnalysisSession::for_analysis(module, &checker).expect("instruments");
+    session.run(&mut checker, export, args).expect("runs");
+    assert!(
+        checker.stack.is_empty(),
+        "{} blocks left open at exit",
+        checker.stack.len()
+    );
+    checker
+}
+
+#[test]
+fn nesting_is_balanced_on_all_30_kernels() {
+    for program in polybench::all(6) {
+        let module = compile(&program);
+        let checker = check(&module, "main", &[]);
+        assert!(
+            checker.pairs_checked > 10,
+            "{}: suspiciously few blocks",
+            program.name
+        );
+    }
+}
+
+#[test]
+fn nesting_is_balanced_on_synthetic_app() {
+    let module = synthetic::synthetic_app(&synthetic::SyntheticConfig::small());
+    let checker = check(&module, "main", &[]);
+    assert!(checker.max_depth > 2, "app should nest calls and blocks");
+}
+
+#[test]
+fn nesting_is_balanced_across_every_exit_kind() {
+    // One function per exit mechanism out of a loop-in-block nest.
+    let mut builder = ModuleBuilder::new();
+    builder.function("via_br", &[], &[], |f| {
+        f.block(None).loop_(None).br(1).end().end();
+    });
+    builder.function("via_br_if", &[ValType::I32], &[], |f| {
+        f.block(None).loop_(None);
+        f.get_local(0u32).br_if(1);
+        f.br(0).end().end();
+    });
+    builder.function("via_br_table", &[ValType::I32], &[], |f| {
+        f.block(None).block(None).loop_(None);
+        f.get_local(0u32).br_table(vec![1, 2], 2);
+        f.end().end().end();
+    });
+    builder.function("via_return", &[], &[], |f| {
+        f.block(None).loop_(None).return_().end().end();
+    });
+    builder.function("all", &[], &[], |f| {
+        let via_br = wasabi_repro::wasm::Idx::from(0u32);
+        let via_br_if = wasabi_repro::wasm::Idx::from(1u32);
+        let via_br_table = wasabi_repro::wasm::Idx::from(2u32);
+        let via_return = wasabi_repro::wasm::Idx::from(3u32);
+        f.call(via_br);
+        f.i32_const(1).call(via_br_if);
+        f.i32_const(0).call(via_br_table);
+        f.i32_const(1).call(via_br_table);
+        f.i32_const(9).call(via_br_table);
+        f.call(via_return);
+    });
+    let module = builder.finish();
+    let checker = check(&module, "all", &[]);
+    assert!(checker.pairs_checked >= 20);
+}
+
+#[test]
+fn nesting_survives_iteration_heavy_loops() {
+    let mut builder = ModuleBuilder::new();
+    builder.function("spin", &[ValType::I32], &[], |f| {
+        let i = f.local(ValType::I32);
+        f.block(None).loop_(None);
+        f.get_local(i).get_local(0u32).binary(BinaryOp::I32GeS).br_if(1);
+        f.get_local(i).i32_const(1).i32_add().set_local(i);
+        f.br(0).end().end();
+    });
+    let module = builder.finish();
+    let checker = check(&module, "spin", &[Val::I32(500)]);
+    // Each iteration is one loop begin/end pair (paper: "loop begin hook is
+    // called once per iteration").
+    assert!(checker.pairs_checked >= 500, "{}", checker.pairs_checked);
+}

@@ -1,0 +1,376 @@
+//! Edge-case fixtures for the instrumenter, in the spirit of the paper's
+//! validation against the 63 spec-suite programs (§4.3): tricky control
+//! flow, block result values carried through branches, traps interleaved
+//! with hooks, and wide mixed-type call signatures.
+
+use wasabi_repro::core::hooks::{Hook, HookSet, NoAnalysis};
+use wasabi_repro::core::{AnalysisSession, WasabiHost};
+use wasabi_repro::vm::{EmptyHost, Instance, Trap};
+use wasabi_repro::wasm::builder::ModuleBuilder;
+use wasabi_repro::wasm::validate::validate;
+use wasabi_repro::wasm::{BinaryOp, Module, Val, ValType};
+
+/// Original and fully instrumented runs must agree (results or traps).
+fn assert_faithful(module: &Module, export: &str, args: &[Val]) -> Result<Vec<Val>, Trap> {
+    validate(module).expect("fixture is valid");
+    let mut host = EmptyHost;
+    let mut instance = Instance::instantiate(module.clone(), &mut host).expect("instantiates");
+    let original = instance.invoke_export(export, args, &mut host);
+
+    for hooks in [HookSet::all(), HookSet::of(&[Hook::End, Hook::Br, Hook::BrIf])] {
+        let session = AnalysisSession::new(module, hooks).expect("instruments");
+        validate(session.module()).expect("instrumented fixture validates");
+        let mut analysis = NoAnalysis;
+        let mut whost = WasabiHost::new(session.info(), &mut analysis);
+        let mut instance =
+            Instance::instantiate(session.module().clone(), &mut whost).expect("instantiates");
+        let instrumented = instance.invoke_export(export, args, &mut whost);
+        assert_eq!(original, instrumented, "hooks {hooks} diverged");
+    }
+    original
+}
+
+#[test]
+fn branch_carrying_value_out_of_nested_blocks() {
+    // A br that carries a block result across two traversed blocks: the
+    // end-hook calls inserted before the br must not disturb the carried
+    // value.
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.block(Some(ValType::I32));
+        f.block(None);
+        f.loop_(None);
+        f.get_local(0u32).i32_const(100).i32_add();
+        f.br(2); // carries the value out of loop, block, to the outer block
+        f.end();
+        f.end();
+        f.i32_const(-1); // unreachable filler for the outer block's result
+        f.end();
+    });
+    let r = assert_faithful(&builder.finish(), "f", &[Val::I32(5)]).unwrap();
+    assert_eq!(r, vec![Val::I32(105)]);
+}
+
+#[test]
+fn br_if_to_block_with_result() {
+    // br_if to a block with a result type: the carried value must survive
+    // both the taken and non-taken path, with the conditional end-hook
+    // wrapper in between.
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.block(Some(ValType::I32));
+        f.i32_const(7);
+        f.get_local(0u32);
+        f.br_if(0);
+        f.drop_();
+        f.i32_const(8);
+        f.end();
+    });
+    let module = builder.finish();
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(1)]).unwrap(),
+        vec![Val::I32(7)]
+    );
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(0)]).unwrap(),
+        vec![Val::I32(8)]
+    );
+}
+
+#[test]
+fn if_else_with_result_value() {
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::F64], |f| {
+        f.get_local(0u32);
+        f.if_(Some(ValType::F64));
+        f.f64_const(1.5);
+        f.else_();
+        f.f64_const(-1.5);
+        f.end();
+    });
+    let module = builder.finish();
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(1)]).unwrap(),
+        vec![Val::F64(1.5)]
+    );
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(0)]).unwrap(),
+        vec![Val::F64(-1.5)]
+    );
+}
+
+#[test]
+fn loop_with_result_type() {
+    // Loops may declare result types in Wasm 1.0 (the label still carries
+    // nothing).
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[], &[ValType::I32], |f| {
+        let i = f.local(ValType::I32);
+        f.loop_(Some(ValType::I32));
+        // Leave i on the stack as the loop result; br_if consumes only the
+        // comparison (branching back resets to the loop-entry height).
+        f.get_local(i).i32_const(1).i32_add().tee_local(i).set_local(i);
+        f.get_local(i);
+        f.get_local(i).i32_const(3).binary(BinaryOp::I32LtS).br_if(0);
+        f.end();
+        f.drop_();
+        f.get_local(i);
+    });
+    let r = assert_faithful(&builder.finish(), "f", &[]).unwrap();
+    assert_eq!(r, vec![Val::I32(3)]);
+}
+
+#[test]
+fn trap_mid_function_with_hooks() {
+    // Division by zero after some instrumented instructions: both runs
+    // trap identically.
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.i32_const(100).get_local(0u32).binary(BinaryOp::I32DivS);
+    });
+    let module = builder.finish();
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(0)]).unwrap_err(),
+        Trap::IntegerDivideByZero
+    );
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(4)]).unwrap(),
+        vec![Val::I32(25)]
+    );
+}
+
+#[test]
+fn indirect_call_trap_after_call_pre_hook() {
+    // call_indirect to an out-of-bounds slot: the call_pre hook fires,
+    // then the trap happens — identically in both runs.
+    let mut builder = ModuleBuilder::new();
+    let id = builder.function("", &[], &[ValType::I32], |f| {
+        f.i32_const(1);
+    });
+    builder.table(1);
+    builder.elements(0, vec![id]);
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32);
+        f.call_indirect(&[], &[ValType::I32]);
+    });
+    let module = builder.finish();
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(5)]).unwrap_err(),
+        Trap::OutOfBoundsTableAccess
+    );
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(0)]).unwrap(),
+        vec![Val::I32(1)]
+    );
+}
+
+#[test]
+fn wide_mixed_type_call_signature() {
+    // A call with many mixed parameters including several i64s: the
+    // monomorphized call_pre hook must split/restore everything correctly.
+    let params = [
+        ValType::I64,
+        ValType::I32,
+        ValType::F64,
+        ValType::I64,
+        ValType::F32,
+        ValType::I64,
+        ValType::I32,
+    ];
+    let mut builder = ModuleBuilder::new();
+    let callee = builder.function("", &params, &[ValType::I64], |f| {
+        // Fold everything into an i64.
+        f.get_local(0u32);
+        f.get_local(1u32).unary(wasabi_repro::wasm::UnaryOp::I64ExtendSI32);
+        f.binary(BinaryOp::I64Add);
+        f.get_local(3u32).binary(BinaryOp::I64Xor);
+        f.get_local(5u32).binary(BinaryOp::I64Sub);
+        f.get_local(6u32).unary(wasabi_repro::wasm::UnaryOp::I64ExtendSI32);
+        f.binary(BinaryOp::I64Mul);
+    });
+    builder.function("f", &[], &[ValType::I64], |f| {
+        f.i64_const(0x1234_5678_9abc_def0u64 as i64);
+        f.i32_const(-5);
+        f.f64_const(2.5);
+        f.i64_const(-1);
+        f.f32_const(1.5);
+        f.i64_const(i64::MIN);
+        f.i32_const(3);
+        f.call(callee);
+    });
+    let module = builder.finish();
+    let r = assert_faithful(&module, "f", &[]).unwrap();
+    assert_eq!(r.len(), 1);
+    assert!(r[0].as_i64().is_some());
+}
+
+#[test]
+fn start_function_grows_memory() {
+    let mut builder = ModuleBuilder::new();
+    builder.memory(1, None);
+    let start = builder.function("", &[], &[], |f| {
+        f.i32_const(2).memory_grow().drop_();
+    });
+    builder.start(start);
+    builder.function("f", &[], &[ValType::I32], |f| {
+        f.memory_size();
+    });
+    let r = assert_faithful(&builder.finish(), "f", &[]).unwrap();
+    assert_eq!(r, vec![Val::I32(3)]);
+}
+
+#[test]
+fn deeply_nested_blocks() {
+    // 32 levels of nesting with a branch from the innermost to several
+    // intermediate levels.
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        let acc = f.local(ValType::I32);
+        for _ in 0..32 {
+            f.block(None);
+        }
+        f.get_local(0u32).br_if(15);
+        f.get_local(acc).i32_const(1).i32_add().set_local(acc);
+        for _ in 0..32 {
+            f.end();
+            f.get_local(acc).i32_const(1).i32_add().set_local(acc);
+        }
+        f.get_local(acc);
+    });
+    let module = builder.finish();
+    let taken = assert_faithful(&module, "f", &[Val::I32(1)]).unwrap();
+    let not_taken = assert_faithful(&module, "f", &[Val::I32(0)]).unwrap();
+    // Taken: lands right after the 16th `end`, before its `+1`, so the 17
+    // increments after ends 16..=32 run; the inner `+1` is skipped.
+    assert_eq!(taken, vec![Val::I32(17)]);
+    assert_eq!(not_taken, vec![Val::I32(33)]);
+}
+
+#[test]
+fn dead_code_after_branches_in_blocks() {
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[], &[ValType::I32], |f| {
+        f.block(None);
+        f.br(0);
+        // Dead code with its own (never-executed) nested structure.
+        f.i32_const(1).drop_();
+        f.block(None).i32_const(0).br_if(0).end();
+        f.end();
+        f.i32_const(9);
+    });
+    let r = assert_faithful(&builder.finish(), "f", &[]).unwrap();
+    assert_eq!(r, vec![Val::I32(9)]);
+}
+
+#[test]
+fn return_from_within_loop_in_block() {
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        let i = f.local(ValType::I32);
+        f.block(None);
+        f.loop_(None);
+        f.get_local(i).i32_const(1).i32_add().tee_local(i);
+        f.get_local(0u32).binary(BinaryOp::I32GeS);
+        f.if_(None);
+        f.get_local(i).i32_const(1000).i32_add().return_();
+        f.end();
+        f.br(0);
+        f.end();
+        f.end();
+        f.i32_const(-1);
+    });
+    let r = assert_faithful(&builder.finish(), "f", &[Val::I32(4)]).unwrap();
+    assert_eq!(r, vec![Val::I32(1004)]);
+}
+
+#[test]
+fn large_br_table_with_end_replay() {
+    // A 64-entry branch table over 65 nested blocks: the statically
+    // extracted per-entry end lists (paper §2.4.5) have up to 65 entries.
+    const ARMS: u32 = 64;
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        let acc = f.local(ValType::I32);
+        for _ in 0..=ARMS {
+            f.block(None);
+        }
+        f.get_local(0u32);
+        f.br_table((0..ARMS).collect(), ARMS);
+        f.end();
+        for arm in 0..ARMS {
+            f.get_local(acc).i32_const(arm as i32).i32_add().set_local(acc);
+            f.end();
+        }
+        f.get_local(acc);
+    });
+    let module = builder.finish();
+    // Entry k lands after the (k+1)-th end, before arm k's increment, so
+    // arms k..ARMS all run: acc = sum(k..64).
+    for k in [0u32, 1, 31, 63, 64, 200] {
+        let taken = k.min(ARMS);
+        let expected: i32 = (taken..ARMS).map(|a| a as i32).sum();
+        let r = assert_faithful(&module, "f", &[Val::I32(k as i32)]).unwrap();
+        assert_eq!(r, vec![Val::I32(expected)], "entry {k}");
+    }
+}
+
+#[test]
+fn recursive_function_fully_instrumented() {
+    // Recursive fibonacci: hook calls add transient host frames but must
+    // not change results or the wasm call-depth semantics.
+    let mut builder = ModuleBuilder::new();
+    builder.function("fib", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32).i32_const(2).binary(BinaryOp::I32LtS);
+        f.if_(Some(ValType::I32));
+        f.get_local(0u32);
+        f.else_();
+        f.get_local(0u32).i32_const(1).i32_sub();
+        f.call(wasabi_repro::wasm::Idx::from(0u32));
+        f.get_local(0u32).i32_const(2).i32_sub();
+        f.call(wasabi_repro::wasm::Idx::from(0u32));
+        f.i32_add();
+        f.end();
+    });
+    let module = builder.finish();
+    let r = assert_faithful(&module, "fib", &[Val::I32(12)]).unwrap();
+    assert_eq!(r, vec![Val::I32(144)]);
+}
+
+#[test]
+fn branch_to_function_label_acts_as_return() {
+    // A br whose label targets the implicit function block exits the
+    // function, carrying the result — with end hooks for every frame.
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.block(None);
+        f.block(None);
+        f.get_local(0u32);
+        f.if_(None);
+        f.i32_const(77);
+        f.br(3); // 0=if, 1=inner block, 2=outer block, 3=function
+        f.end();
+        f.end();
+        f.end();
+        f.i32_const(-1);
+    });
+    let module = builder.finish();
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(1)]).unwrap(),
+        vec![Val::I32(77)]
+    );
+    assert_eq!(
+        assert_faithful(&module, "f", &[Val::I32(0)]).unwrap(),
+        vec![Val::I32(-1)]
+    );
+}
+
+#[test]
+fn empty_function_bodies() {
+    let mut builder = ModuleBuilder::new();
+    let empty = builder.function("", &[], &[], |_| {});
+    builder.function("f", &[], &[ValType::I32], |f| {
+        f.call(empty).call(empty).i32_const(11);
+    });
+    let r = assert_faithful(&builder.finish(), "f", &[]).unwrap();
+    assert_eq!(r, vec![Val::I32(11)]);
+}

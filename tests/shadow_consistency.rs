@@ -1,0 +1,116 @@
+//! Shadow-state consistency: an analysis that mirrors the program's entire
+//! memory and local/global state purely from hook events (the paper's
+//! "memory shadowing" pattern, §2.3) and *asserts* that every observed
+//! load/get matches the shadowed value of the preceding store/set.
+//!
+//! This turns hook-payload correctness into a machine-checked invariant
+//! over whole programs: if the instrumenter delivered a wrong value,
+//! address, index, or ordering anywhere, the shadow would diverge.
+
+use std::collections::HashMap;
+
+use wasabi_repro::core::hooks::{Analysis, MemArg};
+use wasabi_repro::core::location::Location;
+use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::wasm::instr::{GlobalOp, LoadOp, LocalOp, StoreOp, Val};
+use wasabi_repro::workloads::{compile, polybench, synthetic};
+
+/// Mirrors memory bytes and global values; checks loads and global reads.
+#[derive(Default)]
+struct ShadowChecker {
+    /// Shadowed memory bytes (only bytes that were stored through hooks).
+    memory: HashMap<u64, u8>,
+    /// Shadowed globals (only after the first observed write).
+    globals: HashMap<u32, Val>,
+    checked_loads: u64,
+    checked_globals: u64,
+}
+
+fn value_bytes(value: Val, width: u32) -> Vec<u8> {
+    let full: Vec<u8> = match value {
+        Val::I32(v) => v.to_le_bytes().to_vec(),
+        Val::I64(v) => v.to_le_bytes().to_vec(),
+        Val::F32(v) => v.to_le_bytes().to_vec(),
+        Val::F64(v) => v.to_le_bytes().to_vec(),
+    };
+    full[..width as usize].to_vec()
+}
+
+impl Analysis for ShadowChecker {
+    fn store(&mut self, _: Location, op: StoreOp, memarg: MemArg, value: Val) {
+        let base = memarg.effective_addr();
+        for (i, byte) in value_bytes(value, op.access_bytes()).into_iter().enumerate() {
+            self.memory.insert(base + i as u64, byte);
+        }
+    }
+
+    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {
+        let base = memarg.effective_addr();
+        let width = op.access_bytes();
+        // Only check if every byte of the loaded range was shadowed (i.e.
+        // written through an observed store; data segments and zero pages
+        // are unknown to the shadow).
+        let shadowed: Option<Vec<u8>> = (0..u64::from(width))
+            .map(|i| self.memory.get(&(base + i)).copied())
+            .collect();
+        let Some(shadowed) = shadowed else { return };
+
+        // Compare the raw loaded bytes. For sign/zero-extending loads the
+        // observed value is the extension of the raw bytes; truncate back.
+        let observed = value_bytes(value, width);
+        // Sign-extended loads of negative values change the *extension*,
+        // not the low bytes, so comparing `width` low bytes is exact.
+        assert_eq!(
+            observed, shadowed,
+            "load {op} at addr {base} (loc {loc}) returned {observed:?}, shadow has {shadowed:?}"
+        );
+        self.checked_loads += 1;
+    }
+
+    fn global(&mut self, _: Location, op: GlobalOp, index: u32, value: Val) {
+        match op {
+            GlobalOp::Set => {
+                self.globals.insert(index, value);
+            }
+            GlobalOp::Get => {
+                if let Some(&shadow) = self.globals.get(&index) {
+                    assert_eq!(value, shadow, "global {index} diverged from shadow");
+                    self.checked_globals += 1;
+                }
+            }
+        }
+    }
+
+    // Locals are per-frame; checking them requires frame tracking like the
+    // taint analysis. Memory + globals already cover the value-delivery
+    // paths (tee/set/get share the same capture machinery).
+    fn local(&mut self, _: Location, _: LocalOp, _: u32, _: Val) {}
+}
+
+#[test]
+fn shadow_memory_is_consistent_across_all_kernels() {
+    for program in polybench::all(6) {
+        let module = compile(&program);
+        let mut checker = ShadowChecker::default();
+        let session = AnalysisSession::for_analysis(&module, &checker).expect("instruments");
+        session
+            .run(&mut checker, "main", &[])
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        assert!(
+            checker.checked_loads > 0,
+            "{}: no load was ever checked",
+            program.name
+        );
+    }
+}
+
+#[test]
+fn shadow_state_is_consistent_on_synthetic_app() {
+    // The app's randomized load addresses rarely overlap stored ranges, so
+    // unlike the kernels no minimum check count is asserted — the value of
+    // this test is that *no* observed load or global read diverges.
+    let module = synthetic::synthetic_app(&synthetic::SyntheticConfig::small());
+    let mut checker = ShadowChecker::default();
+    let session = AnalysisSession::for_analysis(&module, &checker).expect("instruments");
+    session.run(&mut checker, "main", &[]).expect("runs");
+}

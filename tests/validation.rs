@@ -1,0 +1,80 @@
+//! RQ2, validator part (paper §4.3): "Running wasm-validate [...] on all 32
+//! fully instrumented programs shows that all the instrumented code passes
+//! the validator." Our substitute validator is `wasabi_wasm::validate`
+//! (DESIGN.md §3), and we additionally require that the instrumented binary
+//! survives an encode/decode round-trip.
+
+use wasabi_repro::core::hooks::{Hook, HookSet};
+use wasabi_repro::core::instrument;
+use wasabi_repro::wasm::decode::decode;
+use wasabi_repro::wasm::encode::encode;
+use wasabi_repro::wasm::validate::validate;
+use wasabi_repro::workloads::{compile, polybench, synthetic};
+
+#[test]
+fn all_kernels_fully_instrumented_validate() {
+    for program in polybench::all(8) {
+        let module = compile(&program);
+        let (instrumented, info) = instrument(&module, HookSet::all()).expect("instruments");
+        validate(&instrumented)
+            .unwrap_or_else(|e| panic!("{}: instrumented module invalid: {e}", program.name));
+        assert!(!info.hooks.is_empty());
+
+        // The binary encoding of the instrumented module also validates
+        // after decoding (what an engine would see).
+        let decoded = decode(&encode(&instrumented)).expect("decodes");
+        validate(&decoded)
+            .unwrap_or_else(|e| panic!("{}: roundtripped module invalid: {e}", program.name));
+    }
+}
+
+#[test]
+fn every_single_hook_instrumentation_validates() {
+    let module = compile(&polybench::by_name("ludcmp", 8).expect("known"));
+    for hook in Hook::ALL {
+        let (instrumented, _) =
+            instrument(&module, HookSet::of(&[hook])).expect("instruments");
+        validate(&instrumented)
+            .unwrap_or_else(|e| panic!("hook {hook}: instrumented module invalid: {e}"));
+    }
+}
+
+#[test]
+fn synthetic_apps_instrumented_validate() {
+    for config in [
+        synthetic::SyntheticConfig::small(),
+        synthetic::SyntheticConfig {
+            seed: 7,
+            function_count: 200,
+            body_statements: 16,
+        },
+    ] {
+        let module = synthetic::synthetic_app(&config);
+        let (instrumented, _) = instrument(&module, HookSet::all()).expect("instruments");
+        validate(&instrumented).expect("instrumented synthetic app validates");
+    }
+}
+
+#[test]
+fn instrumentation_reports_original_function_info() {
+    let module = compile(&polybench::by_name("gemm", 8).expect("known"));
+    let (_, info) = instrument(&module, HookSet::all()).expect("instruments");
+    assert_eq!(info.original_function_count as usize, module.functions.len());
+    // init, kernel, checksum, main.
+    let exports: Vec<&str> = info
+        .functions
+        .iter()
+        .flat_map(|f| f.export.iter().map(String::as_str))
+        .collect();
+    for export in ["init", "kernel", "checksum", "main"] {
+        assert!(exports.contains(&export), "missing {export}");
+    }
+}
+
+#[test]
+fn hook_count_is_stable_for_equal_input() {
+    let module = compile(&polybench::by_name("gemm", 8).expect("known"));
+    let (_, a) = instrument(&module, HookSet::all()).expect("instruments");
+    let (_, b) = instrument(&module, HookSet::all()).expect("instruments");
+    assert_eq!(a.hooks.len(), b.hooks.len());
+}
