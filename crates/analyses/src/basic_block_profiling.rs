@@ -71,7 +71,10 @@ mod tests {
         builder.function("main", &[ValType::I32], &[], |f| {
             let i = f.local(ValType::I32);
             f.block(None).loop_(None);
-            f.get_local(i).get_local(0u32).binary(wasabi_wasm::BinaryOp::I32GeS).br_if(1);
+            f.get_local(i)
+                .get_local(0u32)
+                .binary(wasabi_wasm::BinaryOp::I32GeS)
+                .br_if(1);
             f.call(helper);
             f.get_local(i).i32_const(1).i32_add().set_local(i);
             f.br(0).end().end();
@@ -87,7 +90,7 @@ mod tests {
 
         assert_eq!(profile.function_entries(1), 1); // main
         assert_eq!(profile.function_entries(0), 4); // helper, called in loop
-        // The loop body is entered 5 times (4 iterations + exit check).
+                                                    // The loop body is entered 5 times (4 iterations + exit check).
         let loops: u64 = profile
             .counts()
             .iter()

@@ -157,7 +157,10 @@ mod tests {
         let dot = graph.to_dot(session.info());
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("\"main\""));
-        assert!(dot.contains("style=dashed"), "indirect edge rendered dashed");
+        assert!(
+            dot.contains("style=dashed"),
+            "indirect edge rendered dashed"
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl InstructionCoverage {
     /// Coverage ratio (covered / total instructions) against the static
     /// module info. Functions never entered count with zero coverage.
     pub fn ratio(&self, info: &ModuleInfo) -> f64 {
-        let total: u64 = info.functions.iter().map(|f| u64::from(f.instr_count)).sum();
+        let total: u64 = info
+            .functions
+            .iter()
+            .map(|f| u64::from(f.instr_count))
+            .sum();
         if total == 0 {
             return 1.0;
         }
@@ -219,7 +223,10 @@ mod tests {
         let first = cov.covered().len();
         assert!(cov.ratio(&info) > 0.0 && cov.ratio(&info) < 1.0);
         session.run(&mut cov, "f", &[Val::I32(1)]).unwrap();
-        assert!(cov.covered().len() > first, "second input covers the if body");
+        assert!(
+            cov.covered().len() > first,
+            "second input covers the if body"
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ mod tests {
             let i = f.local(ValType::I32);
             f.i32_const(0x6a09_e667u32 as i32).set_local(h);
             f.block(None).loop_(None);
-            f.get_local(i).i32_const(rounds).binary(BinaryOp::I32GeS).br_if(1);
+            f.get_local(i)
+                .i32_const(rounds)
+                .binary(BinaryOp::I32GeS)
+                .br_if(1);
             f.get_local(h).i32_const(13).binary(BinaryOp::I32Shl);
             f.get_local(h).i32_const(7).binary(BinaryOp::I32ShrU);
             f.binary(BinaryOp::I32Xor);
@@ -113,8 +116,15 @@ mod tests {
             let acc = f.local(ValType::F64);
             let i = f.local(ValType::I32);
             f.block(None).loop_(None);
-            f.get_local(i).i32_const(rounds).binary(BinaryOp::I32GeS).br_if(1);
-            f.get_local(acc).f64_const(1.0001).f64_mul().f64_const(0.5).f64_add();
+            f.get_local(i)
+                .i32_const(rounds)
+                .binary(BinaryOp::I32GeS)
+                .br_if(1);
+            f.get_local(acc)
+                .f64_const(1.0001)
+                .f64_mul()
+                .f64_const(0.5)
+                .f64_add();
             f.set_local(acc);
             f.get_local(i).i32_const(1).i32_add().set_local(i);
             f.br(0).end().end();

@@ -121,7 +121,9 @@ mod tests {
             f.i32_const(100).i32_const(7).store(StoreOp::I32Store, 0);
             f.i32_const(1).memory_grow().drop_();
             f.i32_const(1).memory_grow().drop_();
-            f.i32_const(2 * 65536).i32_const(9).store(StoreOp::I32Store, 0);
+            f.i32_const(2 * 65536)
+                .i32_const(9)
+                .store(StoreOp::I32Store, 0);
             f.memory_size().drop_();
         });
         builder.finish()
@@ -159,7 +161,9 @@ mod tests {
         let mut builder = ModuleBuilder::new();
         builder.memory(2, None);
         builder.function("run", &[], &[], |f| {
-            f.i32_const(65532).i64_const(-1).store(wasabi_wasm::StoreOp::I64Store, 0);
+            f.i32_const(65532)
+                .i64_const(-1)
+                .store(wasabi_wasm::StoreOp::I64Store, 0);
         });
         let mut profile = HeapProfile::new();
         let session = AnalysisSession::for_analysis(&builder.finish(), &profile).unwrap();

@@ -149,7 +149,10 @@ mod tests {
         builder.function("f", &[], &[], |f| {
             let i = f.local(ValType::I32);
             f.block(None).loop_(None);
-            f.get_local(i).i32_const(5).binary(wasabi_wasm::BinaryOp::I32GeS).br_if(1);
+            f.get_local(i)
+                .i32_const(5)
+                .binary(wasabi_wasm::BinaryOp::I32GeS)
+                .br_if(1);
             f.get_local(i).i32_const(1).i32_add().set_local(i);
             f.br(0).end().end();
         });

@@ -42,18 +42,38 @@ pub use taint::TaintAnalysis;
 /// so the benchmark harness can count real lines of code).
 pub fn source_inventory() -> Vec<(&'static str, &'static str, &'static str)> {
     vec![
-        ("Instruction mix analysis", "all", include_str!("instruction_mix.rs")),
-        ("Basic block profiling", "begin", include_str!("basic_block_profiling.rs")),
+        (
+            "Instruction mix analysis",
+            "all",
+            include_str!("instruction_mix.rs"),
+        ),
+        (
+            "Basic block profiling",
+            "begin",
+            include_str!("basic_block_profiling.rs"),
+        ),
         ("Instruction coverage", "all", include_str!("coverage.rs")),
         (
             "Branch coverage",
             "if, br_if, br_table, select",
             include_str!("coverage.rs"),
         ),
-        ("Call graph analysis", "call_pre", include_str!("call_graph.rs")),
+        (
+            "Call graph analysis",
+            "call_pre",
+            include_str!("call_graph.rs"),
+        ),
         ("Dynamic taint analysis", "all", include_str!("taint.rs")),
-        ("Cryptominer detection", "binary", include_str!("cryptominer.rs")),
-        ("Memory access tracing", "load, store", include_str!("memory_tracing.rs")),
+        (
+            "Cryptominer detection",
+            "binary",
+            include_str!("cryptominer.rs"),
+        ),
+        (
+            "Memory access tracing",
+            "load, store",
+            include_str!("memory_tracing.rs"),
+        ),
     ]
 }
 
@@ -61,10 +81,7 @@ pub fn source_inventory() -> Vec<(&'static str, &'static str, &'static str)> {
 /// blocks plus supporting logic, excluding tests, comments and blanks. The
 /// paper's Table 4 counts the whole JS analysis files the same way.
 pub fn count_loc(source: &str) -> usize {
-    let without_tests = source
-        .split("#[cfg(test)]")
-        .next()
-        .unwrap_or(source);
+    let without_tests = source.split("#[cfg(test)]").next().unwrap_or(source);
     without_tests
         .lines()
         .map(str::trim)

@@ -137,7 +137,10 @@ mod tests {
             let i = f.local(ValType::I32);
             let acc = f.local(ValType::F64);
             f.block(None).loop_(None);
-            f.get_local(i).i32_const(n).binary(BinaryOp::I32GeS).br_if(1);
+            f.get_local(i)
+                .i32_const(n)
+                .binary(BinaryOp::I32GeS)
+                .br_if(1);
             // mem[i * stride] = i
             f.get_local(i).i32_const(stride_bytes).i32_mul();
             f.get_local(i).unary(wasabi_wasm::UnaryOp::F64ConvertSI32);

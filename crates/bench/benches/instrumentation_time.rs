@@ -22,9 +22,8 @@ fn instrumentation_time(criterion: &mut Criterion) {
     }
 
     for (label, kilobytes) in [("app_100k", 100), ("app_1m", 1000)] {
-        let module = synthetic_app(
-            &SyntheticConfig::pspdfkit_like().with_target_bytes(kilobytes * 1000),
-        );
+        let module =
+            synthetic_app(&SyntheticConfig::pspdfkit_like().with_target_bytes(kilobytes * 1000));
         group.throughput(Throughput::Bytes(binary_size(&module) as u64));
         group.bench_with_input(BenchmarkId::new("synthetic", label), &module, |b, m| {
             b.iter(|| wasabi::instrument(m, HookSet::all()).expect("instruments"));
@@ -35,8 +34,7 @@ fn instrumentation_time(criterion: &mut Criterion) {
     // §4.4: single-threaded vs parallel on a larger binary.
     let mut group = criterion.benchmark_group("instrument_threads");
     group.sample_size(10);
-    let module =
-        synthetic_app(&SyntheticConfig::unreal_like().with_target_bytes(2_000_000));
+    let module = synthetic_app(&SyntheticConfig::unreal_like().with_target_bytes(2_000_000));
     let max_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);

@@ -23,7 +23,9 @@ fn runtime_overhead(criterion: &mut Criterion) {
             let mut host = EmptyHost;
             let mut instance =
                 Instance::instantiate(module.clone(), &mut host).expect("instantiates");
-            instance.invoke_export("main", &[], &mut host).expect("runs")
+            instance
+                .invoke_export("main", &[], &mut host)
+                .expect("runs")
         });
     });
 
@@ -43,10 +45,11 @@ fn runtime_overhead(criterion: &mut Criterion) {
                 b.iter(|| {
                     let mut analysis = NoAnalysis;
                     let mut host = WasabiHost::new(session.info(), &mut analysis);
-                    let mut instance =
-                        Instance::instantiate(session.module().clone(), &mut host)
-                            .expect("instantiates");
-                    instance.invoke_export("main", &[], &mut host).expect("runs")
+                    let mut instance = Instance::instantiate(session.module().clone(), &mut host)
+                        .expect("instantiates");
+                    instance
+                        .invoke_export("main", &[], &mut host)
+                        .expect("runs")
                 });
             },
         );

@@ -20,7 +20,9 @@ fn vm_throughput(criterion: &mut Criterion) {
                 let mut host = EmptyHost;
                 let mut instance =
                     Instance::instantiate(m.clone(), &mut host).expect("instantiates");
-                instance.invoke_export("main", &[], &mut host).expect("runs")
+                instance
+                    .invoke_export("main", &[], &mut host)
+                    .expect("runs")
             });
         });
     }

@@ -79,7 +79,10 @@ fn main() {
         "{:<10} {:>12} {:>14} {:>14} {:>14}",
         "program", "original", "call only", "binary only", "all hooks"
     );
-    println!("{:-<10} {:->12} {:->14} {:->14} {:->14}", "", "", "", "", "");
+    println!(
+        "{:-<10} {:->12} {:->14} {:->14} {:->14}",
+        "", "", "", "", ""
+    );
     for (name, module) in &subjects {
         let size = |hooks: HookSet| {
             let (instrumented, _) = Instrumenter::new(hooks).run(module).expect("instruments");

@@ -63,7 +63,10 @@ fn main() {
         "{:<14} {:>16} {:>16} {:>14} {:>14}",
         "hook", "poly wall", "poly instrs", "app wall", "app instrs"
     );
-    println!("{:-<14} {:->16} {:->16} {:->14} {:->14}", "", "", "", "", "");
+    println!(
+        "{:-<14} {:->16} {:->16} {:->14} {:->14}",
+        "", "", "", "", ""
+    );
 
     let kernel_base: Vec<_> = kernels
         .iter()

@@ -18,10 +18,7 @@ use wasabi_bench::{binary_size, format_bytes, instrumentation_stats, subjects};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let app_kb: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(2000);
+    let app_kb: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
     let runs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
 
     println!("Table 5: Time taken to instrument programs (full instrumentation,");

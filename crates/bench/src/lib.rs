@@ -200,11 +200,7 @@ pub fn run_instrumented_repeated(
 /// (one instantiation; wall time and instruction count are totals). Use
 /// for short-running subjects where a single call is below timer
 /// resolution.
-pub fn run_original_amortized(
-    module: &Module,
-    export: &str,
-    invocations: usize,
-) -> RunMeasurement {
+pub fn run_original_amortized(module: &Module, export: &str, invocations: usize) -> RunMeasurement {
     let mut host = EmptyHost;
     let mut instance = Instance::instantiate(module.clone(), &mut host).expect("instantiates");
     let start = Instant::now();

@@ -114,7 +114,11 @@ impl LowLevelHook {
                 s
             }
             LowLevelHook::CallPre { args, indirect } => {
-                let prefix = if *indirect { "call_indirect_pre" } else { "call_pre" };
+                let prefix = if *indirect {
+                    "call_indirect_pre"
+                } else {
+                    "call_pre"
+                };
                 format!("{prefix}_{}", type_chars(args))
             }
             LowLevelHook::CallPost(tys) => format!("call_post_{}", type_chars(tys)),
@@ -228,7 +232,9 @@ impl LowLevelHook {
     /// i64 halves back together), excluding the trailing location.
     pub fn payload_types(&self) -> Vec<ValType> {
         match self {
-            LowLevelHook::Start | LowLevelHook::Nop | LowLevelHook::Unreachable
+            LowLevelHook::Start
+            | LowLevelHook::Nop
+            | LowLevelHook::Unreachable
             | LowLevelHook::Begin(_) => vec![],
             LowLevelHook::If | LowLevelHook::End(_) | LowLevelHook::MemorySize => {
                 vec![ValType::I32]
@@ -351,10 +357,7 @@ mod tests {
     fn i64_payloads_are_split_in_wasm_type() {
         let hook = LowLevelHook::Const(ValType::I64);
         // value (2 × i32) + location (2 × i32)
-        assert_eq!(
-            hook.wasm_type(),
-            FuncType::new(&[ValType::I32; 4], &[])
-        );
+        assert_eq!(hook.wasm_type(), FuncType::new(&[ValType::I32; 4], &[]));
         assert_eq!(hook.name(), "i64.const");
     }
 
@@ -425,11 +428,7 @@ mod tests {
             LowLevelHook::Select(ValType::I64),
         ];
         for hook in hooks {
-            let flattened: usize = hook
-                .payload_types()
-                .iter()
-                .map(|&t| flatten(t).len())
-                .sum();
+            let flattened: usize = hook.payload_types().iter().map(|&t| flatten(t).len()).sum();
             assert_eq!(
                 flattened + 2,
                 hook.wasm_type().params.len(),

@@ -54,8 +54,13 @@ impl HookMap {
             return Idx::from(self.first_hook_idx + offset as usize);
         }
         let mut guard = RwLockUpgradableReadGuard::upgrade(guard);
-        // Re-check: another writer may have inserted between our read and
-        // the upgrade (parking_lot upgrades atomically, but be explicit).
+        // Re-check after the upgrade. Defensive today: both real
+        // parking_lot and the offline shim admit only one upgradable
+        // reader at a time and every mutation goes through
+        // upgradable_read(), so no writer can interleave here. It becomes
+        // load-bearing the moment any caller mutates via a plain write()
+        // — the shim's upgrade releases the read lock before taking the
+        // write lock — so keep it.
         if let Some(&offset) = guard.indices.get(&hook) {
             return Idx::from(self.first_hook_idx + offset as usize);
         }
@@ -153,8 +158,8 @@ mod tests {
         })
         .unwrap();
         assert_eq!(map.len(), 8); // 4 const + 4 drop variants
-        // Every thread observed indices < 8, and identical hooks got
-        // identical indices (checked via the map itself).
+                                  // Every thread observed indices < 8, and identical hooks got
+                                  // identical indices (checked via the map itself).
         for thread_indices in indices {
             assert!(thread_indices.iter().all(|&i| i < 8));
         }
@@ -163,7 +168,10 @@ mod tests {
     #[test]
     fn eager_count_matches_paper() {
         // §4.5: "generating all 4^6 = 4,096 hooks for call instructions"
-        assert_eq!(eager_call_hook_count(6), 4096 + 1024 + 256 + 64 + 16 + 4 + 1);
+        assert_eq!(
+            eager_call_hook_count(6),
+            4096 + 1024 + 256 + 64 + 16 + 4 + 1
+        );
         // §4.5: 4^22 ≈ 1.7e13 for the Unreal Engine's 22-arg call
         assert!(eager_call_hook_count(22) > 17_000_000_000_000u128);
         // §4.4 text: 4^10 = 1,048,576 for a heuristic limit of ten args

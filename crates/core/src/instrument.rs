@@ -23,9 +23,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use wasabi_wasm::error::ValidationError;
-use wasabi_wasm::instr::{
-    BlockType, Idx, Instr, Label, LocalOp, LocalSpace, UnaryOp, Val,
-};
+use wasabi_wasm::instr::{BlockType, Idx, Instr, Label, LocalOp, LocalSpace, UnaryOp, Val};
 use wasabi_wasm::module::{Function, Module};
 use wasabi_wasm::types::ValType;
 use wasabi_wasm::validate::{validate, TypeChecker};
@@ -106,7 +104,12 @@ impl Instrumenter {
                             let function = &module.functions[func_idx];
                             if function.code().is_some() {
                                 *slot = Some(instrument_function(
-                                    module, func_idx as u32, function, hook_map, hooks, br_tables,
+                                    module,
+                                    func_idx as u32,
+                                    function,
+                                    hook_map,
+                                    hooks,
+                                    br_tables,
                                     reuse_temps,
                                 ));
                             }
@@ -148,7 +151,10 @@ impl Instrumenter {
 /// # Errors
 ///
 /// Fails if the input module does not validate.
-pub fn instrument(module: &Module, hooks: HookSet) -> Result<(Module, ModuleInfo), ValidationError> {
+pub fn instrument(
+    module: &Module,
+    hooks: HookSet,
+) -> Result<(Module, ModuleInfo), ValidationError> {
     Instrumenter::new(hooks).run(module)
 }
 
@@ -856,19 +862,22 @@ mod tests {
         // Same types reuse the same locals after reset.
         assert_eq!(temps.get(ValType::I32).to_u32(), 5);
         assert_eq!(temps.get(ValType::F64).to_u32(), 7);
-        assert_eq!(temps.into_locals(), vec![ValType::I32, ValType::I32, ValType::F64]);
+        assert_eq!(
+            temps.into_locals(),
+            vec![ValType::I32, ValType::I32, ValType::F64]
+        );
     }
 
     #[test]
     fn match_ends_nested() {
         use wasabi_wasm::instr::Instr::*;
         let body = vec![
-            Block(BlockType(None)),      // 0
-            Loop(BlockType(None)),       // 1
-            Nop,                         // 2
-            End,                         // 3 (loop)
-            End,                         // 4 (block)
-            End,                         // 5 (function)
+            Block(BlockType(None)), // 0
+            Loop(BlockType(None)),  // 1
+            Nop,                    // 2
+            End,                    // 3 (loop)
+            End,                    // 4 (block)
+            End,                    // 5 (function)
         ];
         let ends = match_ends(&body);
         assert_eq!(ends[0], 4);
@@ -894,7 +903,9 @@ mod tests {
         let mut builder = ModuleBuilder::new();
         builder.memory(1, None);
         builder.function("f", &[ValType::I64], &[ValType::I64], |f| {
-            f.get_local(0u32).i64_const(2).binary(wasabi_wasm::BinaryOp::I64Mul);
+            f.get_local(0u32)
+                .i64_const(2)
+                .binary(wasabi_wasm::BinaryOp::I64Mul);
         });
         let module = builder.finish();
         let (instrumented, info) = instrument(&module, HookSet::all()).expect("instruments");
@@ -912,7 +923,9 @@ mod tests {
         builder.memory(1, None);
         builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
             f.get_local(0u32).i32_const(1).i32_add();
-            f.i32_const(0).load(wasabi_wasm::LoadOp::I32Load, 0).i32_add();
+            f.i32_const(0)
+                .load(wasabi_wasm::LoadOp::I32Load, 0)
+                .i32_add();
         });
         let module = builder.finish();
         let (_, info_all) = instrument(&module, HookSet::all()).unwrap();
@@ -931,8 +944,14 @@ mod tests {
             });
         }
         let module = builder.finish();
-        let (a, _) = Instrumenter::new(HookSet::all()).threads(1).run(&module).unwrap();
-        let (b, _) = Instrumenter::new(HookSet::all()).threads(4).run(&module).unwrap();
+        let (a, _) = Instrumenter::new(HookSet::all())
+            .threads(1)
+            .run(&module)
+            .unwrap();
+        let (b, _) = Instrumenter::new(HookSet::all())
+            .threads(4)
+            .run(&module)
+            .unwrap();
         // Function bodies must be identical; hook import indices are
         // assigned in discovery order which may differ between runs, so
         // compare after normalizing through the encoder? No: bodies call

@@ -76,9 +76,7 @@ impl ModuleInfo {
                     |(m, n)| array([string(m), string(n)])
                 ),
                 array(f.export.iter().map(|e| string(e))),
-                f.name
-                    .as_deref()
-                    .map_or_else(|| "null".to_string(), string),
+                f.name.as_deref().map_or_else(|| "null".to_string(), string),
                 f.instr_count
             )
         }));

@@ -144,7 +144,8 @@ impl<'a> WasabiHost<'a> {
             LowLevelHook::Const(_) => self.analysis.const_(loc, vals[0]),
             LowLevelHook::Drop(_) => self.analysis.drop_(loc, vals[0]),
             LowLevelHook::Select(_) => {
-                self.analysis.select(loc, as_bool(vals[2]), vals[0], vals[1]);
+                self.analysis
+                    .select(loc, as_bool(vals[2]), vals[0], vals[1]);
             }
             LowLevelHook::Unary(op) => self.analysis.unary(loc, *op, vals[0], vals[1]),
             LowLevelHook::Binary(op) => {
@@ -215,9 +216,7 @@ impl Host for WasabiHost<'_> {
     }
 
     fn resolve_global(&mut self, module: &str, name: &str, ty: &GlobalType) -> Option<Val> {
-        self.program_host
-            .as_mut()?
-            .resolve_global(module, name, ty)
+        self.program_host.as_mut()?.resolve_global(module, name, ty)
     }
 }
 
@@ -396,7 +395,11 @@ mod tests {
         );
         assert_eq!(id, Some(HostFuncId(0)));
         assert_eq!(
-            host.resolve(crate::convention::HOOK_MODULE, "no_such_hook", &FuncType::default()),
+            host.resolve(
+                crate::convention::HOOK_MODULE,
+                "no_such_hook",
+                &FuncType::default()
+            ),
             None
         );
     }
@@ -433,8 +436,7 @@ mod tests {
         assert!(invalid.to_string().contains("invalid module"));
         let trap: AnalysisError = Trap::Unreachable.into();
         assert!(trap.to_string().contains("trapped"));
-        let inst: AnalysisError =
-            InstantiationError::NoSuchExport("x".to_string()).into();
+        let inst: AnalysisError = InstantiationError::NoSuchExport("x".to_string()).into();
         assert!(inst.to_string().contains("instantiation failed"));
     }
 

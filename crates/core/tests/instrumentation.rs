@@ -50,7 +50,8 @@ impl Analysis for Recorder {
         self.events.push(format!("br {target} @{loc}"));
     }
     fn br_if(&mut self, loc: Location, target: BranchTarget, condition: bool) {
-        self.events.push(format!("br_if {target} {condition} @{loc}"));
+        self.events
+            .push(format!("br_if {target} {condition} @{loc}"));
     }
     fn br_table(
         &mut self,
@@ -75,7 +76,8 @@ impl Analysis for Recorder {
         self.events.push(format!("end {kind} begin@{begin} @{loc}"));
     }
     fn memory_size(&mut self, loc: Location, current_pages: u32) {
-        self.events.push(format!("memory_size {current_pages} @{loc}"));
+        self.events
+            .push(format!("memory_size {current_pages} @{loc}"));
     }
     fn memory_grow(&mut self, loc: Location, delta: u32, previous_pages: i32) {
         self.events
@@ -96,8 +98,9 @@ impl Analysis for Recorder {
             .push(format!("unary {op} {input:?} -> {result:?} @{loc}"));
     }
     fn binary(&mut self, loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {
-        self.events
-            .push(format!("binary {op} {first:?} {second:?} -> {result:?} @{loc}"));
+        self.events.push(format!(
+            "binary {op} {first:?} {second:?} -> {result:?} @{loc}"
+        ));
     }
     fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {
         self.events.push(format!(
@@ -121,8 +124,9 @@ impl Analysis for Recorder {
         self.events.push(format!("return {results:?} @{loc}"));
     }
     fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {
-        self.events
-            .push(format!("call_pre {func} {args:?} table {table_index:?} @{loc}"));
+        self.events.push(format!(
+            "call_pre {func} {args:?} table {table_index:?} @{loc}"
+        ));
     }
     fn call_post(&mut self, loc: Location, results: &[Val]) {
         self.events.push(format!("call_post {results:?} @{loc}"));
@@ -439,7 +443,10 @@ fn loop_begin_fires_per_iteration() {
         "f",
         &[],
     );
-    let loop_begins = events.iter().filter(|e| e.starts_with("begin loop")).count();
+    let loop_begins = events
+        .iter()
+        .filter(|e| e.starts_with("begin loop"))
+        .count();
     assert_eq!(loop_begins, 3, "{events:?}");
 }
 
@@ -552,7 +559,10 @@ fn i64_values_split_and_rejoined_row6() {
         vec![
             format!("get_local 0 I64({tricky}) @0:0"),
             "const I64(-1) @0:1".to_string(),
-            format!("binary i64.xor I64({tricky}) I64(-1) -> I64({}) @0:2", !tricky),
+            format!(
+                "binary i64.xor I64({tricky}) I64(-1) -> I64({}) @0:2",
+                !tricky
+            ),
         ]
     );
 }
@@ -697,10 +707,16 @@ fn full_instrumentation_preserves_results() {
             let i = f.local(ValType::I32);
             let acc = f.local(ValType::F64);
             f.block(None).loop_(None);
-            f.get_local(i).get_local(0u32).binary(BinaryOp::I32GeS).br_if(1);
+            f.get_local(i)
+                .get_local(0u32)
+                .binary(BinaryOp::I32GeS)
+                .br_if(1);
             // acc += i * 0.5; mem[i*8] = acc
             f.get_local(acc);
-            f.get_local(i).unary(UnaryOp::F64ConvertSI32).f64_const(0.5).f64_mul();
+            f.get_local(i)
+                .unary(UnaryOp::F64ConvertSI32)
+                .f64_const(0.5)
+                .f64_mul();
             f.f64_add().tee_local(acc);
             f.get_local(i).i32_const(8).i32_mul();
             // stack: [acc, addr] -> need [addr, acc]
@@ -763,7 +779,11 @@ fn locations_report_original_indices() {
     );
     assert_eq!(
         events,
-        vec!["const I32(0) @0:0", "const I32(1) @0:2", "const I32(2) @0:4"]
+        vec![
+            "const I32(0) @0:0",
+            "const I32(1) @0:2",
+            "const I32(2) @0:4"
+        ]
     );
 }
 
@@ -776,7 +796,9 @@ fn fresh_temp_ablation_is_also_faithful() {
     builder.function("f", &[ValType::I64], &[ValType::I64], |f| {
         f.get_local(0u32).i64_const(3).binary(BinaryOp::I64Mul);
         f.i32_const(0).get_local(0u32).store(StoreOp::I64Store, 0);
-        f.i32_const(0).load(LoadOp::I64Load, 0).binary(BinaryOp::I64Add);
+        f.i32_const(0)
+            .load(LoadOp::I64Load, 0)
+            .binary(BinaryOp::I64Add);
     });
     let module = builder.finish();
 

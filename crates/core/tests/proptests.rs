@@ -86,24 +86,22 @@ fn arb_val() -> impl Strategy<Value = Val> {
 
 /// Binary op plus operands that never trap.
 fn arb_binary() -> impl Strategy<Value = (BinaryOp, Val, Val)> {
-    let safe_i32 = prop_oneof![
-        proptest::sample::select(vec![
-            BinaryOp::I32Add,
-            BinaryOp::I32Sub,
-            BinaryOp::I32Mul,
-            BinaryOp::I32And,
-            BinaryOp::I32Or,
-            BinaryOp::I32Xor,
-            BinaryOp::I32Shl,
-            BinaryOp::I32ShrS,
-            BinaryOp::I32ShrU,
-            BinaryOp::I32Rotl,
-            BinaryOp::I32Rotr,
-            BinaryOp::I32Eq,
-            BinaryOp::I32LtS,
-            BinaryOp::I32GtU,
-        ])
-    ];
+    let safe_i32 = prop_oneof![proptest::sample::select(vec![
+        BinaryOp::I32Add,
+        BinaryOp::I32Sub,
+        BinaryOp::I32Mul,
+        BinaryOp::I32And,
+        BinaryOp::I32Or,
+        BinaryOp::I32Xor,
+        BinaryOp::I32Shl,
+        BinaryOp::I32ShrS,
+        BinaryOp::I32ShrU,
+        BinaryOp::I32Rotl,
+        BinaryOp::I32Rotr,
+        BinaryOp::I32Eq,
+        BinaryOp::I32LtS,
+        BinaryOp::I32GtU,
+    ])];
     let divisions_i32 = proptest::sample::select(vec![
         BinaryOp::I32DivS,
         BinaryOp::I32DivU,
@@ -129,12 +127,21 @@ fn arb_binary() -> impl Strategy<Value = (BinaryOp, Val, Val)> {
         BinaryOp::F64Lt,
     ]);
     prop_oneof![
-        (safe_i32, any::<i32>(), any::<i32>())
-            .prop_map(|(op, a, b)| (op, Val::I32(a), Val::I32(b))),
-        (divisions_i32, any::<i32>(), 1i32..1000)
-            .prop_map(|(op, a, b)| (op, Val::I32(a), Val::I32(b))),
-        (safe_i64, any::<i64>(), any::<i64>())
-            .prop_map(|(op, a, b)| (op, Val::I64(a), Val::I64(b))),
+        (safe_i32, any::<i32>(), any::<i32>()).prop_map(|(op, a, b)| (
+            op,
+            Val::I32(a),
+            Val::I32(b)
+        )),
+        (divisions_i32, any::<i32>(), 1i32..1000).prop_map(|(op, a, b)| (
+            op,
+            Val::I32(a),
+            Val::I32(b)
+        )),
+        (safe_i64, any::<i64>(), any::<i64>()).prop_map(|(op, a, b)| (
+            op,
+            Val::I64(a),
+            Val::I64(b)
+        )),
         (floats, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(op, a, b)| {
             if op.input() == ValType::F32 {
                 (op, Val::F32(a as f32), Val::F32(b as f32))
@@ -199,7 +206,11 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         (0u8..4, any::<i32>()).prop_map(|(l, v)| Stmt::TeeDrop(l, v)),
         Just(Stmt::GlobalRoundtrip),
         (any::<i32>(), any::<f32>(), any::<f32>()).prop_map(|(cond, first, second)| {
-            Stmt::SelectDrop { cond, first, second }
+            Stmt::SelectDrop {
+                cond,
+                first,
+                second,
+            }
         }),
         Just(Stmt::MemorySizeDrop),
         (0u8..4, any::<i32>()).prop_map(|(c, a)| Stmt::Call {
@@ -212,7 +223,11 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (0i32..2, prop::collection::vec(inner.clone(), 0..3), prop::collection::vec(inner.clone(), 0..3))
+            (
+                0i32..2,
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
                 .prop_map(|(cond, then, else_)| Stmt::IfElse { cond, then, else_ }),
             (0i32..2, prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(cond, body)| Stmt::BlockBrIf { cond, body }),
@@ -232,7 +247,10 @@ fn emit(f: &mut FunctionBuilder, stmt: &Stmt, func_count: u32) {
             f.instr(Instr::Const(*v)).drop_();
         }
         Stmt::BinaryDrop(op, a, b) => {
-            f.instr(Instr::Const(*a)).instr(Instr::Const(*b)).binary(*op).drop_();
+            f.instr(Instr::Const(*a))
+                .instr(Instr::Const(*b))
+                .binary(*op)
+                .drop_();
         }
         Stmt::UnaryDrop(op, v) => {
             f.instr(Instr::Const(*v)).unary(*op).drop_();
@@ -256,8 +274,16 @@ fn emit(f: &mut FunctionBuilder, stmt: &Stmt, func_count: u32) {
         Stmt::GlobalRoundtrip => {
             f.get_global(0u32).i32_const(13).i32_add().set_global(0u32);
         }
-        Stmt::SelectDrop { cond, first, second } => {
-            f.f32_const(*first).f32_const(*second).i32_const(*cond).select().drop_();
+        Stmt::SelectDrop {
+            cond,
+            first,
+            second,
+        } => {
+            f.f32_const(*first)
+                .f32_const(*second)
+                .i32_const(*cond)
+                .select()
+                .drop_();
         }
         Stmt::MemorySizeDrop => {
             f.memory_size().drop_();
@@ -314,7 +340,9 @@ fn emit(f: &mut FunctionBuilder, stmt: &Stmt, func_count: u32) {
         Stmt::Call { callee_offset, arg } => {
             if func_count > 0 {
                 let callee = u32::from(*callee_offset) % func_count;
-                f.i32_const(*arg).call(wasabi_wasm::Idx::from(callee)).drop_();
+                f.i32_const(*arg)
+                    .call(wasabi_wasm::Idx::from(callee))
+                    .drop_();
             }
         }
         Stmt::CallIndirect { slot } => {

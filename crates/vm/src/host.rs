@@ -62,7 +62,12 @@ impl Host for EmptyHost {
         None
     }
 
-    fn call(&mut self, _id: HostFuncId, _args: &[Val], _ctx: HostCtx<'_>) -> Result<Vec<Val>, Trap> {
+    fn call(
+        &mut self,
+        _id: HostFuncId,
+        _args: &[Val],
+        _ctx: HostCtx<'_>,
+    ) -> Result<Vec<Val>, Trap> {
         Err(Trap::HostError("EmptyHost cannot be called".to_string()))
     }
 }
@@ -173,11 +178,19 @@ mod tests {
         let mut host = HostFunctions::new();
         host.register_global("env", "base", Val::I32(1024));
         assert_eq!(
-            host.resolve_global("env", "base", &GlobalType::const_(wasabi_wasm::ValType::I32)),
+            host.resolve_global(
+                "env",
+                "base",
+                &GlobalType::const_(wasabi_wasm::ValType::I32)
+            ),
             Some(Val::I32(1024))
         );
         assert_eq!(
-            host.resolve_global("env", "other", &GlobalType::const_(wasabi_wasm::ValType::I32)),
+            host.resolve_global(
+                "env",
+                "other",
+                &GlobalType::const_(wasabi_wasm::ValType::I32)
+            ),
             None
         );
     }

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use wasabi_wasm::instr::{FunctionSpace, Idx, Instr, Label, LocalOp, GlobalOp, Val};
+use wasabi_wasm::instr::{FunctionSpace, GlobalOp, Idx, Instr, Label, LocalOp, Val};
 use wasabi_wasm::module::{GlobalKind, Module};
 use wasabi_wasm::validate::validate;
 
@@ -174,7 +174,10 @@ impl Instance {
             }
         }
 
-        let mut memory = module.memories.first().map(|m| LinearMemory::new(m.type_.0));
+        let mut memory = module
+            .memories
+            .first()
+            .map(|m| LinearMemory::new(m.type_.0));
         if let (Some(mem), Some(memory)) = (module.memories.first(), memory.as_mut()) {
             for data in &mem.data {
                 let offset = eval_const_expr(&data.offset, &globals)
@@ -201,7 +204,11 @@ impl Instance {
         let jump_tables = module
             .functions
             .iter()
-            .map(|f| f.code().map(|c| compute_jump_table(&c.body)).unwrap_or_default())
+            .map(|f| {
+                f.code()
+                    .map(|c| compute_jump_table(&c.body))
+                    .unwrap_or_default()
+            })
             .collect();
 
         let mut instance = Instance {
@@ -299,9 +306,7 @@ impl Instance {
         host: &mut dyn Host,
     ) -> Result<Vec<Val>, Trap> {
         let ty = &self.module.functions[func_idx.to_usize()].type_;
-        if ty.params.len() != args.len()
-            || ty.params.iter().zip(args).any(|(&p, a)| a.ty() != p)
-        {
+        if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(&p, a)| a.ty() != p) {
             return Err(Trap::HostError(format!(
                 "invoke arguments {args:?} do not match type {ty}"
             )));
@@ -591,23 +596,48 @@ fn eval_const_expr(expr: &[Instr], globals: &[Val]) -> Val {
     }
 }
 
-fn load_value(memory: &LinearMemory, op: wasabi_wasm::LoadOp, addr: u32, offset: u32) -> Result<Val, Trap> {
+fn load_value(
+    memory: &LinearMemory,
+    op: wasabi_wasm::LoadOp,
+    addr: u32,
+    offset: u32,
+) -> Result<Val, Trap> {
     use wasabi_wasm::LoadOp::*;
     Ok(match op {
         I32Load => Val::I32(i32::from_le_bytes(memory.read::<4>(addr, offset)?)),
         I64Load => Val::I64(i64::from_le_bytes(memory.read::<8>(addr, offset)?)),
         F32Load => Val::F32(f32::from_le_bytes(memory.read::<4>(addr, offset)?)),
         F64Load => Val::F64(f64::from_le_bytes(memory.read::<8>(addr, offset)?)),
-        I32Load8S => Val::I32(i32::from(i8::from_le_bytes(memory.read::<1>(addr, offset)?))),
-        I32Load8U => Val::I32(i32::from(u8::from_le_bytes(memory.read::<1>(addr, offset)?))),
-        I32Load16S => Val::I32(i32::from(i16::from_le_bytes(memory.read::<2>(addr, offset)?))),
-        I32Load16U => Val::I32(i32::from(u16::from_le_bytes(memory.read::<2>(addr, offset)?))),
-        I64Load8S => Val::I64(i64::from(i8::from_le_bytes(memory.read::<1>(addr, offset)?))),
-        I64Load8U => Val::I64(i64::from(u8::from_le_bytes(memory.read::<1>(addr, offset)?))),
-        I64Load16S => Val::I64(i64::from(i16::from_le_bytes(memory.read::<2>(addr, offset)?))),
-        I64Load16U => Val::I64(i64::from(u16::from_le_bytes(memory.read::<2>(addr, offset)?))),
-        I64Load32S => Val::I64(i64::from(i32::from_le_bytes(memory.read::<4>(addr, offset)?))),
-        I64Load32U => Val::I64(i64::from(u32::from_le_bytes(memory.read::<4>(addr, offset)?))),
+        I32Load8S => Val::I32(i32::from(i8::from_le_bytes(
+            memory.read::<1>(addr, offset)?,
+        ))),
+        I32Load8U => Val::I32(i32::from(u8::from_le_bytes(
+            memory.read::<1>(addr, offset)?,
+        ))),
+        I32Load16S => Val::I32(i32::from(i16::from_le_bytes(
+            memory.read::<2>(addr, offset)?,
+        ))),
+        I32Load16U => Val::I32(i32::from(u16::from_le_bytes(
+            memory.read::<2>(addr, offset)?,
+        ))),
+        I64Load8S => Val::I64(i64::from(i8::from_le_bytes(
+            memory.read::<1>(addr, offset)?,
+        ))),
+        I64Load8U => Val::I64(i64::from(u8::from_le_bytes(
+            memory.read::<1>(addr, offset)?,
+        ))),
+        I64Load16S => Val::I64(i64::from(i16::from_le_bytes(
+            memory.read::<2>(addr, offset)?,
+        ))),
+        I64Load16U => Val::I64(i64::from(u16::from_le_bytes(
+            memory.read::<2>(addr, offset)?,
+        ))),
+        I64Load32S => Val::I64(i64::from(i32::from_le_bytes(
+            memory.read::<4>(addr, offset)?,
+        ))),
+        I64Load32U => Val::I64(i64::from(u32::from_le_bytes(
+            memory.read::<4>(addr, offset)?,
+        ))),
     })
 }
 
@@ -620,18 +650,46 @@ fn store_value(
 ) -> Result<(), Trap> {
     use wasabi_wasm::StoreOp::*;
     match op {
-        I32Store => memory.write::<4>(addr, offset, value.as_i32().expect("validated").to_le_bytes()),
-        I64Store => memory.write::<8>(addr, offset, value.as_i64().expect("validated").to_le_bytes()),
-        F32Store => memory.write::<4>(addr, offset, value.as_f32().expect("validated").to_le_bytes()),
-        F64Store => memory.write::<8>(addr, offset, value.as_f64().expect("validated").to_le_bytes()),
-        I32Store8 => memory.write::<1>(addr, offset, [(value.as_i32().expect("validated") & 0xff) as u8]),
-        I32Store16 => {
-            memory.write::<2>(addr, offset, ((value.as_i32().expect("validated") & 0xffff) as u16).to_le_bytes())
-        }
-        I64Store8 => memory.write::<1>(addr, offset, [(value.as_i64().expect("validated") & 0xff) as u8]),
-        I64Store16 => {
-            memory.write::<2>(addr, offset, ((value.as_i64().expect("validated") & 0xffff) as u16).to_le_bytes())
-        }
+        I32Store => memory.write::<4>(
+            addr,
+            offset,
+            value.as_i32().expect("validated").to_le_bytes(),
+        ),
+        I64Store => memory.write::<8>(
+            addr,
+            offset,
+            value.as_i64().expect("validated").to_le_bytes(),
+        ),
+        F32Store => memory.write::<4>(
+            addr,
+            offset,
+            value.as_f32().expect("validated").to_le_bytes(),
+        ),
+        F64Store => memory.write::<8>(
+            addr,
+            offset,
+            value.as_f64().expect("validated").to_le_bytes(),
+        ),
+        I32Store8 => memory.write::<1>(
+            addr,
+            offset,
+            [(value.as_i32().expect("validated") & 0xff) as u8],
+        ),
+        I32Store16 => memory.write::<2>(
+            addr,
+            offset,
+            ((value.as_i32().expect("validated") & 0xffff) as u16).to_le_bytes(),
+        ),
+        I64Store8 => memory.write::<1>(
+            addr,
+            offset,
+            [(value.as_i64().expect("validated") & 0xff) as u8],
+        ),
+        I64Store16 => memory.write::<2>(
+            addr,
+            offset,
+            ((value.as_i64().expect("validated") & 0xffff) as u16).to_le_bytes(),
+        ),
         I64Store32 => memory.write::<4>(
             addr,
             offset,
@@ -656,7 +714,8 @@ mod tests {
         let mut builder = ModuleBuilder::new();
         build(&mut builder);
         let mut host = EmptyHost;
-        let mut instance = Instance::instantiate(builder.finish(), &mut host).expect("instantiates");
+        let mut instance =
+            Instance::instantiate(builder.finish(), &mut host).expect("instantiates");
         instance.invoke_export(export, args, &mut host)
     }
 
@@ -665,7 +724,11 @@ mod tests {
         let r = run(
             |b| {
                 b.function("mul_add", &[ValType::I32; 3], &[ValType::I32], |f| {
-                    f.get_local(0u32).get_local(1u32).i32_mul().get_local(2u32).i32_add();
+                    f.get_local(0u32)
+                        .get_local(1u32)
+                        .i32_mul()
+                        .get_local(2u32)
+                        .i32_add();
                 });
             },
             "mul_add",
@@ -683,7 +746,10 @@ mod tests {
                     let i = f.local(ValType::I32);
                     let acc = f.local(ValType::I32);
                     f.block(None).loop_(None);
-                    f.get_local(i).get_local(0u32).binary(BinaryOp::I32GeS).br_if(1);
+                    f.get_local(i)
+                        .get_local(0u32)
+                        .binary(BinaryOp::I32GeS)
+                        .br_if(1);
                     f.get_local(acc).get_local(i).i32_add().set_local(acc);
                     f.get_local(i).i32_const(1).i32_add().set_local(i);
                     f.br(0).end().end();
@@ -709,8 +775,14 @@ mod tests {
                 f.end();
             });
         };
-        assert_eq!(run(build, "abs", &[Val::I32(-5)]).unwrap(), vec![Val::I32(5)]);
-        assert_eq!(run(build, "abs", &[Val::I32(7)]).unwrap(), vec![Val::I32(7)]);
+        assert_eq!(
+            run(build, "abs", &[Val::I32(-5)]).unwrap(),
+            vec![Val::I32(5)]
+        );
+        assert_eq!(
+            run(build, "abs", &[Val::I32(7)]).unwrap(),
+            vec![Val::I32(7)]
+        );
     }
 
     #[test]
@@ -763,9 +835,18 @@ mod tests {
                 f.i32_const(300);
             });
         };
-        assert_eq!(run(build, "classify", &[Val::I32(0)]).unwrap(), vec![Val::I32(100)]);
-        assert_eq!(run(build, "classify", &[Val::I32(1)]).unwrap(), vec![Val::I32(200)]);
-        assert_eq!(run(build, "classify", &[Val::I32(7)]).unwrap(), vec![Val::I32(300)]);
+        assert_eq!(
+            run(build, "classify", &[Val::I32(0)]).unwrap(),
+            vec![Val::I32(100)]
+        );
+        assert_eq!(
+            run(build, "classify", &[Val::I32(1)]).unwrap(),
+            vec![Val::I32(200)]
+        );
+        assert_eq!(
+            run(build, "classify", &[Val::I32(7)]).unwrap(),
+            vec![Val::I32(300)]
+        );
     }
 
     #[test]
@@ -849,10 +930,15 @@ mod tests {
                 });
                 b.table(2);
                 b.elements(0, vec![id, dbl]);
-                b.function("dispatch", &[ValType::I32, ValType::I32], &[ValType::I32], |f| {
-                    f.get_local(1u32).get_local(0u32);
-                    f.call_indirect(&[ValType::I32], &[ValType::I32]);
-                });
+                b.function(
+                    "dispatch",
+                    &[ValType::I32, ValType::I32],
+                    &[ValType::I32],
+                    |f| {
+                        f.get_local(1u32).get_local(0u32);
+                        f.call_indirect(&[ValType::I32], &[ValType::I32]);
+                    },
+                );
             },
             "dispatch",
             &[Val::I32(1), Val::I32(21)],

@@ -77,7 +77,12 @@ impl LinearMemory {
     }
 
     /// Write `N` bytes at `addr + offset`.
-    pub fn write<const N: usize>(&mut self, addr: u32, offset: u32, data: [u8; N]) -> Result<(), Trap> {
+    pub fn write<const N: usize>(
+        &mut self,
+        addr: u32,
+        offset: u32,
+        data: [u8; N],
+    ) -> Result<(), Trap> {
         let start = self.checked_range(addr, offset, N)?;
         self.bytes[start..start + N].copy_from_slice(&data);
         Ok(())
@@ -125,7 +130,10 @@ mod tests {
     #[test]
     fn out_of_bounds_access_traps() {
         let m = LinearMemory::new(Limits::at_least(1));
-        assert_eq!(m.read::<4>(65533, 0).unwrap_err(), Trap::OutOfBoundsMemoryAccess);
+        assert_eq!(
+            m.read::<4>(65533, 0).unwrap_err(),
+            Trap::OutOfBoundsMemoryAccess
+        );
         assert!(m.read::<4>(65532, 0).is_ok());
         // Overflowing addr+offset must not wrap around.
         assert_eq!(
@@ -147,7 +155,10 @@ mod tests {
     #[test]
     fn grown_memory_is_zeroed_and_accessible() {
         let mut m = LinearMemory::new(Limits::at_least(0));
-        assert_eq!(m.read::<1>(0, 0).unwrap_err(), Trap::OutOfBoundsMemoryAccess);
+        assert_eq!(
+            m.read::<1>(0, 0).unwrap_err(),
+            Trap::OutOfBoundsMemoryAccess
+        );
         assert_eq!(m.grow(1), 0);
         assert_eq!(m.read::<1>(0, 0).unwrap(), [0]);
     }

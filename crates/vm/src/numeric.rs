@@ -327,7 +327,11 @@ fn fmin32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
-        if a.is_sign_negative() { a } else { b }
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
     } else if a < b {
         a
     } else {
@@ -339,7 +343,11 @@ fn fmax32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
-        if a.is_sign_positive() { a } else { b }
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
     } else if a > b {
         a
     } else {
@@ -351,7 +359,11 @@ fn fmin64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
-        if a.is_sign_negative() { a } else { b }
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
     } else if a < b {
         a
     } else {
@@ -363,7 +375,11 @@ fn fmax64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
-        if a.is_sign_positive() { a } else { b }
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
     } else if a > b {
         a
     } else {
@@ -421,8 +437,8 @@ fn trunc_u64(v: f64) -> Result<i64, Trap> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use UnaryOp::*;
     use BinaryOp::*;
+    use UnaryOp::*;
 
     fn un(op: UnaryOp, v: Val) -> Val {
         unary(op, v).expect("no trap")
@@ -434,8 +450,14 @@ mod tests {
 
     #[test]
     fn wrapping_arithmetic() {
-        assert_eq!(bi(I32Add, Val::I32(i32::MAX), Val::I32(1)), Val::I32(i32::MIN));
-        assert_eq!(bi(I32Mul, Val::I32(0x10000), Val::I32(0x10000)), Val::I32(0));
+        assert_eq!(
+            bi(I32Add, Val::I32(i32::MAX), Val::I32(1)),
+            Val::I32(i32::MIN)
+        );
+        assert_eq!(
+            bi(I32Mul, Val::I32(0x10000), Val::I32(0x10000)),
+            Val::I32(0)
+        );
         assert_eq!(
             bi(I64Sub, Val::I64(i64::MIN), Val::I64(1)),
             Val::I64(i64::MAX)
@@ -484,8 +506,14 @@ mod tests {
 
     #[test]
     fn rotates() {
-        assert_eq!(bi(I32Rotl, Val::I32(0x8000_0001u32 as i32), Val::I32(1)), Val::I32(3));
-        assert_eq!(bi(I32Rotr, Val::I32(3), Val::I32(1)), Val::I32(0x8000_0001u32 as i32));
+        assert_eq!(
+            bi(I32Rotl, Val::I32(0x8000_0001u32 as i32), Val::I32(1)),
+            Val::I32(3)
+        );
+        assert_eq!(
+            bi(I32Rotr, Val::I32(3), Val::I32(1)),
+            Val::I32(0x8000_0001u32 as i32)
+        );
     }
 
     #[test]
@@ -541,8 +569,14 @@ mod tests {
             unary(I32TruncSF64, Val::F64(2147483648.0)),
             Err(Trap::InvalidConversionToInteger)
         );
-        assert_eq!(un(I32TruncSF64, Val::F64(2147483647.9)), Val::I32(2147483647));
-        assert_eq!(un(I32TruncSF64, Val::F64(-2147483648.9)), Val::I32(i32::MIN));
+        assert_eq!(
+            un(I32TruncSF64, Val::F64(2147483647.9)),
+            Val::I32(2147483647)
+        );
+        assert_eq!(
+            un(I32TruncSF64, Val::F64(-2147483648.9)),
+            Val::I32(i32::MIN)
+        );
         assert_eq!(
             unary(I32TruncUF64, Val::F64(-1.0)),
             Err(Trap::InvalidConversionToInteger)
@@ -568,7 +602,10 @@ mod tests {
         assert_eq!(un(I64ExtendUI32, Val::I32(-1)), Val::I64(0xffff_ffff));
         assert_eq!(un(I32WrapI64, Val::I64(0x1_0000_0002)), Val::I32(2));
         assert_eq!(un(F64ConvertUI32, Val::I32(-1)), Val::F64(4294967295.0));
-        assert_eq!(un(F32ConvertSI64, Val::I64(1 << 40)), Val::F32(1.0995116e12));
+        assert_eq!(
+            un(F32ConvertSI64, Val::I64(1 << 40)),
+            Val::F32(1.0995116e12)
+        );
     }
 
     #[test]
@@ -584,8 +621,14 @@ mod tests {
 
     #[test]
     fn copysign() {
-        assert_eq!(bi(F64Copysign, Val::F64(3.0), Val::F64(-1.0)), Val::F64(-3.0));
-        assert_eq!(bi(F32Copysign, Val::F32(-3.0), Val::F32(1.0)), Val::F32(3.0));
+        assert_eq!(
+            bi(F64Copysign, Val::F64(3.0), Val::F64(-1.0)),
+            Val::F64(-3.0)
+        );
+        assert_eq!(
+            bi(F32Copysign, Val::F32(-3.0), Val::F32(1.0)),
+            Val::F32(3.0)
+        );
     }
 
     #[test]

@@ -85,9 +85,7 @@ impl fmt::Display for InstantiationError {
             InstantiationError::ElementSegmentOutOfBounds => {
                 f.write_str("element segment out of bounds")
             }
-            InstantiationError::DataSegmentOutOfBounds => {
-                f.write_str("data segment out of bounds")
-            }
+            InstantiationError::DataSegmentOutOfBounds => f.write_str("data segment out of bounds"),
             InstantiationError::StartTrapped(trap) => write!(f, "start function trapped: {trap}"),
             InstantiationError::NoSuchExport(name) => write!(f, "no such export {name:?}"),
         }

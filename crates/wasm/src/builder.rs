@@ -65,7 +65,9 @@ impl ModuleBuilder {
 
     /// Add a table with space for `size` elements.
     pub fn table(&mut self, size: u32) -> &mut Self {
-        self.module.tables.push(Table::new(Limits::bounded(size, size)));
+        self.module
+            .tables
+            .push(Table::new(Limits::bounded(size, size)));
         self
     }
 
@@ -89,8 +91,7 @@ impl ModuleBuilder {
 
     /// Add a mutable global with an initial value.
     pub fn global(&mut self, init: Val) -> Idx<GlobalSpace> {
-        self.module
-            .add_global(GlobalType::mutable(init.ty()), init)
+        self.module.add_global(GlobalType::mutable(init.ty()), init)
     }
 
     /// Add an imported function.
@@ -262,10 +263,16 @@ impl FunctionBuilder {
     }
 
     pub fn load(&mut self, op: LoadOp, offset: u32) -> &mut Self {
-        self.instr(Instr::Load(op, Memarg::with_offset(op.access_bytes(), offset)))
+        self.instr(Instr::Load(
+            op,
+            Memarg::with_offset(op.access_bytes(), offset),
+        ))
     }
     pub fn store(&mut self, op: StoreOp, offset: u32) -> &mut Self {
-        self.instr(Instr::Store(op, Memarg::with_offset(op.access_bytes(), offset)))
+        self.instr(Instr::Store(
+            op,
+            Memarg::with_offset(op.access_bytes(), offset),
+        ))
     }
     pub fn memory_size(&mut self) -> &mut Self {
         self.instr(Instr::MemorySize(Idx::from(0u32)))

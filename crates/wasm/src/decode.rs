@@ -6,13 +6,13 @@
 
 use crate::error::{DecodeError, DecodeErrorKind};
 use crate::instr::{
-    BinaryOp, BlockType, Idx, Instr, Label, LoadOp, LocalOp, GlobalOp, Memarg, StoreOp, UnaryOp,
+    BinaryOp, BlockType, GlobalOp, Idx, Instr, Label, LoadOp, LocalOp, Memarg, StoreOp, UnaryOp,
     Val,
 };
 use crate::leb128::Reader;
 use crate::module::{
-    Code, CustomSection, Data, Element, Function, FunctionKind, Global, GlobalKind, Import,
-    Memory, Module, Table,
+    Code, CustomSection, Data, Element, Function, FunctionKind, Global, GlobalKind, Import, Memory,
+    Module, Table,
 };
 use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
 
@@ -199,7 +199,9 @@ impl<'a> Decoder<'a> {
                 return Ok(());
             }
         }
-        self.module.custom_sections.push(CustomSection { name, bytes });
+        self.module
+            .custom_sections
+            .push(CustomSection { name, bytes });
         Ok(())
     }
 
@@ -225,10 +227,7 @@ impl<'a> Decoder<'a> {
                         let func_idx = sub.u32()?;
                         let name = sub.name()?;
                         if func_idx as usize >= self.module.functions.len() {
-                            return Err(DecodeError::new(
-                                0,
-                                DecodeErrorKind::IndexOutOfBounds,
-                            ));
+                            return Err(DecodeError::new(0, DecodeErrorKind::IndexOutOfBounds));
                         }
                         function_names.push((func_idx, name));
                     }
@@ -310,7 +309,8 @@ impl<'a> Decoder<'a> {
             // Placeholder body; the code section fills it in. Creating the
             // entry now gives later sections (export, element, start) valid
             // function indices to reference.
-            self.local_function_indices.push(self.module.functions.len());
+            self.local_function_indices
+                .push(self.module.functions.len());
             self.module.functions.push(Function {
                 type_,
                 kind: FunctionKind::Local(Code::default()),
@@ -370,11 +370,7 @@ impl<'a> Decoder<'a> {
             let kind = self.r.byte()?;
             let idx = self.r.u32()? as usize;
             let export_list = match kind {
-                0x00 => self
-                    .module
-                    .functions
-                    .get_mut(idx)
-                    .map(|f| &mut f.export),
+                0x00 => self.module.functions.get_mut(idx).map(|f| &mut f.export),
                 0x01 => self.module.tables.get_mut(idx).map(|t| &mut t.export),
                 0x02 => self.module.memories.get_mut(idx).map(|m| &mut m.export),
                 0x03 => self.module.globals.get_mut(idx).map(|g| &mut g.export),

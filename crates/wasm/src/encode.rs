@@ -664,8 +664,7 @@ mod tests {
         let mut module = sample_module();
         // Add an import *after* the local function, then call it from a new
         // function: AST index 1 refers to the import.
-        let import_idx =
-            module.add_function_import(FuncType::new(&[], &[]), "env", "hook");
+        let import_idx = module.add_function_import(FuncType::new(&[], &[]), "env", "hook");
         module.add_function(
             FuncType::new(&[], &[]),
             vec![],
@@ -708,9 +707,11 @@ mod tests {
     fn globals_permuted_and_remapped() {
         let mut module = Module::new();
         module.add_global(GlobalType::mutable(ValType::I32), Val::I32(7));
-        module
-            .globals
-            .push(Global::new_import(GlobalType::const_(ValType::F64), "env", "g"));
+        module.globals.push(Global::new_import(
+            GlobalType::const_(ValType::F64),
+            "env",
+            "g",
+        ));
         module.add_function(
             FuncType::new(&[], &[ValType::I32]),
             vec![],
@@ -855,7 +856,9 @@ mod tests {
         body.push(Instr::End);
 
         let mut module = Module::new();
-        module.memories.push(crate::module::Memory::new(Limits::at_least(1)));
+        module
+            .memories
+            .push(crate::module::Memory::new(Limits::at_least(1)));
         module.add_function(FuncType::new(&[], &[]), vec![], body);
 
         let bytes = encode(&module);

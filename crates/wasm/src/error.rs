@@ -119,7 +119,9 @@ impl fmt::Display for ValidationError {
                     self.message
                 )
             }
-            (Some(func), None) => write!(f, "validation error in function {func}: {}", self.message),
+            (Some(func), None) => {
+                write!(f, "validation error in function {func}: {}", self.message)
+            }
             _ => write!(f, "validation error: {}", self.message),
         }
     }
@@ -134,7 +136,10 @@ mod tests {
     #[test]
     fn decode_error_display() {
         let e = DecodeError::new(12, DecodeErrorKind::InvalidOpcode(0xff));
-        assert_eq!(e.to_string(), "decode error at byte 12: invalid opcode 0xff");
+        assert_eq!(
+            e.to_string(),
+            "decode error at byte 12: invalid opcode 0xff"
+        );
     }
 
     #[test]

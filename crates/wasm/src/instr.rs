@@ -403,8 +403,8 @@ impl UnaryOp {
             I32Eqz | I32Clz | I32Ctz | I32Popcnt | I64ExtendSI32 | I64ExtendUI32
             | F32ConvertSI32 | F32ConvertUI32 | F64ConvertSI32 | F64ConvertUI32
             | F32ReinterpretI32 => ValType::I32,
-            I64Eqz | I64Clz | I64Ctz | I64Popcnt | I32WrapI64 | F32ConvertSI64
-            | F32ConvertUI64 | F64ConvertSI64 | F64ConvertUI64 | F64ReinterpretI64 => ValType::I64,
+            I64Eqz | I64Clz | I64Ctz | I64Popcnt | I32WrapI64 | F32ConvertSI64 | F32ConvertUI64
+            | F64ConvertSI64 | F64ConvertUI64 | F64ReinterpretI64 => ValType::I64,
             F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt
             | I32TruncSF32 | I32TruncUF32 | I64TruncSF32 | I64TruncUF32 | F64PromoteF32
             | I32ReinterpretF32 => ValType::F32,
@@ -577,8 +577,9 @@ impl LoadOp {
         use LoadOp::*;
         match self {
             I32Load | I32Load8S | I32Load8U | I32Load16S | I32Load16U => ValType::I32,
-            I64Load | I64Load8S | I64Load8U | I64Load16S | I64Load16U | I64Load32S
-            | I64Load32U => ValType::I64,
+            I64Load | I64Load8S | I64Load8U | I64Load16S | I64Load16U | I64Load32S | I64Load32U => {
+                ValType::I64
+            }
             F32Load => ValType::F32,
             F64Load => ValType::F64,
         }

@@ -404,11 +404,7 @@ mod tests {
     #[test]
     fn local_index_space_spans_params_and_locals() {
         let mut module = Module::new();
-        let idx = module.add_function(
-            i32_i32_to_i32(),
-            vec![ValType::F64],
-            add_function_body(),
-        );
+        let idx = module.add_function(i32_i32_to_i32(), vec![ValType::F64], add_function_body());
         let function = module.function(idx);
         assert_eq!(function.local_type(Idx::from(0u32)), Some(ValType::I32));
         assert_eq!(function.local_type(Idx::from(1u32)), Some(ValType::I32));

@@ -216,7 +216,13 @@ mod tests {
 
     #[test]
     fn limits_constructors() {
-        assert_eq!(Limits::at_least(3), Limits { initial: 3, max: None });
+        assert_eq!(
+            Limits::at_least(3),
+            Limits {
+                initial: 3,
+                max: None
+            }
+        );
         assert_eq!(
             Limits::bounded(1, 5),
             Limits {

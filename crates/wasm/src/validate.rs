@@ -8,7 +8,7 @@
 //! unreachable code handling.
 
 use crate::error::ValidationError;
-use crate::instr::{BlockType, Idx, Instr, Label, LocalOp, GlobalOp};
+use crate::instr::{BlockType, GlobalOp, Idx, Instr, Label, LocalOp};
 use crate::module::{Function, GlobalKind, Module};
 use crate::types::{FuncType, ValType, MAX_PAGES};
 
@@ -319,7 +319,11 @@ impl TypeChecker {
                     }
                     _ => {}
                 }
-                self.push(if first.known().is_some() { first } else { second });
+                self.push(if first.known().is_some() {
+                    first
+                } else {
+                    second
+                });
             }
 
             Instr::Local(op, idx) => {
@@ -571,7 +575,11 @@ mod tests {
         (module, function)
     }
 
-    fn check(params: &[ValType], results: &[ValType], body: Vec<Instr>) -> Result<(), ValidationError> {
+    fn check(
+        params: &[ValType],
+        results: &[ValType],
+        body: Vec<Instr>,
+    ) -> Result<(), ValidationError> {
         let (module, _) = module_with_body(params, results, body);
         validate(&module)
     }
@@ -609,19 +617,15 @@ mod tests {
 
     #[test]
     fn stack_underflow_detected() {
-        let err = check(
-            &[],
-            &[],
-            vec![Instr::Binary(BinaryOp::I32Add), Instr::End],
-        )
-        .expect_err("must fail");
+        let err = check(&[], &[], vec![Instr::Binary(BinaryOp::I32Add), Instr::End])
+            .expect_err("must fail");
         assert!(err.message.contains("underflow"), "{err}");
     }
 
     #[test]
     fn leftover_values_detected() {
-        let err = check(&[], &[], vec![Instr::Const(Val::I32(1)), Instr::End])
-            .expect_err("must fail");
+        let err =
+            check(&[], &[], vec![Instr::Const(Val::I32(1)), Instr::End]).expect_err("must fail");
         assert!(err.message.contains("left on stack"), "{err}");
     }
 
@@ -644,8 +648,7 @@ mod tests {
 
     #[test]
     fn branch_label_out_of_range() {
-        let err = check(&[], &[], vec![Instr::Br(Label(5)), Instr::End])
-            .expect_err("must fail");
+        let err = check(&[], &[], vec![Instr::Br(Label(5)), Instr::End]).expect_err("must fail");
         assert!(err.message.contains("out of range"), "{err}");
     }
 

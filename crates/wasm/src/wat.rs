@@ -22,13 +22,16 @@ pub fn render(module: &Module) -> String {
         let _ = write!(head, " {}", function.type_);
         match &function.kind {
             FunctionKind::Import(import) => {
-                let _ = writeln!(out, "{head} (import \"{}\" \"{}\"))", import.module, import.name);
+                let _ = writeln!(
+                    out,
+                    "{head} (import \"{}\" \"{}\"))",
+                    import.module, import.name
+                );
             }
             FunctionKind::Local(code) => {
                 let _ = writeln!(out, "{head}");
                 if !code.locals.is_empty() {
-                    let locals: Vec<String> =
-                        code.locals.iter().map(ToString::to_string).collect();
+                    let locals: Vec<String> = code.locals.iter().map(ToString::to_string).collect();
                     let _ = writeln!(out, "    (local {})", locals.join(" "));
                 }
                 let mut indent = 4usize;
@@ -125,8 +128,14 @@ mod tests {
         assert!(text.contains("(export \"main\""));
         assert!(text.contains("(memory 1)"));
         // Nesting: br_if is indented deeper than block.
-        let block_line = text.lines().find(|l| l.trim_start().starts_with("block")).unwrap();
-        let br_line = text.lines().find(|l| l.trim_start().starts_with("br_if")).unwrap();
+        let block_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("block"))
+            .unwrap();
+        let br_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("br_if"))
+            .unwrap();
         let indent = |l: &str| l.len() - l.trim_start().len();
         assert!(indent(br_line) > indent(block_line));
     }

@@ -129,15 +129,18 @@ fn arb_flat_instr() -> impl Strategy<Value = Instr> {
                 }
             )
         ),
-        (proptest::sample::select(StoreOp::ALL), any::<u32>(), 0u32..4).prop_map(
-            |(op, offset, align)| Instr::Store(
+        (
+            proptest::sample::select(StoreOp::ALL),
+            any::<u32>(),
+            0u32..4
+        )
+            .prop_map(|(op, offset, align)| Instr::Store(
                 op,
                 Memarg {
                     alignment_exp: align,
                     offset
                 }
-            )
-        ),
+            )),
         Just(Instr::MemorySize(Idx::from(0u32))),
         Just(Instr::MemoryGrow(Idx::from(0u32))),
     ]
@@ -176,7 +179,10 @@ fn arb_body() -> impl Strategy<Value = Vec<Instr>> {
 
 fn arb_module() -> impl Strategy<Value = Module> {
     (
-        vec((arb_func_type(), vec(arb_val_type(), 0..4), arb_body()), 0..4),
+        vec(
+            (arb_func_type(), vec(arb_val_type(), 0..4), arb_body()),
+            0..4,
+        ),
         vec((arb_func_type(), "[a-z]{1,8}", "[a-z]{1,8}"), 0..3),
         vec(arb_val(), 0..3),
         proptest::option::of((1u32..4, vec((0u32..100, vec(any::<u8>(), 0..16)), 0..2))),
@@ -198,7 +204,9 @@ fn arb_module() -> impl Strategy<Value = Module> {
             let func_count = module.functions.len() as u32;
             let global_count = module.globals.len() as u32;
             for function in &mut module.functions {
-                let Some(code) = function.code_mut() else { continue };
+                let Some(code) = function.code_mut() else {
+                    continue;
+                };
                 code.body.retain(|instr| match instr {
                     Instr::Call(_) => func_count > 0,
                     Instr::Global(..) => global_count > 0,

@@ -30,8 +30,8 @@ fn run() -> Result<(), String> {
     let module = match kind.as_str() {
         "kernel" => {
             let n: u32 = size.parse().map_err(|_| format!("bad size {size:?}"))?;
-            let program = polybench::by_name(ident, n)
-                .ok_or_else(|| format!("unknown kernel {ident:?}"))?;
+            let program =
+                polybench::by_name(ident, n).ok_or_else(|| format!("unknown kernel {ident:?}"))?;
             compile(&program)
         }
         "app" => {

@@ -151,7 +151,11 @@ impl<'a> FunctionCompiler<'a, '_> {
                 self.f.get_local(i).i32_const(1).i32_sub().set_local(i);
                 self.f.br(0).end().end();
             }
-            Stmt::Store { array, index, value } => {
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
                 let offset = self.address(array, index);
                 self.fexpr(value);
                 self.f.store(StoreOp::F64Store, offset);
@@ -327,7 +331,10 @@ fn emit_checksum(layout: &Layout, f: &mut FunctionBuilder) {
     let total = layout.total_elements as i32;
     f.i32_const(0).set_local(i);
     f.block(None).loop_(None);
-    f.get_local(i).i32_const(total).binary(BinaryOp::I32GeS).br_if(1);
+    f.get_local(i)
+        .i32_const(total)
+        .binary(BinaryOp::I32GeS)
+        .br_if(1);
     f.get_local(acc);
     f.get_local(i).i32_const(8).i32_mul();
     f.load(LoadOp::F64Load, 0);
@@ -347,7 +354,9 @@ mod tests {
     fn run_main(module: Module) -> f64 {
         let mut host = EmptyHost;
         let mut instance = Instance::instantiate(module, &mut host).expect("instantiates");
-        let results = instance.invoke_export("main", &[], &mut host).expect("runs");
+        let results = instance
+            .invoke_export("main", &[], &mut host)
+            .expect("runs");
         results[0].as_f64().expect("f64 checksum")
     }
 

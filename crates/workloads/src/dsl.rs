@@ -281,7 +281,10 @@ mod tests {
         assert_eq!(
             e,
             IExpr::Add(
-                Box::new(IExpr::Mul(Box::new(IExpr::Var("i")), Box::new(IExpr::Const(8)))),
+                Box::new(IExpr::Mul(
+                    Box::new(IExpr::Var("i")),
+                    Box::new(IExpr::Const(8))
+                )),
                 Box::new(IExpr::Const(16))
             )
         );

@@ -17,26 +17,54 @@ pub fn gemm(n: u32) -> Program {
             Program::array("B", &[n as u32, n as u32]),
             Program::array("C", &[n as u32, n as u32]),
         ],
-        init: vec![
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-                store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
-                store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
-                store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
-            ])]),
-        ],
-        kernel: vec![for_("i", c(0), c(n), vec![
-            for_("j", c(0), c(n), vec![store(
-                "C",
-                [v("i"), v("j")],
-                ld("C", [v("i"), v("j")]) * fc(1.2),
-            )]),
-            for_("k", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "C",
-                [v("i"), v("j")],
-                ld("C", [v("i"), v("j")])
-                    + fc(1.5) * ld("A", [v("i"), v("k")]) * ld("B", [v("k"), v("j")]),
-            )])]),
-        ])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                    store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
+                    store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+                ],
+            )],
+        )],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "C",
+                        [v("i"), v("j")],
+                        ld("C", [v("i"), v("j")]) * fc(1.2),
+                    )],
+                ),
+                for_(
+                    "k",
+                    c(0),
+                    c(n),
+                    vec![for_(
+                        "j",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "C",
+                            [v("i"), v("j")],
+                            ld("C", [v("i"), v("j")])
+                                + fc(1.5) * ld("A", [v("i"), v("k")]) * ld("B", [v("k"), v("j")]),
+                        )],
+                    )],
+                ),
+            ],
+        )],
     }
 }
 
@@ -58,8 +86,11 @@ pub fn gemver(n: u32) -> Program {
             vec1("y"),
             vec1("z"),
         ],
-        init: vec![
-            for_("i", c(0), c(n), vec![
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
                 store("u1", [v("i")], int(v("i"))),
                 store("u2", [v("i")], frac(v("i") + c(1), n) / fc(2.0)),
                 store("v1", [v("i")], frac(v("i") + c(1), n) / fc(4.0)),
@@ -68,36 +99,68 @@ pub fn gemver(n: u32) -> Program {
                 store("z", [v("i")], frac(v("i") + c(1), n) / fc(9.0)),
                 store("x", [v("i")], fc(0.0)),
                 store("w", [v("i")], fc(0.0)),
-                for_("j", c(0), c(n), vec![store(
-                    "A",
-                    [v("i"), v("j")],
-                    frac(v("i") * v("j"), n),
-                )]),
-            ]),
-        ],
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store("A", [v("i"), v("j")], frac(v("i") * v("j"), n))],
+                ),
+            ],
+        )],
         kernel: vec![
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "A",
-                [v("i"), v("j")],
-                ld("A", [v("i"), v("j")])
-                    + ld("u1", [v("i")]) * ld("v1", [v("j")])
-                    + ld("u2", [v("i")]) * ld("v2", [v("j")]),
-            )])]),
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "x",
-                [v("i")],
-                ld("x", [v("i")]) + fc(1.2) * ld("A", [v("j"), v("i")]) * ld("y", [v("j")]),
-            )])]),
-            for_("i", c(0), c(n), vec![store(
-                "x",
-                [v("i")],
-                ld("x", [v("i")]) + ld("z", [v("i")]),
-            )]),
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "w",
-                [v("i")],
-                ld("w", [v("i")]) + fc(1.5) * ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
-            )])]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "A",
+                        [v("i"), v("j")],
+                        ld("A", [v("i"), v("j")])
+                            + ld("u1", [v("i")]) * ld("v1", [v("j")])
+                            + ld("u2", [v("i")]) * ld("v2", [v("j")]),
+                    )],
+                )],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "x",
+                        [v("i")],
+                        ld("x", [v("i")]) + fc(1.2) * ld("A", [v("j"), v("i")]) * ld("y", [v("j")]),
+                    )],
+                )],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![store("x", [v("i")], ld("x", [v("i")]) + ld("z", [v("i")]))],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "w",
+                        [v("i")],
+                        ld("w", [v("i")]) + fc(1.5) * ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
+                    )],
+                )],
+            ),
         ],
     }
 }
@@ -114,30 +177,54 @@ pub fn gesummv(n: u32) -> Program {
             Program::array("x", &[n as u32]),
             Program::array("y", &[n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![
-            store("x", [v("i")], frac(v("i"), n)),
-            for_("j", c(0), c(n), vec![
-                store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
-                store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
-            ]),
-        ])],
-        kernel: vec![for_("i", c(0), c(n), vec![
-            store("tmp", [v("i")], fc(0.0)),
-            store("y", [v("i")], fc(0.0)),
-            for_("j", c(0), c(n), vec![
-                store(
-                    "tmp",
-                    [v("i")],
-                    ld("A", [v("i"), v("j")]) * ld("x", [v("j")]) + ld("tmp", [v("i")]),
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("x", [v("i")], frac(v("i"), n)),
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![
+                        store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                        store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
+                    ],
+                ),
+            ],
+        )],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("tmp", [v("i")], fc(0.0)),
+                store("y", [v("i")], fc(0.0)),
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![
+                        store(
+                            "tmp",
+                            [v("i")],
+                            ld("A", [v("i"), v("j")]) * ld("x", [v("j")]) + ld("tmp", [v("i")]),
+                        ),
+                        store(
+                            "y",
+                            [v("i")],
+                            ld("B", [v("i"), v("j")]) * ld("x", [v("j")]) + ld("y", [v("i")]),
+                        ),
+                    ],
                 ),
                 store(
                     "y",
                     [v("i")],
-                    ld("B", [v("i"), v("j")]) * ld("x", [v("j")]) + ld("y", [v("i")]),
+                    fc(1.5) * ld("tmp", [v("i")]) + fc(1.2) * ld("y", [v("i")]),
                 ),
-            ]),
-            store("y", [v("i")], fc(1.5) * ld("tmp", [v("i")]) + fc(1.2) * ld("y", [v("i")])),
-        ])],
+            ],
+        )],
     }
 }
 
@@ -151,33 +238,60 @@ pub fn symm(n: u32) -> Program {
             Program::array("B", &[n as u32, n as u32]),
             Program::array("C", &[n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("A", [v("i"), v("j")], frac(v("i") + v("j"), n)),
-            store("B", [v("i"), v("j")], frac(v("j") + c(1), n)),
-            store("C", [v("i"), v("j")], frac(v("i") * v("j") + c(3), n)),
-        ])])],
-        kernel: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            set("temp2", fc(0.0)),
-            for_("k", c(0), v("i"), vec![
-                store(
-                    "C",
-                    [v("k"), v("j")],
-                    ld("C", [v("k"), v("j")])
-                        + fc(1.5) * ld("B", [v("i"), v("j")]) * ld("A", [v("i"), v("k")]),
-                ),
-                set(
-                    "temp2",
-                    sc("temp2") + ld("B", [v("k"), v("j")]) * ld("A", [v("i"), v("k")]),
-                ),
-            ]),
-            store(
-                "C",
-                [v("i"), v("j")],
-                fc(1.2) * ld("C", [v("i"), v("j")])
-                    + fc(1.5) * ld("B", [v("i"), v("j")]) * ld("A", [v("i"), v("i")])
-                    + fc(1.5) * sc("temp2"),
-            ),
-        ])])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("A", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+                    store("B", [v("i"), v("j")], frac(v("j") + c(1), n)),
+                    store("C", [v("i"), v("j")], frac(v("i") * v("j") + c(3), n)),
+                ],
+            )],
+        )],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    set("temp2", fc(0.0)),
+                    for_(
+                        "k",
+                        c(0),
+                        v("i"),
+                        vec![
+                            store(
+                                "C",
+                                [v("k"), v("j")],
+                                ld("C", [v("k"), v("j")])
+                                    + fc(1.5)
+                                        * ld("B", [v("i"), v("j")])
+                                        * ld("A", [v("i"), v("k")]),
+                            ),
+                            set(
+                                "temp2",
+                                sc("temp2") + ld("B", [v("k"), v("j")]) * ld("A", [v("i"), v("k")]),
+                            ),
+                        ],
+                    ),
+                    store(
+                        "C",
+                        [v("i"), v("j")],
+                        fc(1.2) * ld("C", [v("i"), v("j")])
+                            + fc(1.5) * ld("B", [v("i"), v("j")]) * ld("A", [v("i"), v("i")])
+                            + fc(1.5) * sc("temp2"),
+                    ),
+                ],
+            )],
+        )],
     }
 }
 
@@ -191,25 +305,55 @@ pub fn syr2k(n: u32) -> Program {
             Program::array("B", &[n as u32, n as u32]),
             Program::array("C", &[n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
-            store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
-            store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
-        ])])],
-        kernel: vec![for_("i", c(0), c(n), vec![
-            for_("j", c(0), v("i") + c(1), vec![store(
-                "C",
-                [v("i"), v("j")],
-                ld("C", [v("i"), v("j")]) * fc(1.2),
-            )]),
-            for_("k", c(0), c(n), vec![for_("j", c(0), v("i") + c(1), vec![store(
-                "C",
-                [v("i"), v("j")],
-                ld("C", [v("i"), v("j")])
-                    + ld("A", [v("j"), v("k")]) * fc(1.5) * ld("B", [v("i"), v("k")])
-                    + ld("B", [v("j"), v("k")]) * fc(1.5) * ld("A", [v("i"), v("k")]),
-            )])]),
-        ])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                    store("B", [v("i"), v("j")], frac(v("i") * v("j") + c(2), n)),
+                    store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+                ],
+            )],
+        )],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                for_(
+                    "j",
+                    c(0),
+                    v("i") + c(1),
+                    vec![store(
+                        "C",
+                        [v("i"), v("j")],
+                        ld("C", [v("i"), v("j")]) * fc(1.2),
+                    )],
+                ),
+                for_(
+                    "k",
+                    c(0),
+                    c(n),
+                    vec![for_(
+                        "j",
+                        c(0),
+                        v("i") + c(1),
+                        vec![store(
+                            "C",
+                            [v("i"), v("j")],
+                            ld("C", [v("i"), v("j")])
+                                + ld("A", [v("j"), v("k")]) * fc(1.5) * ld("B", [v("i"), v("k")])
+                                + ld("B", [v("j"), v("k")]) * fc(1.5) * ld("A", [v("i"), v("k")]),
+                        )],
+                    )],
+                ),
+            ],
+        )],
     }
 }
 
@@ -222,23 +366,53 @@ pub fn syrk(n: u32) -> Program {
             Program::array("A", &[n as u32, n as u32]),
             Program::array("C", &[n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
-            store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
-        ])])],
-        kernel: vec![for_("i", c(0), c(n), vec![
-            for_("j", c(0), v("i") + c(1), vec![store(
-                "C",
-                [v("i"), v("j")],
-                ld("C", [v("i"), v("j")]) * fc(1.2),
-            )]),
-            for_("k", c(0), c(n), vec![for_("j", c(0), v("i") + c(1), vec![store(
-                "C",
-                [v("i"), v("j")],
-                ld("C", [v("i"), v("j")])
-                    + fc(1.5) * ld("A", [v("i"), v("k")]) * ld("A", [v("j"), v("k")]),
-            )])]),
-        ])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                    store("C", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+                ],
+            )],
+        )],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                for_(
+                    "j",
+                    c(0),
+                    v("i") + c(1),
+                    vec![store(
+                        "C",
+                        [v("i"), v("j")],
+                        ld("C", [v("i"), v("j")]) * fc(1.2),
+                    )],
+                ),
+                for_(
+                    "k",
+                    c(0),
+                    c(n),
+                    vec![for_(
+                        "j",
+                        c(0),
+                        v("i") + c(1),
+                        vec![store(
+                            "C",
+                            [v("i"), v("j")],
+                            ld("C", [v("i"), v("j")])
+                                + fc(1.5) * ld("A", [v("i"), v("k")]) * ld("A", [v("j"), v("k")]),
+                        )],
+                    )],
+                ),
+            ],
+        )],
     }
 }
 
@@ -251,18 +425,43 @@ pub fn trmm(n: u32) -> Program {
             Program::array("A", &[n as u32, n as u32]),
             Program::array("B", &[n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("A", [v("i"), v("j")], frac(v("i") + v("j"), n)),
-            store("B", [v("i"), v("j")], frac(c(n) + v("i") - v("j"), n)),
-        ])])],
-        kernel: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            for_("k", v("i") + c(1), c(n), vec![store(
-                "B",
-                [v("i"), v("j")],
-                ld("B", [v("i"), v("j")])
-                    + ld("A", [v("k"), v("i")]) * ld("B", [v("k"), v("j")]),
-            )]),
-            store("B", [v("i"), v("j")], fc(1.5) * ld("B", [v("i"), v("j")])),
-        ])])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("A", [v("i"), v("j")], frac(v("i") + v("j"), n)),
+                    store("B", [v("i"), v("j")], frac(c(n) + v("i") - v("j"), n)),
+                ],
+            )],
+        )],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    for_(
+                        "k",
+                        v("i") + c(1),
+                        c(n),
+                        vec![store(
+                            "B",
+                            [v("i"), v("j")],
+                            ld("B", [v("i"), v("j")])
+                                + ld("A", [v("k"), v("i")]) * ld("B", [v("k"), v("j")]),
+                        )],
+                    ),
+                    store("B", [v("i"), v("j")], fc(1.5) * ld("B", [v("i"), v("j")])),
+                ],
+            )],
+        )],
     }
 }

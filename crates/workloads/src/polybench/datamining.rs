@@ -18,72 +18,128 @@ pub fn correlation(n: u32) -> Program {
             Program::array("mean", &[n as u32]),
             Program::array("stddev", &[n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-            "data",
-            [v("i"), v("j")],
-            frac(v("i") * v("j") + c(1), n) + int(v("i")),
-        )])])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![store(
+                    "data",
+                    [v("i"), v("j")],
+                    frac(v("i") * v("j") + c(1), n) + int(v("i")),
+                )],
+            )],
+        )],
         kernel: vec![
             // Means of each column.
-            for_("j", c(0), c(n), vec![
-                store("mean", [v("j")], fc(0.0)),
-                for_("i", c(0), c(n), vec![store(
-                    "mean",
-                    [v("j")],
-                    ld("mean", [v("j")]) + ld("data", [v("i"), v("j")]),
-                )]),
-                store("mean", [v("j")], ld("mean", [v("j")]) / fc(float_n)),
-            ]),
+            for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("mean", [v("j")], fc(0.0)),
+                    for_(
+                        "i",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "mean",
+                            [v("j")],
+                            ld("mean", [v("j")]) + ld("data", [v("i"), v("j")]),
+                        )],
+                    ),
+                    store("mean", [v("j")], ld("mean", [v("j")]) / fc(float_n)),
+                ],
+            ),
             // Standard deviations, with the near-zero guard of the C code:
             // stddev[j] = stddev[j] <= eps ? 1.0 : stddev[j].
-            for_("j", c(0), c(n), vec![
-                store("stddev", [v("j")], fc(0.0)),
-                for_("i", c(0), c(n), vec![store(
-                    "stddev",
-                    [v("j")],
-                    ld("stddev", [v("j")])
-                        + (ld("data", [v("i"), v("j")]) - ld("mean", [v("j")]))
-                            * (ld("data", [v("i"), v("j")]) - ld("mean", [v("j")])),
-                )]),
-                store(
-                    "stddev",
-                    [v("j")],
-                    sqrt(ld("stddev", [v("j")]) / fc(float_n)),
-                ),
-                if_(
-                    Cond::FLe(ld("stddev", [v("j")]), fc(0.1)),
-                    vec![store("stddev", [v("j")], fc(1.0))],
-                    vec![],
-                ),
-            ]),
+            for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("stddev", [v("j")], fc(0.0)),
+                    for_(
+                        "i",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "stddev",
+                            [v("j")],
+                            ld("stddev", [v("j")])
+                                + (ld("data", [v("i"), v("j")]) - ld("mean", [v("j")]))
+                                    * (ld("data", [v("i"), v("j")]) - ld("mean", [v("j")])),
+                        )],
+                    ),
+                    store(
+                        "stddev",
+                        [v("j")],
+                        sqrt(ld("stddev", [v("j")]) / fc(float_n)),
+                    ),
+                    if_(
+                        Cond::FLe(ld("stddev", [v("j")]), fc(0.1)),
+                        vec![store("stddev", [v("j")], fc(1.0))],
+                        vec![],
+                    ),
+                ],
+            ),
             // Center and reduce the column vectors.
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-                store(
-                    "data",
-                    [v("i"), v("j")],
-                    ld("data", [v("i"), v("j")]) - ld("mean", [v("j")]),
-                ),
-                store(
-                    "data",
-                    [v("i"), v("j")],
-                    ld("data", [v("i"), v("j")])
-                        / (sqrt(fc(float_n)) * ld("stddev", [v("j")])),
-                ),
-            ])]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![
+                        store(
+                            "data",
+                            [v("i"), v("j")],
+                            ld("data", [v("i"), v("j")]) - ld("mean", [v("j")]),
+                        ),
+                        store(
+                            "data",
+                            [v("i"), v("j")],
+                            ld("data", [v("i"), v("j")])
+                                / (sqrt(fc(float_n)) * ld("stddev", [v("j")])),
+                        ),
+                    ],
+                )],
+            ),
             // Correlation matrix (upper triangle + mirrored).
-            for_("i", c(0), c(n - 1), vec![
-                store("corr", [v("i"), v("i")], fc(1.0)),
-                for_("j", v("i") + c(1), c(n), vec![
-                    store("corr", [v("i"), v("j")], fc(0.0)),
-                    for_("k", c(0), c(n), vec![store(
-                        "corr",
-                        [v("i"), v("j")],
-                        ld("corr", [v("i"), v("j")])
-                            + ld("data", [v("k"), v("i")]) * ld("data", [v("k"), v("j")]),
-                    )]),
-                    store("corr", [v("j"), v("i")], ld("corr", [v("i"), v("j")])),
-                ]),
-            ]),
+            for_(
+                "i",
+                c(0),
+                c(n - 1),
+                vec![
+                    store("corr", [v("i"), v("i")], fc(1.0)),
+                    for_(
+                        "j",
+                        v("i") + c(1),
+                        c(n),
+                        vec![
+                            store("corr", [v("i"), v("j")], fc(0.0)),
+                            for_(
+                                "k",
+                                c(0),
+                                c(n),
+                                vec![store(
+                                    "corr",
+                                    [v("i"), v("j")],
+                                    ld("corr", [v("i"), v("j")])
+                                        + ld("data", [v("k"), v("i")])
+                                            * ld("data", [v("k"), v("j")]),
+                                )],
+                            ),
+                            store("corr", [v("j"), v("i")], ld("corr", [v("i"), v("j")])),
+                        ],
+                    ),
+                ],
+            ),
             store("corr", [c(n - 1), c(n - 1)], fc(1.0)),
         ],
     }
@@ -100,41 +156,82 @@ pub fn covariance(n: u32) -> Program {
             Program::array("cov", &[n as u32, n as u32]),
             Program::array("mean", &[n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-            "data",
-            [v("i"), v("j")],
-            frac(v("i") * v("j"), n),
-        )])])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![store("data", [v("i"), v("j")], frac(v("i") * v("j"), n))],
+            )],
+        )],
         kernel: vec![
-            for_("j", c(0), c(n), vec![
-                store("mean", [v("j")], fc(0.0)),
-                for_("i", c(0), c(n), vec![store(
-                    "mean",
-                    [v("j")],
-                    ld("mean", [v("j")]) + ld("data", [v("i"), v("j")]),
-                )]),
-                store("mean", [v("j")], ld("mean", [v("j")]) / fc(float_n)),
-            ]),
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "data",
-                [v("i"), v("j")],
-                ld("data", [v("i"), v("j")]) - ld("mean", [v("j")]),
-            )])]),
-            for_("i", c(0), c(n), vec![for_("j", v("i"), c(n), vec![
-                store("cov", [v("i"), v("j")], fc(0.0)),
-                for_("k", c(0), c(n), vec![store(
-                    "cov",
-                    [v("i"), v("j")],
-                    ld("cov", [v("i"), v("j")])
-                        + ld("data", [v("k"), v("i")]) * ld("data", [v("k"), v("j")]),
-                )]),
-                store(
-                    "cov",
-                    [v("i"), v("j")],
-                    ld("cov", [v("i"), v("j")]) / fc(float_n - 1.0),
-                ),
-                store("cov", [v("j"), v("i")], ld("cov", [v("i"), v("j")])),
-            ])]),
+            for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("mean", [v("j")], fc(0.0)),
+                    for_(
+                        "i",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "mean",
+                            [v("j")],
+                            ld("mean", [v("j")]) + ld("data", [v("i"), v("j")]),
+                        )],
+                    ),
+                    store("mean", [v("j")], ld("mean", [v("j")]) / fc(float_n)),
+                ],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "data",
+                        [v("i"), v("j")],
+                        ld("data", [v("i"), v("j")]) - ld("mean", [v("j")]),
+                    )],
+                )],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    v("i"),
+                    c(n),
+                    vec![
+                        store("cov", [v("i"), v("j")], fc(0.0)),
+                        for_(
+                            "k",
+                            c(0),
+                            c(n),
+                            vec![store(
+                                "cov",
+                                [v("i"), v("j")],
+                                ld("cov", [v("i"), v("j")])
+                                    + ld("data", [v("k"), v("i")]) * ld("data", [v("k"), v("j")]),
+                            )],
+                        ),
+                        store(
+                            "cov",
+                            [v("i"), v("j")],
+                            ld("cov", [v("i"), v("j")]) / fc(float_n - 1.0),
+                        ),
+                        store("cov", [v("j"), v("i")], ld("cov", [v("i"), v("j")])),
+                    ],
+                )],
+            ),
         ],
     }
 }

@@ -7,15 +7,30 @@ fn frac(e: IExpr, modulus: i32) -> FExpr {
 }
 
 fn matmul_into(dst: &'static str, a: &'static str, b: &'static str, n: i32, scale: f64) -> Stmt {
-    for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-        store(dst, [v("i"), v("j")], fc(0.0)),
-        for_("k", c(0), c(n), vec![store(
-            dst,
-            [v("i"), v("j")],
-            ld(dst, [v("i"), v("j")])
-                + fc(scale) * ld(a, [v("i"), v("k")]) * ld(b, [v("k"), v("j")]),
-        )]),
-    ])])
+    for_(
+        "i",
+        c(0),
+        c(n),
+        vec![for_(
+            "j",
+            c(0),
+            c(n),
+            vec![
+                store(dst, [v("i"), v("j")], fc(0.0)),
+                for_(
+                    "k",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        dst,
+                        [v("i"), v("j")],
+                        ld(dst, [v("i"), v("j")])
+                            + fc(scale) * ld(a, [v("i"), v("k")]) * ld(b, [v("k"), v("j")]),
+                    )],
+                ),
+            ],
+        )],
+    )
 }
 
 /// Two matrix multiplications: `D = alpha*A*B*C + beta*D`.
@@ -25,23 +40,52 @@ pub fn two_mm(n: u32) -> Program {
     Program {
         name: "2mm",
         arrays: vec![mat("tmp"), mat("A"), mat("B"), mat("C"), mat("D")],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
-            store("B", [v("i"), v("j")], frac(v("i") * (v("j") + c(1)), n)),
-            store("C", [v("i"), v("j")], frac(v("i") * (v("j") + c(3)) + c(1), n)),
-            store("D", [v("i"), v("j")], frac(v("i") * (v("j") + c(2)), n)),
-        ])])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                    store("B", [v("i"), v("j")], frac(v("i") * (v("j") + c(1)), n)),
+                    store(
+                        "C",
+                        [v("i"), v("j")],
+                        frac(v("i") * (v("j") + c(3)) + c(1), n),
+                    ),
+                    store("D", [v("i"), v("j")], frac(v("i") * (v("j") + c(2)), n)),
+                ],
+            )],
+        )],
         kernel: vec![
             matmul_into("tmp", "A", "B", n, 1.5),
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-                store("D", [v("i"), v("j")], ld("D", [v("i"), v("j")]) * fc(1.2)),
-                for_("k", c(0), c(n), vec![store(
-                    "D",
-                    [v("i"), v("j")],
-                    ld("D", [v("i"), v("j")])
-                        + ld("tmp", [v("i"), v("k")]) * ld("C", [v("k"), v("j")]),
-                )]),
-            ])]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![
+                        store("D", [v("i"), v("j")], ld("D", [v("i"), v("j")]) * fc(1.2)),
+                        for_(
+                            "k",
+                            c(0),
+                            c(n),
+                            vec![store(
+                                "D",
+                                [v("i"), v("j")],
+                                ld("D", [v("i"), v("j")])
+                                    + ld("tmp", [v("i"), v("k")]) * ld("C", [v("k"), v("j")]),
+                            )],
+                        ),
+                    ],
+                )],
+            ),
         ],
     }
 }
@@ -52,13 +96,39 @@ pub fn three_mm(n: u32) -> Program {
     let mat = |name| Program::array(name, &[n as u32, n as u32]);
     Program {
         name: "3mm",
-        arrays: vec![mat("A"), mat("B"), mat("C"), mat("D"), mat("E"), mat("F"), mat("G")],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
-            store("B", [v("i"), v("j")], frac(v("i") * (v("j") + c(1)) + c(2), n)),
-            store("C", [v("i"), v("j")], frac(v("i") * (v("j") + c(3)), n)),
-            store("D", [v("i"), v("j")], frac(v("i") * (v("j") + c(2)) + c(2), n)),
-        ])])],
+        arrays: vec![
+            mat("A"),
+            mat("B"),
+            mat("C"),
+            mat("D"),
+            mat("E"),
+            mat("F"),
+            mat("G"),
+        ],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store("A", [v("i"), v("j")], frac(v("i") * v("j") + c(1), n)),
+                    store(
+                        "B",
+                        [v("i"), v("j")],
+                        frac(v("i") * (v("j") + c(1)) + c(2), n),
+                    ),
+                    store("C", [v("i"), v("j")], frac(v("i") * (v("j") + c(3)), n)),
+                    store(
+                        "D",
+                        [v("i"), v("j")],
+                        frac(v("i") * (v("j") + c(2)) + c(2), n),
+                    ),
+                ],
+            )],
+        )],
         kernel: vec![
             matmul_into("E", "A", "B", n, 1.0),
             matmul_into("F", "C", "D", n, 1.0),
@@ -79,29 +149,54 @@ pub fn atax(n: u32) -> Program {
             Program::array("tmp", &[n as u32]),
         ],
         init: vec![
-            for_("i", c(0), c(n), vec![
-                store("x", [v("i")], fc(1.0) + int(v("i")) / fc(f64::from(n))),
-                for_("j", c(0), c(n), vec![store(
-                    "A",
-                    [v("i"), v("j")],
-                    frac(v("i") + v("j"), n) / fc(5.0),
-                )]),
-            ]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![
+                    store("x", [v("i")], fc(1.0) + int(v("i")) / fc(f64::from(n))),
+                    for_(
+                        "j",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "A",
+                            [v("i"), v("j")],
+                            frac(v("i") + v("j"), n) / fc(5.0),
+                        )],
+                    ),
+                ],
+            ),
             for_("i", c(0), c(n), vec![store("y", [v("i")], fc(0.0))]),
         ],
-        kernel: vec![for_("i", c(0), c(n), vec![
-            store("tmp", [v("i")], fc(0.0)),
-            for_("j", c(0), c(n), vec![store(
-                "tmp",
-                [v("i")],
-                ld("tmp", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
-            )]),
-            for_("j", c(0), c(n), vec![store(
-                "y",
-                [v("j")],
-                ld("y", [v("j")]) + ld("A", [v("i"), v("j")]) * ld("tmp", [v("i")]),
-            )]),
-        ])],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("tmp", [v("i")], fc(0.0)),
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "tmp",
+                        [v("i")],
+                        ld("tmp", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
+                    )],
+                ),
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "y",
+                        [v("j")],
+                        ld("y", [v("j")]) + ld("A", [v("i"), v("j")]) * ld("tmp", [v("i")]),
+                    )],
+                ),
+            ],
+        )],
     }
 }
 
@@ -117,32 +212,52 @@ pub fn bicg(n: u32) -> Program {
             Program::array("p", &[n as u32]),
             Program::array("r", &[n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![
-            store("p", [v("i")], frac(v("i"), n)),
-            store("r", [v("i")], frac(v("i") + c(1), n) / fc(2.0)),
-            for_("j", c(0), c(n), vec![store(
-                "A",
-                [v("i"), v("j")],
-                frac(v("i") * (v("j") + c(1)), n),
-            )]),
-        ])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("p", [v("i")], frac(v("i"), n)),
+                store("r", [v("i")], frac(v("i") + c(1), n) / fc(2.0)),
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "A",
+                        [v("i"), v("j")],
+                        frac(v("i") * (v("j") + c(1)), n),
+                    )],
+                ),
+            ],
+        )],
         kernel: vec![
             for_("i", c(0), c(n), vec![store("s", [v("i")], fc(0.0))]),
-            for_("i", c(0), c(n), vec![
-                store("q", [v("i")], fc(0.0)),
-                for_("j", c(0), c(n), vec![
-                    store(
-                        "s",
-                        [v("j")],
-                        ld("s", [v("j")]) + ld("r", [v("i")]) * ld("A", [v("i"), v("j")]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![
+                    store("q", [v("i")], fc(0.0)),
+                    for_(
+                        "j",
+                        c(0),
+                        c(n),
+                        vec![
+                            store(
+                                "s",
+                                [v("j")],
+                                ld("s", [v("j")]) + ld("r", [v("i")]) * ld("A", [v("i"), v("j")]),
+                            ),
+                            store(
+                                "q",
+                                [v("i")],
+                                ld("q", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("p", [v("j")]),
+                            ),
+                        ],
                     ),
-                    store(
-                        "q",
-                        [v("i")],
-                        ld("q", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("p", [v("j")]),
-                    ),
-                ]),
-            ]),
+                ],
+            ),
         ],
     }
 }
@@ -158,30 +273,80 @@ pub fn doitgen(n: u32) -> Program {
             Program::array("sum", &[n as u32]),
         ],
         init: vec![
-            for_("r", c(0), c(n), vec![for_("q", c(0), c(n), vec![for_("p", c(0), c(n), vec![
-                store("A", [v("r"), v("q"), v("p")], frac(v("r") * v("q") + v("p"), n)),
-            ])])]),
-            for_("s", c(0), c(n), vec![for_("p", c(0), c(n), vec![store(
-                "C4",
-                [v("s"), v("p")],
-                frac(v("s") * v("p") + c(1), n),
-            )])]),
+            for_(
+                "r",
+                c(0),
+                c(n),
+                vec![for_(
+                    "q",
+                    c(0),
+                    c(n),
+                    vec![for_(
+                        "p",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "A",
+                            [v("r"), v("q"), v("p")],
+                            frac(v("r") * v("q") + v("p"), n),
+                        )],
+                    )],
+                )],
+            ),
+            for_(
+                "s",
+                c(0),
+                c(n),
+                vec![for_(
+                    "p",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "C4",
+                        [v("s"), v("p")],
+                        frac(v("s") * v("p") + c(1), n),
+                    )],
+                )],
+            ),
         ],
-        kernel: vec![for_("r", c(0), c(n), vec![for_("q", c(0), c(n), vec![
-            for_("p", c(0), c(n), vec![
-                store("sum", [v("p")], fc(0.0)),
-                for_("s", c(0), c(n), vec![store(
-                    "sum",
-                    [v("p")],
-                    ld("sum", [v("p")]) + ld("A", [v("r"), v("q"), v("s")]) * ld("C4", [v("s"), v("p")]),
-                )]),
-            ]),
-            for_("p", c(0), c(n), vec![store(
-                "A",
-                [v("r"), v("q"), v("p")],
-                ld("sum", [v("p")]),
-            )]),
-        ])])],
+        kernel: vec![for_(
+            "r",
+            c(0),
+            c(n),
+            vec![for_(
+                "q",
+                c(0),
+                c(n),
+                vec![
+                    for_(
+                        "p",
+                        c(0),
+                        c(n),
+                        vec![
+                            store("sum", [v("p")], fc(0.0)),
+                            for_(
+                                "s",
+                                c(0),
+                                c(n),
+                                vec![store(
+                                    "sum",
+                                    [v("p")],
+                                    ld("sum", [v("p")])
+                                        + ld("A", [v("r"), v("q"), v("s")])
+                                            * ld("C4", [v("s"), v("p")]),
+                                )],
+                            ),
+                        ],
+                    ),
+                    for_(
+                        "p",
+                        c(0),
+                        c(n),
+                        vec![store("A", [v("r"), v("q"), v("p")], ld("sum", [v("p")]))],
+                    ),
+                ],
+            )],
+        )],
     }
 }
 
@@ -197,28 +362,54 @@ pub fn mvt(n: u32) -> Program {
             Program::array("y1", &[n as u32]),
             Program::array("y2", &[n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![
-            store("x1", [v("i")], frac(v("i"), n)),
-            store("x2", [v("i")], frac(v("i") + c(1), n)),
-            store("y1", [v("i")], frac(v("i") + c(3), n)),
-            store("y2", [v("i")], frac(v("i") + c(4), n)),
-            for_("j", c(0), c(n), vec![store(
-                "A",
-                [v("i"), v("j")],
-                frac(v("i") * v("j"), n),
-            )]),
-        ])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("x1", [v("i")], frac(v("i"), n)),
+                store("x2", [v("i")], frac(v("i") + c(1), n)),
+                store("y1", [v("i")], frac(v("i") + c(3), n)),
+                store("y2", [v("i")], frac(v("i") + c(4), n)),
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store("A", [v("i"), v("j")], frac(v("i") * v("j"), n))],
+                ),
+            ],
+        )],
         kernel: vec![
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "x1",
-                [v("i")],
-                ld("x1", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("y1", [v("j")]),
-            )])]),
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "x2",
-                [v("i")],
-                ld("x2", [v("i")]) + ld("A", [v("j"), v("i")]) * ld("y2", [v("j")]),
-            )])]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "x1",
+                        [v("i")],
+                        ld("x1", [v("i")]) + ld("A", [v("i"), v("j")]) * ld("y1", [v("j")]),
+                    )],
+                )],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "x2",
+                        [v("i")],
+                        ld("x2", [v("i")]) + ld("A", [v("j"), v("i")]) * ld("y2", [v("j")]),
+                    )],
+                )],
+            ),
         ],
     }
 }

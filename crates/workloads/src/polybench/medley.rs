@@ -13,8 +13,8 @@ pub fn deriche(n: u32) -> Program {
     let w = n as i32;
     let h = n as i32;
     let alpha: f64 = 0.25;
-    let k = (1.0 - (-alpha).exp()).powi(2)
-        / (1.0 + 2.0 * alpha * (-alpha).exp() - (2.0 * alpha).exp());
+    let k =
+        (1.0 - (-alpha).exp()).powi(2) / (1.0 + 2.0 * alpha * (-alpha).exp() - (2.0 * alpha).exp());
     let a1 = k;
     let a5 = k;
     let a2 = k * (-alpha).exp() * (alpha - 1.0);
@@ -36,102 +36,172 @@ pub fn deriche(n: u32) -> Program {
             Program::array("y1", &[w as u32, h as u32]),
             Program::array("y2", &[w as u32, h as u32]),
         ],
-        init: vec![for_("i", c(0), c(w), vec![for_("j", c(0), c(h), vec![store(
-            "imgIn",
-            [v("i"), v("j")],
-            frac(v("i") * c(313) + v("j") * c(991), 65536) / fc(65535.0) * fc(255.0),
-        )])])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(w),
+            vec![for_(
+                "j",
+                c(0),
+                c(h),
+                vec![store(
+                    "imgIn",
+                    [v("i"), v("j")],
+                    frac(v("i") * c(313) + v("j") * c(991), 65536) / fc(65535.0) * fc(255.0),
+                )],
+            )],
+        )],
         kernel: vec![
             // Horizontal forward pass.
-            for_("i", c(0), c(w), vec![
-                set("ym1", fc(0.0)),
-                set("ym2", fc(0.0)),
-                set("xm1", fc(0.0)),
-                for_("j", c(0), c(h), vec![
-                    store(
-                        "y1",
-                        [v("i"), v("j")],
-                        fc(a1) * ld("imgIn", [v("i"), v("j")])
-                            + fc(a2) * sc("xm1")
-                            + fc(b1) * sc("ym1")
-                            + fc(b2) * sc("ym2"),
+            for_(
+                "i",
+                c(0),
+                c(w),
+                vec![
+                    set("ym1", fc(0.0)),
+                    set("ym2", fc(0.0)),
+                    set("xm1", fc(0.0)),
+                    for_(
+                        "j",
+                        c(0),
+                        c(h),
+                        vec![
+                            store(
+                                "y1",
+                                [v("i"), v("j")],
+                                fc(a1) * ld("imgIn", [v("i"), v("j")])
+                                    + fc(a2) * sc("xm1")
+                                    + fc(b1) * sc("ym1")
+                                    + fc(b2) * sc("ym2"),
+                            ),
+                            set("xm1", ld("imgIn", [v("i"), v("j")])),
+                            set("ym2", sc("ym1")),
+                            set("ym1", ld("y1", [v("i"), v("j")])),
+                        ],
                     ),
-                    set("xm1", ld("imgIn", [v("i"), v("j")])),
-                    set("ym2", sc("ym1")),
-                    set("ym1", ld("y1", [v("i"), v("j")])),
-                ]),
-            ]),
+                ],
+            ),
             // Horizontal backward pass.
-            for_("i", c(0), c(w), vec![
-                set("yp1", fc(0.0)),
-                set("yp2", fc(0.0)),
-                set("xp1", fc(0.0)),
-                set("xp2", fc(0.0)),
-                for_rev("j", c(0), c(h), vec![
-                    store(
-                        "y2",
-                        [v("i"), v("j")],
-                        fc(a3) * sc("xp1")
-                            + fc(a4) * sc("xp2")
-                            + fc(b1) * sc("yp1")
-                            + fc(b2) * sc("yp2"),
+            for_(
+                "i",
+                c(0),
+                c(w),
+                vec![
+                    set("yp1", fc(0.0)),
+                    set("yp2", fc(0.0)),
+                    set("xp1", fc(0.0)),
+                    set("xp2", fc(0.0)),
+                    for_rev(
+                        "j",
+                        c(0),
+                        c(h),
+                        vec![
+                            store(
+                                "y2",
+                                [v("i"), v("j")],
+                                fc(a3) * sc("xp1")
+                                    + fc(a4) * sc("xp2")
+                                    + fc(b1) * sc("yp1")
+                                    + fc(b2) * sc("yp2"),
+                            ),
+                            set("xp2", sc("xp1")),
+                            set("xp1", ld("imgIn", [v("i"), v("j")])),
+                            set("yp2", sc("yp1")),
+                            set("yp1", ld("y2", [v("i"), v("j")])),
+                        ],
                     ),
-                    set("xp2", sc("xp1")),
-                    set("xp1", ld("imgIn", [v("i"), v("j")])),
-                    set("yp2", sc("yp1")),
-                    set("yp1", ld("y2", [v("i"), v("j")])),
-                ]),
-            ]),
-            for_("i", c(0), c(w), vec![for_("j", c(0), c(h), vec![store(
-                "imgOut",
-                [v("i"), v("j")],
-                fc(c1) * (ld("y1", [v("i"), v("j")]) + ld("y2", [v("i"), v("j")])),
-            )])]),
+                ],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(w),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(h),
+                    vec![store(
+                        "imgOut",
+                        [v("i"), v("j")],
+                        fc(c1) * (ld("y1", [v("i"), v("j")]) + ld("y2", [v("i"), v("j")])),
+                    )],
+                )],
+            ),
             // Vertical forward pass.
-            for_("j", c(0), c(h), vec![
-                set("tm1", fc(0.0)),
-                set("ym1", fc(0.0)),
-                set("ym2", fc(0.0)),
-                for_("i", c(0), c(w), vec![
-                    store(
-                        "y1",
-                        [v("i"), v("j")],
-                        fc(a5) * ld("imgOut", [v("i"), v("j")])
-                            + fc(a6) * sc("tm1")
-                            + fc(b1) * sc("ym1")
-                            + fc(b2) * sc("ym2"),
+            for_(
+                "j",
+                c(0),
+                c(h),
+                vec![
+                    set("tm1", fc(0.0)),
+                    set("ym1", fc(0.0)),
+                    set("ym2", fc(0.0)),
+                    for_(
+                        "i",
+                        c(0),
+                        c(w),
+                        vec![
+                            store(
+                                "y1",
+                                [v("i"), v("j")],
+                                fc(a5) * ld("imgOut", [v("i"), v("j")])
+                                    + fc(a6) * sc("tm1")
+                                    + fc(b1) * sc("ym1")
+                                    + fc(b2) * sc("ym2"),
+                            ),
+                            set("tm1", ld("imgOut", [v("i"), v("j")])),
+                            set("ym2", sc("ym1")),
+                            set("ym1", ld("y1", [v("i"), v("j")])),
+                        ],
                     ),
-                    set("tm1", ld("imgOut", [v("i"), v("j")])),
-                    set("ym2", sc("ym1")),
-                    set("ym1", ld("y1", [v("i"), v("j")])),
-                ]),
-            ]),
+                ],
+            ),
             // Vertical backward pass.
-            for_("j", c(0), c(h), vec![
-                set("tp1", fc(0.0)),
-                set("tp2", fc(0.0)),
-                set("yp1", fc(0.0)),
-                set("yp2", fc(0.0)),
-                for_rev("i", c(0), c(w), vec![
-                    store(
-                        "y2",
-                        [v("i"), v("j")],
-                        fc(a7) * sc("tp1")
-                            + fc(a8) * sc("tp2")
-                            + fc(b1) * sc("yp1")
-                            + fc(b2) * sc("yp2"),
+            for_(
+                "j",
+                c(0),
+                c(h),
+                vec![
+                    set("tp1", fc(0.0)),
+                    set("tp2", fc(0.0)),
+                    set("yp1", fc(0.0)),
+                    set("yp2", fc(0.0)),
+                    for_rev(
+                        "i",
+                        c(0),
+                        c(w),
+                        vec![
+                            store(
+                                "y2",
+                                [v("i"), v("j")],
+                                fc(a7) * sc("tp1")
+                                    + fc(a8) * sc("tp2")
+                                    + fc(b1) * sc("yp1")
+                                    + fc(b2) * sc("yp2"),
+                            ),
+                            set("tp2", sc("tp1")),
+                            set("tp1", ld("imgOut", [v("i"), v("j")])),
+                            set("yp2", sc("yp1")),
+                            set("yp1", ld("y2", [v("i"), v("j")])),
+                        ],
                     ),
-                    set("tp2", sc("tp1")),
-                    set("tp1", ld("imgOut", [v("i"), v("j")])),
-                    set("yp2", sc("yp1")),
-                    set("yp1", ld("y2", [v("i"), v("j")])),
-                ]),
-            ]),
-            for_("i", c(0), c(w), vec![for_("j", c(0), c(h), vec![store(
-                "imgOut",
-                [v("i"), v("j")],
-                fc(c2) * (ld("y1", [v("i"), v("j")]) + ld("y2", [v("i"), v("j")])),
-            )])]),
+                ],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(w),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(h),
+                    vec![store(
+                        "imgOut",
+                        [v("i"), v("j")],
+                        fc(c2) * (ld("y1", [v("i"), v("j")]) + ld("y2", [v("i"), v("j")])),
+                    )],
+                )],
+            ),
         ],
     }
 }
@@ -144,27 +214,51 @@ pub fn floyd_warshall(n: u32) -> Program {
     Program {
         name: "floyd-warshall",
         arrays: vec![Program::array("path", &[n as u32, n as u32])],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("path", [v("i"), v("j")], int(irem(v("i") * v("j"), 7) + c(1))),
-            if_(
-                Cond::Ne(irem(v("i") + v("j"), 13), c(0)),
-                vec![],
-                vec![store("path", [v("i"), v("j")], fc(999.0))],
-            ),
-        ])])],
-        kernel: vec![for_("k", c(0), c(n), vec![for_("i", c(0), c(n), vec![for_(
-            "j",
+        init: vec![for_(
+            "i",
             c(0),
             c(n),
-            vec![store(
-                "path",
-                [v("i"), v("j")],
-                min(
-                    ld("path", [v("i"), v("j")]),
-                    ld("path", [v("i"), v("k")]) + ld("path", [v("k"), v("j")]),
-                ),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store(
+                        "path",
+                        [v("i"), v("j")],
+                        int(irem(v("i") * v("j"), 7) + c(1)),
+                    ),
+                    if_(
+                        Cond::Ne(irem(v("i") + v("j"), 13), c(0)),
+                        vec![],
+                        vec![store("path", [v("i"), v("j")], fc(999.0))],
+                    ),
+                ],
             )],
-        )])])],
+        )],
+        kernel: vec![for_(
+            "k",
+            c(0),
+            c(n),
+            vec![for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "path",
+                        [v("i"), v("j")],
+                        min(
+                            ld("path", [v("i"), v("j")]),
+                            ld("path", [v("i"), v("k")]) + ld("path", [v("k"), v("j")]),
+                        ),
+                    )],
+                )],
+            )],
+        )],
     }
 }
 
@@ -202,65 +296,93 @@ pub fn nussinov(n: u32) -> Program {
             Program::array("table", &[n as u32, n as u32]),
         ],
         init: vec![
-            for_("i", c(0), c(n), vec![store("seq", [v("i")], int(irem(v("i") + c(1), 4)))]),
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "table",
-                [v("i"), v("j")],
-                fc(0.0),
-            )])]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![store("seq", [v("i")], int(irem(v("i") + c(1), 4)))],
+            ),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store("table", [v("i"), v("j")], fc(0.0))],
+                )],
+            ),
         ],
-        kernel: vec![for_rev("i", c(0), c(n), vec![for_(
-            "j",
-            v("i") + c(1),
+        kernel: vec![for_rev(
+            "i",
+            c(0),
             c(n),
-            vec![
-                if_(
-                    Cond::Ge(v("j") - c(1), c(0)),
-                    vec![store(
-                        "table",
-                        [v("i"), v("j")],
-                        max(ld("table", [v("i"), v("j")]), ld("table", [v("i"), v("j") - c(1)])),
-                    )],
-                    vec![],
-                ),
-                if_(
-                    Cond::Lt(v("i") + c(1), c(n)),
-                    vec![store(
-                        "table",
-                        [v("i"), v("j")],
-                        max(ld("table", [v("i"), v("j")]), ld("table", [v("i") + c(1), v("j")])),
-                    )],
-                    vec![],
-                ),
-                if_(
-                    Cond::Ge(v("j") - c(1), c(0)),
-                    vec![if_(
-                        Cond::Lt(v("i") + c(1), c(n)),
-                        vec![if_(
-                            Cond::Lt(v("i"), v("j") - c(1)),
-                            vec![match_expr(v("i"), v("j"))],
-                            vec![store(
-                                "table",
-                                [v("i"), v("j")],
-                                max(
-                                    ld("table", [v("i"), v("j")]),
-                                    ld("table", [v("i") + c(1), v("j") - c(1)]),
-                                ),
-                            )],
+            vec![for_(
+                "j",
+                v("i") + c(1),
+                c(n),
+                vec![
+                    if_(
+                        Cond::Ge(v("j") - c(1), c(0)),
+                        vec![store(
+                            "table",
+                            [v("i"), v("j")],
+                            max(
+                                ld("table", [v("i"), v("j")]),
+                                ld("table", [v("i"), v("j") - c(1)]),
+                            ),
                         )],
                         vec![],
-                    )],
-                    vec![],
-                ),
-                for_("k", v("i") + c(1), v("j"), vec![store(
-                    "table",
-                    [v("i"), v("j")],
-                    max(
-                        ld("table", [v("i"), v("j")]),
-                        ld("table", [v("i"), v("k")]) + ld("table", [v("k") + c(1), v("j")]),
                     ),
-                )]),
-            ],
-        )])],
+                    if_(
+                        Cond::Lt(v("i") + c(1), c(n)),
+                        vec![store(
+                            "table",
+                            [v("i"), v("j")],
+                            max(
+                                ld("table", [v("i"), v("j")]),
+                                ld("table", [v("i") + c(1), v("j")]),
+                            ),
+                        )],
+                        vec![],
+                    ),
+                    if_(
+                        Cond::Ge(v("j") - c(1), c(0)),
+                        vec![if_(
+                            Cond::Lt(v("i") + c(1), c(n)),
+                            vec![if_(
+                                Cond::Lt(v("i"), v("j") - c(1)),
+                                vec![match_expr(v("i"), v("j"))],
+                                vec![store(
+                                    "table",
+                                    [v("i"), v("j")],
+                                    max(
+                                        ld("table", [v("i"), v("j")]),
+                                        ld("table", [v("i") + c(1), v("j") - c(1)]),
+                                    ),
+                                )],
+                            )],
+                            vec![],
+                        )],
+                        vec![],
+                    ),
+                    for_(
+                        "k",
+                        v("i") + c(1),
+                        v("j"),
+                        vec![store(
+                            "table",
+                            [v("i"), v("j")],
+                            max(
+                                ld("table", [v("i"), v("j")]),
+                                ld("table", [v("i"), v("k")])
+                                    + ld("table", [v("k") + c(1), v("j")]),
+                            ),
+                        )],
+                    ),
+                ],
+            )],
+        )],
     }
 }

@@ -130,8 +130,7 @@ mod tests {
     fn all_kernels_compile_and_validate() {
         for program in all(6) {
             let module = compile(&program);
-            validate(&module)
-                .unwrap_or_else(|e| panic!("{} does not validate: {e}", program.name));
+            validate(&module).unwrap_or_else(|e| panic!("{} does not validate: {e}", program.name));
         }
     }
 
@@ -162,9 +161,7 @@ mod tests {
                 let module = compile(&by_name(name, n).unwrap());
                 let mut host = EmptyHost;
                 let mut instance = Instance::instantiate(module, &mut host).unwrap();
-                instance
-                    .invoke_export("main", &[], &mut host)
-                    .unwrap()[0]
+                instance.invoke_export("main", &[], &mut host).unwrap()[0]
                     .as_f64()
                     .unwrap()
             };

@@ -12,29 +12,66 @@ fn frac(e: IExpr, modulus: i32) -> FExpr {
 fn spd_init(n: i32) -> Vec<Stmt> {
     vec![
         // A = unit lower-triangular-ish pattern with dominant diagonal.
-        for_("i", c(0), c(n), vec![
-            for_("j", c(0), v("i") + c(1), vec![store(
-                "A",
-                [v("i"), v("j")],
-                fc(0.0) - frac(v("j"), n) + fc(1.0),
-            )]),
-            for_("j", v("i") + c(1), c(n), vec![store("A", [v("i"), v("j")], fc(0.0))]),
-            store("A", [v("i"), v("i")], fc(1.0)),
-        ]),
+        for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                for_(
+                    "j",
+                    c(0),
+                    v("i") + c(1),
+                    vec![store(
+                        "A",
+                        [v("i"), v("j")],
+                        fc(0.0) - frac(v("j"), n) + fc(1.0),
+                    )],
+                ),
+                for_(
+                    "j",
+                    v("i") + c(1),
+                    c(n),
+                    vec![store("A", [v("i"), v("j")], fc(0.0))],
+                ),
+                store("A", [v("i"), v("i")], fc(1.0)),
+            ],
+        ),
         // B = A * A' (into scratch), then A = B.
-        for_("r", c(0), c(n), vec![for_("s", c(0), c(n), vec![
-            store("B", [v("r"), v("s")], fc(0.0)),
-            for_("t", c(0), c(n), vec![store(
-                "B",
-                [v("r"), v("s")],
-                ld("B", [v("r"), v("s")]) + ld("A", [v("r"), v("t")]) * ld("A", [v("s"), v("t")]),
-            )]),
-        ])]),
-        for_("r", c(0), c(n), vec![for_("s", c(0), c(n), vec![store(
-            "A",
-            [v("r"), v("s")],
-            ld("B", [v("r"), v("s")]),
-        )])]),
+        for_(
+            "r",
+            c(0),
+            c(n),
+            vec![for_(
+                "s",
+                c(0),
+                c(n),
+                vec![
+                    store("B", [v("r"), v("s")], fc(0.0)),
+                    for_(
+                        "t",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "B",
+                            [v("r"), v("s")],
+                            ld("B", [v("r"), v("s")])
+                                + ld("A", [v("r"), v("t")]) * ld("A", [v("s"), v("t")]),
+                        )],
+                    ),
+                ],
+            )],
+        ),
+        for_(
+            "r",
+            c(0),
+            c(n),
+            vec![for_(
+                "s",
+                c(0),
+                c(n),
+                vec![store("A", [v("r"), v("s")], ld("B", [v("r"), v("s")]))],
+            )],
+        ),
     ]
 }
 
@@ -48,27 +85,48 @@ pub fn cholesky(n: u32) -> Program {
             Program::array("B", &[n as u32, n as u32]),
         ],
         init: spd_init(n),
-        kernel: vec![for_("i", c(0), c(n), vec![
-            for_("j", c(0), v("i"), vec![
-                for_("k", c(0), v("j"), vec![store(
-                    "A",
-                    [v("i"), v("j")],
-                    ld("A", [v("i"), v("j")])
-                        - ld("A", [v("i"), v("k")]) * ld("A", [v("j"), v("k")]),
-                )]),
-                store(
-                    "A",
-                    [v("i"), v("j")],
-                    ld("A", [v("i"), v("j")]) / ld("A", [v("j"), v("j")]),
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                for_(
+                    "j",
+                    c(0),
+                    v("i"),
+                    vec![
+                        for_(
+                            "k",
+                            c(0),
+                            v("j"),
+                            vec![store(
+                                "A",
+                                [v("i"), v("j")],
+                                ld("A", [v("i"), v("j")])
+                                    - ld("A", [v("i"), v("k")]) * ld("A", [v("j"), v("k")]),
+                            )],
+                        ),
+                        store(
+                            "A",
+                            [v("i"), v("j")],
+                            ld("A", [v("i"), v("j")]) / ld("A", [v("j"), v("j")]),
+                        ),
+                    ],
                 ),
-            ]),
-            for_("k", c(0), v("i"), vec![store(
-                "A",
-                [v("i"), v("i")],
-                ld("A", [v("i"), v("i")]) - ld("A", [v("i"), v("k")]) * ld("A", [v("i"), v("k")]),
-            )]),
-            store("A", [v("i"), v("i")], sqrt(ld("A", [v("i"), v("i")]))),
-        ])],
+                for_(
+                    "k",
+                    c(0),
+                    v("i"),
+                    vec![store(
+                        "A",
+                        [v("i"), v("i")],
+                        ld("A", [v("i"), v("i")])
+                            - ld("A", [v("i"), v("k")]) * ld("A", [v("i"), v("k")]),
+                    )],
+                ),
+                store("A", [v("i"), v("i")], sqrt(ld("A", [v("i"), v("i")]))),
+            ],
+        )],
     }
 }
 
@@ -92,25 +150,45 @@ pub fn durbin(n: u32) -> Program {
             store("y", [c(0)], fc(0.0) - ld("r", [c(0)])),
             set("beta", fc(1.0)),
             set("alpha", fc(0.0) - ld("r", [c(0)])),
-            for_("k", c(1), c(n), vec![
-                set("beta", (fc(1.0) - sc("alpha") * sc("alpha")) * sc("beta")),
-                set("sum", fc(0.0)),
-                for_("i", c(0), v("k"), vec![set(
-                    "sum",
-                    sc("sum") + ld("r", [v("k") - v("i") - c(1)]) * ld("y", [v("i")]),
-                )]),
-                set(
-                    "alpha",
-                    (fc(0.0) - (ld("r", [v("k")]) + sc("sum"))) / sc("beta"),
-                ),
-                for_("i", c(0), v("k"), vec![store(
-                    "z",
-                    [v("i")],
-                    ld("y", [v("i")]) + sc("alpha") * ld("y", [v("k") - v("i") - c(1)]),
-                )]),
-                for_("i", c(0), v("k"), vec![store("y", [v("i")], ld("z", [v("i")]))]),
-                store("y", [v("k")], sc("alpha")),
-            ]),
+            for_(
+                "k",
+                c(1),
+                c(n),
+                vec![
+                    set("beta", (fc(1.0) - sc("alpha") * sc("alpha")) * sc("beta")),
+                    set("sum", fc(0.0)),
+                    for_(
+                        "i",
+                        c(0),
+                        v("k"),
+                        vec![set(
+                            "sum",
+                            sc("sum") + ld("r", [v("k") - v("i") - c(1)]) * ld("y", [v("i")]),
+                        )],
+                    ),
+                    set(
+                        "alpha",
+                        (fc(0.0) - (ld("r", [v("k")]) + sc("sum"))) / sc("beta"),
+                    ),
+                    for_(
+                        "i",
+                        c(0),
+                        v("k"),
+                        vec![store(
+                            "z",
+                            [v("i")],
+                            ld("y", [v("i")]) + sc("alpha") * ld("y", [v("k") - v("i") - c(1)]),
+                        )],
+                    ),
+                    for_(
+                        "i",
+                        c(0),
+                        v("k"),
+                        vec![store("y", [v("i")], ld("z", [v("i")]))],
+                    ),
+                    store("y", [v("k")], sc("alpha")),
+                ],
+            ),
         ],
     }
 }
@@ -125,37 +203,79 @@ pub fn gramschmidt(n: u32) -> Program {
             Program::array("R", &[n as u32, n as u32]),
             Program::array("Q", &[n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-            "A",
-            [v("i"), v("j")],
-            frac(v("i") * v("j") + c(1), n) * fc(10.0) + fc(1.0),
-        )])])],
-        kernel: vec![for_("k", c(0), c(n), vec![
-            set("nrm", fc(0.0)),
-            for_("i", c(0), c(n), vec![set(
-                "nrm",
-                sc("nrm") + ld("A", [v("i"), v("k")]) * ld("A", [v("i"), v("k")]),
-            )]),
-            store("R", [v("k"), v("k")], sqrt(sc("nrm"))),
-            for_("i", c(0), c(n), vec![store(
-                "Q",
-                [v("i"), v("k")],
-                ld("A", [v("i"), v("k")]) / ld("R", [v("k"), v("k")]),
-            )]),
-            for_("j", v("k") + c(1), c(n), vec![
-                store("R", [v("k"), v("j")], fc(0.0)),
-                for_("i", c(0), c(n), vec![store(
-                    "R",
-                    [v("k"), v("j")],
-                    ld("R", [v("k"), v("j")]) + ld("Q", [v("i"), v("k")]) * ld("A", [v("i"), v("j")]),
-                )]),
-                for_("i", c(0), c(n), vec![store(
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![store(
                     "A",
                     [v("i"), v("j")],
-                    ld("A", [v("i"), v("j")]) - ld("Q", [v("i"), v("k")]) * ld("R", [v("k"), v("j")]),
-                )]),
-            ]),
-        ])],
+                    frac(v("i") * v("j") + c(1), n) * fc(10.0) + fc(1.0),
+                )],
+            )],
+        )],
+        kernel: vec![for_(
+            "k",
+            c(0),
+            c(n),
+            vec![
+                set("nrm", fc(0.0)),
+                for_(
+                    "i",
+                    c(0),
+                    c(n),
+                    vec![set(
+                        "nrm",
+                        sc("nrm") + ld("A", [v("i"), v("k")]) * ld("A", [v("i"), v("k")]),
+                    )],
+                ),
+                store("R", [v("k"), v("k")], sqrt(sc("nrm"))),
+                for_(
+                    "i",
+                    c(0),
+                    c(n),
+                    vec![store(
+                        "Q",
+                        [v("i"), v("k")],
+                        ld("A", [v("i"), v("k")]) / ld("R", [v("k"), v("k")]),
+                    )],
+                ),
+                for_(
+                    "j",
+                    v("k") + c(1),
+                    c(n),
+                    vec![
+                        store("R", [v("k"), v("j")], fc(0.0)),
+                        for_(
+                            "i",
+                            c(0),
+                            c(n),
+                            vec![store(
+                                "R",
+                                [v("k"), v("j")],
+                                ld("R", [v("k"), v("j")])
+                                    + ld("Q", [v("i"), v("k")]) * ld("A", [v("i"), v("j")]),
+                            )],
+                        ),
+                        for_(
+                            "i",
+                            c(0),
+                            c(n),
+                            vec![store(
+                                "A",
+                                [v("i"), v("j")],
+                                ld("A", [v("i"), v("j")])
+                                    - ld("Q", [v("i"), v("k")]) * ld("R", [v("k"), v("j")]),
+                            )],
+                        ),
+                    ],
+                ),
+            ],
+        )],
     }
 }
 
@@ -169,26 +289,52 @@ pub fn lu(n: u32) -> Program {
             Program::array("B", &[n as u32, n as u32]),
         ],
         init: spd_init(n),
-        kernel: vec![for_("i", c(0), c(n), vec![
-            for_("j", c(0), v("i"), vec![
-                for_("k", c(0), v("j"), vec![store(
-                    "A",
-                    [v("i"), v("j")],
-                    ld("A", [v("i"), v("j")])
-                        - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
-                )]),
-                store(
-                    "A",
-                    [v("i"), v("j")],
-                    ld("A", [v("i"), v("j")]) / ld("A", [v("j"), v("j")]),
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                for_(
+                    "j",
+                    c(0),
+                    v("i"),
+                    vec![
+                        for_(
+                            "k",
+                            c(0),
+                            v("j"),
+                            vec![store(
+                                "A",
+                                [v("i"), v("j")],
+                                ld("A", [v("i"), v("j")])
+                                    - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
+                            )],
+                        ),
+                        store(
+                            "A",
+                            [v("i"), v("j")],
+                            ld("A", [v("i"), v("j")]) / ld("A", [v("j"), v("j")]),
+                        ),
+                    ],
                 ),
-            ]),
-            for_("j", v("i"), c(n), vec![for_("k", c(0), v("i"), vec![store(
-                "A",
-                [v("i"), v("j")],
-                ld("A", [v("i"), v("j")]) - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
-            )])]),
-        ])],
+                for_(
+                    "j",
+                    v("i"),
+                    c(n),
+                    vec![for_(
+                        "k",
+                        c(0),
+                        v("i"),
+                        vec![store(
+                            "A",
+                            [v("i"), v("j")],
+                            ld("A", [v("i"), v("j")])
+                                - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
+                        )],
+                    )],
+                ),
+            ],
+        )],
     }
 }
 
@@ -196,11 +342,16 @@ pub fn lu(n: u32) -> Program {
 pub fn ludcmp(n: u32) -> Program {
     let n = n as i32;
     let mut init = spd_init(n);
-    init.push(for_("i", c(0), c(n), vec![store(
-        "b",
-        [v("i")],
-        int(v("i") + c(1)) / fc(f64::from(n)) / fc(2.0) + fc(4.0),
-    )]));
+    init.push(for_(
+        "i",
+        c(0),
+        c(n),
+        vec![store(
+            "b",
+            [v("i")],
+            int(v("i") + c(1)) / fc(f64::from(n)) / fc(2.0) + fc(4.0),
+        )],
+    ));
     Program {
         name: "ludcmp",
         arrays: vec![
@@ -213,42 +364,87 @@ pub fn ludcmp(n: u32) -> Program {
         init,
         kernel: vec![
             // LU factorization with explicit running sums (the C code's w).
-            for_("i", c(0), c(n), vec![
-                for_("j", c(0), v("i"), vec![
-                    set("w", ld("A", [v("i"), v("j")])),
-                    for_("k", c(0), v("j"), vec![set(
-                        "w",
-                        sc("w") - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
-                    )]),
-                    store("A", [v("i"), v("j")], sc("w") / ld("A", [v("j"), v("j")])),
-                ]),
-                for_("j", v("i"), c(n), vec![
-                    set("w", ld("A", [v("i"), v("j")])),
-                    for_("k", c(0), v("i"), vec![set(
-                        "w",
-                        sc("w") - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
-                    )]),
-                    store("A", [v("i"), v("j")], sc("w")),
-                ]),
-            ]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![
+                    for_(
+                        "j",
+                        c(0),
+                        v("i"),
+                        vec![
+                            set("w", ld("A", [v("i"), v("j")])),
+                            for_(
+                                "k",
+                                c(0),
+                                v("j"),
+                                vec![set(
+                                    "w",
+                                    sc("w") - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
+                                )],
+                            ),
+                            store("A", [v("i"), v("j")], sc("w") / ld("A", [v("j"), v("j")])),
+                        ],
+                    ),
+                    for_(
+                        "j",
+                        v("i"),
+                        c(n),
+                        vec![
+                            set("w", ld("A", [v("i"), v("j")])),
+                            for_(
+                                "k",
+                                c(0),
+                                v("i"),
+                                vec![set(
+                                    "w",
+                                    sc("w") - ld("A", [v("i"), v("k")]) * ld("A", [v("k"), v("j")]),
+                                )],
+                            ),
+                            store("A", [v("i"), v("j")], sc("w")),
+                        ],
+                    ),
+                ],
+            ),
             // Forward substitution: L y = b.
-            for_("i", c(0), c(n), vec![
-                set("w", ld("b", [v("i")])),
-                for_("j", c(0), v("i"), vec![set(
-                    "w",
-                    sc("w") - ld("A", [v("i"), v("j")]) * ld("y", [v("j")]),
-                )]),
-                store("y", [v("i")], sc("w")),
-            ]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![
+                    set("w", ld("b", [v("i")])),
+                    for_(
+                        "j",
+                        c(0),
+                        v("i"),
+                        vec![set(
+                            "w",
+                            sc("w") - ld("A", [v("i"), v("j")]) * ld("y", [v("j")]),
+                        )],
+                    ),
+                    store("y", [v("i")], sc("w")),
+                ],
+            ),
             // Backward substitution: U x = y.
-            for_rev("i", c(0), c(n), vec![
-                set("w", ld("y", [v("i")])),
-                for_("j", v("i") + c(1), c(n), vec![set(
-                    "w",
-                    sc("w") - ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
-                )]),
-                store("x", [v("i")], sc("w") / ld("A", [v("i"), v("i")])),
-            ]),
+            for_rev(
+                "i",
+                c(0),
+                c(n),
+                vec![
+                    set("w", ld("y", [v("i")])),
+                    for_(
+                        "j",
+                        v("i") + c(1),
+                        c(n),
+                        vec![set(
+                            "w",
+                            sc("w") - ld("A", [v("i"), v("j")]) * ld("x", [v("j")]),
+                        )],
+                    ),
+                    store("x", [v("i")], sc("w") / ld("A", [v("i"), v("i")])),
+                ],
+            ),
         ],
     }
 }
@@ -263,26 +459,42 @@ pub fn trisolv(n: u32) -> Program {
             Program::array("x", &[n as u32]),
             Program::array("b", &[n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![
-            store("b", [v("i")], int(v("i"))),
-            for_("j", c(0), v("i") + c(1), vec![store(
-                "L",
-                [v("i"), v("j")],
-                int(v("i") + c(n) - v("j") + c(1)) * fc(2.0) / fc(f64::from(n)),
-            )]),
-        ])],
-        kernel: vec![for_("i", c(0), c(n), vec![
-            store("x", [v("i")], ld("b", [v("i")])),
-            for_("j", c(0), v("i"), vec![store(
-                "x",
-                [v("i")],
-                ld("x", [v("i")]) - ld("L", [v("i"), v("j")]) * ld("x", [v("j")]),
-            )]),
-            store(
-                "x",
-                [v("i")],
-                ld("x", [v("i")]) / ld("L", [v("i"), v("i")]),
-            ),
-        ])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("b", [v("i")], int(v("i"))),
+                for_(
+                    "j",
+                    c(0),
+                    v("i") + c(1),
+                    vec![store(
+                        "L",
+                        [v("i"), v("j")],
+                        int(v("i") + c(n) - v("j") + c(1)) * fc(2.0) / fc(f64::from(n)),
+                    )],
+                ),
+            ],
+        )],
+        kernel: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("x", [v("i")], ld("b", [v("i")])),
+                for_(
+                    "j",
+                    c(0),
+                    v("i"),
+                    vec![store(
+                        "x",
+                        [v("i")],
+                        ld("x", [v("i")]) - ld("L", [v("i"), v("j")]) * ld("x", [v("j")]),
+                    )],
+                ),
+                store("x", [v("i")], ld("x", [v("i")]) / ld("L", [v("i"), v("i")])),
+            ],
+        )],
     }
 }

@@ -35,71 +35,120 @@ pub fn adi(n: u32) -> Program {
             Program::array("p", &[n as u32, n as u32]),
             Program::array("q", &[n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-            "u",
-            [v("i"), v("j")],
-            int(v("i") + c(n) - v("j")) / fc(nf),
-        )])])],
-        kernel: vec![for_("t", c(1), c(t + 1), vec![
-            // Column sweep.
-            for_("i", c(1), c(n - 1), vec![
-                store("vv", [c(0), v("i")], fc(1.0)),
-                store("p", [v("i"), c(0)], fc(0.0)),
-                store("q", [v("i"), c(0)], fc(1.0)),
-                for_("j", c(1), c(n - 1), vec![
-                    store(
-                        "p",
-                        [v("i"), v("j")],
-                        fc(0.0) - fc(cc) / (fc(a) * ld("p", [v("i"), v("j") - c(1)]) + fc(b)),
-                    ),
-                    store(
-                        "q",
-                        [v("i"), v("j")],
-                        ((fc(0.0) - fc(d)) * ld("u", [v("j"), v("i") - c(1)])
-                            + (fc(1.0) + fc(2.0) * fc(d)) * ld("u", [v("j"), v("i")])
-                            - fc(f) * ld("u", [v("j"), v("i") + c(1)])
-                            - fc(a) * ld("q", [v("i"), v("j") - c(1)]))
-                            / (fc(a) * ld("p", [v("i"), v("j") - c(1)]) + fc(b)),
-                    ),
-                ]),
-                store("vv", [c(n - 1), v("i")], fc(1.0)),
-                for_rev("j", c(1), c(n - 1), vec![store(
-                    "vv",
-                    [v("j"), v("i")],
-                    ld("p", [v("i"), v("j")]) * ld("vv", [v("j") + c(1), v("i")])
-                        + ld("q", [v("i"), v("j")]),
-                )]),
-            ]),
-            // Row sweep.
-            for_("i", c(1), c(n - 1), vec![
-                store("u", [v("i"), c(0)], fc(1.0)),
-                store("p", [v("i"), c(0)], fc(0.0)),
-                store("q", [v("i"), c(0)], fc(1.0)),
-                for_("j", c(1), c(n - 1), vec![
-                    store(
-                        "p",
-                        [v("i"), v("j")],
-                        fc(0.0) - fc(f) / (fc(d) * ld("p", [v("i"), v("j") - c(1)]) + fc(e)),
-                    ),
-                    store(
-                        "q",
-                        [v("i"), v("j")],
-                        ((fc(0.0) - fc(a)) * ld("vv", [v("i") - c(1), v("j")])
-                            + (fc(1.0) + fc(2.0) * fc(a)) * ld("vv", [v("i"), v("j")])
-                            - fc(cc) * ld("vv", [v("i") + c(1), v("j")])
-                            - fc(d) * ld("q", [v("i"), v("j") - c(1)]))
-                            / (fc(d) * ld("p", [v("i"), v("j") - c(1)]) + fc(e)),
-                    ),
-                ]),
-                store("u", [v("i"), c(n - 1)], fc(1.0)),
-                for_rev("j", c(1), c(n - 1), vec![store(
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![store(
                     "u",
                     [v("i"), v("j")],
-                    ld("p", [v("i"), v("j")]) * ld("u", [v("i"), v("j") + c(1)])
-                        + ld("q", [v("i"), v("j")]),
-                )]),
-            ]),
-        ])],
+                    int(v("i") + c(n) - v("j")) / fc(nf),
+                )],
+            )],
+        )],
+        kernel: vec![for_(
+            "t",
+            c(1),
+            c(t + 1),
+            vec![
+                // Column sweep.
+                for_(
+                    "i",
+                    c(1),
+                    c(n - 1),
+                    vec![
+                        store("vv", [c(0), v("i")], fc(1.0)),
+                        store("p", [v("i"), c(0)], fc(0.0)),
+                        store("q", [v("i"), c(0)], fc(1.0)),
+                        for_(
+                            "j",
+                            c(1),
+                            c(n - 1),
+                            vec![
+                                store(
+                                    "p",
+                                    [v("i"), v("j")],
+                                    fc(0.0)
+                                        - fc(cc)
+                                            / (fc(a) * ld("p", [v("i"), v("j") - c(1)]) + fc(b)),
+                                ),
+                                store(
+                                    "q",
+                                    [v("i"), v("j")],
+                                    ((fc(0.0) - fc(d)) * ld("u", [v("j"), v("i") - c(1)])
+                                        + (fc(1.0) + fc(2.0) * fc(d)) * ld("u", [v("j"), v("i")])
+                                        - fc(f) * ld("u", [v("j"), v("i") + c(1)])
+                                        - fc(a) * ld("q", [v("i"), v("j") - c(1)]))
+                                        / (fc(a) * ld("p", [v("i"), v("j") - c(1)]) + fc(b)),
+                                ),
+                            ],
+                        ),
+                        store("vv", [c(n - 1), v("i")], fc(1.0)),
+                        for_rev(
+                            "j",
+                            c(1),
+                            c(n - 1),
+                            vec![store(
+                                "vv",
+                                [v("j"), v("i")],
+                                ld("p", [v("i"), v("j")]) * ld("vv", [v("j") + c(1), v("i")])
+                                    + ld("q", [v("i"), v("j")]),
+                            )],
+                        ),
+                    ],
+                ),
+                // Row sweep.
+                for_(
+                    "i",
+                    c(1),
+                    c(n - 1),
+                    vec![
+                        store("u", [v("i"), c(0)], fc(1.0)),
+                        store("p", [v("i"), c(0)], fc(0.0)),
+                        store("q", [v("i"), c(0)], fc(1.0)),
+                        for_(
+                            "j",
+                            c(1),
+                            c(n - 1),
+                            vec![
+                                store(
+                                    "p",
+                                    [v("i"), v("j")],
+                                    fc(0.0)
+                                        - fc(f)
+                                            / (fc(d) * ld("p", [v("i"), v("j") - c(1)]) + fc(e)),
+                                ),
+                                store(
+                                    "q",
+                                    [v("i"), v("j")],
+                                    ((fc(0.0) - fc(a)) * ld("vv", [v("i") - c(1), v("j")])
+                                        + (fc(1.0) + fc(2.0) * fc(a)) * ld("vv", [v("i"), v("j")])
+                                        - fc(cc) * ld("vv", [v("i") + c(1), v("j")])
+                                        - fc(d) * ld("q", [v("i"), v("j") - c(1)]))
+                                        / (fc(d) * ld("p", [v("i"), v("j") - c(1)]) + fc(e)),
+                                ),
+                            ],
+                        ),
+                        store("u", [v("i"), c(n - 1)], fc(1.0)),
+                        for_rev(
+                            "j",
+                            c(1),
+                            c(n - 1),
+                            vec![store(
+                                "u",
+                                [v("i"), v("j")],
+                                ld("p", [v("i"), v("j")]) * ld("u", [v("i"), v("j") + c(1)])
+                                    + ld("q", [v("i"), v("j")]),
+                            )],
+                        ),
+                    ],
+                ),
+            ],
+        )],
     }
 }
 
@@ -117,36 +166,103 @@ pub fn fdtd_2d(n: u32) -> Program {
         ],
         init: vec![
             for_("i", c(0), c(t), vec![store("fict", [v("i")], int(v("i")))]),
-            for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-                store("ex", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(1.0)) / fc(f64::from(n))),
-                store("ey", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(2.0)) / fc(f64::from(n))),
-                store("hz", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(3.0)) / fc(f64::from(n))),
-            ])]),
+            for_(
+                "i",
+                c(0),
+                c(n),
+                vec![for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![
+                        store(
+                            "ex",
+                            [v("i"), v("j")],
+                            int(v("i")) * (int(v("j")) + fc(1.0)) / fc(f64::from(n)),
+                        ),
+                        store(
+                            "ey",
+                            [v("i"), v("j")],
+                            int(v("i")) * (int(v("j")) + fc(2.0)) / fc(f64::from(n)),
+                        ),
+                        store(
+                            "hz",
+                            [v("i"), v("j")],
+                            int(v("i")) * (int(v("j")) + fc(3.0)) / fc(f64::from(n)),
+                        ),
+                    ],
+                )],
+            ),
         ],
-        kernel: vec![for_("t", c(0), c(t), vec![
-            for_("j", c(0), c(n), vec![store("ey", [c(0), v("j")], ld("fict", [v("t")]))]),
-            for_("i", c(1), c(n), vec![for_("j", c(0), c(n), vec![store(
-                "ey",
-                [v("i"), v("j")],
-                ld("ey", [v("i"), v("j")])
-                    - fc(0.5) * (ld("hz", [v("i"), v("j")]) - ld("hz", [v("i") - c(1), v("j")])),
-            )])]),
-            for_("i", c(0), c(n), vec![for_("j", c(1), c(n), vec![store(
-                "ex",
-                [v("i"), v("j")],
-                ld("ex", [v("i"), v("j")])
-                    - fc(0.5) * (ld("hz", [v("i"), v("j")]) - ld("hz", [v("i"), v("j") - c(1)])),
-            )])]),
-            for_("i", c(0), c(n - 1), vec![for_("j", c(0), c(n - 1), vec![store(
-                "hz",
-                [v("i"), v("j")],
-                ld("hz", [v("i"), v("j")])
-                    - fc(0.7)
-                        * (ld("ex", [v("i"), v("j") + c(1)]) - ld("ex", [v("i"), v("j")])
-                            + ld("ey", [v("i") + c(1), v("j")])
-                            - ld("ey", [v("i"), v("j")])),
-            )])]),
-        ])],
+        kernel: vec![for_(
+            "t",
+            c(0),
+            c(t),
+            vec![
+                for_(
+                    "j",
+                    c(0),
+                    c(n),
+                    vec![store("ey", [c(0), v("j")], ld("fict", [v("t")]))],
+                ),
+                for_(
+                    "i",
+                    c(1),
+                    c(n),
+                    vec![for_(
+                        "j",
+                        c(0),
+                        c(n),
+                        vec![store(
+                            "ey",
+                            [v("i"), v("j")],
+                            ld("ey", [v("i"), v("j")])
+                                - fc(0.5)
+                                    * (ld("hz", [v("i"), v("j")])
+                                        - ld("hz", [v("i") - c(1), v("j")])),
+                        )],
+                    )],
+                ),
+                for_(
+                    "i",
+                    c(0),
+                    c(n),
+                    vec![for_(
+                        "j",
+                        c(1),
+                        c(n),
+                        vec![store(
+                            "ex",
+                            [v("i"), v("j")],
+                            ld("ex", [v("i"), v("j")])
+                                - fc(0.5)
+                                    * (ld("hz", [v("i"), v("j")])
+                                        - ld("hz", [v("i"), v("j") - c(1)])),
+                        )],
+                    )],
+                ),
+                for_(
+                    "i",
+                    c(0),
+                    c(n - 1),
+                    vec![for_(
+                        "j",
+                        c(0),
+                        c(n - 1),
+                        vec![store(
+                            "hz",
+                            [v("i"), v("j")],
+                            ld("hz", [v("i"), v("j")])
+                                - fc(0.7)
+                                    * (ld("ex", [v("i"), v("j") + c(1)])
+                                        - ld("ex", [v("i"), v("j")])
+                                        + ld("ey", [v("i") + c(1), v("j")])
+                                        - ld("ey", [v("i"), v("j")])),
+                        )],
+                    )],
+                ),
+            ],
+        )],
     }
 }
 
@@ -155,28 +271,38 @@ pub fn heat_3d(n: u32) -> Program {
     let t = tsteps(n);
     let n = n as i32;
     let stencil = |dst: &'static str, src: &'static str| -> Stmt {
-        for_("i", c(1), c(n - 1), vec![for_("j", c(1), c(n - 1), vec![for_(
-            "k",
+        for_(
+            "i",
             c(1),
             c(n - 1),
-            vec![store(
-                dst,
-                [v("i"), v("j"), v("k")],
-                fc(0.125)
-                    * (ld(src, [v("i") + c(1), v("j"), v("k")])
-                        - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
-                        + ld(src, [v("i") - c(1), v("j"), v("k")]))
-                    + fc(0.125)
-                        * (ld(src, [v("i"), v("j") + c(1), v("k")])
-                            - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
-                            + ld(src, [v("i"), v("j") - c(1), v("k")]))
-                    + fc(0.125)
-                        * (ld(src, [v("i"), v("j"), v("k") + c(1)])
-                            - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
-                            + ld(src, [v("i"), v("j"), v("k") - c(1)]))
-                    + ld(src, [v("i"), v("j"), v("k")]),
+            vec![for_(
+                "j",
+                c(1),
+                c(n - 1),
+                vec![for_(
+                    "k",
+                    c(1),
+                    c(n - 1),
+                    vec![store(
+                        dst,
+                        [v("i"), v("j"), v("k")],
+                        fc(0.125)
+                            * (ld(src, [v("i") + c(1), v("j"), v("k")])
+                                - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
+                                + ld(src, [v("i") - c(1), v("j"), v("k")]))
+                            + fc(0.125)
+                                * (ld(src, [v("i"), v("j") + c(1), v("k")])
+                                    - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
+                                    + ld(src, [v("i"), v("j") - c(1), v("k")]))
+                            + fc(0.125)
+                                * (ld(src, [v("i"), v("j"), v("k") + c(1)])
+                                    - fc(2.0) * ld(src, [v("i"), v("j"), v("k")])
+                                    + ld(src, [v("i"), v("j"), v("k") - c(1)]))
+                            + ld(src, [v("i"), v("j"), v("k")]),
+                    )],
+                )],
             )],
-        )])])
+        )
     };
     Program {
         name: "heat-3d",
@@ -184,24 +310,39 @@ pub fn heat_3d(n: u32) -> Program {
             Program::array("A", &[n as u32, n as u32, n as u32]),
             Program::array("B", &[n as u32, n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![for_(
-            "k",
+        init: vec![for_(
+            "i",
             c(0),
             c(n),
-            vec![
-                store(
-                    "A",
-                    [v("i"), v("j"), v("k")],
-                    int(v("i") + v("j") + (c(n) - v("k"))) * fc(10.0) / fc(f64::from(n)),
-                ),
-                store(
-                    "B",
-                    [v("i"), v("j"), v("k")],
-                    int(v("i") + v("j") + (c(n) - v("k"))) * fc(10.0) / fc(f64::from(n)),
-                ),
-            ],
-        )])])],
-        kernel: vec![for_("t", c(1), c(t + 1), vec![stencil("B", "A"), stencil("A", "B")])],
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![for_(
+                    "k",
+                    c(0),
+                    c(n),
+                    vec![
+                        store(
+                            "A",
+                            [v("i"), v("j"), v("k")],
+                            int(v("i") + v("j") + (c(n) - v("k"))) * fc(10.0) / fc(f64::from(n)),
+                        ),
+                        store(
+                            "B",
+                            [v("i"), v("j"), v("k")],
+                            int(v("i") + v("j") + (c(n) - v("k"))) * fc(10.0) / fc(f64::from(n)),
+                        ),
+                    ],
+                )],
+            )],
+        )],
+        kernel: vec![for_(
+            "t",
+            c(1),
+            c(t + 1),
+            vec![stencil("B", "A"), stencil("A", "B")],
+        )],
     }
 }
 
@@ -215,24 +356,48 @@ pub fn jacobi_1d(n: u32) -> Program {
             Program::array("A", &[n as u32]),
             Program::array("B", &[n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![
-            store("A", [v("i")], (int(v("i")) + fc(2.0)) / fc(f64::from(n))),
-            store("B", [v("i")], (int(v("i")) + fc(3.0)) / fc(f64::from(n))),
-        ])],
-        kernel: vec![for_("t", c(0), c(t), vec![
-            for_("i", c(1), c(n - 1), vec![store(
-                "B",
-                [v("i")],
-                fc(0.33333)
-                    * (ld("A", [v("i") - c(1)]) + ld("A", [v("i")]) + ld("A", [v("i") + c(1)])),
-            )]),
-            for_("i", c(1), c(n - 1), vec![store(
-                "A",
-                [v("i")],
-                fc(0.33333)
-                    * (ld("B", [v("i") - c(1)]) + ld("B", [v("i")]) + ld("B", [v("i") + c(1)])),
-            )]),
-        ])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![
+                store("A", [v("i")], (int(v("i")) + fc(2.0)) / fc(f64::from(n))),
+                store("B", [v("i")], (int(v("i")) + fc(3.0)) / fc(f64::from(n))),
+            ],
+        )],
+        kernel: vec![for_(
+            "t",
+            c(0),
+            c(t),
+            vec![
+                for_(
+                    "i",
+                    c(1),
+                    c(n - 1),
+                    vec![store(
+                        "B",
+                        [v("i")],
+                        fc(0.33333)
+                            * (ld("A", [v("i") - c(1)])
+                                + ld("A", [v("i")])
+                                + ld("A", [v("i") + c(1)])),
+                    )],
+                ),
+                for_(
+                    "i",
+                    c(1),
+                    c(n - 1),
+                    vec![store(
+                        "A",
+                        [v("i")],
+                        fc(0.33333)
+                            * (ld("B", [v("i") - c(1)])
+                                + ld("B", [v("i")])
+                                + ld("B", [v("i") + c(1)])),
+                    )],
+                ),
+            ],
+        )],
     }
 }
 
@@ -241,16 +406,26 @@ pub fn jacobi_2d(n: u32) -> Program {
     let t = tsteps(n);
     let n = n as i32;
     let sweep = |dst: &'static str, src: &'static str| -> Stmt {
-        for_("i", c(1), c(n - 1), vec![for_("j", c(1), c(n - 1), vec![store(
-            dst,
-            [v("i"), v("j")],
-            fc(0.2)
-                * (ld(src, [v("i"), v("j")])
-                    + ld(src, [v("i"), v("j") - c(1)])
-                    + ld(src, [v("i"), v("j") + c(1)])
-                    + ld(src, [v("i") + c(1), v("j")])
-                    + ld(src, [v("i") - c(1), v("j")])),
-        )])])
+        for_(
+            "i",
+            c(1),
+            c(n - 1),
+            vec![for_(
+                "j",
+                c(1),
+                c(n - 1),
+                vec![store(
+                    dst,
+                    [v("i"), v("j")],
+                    fc(0.2)
+                        * (ld(src, [v("i"), v("j")])
+                            + ld(src, [v("i"), v("j") - c(1)])
+                            + ld(src, [v("i"), v("j") + c(1)])
+                            + ld(src, [v("i") + c(1), v("j")])
+                            + ld(src, [v("i") - c(1), v("j")])),
+                )],
+            )],
+        )
     };
     Program {
         name: "jacobi-2d",
@@ -258,11 +433,34 @@ pub fn jacobi_2d(n: u32) -> Program {
             Program::array("A", &[n as u32, n as u32]),
             Program::array("B", &[n as u32, n as u32]),
         ],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![
-            store("A", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(2.0)) / fc(f64::from(n))),
-            store("B", [v("i"), v("j")], int(v("i")) * (int(v("j")) + fc(3.0)) / fc(f64::from(n))),
-        ])])],
-        kernel: vec![for_("t", c(0), c(t), vec![sweep("B", "A"), sweep("A", "B")])],
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![
+                    store(
+                        "A",
+                        [v("i"), v("j")],
+                        int(v("i")) * (int(v("j")) + fc(2.0)) / fc(f64::from(n)),
+                    ),
+                    store(
+                        "B",
+                        [v("i"), v("j")],
+                        int(v("i")) * (int(v("j")) + fc(3.0)) / fc(f64::from(n)),
+                    ),
+                ],
+            )],
+        )],
+        kernel: vec![for_(
+            "t",
+            c(0),
+            c(t),
+            vec![sweep("B", "A"), sweep("A", "B")],
+        )],
     }
 }
 
@@ -273,29 +471,49 @@ pub fn seidel_2d(n: u32) -> Program {
     Program {
         name: "seidel-2d",
         arrays: vec![Program::array("A", &[n as u32, n as u32])],
-        init: vec![for_("i", c(0), c(n), vec![for_("j", c(0), c(n), vec![store(
-            "A",
-            [v("i"), v("j")],
-            (int(v("i")) * (int(v("j")) + fc(2.0)) + fc(2.0)) / fc(f64::from(n)),
-        )])])],
-        kernel: vec![for_("t", c(0), c(t), vec![for_("i", c(1), c(n - 1), vec![for_(
-            "j",
-            c(1),
-            c(n - 1),
-            vec![store(
-                "A",
-                [v("i"), v("j")],
-                (ld("A", [v("i") - c(1), v("j") - c(1)])
-                    + ld("A", [v("i") - c(1), v("j")])
-                    + ld("A", [v("i") - c(1), v("j") + c(1)])
-                    + ld("A", [v("i"), v("j") - c(1)])
-                    + ld("A", [v("i"), v("j")])
-                    + ld("A", [v("i"), v("j") + c(1)])
-                    + ld("A", [v("i") + c(1), v("j") - c(1)])
-                    + ld("A", [v("i") + c(1), v("j")])
-                    + ld("A", [v("i") + c(1), v("j") + c(1)]))
-                    / fc(9.0),
+        init: vec![for_(
+            "i",
+            c(0),
+            c(n),
+            vec![for_(
+                "j",
+                c(0),
+                c(n),
+                vec![store(
+                    "A",
+                    [v("i"), v("j")],
+                    (int(v("i")) * (int(v("j")) + fc(2.0)) + fc(2.0)) / fc(f64::from(n)),
+                )],
             )],
-        )])])],
+        )],
+        kernel: vec![for_(
+            "t",
+            c(0),
+            c(t),
+            vec![for_(
+                "i",
+                c(1),
+                c(n - 1),
+                vec![for_(
+                    "j",
+                    c(1),
+                    c(n - 1),
+                    vec![store(
+                        "A",
+                        [v("i"), v("j")],
+                        (ld("A", [v("i") - c(1), v("j") - c(1)])
+                            + ld("A", [v("i") - c(1), v("j")])
+                            + ld("A", [v("i") - c(1), v("j") + c(1)])
+                            + ld("A", [v("i"), v("j") - c(1)])
+                            + ld("A", [v("i"), v("j")])
+                            + ld("A", [v("i"), v("j") + c(1)])
+                            + ld("A", [v("i") + c(1), v("j") - c(1)])
+                            + ld("A", [v("i") + c(1), v("j")])
+                            + ld("A", [v("i") + c(1), v("j") + c(1)]))
+                            / fc(9.0),
+                    )],
+                )],
+            )],
+        )],
     }
 }

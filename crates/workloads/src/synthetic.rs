@@ -112,8 +112,7 @@ pub fn synthetic_app(config: &SyntheticConfig) -> Module {
         } else {
             vec![]
         };
-        let callees: Vec<(Idx<FunctionSpace>, Vec<ValType>, Vec<ValType>)> =
-            functions.clone();
+        let callees: Vec<(Idx<FunctionSpace>, Vec<ValType>, Vec<ValType>)> = functions.clone();
         let params_for_body = params.clone();
         let results_for_body = results.clone();
         let statements = config.body_statements.max(1);
@@ -172,7 +171,10 @@ pub fn synthetic_app(config: &SyntheticConfig) -> Module {
             f.get_local(acc).i32_add().set_local(acc);
         }
         // Touch the globals so they appear in executions too.
-        f.get_global(globals[0]).get_local(acc).i32_add().set_global(globals[0]);
+        f.get_global(globals[0])
+            .get_local(acc)
+            .i32_add()
+            .set_global(globals[0]);
         f.get_local(acc);
     });
 
@@ -303,9 +305,15 @@ fn emit_body(
                 }
                 f.i32_const(rng.gen_range(0..4)).binary(BinaryOp::I32GtS);
                 f.if_(None);
-                f.get_local(scratch_i32).i32_const(1).i32_add().set_local(scratch_i32);
+                f.get_local(scratch_i32)
+                    .i32_const(1)
+                    .i32_add()
+                    .set_local(scratch_i32);
                 f.else_();
-                f.get_local(scratch_i32).i32_const(1).i32_sub().set_local(scratch_i32);
+                f.get_local(scratch_i32)
+                    .i32_const(1)
+                    .i32_sub()
+                    .set_local(scratch_i32);
                 f.end();
             }
             // br_table dispatch (switch statements).
@@ -314,11 +322,16 @@ fn emit_body(
                 for _ in 0..=arms {
                     f.block(None);
                 }
-                f.get_local(scratch_i32).i32_const(7).binary(BinaryOp::I32And);
+                f.get_local(scratch_i32)
+                    .i32_const(7)
+                    .binary(BinaryOp::I32And);
                 f.br_table((0..arms).collect(), arms);
                 f.end();
                 for arm in 0..arms {
-                    f.get_local(scratch_i32).i32_const(arm as i32).i32_add().set_local(scratch_i32);
+                    f.get_local(scratch_i32)
+                        .i32_const(arm as i32)
+                        .i32_add()
+                        .set_local(scratch_i32);
                     f.end();
                 }
             }
@@ -328,14 +341,28 @@ fn emit_body(
                 let counter = f.local(ValType::I32);
                 f.i32_const(0).set_local(counter);
                 f.block(None).loop_(None);
-                f.get_local(counter).i32_const(iterations).binary(BinaryOp::I32GeS).br_if(1);
-                f.get_local(scratch_i32).i32_const(3).i32_mul().i32_const(1).i32_add().set_local(scratch_i32);
-                f.get_local(counter).i32_const(1).i32_add().set_local(counter);
+                f.get_local(counter)
+                    .i32_const(iterations)
+                    .binary(BinaryOp::I32GeS)
+                    .br_if(1);
+                f.get_local(scratch_i32)
+                    .i32_const(3)
+                    .i32_mul()
+                    .i32_const(1)
+                    .i32_add()
+                    .set_local(scratch_i32);
+                f.get_local(counter)
+                    .i32_const(1)
+                    .i32_add()
+                    .set_local(counter);
                 f.br(0).end().end();
             }
             // select / drop / globals.
             _ => {
-                f.get_local(scratch_i32).i32_const(5).get_local(scratch_i32).select();
+                f.get_local(scratch_i32)
+                    .i32_const(5)
+                    .get_local(scratch_i32)
+                    .select();
                 f.set_local(scratch_i32);
                 if rng.gen_bool(0.3) {
                     f.get_global(0u32).drop_();
@@ -363,7 +390,10 @@ pub fn miner(rounds: i32) -> Module {
         let i = f.local(ValType::I32);
         f.i32_const(0x6a09_e667u32 as i32).set_local(h);
         f.block(None).loop_(None);
-        f.get_local(i).i32_const(rounds).binary(BinaryOp::I32GeS).br_if(1);
+        f.get_local(i)
+            .i32_const(rounds)
+            .binary(BinaryOp::I32GeS)
+            .br_if(1);
         f.get_local(h).i32_const(13).binary(BinaryOp::I32Shl);
         f.get_local(h).i32_const(7).binary(BinaryOp::I32ShrU);
         f.binary(BinaryOp::I32Xor);
@@ -390,7 +420,9 @@ mod tests {
         let mut host = EmptyHost;
         let mut instance = Instance::instantiate(module, &mut host).expect("instantiates");
         instance.set_fuel(Some(50_000_000));
-        let results = instance.invoke_export("main", &[], &mut host).expect("runs");
+        let results = instance
+            .invoke_export("main", &[], &mut host)
+            .expect("runs");
         assert_eq!(results.len(), 1);
     }
 

@@ -24,9 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .get_local(0u32)
             .binary(wasabi_repro::wasm::BinaryOp::I64GtS)
             .br_if(1);
-        f.get_local(acc).get_local(i).binary(wasabi_repro::wasm::BinaryOp::I64Mul);
+        f.get_local(acc)
+            .get_local(i)
+            .binary(wasabi_repro::wasm::BinaryOp::I64Mul);
         f.set_local(acc);
-        f.get_local(i).i64_const(1).binary(wasabi_repro::wasm::BinaryOp::I64Add);
+        f.get_local(i)
+            .i64_const(1)
+            .binary(wasabi_repro::wasm::BinaryOp::I64Add);
         f.set_local(i);
         f.br(0).end().end();
         f.get_local(acc);

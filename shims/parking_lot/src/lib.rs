@@ -1,0 +1,110 @@
+//! Offline shim for `parking_lot`: the subset the workspace uses — an
+//! `RwLock` with plain reads, writes, and *upgradable* reads.
+//!
+//! Implementation: a `std::sync::RwLock` for the data plus a separate
+//! mutex serializing upgradable readers. An upgradable read holds the
+//! upgrade mutex and a shared read guard, so it coexists with plain
+//! readers; `upgrade` drops the shared guard and acquires the write lock
+//! while still holding the upgrade mutex, so no two upgraders race. This
+//! is weaker than parking_lot's truly atomic upgrade (a plain writer could
+//! interleave), which is why `HookMap::get_or_insert` re-checks after
+//! upgrading — exactly the pattern the real crate also recommends.
+//!
+//! Like parking_lot (and unlike std), lock poisoning is ignored.
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+use std::sync::PoisonError;
+
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    data: sync::RwLock<T>,
+    upgrade: sync::Mutex<()>,
+}
+
+pub struct RwLockReadGuard<'a, T>(sync::RwLockReadGuard<'a, T>);
+
+pub struct RwLockWriteGuard<'a, T>(sync::RwLockWriteGuard<'a, T>);
+
+pub struct RwLockUpgradableReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    _upgrade: sync::MutexGuard<'a, ()>,
+    read: Option<sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            data: sync::RwLock::new(value),
+            upgrade: sync::Mutex::new(()),
+        }
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.data.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.data.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    pub fn upgradable_read(&self) -> RwLockUpgradableReadGuard<'_, T> {
+        let upgrade = self.upgrade.lock().unwrap_or_else(PoisonError::into_inner);
+        let read = self.data.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockUpgradableReadGuard {
+            lock: self,
+            _upgrade: upgrade,
+            read: Some(read),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> Deref for RwLockUpgradableReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.read.as_ref().expect("guard is live")
+    }
+}
+
+impl<'a, T> RwLockUpgradableReadGuard<'a, T> {
+    /// Consume the upgradable guard, returning an exclusive write guard.
+    ///
+    /// The upgrade mutex is held until the write lock is acquired, so at
+    /// most one thread is ever between "read" and "write" here.
+    pub fn upgrade(mut guard: Self) -> RwLockWriteGuard<'a, T> {
+        guard.read.take();
+        RwLockWriteGuard(
+            guard
+                .lock
+                .data
+                .write()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+}

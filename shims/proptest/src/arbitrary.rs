@@ -1,0 +1,66 @@
+//! `any::<T>()` and the `Arbitrary` trait for primitive types.
+//!
+//! Integer generation is edge-biased like the real crate's: roughly one in
+//! eight values is drawn from `{0, 1, -1, MIN, MAX}`, the rest are uniform
+//! bits. Floats are generated *from raw bits*, so infinities and NaNs (with
+//! arbitrary payloads) appear — the codec and VM tests depend on that.
+
+use std::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                if rng.chance(1, 8) {
+                    // All-bits-set is -1 for signed types and MAX (again)
+                    // for unsigned ones.
+                    const EDGES: [$t; 5] =
+                        [0, 1, <$t>::MAX, <$t>::MIN, (0 as $t).wrapping_sub(1)];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}

@@ -1,0 +1,53 @@
+//! `collection::vec`: vectors with a random length from a size range.
+
+use std::ops::Range;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    /// Exclusive.
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            start: range.start,
+            end: range.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            start: exact,
+            end: exact + 1,
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

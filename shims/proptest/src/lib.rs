@@ -1,0 +1,131 @@
+//! Offline shim for `proptest`: a small but *real* property-testing
+//! framework implementing the API surface this workspace uses.
+//!
+//! What works like the real crate:
+//! - `proptest! { ... }` with typed parameters (`x: u32`) and strategy
+//!   parameters (`x in strat`), mixed freely, plus
+//!   `#![proptest_config(...)]`,
+//! - `Strategy` with `prop_map`, `prop_recursive`, `boxed`; strategies for
+//!   integer/float ranges, tuples, `Just`, `any::<T>()`,
+//!   `collection::vec`, `sample::select`, `option::of`, and simple
+//!   `"[a-z]{m,n}"` string patterns,
+//! - `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//! - deterministic seeding: every (test, case) pair derives its seed from
+//!   the test's module path and name, so runs are reproducible; set
+//!   `PROPTEST_SHIM_SEED` to perturb all streams at once.
+//!
+//! What is intentionally missing: shrinking (a failing case panics with
+//! its case number; rerun reproduces it exactly), persistence files, and
+//! the full strategy combinator zoo.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    /// The real prelude exposes the crate root as `prop` (for paths like
+    /// `prop::collection::vec`).
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `proptest!` macro: each contained `#[test] fn` runs its body for
+/// `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident ( $($params:tt)* ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::rng::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __guard = $crate::test_runner::CaseGuard::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+                __guard.passed();
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; ) => {};
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:pat in $strategy:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+    };
+    ($rng:ident; $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Uniform choice between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}

@@ -1,0 +1,24 @@
+//! `option::of`: `Some` three times out of four, like the real crate's
+//! default probability.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(3, 4) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,65 @@
+//! Deterministic RNG for test-case generation: SplitMix64, seeded per
+//! (test name, case index) so failures reproduce without persistence
+//! files.
+
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed for case `case` of test `name`, optionally perturbed by the
+    /// `PROPTEST_SHIM_SEED` environment variable.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let env = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let mut rng = TestRng::new(fnv1a(name.as_bytes()) ^ env);
+        // Decorrelate consecutive cases beyond a simple +1 on the state.
+        for _ in 0..2 {
+            rng.next_u64();
+        }
+        rng.state = rng
+            .state
+            .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,22 @@
+//! `sample::select`: uniform choice from a fixed set of values.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// Accepts both `Vec<T>` and `&[T]` (the two forms the workspace uses).
+pub fn select<T: Clone>(items: impl Into<Vec<T>>) -> Select<T> {
+    let items = items.into();
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select { items }
+}

@@ -1,0 +1,207 @@
+//! The `Strategy` trait and core combinators.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::rng::TestRng;
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            func,
+        }
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy for the
+    /// previous depth level and returns the strategy for one level above
+    /// it. Generation picks a random depth in `[0, depth]`, so sizes stay
+    /// bounded; `_desired_size` and `_expected_branch_size` are accepted
+    /// for signature parity and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A clonable, type-erased strategy (the shim uses `Rc`, not `Arc`:
+/// strategies live on one test thread).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.strategy.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of the same value type
+/// (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+pub struct Recursive<T> {
+    pub(crate) base: BoxedStrategy<T>,
+    pub(crate) depth: u32,
+    pub(crate) recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let levels = rng.below(u64::from(self.depth) + 1) as u32;
+        let mut strategy = self.base.clone();
+        for _ in 0..levels {
+            strategy = (self.recurse)(strategy);
+        }
+        strategy.generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (self.start as i128, self.end as i128);
+                assert!(start < end, "strategy range is empty");
+                let width = (end - start) as u128;
+                let offset = (rng.next_u64() as u128) % width;
+                (start + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // Casting the unit draw to f32 can round up to 1.0, which
+                // would land exactly on the exclusive upper bound.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// String literals are strategies: `"[a-z]{1,8}"` produces strings
+/// matching that (simple) pattern. See [`crate::string`] for the
+/// supported subset.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}

@@ -1,0 +1,74 @@
+//! Tiny regex-subset string generator for string-literal strategies.
+//!
+//! Supported patterns: a single character class with an optional counted
+//! repetition — `[a-z]{1,8}`, `[A-Za-z0-9_]{3}`, `[abc]` — which is all
+//! the workspace's tests use. Unsupported patterns fall back to short
+//! lowercase ASCII strings so generation never fails.
+
+use crate::rng::TestRng;
+
+struct ClassPattern {
+    chars: Vec<char>,
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Option<ClassPattern> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let tail = &rest[close + 1..];
+
+    let mut chars = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        if it.peek() == Some(&'-') {
+            let mut look = it.clone();
+            look.next(); // consume '-'
+            if let Some(&hi) = look.peek() {
+                if (c as u32) <= (hi as u32) {
+                    for code in (c as u32)..=(hi as u32) {
+                        chars.push(char::from_u32(code)?);
+                    }
+                    it = look;
+                    it.next(); // consume hi
+                    continue;
+                }
+            }
+        }
+        chars.push(c);
+    }
+    if chars.is_empty() {
+        return None;
+    }
+
+    let (min, max) = if tail.is_empty() {
+        (1, 1)
+    } else {
+        let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+        match counts.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some(ClassPattern { chars, min, max })
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let parsed = parse(pattern).unwrap_or(ClassPattern {
+        chars: ('a'..='z').collect(),
+        min: 1,
+        max: 8,
+    });
+    let len = parsed.min + rng.below((parsed.max - parsed.min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| parsed.chars[rng.below(parsed.chars.len() as u64) as usize])
+        .collect()
+}

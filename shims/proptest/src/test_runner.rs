@@ -1,0 +1,66 @@
+//! Test-run configuration and failure reporting.
+
+/// Mirror of `proptest::test_runner::Config` for the fields the workspace
+/// touches. Extra fields exist only so struct-update syntax
+/// (`..ProptestConfig::default()`) has something to fill in.
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for parity; the shim never persists failures.
+    pub failure_persistence: Option<Box<dyn std::any::Any>>,
+    /// Accepted for parity; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 128,
+            failure_persistence: None,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Prints which case failed when a test body panics (the shim's substitute
+/// for shrinking + persistence: the seed is derived from the test name and
+/// case index, so the printed case number is enough to reproduce).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    passed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            passed: false,
+        }
+    }
+
+    pub fn passed(mut self) {
+        self.passed = true;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !self.passed && std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: {} failed at case {} (deterministic; rerun reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline shim for `rand` 0.8: the subset the synthetic workload
+//! generator uses — `SmallRng::seed_from_u64` plus `Rng::{gen, gen_range,
+//! gen_bool}`. The generator only needs *deterministic, well-mixed*
+//! streams (workload shapes are seeded), not cryptographic or
+//! statistically audited randomness, so SplitMix64 is plenty.
+
+use std::ops::Range;
+
+/// Stand-in for `rand::SeedableRng`; only `seed_from_u64` is used.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core RNG trait; blanket-provides the sampling helpers the workspace
+/// uses, mirroring `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// `rng.gen::<T>()` — invoked as `r#gen` in 2024-ready code.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range` (half-open). Modulo sampling: biased by at
+    /// most 2^-32 for the small ranges the generators draw from.
+    fn gen_range<T: UniformSampled>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`Rng::gen`).
+pub trait Standard: Sized {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+/// Types samplable uniformly from a half-open range (`Rng::gen_range`).
+pub trait UniformSampled: Sized {
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_int_sampling {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl UniformSampled for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                let (start, end) = (range.start as i128, range.end as i128);
+                assert!(start < end, "gen_range: empty range");
+                let width = (end - start) as u128;
+                let offset = (rng.next_u64() as u128) % width;
+                (start + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sampling!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+macro_rules! impl_float_sampling {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                // Uniform in [0, 1), like rand's Standard distribution.
+                ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) as $t
+            }
+        }
+        impl UniformSampled for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = range.start + (unit as $t) * (range.end - range.start);
+                // Casting the unit draw to f32 can round up to 1.0, which
+                // would land exactly on the exclusive upper bound.
+                if v >= range.end {
+                    range.start
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_sampling!(f32, f64);
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64: tiny, fast, passes BigCrush — the same niche rand's
+    /// `SmallRng` fills (a small non-crypto PRNG).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}

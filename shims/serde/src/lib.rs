@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits plus the no-op derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its AST types for
+//! API parity with the original Wasabi sources but never serializes
+//! through serde (the CLI uses the purpose-built `wasabi::json` module),
+//! so marker traits are sufficient.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives accept the same helper
+//! attributes as the real crate (`#[serde(...)]`) and expand to nothing.
+//! The workspace only tags types with `Serialize`/`Deserialize` for API
+//! parity with the original Wasabi; actual serialization goes through the
+//! hand-rolled `wasabi::json` module.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

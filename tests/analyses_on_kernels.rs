@@ -38,7 +38,8 @@ fn instruction_mix_total_matches_vm_instruction_count() {
     assert!(mix.counts()["f64.add"] > 0);
     assert!(mix.counts()["f64.mul"] > 0);
     assert_eq!(
-        mix.counts()["call"], 3, // main calls init, kernel, checksum
+        mix.counts()["call"],
+        3, // main calls init, kernel, checksum
     );
 }
 
@@ -102,10 +103,7 @@ fn call_graph_of_synthetic_app_is_rich() {
     session.run(&mut graph, "main", &[]).unwrap();
     assert!(graph.edges().len() > 10, "got {}", graph.edges().len());
     // The app performs indirect calls from main.
-    assert!(graph
-        .edges()
-        .keys()
-        .any(|&edge| graph.is_indirect(edge)));
+    assert!(graph.edges().keys().any(|&edge| graph.is_indirect(edge)));
 }
 
 #[test]

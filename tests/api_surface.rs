@@ -130,8 +130,12 @@ fn every_hook_can_fire() {
         f.i32_const(5).set_local(l);
         f.get_global(g).set_global(g);
         // memory
-        f.i32_const(0).i32_const(7).store(wasabi_repro::wasm::StoreOp::I32Store, 0);
-        f.i32_const(0).load(wasabi_repro::wasm::LoadOp::I32Load, 0).drop_();
+        f.i32_const(0)
+            .i32_const(7)
+            .store(wasabi_repro::wasm::StoreOp::I32Store, 0);
+        f.i32_const(0)
+            .load(wasabi_repro::wasm::LoadOp::I32Load, 0)
+            .drop_();
         f.memory_size().drop_();
         f.i32_const(0).memory_grow().drop_();
         // control flow

@@ -122,7 +122,10 @@ fn nesting_survives_iteration_heavy_loops() {
     builder.function("spin", &[ValType::I32], &[], |f| {
         let i = f.local(ValType::I32);
         f.block(None).loop_(None);
-        f.get_local(i).get_local(0u32).binary(BinaryOp::I32GeS).br_if(1);
+        f.get_local(i)
+            .get_local(0u32)
+            .binary(BinaryOp::I32GeS)
+            .br_if(1);
         f.get_local(i).i32_const(1).i32_add().set_local(i);
         f.br(0).end().end();
     });

@@ -17,7 +17,10 @@ fn assert_faithful(module: &Module, export: &str, args: &[Val]) -> Result<Vec<Va
     let mut instance = Instance::instantiate(module.clone(), &mut host).expect("instantiates");
     let original = instance.invoke_export(export, args, &mut host);
 
-    for hooks in [HookSet::all(), HookSet::of(&[Hook::End, Hook::Br, Hook::BrIf])] {
+    for hooks in [
+        HookSet::all(),
+        HookSet::of(&[Hook::End, Hook::Br, Hook::BrIf]),
+    ] {
         let session = AnalysisSession::new(module, hooks).expect("instruments");
         validate(session.module()).expect("instrumented fixture validates");
         let mut analysis = NoAnalysis;
@@ -109,9 +112,16 @@ fn loop_with_result_type() {
         f.loop_(Some(ValType::I32));
         // Leave i on the stack as the loop result; br_if consumes only the
         // comparison (branching back resets to the loop-entry height).
-        f.get_local(i).i32_const(1).i32_add().tee_local(i).set_local(i);
+        f.get_local(i)
+            .i32_const(1)
+            .i32_add()
+            .tee_local(i)
+            .set_local(i);
         f.get_local(i);
-        f.get_local(i).i32_const(3).binary(BinaryOp::I32LtS).br_if(0);
+        f.get_local(i)
+            .i32_const(3)
+            .binary(BinaryOp::I32LtS)
+            .br_if(0);
         f.end();
         f.drop_();
         f.get_local(i);
@@ -181,11 +191,13 @@ fn wide_mixed_type_call_signature() {
     let callee = builder.function("", &params, &[ValType::I64], |f| {
         // Fold everything into an i64.
         f.get_local(0u32);
-        f.get_local(1u32).unary(wasabi_repro::wasm::UnaryOp::I64ExtendSI32);
+        f.get_local(1u32)
+            .unary(wasabi_repro::wasm::UnaryOp::I64ExtendSI32);
         f.binary(BinaryOp::I64Add);
         f.get_local(3u32).binary(BinaryOp::I64Xor);
         f.get_local(5u32).binary(BinaryOp::I64Sub);
-        f.get_local(6u32).unary(wasabi_repro::wasm::UnaryOp::I64ExtendSI32);
+        f.get_local(6u32)
+            .unary(wasabi_repro::wasm::UnaryOp::I64ExtendSI32);
         f.binary(BinaryOp::I64Mul);
     });
     builder.function("f", &[], &[ValType::I64], |f| {
@@ -298,7 +310,10 @@ fn large_br_table_with_end_replay() {
         f.br_table((0..ARMS).collect(), ARMS);
         f.end();
         for arm in 0..ARMS {
-            f.get_local(acc).i32_const(arm as i32).i32_add().set_local(acc);
+            f.get_local(acc)
+                .i32_const(arm as i32)
+                .i32_add()
+                .set_local(acc);
             f.end();
         }
         f.get_local(acc);

@@ -18,7 +18,9 @@ const PROBLEM_SIZE: u32 = 6;
 fn run_original(module: &Module) -> (Vec<Val>, u64) {
     let mut host = EmptyHost;
     let mut instance = Instance::instantiate(module.clone(), &mut host).expect("instantiates");
-    let results = instance.invoke_export("main", &[], &mut host).expect("runs");
+    let results = instance
+        .invoke_export("main", &[], &mut host)
+        .expect("runs");
     let checksum = instance.memory().map_or(0, |m| m.checksum());
     (results, checksum)
 }
@@ -29,7 +31,9 @@ fn run_instrumented(module: &Module, hooks: HookSet) -> (Vec<Val>, u64) {
     let mut host = WasabiHost::new(session.info(), &mut analysis);
     let mut instance =
         Instance::instantiate(session.module().clone(), &mut host).expect("instantiates");
-    let results = instance.invoke_export("main", &[], &mut host).expect("runs");
+    let results = instance
+        .invoke_export("main", &[], &mut host)
+        .expect("runs");
     let checksum = instance.memory().map_or(0, |m| m.checksum());
     (results, checksum)
 }

@@ -39,7 +39,10 @@ fn value_bytes(value: Val, width: u32) -> Vec<u8> {
 impl Analysis for ShadowChecker {
     fn store(&mut self, _: Location, op: StoreOp, memarg: MemArg, value: Val) {
         let base = memarg.effective_addr();
-        for (i, byte) in value_bytes(value, op.access_bytes()).into_iter().enumerate() {
+        for (i, byte) in value_bytes(value, op.access_bytes())
+            .into_iter()
+            .enumerate()
+        {
             self.memory.insert(base + i as u64, byte);
         }
     }

@@ -1,0 +1,93 @@
+//! The minimal end-to-end proof that the workspace is wired correctly:
+//! build a tiny module, instrument it with a single hook
+//! (`HookSet::of(&[Hook::Binary])`), execute it on the VM, and assert
+//! both that the computation is unchanged and that the hook actually
+//! fired with the right operands.
+
+use wasabi_repro::core::hooks::{Analysis, Hook, HookSet};
+use wasabi_repro::core::location::Location;
+use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::wasm::builder::ModuleBuilder;
+use wasabi_repro::wasm::{BinaryOp, Val, ValType};
+
+/// Records every `binary` hook invocation.
+#[derive(Default)]
+struct BinarySpy {
+    calls: Vec<(BinaryOp, Val, Val, Val)>,
+}
+
+impl Analysis for BinarySpy {
+    fn hooks(&self) -> HookSet {
+        HookSet::of(&[Hook::Binary])
+    }
+
+    fn binary(&mut self, _loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {
+        self.calls.push((op, first, second, result));
+    }
+}
+
+#[test]
+fn binary_hook_fires_end_to_end() {
+    // f(x) = x * 3 + 1 — two binary instructions per invocation.
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32)
+            .i32_const(3)
+            .i32_mul()
+            .i32_const(1)
+            .i32_add();
+    });
+    let module = builder.finish();
+
+    let mut spy = BinarySpy::default();
+    let session = AnalysisSession::for_analysis(&module, &spy).expect("instruments");
+    let result = session.run(&mut spy, "f", &[Val::I32(5)]).expect("runs");
+
+    // The instrumented module computes the same result as the original
+    // program would...
+    assert_eq!(result, vec![Val::I32(16)]);
+
+    // ...and the Binary hook observed both operations with exact operands.
+    assert_eq!(
+        spy.calls,
+        vec![
+            (BinaryOp::I32Mul, Val::I32(5), Val::I32(3), Val::I32(15)),
+            (BinaryOp::I32Add, Val::I32(15), Val::I32(1), Val::I32(16)),
+        ]
+    );
+}
+
+#[test]
+fn selective_instrumentation_skips_other_hooks() {
+    // With only the Binary hook enabled, a call-free, memory-free function
+    // must trigger no hook other than `binary` — checked indirectly: the
+    // spy above observed exactly the two binary ops and `run` succeeded,
+    // so here assert the complementary case of an empty hook set.
+    #[derive(Default)]
+    struct CountEverything {
+        binaries: usize,
+    }
+    impl Analysis for CountEverything {
+        fn hooks(&self) -> HookSet {
+            HookSet::empty()
+        }
+        fn binary(&mut self, _: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
+            self.binaries += 1;
+        }
+    }
+
+    let mut builder = ModuleBuilder::new();
+    builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32).i32_const(2).i32_mul();
+    });
+    let module = builder.finish();
+
+    let mut analysis = CountEverything::default();
+    let session = AnalysisSession::for_analysis(&module, &analysis).expect("instruments");
+    let result = session
+        .run(&mut analysis, "f", &[Val::I32(21)])
+        .expect("runs");
+
+    assert_eq!(result, vec![Val::I32(42)]);
+    assert_eq!(analysis.binaries, 0, "no hooks enabled, none may fire");
+}

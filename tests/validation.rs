@@ -32,8 +32,7 @@ fn all_kernels_fully_instrumented_validate() {
 fn every_single_hook_instrumentation_validates() {
     let module = compile(&polybench::by_name("ludcmp", 8).expect("known"));
     for hook in Hook::ALL {
-        let (instrumented, _) =
-            instrument(&module, HookSet::of(&[hook])).expect("instruments");
+        let (instrumented, _) = instrument(&module, HookSet::of(&[hook])).expect("instruments");
         validate(&instrumented)
             .unwrap_or_else(|e| panic!("hook {hook}: instrumented module invalid: {e}"));
     }
@@ -59,7 +58,10 @@ fn synthetic_apps_instrumented_validate() {
 fn instrumentation_reports_original_function_info() {
     let module = compile(&polybench::by_name("gemm", 8).expect("known"));
     let (_, info) = instrument(&module, HookSet::all()).expect("instruments");
-    assert_eq!(info.original_function_count as usize, module.functions.len());
+    assert_eq!(
+        info.original_function_count as usize,
+        module.functions.len()
+    );
     // init, kernel, checksum, main.
     let exports: Vec<&str> = info
         .functions
