@@ -12,4 +12,19 @@ cargo test -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Downstream-consumer smoke: every example must build AND run, so an API
+# break in examples/ fails CI, not the next user.
+echo "==> examples"
+for example in examples/*.rs; do
+    name="$(basename "$example" .rs)"
+    echo "    running example: $name"
+    cargo run --release -q -p wasabi-repro --example "$name" >/dev/null
+done
+
+echo "==> bench smoke (fig9 --smoke)"
+cargo run --release -q -p wasabi-bench --bin fig9 -- --smoke >/dev/null
+
+echo "==> bench smoke (pipeline --smoke)"
+cargo run --release -q -p wasabi-bench --bin pipeline -- --smoke --out /tmp/BENCH_pipeline_smoke.json >/dev/null
+
 echo "ci.sh: all checks passed"

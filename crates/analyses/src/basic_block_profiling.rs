@@ -4,8 +4,10 @@
 
 use std::collections::HashMap;
 
+use wasabi::event::{AnalysisCtx, BlockEvt};
 use wasabi::hooks::{Analysis, BlockKind, Hook, HookSet};
 use wasabi::location::Location;
+use wasabi::report::{JsonValue, Report};
 
 /// Counts entries of every function, block, loop, if, and else body.
 #[derive(Debug, Default, Clone)]
@@ -46,12 +48,41 @@ impl BasicBlockProfiling {
 }
 
 impl Analysis for BasicBlockProfiling {
+    fn name(&self) -> &str {
+        "basic_block_profiling"
+    }
+
     fn hooks(&self) -> HookSet {
         HookSet::of(&[Hook::Begin])
     }
 
-    fn begin(&mut self, loc: Location, kind: BlockKind) {
-        *self.counts.entry((loc, kind)).or_insert(0) += 1;
+    fn report(&self) -> Report {
+        let mut blocks: Vec<(&(Location, BlockKind), &u64)> = self.counts.iter().collect();
+        blocks.sort_by(|a, b| {
+            b.1.cmp(a.1)
+                .then(a.0 .0.cmp(&b.0 .0))
+                .then(a.0 .1.name().cmp(b.0 .1.name()))
+        });
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                ("blocks", self.counts.len().into()),
+                (
+                    "entries",
+                    JsonValue::array(blocks.into_iter().map(|(&(loc, kind), &count)| {
+                        JsonValue::object([
+                            ("location", loc.into()),
+                            ("kind", kind.name().into()),
+                            ("count", count.into()),
+                        ])
+                    })),
+                ),
+            ]),
+        )
+    }
+
+    fn begin(&mut self, ctx: &AnalysisCtx, evt: &BlockEvt) {
+        *self.counts.entry((ctx.loc, evt.kind)).or_insert(0) += 1;
     }
 }
 

@@ -6,10 +6,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use wasabi::event::{AnalysisCtx, CallEvt};
 use wasabi::hooks::{Analysis, Hook, HookSet};
-use wasabi::location::Location;
+use wasabi::report::{JsonValue, Report};
 use wasabi::ModuleInfo;
-use wasabi_wasm::instr::Val;
 
 /// A directed call edge `caller -> callee` (original function indices).
 pub type Edge = (u32, u32);
@@ -84,14 +84,35 @@ impl CallGraph {
 }
 
 impl Analysis for CallGraph {
+    fn name(&self) -> &str {
+        "call_graph"
+    }
+
     fn hooks(&self) -> HookSet {
         HookSet::of(&[Hook::CallPre])
     }
 
-    fn call_pre(&mut self, loc: Location, func: u32, _: &[Val], table_index: Option<u32>) {
-        let edge = (loc.func, func);
+    fn report(&self) -> Report {
+        Report::new(
+            self.name(),
+            JsonValue::object([(
+                "edges",
+                JsonValue::array(self.edges.iter().map(|(&(caller, callee), &count)| {
+                    JsonValue::object([
+                        ("caller", caller.into()),
+                        ("callee", callee.into()),
+                        ("count", count.into()),
+                        ("indirect", self.is_indirect((caller, callee)).into()),
+                    ])
+                })),
+            )]),
+        )
+    }
+
+    fn call_pre(&mut self, ctx: &AnalysisCtx, evt: &CallEvt<'_>) {
+        let edge = (ctx.loc.func, evt.func);
         *self.edges.entry(edge).or_insert(0) += 1;
-        if table_index.is_some() {
+        if evt.is_indirect() {
             self.indirect.insert(edge);
         }
     }

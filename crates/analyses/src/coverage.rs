@@ -8,10 +8,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use wasabi::hooks::{Analysis, BlockKind, Hook, HookSet, MemArg};
-use wasabi::location::{BranchTarget, Location};
+use wasabi::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, EndEvt, GlobalEvt, IfEvt,
+    LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt, UnaryEvt, ValEvt,
+};
+use wasabi::hooks::{Analysis, Hook, HookSet};
+use wasabi::location::Location;
+use wasabi::report::{JsonValue, Report};
 use wasabi::ModuleInfo;
-use wasabi_wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
 
 /// Records which instructions executed at least once. Uses all hooks.
 #[derive(Debug, Default, Clone)]
@@ -59,68 +63,93 @@ impl InstructionCoverage {
 impl Analysis for InstructionCoverage {
     // All hooks: every instruction kind must be observable.
 
-    fn nop(&mut self, loc: Location) {
-        self.mark(loc);
+    fn name(&self) -> &str {
+        "instruction_coverage"
     }
-    fn unreachable(&mut self, loc: Location) {
-        self.mark(loc);
+
+    fn report(&self) -> Report {
+        let mut per_function: BTreeMap<u32, u64> = BTreeMap::new();
+        for loc in &self.covered {
+            *per_function.entry(loc.func).or_insert(0) += 1;
+        }
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                ("covered_instructions", self.covered.len().into()),
+                (
+                    "per_function",
+                    JsonValue::object(
+                        per_function
+                            .into_iter()
+                            .map(|(func, count)| (func.to_string(), JsonValue::from(count))),
+                    ),
+                ),
+            ]),
+        )
     }
-    fn if_(&mut self, loc: Location, _: bool) {
-        self.mark(loc);
+
+    fn nop(&mut self, ctx: &AnalysisCtx) {
+        self.mark(ctx.loc);
     }
-    fn br(&mut self, loc: Location, _: BranchTarget) {
-        self.mark(loc);
+    fn unreachable(&mut self, ctx: &AnalysisCtx) {
+        self.mark(ctx.loc);
     }
-    fn br_if(&mut self, loc: Location, _: BranchTarget, _: bool) {
-        self.mark(loc);
+    fn if_(&mut self, ctx: &AnalysisCtx, _: &IfEvt) {
+        self.mark(ctx.loc);
     }
-    fn br_table(&mut self, loc: Location, _: &[BranchTarget], _: BranchTarget, _: u32) {
-        self.mark(loc);
+    fn br(&mut self, ctx: &AnalysisCtx, _: &BranchEvt) {
+        self.mark(ctx.loc);
     }
-    fn begin(&mut self, loc: Location, _: BlockKind) {
-        self.mark(loc);
+    fn br_if(&mut self, ctx: &AnalysisCtx, _: &BranchEvt) {
+        self.mark(ctx.loc);
     }
-    fn end(&mut self, loc: Location, _: BlockKind, _: Location) {
-        self.mark(loc);
+    fn br_table(&mut self, ctx: &AnalysisCtx, _: &BranchTableEvt<'_>) {
+        self.mark(ctx.loc);
     }
-    fn memory_size(&mut self, loc: Location, _: u32) {
-        self.mark(loc);
+    fn begin(&mut self, ctx: &AnalysisCtx, _: &BlockEvt) {
+        self.mark(ctx.loc);
     }
-    fn memory_grow(&mut self, loc: Location, _: u32, _: i32) {
-        self.mark(loc);
+    fn end(&mut self, ctx: &AnalysisCtx, _: &EndEvt) {
+        self.mark(ctx.loc);
     }
-    fn const_(&mut self, loc: Location, _: Val) {
-        self.mark(loc);
+    fn memory_size(&mut self, ctx: &AnalysisCtx, _: &MemSizeEvt) {
+        self.mark(ctx.loc);
     }
-    fn drop_(&mut self, loc: Location, _: Val) {
-        self.mark(loc);
+    fn memory_grow(&mut self, ctx: &AnalysisCtx, _: &MemGrowEvt) {
+        self.mark(ctx.loc);
     }
-    fn select(&mut self, loc: Location, _: bool, _: Val, _: Val) {
-        self.mark(loc);
+    fn const_(&mut self, ctx: &AnalysisCtx, _: &ValEvt) {
+        self.mark(ctx.loc);
     }
-    fn unary(&mut self, loc: Location, _: UnaryOp, _: Val, _: Val) {
-        self.mark(loc);
+    fn drop_(&mut self, ctx: &AnalysisCtx, _: &ValEvt) {
+        self.mark(ctx.loc);
     }
-    fn binary(&mut self, loc: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
-        self.mark(loc);
+    fn select(&mut self, ctx: &AnalysisCtx, _: &SelectEvt) {
+        self.mark(ctx.loc);
     }
-    fn load(&mut self, loc: Location, _: LoadOp, _: MemArg, _: Val) {
-        self.mark(loc);
+    fn unary(&mut self, ctx: &AnalysisCtx, _: &UnaryEvt) {
+        self.mark(ctx.loc);
     }
-    fn store(&mut self, loc: Location, _: StoreOp, _: MemArg, _: Val) {
-        self.mark(loc);
+    fn binary(&mut self, ctx: &AnalysisCtx, _: &BinaryEvt) {
+        self.mark(ctx.loc);
     }
-    fn local(&mut self, loc: Location, _: LocalOp, _: u32, _: Val) {
-        self.mark(loc);
+    fn load(&mut self, ctx: &AnalysisCtx, _: &LoadEvt) {
+        self.mark(ctx.loc);
     }
-    fn global(&mut self, loc: Location, _: GlobalOp, _: u32, _: Val) {
-        self.mark(loc);
+    fn store(&mut self, ctx: &AnalysisCtx, _: &StoreEvt) {
+        self.mark(ctx.loc);
     }
-    fn return_(&mut self, loc: Location, _: &[Val]) {
-        self.mark(loc);
+    fn local(&mut self, ctx: &AnalysisCtx, _: &LocalEvt) {
+        self.mark(ctx.loc);
     }
-    fn call_pre(&mut self, loc: Location, _: u32, _: &[Val], _: Option<u32>) {
-        self.mark(loc);
+    fn global(&mut self, ctx: &AnalysisCtx, _: &GlobalEvt) {
+        self.mark(ctx.loc);
+    }
+    fn return_(&mut self, ctx: &AnalysisCtx, _: &ReturnEvt<'_>) {
+        self.mark(ctx.loc);
+    }
+    fn call_pre(&mut self, ctx: &AnalysisCtx, _: &CallEvt<'_>) {
+        self.mark(ctx.loc);
     }
 }
 
@@ -162,22 +191,45 @@ impl BranchCoverage {
 }
 
 impl Analysis for BranchCoverage {
+    fn name(&self) -> &str {
+        "branch_coverage"
+    }
+
     fn hooks(&self) -> HookSet {
         // Exactly the four hooks of the paper's Figure 7.
         HookSet::of(&[Hook::If, Hook::BrIf, Hook::BrTable, Hook::Select])
     }
 
-    fn if_(&mut self, loc: Location, condition: bool) {
-        self.add_branch(loc, u32::from(condition));
+    fn report(&self) -> Report {
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                ("branches", self.branches.len().into()),
+                ("partially_covered", self.partially_covered().len().into()),
+                (
+                    "outcomes",
+                    JsonValue::array(self.branches.iter().map(|(&loc, outcomes)| {
+                        JsonValue::object([
+                            ("location", loc.into()),
+                            ("seen", JsonValue::array(outcomes.iter().map(|&o| o.into()))),
+                        ])
+                    })),
+                ),
+            ]),
+        )
     }
-    fn br_if(&mut self, loc: Location, _: BranchTarget, condition: bool) {
-        self.add_branch(loc, u32::from(condition));
+
+    fn if_(&mut self, ctx: &AnalysisCtx, evt: &IfEvt) {
+        self.add_branch(ctx.loc, u32::from(evt.condition));
     }
-    fn br_table(&mut self, loc: Location, _: &[BranchTarget], _: BranchTarget, index: u32) {
-        self.add_branch(loc, index);
+    fn br_if(&mut self, ctx: &AnalysisCtx, evt: &BranchEvt) {
+        self.add_branch(ctx.loc, u32::from(evt.taken()));
     }
-    fn select(&mut self, loc: Location, condition: bool, _: Val, _: Val) {
-        self.add_branch(loc, u32::from(condition));
+    fn br_table(&mut self, ctx: &AnalysisCtx, evt: &BranchTableEvt<'_>) {
+        self.add_branch(ctx.loc, evt.index);
+    }
+    fn select(&mut self, ctx: &AnalysisCtx, evt: &SelectEvt) {
+        self.add_branch(ctx.loc, u32::from(evt.condition));
     }
 }
 
@@ -186,6 +238,7 @@ mod tests {
     use super::*;
     use wasabi::AnalysisSession;
     use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::instr::Val;
     use wasabi_wasm::types::ValType;
 
     fn branchy_module() -> wasabi_wasm::Module {

@@ -6,9 +6,10 @@
 
 use std::collections::BTreeMap;
 
+use wasabi::event::{AnalysisCtx, BinaryEvt};
 use wasabi::hooks::{Analysis, Hook, HookSet};
-use wasabi::location::Location;
-use wasabi_wasm::instr::{BinaryOp, Val};
+use wasabi::report::{JsonValue, Report};
+use wasabi_wasm::instr::BinaryOp;
 
 /// The five instructions profiled by the paper's Figure 1.
 pub const SIGNATURE_OPS: [BinaryOp; 5] = [
@@ -64,15 +65,38 @@ impl CryptominerDetection {
 }
 
 impl Analysis for CryptominerDetection {
+    fn name(&self) -> &str {
+        "cryptominer_detection"
+    }
+
     fn hooks(&self) -> HookSet {
         // Figure 1 implements only the `binary` hook.
         HookSet::of(&[Hook::Binary])
     }
 
-    fn binary(&mut self, _: Location, op: BinaryOp, _: Val, _: Val, _: Val) {
+    fn report(&self) -> Report {
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                (
+                    "signature",
+                    JsonValue::object(
+                        self.signature
+                            .iter()
+                            .map(|(&op, &count)| (op, JsonValue::from(count))),
+                    ),
+                ),
+                ("total_binary", self.total_binary.into()),
+                ("signature_ratio", self.signature_ratio().into()),
+                ("likely_miner", self.is_likely_miner().into()),
+            ]),
+        )
+    }
+
+    fn binary(&mut self, _: &AnalysisCtx, evt: &BinaryEvt) {
         self.total_binary += 1;
-        if SIGNATURE_OPS.contains(&op) {
-            *self.signature.entry(op.name()).or_insert(0) += 1;
+        if SIGNATURE_OPS.contains(&evt.op) {
+            *self.signature.entry(evt.op.name()).or_insert(0) += 1;
         }
     }
 }

@@ -9,9 +9,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use wasabi::hooks::{Analysis, Hook, HookSet, MemArg};
+use wasabi::event::{AnalysisCtx, MemGrowEvt, MemSizeEvt, StoreEvt};
+use wasabi::hooks::{Analysis, Hook, HookSet};
 use wasabi::location::Location;
-use wasabi_wasm::instr::{StoreOp, Val};
+use wasabi::report::{JsonValue, Report};
 use wasabi_wasm::types::PAGE_SIZE;
 
 /// One observed `memory.grow`.
@@ -75,30 +76,56 @@ impl HeapProfile {
 }
 
 impl Analysis for HeapProfile {
+    fn name(&self) -> &str {
+        "heap_profile"
+    }
+
     fn hooks(&self) -> HookSet {
         HookSet::of(&[Hook::MemorySize, Hook::MemoryGrow, Hook::Store])
     }
 
-    fn memory_size(&mut self, _: Location, current_pages: u32) {
-        self.peak_pages = self.peak_pages.max(current_pages);
+    fn report(&self) -> Report {
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                ("peak_pages", self.peak_pages.into()),
+                ("bytes_written", self.bytes_written.into()),
+                ("written_pages", self.written_pages.len().into()),
+                ("write_utilization", self.write_utilization().into()),
+                (
+                    "grows",
+                    JsonValue::array(self.grows.iter().map(|grow| {
+                        JsonValue::object([
+                            ("location", grow.location.into()),
+                            ("delta_pages", grow.delta_pages.into()),
+                            ("previous_pages", grow.previous_pages.into()),
+                        ])
+                    })),
+                ),
+            ]),
+        )
     }
 
-    fn memory_grow(&mut self, location: Location, delta_pages: u32, previous_pages: i32) {
+    fn memory_size(&mut self, _: &AnalysisCtx, evt: &MemSizeEvt) {
+        self.peak_pages = self.peak_pages.max(evt.pages);
+    }
+
+    fn memory_grow(&mut self, ctx: &AnalysisCtx, evt: &MemGrowEvt) {
         self.grows.push(GrowEvent {
-            location,
-            delta_pages,
-            previous_pages,
+            location: ctx.loc,
+            delta_pages: evt.delta,
+            previous_pages: evt.previous_pages,
         });
-        if previous_pages >= 0 {
-            self.peak_pages = self.peak_pages.max(previous_pages as u32 + delta_pages);
+        if evt.previous_pages >= 0 {
+            self.peak_pages = self.peak_pages.max(evt.previous_pages as u32 + evt.delta);
         }
     }
 
-    fn store(&mut self, _: Location, op: StoreOp, memarg: MemArg, _: Val) {
-        let bytes = u64::from(op.access_bytes());
+    fn store(&mut self, _: &AnalysisCtx, evt: &StoreEvt) {
+        let bytes = u64::from(evt.op.access_bytes());
         self.bytes_written += bytes;
-        let first_page = (memarg.effective_addr() / u64::from(PAGE_SIZE)) as u32;
-        let last_page = ((memarg.effective_addr() + bytes - 1) / u64::from(PAGE_SIZE)) as u32;
+        let first_page = (evt.memarg.effective_addr() / u64::from(PAGE_SIZE)) as u32;
+        let last_page = ((evt.memarg.effective_addr() + bytes - 1) / u64::from(PAGE_SIZE)) as u32;
         for page in first_page..=last_page {
             self.written_pages.insert(page);
             *self.writes_per_page.entry(page).or_insert(0) += 1;
@@ -112,6 +139,7 @@ mod tests {
     use super::*;
     use wasabi::AnalysisSession;
     use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::instr::StoreOp;
 
     fn growing_module() -> wasabi_wasm::Module {
         let mut builder = ModuleBuilder::new();

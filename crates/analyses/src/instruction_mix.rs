@@ -4,9 +4,13 @@
 
 use std::collections::BTreeMap;
 
-use wasabi::hooks::{Analysis, BlockKind, MemArg};
-use wasabi::location::{BranchTarget, Location};
-use wasabi_wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+use wasabi::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, GlobalEvt, IfEvt,
+    LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt, UnaryEvt, ValEvt,
+};
+use wasabi::hooks::{Analysis, BlockKind};
+use wasabi::report::{JsonValue, Report};
+use wasabi_wasm::instr::Val;
 
 /// Counts executed instructions by mnemonic. Uses all hooks.
 #[derive(Debug, Default, Clone)]
@@ -47,74 +51,95 @@ impl InstructionMix {
 impl Analysis for InstructionMix {
     // Default `hooks()` = all hooks: this analysis observes everything.
 
-    fn nop(&mut self, _: Location) {
+    fn name(&self) -> &str {
+        "instruction_mix"
+    }
+
+    fn report(&self) -> Report {
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                ("total", self.total().into()),
+                (
+                    "counts",
+                    JsonValue::object(
+                        self.counts
+                            .iter()
+                            .map(|(&name, &count)| (name, JsonValue::from(count))),
+                    ),
+                ),
+            ]),
+        )
+    }
+
+    fn nop(&mut self, _: &AnalysisCtx) {
         self.bump("nop");
     }
-    fn unreachable(&mut self, _: Location) {
+    fn unreachable(&mut self, _: &AnalysisCtx) {
         self.bump("unreachable");
     }
-    fn if_(&mut self, _: Location, _: bool) {
+    fn if_(&mut self, _: &AnalysisCtx, _: &IfEvt) {
         self.bump("if");
     }
-    fn br(&mut self, _: Location, _: BranchTarget) {
+    fn br(&mut self, _: &AnalysisCtx, _: &BranchEvt) {
         self.bump("br");
     }
-    fn br_if(&mut self, _: Location, _: BranchTarget, _: bool) {
+    fn br_if(&mut self, _: &AnalysisCtx, _: &BranchEvt) {
         self.bump("br_if");
     }
-    fn br_table(&mut self, _: Location, _: &[BranchTarget], _: BranchTarget, _: u32) {
+    fn br_table(&mut self, _: &AnalysisCtx, _: &BranchTableEvt<'_>) {
         self.bump("br_table");
     }
-    fn begin(&mut self, _: Location, kind: BlockKind) {
-        match kind {
+    fn begin(&mut self, _: &AnalysisCtx, evt: &BlockEvt) {
+        match evt.kind {
             BlockKind::Block => self.bump("block"),
             BlockKind::Loop => self.bump("loop"),
             _ => {}
         }
     }
-    fn memory_size(&mut self, _: Location, _: u32) {
+    fn memory_size(&mut self, _: &AnalysisCtx, _: &MemSizeEvt) {
         self.bump("memory.size");
     }
-    fn memory_grow(&mut self, _: Location, _: u32, _: i32) {
+    fn memory_grow(&mut self, _: &AnalysisCtx, _: &MemGrowEvt) {
         self.bump("memory.grow");
     }
-    fn const_(&mut self, _: Location, value: Val) {
-        self.bump(match value {
+    fn const_(&mut self, _: &AnalysisCtx, evt: &ValEvt) {
+        self.bump(match evt.value {
             Val::I32(_) => "i32.const",
             Val::I64(_) => "i64.const",
             Val::F32(_) => "f32.const",
             Val::F64(_) => "f64.const",
         });
     }
-    fn drop_(&mut self, _: Location, _: Val) {
+    fn drop_(&mut self, _: &AnalysisCtx, _: &ValEvt) {
         self.bump("drop");
     }
-    fn select(&mut self, _: Location, _: bool, _: Val, _: Val) {
+    fn select(&mut self, _: &AnalysisCtx, _: &SelectEvt) {
         self.bump("select");
     }
-    fn unary(&mut self, _: Location, op: UnaryOp, _: Val, _: Val) {
-        self.bump(op.name());
+    fn unary(&mut self, _: &AnalysisCtx, evt: &UnaryEvt) {
+        self.bump(evt.op.name());
     }
-    fn binary(&mut self, _: Location, op: BinaryOp, _: Val, _: Val, _: Val) {
-        self.bump(op.name());
+    fn binary(&mut self, _: &AnalysisCtx, evt: &BinaryEvt) {
+        self.bump(evt.op.name());
     }
-    fn load(&mut self, _: Location, op: LoadOp, _: MemArg, _: Val) {
-        self.bump(op.name());
+    fn load(&mut self, _: &AnalysisCtx, evt: &LoadEvt) {
+        self.bump(evt.op.name());
     }
-    fn store(&mut self, _: Location, op: StoreOp, _: MemArg, _: Val) {
-        self.bump(op.name());
+    fn store(&mut self, _: &AnalysisCtx, evt: &StoreEvt) {
+        self.bump(evt.op.name());
     }
-    fn local(&mut self, _: Location, op: LocalOp, _: u32, _: Val) {
-        self.bump(op.name());
+    fn local(&mut self, _: &AnalysisCtx, evt: &LocalEvt) {
+        self.bump(evt.op.name());
     }
-    fn global(&mut self, _: Location, op: GlobalOp, _: u32, _: Val) {
-        self.bump(op.name());
+    fn global(&mut self, _: &AnalysisCtx, evt: &GlobalEvt) {
+        self.bump(evt.op.name());
     }
-    fn return_(&mut self, _: Location, _: &[Val]) {
+    fn return_(&mut self, _: &AnalysisCtx, _: &ReturnEvt<'_>) {
         self.bump("return");
     }
-    fn call_pre(&mut self, _: Location, _: u32, _: &[Val], table_index: Option<u32>) {
-        self.bump(if table_index.is_some() {
+    fn call_pre(&mut self, _: &AnalysisCtx, evt: &CallEvt<'_>) {
+        self.bump(if evt.is_indirect() {
             "call_indirect"
         } else {
             "call"

@@ -26,6 +26,7 @@ pub mod cryptominer;
 pub mod heap_profile;
 pub mod instruction_mix;
 pub mod memory_tracing;
+pub mod registry;
 pub mod taint;
 
 pub use basic_block_profiling::BasicBlockProfiling;

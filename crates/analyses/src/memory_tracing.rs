@@ -2,9 +2,10 @@
 //! accesses and stores them for a later off-line analysis, e.g., to detect
 //! cache-unfriendly access patterns."
 
-use wasabi::hooks::{Analysis, Hook, HookSet, MemArg};
+use wasabi::event::{AnalysisCtx, LoadEvt, StoreEvt};
+use wasabi::hooks::{Analysis, Hook, HookSet};
 use wasabi::location::Location;
-use wasabi_wasm::instr::{LoadOp, StoreOp, Val};
+use wasabi::report::{JsonValue, Report};
 
 /// Direction of a traced access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,33 +90,62 @@ impl MemoryTracing {
             .filter(|(_, count)| *count > 1)
             .map(|((loc, stride), count)| (loc, stride, count))
             .collect();
-        out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         out
     }
 }
 
 impl Analysis for MemoryTracing {
+    fn name(&self) -> &str {
+        "memory_tracing"
+    }
+
     fn hooks(&self) -> HookSet {
         HookSet::of(&[Hook::Load, Hook::Store])
     }
 
-    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, _: Val) {
+    fn report(&self) -> Report {
+        let (read, written) = self.bytes_transferred();
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                ("accesses", self.trace.len().into()),
+                ("bytes_read", read.into()),
+                ("bytes_written", written.into()),
+                ("cache_line_locality", self.locality(64).into()),
+                (
+                    "dominant_strides",
+                    JsonValue::array(self.strides().into_iter().take(8).map(
+                        |(loc, stride, reps)| {
+                            JsonValue::object([
+                                ("location", loc.into()),
+                                ("stride", stride.into()),
+                                ("repetitions", reps.into()),
+                            ])
+                        },
+                    )),
+                ),
+            ]),
+        )
+    }
+
+    fn load(&mut self, ctx: &AnalysisCtx, evt: &LoadEvt) {
         self.trace.push(Access {
             kind: AccessKind::Load,
-            op: op.name(),
-            addr: memarg.effective_addr(),
-            bytes: op.access_bytes(),
-            location: loc,
+            op: evt.op.name(),
+            addr: evt.memarg.effective_addr(),
+            bytes: evt.op.access_bytes(),
+            location: ctx.loc,
         });
     }
 
-    fn store(&mut self, loc: Location, op: StoreOp, memarg: MemArg, _: Val) {
+    fn store(&mut self, ctx: &AnalysisCtx, evt: &StoreEvt) {
         self.trace.push(Access {
             kind: AccessKind::Store,
-            op: op.name(),
-            addr: memarg.effective_addr(),
-            bytes: op.access_bytes(),
-            location: loc,
+            op: evt.op.name(),
+            addr: evt.memarg.effective_addr(),
+            bytes: evt.op.access_bytes(),
+            location: ctx.loc,
         });
     }
 }

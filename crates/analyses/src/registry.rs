@@ -1,0 +1,86 @@
+//! Name-based analysis registry, used by the `wasabi` CLI's `--analysis`
+//! flag and the bench bins to construct analyses dynamically.
+
+use wasabi::Analysis;
+
+use crate::{
+    BasicBlockProfiling, BranchCoverage, CallGraph, CryptominerDetection, HeapProfile,
+    InstructionCoverage, InstructionMix, MemoryTracing, TaintAnalysis,
+};
+
+/// All registered analysis names, in Table-4 order plus the extension
+/// analysis. These are the values accepted by the CLI's `--analysis` flag
+/// and returned by [`wasabi::Analysis::name`].
+pub const NAMES: [&str; 9] = [
+    "instruction_mix",
+    "basic_block_profiling",
+    "instruction_coverage",
+    "branch_coverage",
+    "call_graph",
+    "taint_analysis",
+    "cryptominer_detection",
+    "memory_tracing",
+    "heap_profile",
+];
+
+/// The eight analyses of paper Table 4 (excludes the `heap_profile`
+/// extension), in table order.
+pub const TABLE4_NAMES: [&str; 8] = [
+    "instruction_mix",
+    "basic_block_profiling",
+    "instruction_coverage",
+    "branch_coverage",
+    "call_graph",
+    "taint_analysis",
+    "cryptominer_detection",
+    "memory_tracing",
+];
+
+/// Construct a fresh analysis by name (see [`NAMES`]). The taint analysis
+/// is constructed without configured sources/sinks; it still exercises its
+/// full shadow-state machinery.
+pub fn by_name(name: &str) -> Option<Box<dyn Analysis>> {
+    Some(match name {
+        "instruction_mix" => Box::new(InstructionMix::new()),
+        "basic_block_profiling" => Box::new(BasicBlockProfiling::new()),
+        "instruction_coverage" => Box::new(InstructionCoverage::new()),
+        "branch_coverage" => Box::new(BranchCoverage::new()),
+        "call_graph" => Box::new(CallGraph::new()),
+        "taint_analysis" => Box::new(TaintAnalysis::new(&[], &[])),
+        "cryptominer_detection" => Box::new(CryptominerDetection::new()),
+        "memory_tracing" => Box::new(MemoryTracing::new()),
+        "heap_profile" => Box::new(HeapProfile::new()),
+        _ => return None,
+    })
+}
+
+/// Fresh instances of the eight Table-4 analyses, in table order.
+pub fn table4() -> Vec<Box<dyn Analysis>> {
+    TABLE4_NAMES
+        .iter()
+        .map(|name| by_name(name).expect("registered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_constructs_and_matches() {
+        for name in NAMES {
+            let analysis = by_name(name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(analysis.name(), name, "registry key must match name()");
+        }
+        assert!(by_name("frobnicate").is_none());
+    }
+
+    #[test]
+    fn table4_has_the_papers_eight_analyses() {
+        let analyses = table4();
+        assert_eq!(analyses.len(), 8);
+        // Spot-check selective hook sets survive the registry.
+        let miner = by_name("cryptominer_detection").unwrap();
+        assert_eq!(miner.hooks().len(), 1);
+    }
+}

@@ -10,9 +10,15 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use wasabi::hooks::{Analysis, BlockKind, MemArg};
-use wasabi::location::{BranchTarget, Location};
-use wasabi_wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+use wasabi::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, CallPostEvt, EndEvt,
+    GlobalEvt, IfEvt, LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt,
+    UnaryEvt, ValEvt,
+};
+use wasabi::hooks::{Analysis, BlockKind};
+use wasabi::location::Location;
+use wasabi::report::{JsonValue, Report};
+use wasabi_wasm::instr::{GlobalOp, LocalOp};
 
 /// A taint label: clean, or tainted with the location that introduced it.
 pub type Taint = Option<Location>;
@@ -141,8 +147,32 @@ impl TaintAnalysis {
 impl Analysis for TaintAnalysis {
     // Default hooks() = all hooks, like the paper's JS taint analysis.
 
-    fn begin(&mut self, _: Location, kind: BlockKind) {
-        if kind == BlockKind::Function {
+    fn name(&self) -> &str {
+        "taint_analysis"
+    }
+
+    fn report(&self) -> Report {
+        Report::new(
+            self.name(),
+            JsonValue::object([
+                ("tainted_memory_bytes", self.tainted_memory_bytes().into()),
+                (
+                    "flows",
+                    JsonValue::array(self.flows.iter().map(|flow| {
+                        JsonValue::object([
+                            ("source", flow.source.into()),
+                            ("sink_call", flow.sink_call.into()),
+                            ("sink_func", flow.sink_func.into()),
+                            ("arg_index", flow.arg_index.into()),
+                        ])
+                    })),
+                ),
+            ]),
+        )
+    }
+
+    fn begin(&mut self, _: &AnalysisCtx, evt: &BlockEvt) {
+        if evt.kind == BlockKind::Function {
             let mut frame = Frame::default();
             if let Some(args) = self.pending_args.take() {
                 for (i, taint) in args.into_iter().enumerate() {
@@ -156,8 +186,8 @@ impl Analysis for TaintAnalysis {
         }
     }
 
-    fn end(&mut self, _: Location, kind: BlockKind, _: Location) {
-        if kind == BlockKind::Function {
+    fn end(&mut self, _: &AnalysisCtx, evt: &EndEvt) {
+        if evt.kind == BlockKind::Function {
             let frame = self.frames.pop().unwrap_or_default();
             if !frame.returned {
                 self.pending_results = frame.stack;
@@ -170,15 +200,16 @@ impl Analysis for TaintAnalysis {
         }
     }
 
-    fn const_(&mut self, _: Location, _: Val) {
+    fn const_(&mut self, _: &AnalysisCtx, _: &ValEvt) {
         self.frame().push(None);
     }
 
-    fn drop_(&mut self, _: Location, _: Val) {
+    fn drop_(&mut self, _: &AnalysisCtx, _: &ValEvt) {
         self.frame().pop();
     }
 
-    fn select(&mut self, _: Location, condition: bool, _: Val, _: Val) {
+    fn select(&mut self, _: &AnalysisCtx, evt: &SelectEvt) {
+        let condition = evt.condition;
         let frame = self.frame();
         let cond = frame.pop();
         let second = frame.pop();
@@ -187,22 +218,23 @@ impl Analysis for TaintAnalysis {
         frame.push(join(selected, cond));
     }
 
-    fn unary(&mut self, _: Location, _: UnaryOp, _: Val, _: Val) {
+    fn unary(&mut self, _: &AnalysisCtx, _: &UnaryEvt) {
         let frame = self.frame();
         let input = frame.pop();
         frame.push(input);
     }
 
-    fn binary(&mut self, _: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
+    fn binary(&mut self, _: &AnalysisCtx, _: &BinaryEvt) {
         let frame = self.frame();
         let second = frame.pop();
         let first = frame.pop();
         frame.push(join(first, second));
     }
 
-    fn local(&mut self, _: Location, op: LocalOp, index: u32, _: Val) {
+    fn local(&mut self, _: &AnalysisCtx, evt: &LocalEvt) {
+        let index = evt.index;
         let frame = self.frame();
-        match op {
+        match evt.op {
             LocalOp::Get => {
                 let taint = frame.locals.get(&index).copied().flatten();
                 frame.push(taint);
@@ -218,86 +250,86 @@ impl Analysis for TaintAnalysis {
         }
     }
 
-    fn global(&mut self, _: Location, op: GlobalOp, index: u32, _: Val) {
-        match op {
+    fn global(&mut self, _: &AnalysisCtx, evt: &GlobalEvt) {
+        match evt.op {
             GlobalOp::Get => {
-                let taint = self.globals.get(&index).copied().flatten();
+                let taint = self.globals.get(&evt.index).copied().flatten();
                 self.frame().push(taint);
             }
             GlobalOp::Set => {
                 let taint = self.frame().pop();
-                self.globals.insert(index, taint);
+                self.globals.insert(evt.index, taint);
             }
         }
     }
 
-    fn load(&mut self, _: Location, op: LoadOp, memarg: MemArg, _: Val) {
+    fn load(&mut self, _: &AnalysisCtx, evt: &LoadEvt) {
         let addr_taint = self.frame().pop();
-        let base = memarg.effective_addr();
+        let base = evt.memarg.effective_addr();
         let mut taint = addr_taint;
-        for offset in 0..u64::from(op.access_bytes()) {
+        for offset in 0..u64::from(evt.op.access_bytes()) {
             taint = join(taint, self.memory.get(&(base + offset)).copied().flatten());
         }
         self.frame().push(taint);
     }
 
-    fn store(&mut self, _: Location, op: StoreOp, memarg: MemArg, _: Val) {
+    fn store(&mut self, _: &AnalysisCtx, evt: &StoreEvt) {
         let frame = self.frame();
         let value_taint = frame.pop();
         let _addr_taint = frame.pop();
-        let base = memarg.effective_addr();
-        for offset in 0..u64::from(op.access_bytes()) {
+        let base = evt.memarg.effective_addr();
+        for offset in 0..u64::from(evt.op.access_bytes()) {
             self.memory.insert(base + offset, value_taint);
         }
     }
 
-    fn memory_size(&mut self, _: Location, _: u32) {
+    fn memory_size(&mut self, _: &AnalysisCtx, _: &MemSizeEvt) {
         self.frame().push(None);
     }
 
-    fn memory_grow(&mut self, _: Location, _: u32, _: i32) {
+    fn memory_grow(&mut self, _: &AnalysisCtx, _: &MemGrowEvt) {
         let frame = self.frame();
         frame.pop();
         frame.push(None);
     }
 
-    fn if_(&mut self, _: Location, _: bool) {
+    fn if_(&mut self, _: &AnalysisCtx, _: &IfEvt) {
         self.frame().pop();
     }
 
-    fn br_if(&mut self, _: Location, _: BranchTarget, _: bool) {
+    fn br_if(&mut self, _: &AnalysisCtx, _: &BranchEvt) {
         self.frame().pop();
     }
 
-    fn br_table(&mut self, _: Location, _: &[BranchTarget], _: BranchTarget, _: u32) {
+    fn br_table(&mut self, _: &AnalysisCtx, _: &BranchTableEvt<'_>) {
         self.frame().pop();
     }
 
-    fn return_(&mut self, _: Location, results: &[Val]) {
-        let n = results.len();
+    fn return_(&mut self, _: &AnalysisCtx, evt: &ReturnEvt<'_>) {
+        let n = evt.results.len();
         let frame = self.frame();
         frame.returned = true;
         let taints = frame.pop_n(n);
         self.pending_results = taints;
     }
 
-    fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {
-        if table_index.is_some() {
+    fn call_pre(&mut self, ctx: &AnalysisCtx, evt: &CallEvt<'_>) {
+        if evt.is_indirect() {
             // The runtime table index operand.
             self.frame().pop();
         }
         let arg_taints = {
-            let n = args.len();
+            let n = evt.args.len();
             self.frame().pop_n(n)
         };
 
-        if self.sinks.contains(&func) {
+        if self.sinks.contains(&evt.func) {
             for (arg_index, taint) in arg_taints.iter().enumerate() {
                 if let Some(source) = taint {
                     self.flows.push(Flow {
                         source: *source,
-                        sink_call: loc,
-                        sink_func: func,
+                        sink_call: ctx.loc,
+                        sink_func: evt.func,
                         arg_index,
                     });
                 }
@@ -305,20 +337,20 @@ impl Analysis for TaintAnalysis {
         }
 
         self.pending_args = Some(arg_taints);
-        self.call_stack.push(func);
+        self.call_stack.push(evt.func);
     }
 
-    fn call_post(&mut self, loc: Location, results: &[Val]) {
+    fn call_post(&mut self, ctx: &AnalysisCtx, evt: &CallPostEvt<'_>) {
         let callee = self.call_stack.pop();
         // If the callee was a host function, its begin(function) never
         // consumed the pending arguments.
         self.pending_args = None;
 
         let taints: Vec<Taint> = if callee.is_some_and(|f| self.sources.contains(&f)) {
-            vec![Some(loc); results.len()]
+            vec![Some(ctx.loc); evt.results.len()]
         } else {
             let mut taints = std::mem::take(&mut self.pending_results);
-            taints.resize(results.len(), None);
+            taints.resize(evt.results.len(), None);
             taints
         };
         self.pending_results = Vec::new();
@@ -334,6 +366,7 @@ mod tests {
     use wasabi::AnalysisSession;
     use wasabi_vm::host::HostFunctions;
     use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::instr::{LoadOp, StoreOp, Val};
     use wasabi_wasm::types::ValType;
 
     /// source() -> i32 and sink(i32) are imports 0 and 1.

@@ -94,6 +94,119 @@ fn selective_hooks_flag() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn write_branchy_fixture(dir: &std::path::Path) -> PathBuf {
+    let mut builder = ModuleBuilder::new();
+    builder.memory(1, None);
+    builder.function("main", &[ValType::I32], &[ValType::I32], |f| {
+        f.i32_const(0)
+            .get_local(0u32)
+            .store(wasabi_wasm::StoreOp::I32Store, 0);
+        f.i32_const(0).load(wasabi_wasm::LoadOp::I32Load, 0);
+        f.i32_const(3).i32_mul();
+    });
+    let path = dir.join("branchy.wasm");
+    std::fs::write(&path, wasabi_wasm::encode::encode(&builder.finish())).expect("write");
+    path
+}
+
+#[test]
+fn analysis_mode_emits_one_report_per_analysis() {
+    let dir = temp_dir("analysis-stdout");
+    let input = write_branchy_fixture(&dir);
+
+    let output = cli()
+        .arg(&input)
+        .arg("--analysis=instruction_mix,memory_tracing,call_graph")
+        .arg("--invoke=main")
+        .arg("--args=7")
+        .output()
+        .expect("CLI runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSON report per analysis: {stdout}");
+    assert!(lines[0].contains("\"analysis\":\"instruction_mix\""));
+    assert!(lines[0].contains("\"i32.mul\":1"), "{}", lines[0]);
+    assert!(lines[1].contains("\"analysis\":\"memory_tracing\""));
+    assert!(lines[1].contains("\"accesses\":2"), "{}", lines[1]);
+    assert!(lines[2].contains("\"analysis\":\"call_graph\""));
+    // The fused run happened in exactly one pass (stderr banner).
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("1 instrumentation pass"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analysis_mode_writes_report_files_with_out() {
+    let dir = temp_dir("analysis-out");
+    let input = write_branchy_fixture(&dir);
+    let out = dir.join("reports");
+
+    let output = cli()
+        .arg(&input)
+        .arg("--analysis=instruction_coverage,branch_coverage")
+        .arg("--invoke=main")
+        .arg("--args=1")
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("CLI runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    for name in ["instruction_coverage", "branch_coverage"] {
+        let path = out.join(format!("{name}.json"));
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        assert!(json.contains(&format!("\"analysis\":\"{name}\"")), "{json}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analysis_mode_rejects_unknown_analysis_and_bad_args() {
+    let dir = temp_dir("analysis-errors");
+    let input = write_branchy_fixture(&dir);
+
+    let output = cli()
+        .arg(&input)
+        .arg("--analysis=frobnicate")
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown analysis"));
+
+    // Wrong argument count for the export's signature.
+    let output = cli()
+        .arg(&input)
+        .arg("--analysis=instruction_mix")
+        .arg("--invoke=main")
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("argument"));
+
+    // Unknown export.
+    let output = cli()
+        .arg(&input)
+        .arg("--analysis=instruction_mix")
+        .arg("--invoke=nope")
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("no exported function"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn rejects_unknown_hook_and_garbage_input() {
     let dir = temp_dir("errors");

@@ -10,7 +10,11 @@
 //!
 //! ```sh
 //! cargo run --release -p wasabi-bench --bin fig9 [polybench_n] [kernels_per_group]
+//! cargo run --release -p wasabi-bench --bin fig9 -- --smoke   # CI smoke mode
 //! ```
+//!
+//! `--smoke` shrinks the workload (2 kernels at n=6, single repeats) so CI
+//! can exercise the full hook-group × subject matrix in seconds.
 
 use wasabi::hooks::HookSet;
 use wasabi_bench::{
@@ -27,9 +31,22 @@ const REPEATS: usize = 3;
 const APP_INVOCATIONS: usize = 300;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let polybench_n: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
-    let kernel_count: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    let mut args = raw.iter().filter(|a| !a.starts_with("--"));
+    let (default_n, default_kernels, repeats, app_invocations) = if smoke {
+        (6, 2, 1, 30)
+    } else {
+        (12, 10, REPEATS, APP_INVOCATIONS)
+    };
+    let polybench_n: u32 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_n);
+    let kernel_count: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_kernels);
 
     // A representative kernel subset (full 30 × 22 hook-sets × VM runs is
     // hours of interpreter time; pass 30 to use all kernels).
@@ -70,9 +87,9 @@ fn main() {
 
     let kernel_base: Vec<_> = kernels
         .iter()
-        .map(|(_, module)| run_original_repeated(module, "main", REPEATS))
+        .map(|(_, module)| run_original_repeated(module, "main", repeats))
         .collect();
-    let app_base = run_original_amortized(&app, "main", APP_INVOCATIONS);
+    let app_base = run_original_amortized(&app, "main", app_invocations);
 
     let mut rows: Vec<(&str, HookSet)> = FIGURE_HOOK_GROUPS
         .iter()
@@ -84,11 +101,11 @@ fn main() {
         let mut wall_ratios = Vec::new();
         let mut instr_ratios = Vec::new();
         for ((_, module), base) in kernels.iter().zip(&kernel_base) {
-            let run = run_instrumented_repeated(module, hooks, "main", REPEATS);
+            let run = run_instrumented_repeated(module, hooks, "main", repeats);
             wall_ratios.push(run.wall.as_secs_f64() / base.wall.as_secs_f64());
             instr_ratios.push(run.vm_instrs as f64 / base.vm_instrs as f64);
         }
-        let app_run = run_instrumented_amortized(&app, hooks, "main", APP_INVOCATIONS);
+        let app_run = run_instrumented_amortized(&app, hooks, "main", app_invocations);
         println!(
             "{name:<14} {:>15.2}x {:>15.2}x {:>13.2}x {:>13.2}x",
             geomean(wall_ratios.iter().copied()),

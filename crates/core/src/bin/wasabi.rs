@@ -1,9 +1,11 @@
-//! The Wasabi command-line instrumenter, mirroring the original tool's
-//! interface: read a `.wasm` binary, instrument it, and write the
-//! instrumented binary plus the static module info for the runtime.
+//! The Wasabi command-line tool.
+//!
+//! **Instrument mode** (default), mirroring the original tool's interface:
+//! read a `.wasm` binary, instrument it, and write the instrumented binary
+//! plus the static module info for the runtime.
 //!
 //! ```text
-//! wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>]
+//! wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>] [--wat]
 //! ```
 //!
 //! Outputs `<output_dir>/<input>.wasm` (instrumented) and
@@ -12,41 +14,92 @@
 //! `out/`. By default all hooks are instrumented; `--hooks` selects a
 //! subset (paper §2.4.2, selective instrumentation), e.g.
 //! `--hooks=call_pre,call_post,return`.
+//!
+//! **Analysis mode** (`--analysis`): run named analyses *fused* — one
+//! instrumentation pass, one execution pass, per-hook dispatch — and emit
+//! one structured JSON report per analysis:
+//!
+//! ```text
+//! wasabi <input.wasm> --analysis=<a1,a2,...> [--invoke=<export>] \
+//!        [--args=<v1,v2,...>] [--out=<dir>] [--threads=<n>]
+//! ```
+//!
+//! Reports go to stdout (one JSON object per line), or to
+//! `<dir>/<analysis>.json` each when `--out` is given.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use wasabi::hooks::{Hook, HookSet};
-use wasabi::Instrumenter;
+use wasabi::hooks::{Analysis, Hook, HookSet};
+use wasabi::{Instrumenter, Wasabi};
+use wasabi_analyses::registry;
+use wasabi_wasm::instr::Val;
+use wasabi_wasm::types::ValType;
 
 struct Args {
     input: PathBuf,
-    output_dir: PathBuf,
+    output_dir: Option<PathBuf>,
     hooks: HookSet,
     threads: Option<usize>,
     emit_wat: bool,
+    /// Analysis names for the fused run mode; empty = instrument mode.
+    analyses: Vec<String>,
+    invoke: String,
+    invoke_args: Vec<String>,
+    report_dir: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>] [--wat]\n\
+     \x20      wasabi <input.wasm> --analysis=<a1,a2,...> [--invoke=<export>]\n\
+     \x20             [--args=<v1,v2,...>] [--out=<dir>] [--threads=<n>]\n\
      hooks: start nop unreachable if br br_if br_table begin end memory_size\n\
      memory_grow const drop select unary binary load store local global\n\
      return call_pre call_post (default: all)\n\
+     analyses: instruction_mix basic_block_profiling instruction_coverage\n\
+     branch_coverage call_graph taint_analysis cryptominer_detection\n\
+     memory_tracing heap_profile\n\
+     --analysis runs the named analyses fused over ONE instrumentation and\n\
+     execution pass and writes one JSON report per analysis to stdout, or\n\
+     to <dir>/<analysis>.json with --out\n\
+     --invoke selects the export to run (default: main); --args passes\n\
+     comma-separated numeric arguments, parsed against its signature\n\
      --wat additionally writes a human-readable dump of the instrumented module"
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut input = None;
     let mut output_dir = None;
     let mut hooks = HookSet::all();
+    let mut hooks_given = false;
     let mut threads = None;
     let mut emit_wat = false;
+    let mut analyses = Vec::new();
+    let mut invoke = "main".to_string();
+    let mut invoke_args = Vec::new();
+    let mut report_dir = None;
 
-    for arg in std::env::args().skip(1) {
+    let mut raw = raw.peekable();
+    while let Some(arg) = raw.next() {
+        // Accept both `--flag=value` and `--flag value`.
+        let mut take_value = |current: &str, flag: &str| -> Option<Result<String, String>> {
+            if let Some(value) = current.strip_prefix(&format!("{flag}=")) {
+                return Some(Ok(value.to_string()));
+            }
+            if current == flag {
+                return Some(
+                    raw.next()
+                        .ok_or_else(|| format!("{flag} requires a value\n{}", usage())),
+                );
+            }
+            None
+        };
+
         if arg == "--wat" {
             emit_wat = true;
-        } else if let Some(list) = arg.strip_prefix("--hooks=") {
+        } else if let Some(list) = take_value(&arg, "--hooks") {
+            let list = list?;
             let mut set = HookSet::empty();
             for name in list.split(',').filter(|n| !n.is_empty()) {
                 let hook = Hook::ALL
@@ -56,13 +109,40 @@ fn parse_args() -> Result<Args, String> {
                 set.insert(hook);
             }
             hooks = set;
-        } else if let Some(n) = arg.strip_prefix("--threads=") {
+            hooks_given = true;
+        } else if let Some(list) = take_value(&arg, "--analysis") {
+            for name in list?.split(',').filter(|n| !n.is_empty()) {
+                if !registry::NAMES.contains(&name) {
+                    return Err(format!(
+                        "unknown analysis {name:?} (known: {})",
+                        registry::NAMES.join(", ")
+                    ));
+                }
+                if analyses.iter().any(|a| a == name) {
+                    return Err(format!("analysis {name:?} given more than once"));
+                }
+                analyses.push(name.to_string());
+            }
+        } else if let Some(export) = take_value(&arg, "--invoke") {
+            invoke = export?;
+        } else if let Some(list) = take_value(&arg, "--args") {
+            invoke_args = list?
+                .split(',')
+                .filter(|v| !v.is_empty())
+                .map(str::to_string)
+                .collect();
+        } else if let Some(dir) = take_value(&arg, "--out") {
+            report_dir = Some(PathBuf::from(dir?));
+        } else if let Some(n) = take_value(&arg, "--threads") {
+            let n = n?;
             threads = Some(
                 n.parse::<usize>()
                     .map_err(|_| format!("invalid thread count {n:?}"))?,
             );
         } else if arg == "--help" || arg == "-h" {
             return Err(usage().to_string());
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}\n{}", usage()));
         } else if input.is_none() {
             input = Some(PathBuf::from(arg));
         } else if output_dir.is_none() {
@@ -72,19 +152,129 @@ fn parse_args() -> Result<Args, String> {
         }
     }
 
+    // The two modes take disjoint options; reject silently-ignored
+    // combinations instead of letting e.g. `--hooks` be overridden by the
+    // analyses' union hook set.
+    if !analyses.is_empty() && (hooks_given || emit_wat || output_dir.is_some()) {
+        return Err(format!(
+            "--analysis cannot be combined with --hooks, --wat, or an \
+             output directory (use --out for reports)\n{}",
+            usage()
+        ));
+    }
+
     Ok(Args {
         input: input.ok_or_else(|| usage().to_string())?,
-        output_dir: output_dir.unwrap_or_else(|| PathBuf::from("out")),
+        output_dir,
         hooks,
         threads,
         emit_wat,
+        analyses,
+        invoke,
+        invoke_args,
+        report_dir,
     })
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn decode_input(input: &PathBuf) -> Result<wasabi_wasm::Module, String> {
+    let bytes =
+        std::fs::read(input).map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+    wasabi_wasm::decode::decode(&bytes)
+        .map_err(|e| format!("cannot decode {}: {e}", input.display()))
+}
+
+/// Parse CLI argument strings against the invoked export's signature.
+fn parse_invoke_args(raw: &[String], params: &[ValType]) -> Result<Vec<Val>, String> {
+    if raw.len() != params.len() {
+        return Err(format!(
+            "export takes {} argument(s), {} given",
+            params.len(),
+            raw.len()
+        ));
+    }
+    raw.iter()
+        .zip(params)
+        .map(|(text, ty)| {
+            let parsed = match ty {
+                ValType::I32 => text.parse().map(Val::I32).ok(),
+                ValType::I64 => text.parse().map(Val::I64).ok(),
+                ValType::F32 => text.parse().map(Val::F32).ok(),
+                ValType::F64 => text.parse().map(Val::F64).ok(),
+            };
+            parsed.ok_or_else(|| format!("invalid {ty} argument {text:?}"))
+        })
+        .collect()
+}
+
+/// Analysis mode: one fused instrumentation + execution pass, one JSON
+/// report per analysis.
+fn run_analyses(args: &Args) -> Result<(), String> {
+    let module = decode_input(&args.input)?;
+
+    let mut analyses: Vec<Box<dyn Analysis>> = args
+        .analyses
+        .iter()
+        .map(|name| registry::by_name(name).expect("validated during parsing"))
+        .collect();
+
+    let mut builder = Wasabi::builder();
+    for analysis in &mut analyses {
+        builder = builder.analysis(analysis.as_mut());
+    }
+    if let Some(threads) = args.threads {
+        builder = builder.threads(threads);
+    }
+
+    let start = Instant::now();
+    let mut pipeline = builder
+        .build(&module)
+        .map_err(|e| format!("module does not validate: {e}"))?;
+
+    let params = pipeline
+        .session()
+        .info()
+        .functions
+        .iter()
+        .find(|f| f.export.iter().any(|e| e == &args.invoke))
+        .map(|f| f.type_.params.clone())
+        .ok_or_else(|| format!("no exported function {:?}", args.invoke))?;
+    let invoke_args = parse_invoke_args(&args.invoke_args, &params)?;
+
+    pipeline
+        .run(&args.invoke, &invoke_args)
+        .map_err(|e| format!("running {:?} failed: {e}", args.invoke))?;
+    let elapsed = start.elapsed();
+
+    let reports = pipeline.reports();
+    eprintln!(
+        "ran {} analysis(es) fused over {:?} in {:.1} ms (1 instrumentation pass, {} hooks enabled)",
+        reports.len(),
+        args.invoke,
+        elapsed.as_secs_f64() * 1000.0,
+        pipeline.hooks().len(),
+    );
+
+    if let Some(dir) = &args.report_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for report in &reports {
+            let path = dir.join(format!("{}.json", report.analysis));
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("  wrote {}", path.display());
+        }
+    } else {
+        for report in &reports {
+            println!("{}", report.to_json());
+        }
+    }
+    Ok(())
+}
+
+/// Instrument mode: write the instrumented binary + info JSON.
+fn run_instrument(args: &Args) -> Result<(), String> {
     let bytes = std::fs::read(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
-
     let module = wasabi_wasm::decode::decode(&bytes)
         .map_err(|e| format!("cannot decode {}: {e}", args.input.display()))?;
 
@@ -100,16 +290,20 @@ fn run(args: &Args) -> Result<(), String> {
 
     let output = wasabi_wasm::encode::encode(&instrumented);
 
-    std::fs::create_dir_all(&args.output_dir)
-        .map_err(|e| format!("cannot create {}: {e}", args.output_dir.display()))?;
+    let output_dir = args
+        .output_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("out"));
+    std::fs::create_dir_all(&output_dir)
+        .map_err(|e| format!("cannot create {}: {e}", output_dir.display()))?;
     let stem = args
         .input
         .file_stem()
         .unwrap_or_else(|| args.input.as_os_str())
         .to_string_lossy()
         .to_string();
-    let wasm_path = args.output_dir.join(format!("{stem}.wasm"));
-    let info_path = args.output_dir.join(format!("{stem}.info.json"));
+    let wasm_path = output_dir.join(format!("{stem}.wasm"));
+    let info_path = output_dir.join(format!("{stem}.info.json"));
     std::fs::write(&wasm_path, &output)
         .map_err(|e| format!("cannot write {}: {e}", wasm_path.display()))?;
     std::fs::write(&info_path, info.to_json())
@@ -130,7 +324,7 @@ fn run(args: &Args) -> Result<(), String> {
     println!("  wrote {}", wasm_path.display());
     println!("  wrote {}", info_path.display());
     if args.emit_wat {
-        let wat_path = args.output_dir.join(format!("{stem}.wat"));
+        let wat_path = output_dir.join(format!("{stem}.wat"));
         std::fs::write(&wat_path, wasabi_wasm::wat::render(&instrumented))
             .map_err(|e| format!("cannot write {}: {e}", wat_path.display()))?;
         println!("  wrote {}", wat_path.display());
@@ -138,8 +332,16 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run(args: &Args) -> Result<(), String> {
+    if args.analyses.is_empty() {
+        run_instrument(args)
+    } else {
+        run_analyses(args)
+    }
+}
+
 fn main() -> ExitCode {
-    match parse_args() {
+    match parse_args(std::env::args().skip(1)) {
         Ok(args) => match run(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {

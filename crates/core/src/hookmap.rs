@@ -46,10 +46,21 @@ impl HookMap {
 
     /// Return the function index for `hook`, generating it on first use.
     ///
-    /// Reads take the upgradeable lock; only the first occurrence of a hook
-    /// pays for the exclusive upgrade.
+    /// Lookups take a plain *shared* read lock first, so the hot path —
+    /// a hook that has already been monomorphized, i.e. every occurrence
+    /// after the first — runs fully in parallel across instrumentation
+    /// worker threads (paper §2.4.3: a multiple-readers/single-writer
+    /// lock; upgradable readers exclude each other, so using the
+    /// upgradable lock for *every* lookup would serialize all readers).
+    /// Only a miss takes the upgradable lock, and only the first
+    /// occurrence of a hook pays for the exclusive upgrade.
     pub fn get_or_insert(&self, hook: LowLevelHook) -> Idx<FunctionSpace> {
+        if let Some(&offset) = self.inner.read().indices.get(&hook) {
+            return Idx::from(self.first_hook_idx + offset as usize);
+        }
         let guard = self.inner.upgradable_read();
+        // Re-check: another thread may have inserted between the shared
+        // read and acquiring the upgradable lock.
         if let Some(&offset) = guard.indices.get(&hook) {
             return Idx::from(self.first_hook_idx + offset as usize);
         }
@@ -163,6 +174,49 @@ mod tests {
         for thread_indices in indices {
             assert!(thread_indices.iter().all(|&i| i < 8));
         }
+    }
+
+    #[test]
+    fn contention_shaped_hit_storm_stays_consistent() {
+        // The contention shape of real instrumentation (§2.4.3/§3): a
+        // short miss phase populating the map, then a long hit-dominated
+        // phase where many workers look up the same few hooks over and
+        // over. All lookups must go through the shared-read fast path and
+        // agree on indices; a stray second insertion of an existing hook
+        // would show up as len() > expected or as divergent indices.
+        let map = HookMap::new(100);
+        let expected: Vec<(LowLevelHook, u32)> = ValType::ALL
+            .iter()
+            .flat_map(|&ty| [LowLevelHook::Const(ty), LowLevelHook::Drop(ty)])
+            .map(|hook| {
+                let idx = map.get_or_insert(hook.clone()).to_u32();
+                (hook, idx)
+            })
+            .collect();
+
+        crossbeam::thread::scope(|scope| {
+            for t in 0..8 {
+                let map = &map;
+                let expected = &expected;
+                scope.spawn(move |_| {
+                    for i in 0..2_000 {
+                        let (hook, idx) = &expected[(t * 7 + i) % expected.len()];
+                        assert_eq!(map.get_or_insert(hook.clone()).to_u32(), *idx);
+                    }
+                    // Interleave a miss mid-storm: a hook only this thread
+                    // inserts, exercising the read-miss -> upgradable ->
+                    // upgrade path under concurrent shared readers.
+                    let unique =
+                        LowLevelHook::Local(wasabi_wasm::instr::LocalOp::Get, ValType::ALL[t % 4]);
+                    let first = map.get_or_insert(unique.clone()).to_u32();
+                    assert_eq!(map.get_or_insert(unique).to_u32(), first);
+                });
+            }
+        })
+        .unwrap();
+
+        // 8 const/drop variants + 4 distinct local-get variants.
+        assert_eq!(map.len(), expected.len() + 4);
     }
 
     #[test]

@@ -1,13 +1,24 @@
 //! The high-level analysis API: the 23 hooks of paper Table 2, the
 //! [`Analysis`] trait that analyses implement, and [`HookSet`] for selective
 //! instrumentation (paper §2.4.2).
+//!
+//! Hook methods receive an [`AnalysisCtx`] (location + optional module
+//! info) and a typed event payload from [`crate::event`] instead of long
+//! positional argument lists. To run several analyses over **one**
+//! instrumentation and execution pass, register them on a
+//! [`crate::pipeline::Pipeline`].
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use wasabi_wasm::instr::{BinaryOp, GlobalOp, Instr, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+use wasabi_wasm::instr::Instr;
 
-use crate::location::{BranchTarget, Location};
+use crate::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, CallPostEvt, EndEvt,
+    GlobalEvt, IfEvt, LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt,
+    UnaryEvt, ValEvt,
+};
+use crate::report::{JsonValue, Report};
 
 /// The 23 high-level hooks of the Wasabi API (paper Table 2 plus the five
 /// hooks its caption mentions: `start`, `nop`, `unreachable`, `if`,
@@ -279,11 +290,15 @@ impl MemArg {
 
 /// A dynamic analysis: the user-facing high-level hook API (paper Table 2).
 ///
-/// All methods default to no-ops; an analysis overrides the hooks it needs
-/// and declares them in [`Analysis::hooks`] so that Wasabi instruments
-/// selectively. (In the JavaScript original, the framework infers this set
-/// from the properties of the analysis object; in Rust the analysis states
-/// it explicitly.)
+/// All hook methods default to no-ops; an analysis overrides the hooks it
+/// needs and declares them in [`Analysis::hooks`] so that Wasabi
+/// instruments selectively. (In the JavaScript original, the framework
+/// infers this set from the properties of the analysis object; in Rust the
+/// analysis states it explicitly.) Every hook receives the per-event
+/// [`AnalysisCtx`] plus a typed payload struct from [`crate::event`].
+///
+/// [`Analysis::report`] renders the analysis' findings as a structured
+/// [`Report`] — the CLI and the pipeline API use it as the analysis output.
 ///
 /// # Examples
 ///
@@ -291,9 +306,9 @@ impl MemArg {
 ///
 /// ```
 /// use std::collections::HashMap;
+/// use wasabi::event::{AnalysisCtx, BinaryEvt};
 /// use wasabi::hooks::{Analysis, Hook, HookSet};
-/// use wasabi::location::Location;
-/// use wasabi_wasm::instr::{BinaryOp, Val};
+/// use wasabi_wasm::instr::BinaryOp;
 ///
 /// #[derive(Default)]
 /// struct Signature {
@@ -301,15 +316,19 @@ impl MemArg {
 /// }
 ///
 /// impl Analysis for Signature {
+///     fn name(&self) -> &str {
+///         "signature"
+///     }
+///
 ///     fn hooks(&self) -> HookSet {
 ///         HookSet::of(&[Hook::Binary])
 ///     }
 ///
-///     fn binary(&mut self, _: Location, op: BinaryOp, _: Val, _: Val, _: Val) {
-///         match op {
+///     fn binary(&mut self, _: &AnalysisCtx, evt: &BinaryEvt) {
+///         match evt.op {
 ///             BinaryOp::I32Add | BinaryOp::I32And | BinaryOp::I32Shl
 ///             | BinaryOp::I32ShrU | BinaryOp::I32Xor => {
-///                 *self.counts.entry(op.name()).or_insert(0) += 1;
+///                 *self.counts.entry(evt.op.name()).or_insert(0) += 1;
 ///             }
 ///             _ => {}
 ///         }
@@ -318,96 +337,96 @@ impl MemArg {
 /// ```
 #[allow(unused_variables)]
 pub trait Analysis {
-    /// Which hooks this analysis uses; drives selective instrumentation.
+    /// A short identifier for reports and CLI output.
+    fn name(&self) -> &str {
+        "analysis"
+    }
+
+    /// Which hooks this analysis uses; drives selective instrumentation
+    /// and the per-hook subscriber lists of the fused pipeline dispatch.
     /// Defaults to all hooks (full instrumentation).
     fn hooks(&self) -> HookSet {
         HookSet::all()
     }
 
-    /// The module's start function begins executing.
-    fn start(&mut self, loc: Location) {}
-
-    /// A `nop` executed.
-    fn nop(&mut self, loc: Location) {}
-
-    /// An `unreachable` is about to trap.
-    fn unreachable(&mut self, loc: Location) {}
-
-    /// An `if` evaluated its condition.
-    fn if_(&mut self, loc: Location, condition: bool) {}
-
-    /// An unconditional branch executes.
-    fn br(&mut self, loc: Location, target: BranchTarget) {}
-
-    /// A conditional branch evaluated its condition.
-    fn br_if(&mut self, loc: Location, target: BranchTarget, condition: bool) {}
-
-    /// A multi-way branch selected entry `table_index` (the targets of all
-    /// entries plus the default are provided, paper Table 2).
-    fn br_table(
-        &mut self,
-        loc: Location,
-        table: &[BranchTarget],
-        default: BranchTarget,
-        table_index: u32,
-    ) {
+    /// The analysis' findings as a structured report. Defaults to an empty
+    /// report carrying [`JsonValue::Null`].
+    fn report(&self) -> Report {
+        Report::new(self.name(), JsonValue::Null)
     }
 
-    /// A block is entered (called per iteration for loops).
-    fn begin(&mut self, loc: Location, kind: BlockKind) {}
+    /// The module's start function begins executing.
+    fn start(&mut self, ctx: &AnalysisCtx) {}
 
-    /// A block is exited; `begin` is the location of the matching block
-    /// start. Also called for blocks left implicitly by branches and
+    /// A `nop` executed.
+    fn nop(&mut self, ctx: &AnalysisCtx) {}
+
+    /// An `unreachable` is about to trap.
+    fn unreachable(&mut self, ctx: &AnalysisCtx) {}
+
+    /// An `if` evaluated its condition.
+    fn if_(&mut self, ctx: &AnalysisCtx, evt: &IfEvt) {}
+
+    /// An unconditional branch executes (`evt.condition` is `None`).
+    fn br(&mut self, ctx: &AnalysisCtx, evt: &BranchEvt) {}
+
+    /// A conditional branch evaluated its condition.
+    fn br_if(&mut self, ctx: &AnalysisCtx, evt: &BranchEvt) {}
+
+    /// A multi-way branch selected entry `evt.index` (the targets of all
+    /// entries plus the default are provided, paper Table 2).
+    fn br_table(&mut self, ctx: &AnalysisCtx, evt: &BranchTableEvt<'_>) {}
+
+    /// A block is entered (called per iteration for loops).
+    fn begin(&mut self, ctx: &AnalysisCtx, evt: &BlockEvt) {}
+
+    /// A block is exited; `evt.begin` is the location of the matching
+    /// block start. Also called for blocks left implicitly by branches and
     /// returns (paper §2.4.5, dynamic block nesting).
-    fn end(&mut self, loc: Location, kind: BlockKind, begin: Location) {}
+    fn end(&mut self, ctx: &AnalysisCtx, evt: &EndEvt) {}
 
     /// `memory.size` returned the current size in pages.
-    fn memory_size(&mut self, loc: Location, current_pages: u32) {}
+    fn memory_size(&mut self, ctx: &AnalysisCtx, evt: &MemSizeEvt) {}
 
-    /// `memory.grow` by `delta` pages returned `previous_pages` (or -1 cast
-    /// to u32::MAX on failure, as in the raw instruction result).
-    fn memory_grow(&mut self, loc: Location, delta: u32, previous_pages: i32) {}
+    /// `memory.grow` executed (see [`MemGrowEvt`] for the failure case).
+    fn memory_grow(&mut self, ctx: &AnalysisCtx, evt: &MemGrowEvt) {}
 
     /// A constant was pushed.
-    fn const_(&mut self, loc: Location, value: Val) {}
+    fn const_(&mut self, ctx: &AnalysisCtx, evt: &ValEvt) {}
 
     /// A value was dropped.
-    fn drop_(&mut self, loc: Location, value: Val) {}
+    fn drop_(&mut self, ctx: &AnalysisCtx, evt: &ValEvt) {}
 
-    /// A `select` picked `first` (condition true) or `second`.
-    fn select(&mut self, loc: Location, condition: bool, first: Val, second: Val) {}
+    /// A `select` picked `evt.first` (condition true) or `evt.second`.
+    fn select(&mut self, ctx: &AnalysisCtx, evt: &SelectEvt) {}
 
-    /// A unary operation computed `result` from `input`.
-    fn unary(&mut self, loc: Location, op: UnaryOp, input: Val, result: Val) {}
+    /// A unary operation computed `evt.result` from `evt.input`.
+    fn unary(&mut self, ctx: &AnalysisCtx, evt: &UnaryEvt) {}
 
-    /// A binary operation computed `result` from `first` and `second`.
-    fn binary(&mut self, loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {}
+    /// A binary operation computed `evt.result` from its two operands.
+    fn binary(&mut self, ctx: &AnalysisCtx, evt: &BinaryEvt) {}
 
-    /// A load read `value` from `memarg.effective_addr()`.
-    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {}
+    /// A load read `evt.value` from `evt.memarg.effective_addr()`.
+    fn load(&mut self, ctx: &AnalysisCtx, evt: &LoadEvt) {}
 
-    /// A store wrote `value` to `memarg.effective_addr()`.
-    fn store(&mut self, loc: Location, op: StoreOp, memarg: MemArg, value: Val) {}
+    /// A store wrote `evt.value` to `evt.memarg.effective_addr()`.
+    fn store(&mut self, ctx: &AnalysisCtx, evt: &StoreEvt) {}
 
-    /// A local was read/written (`value` is the value read resp. written).
-    fn local(&mut self, loc: Location, op: LocalOp, index: u32, value: Val) {}
+    /// A local was read/written (`evt.value` is the value read resp.
+    /// written).
+    fn local(&mut self, ctx: &AnalysisCtx, evt: &LocalEvt) {}
 
     /// A global was read/written.
-    fn global(&mut self, loc: Location, op: GlobalOp, index: u32, value: Val) {}
+    fn global(&mut self, ctx: &AnalysisCtx, evt: &GlobalEvt) {}
 
-    /// The current function returns explicitly with `results`.
-    fn return_(&mut self, loc: Location, results: &[Val]) {}
+    /// The current function returns explicitly with `evt.results`.
+    fn return_(&mut self, ctx: &AnalysisCtx, evt: &ReturnEvt<'_>) {}
 
-    /// A call is about to happen. `func` is the resolved target function
-    /// index in the original module; `table_index` is `Some(i)` for
-    /// `call_indirect` through table slot `i` and `None` for direct calls
-    /// (paper Table 2: "tableIndex == null iff direct call"). For an
-    /// indirect call whose table slot cannot be resolved (the call will
-    /// trap), `func` is `u32::MAX`.
-    fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {}
+    /// A call is about to happen (see [`CallEvt`] for target resolution).
+    fn call_pre(&mut self, ctx: &AnalysisCtx, evt: &CallEvt<'_>) {}
 
-    /// A call returned with `results`.
-    fn call_post(&mut self, loc: Location, results: &[Val]) {}
+    /// A call returned with `evt.results`.
+    fn call_post(&mut self, ctx: &AnalysisCtx, evt: &CallPostEvt<'_>) {}
 }
 
 /// The trivial analysis: observes nothing, uses no hooks. Instrumenting for
@@ -416,140 +435,19 @@ pub trait Analysis {
 pub struct NoAnalysis;
 
 impl Analysis for NoAnalysis {
+    fn name(&self) -> &str {
+        "no_analysis"
+    }
+
     fn hooks(&self) -> HookSet {
         HookSet::empty()
-    }
-}
-
-/// Two analyses run over one execution: the module is instrumented for the
-/// *union* of both hook sets and every event is delivered to both.
-///
-/// Nest `Combined` for more than two: `Combined(a, Combined(b, c))`.
-///
-/// Each sub-analysis may receive events for hooks only the other one
-/// requested; those land in its default no-op methods, so observed results
-/// are identical to running the analyses separately (as long as an
-/// analysis' [`Analysis::hooks`] covers everything it overrides, which all
-/// analyses in this repository do).
-///
-/// # Examples
-///
-/// ```
-/// use wasabi::hooks::{Analysis, Combined, NoAnalysis};
-/// let combined = Combined(NoAnalysis, NoAnalysis);
-/// assert!(combined.hooks().is_empty());
-/// ```
-#[derive(Debug, Default)]
-pub struct Combined<A, B>(pub A, pub B);
-
-impl<A: Analysis, B: Analysis> Analysis for Combined<A, B> {
-    fn hooks(&self) -> HookSet {
-        self.0.hooks().union(self.1.hooks())
-    }
-
-    fn start(&mut self, loc: Location) {
-        self.0.start(loc);
-        self.1.start(loc);
-    }
-    fn nop(&mut self, loc: Location) {
-        self.0.nop(loc);
-        self.1.nop(loc);
-    }
-    fn unreachable(&mut self, loc: Location) {
-        self.0.unreachable(loc);
-        self.1.unreachable(loc);
-    }
-    fn if_(&mut self, loc: Location, condition: bool) {
-        self.0.if_(loc, condition);
-        self.1.if_(loc, condition);
-    }
-    fn br(&mut self, loc: Location, target: BranchTarget) {
-        self.0.br(loc, target);
-        self.1.br(loc, target);
-    }
-    fn br_if(&mut self, loc: Location, target: BranchTarget, condition: bool) {
-        self.0.br_if(loc, target, condition);
-        self.1.br_if(loc, target, condition);
-    }
-    fn br_table(
-        &mut self,
-        loc: Location,
-        table: &[BranchTarget],
-        default: BranchTarget,
-        table_index: u32,
-    ) {
-        self.0.br_table(loc, table, default, table_index);
-        self.1.br_table(loc, table, default, table_index);
-    }
-    fn begin(&mut self, loc: Location, kind: BlockKind) {
-        self.0.begin(loc, kind);
-        self.1.begin(loc, kind);
-    }
-    fn end(&mut self, loc: Location, kind: BlockKind, begin: Location) {
-        self.0.end(loc, kind, begin);
-        self.1.end(loc, kind, begin);
-    }
-    fn memory_size(&mut self, loc: Location, current_pages: u32) {
-        self.0.memory_size(loc, current_pages);
-        self.1.memory_size(loc, current_pages);
-    }
-    fn memory_grow(&mut self, loc: Location, delta: u32, previous_pages: i32) {
-        self.0.memory_grow(loc, delta, previous_pages);
-        self.1.memory_grow(loc, delta, previous_pages);
-    }
-    fn const_(&mut self, loc: Location, value: Val) {
-        self.0.const_(loc, value);
-        self.1.const_(loc, value);
-    }
-    fn drop_(&mut self, loc: Location, value: Val) {
-        self.0.drop_(loc, value);
-        self.1.drop_(loc, value);
-    }
-    fn select(&mut self, loc: Location, condition: bool, first: Val, second: Val) {
-        self.0.select(loc, condition, first, second);
-        self.1.select(loc, condition, first, second);
-    }
-    fn unary(&mut self, loc: Location, op: UnaryOp, input: Val, result: Val) {
-        self.0.unary(loc, op, input, result);
-        self.1.unary(loc, op, input, result);
-    }
-    fn binary(&mut self, loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {
-        self.0.binary(loc, op, first, second, result);
-        self.1.binary(loc, op, first, second, result);
-    }
-    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {
-        self.0.load(loc, op, memarg, value);
-        self.1.load(loc, op, memarg, value);
-    }
-    fn store(&mut self, loc: Location, op: StoreOp, memarg: MemArg, value: Val) {
-        self.0.store(loc, op, memarg, value);
-        self.1.store(loc, op, memarg, value);
-    }
-    fn local(&mut self, loc: Location, op: LocalOp, index: u32, value: Val) {
-        self.0.local(loc, op, index, value);
-        self.1.local(loc, op, index, value);
-    }
-    fn global(&mut self, loc: Location, op: GlobalOp, index: u32, value: Val) {
-        self.0.global(loc, op, index, value);
-        self.1.global(loc, op, index, value);
-    }
-    fn return_(&mut self, loc: Location, results: &[Val]) {
-        self.0.return_(loc, results);
-        self.1.return_(loc, results);
-    }
-    fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {
-        self.0.call_pre(loc, func, args, table_index);
-        self.1.call_pre(loc, func, args, table_index);
-    }
-    fn call_post(&mut self, loc: Location, results: &[Val]) {
-        self.0.call_post(loc, results);
-        self.1.call_post(loc, results);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wasabi_wasm::instr::Val;
 
     #[test]
     fn there_are_23_hooks() {
@@ -618,12 +516,16 @@ mod tests {
     #[test]
     fn no_analysis_uses_no_hooks() {
         assert!(NoAnalysis.hooks().is_empty());
+        assert_eq!(NoAnalysis.name(), "no_analysis");
     }
 
     #[test]
-    fn default_analysis_uses_all_hooks() {
+    fn default_analysis_uses_all_hooks_and_reports_null() {
         struct Defaults;
         impl Analysis for Defaults {}
         assert_eq!(Defaults.hooks().len(), 23);
+        let report = Defaults.report();
+        assert_eq!(report.analysis, "analysis");
+        assert!(report.data.is_null());
     }
 }

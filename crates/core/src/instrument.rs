@@ -78,6 +78,7 @@ impl Instrumenter {
     ///
     /// Fails if the input module does not validate.
     pub fn run(&self, module: &Module) -> Result<(Module, ModuleInfo), ValidationError> {
+        crate::stats::record_instrumentation();
         validate(module)?;
 
         let mut info = ModuleInfo::from_module(module);

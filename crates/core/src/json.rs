@@ -11,7 +11,7 @@ use crate::info::{BrTableEntry, ModuleInfo};
 use crate::location::Location;
 
 /// Escape a string for a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
         match ch {

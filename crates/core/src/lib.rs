@@ -1,21 +1,24 @@
 //! # wasabi — dynamic analysis framework for WebAssembly
 //!
 //! A faithful Rust reproduction of *Wasabi: A Framework for Dynamically
-//! Analyzing WebAssembly* (Lehmann & Pradel, ASPLOS 2019).
+//! Analyzing WebAssembly* (Lehmann & Pradel, ASPLOS 2019), grown into a
+//! composable multi-analysis pipeline.
 //!
 //! Wasabi instruments a WebAssembly binary ahead of time, inserting calls
 //! to *low-level hooks* between the program's original instructions
 //! (paper Fig. 2). At runtime those hooks are routed through the
 //! [`runtime::WasabiHost`] to the 23 *high-level hooks* of the
-//! [`hooks::Analysis`] trait (paper Table 2) — the API analyses are
-//! written against.
+//! [`hooks::Analysis`] trait (paper Table 2) — each carrying a typed
+//! [`event`] payload. Any number of analyses can be fused onto **one**
+//! instrumentation and execution pass with [`pipeline::Pipeline`], and
+//! every analysis renders its findings as a structured [`report::Report`].
 //!
 //! Key mechanisms, each mapped to the paper:
 //!
 //! | paper | module |
 //! |---|---|
 //! | §2.4.1 instrumentation of instructions (Table 3) | [`mod@instrument`] |
-//! | §2.4.2 selective instrumentation | [`hooks::HookSet`] |
+//! | §2.4.2 selective instrumentation | [`hooks::HookSet`] + [`pipeline`] (per-hook subscriber lists) |
 //! | §2.4.3 on-demand monomorphization | [`hookmap::HookMap`] |
 //! | §2.4.4 resolving branch labels | [`mod@instrument`] (abstract control stack) |
 //! | §2.4.5 dynamic block nesting | [`mod@instrument`] + [`runtime`] (br_table replay) |
@@ -28,16 +31,15 @@
 //! cryptominer detector):
 //!
 //! ```
-//! use wasabi::{AnalysisSession, hooks::{Analysis, Hook, HookSet}};
-//! use wasabi::location::Location;
+//! use wasabi::{AnalysisSession, event::{AnalysisCtx, BinaryEvt}, hooks::{Analysis, Hook, HookSet}};
 //! use wasabi_wasm::builder::ModuleBuilder;
-//! use wasabi_wasm::{BinaryOp, Val, ValType};
+//! use wasabi_wasm::{Val, ValType};
 //!
 //! #[derive(Default)]
 //! struct BinaryCounter(u64);
 //! impl Analysis for BinaryCounter {
 //!     fn hooks(&self) -> HookSet { HookSet::of(&[Hook::Binary]) }
-//!     fn binary(&mut self, _: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
+//!     fn binary(&mut self, _: &AnalysisCtx, _: &BinaryEvt) {
 //!         self.0 += 1;
 //!     }
 //! }
@@ -53,18 +55,27 @@
 //! assert_eq!(counter.0, 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! To run *several* analyses over one pass, see [`pipeline`].
 
 pub mod convention;
+pub mod event;
 pub mod hookmap;
 pub mod hooks;
 pub mod info;
 pub mod instrument;
 pub mod json;
 pub mod location;
+pub mod pipeline;
+pub mod report;
 pub mod runtime;
+pub mod stats;
 
-pub use hooks::{Analysis, BlockKind, Combined, Hook, HookSet, MemArg, NoAnalysis};
+pub use event::AnalysisCtx;
+pub use hooks::{Analysis, BlockKind, Hook, HookSet, MemArg, NoAnalysis};
 pub use info::ModuleInfo;
 pub use instrument::{instrument, Instrumenter};
 pub use location::{BranchTarget, Location};
+pub use pipeline::{Pipeline, PipelineBuilder, Wasabi};
+pub use report::{JsonValue, Report};
 pub use runtime::{AnalysisError, AnalysisSession, WasabiHost};

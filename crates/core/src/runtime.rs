@@ -1,8 +1,14 @@
 //! The Wasabi runtime (paper Fig. 2, bottom): receives low-level hook calls
 //! from the executing instrumented module and converts them into high-level
-//! [`Analysis`] events — joining split i64 values, attaching resolved branch
+//! typed [`Event`]s — joining split i64 values, attaching resolved branch
 //! targets, replaying `end` hooks for `br_table`, and resolving indirect
 //! call targets.
+//!
+//! Each event is built **once** and then handed to the host's sink: either
+//! a single [`Analysis`] (the classic [`AnalysisSession`] path) or the
+//! per-hook subscriber lists of a fused [`crate::pipeline::Pipeline`], so
+//! that an analysis subscribed only to `binary` pays nothing for
+//! `load`/`store` traffic of its pipeline neighbours.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -16,44 +22,94 @@ use wasabi_wasm::module::Module;
 use wasabi_wasm::types::{FuncType, GlobalType, ValType};
 
 use crate::convention::{join_i64, LowLevelHook, HOOK_MODULE};
+use crate::event::{
+    deliver, AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, CallPostEvt,
+    EndEvt, Event, IfEvt, MemEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, UnaryEvt, ValEvt,
+    VarEvt,
+};
 use crate::hooks::{Analysis, Hook, HookSet, MemArg};
 use crate::info::ModuleInfo;
 use crate::instrument::instrument;
 use crate::location::{BranchTarget, Location};
+use crate::stats;
 
-/// A [`Host`] that dispatches Wasabi's low-level hooks to an [`Analysis`]
-/// and forwards all other imports to an optional program host.
-pub struct WasabiHost<'a> {
-    analysis: &'a mut dyn Analysis,
+/// Where joined high-level events go: one analysis, or the fused per-hook
+/// subscriber lists of a pipeline.
+enum Sink<'a, 'p> {
+    /// Deliver every enabled event to the one analysis (classic
+    /// [`AnalysisSession`] semantics).
+    Single(&'a mut (dyn Analysis + 'p)),
+    /// Deliver each event only to the analyses subscribed to its hook.
+    /// `subscribers` is indexed by `Hook as usize`.
+    Fused {
+        analyses: &'a mut [&'p mut (dyn Analysis + 'p)],
+        subscribers: &'a [Vec<usize>],
+    },
+}
+
+/// A [`Host`] that dispatches Wasabi's low-level hooks to one or more
+/// [`Analysis`] instances and forwards all other imports to an optional
+/// program host.
+pub struct WasabiHost<'a, 'p> {
+    sink: Sink<'a, 'p>,
     info: &'a ModuleInfo,
     program_host: Option<&'a mut dyn Host>,
     hook_ids: HashMap<String, usize>,
 }
 
-impl fmt::Debug for WasabiHost<'_> {
+impl fmt::Debug for WasabiHost<'_, '_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("WasabiHost")
             .field("hooks", &self.info.hooks.len())
+            .field(
+                "analyses",
+                &match &self.sink {
+                    Sink::Single(_) => 1,
+                    Sink::Fused { analyses, .. } => analyses.len(),
+                },
+            )
             .field("has_program_host", &self.program_host.is_some())
             .finish()
     }
 }
 
-impl<'a> WasabiHost<'a> {
-    /// Create a host dispatching to `analysis`, for a module instrumented
-    /// with the given `info`.
-    pub fn new(info: &'a ModuleInfo, analysis: &'a mut dyn Analysis) -> Self {
-        let hook_ids = info
-            .hooks
-            .iter()
-            .enumerate()
-            .map(|(i, h)| (h.name(), i))
-            .collect();
+fn hook_ids(info: &ModuleInfo) -> HashMap<String, usize> {
+    info.hooks
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (h.name(), i))
+        .collect()
+}
+
+impl<'a, 'p> WasabiHost<'a, 'p> {
+    /// Create a host dispatching to a single `analysis`, for a module
+    /// instrumented with the given `info`.
+    pub fn new(info: &'a ModuleInfo, analysis: &'a mut (dyn Analysis + 'p)) -> Self {
         WasabiHost {
-            analysis,
+            sink: Sink::Single(analysis),
             info,
             program_host: None,
-            hook_ids,
+            hook_ids: hook_ids(info),
+        }
+    }
+
+    /// Create a host with fused dispatch: each event is delivered to the
+    /// analyses listed in `subscribers[event.hook() as usize]`. Used by
+    /// [`crate::pipeline::Pipeline`].
+    pub fn fused(
+        info: &'a ModuleInfo,
+        analyses: &'a mut [&'p mut (dyn Analysis + 'p)],
+        subscribers: &'a [Vec<usize>],
+    ) -> Self {
+        debug_assert_eq!(subscribers.len(), Hook::ALL.len());
+        WasabiHost {
+            sink: Sink::Fused {
+                analyses,
+                subscribers,
+            },
+            info,
+            program_host: None,
+            hook_ids: hook_ids(info),
         }
     }
 
@@ -63,6 +119,21 @@ impl<'a> WasabiHost<'a> {
         self
     }
 
+    /// Deliver one joined event to the sink.
+    fn emit(&mut self, ctx: &AnalysisCtx, event: &Event<'_>) {
+        match &mut self.sink {
+            Sink::Single(analysis) => deliver(&mut **analysis, ctx, event),
+            Sink::Fused {
+                analyses,
+                subscribers,
+            } => {
+                for &i in &subscribers[event.hook() as usize] {
+                    deliver(&mut *analyses[i], ctx, event);
+                }
+            }
+        }
+    }
+
     fn dispatch(&mut self, hook: &LowLevelHook, args: &[Val]) {
         // Location is the trailing (func, instr) pair.
         let n = args.len();
@@ -70,6 +141,7 @@ impl<'a> WasabiHost<'a> {
             args[n - 2].as_i32().expect("location func is i32") as u32,
             args[n - 1].as_i32().expect("location instr is i32"),
         );
+        let ctx = AnalysisCtx::new(loc, self.info);
 
         // Re-join the flattened payload (i64 halves were split, row 6).
         let payload_types = hook.payload_types();
@@ -91,87 +163,170 @@ impl<'a> WasabiHost<'a> {
         let as_bool = |v: Val| v.as_i32().expect("i32 condition") != 0;
 
         match hook {
-            LowLevelHook::Start => self.analysis.start(loc),
-            LowLevelHook::Nop => self.analysis.nop(loc),
-            LowLevelHook::Unreachable => self.analysis.unreachable(loc),
-            LowLevelHook::If => self.analysis.if_(loc, as_bool(vals[0])),
+            LowLevelHook::Start => self.emit(&ctx, &Event::Start),
+            LowLevelHook::Nop => self.emit(&ctx, &Event::Nop),
+            LowLevelHook::Unreachable => self.emit(&ctx, &Event::Unreachable),
+            LowLevelHook::If => self.emit(
+                &ctx,
+                &Event::If(IfEvt {
+                    condition: as_bool(vals[0]),
+                }),
+            ),
             LowLevelHook::Br => {
                 let target = BranchTarget {
                     label: as_u32(vals[0]),
                     location: Location::new(loc.func, vals[1].as_i32().expect("target")),
                 };
-                self.analysis.br(loc, target);
+                self.emit(
+                    &ctx,
+                    &Event::Br(BranchEvt {
+                        target,
+                        condition: None,
+                    }),
+                );
             }
             LowLevelHook::BrIf => {
                 let target = BranchTarget {
                     label: as_u32(vals[0]),
                     location: Location::new(loc.func, vals[1].as_i32().expect("target")),
                 };
-                self.analysis.br_if(loc, target, as_bool(vals[2]));
+                self.emit(
+                    &ctx,
+                    &Event::BrIf(BranchEvt {
+                        target,
+                        condition: Some(as_bool(vals[2])),
+                    }),
+                );
             }
             LowLevelHook::BrTable => {
+                // Copy out the &'a ModuleInfo so borrows of the table info
+                // do not pin `self` while emitting.
+                let info = self.info;
                 let info_idx = as_u32(vals[0]) as usize;
                 let runtime_idx = as_u32(vals[1]);
-                let table_info = &self.info.br_tables[info_idx];
+                let table_info = &info.br_tables[info_idx];
                 let entry = table_info
                     .entries
                     .get(runtime_idx as usize)
                     .unwrap_or(&table_info.default);
                 // Replay the end hooks of the blocks this entry leaves
                 // (paper §2.4.5: selected inside the low-level hook).
-                if self.info.enabled.contains(Hook::End) {
+                if info.enabled.contains(Hook::End) {
                     for end in &entry.ends {
-                        self.analysis.end(end.end, end.kind, end.begin);
+                        self.emit(
+                            &AnalysisCtx::new(end.end, info),
+                            &Event::End(EndEvt {
+                                kind: end.kind,
+                                begin: end.begin,
+                            }),
+                        );
                     }
                 }
-                if self.info.enabled.contains(Hook::BrTable) {
+                if info.enabled.contains(Hook::BrTable) {
                     let targets: Vec<BranchTarget> =
                         table_info.entries.iter().map(|e| e.target).collect();
-                    self.analysis
-                        .br_table(loc, &targets, table_info.default.target, runtime_idx);
+                    self.emit(
+                        &ctx,
+                        &Event::BrTable(BranchTableEvt {
+                            targets: &targets,
+                            default: table_info.default.target,
+                            index: runtime_idx,
+                        }),
+                    );
                 }
             }
-            LowLevelHook::Begin(kind) => self.analysis.begin(loc, *kind),
+            LowLevelHook::Begin(kind) => {
+                self.emit(&ctx, &Event::Begin(BlockEvt { kind: *kind }));
+            }
             LowLevelHook::End(kind) => {
                 let begin = Location::new(loc.func, vals[0].as_i32().expect("begin"));
-                self.analysis.end(loc, *kind, begin);
+                self.emit(&ctx, &Event::End(EndEvt { kind: *kind, begin }));
             }
-            LowLevelHook::MemorySize => self.analysis.memory_size(loc, as_u32(vals[0])),
-            LowLevelHook::MemoryGrow => {
-                self.analysis
-                    .memory_grow(loc, as_u32(vals[0]), vals[1].as_i32().expect("prev"));
+            LowLevelHook::MemorySize => self.emit(
+                &ctx,
+                &Event::MemorySize(MemSizeEvt {
+                    pages: as_u32(vals[0]),
+                }),
+            ),
+            LowLevelHook::MemoryGrow => self.emit(
+                &ctx,
+                &Event::MemoryGrow(MemGrowEvt {
+                    delta: as_u32(vals[0]),
+                    previous_pages: vals[1].as_i32().expect("prev"),
+                }),
+            ),
+            LowLevelHook::Const(_) => {
+                self.emit(&ctx, &Event::Const(ValEvt { value: vals[0] }));
             }
-            LowLevelHook::Const(_) => self.analysis.const_(loc, vals[0]),
-            LowLevelHook::Drop(_) => self.analysis.drop_(loc, vals[0]),
-            LowLevelHook::Select(_) => {
-                self.analysis
-                    .select(loc, as_bool(vals[2]), vals[0], vals[1]);
+            LowLevelHook::Drop(_) => {
+                self.emit(&ctx, &Event::Drop(ValEvt { value: vals[0] }));
             }
-            LowLevelHook::Unary(op) => self.analysis.unary(loc, *op, vals[0], vals[1]),
-            LowLevelHook::Binary(op) => {
-                self.analysis.binary(loc, *op, vals[0], vals[1], vals[2]);
+            LowLevelHook::Select(_) => self.emit(
+                &ctx,
+                &Event::Select(SelectEvt {
+                    condition: as_bool(vals[2]),
+                    first: vals[0],
+                    second: vals[1],
+                }),
+            ),
+            LowLevelHook::Unary(op) => self.emit(
+                &ctx,
+                &Event::Unary(UnaryEvt {
+                    op: *op,
+                    input: vals[0],
+                    result: vals[1],
+                }),
+            ),
+            LowLevelHook::Binary(op) => self.emit(
+                &ctx,
+                &Event::Binary(BinaryEvt {
+                    op: *op,
+                    first: vals[0],
+                    second: vals[1],
+                    result: vals[2],
+                }),
+            ),
+            LowLevelHook::Load(op) => self.emit(
+                &ctx,
+                &Event::Load(MemEvt {
+                    op: *op,
+                    memarg: MemArg {
+                        addr: as_u32(vals[0]),
+                        offset: as_u32(vals[1]),
+                    },
+                    value: vals[2],
+                }),
+            ),
+            LowLevelHook::Store(op) => self.emit(
+                &ctx,
+                &Event::Store(MemEvt {
+                    op: *op,
+                    memarg: MemArg {
+                        addr: as_u32(vals[0]),
+                        offset: as_u32(vals[1]),
+                    },
+                    value: vals[2],
+                }),
+            ),
+            LowLevelHook::Local(op, _) => self.emit(
+                &ctx,
+                &Event::Local(VarEvt {
+                    op: *op,
+                    index: as_u32(vals[0]),
+                    value: vals[1],
+                }),
+            ),
+            LowLevelHook::Global(op, _) => self.emit(
+                &ctx,
+                &Event::Global(VarEvt {
+                    op: *op,
+                    index: as_u32(vals[0]),
+                    value: vals[1],
+                }),
+            ),
+            LowLevelHook::Return(_) => {
+                self.emit(&ctx, &Event::Return(ReturnEvt { results: &vals }));
             }
-            LowLevelHook::Load(op) => {
-                let memarg = MemArg {
-                    addr: as_u32(vals[0]),
-                    offset: as_u32(vals[1]),
-                };
-                self.analysis.load(loc, *op, memarg, vals[2]);
-            }
-            LowLevelHook::Store(op) => {
-                let memarg = MemArg {
-                    addr: as_u32(vals[0]),
-                    offset: as_u32(vals[1]),
-                };
-                self.analysis.store(loc, *op, memarg, vals[2]);
-            }
-            LowLevelHook::Local(op, _) => {
-                self.analysis.local(loc, *op, as_u32(vals[0]), vals[1]);
-            }
-            LowLevelHook::Global(op, _) => {
-                self.analysis.global(loc, *op, as_u32(vals[0]), vals[1]);
-            }
-            LowLevelHook::Return(_) => self.analysis.return_(loc, &vals),
             LowLevelHook::CallPre { indirect, .. } => {
                 let (func, table_index) = if *indirect {
                     let table_idx = as_u32(vals[0]);
@@ -182,14 +337,23 @@ impl<'a> WasabiHost<'a> {
                 } else {
                     (as_u32(vals[0]), None)
                 };
-                self.analysis.call_pre(loc, func, &vals[1..], table_index);
+                self.emit(
+                    &ctx,
+                    &Event::CallPre(CallEvt {
+                        func,
+                        args: &vals[1..],
+                        table_index,
+                    }),
+                );
             }
-            LowLevelHook::CallPost(_) => self.analysis.call_post(loc, &vals),
+            LowLevelHook::CallPost(_) => {
+                self.emit(&ctx, &Event::CallPost(CallPostEvt { results: &vals }));
+            }
         }
     }
 }
 
-impl Host for WasabiHost<'_> {
+impl Host for WasabiHost<'_, '_> {
     fn resolve(&mut self, module: &str, name: &str, ty: &FuncType) -> Option<HostFuncId> {
         let hook_count = self.info.hooks.len();
         if module == HOOK_MODULE {
@@ -262,11 +426,14 @@ impl From<Trap> for AnalysisError {
 /// An instrumented module bundled with its static info, ready to run under
 /// different analyses.
 ///
+/// This is the **single-analysis** entry point; to run several analyses
+/// over one instrumentation and execution pass, use
+/// [`crate::pipeline::Pipeline`].
+///
 /// # Examples
 ///
 /// ```
-/// use wasabi::{AnalysisSession, hooks::{Analysis, Hook, HookSet}};
-/// use wasabi::location::Location;
+/// use wasabi::{AnalysisSession, event::{AnalysisCtx, ValEvt}, hooks::{Analysis, Hook, HookSet}};
 /// use wasabi_wasm::builder::ModuleBuilder;
 /// use wasabi_wasm::{ValType, Val};
 ///
@@ -274,7 +441,7 @@ impl From<Trap> for AnalysisError {
 /// struct CountConsts(u64);
 /// impl Analysis for CountConsts {
 ///     fn hooks(&self) -> HookSet { HookSet::of(&[Hook::Const]) }
-///     fn const_(&mut self, _: Location, _: Val) { self.0 += 1; }
+///     fn const_(&mut self, _: &AnalysisCtx, _: &ValEvt) { self.0 += 1; }
 /// }
 ///
 /// let mut builder = ModuleBuilder::new();
@@ -305,6 +472,13 @@ impl AnalysisSession {
     pub fn new(module: &Module, hooks: HookSet) -> Result<Self, wasabi_wasm::ValidationError> {
         let (module, info) = instrument(module, hooks)?;
         Ok(AnalysisSession { module, info })
+    }
+
+    /// Bundle an already-instrumented module with its static info (used by
+    /// [`crate::pipeline::PipelineBuilder::build`], which drives the
+    /// instrumenter itself for thread control).
+    pub(crate) fn from_parts(module: Module, info: ModuleInfo) -> Self {
+        AnalysisSession { module, info }
     }
 
     /// Instrument `module` selectively for the hooks `analysis` declares.
@@ -341,6 +515,7 @@ impl AnalysisSession {
         export: &str,
         args: &[Val],
     ) -> Result<Vec<Val>, AnalysisError> {
+        stats::record_execution();
         let mut host = WasabiHost::new(&self.info, analysis);
         let mut instance = Instance::instantiate(self.module.clone(), &mut host)?;
         Ok(instance.invoke_export(export, args, &mut host)?)
@@ -359,6 +534,7 @@ impl AnalysisSession {
         export: &str,
         args: &[Val],
     ) -> Result<Vec<Val>, AnalysisError> {
+        stats::record_execution();
         let mut host = WasabiHost::new(&self.info, analysis).with_program_host(program_host);
         let mut instance = Instance::instantiate(self.module.clone(), &mut host)?;
         Ok(instance.invoke_export(export, args, &mut host)?)
@@ -445,5 +621,18 @@ mod tests {
         let session = session_with_hooks();
         assert!(session.module().functions.len() > session.info().original_function_count as usize);
         assert_eq!(session.info().enabled, HookSet::all());
+    }
+
+    #[test]
+    fn session_run_records_an_execution_pass() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[], &[], |f| {
+            f.nop();
+        });
+        let session = AnalysisSession::new(&builder.finish(), HookSet::empty()).unwrap();
+        let before = stats::execution_passes();
+        let mut analysis = NoAnalysis;
+        session.run(&mut analysis, "f", &[]).unwrap();
+        assert!(stats::execution_passes() > before);
     }
 }

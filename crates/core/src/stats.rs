@@ -1,0 +1,47 @@
+//! Process-wide pass counters.
+//!
+//! The whole point of the fused pipeline (paper §2.4.2 generalized to many
+//! analyses) is that *N* analyses cost **one** instrumentation pass and
+//! **one** execution pass instead of *N* each. These counters make that
+//! property observable, so tests can assert it and the bench bins can
+//! report it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static INSTRUMENTATION_PASSES: AtomicU64 = AtomicU64::new(0);
+static EXECUTION_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of instrumentation passes ([`crate::instrument`] /
+/// [`crate::Instrumenter::run`]) this process has performed.
+pub fn instrumentation_passes() -> u64 {
+    INSTRUMENTATION_PASSES.load(Ordering::Relaxed)
+}
+
+/// Total number of analysis execution passes (instantiate + invoke through
+/// an [`crate::AnalysisSession`] or [`crate::Pipeline`]).
+pub fn execution_passes() -> u64 {
+    EXECUTION_PASSES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_instrumentation() {
+    INSTRUMENTATION_PASSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_execution() {
+    EXECUTION_PASSES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic() {
+        let before = instrumentation_passes();
+        record_instrumentation();
+        assert!(instrumentation_passes() >= before + 1);
+        let before = execution_passes();
+        record_execution();
+        assert!(execution_passes() >= before + 1);
+    }
+}

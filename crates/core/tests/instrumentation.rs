@@ -2,11 +2,15 @@
 //! execute it in the VM, and check the high-level event stream an analysis
 //! observes. One test per paper mechanism (Table 3 rows, §2.4.3–§2.4.6).
 
-use wasabi::hooks::{Analysis, BlockKind, Hook, HookSet, MemArg};
-use wasabi::location::{BranchTarget, Location};
+use wasabi::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, CallPostEvt, EndEvt,
+    GlobalEvt, IfEvt, LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt,
+    UnaryEvt, ValEvt,
+};
+use wasabi::hooks::{Analysis, Hook, HookSet};
 use wasabi::AnalysisSession;
 use wasabi_wasm::builder::ModuleBuilder;
-use wasabi_wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+use wasabi_wasm::instr::{BinaryOp, LoadOp, StoreOp, UnaryOp, Val};
 use wasabi_wasm::types::ValType;
 
 /// Records every hook invocation as a readable line.
@@ -34,102 +38,129 @@ impl Analysis for Recorder {
         self.hooks
     }
 
-    fn start(&mut self, loc: Location) {
-        self.events.push(format!("start @{loc}"));
+    fn start(&mut self, ctx: &AnalysisCtx) {
+        self.events.push(format!("start @{}", ctx.loc));
     }
-    fn nop(&mut self, loc: Location) {
-        self.events.push(format!("nop @{loc}"));
+    fn nop(&mut self, ctx: &AnalysisCtx) {
+        self.events.push(format!("nop @{}", ctx.loc));
     }
-    fn unreachable(&mut self, loc: Location) {
-        self.events.push(format!("unreachable @{loc}"));
+    fn unreachable(&mut self, ctx: &AnalysisCtx) {
+        self.events.push(format!("unreachable @{}", ctx.loc));
     }
-    fn if_(&mut self, loc: Location, condition: bool) {
-        self.events.push(format!("if {condition} @{loc}"));
-    }
-    fn br(&mut self, loc: Location, target: BranchTarget) {
-        self.events.push(format!("br {target} @{loc}"));
-    }
-    fn br_if(&mut self, loc: Location, target: BranchTarget, condition: bool) {
+    fn if_(&mut self, ctx: &AnalysisCtx, evt: &IfEvt) {
         self.events
-            .push(format!("br_if {target} {condition} @{loc}"));
+            .push(format!("if {} @{}", evt.condition, ctx.loc));
     }
-    fn br_table(
-        &mut self,
-        loc: Location,
-        table: &[BranchTarget],
-        default: BranchTarget,
-        table_index: u32,
-    ) {
+    fn br(&mut self, ctx: &AnalysisCtx, evt: &BranchEvt) {
+        self.events.push(format!("br {} @{}", evt.target, ctx.loc));
+    }
+    fn br_if(&mut self, ctx: &AnalysisCtx, evt: &BranchEvt) {
         self.events.push(format!(
-            "br_table [{}] default {default} idx {table_index} @{loc}",
-            table
+            "br_if {} {} @{}",
+            evt.target,
+            evt.condition.expect("br_if carries a condition"),
+            ctx.loc
+        ));
+    }
+    fn br_table(&mut self, ctx: &AnalysisCtx, evt: &BranchTableEvt<'_>) {
+        self.events.push(format!(
+            "br_table [{}] default {} idx {} @{}",
+            evt.targets
                 .iter()
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
-                .join("; ")
+                .join("; "),
+            evt.default,
+            evt.index,
+            ctx.loc
         ));
     }
-    fn begin(&mut self, loc: Location, kind: BlockKind) {
-        self.events.push(format!("begin {kind} @{loc}"));
+    fn begin(&mut self, ctx: &AnalysisCtx, evt: &BlockEvt) {
+        self.events.push(format!("begin {} @{}", evt.kind, ctx.loc));
     }
-    fn end(&mut self, loc: Location, kind: BlockKind, begin: Location) {
-        self.events.push(format!("end {kind} begin@{begin} @{loc}"));
-    }
-    fn memory_size(&mut self, loc: Location, current_pages: u32) {
+    fn end(&mut self, ctx: &AnalysisCtx, evt: &EndEvt) {
         self.events
-            .push(format!("memory_size {current_pages} @{loc}"));
+            .push(format!("end {} begin@{} @{}", evt.kind, evt.begin, ctx.loc));
     }
-    fn memory_grow(&mut self, loc: Location, delta: u32, previous_pages: i32) {
+    fn memory_size(&mut self, ctx: &AnalysisCtx, evt: &MemSizeEvt) {
         self.events
-            .push(format!("memory_grow {delta} prev {previous_pages} @{loc}"));
+            .push(format!("memory_size {} @{}", evt.pages, ctx.loc));
     }
-    fn const_(&mut self, loc: Location, value: Val) {
-        self.events.push(format!("const {value:?} @{loc}"));
+    fn memory_grow(&mut self, ctx: &AnalysisCtx, evt: &MemGrowEvt) {
+        self.events.push(format!(
+            "memory_grow {} prev {} @{}",
+            evt.delta, evt.previous_pages, ctx.loc
+        ));
     }
-    fn drop_(&mut self, loc: Location, value: Val) {
-        self.events.push(format!("drop {value:?} @{loc}"));
-    }
-    fn select(&mut self, loc: Location, condition: bool, first: Val, second: Val) {
+    fn const_(&mut self, ctx: &AnalysisCtx, evt: &ValEvt) {
         self.events
-            .push(format!("select {condition} {first:?} {second:?} @{loc}"));
+            .push(format!("const {:?} @{}", evt.value, ctx.loc));
     }
-    fn unary(&mut self, loc: Location, op: UnaryOp, input: Val, result: Val) {
+    fn drop_(&mut self, ctx: &AnalysisCtx, evt: &ValEvt) {
         self.events
-            .push(format!("unary {op} {input:?} -> {result:?} @{loc}"));
+            .push(format!("drop {:?} @{}", evt.value, ctx.loc));
     }
-    fn binary(&mut self, loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {
+    fn select(&mut self, ctx: &AnalysisCtx, evt: &SelectEvt) {
         self.events.push(format!(
-            "binary {op} {first:?} {second:?} -> {result:?} @{loc}"
+            "select {} {:?} {:?} @{}",
+            evt.condition, evt.first, evt.second, ctx.loc
         ));
     }
-    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {
+    fn unary(&mut self, ctx: &AnalysisCtx, evt: &UnaryEvt) {
         self.events.push(format!(
-            "load {op} addr {} -> {value:?} @{loc}",
-            memarg.effective_addr()
+            "unary {} {:?} -> {:?} @{}",
+            evt.op, evt.input, evt.result, ctx.loc
         ));
     }
-    fn store(&mut self, loc: Location, op: StoreOp, memarg: MemArg, value: Val) {
+    fn binary(&mut self, ctx: &AnalysisCtx, evt: &BinaryEvt) {
         self.events.push(format!(
-            "store {op} addr {} <- {value:?} @{loc}",
-            memarg.effective_addr()
+            "binary {} {:?} {:?} -> {:?} @{}",
+            evt.op, evt.first, evt.second, evt.result, ctx.loc
         ));
     }
-    fn local(&mut self, loc: Location, op: LocalOp, index: u32, value: Val) {
-        self.events.push(format!("{op} {index} {value:?} @{loc}"));
-    }
-    fn global(&mut self, loc: Location, op: GlobalOp, index: u32, value: Val) {
-        self.events.push(format!("{op} {index} {value:?} @{loc}"));
-    }
-    fn return_(&mut self, loc: Location, results: &[Val]) {
-        self.events.push(format!("return {results:?} @{loc}"));
-    }
-    fn call_pre(&mut self, loc: Location, func: u32, args: &[Val], table_index: Option<u32>) {
+    fn load(&mut self, ctx: &AnalysisCtx, evt: &LoadEvt) {
         self.events.push(format!(
-            "call_pre {func} {args:?} table {table_index:?} @{loc}"
+            "load {} addr {} -> {:?} @{}",
+            evt.op,
+            evt.memarg.effective_addr(),
+            evt.value,
+            ctx.loc
         ));
     }
-    fn call_post(&mut self, loc: Location, results: &[Val]) {
-        self.events.push(format!("call_post {results:?} @{loc}"));
+    fn store(&mut self, ctx: &AnalysisCtx, evt: &StoreEvt) {
+        self.events.push(format!(
+            "store {} addr {} <- {:?} @{}",
+            evt.op,
+            evt.memarg.effective_addr(),
+            evt.value,
+            ctx.loc
+        ));
+    }
+    fn local(&mut self, ctx: &AnalysisCtx, evt: &LocalEvt) {
+        self.events.push(format!(
+            "{} {} {:?} @{}",
+            evt.op, evt.index, evt.value, ctx.loc
+        ));
+    }
+    fn global(&mut self, ctx: &AnalysisCtx, evt: &GlobalEvt) {
+        self.events.push(format!(
+            "{} {} {:?} @{}",
+            evt.op, evt.index, evt.value, ctx.loc
+        ));
+    }
+    fn return_(&mut self, ctx: &AnalysisCtx, evt: &ReturnEvt<'_>) {
+        self.events
+            .push(format!("return {:?} @{}", evt.results, ctx.loc));
+    }
+    fn call_pre(&mut self, ctx: &AnalysisCtx, evt: &CallEvt<'_>) {
+        self.events.push(format!(
+            "call_pre {} {:?} table {:?} @{}",
+            evt.func, evt.args, evt.table_index, ctx.loc
+        ));
+    }
+    fn call_post(&mut self, ctx: &AnalysisCtx, evt: &CallPostEvt<'_>) {
+        self.events
+            .push(format!("call_post {:?} @{}", evt.results, ctx.loc));
     }
 }
 

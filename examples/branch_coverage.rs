@@ -8,7 +8,7 @@
 //! ```
 
 use wasabi_repro::analyses::{BranchCoverage, InstructionCoverage};
-use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::core::Wasabi;
 use wasabi_repro::wasm::builder::ModuleBuilder;
 use wasabi_repro::wasm::{BinaryOp, Val, ValType};
 
@@ -39,32 +39,33 @@ fn classifier() -> wasabi_repro::wasm::Module {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = classifier();
 
+    // Both coverage analyses fused: ONE instrumented module, ONE execution
+    // per input, each analysis only sees its subscribed hooks.
     let mut branch_cov = BranchCoverage::new();
     let mut instr_cov = InstructionCoverage::new();
-    let branch_session = AnalysisSession::for_analysis(&module, &branch_cov)?;
-    let instr_session = AnalysisSession::for_analysis(&module, &instr_cov)?;
+    let mut pipeline = Wasabi::builder()
+        .analysis(&mut branch_cov)
+        .analysis(&mut instr_cov)
+        .build(&module)?;
 
     let test_suites: [&[i32]; 2] = [&[5], &[5, -3, 0, 4, 6]];
     for inputs in test_suites {
         for &input in inputs {
-            branch_session.run(&mut branch_cov, "classify", &[Val::I32(input)])?;
-            instr_session.run(&mut instr_cov, "classify", &[Val::I32(input)])?;
+            pipeline.run("classify", &[Val::I32(input)])?;
         }
         println!("after inputs {inputs:?}:");
-        println!(
-            "  instruction coverage: {:.0}%",
-            instr_cov.ratio(instr_session.info()) * 100.0
-        );
-        for (loc, outcomes) in branch_cov.branches() {
-            println!("  branch at {loc}: outcomes seen {outcomes:?}");
-        }
-        let partial = branch_cov.partially_covered();
-        if partial.is_empty() {
-            println!("  all observed branches covered in both directions");
-        } else {
-            println!("  partially covered branches: {partial:?}");
+        for report in pipeline.reports() {
+            println!("  {}", report.to_json());
         }
         println!();
+    }
+
+    drop(pipeline);
+    let partial = branch_cov.partially_covered();
+    if partial.is_empty() {
+        println!("all observed branches covered in both directions");
+    } else {
+        println!("partially covered branches remain: {partial:?}");
     }
 
     Ok(())

@@ -8,6 +8,7 @@
 //! ```
 
 use wasabi_repro::analyses::CryptominerDetection;
+use wasabi_repro::core::hooks::Analysis;
 use wasabi_repro::core::AnalysisSession;
 use wasabi_repro::workloads::{compile, polybench, synthetic};
 
@@ -21,14 +22,8 @@ fn profile(
     session.run(&mut detector, export, &[])?;
 
     println!("== {name}");
-    for (op, count) in detector.signature() {
-        println!("   {op:<12} {count:>10}");
-    }
-    println!(
-        "   signature ratio: {:.1}% of {} binary instructions",
-        detector.signature_ratio() * 100.0,
-        detector.total_binary_instructions()
-    );
+    // The structured report carries signature, ratio, and verdict.
+    println!("   {}", detector.report().to_json());
     println!(
         "   verdict: {}",
         if detector.is_likely_miner() {

@@ -1,0 +1,37 @@
+//! All eight Table-4 analyses of the paper, fused onto ONE
+//! instrumentation and execution pass over a PolyBench kernel (the
+//! pipeline generalization of §2.4.2 selective instrumentation).
+//!
+//! ```sh
+//! cargo run --release --example fused_pipeline
+//! ```
+
+use wasabi_repro::analyses::registry;
+use wasabi_repro::core::{stats, Wasabi};
+use wasabi_repro::workloads::{compile, polybench};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = compile(&polybench::by_name("gemm", 12).expect("known kernel"));
+
+    let mut analyses = registry::table4();
+    let instr_before = stats::instrumentation_passes();
+    let exec_before = stats::execution_passes();
+
+    let mut builder = Wasabi::builder();
+    for analysis in &mut analyses {
+        builder = builder.analysis(analysis.as_mut());
+    }
+    let mut pipeline = builder.build(&module)?;
+    pipeline.run("main", &[])?;
+
+    eprintln!(
+        "ran {} analyses over gemm in {} instrumentation pass(es) and {} execution pass(es)",
+        pipeline.len(),
+        stats::instrumentation_passes() - instr_before,
+        stats::execution_passes() - exec_before,
+    );
+    for report in pipeline.reports() {
+        println!("{}", report.to_json());
+    }
+    Ok(())
+}

@@ -9,6 +9,7 @@
 //! ```
 
 use wasabi_repro::analyses::MemoryTracing;
+use wasabi_repro::core::hooks::Analysis;
 use wasabi_repro::core::AnalysisSession;
 use wasabi_repro::workloads::dsl::*;
 use wasabi_repro::workloads::{compile, Program};
@@ -55,17 +56,10 @@ fn trace(program: &Program) -> Result<MemoryTracing, Box<dyn std::error::Error>>
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, row_major) in [("row-major", true), ("column-major", false)] {
         let tracing = trace(&traversal("traversal", row_major))?;
-        let (read, written) = tracing.bytes_transferred();
         println!("== {label} traversal");
-        println!("   accesses: {}", tracing.trace().len());
-        println!("   bytes: {read} read, {written} written");
-        println!(
-            "   64-byte (cache line) locality: {:.0}%",
-            tracing.locality(64) * 100.0
-        );
-        for (loc, stride, reps) in tracing.strides().into_iter().take(2) {
-            println!("   dominant stride at {loc}: {stride} bytes ({reps} repetitions)");
-        }
+        // accesses, bytes, cache-line locality, and dominant strides all
+        // live in the structured report.
+        println!("   {}", tracing.report().to_json());
         println!();
     }
     println!("row-major strides stay within a cache line; column-major strides");

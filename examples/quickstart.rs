@@ -1,12 +1,12 @@
-//! Quickstart: instrument a module, run it under an analysis, inspect the
-//! results.
+//! Quickstart: fuse two analyses onto one instrumentation + execution
+//! pass with the pipeline API, then inspect their structured reports.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use wasabi_repro::analyses::InstructionMix;
-use wasabi_repro::core::AnalysisSession;
+use wasabi_repro::analyses::{CallGraph, InstructionMix};
+use wasabi_repro::core::Wasabi;
 use wasabi_repro::wasm::builder::ModuleBuilder;
 use wasabi_repro::wasm::{Val, ValType};
 
@@ -37,22 +37,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let module = builder.finish();
 
-    // 2. Pick an analysis. `InstructionMix` counts every executed
-    //    instruction; its `hooks()` drive selective instrumentation.
-    let mut analysis = InstructionMix::new();
+    // 2. Pick analyses. Each declares the hooks it needs; the pipeline
+    //    instruments once for the UNION and dispatches per hook, so the
+    //    call-graph analysis pays nothing for the mix's const/local
+    //    traffic.
+    let mut mix = InstructionMix::new();
+    let mut graph = CallGraph::new();
 
-    // 3. Instrument once, run as often as you like.
-    let session = AnalysisSession::for_analysis(&module, &analysis)?;
-    let results = session.run(&mut analysis, "factorial", &[Val::I64(10)])?;
-
+    // 3. One instrumentation pass, one execution pass — any number of
+    //    analyses.
+    let mut pipeline = Wasabi::builder()
+        .analysis(&mut mix)
+        .analysis(&mut graph)
+        .build(&module)?;
+    let results = pipeline.run("factorial", &[Val::I64(10)])?;
     println!("factorial(10) = {}", results[0]);
-    println!();
-    println!("{:<16} {:>8}", "instruction", "count");
-    println!("{:-<16} {:->8}", "", "");
-    for (name, count) in analysis.top(10) {
-        println!("{name:<16} {count:>8}");
+
+    // 4. Every analysis emits a structured JSON report.
+    for report in pipeline.reports() {
+        println!("{}", report.to_json());
     }
-    println!("{:<16} {:>8}", "total", analysis.total());
+
+    // 5. The concrete analysis values stay accessible too.
+    drop(pipeline);
+    println!();
+    println!("top instructions: {:?}", mix.top(3));
 
     Ok(())
 }

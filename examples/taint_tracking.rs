@@ -10,6 +10,7 @@
 //! ```
 
 use wasabi_repro::analyses::TaintAnalysis;
+use wasabi_repro::core::hooks::Analysis;
 use wasabi_repro::core::AnalysisSession;
 use wasabi_repro::vm::host::HostFunctions;
 use wasabi_repro::wasm::builder::ModuleBuilder;
@@ -51,11 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     session.run_with_host(&mut taint, &mut host, "main", &[])?;
 
     println!();
-    println!(
-        "taint analysis: {} flow(s) detected, {} shadow-memory byte(s) tainted",
-        taint.flows().len(),
-        taint.tainted_memory_bytes()
-    );
+    println!("{}", taint.report().to_json());
     for flow in taint.flows() {
         println!(
             "  ILLEGAL FLOW: value tainted at {} reaches sink call at {} (function {}, argument {})",

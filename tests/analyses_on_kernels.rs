@@ -135,10 +135,11 @@ fn cryptominer_detector_separates_miner_from_kernels() {
 }
 
 #[test]
-fn combined_analyses_match_separate_runs() {
-    // Running two analyses over ONE execution (union hook set) must give
-    // each the same results as its own dedicated run.
-    use wasabi_repro::core::Combined;
+fn fused_analyses_match_separate_runs() {
+    // Running two analyses fused over ONE execution (union hook set with
+    // per-hook dispatch) must give each the same results as its own
+    // dedicated run.
+    use wasabi_repro::core::Wasabi;
 
     let module = gemm_module();
 
@@ -150,12 +151,18 @@ fn combined_analyses_match_separate_runs() {
     let session = AnalysisSession::for_analysis(&module, &separate_profile).unwrap();
     session.run(&mut separate_profile, "main", &[]).unwrap();
 
-    let mut combined = Combined(CallGraph::new(), BasicBlockProfiling::new());
-    let session = AnalysisSession::for_analysis(&module, &combined).unwrap();
-    session.run(&mut combined, "main", &[]).unwrap();
+    let mut graph = CallGraph::new();
+    let mut profile = BasicBlockProfiling::new();
+    let mut pipeline = Wasabi::builder()
+        .analysis(&mut graph)
+        .analysis(&mut profile)
+        .build(&module)
+        .unwrap();
+    pipeline.run("main", &[]).unwrap();
+    drop(pipeline);
 
-    assert_eq!(combined.0.edges(), separate_graph.edges());
-    assert_eq!(combined.1.counts(), separate_profile.counts());
+    assert_eq!(graph.edges(), separate_graph.edges());
+    assert_eq!(profile.counts(), separate_profile.counts());
 }
 
 #[test]

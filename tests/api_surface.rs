@@ -1,12 +1,19 @@
 //! Asserts the public analysis API surface of paper Table 2: all 23 hooks
-//! exist with the documented argument structure. A compile-time contract —
-//! if a hook signature changes, this file stops compiling.
+//! exist with the documented `(ctx, typed event)` structure. A compile-time
+//! contract — if a hook signature or an event payload field changes, this
+//! file stops compiling.
 
-use wasabi_repro::core::hooks::{Analysis, BlockKind, Hook, HookSet, MemArg};
+use wasabi_repro::core::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, CallPostEvt, EndEvt,
+    GlobalEvt, IfEvt, LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt,
+    UnaryEvt, ValEvt,
+};
+use wasabi_repro::core::hooks::{Analysis, Hook, HookSet};
 use wasabi_repro::core::location::{BranchTarget, Location};
-use wasabi_repro::wasm::instr::{BinaryOp, GlobalOp, LoadOp, LocalOp, StoreOp, UnaryOp, Val};
+use wasabi_repro::wasm::instr::Val;
 
-/// An analysis that overrides every hook with the exact Table 2 signature.
+/// An analysis that overrides every hook and touches every documented
+/// payload field of its typed event.
 #[derive(Default)]
 struct FullSurface {
     events: u64,
@@ -17,79 +24,109 @@ impl Analysis for FullSurface {
         HookSet::all()
     }
 
-    fn start(&mut self, _loc: Location) {
+    fn start(&mut self, ctx: &AnalysisCtx) {
+        let _loc: Location = ctx.loc;
         self.events += 1;
     }
-    fn nop(&mut self, _loc: Location) {
+    fn nop(&mut self, _ctx: &AnalysisCtx) {
         self.events += 1;
     }
-    fn unreachable(&mut self, _loc: Location) {
+    fn unreachable(&mut self, _ctx: &AnalysisCtx) {
         self.events += 1;
     }
-    fn if_(&mut self, _loc: Location, _condition: bool) {
+    fn if_(&mut self, _ctx: &AnalysisCtx, evt: &IfEvt) {
+        let _condition: bool = evt.condition;
         self.events += 1;
     }
-    fn br(&mut self, _loc: Location, _target: BranchTarget) {
+    fn br(&mut self, _ctx: &AnalysisCtx, evt: &BranchEvt) {
+        let _target: BranchTarget = evt.target;
+        assert!(evt.condition.is_none(), "br is unconditional");
         self.events += 1;
     }
-    fn br_if(&mut self, _loc: Location, _target: BranchTarget, _condition: bool) {
+    fn br_if(&mut self, _ctx: &AnalysisCtx, evt: &BranchEvt) {
+        let _target: BranchTarget = evt.target;
+        let _condition: bool = evt.condition.expect("br_if carries a condition");
         self.events += 1;
     }
-    fn br_table(
-        &mut self,
-        _loc: Location,
-        _table: &[BranchTarget],
-        _default: BranchTarget,
-        _table_index: u32,
-    ) {
+    fn br_table(&mut self, _ctx: &AnalysisCtx, evt: &BranchTableEvt<'_>) {
+        let _table: &[BranchTarget] = evt.targets;
+        let _default: BranchTarget = evt.default;
+        let _index: u32 = evt.index;
         self.events += 1;
     }
-    fn begin(&mut self, _loc: Location, _kind: BlockKind) {
+    fn begin(&mut self, _ctx: &AnalysisCtx, evt: &BlockEvt) {
+        let _name: &str = evt.kind.name();
         self.events += 1;
     }
-    fn end(&mut self, _loc: Location, _kind: BlockKind, _begin: Location) {
+    fn end(&mut self, _ctx: &AnalysisCtx, evt: &EndEvt) {
+        let _begin: Location = evt.begin;
+        let _name: &str = evt.kind.name();
         self.events += 1;
     }
-    fn memory_size(&mut self, _loc: Location, _current_pages: u32) {
+    fn memory_size(&mut self, _ctx: &AnalysisCtx, evt: &MemSizeEvt) {
+        let _pages: u32 = evt.pages;
         self.events += 1;
     }
-    fn memory_grow(&mut self, _loc: Location, _delta: u32, _previous_pages: i32) {
+    fn memory_grow(&mut self, _ctx: &AnalysisCtx, evt: &MemGrowEvt) {
+        let _delta: u32 = evt.delta;
+        let _previous: i32 = evt.previous_pages;
         self.events += 1;
     }
-    fn const_(&mut self, _loc: Location, _value: Val) {
+    fn const_(&mut self, _ctx: &AnalysisCtx, evt: &ValEvt) {
+        let _value: Val = evt.value;
         self.events += 1;
     }
-    fn drop_(&mut self, _loc: Location, _value: Val) {
+    fn drop_(&mut self, _ctx: &AnalysisCtx, evt: &ValEvt) {
+        let _value: Val = evt.value;
         self.events += 1;
     }
-    fn select(&mut self, _loc: Location, _condition: bool, _first: Val, _second: Val) {
+    fn select(&mut self, _ctx: &AnalysisCtx, evt: &SelectEvt) {
+        let _cond: bool = evt.condition;
+        let (_first, _second): (Val, Val) = (evt.first, evt.second);
         self.events += 1;
     }
-    fn unary(&mut self, _loc: Location, _op: UnaryOp, _input: Val, _result: Val) {
+    fn unary(&mut self, _ctx: &AnalysisCtx, evt: &UnaryEvt) {
+        let (_input, _result): (Val, Val) = (evt.input, evt.result);
+        let _name: &str = evt.op.name();
         self.events += 1;
     }
-    fn binary(&mut self, _loc: Location, _op: BinaryOp, _first: Val, _second: Val, _result: Val) {
+    fn binary(&mut self, _ctx: &AnalysisCtx, evt: &BinaryEvt) {
+        let (_first, _second, _result): (Val, Val, Val) = (evt.first, evt.second, evt.result);
+        let _name: &str = evt.op.name();
         self.events += 1;
     }
-    fn load(&mut self, _loc: Location, _op: LoadOp, _memarg: MemArg, _value: Val) {
+    fn load(&mut self, _ctx: &AnalysisCtx, evt: &LoadEvt) {
+        let _addr: u64 = evt.memarg.effective_addr();
+        let _value: Val = evt.value;
         self.events += 1;
     }
-    fn store(&mut self, _loc: Location, _op: StoreOp, _memarg: MemArg, _value: Val) {
+    fn store(&mut self, _ctx: &AnalysisCtx, evt: &StoreEvt) {
+        let _addr: u64 = evt.memarg.effective_addr();
+        let _value: Val = evt.value;
         self.events += 1;
     }
-    fn local(&mut self, _loc: Location, _op: LocalOp, _index: u32, _value: Val) {
+    fn local(&mut self, _ctx: &AnalysisCtx, evt: &LocalEvt) {
+        let _index: u32 = evt.index;
+        let _value: Val = evt.value;
         self.events += 1;
     }
-    fn global(&mut self, _loc: Location, _op: GlobalOp, _index: u32, _value: Val) {
+    fn global(&mut self, _ctx: &AnalysisCtx, evt: &GlobalEvt) {
+        let _index: u32 = evt.index;
+        let _value: Val = evt.value;
         self.events += 1;
     }
-    fn return_(&mut self, _loc: Location, _results: &[Val]) {
+    fn return_(&mut self, _ctx: &AnalysisCtx, evt: &ReturnEvt<'_>) {
+        let _results: &[Val] = evt.results;
         self.events += 1;
     }
-    fn call_pre(&mut self, _loc: Location, _func: u32, _args: &[Val], _table_index: Option<u32>) {
+    fn call_pre(&mut self, _ctx: &AnalysisCtx, evt: &CallEvt<'_>) {
+        let _func: u32 = evt.func;
+        let _args: &[Val] = evt.args;
+        let _table_index: Option<u32> = evt.table_index;
         self.events += 1;
     }
-    fn call_post(&mut self, _loc: Location, _results: &[Val]) {
+    fn call_post(&mut self, _ctx: &AnalysisCtx, evt: &CallPostEvt<'_>) {
+        let _results: &[Val] = evt.results;
         self.events += 1;
     }
 }

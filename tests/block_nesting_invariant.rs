@@ -8,6 +8,7 @@
 //! every `end`; any missed or duplicated end-hook call anywhere in the
 //! instrumenter would break it.
 
+use wasabi_repro::core::event::{AnalysisCtx, BlockEvt, EndEvt};
 use wasabi_repro::core::hooks::{Analysis, BlockKind, Hook, HookSet};
 use wasabi_repro::core::location::Location;
 use wasabi_repro::core::AnalysisSession;
@@ -27,12 +28,13 @@ impl Analysis for NestingChecker {
         HookSet::of(&[Hook::Begin, Hook::End])
     }
 
-    fn begin(&mut self, loc: Location, kind: BlockKind) {
-        self.stack.push((kind, loc));
+    fn begin(&mut self, ctx: &AnalysisCtx, evt: &BlockEvt) {
+        self.stack.push((evt.kind, ctx.loc));
         self.max_depth = self.max_depth.max(self.stack.len());
     }
 
-    fn end(&mut self, loc: Location, kind: BlockKind, begin: Location) {
+    fn end(&mut self, ctx: &AnalysisCtx, evt: &EndEvt) {
+        let (loc, kind, begin) = (ctx.loc, evt.kind, evt.begin);
         let (open_kind, open_loc) = self
             .stack
             .pop()

@@ -1,0 +1,60 @@
+//! Acceptance criterion for the fused pipeline: running all eight Table-4
+//! analyses through one `Pipeline` performs exactly ONE instrumentation
+//! pass and ONE execution pass.
+//!
+//! This file deliberately contains a single `#[test]`: the pass counters
+//! are process-wide, and a dedicated integration-test binary is its own
+//! process, so no concurrently running test can perturb the deltas.
+
+use wasabi_repro::analyses::registry;
+use wasabi_repro::core::{stats, Wasabi};
+use wasabi_repro::workloads::{compile, polybench};
+
+#[test]
+fn eight_table4_analyses_fused_cost_one_pass_each_way() {
+    let module = compile(&polybench::by_name("gemm", 8).expect("known kernel"));
+
+    let mut analyses = registry::table4();
+    assert_eq!(analyses.len(), 8);
+
+    let instr_before = stats::instrumentation_passes();
+    let exec_before = stats::execution_passes();
+
+    let mut builder = Wasabi::builder();
+    for analysis in &mut analyses {
+        builder = builder.analysis(analysis.as_mut());
+    }
+    let mut pipeline = builder.build(&module).expect("instruments");
+    pipeline.run("main", &[]).expect("runs");
+
+    assert_eq!(
+        stats::instrumentation_passes() - instr_before,
+        1,
+        "8 fused analyses must instrument exactly once"
+    );
+    assert_eq!(
+        stats::execution_passes() - exec_before,
+        1,
+        "8 fused analyses must execute exactly once"
+    );
+
+    // All eight subscribed and reported; the union hook set is full
+    // (several Table-4 analyses use all hooks).
+    assert_eq!(pipeline.len(), 8);
+    assert_eq!(pipeline.hooks().len(), 23);
+    let reports = pipeline.reports();
+    assert_eq!(reports.len(), 8);
+    for (report, name) in reports.iter().zip(registry::TABLE4_NAMES) {
+        assert_eq!(report.analysis, name);
+        assert!(!report.data.is_null(), "{name} must report real data");
+    }
+
+    // The sequential equivalent really is 8× the work.
+    let instr_before = stats::instrumentation_passes();
+    for analysis in registry::table4().iter_mut() {
+        let session = wasabi_repro::core::AnalysisSession::for_analysis(&module, analysis.as_ref())
+            .expect("instruments");
+        session.run(analysis.as_mut(), "main", &[]).expect("runs");
+    }
+    assert_eq!(stats::instrumentation_passes() - instr_before, 8);
+}

@@ -9,10 +9,10 @@
 
 use std::collections::HashMap;
 
-use wasabi_repro::core::hooks::{Analysis, MemArg};
-use wasabi_repro::core::location::Location;
+use wasabi_repro::core::event::{AnalysisCtx, GlobalEvt, LoadEvt, LocalEvt, StoreEvt};
+use wasabi_repro::core::hooks::Analysis;
 use wasabi_repro::core::AnalysisSession;
-use wasabi_repro::wasm::instr::{GlobalOp, LoadOp, LocalOp, StoreOp, Val};
+use wasabi_repro::wasm::instr::{GlobalOp, Val};
 use wasabi_repro::workloads::{compile, polybench, synthetic};
 
 /// Mirrors memory bytes and global values; checks loads and global reads.
@@ -37,9 +37,9 @@ fn value_bytes(value: Val, width: u32) -> Vec<u8> {
 }
 
 impl Analysis for ShadowChecker {
-    fn store(&mut self, _: Location, op: StoreOp, memarg: MemArg, value: Val) {
-        let base = memarg.effective_addr();
-        for (i, byte) in value_bytes(value, op.access_bytes())
+    fn store(&mut self, _: &AnalysisCtx, evt: &StoreEvt) {
+        let base = evt.memarg.effective_addr();
+        for (i, byte) in value_bytes(evt.value, evt.op.access_bytes())
             .into_iter()
             .enumerate()
         {
@@ -47,9 +47,10 @@ impl Analysis for ShadowChecker {
         }
     }
 
-    fn load(&mut self, loc: Location, op: LoadOp, memarg: MemArg, value: Val) {
-        let base = memarg.effective_addr();
-        let width = op.access_bytes();
+    fn load(&mut self, ctx: &AnalysisCtx, evt: &LoadEvt) {
+        let loc = ctx.loc;
+        let base = evt.memarg.effective_addr();
+        let width = evt.op.access_bytes();
         // Only check if every byte of the loaded range was shadowed (i.e.
         // written through an observed store; data segments and zero pages
         // are unknown to the shadow).
@@ -60,24 +61,29 @@ impl Analysis for ShadowChecker {
 
         // Compare the raw loaded bytes. For sign/zero-extending loads the
         // observed value is the extension of the raw bytes; truncate back.
-        let observed = value_bytes(value, width);
+        let observed = value_bytes(evt.value, width);
         // Sign-extended loads of negative values change the *extension*,
         // not the low bytes, so comparing `width` low bytes is exact.
         assert_eq!(
             observed, shadowed,
-            "load {op} at addr {base} (loc {loc}) returned {observed:?}, shadow has {shadowed:?}"
+            "load {} at addr {base} (loc {loc}) returned {observed:?}, shadow has {shadowed:?}",
+            evt.op
         );
         self.checked_loads += 1;
     }
 
-    fn global(&mut self, _: Location, op: GlobalOp, index: u32, value: Val) {
-        match op {
+    fn global(&mut self, _: &AnalysisCtx, evt: &GlobalEvt) {
+        match evt.op {
             GlobalOp::Set => {
-                self.globals.insert(index, value);
+                self.globals.insert(evt.index, evt.value);
             }
             GlobalOp::Get => {
-                if let Some(&shadow) = self.globals.get(&index) {
-                    assert_eq!(value, shadow, "global {index} diverged from shadow");
+                if let Some(&shadow) = self.globals.get(&evt.index) {
+                    assert_eq!(
+                        evt.value, shadow,
+                        "global {} diverged from shadow",
+                        evt.index
+                    );
                     self.checked_globals += 1;
                 }
             }
@@ -87,7 +93,7 @@ impl Analysis for ShadowChecker {
     // Locals are per-frame; checking them requires frame tracking like the
     // taint analysis. Memory + globals already cover the value-delivery
     // paths (tee/set/get share the same capture machinery).
-    fn local(&mut self, _: Location, _: LocalOp, _: u32, _: Val) {}
+    fn local(&mut self, _: &AnalysisCtx, _: &LocalEvt) {}
 }
 
 #[test]

@@ -4,8 +4,8 @@
 //! both that the computation is unchanged and that the hook actually
 //! fired with the right operands.
 
+use wasabi_repro::core::event::{AnalysisCtx, BinaryEvt};
 use wasabi_repro::core::hooks::{Analysis, Hook, HookSet};
-use wasabi_repro::core::location::Location;
 use wasabi_repro::core::AnalysisSession;
 use wasabi_repro::wasm::builder::ModuleBuilder;
 use wasabi_repro::wasm::{BinaryOp, Val, ValType};
@@ -21,8 +21,8 @@ impl Analysis for BinarySpy {
         HookSet::of(&[Hook::Binary])
     }
 
-    fn binary(&mut self, _loc: Location, op: BinaryOp, first: Val, second: Val, result: Val) {
-        self.calls.push((op, first, second, result));
+    fn binary(&mut self, _: &AnalysisCtx, evt: &BinaryEvt) {
+        self.calls.push((evt.op, evt.first, evt.second, evt.result));
     }
 }
 
@@ -71,7 +71,7 @@ fn selective_instrumentation_skips_other_hooks() {
         fn hooks(&self) -> HookSet {
             HookSet::empty()
         }
-        fn binary(&mut self, _: Location, _: BinaryOp, _: Val, _: Val, _: Val) {
+        fn binary(&mut self, _: &AnalysisCtx, _: &BinaryEvt) {
             self.binaries += 1;
         }
     }
