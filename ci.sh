@@ -27,4 +27,20 @@ cargo run --release -q -p wasabi-bench --bin fig9 -- --smoke >/dev/null
 echo "==> bench smoke (pipeline --smoke)"
 cargo run --release -q -p wasabi-bench --bin pipeline -- --smoke --out /tmp/BENCH_pipeline_smoke.json >/dev/null
 
+echo "==> bench smoke (interp --smoke)"
+cargo run --release -q -p wasabi-bench --bin interp -- --smoke --out /tmp/BENCH_interp_smoke.json >/dev/null
+
+# Perf regression gate: the recorded fused-pipeline speedup must stay
+# >= 2.0x. Re-record with:  cargo run --release -p wasabi-bench --bin pipeline
+echo "==> perf gate: BENCH_pipeline.json fused speedup >= 2.0x"
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_pipeline.json") as f:
+    bench = json.load(f)
+speedup = bench["speedup"]
+if speedup < 2.0:
+    sys.exit(f"fused-pipeline speedup regressed: {speedup:.3f}x < 2.0x")
+print(f"    fused-pipeline speedup: {speedup:.3f}x (>= 2.0x)")
+EOF
+
 echo "ci.sh: all checks passed"

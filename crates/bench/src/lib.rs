@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use wasabi::hooks::{Hook, HookSet, NoAnalysis};
 use wasabi::{instrument, AnalysisSession, WasabiHost};
-use wasabi_vm::{EmptyHost, Instance};
+use wasabi_vm::{EmptyHost, Instance, Reference, TranslatedModule};
 use wasabi_wasm::encode::encode;
 use wasabi_wasm::module::Module;
 use wasabi_workloads::synthetic::{synthetic_app, SyntheticConfig};
@@ -161,10 +161,24 @@ pub fn run_instrumented(module: &Module, hooks: HookSet, export: &str) -> RunMea
 
 /// Best-of-`repeats` original run (minimum wall time suppresses scheduler
 /// noise on short-running subjects; the VM instruction count is identical
-/// across repeats).
+/// across repeats). The module is validated and translated to the flat IR
+/// **once**; each repeat only instantiates.
 pub fn run_original_repeated(module: &Module, export: &str, repeats: usize) -> RunMeasurement {
+    let translated = TranslatedModule::new(module.clone()).expect("validates");
     (0..repeats.max(1))
-        .map(|_| run_original(module, export))
+        .map(|_| {
+            let mut host = EmptyHost;
+            let mut instance =
+                Instance::instantiate_translated(&translated, &mut host).expect("instantiates");
+            let start = Instant::now();
+            instance
+                .invoke_export(export, &[], &mut host)
+                .expect("runs without trap");
+            RunMeasurement {
+                wall: start.elapsed(),
+                vm_instrs: instance.executed_instrs(),
+            }
+        })
         .min_by(|a, b| a.wall.cmp(&b.wall))
         .expect("at least one run")
 }
@@ -181,8 +195,8 @@ pub fn run_instrumented_repeated(
         .map(|_| {
             let mut analysis = NoAnalysis;
             let mut host = WasabiHost::new(session.info(), &mut analysis);
-            let mut instance =
-                Instance::instantiate(session.module().clone(), &mut host).expect("instantiates");
+            let mut instance = Instance::instantiate_translated(session.translated(), &mut host)
+                .expect("instantiates");
             let start = Instant::now();
             instance
                 .invoke_export(export, &[], &mut host)
@@ -215,6 +229,51 @@ pub fn run_original_amortized(module: &Module, export: &str, invocations: usize)
     }
 }
 
+/// Measure `invocations` consecutive calls of the uninstrumented export
+/// executed by the structured-walk [`Reference`] oracle — the seed
+/// interpreter semantics, the "before" side of `BENCH_interp.json`.
+pub fn run_reference_amortized(
+    module: &Module,
+    export: &str,
+    invocations: usize,
+) -> RunMeasurement {
+    let reference = Reference::new(module);
+    let mut host = EmptyHost;
+    let mut instance = Instance::instantiate(module.clone(), &mut host).expect("instantiates");
+    let start = Instant::now();
+    for _ in 0..invocations.max(1) {
+        reference
+            .invoke_export(&mut instance, export, &[], &mut host)
+            .expect("runs without trap");
+    }
+    RunMeasurement {
+        wall: start.elapsed(),
+        vm_instrs: instance.executed_instrs(),
+    }
+}
+
+/// Amortized flat-IR counterpart of [`run_reference_amortized`]: the
+/// module is translated once up front, then invoked on one instance.
+pub fn run_flat_amortized(
+    translated: &TranslatedModule,
+    export: &str,
+    invocations: usize,
+) -> RunMeasurement {
+    let mut host = EmptyHost;
+    let mut instance =
+        Instance::instantiate_translated(translated, &mut host).expect("instantiates");
+    let start = Instant::now();
+    for _ in 0..invocations.max(1) {
+        instance
+            .invoke_export(export, &[], &mut host)
+            .expect("runs without trap");
+    }
+    RunMeasurement {
+        wall: start.elapsed(),
+        vm_instrs: instance.executed_instrs(),
+    }
+}
+
 /// Amortized counterpart of [`run_instrumented`].
 pub fn run_instrumented_amortized(
     module: &Module,
@@ -226,7 +285,7 @@ pub fn run_instrumented_amortized(
     let mut analysis = NoAnalysis;
     let mut host = WasabiHost::new(session.info(), &mut analysis);
     let mut instance =
-        Instance::instantiate(session.module().clone(), &mut host).expect("instantiates");
+        Instance::instantiate_translated(session.translated(), &mut host).expect("instantiates");
     let start = Instant::now();
     for _ in 0..invocations.max(1) {
         instance
@@ -300,6 +359,17 @@ mod tests {
         assert_eq!(format_bytes(9_615_389), "9 615 389");
         assert_eq!(format_bytes(42), "42");
         assert_eq!(format_bytes(1_000), "1 000");
+    }
+
+    #[test]
+    fn reference_and_flat_execute_identically() {
+        let module = compile(&polybench::by_name("jacobi-1d", 6).unwrap());
+        let translated = TranslatedModule::new(module.clone()).unwrap();
+        let flat = run_flat_amortized(&translated, "main", 2);
+        let reference = run_reference_amortized(&module, "main", 2);
+        // Superinstructions count as the instructions they were fused from,
+        // so both executors must report the same instruction total.
+        assert_eq!(flat.vm_instrs, reference.vm_instrs);
     }
 
     #[test]

@@ -228,35 +228,79 @@ impl LowLevelHook {
         FuncType::new(&params, &[])
     }
 
-    /// The payload types *before* flattening (used by the runtime to join
-    /// i64 halves back together), excluding the trailing location.
-    pub fn payload_types(&self) -> Vec<ValType> {
+    /// Visit the payload types *before* flattening (used by the runtime to
+    /// join i64 halves back together), excluding the trailing location.
+    ///
+    /// This is the allocation-free form of [`LowLevelHook::payload_types`],
+    /// used on the per-call hook dispatch path.
+    pub fn for_each_payload_type(&self, mut f: impl FnMut(ValType)) {
         match self {
             LowLevelHook::Start
             | LowLevelHook::Nop
             | LowLevelHook::Unreachable
-            | LowLevelHook::Begin(_) => vec![],
+            | LowLevelHook::Begin(_) => {}
             LowLevelHook::If | LowLevelHook::End(_) | LowLevelHook::MemorySize => {
-                vec![ValType::I32]
+                f(ValType::I32);
             }
             LowLevelHook::Br | LowLevelHook::BrTable | LowLevelHook::MemoryGrow => {
-                vec![ValType::I32, ValType::I32]
+                f(ValType::I32);
+                f(ValType::I32);
             }
-            LowLevelHook::BrIf => vec![ValType::I32, ValType::I32, ValType::I32],
-            LowLevelHook::Const(ty) | LowLevelHook::Drop(ty) => vec![*ty],
-            LowLevelHook::Select(ty) => vec![*ty, *ty, ValType::I32],
-            LowLevelHook::Unary(op) => vec![op.input(), op.result()],
-            LowLevelHook::Binary(op) => vec![op.input(), op.input(), op.result()],
-            LowLevelHook::Load(op) => vec![ValType::I32, ValType::I32, op.result()],
-            LowLevelHook::Store(op) => vec![ValType::I32, ValType::I32, op.value_type()],
-            LowLevelHook::Local(_, ty) | LowLevelHook::Global(_, ty) => vec![ValType::I32, *ty],
-            LowLevelHook::Return(tys) | LowLevelHook::CallPost(tys) => tys.clone(),
+            LowLevelHook::BrIf => {
+                f(ValType::I32);
+                f(ValType::I32);
+                f(ValType::I32);
+            }
+            LowLevelHook::Const(ty) | LowLevelHook::Drop(ty) => f(*ty),
+            LowLevelHook::Select(ty) => {
+                f(*ty);
+                f(*ty);
+                f(ValType::I32);
+            }
+            LowLevelHook::Unary(op) => {
+                f(op.input());
+                f(op.result());
+            }
+            LowLevelHook::Binary(op) => {
+                f(op.input());
+                f(op.input());
+                f(op.result());
+            }
+            LowLevelHook::Load(op) => {
+                f(ValType::I32);
+                f(ValType::I32);
+                f(op.result());
+            }
+            LowLevelHook::Store(op) => {
+                f(ValType::I32);
+                f(ValType::I32);
+                f(op.value_type());
+            }
+            LowLevelHook::Local(_, ty) | LowLevelHook::Global(_, ty) => {
+                f(ValType::I32);
+                f(*ty);
+            }
+            LowLevelHook::Return(tys) | LowLevelHook::CallPost(tys) => {
+                for &ty in tys {
+                    f(ty);
+                }
+            }
             LowLevelHook::CallPre { args, .. } => {
-                let mut v = vec![ValType::I32];
-                v.extend_from_slice(args);
-                v
+                f(ValType::I32);
+                for &ty in args {
+                    f(ty);
+                }
             }
         }
+    }
+
+    /// The payload types *before* flattening, as a `Vec` (see
+    /// [`LowLevelHook::for_each_payload_type`] for the allocation-free
+    /// visitor the dispatch path uses).
+    pub fn payload_types(&self) -> Vec<ValType> {
+        let mut types = Vec::new();
+        self.for_each_payload_type(|ty| types.push(ty));
+        types
     }
 }
 

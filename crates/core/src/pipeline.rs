@@ -127,7 +127,7 @@ impl<'a> PipelineBuilder<'a> {
             instrumenter = instrumenter.threads(threads);
         }
         let (instrumented, info) = instrumenter.run(module)?;
-        let session = AnalysisSession::from_parts(instrumented, info);
+        let session = AnalysisSession::from_parts(instrumented, info)?;
 
         let mut subscribers: Vec<Vec<usize>> = vec![Vec::new(); Hook::ALL.len()];
         for (idx, analysis) in self.analyses.iter().enumerate() {
@@ -208,7 +208,9 @@ impl<'a> Pipeline<'a> {
             self.analyses.as_mut_slice(),
             &self.subscribers,
         );
-        let mut instance = Instance::instantiate(self.session.module().clone(), &mut host)?;
+        // The session caches the validated, flat-IR-translated module, so
+        // repeated runs instantiate without cloning or re-translating it.
+        let mut instance = Instance::instantiate_translated(self.session.translated(), &mut host)?;
         Ok(instance.invoke_export(export, args, &mut host)?)
     }
 
@@ -231,7 +233,7 @@ impl<'a> Pipeline<'a> {
             &self.subscribers,
         )
         .with_program_host(program_host);
-        let mut instance = Instance::instantiate(self.session.module().clone(), &mut host)?;
+        let mut instance = Instance::instantiate_translated(self.session.translated(), &mut host)?;
         Ok(instance.invoke_export(export, args, &mut host)?)
     }
 

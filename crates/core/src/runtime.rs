@@ -9,14 +9,19 @@
 //! per-hook subscriber lists of a fused [`crate::pipeline::Pipeline`], so
 //! that an analysis subscribed only to `binary` pays nothing for
 //! `load`/`store` traffic of its pipeline neighbours.
+//!
+//! Hook dispatch is **allocation-free** on the hot path: hooks resolve at
+//! instantiation into the dense index the instrumenter already assigned
+//! (no `String`-keyed map), each call borrows its [`LowLevelHook`]
+//! descriptor instead of cloning it, and the joined payload / branch-table
+//! target buffers are scratch space reused across calls.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use wasabi_vm::host::{Host, HostCtx, HostFuncId};
 use wasabi_vm::trap::{InstantiationError, Trap};
-use wasabi_vm::Instance;
+use wasabi_vm::{Instance, TranslatedModule};
 use wasabi_wasm::instr::Val;
 use wasabi_wasm::module::Module;
 use wasabi_wasm::types::{FuncType, GlobalType, ValType};
@@ -54,7 +59,14 @@ pub struct WasabiHost<'a, 'p> {
     sink: Sink<'a, 'p>,
     info: &'a ModuleInfo,
     program_host: Option<&'a mut dyn Host>,
-    hook_ids: HashMap<String, usize>,
+    /// Cursor for ordinal hook resolution: the instrumenter emits hook
+    /// imports in `info.hooks` order, so instantiation resolves them by
+    /// position (with a linear-scan fallback for out-of-order callers).
+    next_hook: usize,
+    /// Joined payload values, reused across hook calls.
+    scratch_vals: Vec<Val>,
+    /// Resolved `br_table` targets, reused across hook calls.
+    scratch_targets: Vec<BranchTarget>,
 }
 
 impl fmt::Debug for WasabiHost<'_, '_> {
@@ -73,14 +85,6 @@ impl fmt::Debug for WasabiHost<'_, '_> {
     }
 }
 
-fn hook_ids(info: &ModuleInfo) -> HashMap<String, usize> {
-    info.hooks
-        .iter()
-        .enumerate()
-        .map(|(i, h)| (h.name(), i))
-        .collect()
-}
-
 impl<'a, 'p> WasabiHost<'a, 'p> {
     /// Create a host dispatching to a single `analysis`, for a module
     /// instrumented with the given `info`.
@@ -89,7 +93,9 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
             sink: Sink::Single(analysis),
             info,
             program_host: None,
-            hook_ids: hook_ids(info),
+            next_hook: 0,
+            scratch_vals: Vec::new(),
+            scratch_targets: Vec::new(),
         }
     }
 
@@ -109,7 +115,9 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
             },
             info,
             program_host: None,
-            hook_ids: hook_ids(info),
+            next_hook: 0,
+            scratch_vals: Vec::new(),
+            scratch_targets: Vec::new(),
         }
     }
 
@@ -143,12 +151,13 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
         );
         let ctx = AnalysisCtx::new(loc, self.info);
 
-        // Re-join the flattened payload (i64 halves were split, row 6).
-        let payload_types = hook.payload_types();
-        let mut vals = Vec::with_capacity(payload_types.len());
+        // Re-join the flattened payload (i64 halves were split, row 6) into
+        // the reused scratch buffer — no allocation per call.
+        let mut vals = std::mem::take(&mut self.scratch_vals);
+        vals.clear();
         let mut i = 0;
-        for ty in &payload_types {
-            if *ty == ValType::I64 {
+        hook.for_each_payload_type(|ty| {
+            if ty == ValType::I64 {
                 let low = args[i].as_i32().expect("low i64 half");
                 let high = args[i + 1].as_i32().expect("high i64 half");
                 vals.push(Val::I64(join_i64(low, high)));
@@ -157,7 +166,7 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
                 vals.push(args[i]);
                 i += 1;
             }
-        }
+        });
 
         let as_u32 = |v: Val| v.as_i32().expect("i32 payload") as u32;
         let as_bool = |v: Val| v.as_i32().expect("i32 condition") != 0;
@@ -223,8 +232,9 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
                     }
                 }
                 if info.enabled.contains(Hook::BrTable) {
-                    let targets: Vec<BranchTarget> =
-                        table_info.entries.iter().map(|e| e.target).collect();
+                    let mut targets = std::mem::take(&mut self.scratch_targets);
+                    targets.clear();
+                    targets.extend(table_info.entries.iter().map(|e| e.target));
                     self.emit(
                         &ctx,
                         &Event::BrTable(BranchTableEvt {
@@ -233,6 +243,7 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
                             index: runtime_idx,
                         }),
                     );
+                    self.scratch_targets = targets;
                 }
             }
             LowLevelHook::Begin(kind) => {
@@ -350,6 +361,8 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
                 self.emit(&ctx, &Event::CallPost(CallPostEvt { results: &vals }));
             }
         }
+        // Hand the payload buffer back for the next call.
+        self.scratch_vals = vals;
     }
 }
 
@@ -357,7 +370,19 @@ impl Host for WasabiHost<'_, '_> {
     fn resolve(&mut self, module: &str, name: &str, ty: &FuncType) -> Option<HostFuncId> {
         let hook_count = self.info.hooks.len();
         if module == HOOK_MODULE {
-            return self.hook_ids.get(name).map(|&i| HostFuncId(i));
+            // The instrumenter emits hook imports in `info.hooks` order and
+            // instantiation resolves imports in module order, so the next
+            // unresolved hook is almost always the one being asked for —
+            // resolving by ordinal avoids any name map. The name check
+            // guards the assumption; out-of-order callers fall back to a
+            // linear scan.
+            let hooks = &self.info.hooks;
+            let i = self.next_hook;
+            if hooks.get(i).is_some_and(|h| h.name() == name) {
+                self.next_hook = i + 1;
+                return Some(HostFuncId(i));
+            }
+            return hooks.iter().position(|h| h.name() == name).map(HostFuncId);
         }
         let inner = self.program_host.as_mut()?.resolve(module, name, ty)?;
         Some(HostFuncId(hook_count + inner.0))
@@ -366,9 +391,10 @@ impl Host for WasabiHost<'_, '_> {
     fn call(&mut self, id: HostFuncId, args: &[Val], ctx: HostCtx<'_>) -> Result<Vec<Val>, Trap> {
         let hook_count = self.info.hooks.len();
         if id.0 < hook_count {
-            // Clone the descriptor to release the borrow on self.info.
-            let hook = self.info.hooks[id.0].clone();
-            self.dispatch(&hook, args);
+            // Reborrow the descriptor through the long-lived `&ModuleInfo`
+            // so dispatch can take `&mut self` without cloning the hook.
+            let info: &ModuleInfo = self.info;
+            self.dispatch(&info.hooks[id.0], args);
             Ok(Vec::new())
         } else {
             let inner = self
@@ -459,7 +485,10 @@ impl From<Trap> for AnalysisError {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AnalysisSession {
-    module: Module,
+    /// The instrumented module, validated and translated to the VM's flat
+    /// IR exactly once — every [`AnalysisSession::run`] instantiates from
+    /// this without cloning or re-translating the module.
+    translated: TranslatedModule,
     info: ModuleInfo,
 }
 
@@ -471,14 +500,20 @@ impl AnalysisSession {
     /// Fails if the module does not validate.
     pub fn new(module: &Module, hooks: HookSet) -> Result<Self, wasabi_wasm::ValidationError> {
         let (module, info) = instrument(module, hooks)?;
-        Ok(AnalysisSession { module, info })
+        Self::from_parts(module, info)
     }
 
     /// Bundle an already-instrumented module with its static info (used by
     /// [`crate::pipeline::PipelineBuilder::build`], which drives the
     /// instrumenter itself for thread control).
-    pub(crate) fn from_parts(module: Module, info: ModuleInfo) -> Self {
-        AnalysisSession { module, info }
+    pub(crate) fn from_parts(
+        module: Module,
+        info: ModuleInfo,
+    ) -> Result<Self, wasabi_wasm::ValidationError> {
+        Ok(AnalysisSession {
+            translated: TranslatedModule::new(module)?,
+            info,
+        })
     }
 
     /// Instrument `module` selectively for the hooks `analysis` declares.
@@ -495,7 +530,14 @@ impl AnalysisSession {
 
     /// The instrumented module.
     pub fn module(&self) -> &Module {
-        &self.module
+        self.translated.module()
+    }
+
+    /// The instrumented module with its cached flat-IR translation, for
+    /// instantiating via [`Instance::instantiate_translated`] without
+    /// re-validating or re-translating.
+    pub fn translated(&self) -> &TranslatedModule {
+        &self.translated
     }
 
     /// The static info for the runtime.
@@ -517,7 +559,7 @@ impl AnalysisSession {
     ) -> Result<Vec<Val>, AnalysisError> {
         stats::record_execution();
         let mut host = WasabiHost::new(&self.info, analysis);
-        let mut instance = Instance::instantiate(self.module.clone(), &mut host)?;
+        let mut instance = Instance::instantiate_translated(&self.translated, &mut host)?;
         Ok(instance.invoke_export(export, args, &mut host)?)
     }
 
@@ -536,7 +578,7 @@ impl AnalysisSession {
     ) -> Result<Vec<Val>, AnalysisError> {
         stats::record_execution();
         let mut host = WasabiHost::new(&self.info, analysis).with_program_host(program_host);
-        let mut instance = Instance::instantiate(self.module.clone(), &mut host)?;
+        let mut instance = Instance::instantiate_translated(&self.translated, &mut host)?;
         Ok(instance.invoke_export(export, args, &mut host)?)
     }
 }

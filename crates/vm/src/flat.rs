@@ -1,0 +1,1111 @@
+//! The flat, pre-translated interpreter IR and its translator.
+//!
+//! At instantiation time every function body is translated **once** from the
+//! structured instruction sequence into a dense `Vec<Op>` in which all
+//! control flow is resolved:
+//!
+//! - branch targets are absolute flat program counters,
+//! - branch arities (values carried) and unwind heights (value-stack depth
+//!   of the target frame) are baked into each branch as a [`BrDest`],
+//! - `block`/`loop`/`end` degenerate to counted no-ops ([`Op::Skip`]) —
+//!   the runtime keeps **no label stack** at all,
+//! - `else` becomes an unconditional [`Op::Goto`] to the matching `end`,
+//! - branches that leave the function ([`RETURN_TARGET`]) return directly.
+//!
+//! On top of the one-op-per-instruction translation, a peephole pass —
+//! iterated to a fixpoint, so fused ops can combine into compound ones —
+//! fuses hot instruction sequences into **superinstructions**:
+//!
+//! | pattern | fused op | weight |
+//! |---|---|---|
+//! | `T.const` + binop | [`Op::ConstBinary`] | 2 |
+//! | `get_local` + binop | [`Op::LocalBinary`] | 2 |
+//! | comparison + `br_if` | [`Op::CmpBrIf`] | 2 |
+//! | `get_local` + `get_local` + binop | [`Op::LocalLocalBinary`] | 3 |
+//! | `get_local` + `T.const` + binop | [`Op::LocalConstBinary`] | 3 |
+//! | `get_local` + `T.const` + binop + `set_local` | [`Op::LocalConstBinarySet`] | 4 |
+//! | `get_local` + `T.const` + cmp + `br_if` | [`Op::LocalConstCmpBrIf`] | 4 |
+//! | `get_local` ×2 + cmp + `br_if` | [`Op::LocalLocalCmpBrIf`] | 4 |
+//! | affine address chain `(l_a*c1 + l_b)*c2` | [`Op::AffineAddr`] | 7 |
+//! | affine address chain + load | [`Op::AffineLoad`] | 8 |
+//!
+//! Two legality rules keep fusion observationally invisible:
+//!
+//! 1. **No branch into a group**: a member other than the first must not be
+//!    the destination of any branch, so control can only enter a
+//!    superinstruction at its head.
+//! 2. **Only the last member may trap**: a group's full weight is charged
+//!    (and its fuel consumed) up front, which is exactly the structured
+//!    walk's accounting only if no instruction *after* a trapping member
+//!    was going to execute — so trap-capable instructions (loads, integer
+//!    division) never fuse into a non-final position, and
+//!    [`Op::LocalConstBinarySet`] is restricted to non-trapping binops.
+//!
+//! Each op carries a *weight* — the
+//! number of original instructions it stands for — so
+//! [`crate::Instance::executed_instrs`] and fuel accounting stay exactly
+//! equal to the structured-walk semantics (see [`crate::reference`], the
+//! oracle the proptest differential suite compares against).
+//!
+//! Translation is cached per module by [`crate::TranslatedModule`]: reusing
+//! one across [`crate::Instance::instantiate_translated`] calls translates
+//! once, not per run.
+
+use std::collections::HashMap;
+
+use wasabi_wasm::instr::{
+    BinaryOp, GlobalOp, Instr, Label, LoadOp, LocalOp, StoreOp, UnaryOp, Val,
+};
+use wasabi_wasm::module::{Code, Module};
+use wasabi_wasm::types::FuncType;
+
+/// Sentinel flat pc: this branch leaves the function (returns).
+pub(crate) const RETURN_TARGET: u32 = u32::MAX;
+
+/// A fully resolved branch destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BrDest {
+    /// Flat pc of the target op, or [`RETURN_TARGET`].
+    pub target: u32,
+    /// Number of values the branch carries (the label arity).
+    pub keep: u32,
+    /// Value-stack height of the target frame to unwind to.
+    pub height: u32,
+}
+
+/// A `br_table`'s resolved destinations (boxed to keep [`Op`] small).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BrTableOp {
+    pub dests: Vec<BrDest>,
+    pub default: BrDest,
+}
+
+/// One flat, pre-translated instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// Counted no-op: `nop`, or a structural marker (`block`, `loop`,
+    /// non-function `end`) whose control work was resolved at translation.
+    Skip,
+    Unreachable,
+    /// Unconditional jump (the `else` marker's fall-through edge).
+    Goto(u32),
+    /// `if` false-edge: pop the condition, jump if zero.
+    IfNot(u32),
+    Br(BrDest),
+    BrIf(BrDest),
+    BrTable(Box<BrTableOp>),
+    /// `return`, or the function body's own `end`.
+    Return,
+    Call {
+        callee: u32,
+        params: u32,
+    },
+    CallIndirect {
+        /// Index into [`ModuleCode::sigs`].
+        sig: u32,
+        params: u32,
+    },
+    Drop,
+    Select,
+    LocalGet(u32),
+    LocalSet(u32),
+    LocalTee(u32),
+    GlobalGet(u32),
+    GlobalSet(u32),
+    Load {
+        op: LoadOp,
+        offset: u32,
+    },
+    Store {
+        op: StoreOp,
+        offset: u32,
+    },
+    MemorySize,
+    MemoryGrow,
+    Const(Val),
+    Unary(UnaryOp),
+    Binary(BinaryOp),
+
+    // Superinstructions (fused pairs/triples/quads, see module docs).
+    /// `T.const value` + binop: pop one operand, the constant is the
+    /// **second** input.
+    ConstBinary {
+        value: Val,
+        op: BinaryOp,
+    },
+    /// `get_local` + binop: pop one operand, the local is the second input.
+    LocalBinary {
+        local: u32,
+        op: BinaryOp,
+    },
+    /// `get_local a` + `get_local b` + binop: no stack traffic for inputs.
+    LocalLocalBinary {
+        a: u32,
+        b: u32,
+        op: BinaryOp,
+    },
+    /// `get_local a` + `T.const value` + binop (address arithmetic).
+    LocalConstBinary {
+        a: u32,
+        value: Val,
+        op: BinaryOp,
+    },
+    /// `get_local a` + `T.const value` + binop + `set_local dst`
+    /// (the loop-counter increment idiom); touches no stack at all.
+    LocalConstBinarySet {
+        a: u32,
+        value: Val,
+        op: BinaryOp,
+        dst: u32,
+    },
+    /// comparison + `br_if`: pop both operands, branch on the comparison.
+    CmpBrIf {
+        op: BinaryOp,
+        dest: BrDest,
+    },
+    /// `get_local a` + `T.const value` + comparison + `br_if`
+    /// (the constant-bound loop condition); touches no stack at all.
+    LocalConstCmpBrIf {
+        a: u32,
+        value: Val,
+        op: BinaryOp,
+        dest: BrDest,
+    },
+    /// `get_local a` + `get_local b` + comparison + `br_if`
+    /// (the local-bound loop condition); touches no stack at all.
+    LocalLocalCmpBrIf {
+        a: u32,
+        b: u32,
+        op: BinaryOp,
+        dest: BrDest,
+    },
+    /// The affine array-address chain `get_local a; i32.const c1; i32.mul;
+    /// get_local b; i32.add; i32.const c2; i32.mul` — seven instructions,
+    /// one push of `(a*c1 + b)*c2` in native wrapping arithmetic.
+    /// Formed in a second fusion pass from already-fused ops.
+    AffineAddr {
+        a: u32,
+        c1: i32,
+        b: u32,
+        c2: i32,
+    },
+    /// [`Op::AffineAddr`] feeding directly into a load: eight instructions,
+    /// zero operand-stack traffic for the address.
+    AffineLoad {
+        a: u32,
+        c1: i32,
+        b: u32,
+        c2: i32,
+        load: LoadOp,
+        offset: u32,
+    },
+}
+
+impl Op {
+    /// How many original instructions this op stands for (the unit of
+    /// `executed_instrs` and fuel).
+    #[inline]
+    pub fn weight(&self) -> u64 {
+        match self {
+            Op::ConstBinary { .. } | Op::LocalBinary { .. } | Op::CmpBrIf { .. } => 2,
+            Op::LocalLocalBinary { .. } | Op::LocalConstBinary { .. } => 3,
+            Op::LocalConstBinarySet { .. }
+            | Op::LocalConstCmpBrIf { .. }
+            | Op::LocalLocalCmpBrIf { .. } => 4,
+            Op::AffineAddr { .. } => 7,
+            Op::AffineLoad { .. } => 8,
+            _ => 1,
+        }
+    }
+}
+
+/// Translated code of one function.
+#[derive(Debug, Default)]
+pub(crate) struct FuncCode {
+    pub ops: Vec<Op>,
+    /// Zero values of the explicit locals, appended after the arguments.
+    pub zeros: Vec<Val>,
+    /// Number of result values.
+    pub arity: usize,
+}
+
+/// Translated code of a whole module (imported functions get an empty
+/// [`FuncCode`]; they are never executed by the interpreter).
+#[derive(Debug, Default)]
+pub(crate) struct ModuleCode {
+    pub funcs: Vec<FuncCode>,
+    /// Deduplicated `call_indirect` expected signatures.
+    pub sigs: Vec<FuncType>,
+}
+
+/// Structured-control-flow companion table: for each `block`/`loop`/`if`
+/// pc, the pc of the matching `end` (and `else`, if any). Shared between
+/// the translator and the [`crate::reference`] oracle.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct JumpTable {
+    /// For `block`/`loop`/`if` at pc: index of the matching `end`.
+    pub end: Vec<u32>,
+    /// For `if` at pc: index of the matching `else` (`u32::MAX` if absent).
+    pub else_: Vec<u32>,
+}
+
+pub(crate) fn compute_jump_table(body: &[Instr]) -> JumpTable {
+    let mut table = JumpTable {
+        end: vec![0; body.len()],
+        else_: vec![u32::MAX; body.len()],
+    };
+    let mut open: Vec<usize> = Vec::new();
+    for (pc, instr) in body.iter().enumerate() {
+        match instr {
+            Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => open.push(pc),
+            Instr::Else => {
+                let if_pc = *open.last().expect("validated: else inside if");
+                table.else_[if_pc] = pc as u32;
+            }
+            Instr::End => {
+                if let Some(start) = open.pop() {
+                    table.end[start] = pc as u32;
+                }
+                // else: the function body's own end.
+            }
+            _ => {}
+        }
+    }
+    table
+}
+
+/// Translate every local function of a **validated** module.
+pub(crate) fn translate_module(module: &Module) -> ModuleCode {
+    let mut sigs: Vec<FuncType> = Vec::new();
+    let mut sig_ids: HashMap<FuncType, u32> = HashMap::new();
+    let funcs = module
+        .functions
+        .iter()
+        .map(|f| match f.code() {
+            Some(code) => translate_function(module, &f.type_, code, &mut sigs, &mut sig_ids),
+            None => FuncCode::default(),
+        })
+        .collect();
+    ModuleCode { funcs, sigs }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TKind {
+    Func,
+    Block,
+    Loop,
+    IfElse,
+}
+
+/// Translation-time control frame (exists only during translation; the
+/// runtime has no equivalent).
+struct TFrame {
+    kind: TKind,
+    start_pc: usize,
+    end_pc: usize,
+    /// Value-stack height at frame entry (after popping the `if` condition).
+    height: u32,
+    /// Number of result values of the block.
+    arity: u32,
+    /// Whether the frame was entered from live (reachable) code.
+    entry_live: bool,
+}
+
+fn dest_for(frames: &[TFrame], label: Label) -> BrDest {
+    let fr = &frames[frames.len() - 1 - label.to_usize()];
+    match fr.kind {
+        TKind::Func => BrDest {
+            target: RETURN_TARGET,
+            keep: fr.arity,
+            height: 0,
+        },
+        TKind::Loop => BrDest {
+            target: (fr.start_pc + 1) as u32,
+            keep: 0,
+            height: fr.height,
+        },
+        TKind::Block | TKind::IfElse => BrDest {
+            target: (fr.end_pc + 1) as u32,
+            keep: fr.arity,
+            height: fr.height,
+        },
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn translate_function(
+    module: &Module,
+    ty: &FuncType,
+    code: &Code,
+    sigs: &mut Vec<FuncType>,
+    sig_ids: &mut HashMap<FuncType, u32>,
+) -> FuncCode {
+    let body = &code.body;
+    let jump = compute_jump_table(body);
+    let mut ops: Vec<Op> = Vec::with_capacity(body.len());
+    let mut frames: Vec<TFrame> = vec![TFrame {
+        kind: TKind::Func,
+        start_pc: 0,
+        end_pc: body.len().saturating_sub(1),
+        height: 0,
+        arity: ty.results.len() as u32,
+        entry_live: true,
+    }];
+    // Static value-stack height and reachability. In dead regions (after an
+    // unconditional branch, until the enclosing `else`/`end`) heights are
+    // not tracked: the emitted ops can never execute, they only keep the
+    // one-op-per-instruction mapping intact.
+    let mut h: u32 = 0;
+    let mut live = true;
+
+    // ---- Phase A: one op per original instruction (flat pc == original pc).
+    for (pc, instr) in body.iter().enumerate() {
+        let op = match instr {
+            Instr::Nop => Op::Skip,
+            Instr::Unreachable => {
+                live = false;
+                Op::Unreachable
+            }
+
+            Instr::Block(bt) | Instr::Loop(bt) => {
+                frames.push(TFrame {
+                    kind: if matches!(instr, Instr::Loop(_)) {
+                        TKind::Loop
+                    } else {
+                        TKind::Block
+                    },
+                    start_pc: pc,
+                    end_pc: jump.end[pc] as usize,
+                    height: h,
+                    arity: u32::from(bt.0.is_some()),
+                    entry_live: live,
+                });
+                Op::Skip
+            }
+            Instr::If(bt) => {
+                if live {
+                    h -= 1; // condition
+                }
+                let else_pc = jump.else_[pc];
+                let end_pc = jump.end[pc] as usize;
+                frames.push(TFrame {
+                    kind: TKind::IfElse,
+                    start_pc: pc,
+                    end_pc,
+                    height: h,
+                    arity: u32::from(bt.0.is_some()),
+                    entry_live: live,
+                });
+                let target = if else_pc != u32::MAX {
+                    else_pc + 1
+                } else {
+                    (end_pc + 1) as u32
+                };
+                Op::IfNot(target)
+            }
+            Instr::Else => {
+                let fr = frames.last().expect("validated: else inside if");
+                h = fr.height;
+                live = fr.entry_live;
+                // Falling into `else` jumps to the matching `end` marker,
+                // which executes as one counted step (seed semantics).
+                Op::Goto(fr.end_pc as u32)
+            }
+            Instr::End => {
+                let fr = frames.pop().expect("validated: end matches a frame");
+                if fr.kind == TKind::Func {
+                    Op::Return
+                } else {
+                    h = fr.height + fr.arity;
+                    live = fr.entry_live;
+                    Op::Skip
+                }
+            }
+
+            Instr::Br(label) => {
+                let d = dest_for(&frames, *label);
+                live = false;
+                Op::Br(d)
+            }
+            Instr::BrIf(label) => {
+                if live {
+                    h -= 1; // condition
+                }
+                Op::BrIf(dest_for(&frames, *label))
+            }
+            Instr::BrTable { table, default } => {
+                if live {
+                    h -= 1; // selector
+                }
+                let dests = table.iter().map(|l| dest_for(&frames, *l)).collect();
+                let default = dest_for(&frames, *default);
+                live = false;
+                Op::BrTable(Box::new(BrTableOp { dests, default }))
+            }
+            Instr::Return => {
+                live = false;
+                Op::Return
+            }
+
+            Instr::Call(callee) => {
+                let callee_ty = &module.functions[callee.to_usize()].type_;
+                if live {
+                    h = h - callee_ty.params.len() as u32 + callee_ty.results.len() as u32;
+                }
+                Op::Call {
+                    callee: callee.to_u32(),
+                    params: callee_ty.params.len() as u32,
+                }
+            }
+            Instr::CallIndirect(expected_ty, _) => {
+                if live {
+                    h = h - 1 - expected_ty.params.len() as u32 + expected_ty.results.len() as u32;
+                }
+                let sig = *sig_ids.entry(expected_ty.clone()).or_insert_with(|| {
+                    sigs.push(expected_ty.clone());
+                    (sigs.len() - 1) as u32
+                });
+                Op::CallIndirect {
+                    sig,
+                    params: expected_ty.params.len() as u32,
+                }
+            }
+
+            Instr::Drop => {
+                if live {
+                    h -= 1;
+                }
+                Op::Drop
+            }
+            Instr::Select => {
+                if live {
+                    h -= 2;
+                }
+                Op::Select
+            }
+
+            Instr::Local(op, idx) => match op {
+                LocalOp::Get => {
+                    if live {
+                        h += 1;
+                    }
+                    Op::LocalGet(idx.to_u32())
+                }
+                LocalOp::Set => {
+                    if live {
+                        h -= 1;
+                    }
+                    Op::LocalSet(idx.to_u32())
+                }
+                LocalOp::Tee => Op::LocalTee(idx.to_u32()),
+            },
+            Instr::Global(op, idx) => match op {
+                GlobalOp::Get => {
+                    if live {
+                        h += 1;
+                    }
+                    Op::GlobalGet(idx.to_u32())
+                }
+                GlobalOp::Set => {
+                    if live {
+                        h -= 1;
+                    }
+                    Op::GlobalSet(idx.to_u32())
+                }
+            },
+
+            Instr::Load(op, memarg) => Op::Load {
+                op: *op,
+                offset: memarg.offset,
+            },
+            Instr::Store(op, memarg) => {
+                if live {
+                    h -= 2;
+                }
+                Op::Store {
+                    op: *op,
+                    offset: memarg.offset,
+                }
+            }
+            Instr::MemorySize(_) => {
+                if live {
+                    h += 1;
+                }
+                Op::MemorySize
+            }
+            Instr::MemoryGrow(_) => Op::MemoryGrow,
+
+            Instr::Const(val) => {
+                if live {
+                    h += 1;
+                }
+                Op::Const(*val)
+            }
+            Instr::Unary(op) => Op::Unary(*op),
+            Instr::Binary(op) => {
+                if live {
+                    h -= 1;
+                }
+                Op::Binary(*op)
+            }
+        };
+        ops.push(op);
+    }
+    debug_assert_eq!(ops.len(), body.len());
+
+    // ---- Phase B: fuse superinstructions and remap branch targets.
+    let ops = fuse(ops);
+
+    FuncCode {
+        ops,
+        zeros: code.locals.iter().map(|&ty| Val::zero(ty)).collect(),
+        arity: ty.results.len(),
+    }
+}
+
+/// Whether a binary op can trap (integer division/remainder). Trap-capable
+/// instructions may only ever be the **last** member of a fused group: the
+/// group's full weight is charged before execution, which matches the
+/// structured walk exactly only when nothing after the trapping member was
+/// going to execute anyway (and when a fuel shortfall on the group cannot
+/// preempt a real trap in an affordable prefix).
+fn binop_can_trap(op: BinaryOp) -> bool {
+    use BinaryOp::*;
+    matches!(
+        op,
+        I32DivS | I32DivU | I32RemS | I32RemU | I64DivS | I64DivU | I64RemS | I64RemU
+    )
+}
+
+/// Mark every flat pc that any branch can jump to.
+fn branch_targets(ops: &[Op]) -> Vec<bool> {
+    let mut is_target = vec![false; ops.len()];
+    let mut mark = |t: u32| {
+        if t != RETURN_TARGET {
+            is_target[t as usize] = true;
+        }
+    };
+    for op in ops {
+        match op {
+            Op::Goto(t) | Op::IfNot(t) => mark(*t),
+            Op::Br(d)
+            | Op::BrIf(d)
+            | Op::CmpBrIf { dest: d, .. }
+            | Op::LocalConstCmpBrIf { dest: d, .. }
+            | Op::LocalLocalCmpBrIf { dest: d, .. } => mark(d.target),
+            Op::BrTable(bt) => {
+                for d in &bt.dests {
+                    mark(d.target);
+                }
+                mark(bt.default.target);
+            }
+            _ => {}
+        }
+    }
+    is_target
+}
+
+/// Try to fuse a superinstruction starting at `i`; returns the fused op and
+/// the number of ops it consumes. Members after the first must not be
+/// branch targets (control may only enter a group at its head), and longer
+/// groups are preferred over shorter ones.
+fn try_fuse(ops: &[Op], is_target: &[bool], i: usize) -> Option<(Op, usize)> {
+    let fusible = |k: usize| i + k < ops.len() && (1..=k).all(|j| !is_target[i + j]);
+
+    if fusible(3) {
+        match (&ops[i], &ops[i + 1], &ops[i + 2], &ops[i + 3]) {
+            // get_local a; const v; cmp; br_if — constant-bound loop exit.
+            (Op::LocalGet(a), Op::Const(value), Op::Binary(op), Op::BrIf(dest))
+                if op.is_comparison() =>
+            {
+                return Some((
+                    Op::LocalConstCmpBrIf {
+                        a: *a,
+                        value: *value,
+                        op: *op,
+                        dest: *dest,
+                    },
+                    4,
+                ));
+            }
+            // get_local a; get_local b; cmp; br_if — local-bound loop exit.
+            (Op::LocalGet(a), Op::LocalGet(b), Op::Binary(op), Op::BrIf(dest))
+                if op.is_comparison() =>
+            {
+                return Some((
+                    Op::LocalLocalCmpBrIf {
+                        a: *a,
+                        b: *b,
+                        op: *op,
+                        dest: *dest,
+                    },
+                    4,
+                ));
+            }
+            // get_local a; const v; binop; set_local dst — counter step.
+            // Only for binops that cannot trap: a trapping member must be
+            // the *last* instruction of its group, or `executed_instrs`
+            // and the fuel-vs-real-trap ordering would diverge from the
+            // structured-walk oracle.
+            (Op::LocalGet(a), Op::Const(value), Op::Binary(op), Op::LocalSet(dst))
+                if !binop_can_trap(*op) =>
+            {
+                return Some((
+                    Op::LocalConstBinarySet {
+                        a: *a,
+                        value: *value,
+                        op: *op,
+                        dst: *dst,
+                    },
+                    4,
+                ));
+            }
+            _ => {}
+        }
+    }
+    if fusible(2) {
+        match (&ops[i], &ops[i + 1], &ops[i + 2]) {
+            (Op::LocalGet(a), Op::Const(value), Op::Binary(op)) => {
+                return Some((
+                    Op::LocalConstBinary {
+                        a: *a,
+                        value: *value,
+                        op: *op,
+                    },
+                    3,
+                ));
+            }
+            (Op::LocalGet(a), Op::LocalGet(b), Op::Binary(op)) => {
+                return Some((
+                    Op::LocalLocalBinary {
+                        a: *a,
+                        b: *b,
+                        op: *op,
+                    },
+                    3,
+                ));
+            }
+            _ => {}
+        }
+    }
+    if fusible(2) {
+        // Compound rule over already-fused ops: the affine address chain.
+        if let (
+            Op::LocalConstBinary {
+                a,
+                value: Val::I32(c1),
+                op: BinaryOp::I32Mul,
+            },
+            Op::LocalBinary {
+                local: b,
+                op: BinaryOp::I32Add,
+            },
+            Op::ConstBinary {
+                value: Val::I32(c2),
+                op: BinaryOp::I32Mul,
+            },
+        ) = (&ops[i], &ops[i + 1], &ops[i + 2])
+        {
+            return Some((
+                Op::AffineAddr {
+                    a: *a,
+                    c1: *c1,
+                    b: *b,
+                    c2: *c2,
+                },
+                3,
+            ));
+        }
+    }
+    if fusible(1) {
+        match (&ops[i], &ops[i + 1]) {
+            (Op::Const(value), Op::Binary(op)) => {
+                return Some((
+                    Op::ConstBinary {
+                        value: *value,
+                        op: *op,
+                    },
+                    2,
+                ));
+            }
+            (Op::LocalGet(local), Op::Binary(op)) => {
+                return Some((
+                    Op::LocalBinary {
+                        local: *local,
+                        op: *op,
+                    },
+                    2,
+                ));
+            }
+            (Op::Binary(op), Op::BrIf(dest)) if op.is_comparison() => {
+                return Some((
+                    Op::CmpBrIf {
+                        op: *op,
+                        dest: *dest,
+                    },
+                    2,
+                ));
+            }
+            (Op::AffineAddr { a, c1, b, c2 }, Op::Load { op: load, offset }) => {
+                return Some((
+                    Op::AffineLoad {
+                        a: *a,
+                        c1: *c1,
+                        b: *b,
+                        c2: *c2,
+                        load: *load,
+                        offset: *offset,
+                    },
+                    2,
+                ));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Peephole-fuse `ops` to a fixpoint: a first pass forms the pair/triple/
+/// quad superinstructions, later passes combine those into the compound
+/// ops ([`Op::AffineAddr`], [`Op::AffineLoad`]).
+fn fuse(mut ops: Vec<Op>) -> Vec<Op> {
+    loop {
+        let before = ops.len();
+        ops = fuse_pass(ops);
+        if ops.len() == before {
+            return ops;
+        }
+    }
+}
+
+/// One peephole pass: fuse groups and remap all branch targets to the new
+/// indices.
+fn fuse_pass(ops: Vec<Op>) -> Vec<Op> {
+    let is_target = branch_targets(&ops);
+    let mut fused: Vec<Op> = Vec::with_capacity(ops.len());
+    // `map[old_pc]` = index of the fused op covering that original op.
+    // Branch targets only ever point at group heads (enforced by
+    // `try_fuse`), so the mapping is unambiguous for them.
+    let mut map = vec![0u32; ops.len()];
+    let mut i = 0;
+    while i < ops.len() {
+        let new_idx = fused.len() as u32;
+        if let Some((op, width)) = try_fuse(&ops, &is_target, i) {
+            for k in 0..width {
+                map[i + k] = new_idx;
+            }
+            fused.push(op);
+            i += width;
+        } else {
+            map[i] = new_idx;
+            fused.push(ops[i].clone());
+            i += 1;
+        }
+    }
+    let remap = |t: &mut u32| {
+        if *t != RETURN_TARGET {
+            *t = map[*t as usize];
+        }
+    };
+    for op in &mut fused {
+        match op {
+            Op::Goto(t) | Op::IfNot(t) => remap(t),
+            Op::Br(d)
+            | Op::BrIf(d)
+            | Op::CmpBrIf { dest: d, .. }
+            | Op::LocalConstCmpBrIf { dest: d, .. }
+            | Op::LocalLocalCmpBrIf { dest: d, .. } => remap(&mut d.target),
+            Op::BrTable(bt) => {
+                for d in &mut bt.dests {
+                    remap(&mut d.target);
+                }
+                remap(&mut bt.default.target);
+            }
+            _ => {}
+        }
+    }
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::types::ValType;
+    use wasabi_wasm::validate::validate;
+
+    fn translate(build: impl FnOnce(&mut ModuleBuilder)) -> ModuleCode {
+        let mut builder = ModuleBuilder::new();
+        build(&mut builder);
+        let module = builder.finish();
+        validate(&module).expect("validates");
+        translate_module(&module)
+    }
+
+    #[test]
+    fn const_binop_fuses() {
+        // A bare const+binop (operand already on the stack via a call).
+        let code = translate(|b| {
+            let g = b.function("g", &[], &[ValType::I32], |f| {
+                f.i32_const(41);
+            });
+            b.function("f", &[], &[ValType::I32], |f| {
+                f.call(g).i32_const(1).i32_add();
+            });
+        });
+        assert_eq!(
+            code.funcs[1].ops,
+            vec![
+                Op::Call {
+                    callee: 0,
+                    params: 0
+                },
+                Op::ConstBinary {
+                    value: Val::I32(1),
+                    op: BinaryOp::I32Add
+                },
+                Op::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn local_const_binop_fuses_to_a_triple() {
+        let code = translate(|b| {
+            b.function("f", &[ValType::I32], &[ValType::I32], |f| {
+                f.get_local(0u32).i32_const(1).i32_add();
+            });
+        });
+        assert_eq!(
+            code.funcs[0].ops,
+            vec![
+                Op::LocalConstBinary {
+                    a: 0,
+                    value: Val::I32(1),
+                    op: BinaryOp::I32Add
+                },
+                Op::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn affine_address_chain_fuses_into_load() {
+        // get_local a; const c1; mul; get_local b; add; const c2; mul; load
+        // — eight instructions, one op.
+        let code = translate(|b| {
+            b.memory(1, None);
+            b.function("f", &[ValType::I32, ValType::I32], &[ValType::F64], |f| {
+                f.get_local(0u32).i32_const(12).i32_mul();
+                f.get_local(1u32).i32_add();
+                f.i32_const(8).i32_mul();
+                f.load(wasabi_wasm::LoadOp::F64Load, 64);
+            });
+        });
+        assert_eq!(
+            code.funcs[0].ops,
+            vec![
+                Op::AffineLoad {
+                    a: 0,
+                    c1: 12,
+                    b: 1,
+                    c2: 8,
+                    load: wasabi_wasm::LoadOp::F64Load,
+                    offset: 64,
+                },
+                Op::Return,
+            ]
+        );
+        assert_eq!(code.funcs[0].ops[0].weight(), 8);
+    }
+
+    #[test]
+    fn local_local_binop_fuses() {
+        let code = translate(|b| {
+            b.function("f", &[ValType::I32; 2], &[ValType::I32], |f| {
+                f.get_local(0u32).get_local(1u32).i32_mul();
+            });
+        });
+        assert_eq!(
+            code.funcs[0].ops,
+            vec![
+                Op::LocalLocalBinary {
+                    a: 0,
+                    b: 1,
+                    op: BinaryOp::I32Mul
+                },
+                Op::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn cmp_br_if_fuses_and_loop_targets_resolve() {
+        let code = translate(|b| {
+            b.function("f", &[ValType::I32], &[], |f| {
+                f.block(None).loop_(None);
+                f.get_local(0u32)
+                    .i32_const(10)
+                    .binary(BinaryOp::I32GeS)
+                    .br_if(1);
+                f.br(0).end().end();
+            });
+        });
+        let ops = &code.funcs[0].ops;
+        // The whole loop condition fuses: get_local; const; ge_s; br_if.
+        assert!(ops.contains(&Op::LocalConstCmpBrIf {
+            a: 0,
+            value: Val::I32(10),
+            op: BinaryOp::I32GeS,
+            dest: BrDest {
+                target: 6,
+                keep: 0,
+                height: 0
+            },
+        }));
+        // The back-branch must target the op right after the loop marker.
+        let loop_pc = 1u32;
+        let back = ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Br(d) => Some(d.target),
+                _ => None,
+            })
+            .expect("br present");
+        assert_eq!(back, loop_pc + 1);
+    }
+
+    #[test]
+    fn compare_br_if_fuses_without_const() {
+        let code = translate(|b| {
+            b.function("f", &[ValType::I32; 2], &[], |f| {
+                f.block(None);
+                f.get_local(0u32).get_local(1u32);
+                f.binary(BinaryOp::I32LtS).br_if(0);
+                f.end();
+            });
+        });
+        let ops = &code.funcs[0].ops;
+        // The local/local pair fuses into the triple with the comparison,
+        // leaving br_if alone; with only one get_local the CmpBrIf form
+        // would fire instead. Either way no bare Binary survives.
+        assert!(ops.iter().all(|op| !matches!(op, Op::Binary(_))));
+    }
+
+    #[test]
+    fn targets_after_a_fused_group_are_remapped() {
+        // A fusion before a block shifts every later pc down by one; the
+        // branch target into that region must be remapped accordingly.
+        let code = translate(|b| {
+            b.function("f", &[ValType::I32], &[ValType::I32], |f| {
+                f.get_local(0u32).i32_const(1).i32_add(); // fuses (pcs 0-2)
+                f.block(None).br(0).end();
+            });
+        });
+        let ops = &code.funcs[0].ops;
+        // (get_local+const+add), block-Skip, br, end-Skip, Return
+        assert_eq!(ops.len(), 5);
+        let d = ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Br(d) => Some(*d),
+                _ => None,
+            })
+            .expect("br present");
+        assert_eq!(d.target, 4, "forward branch lands on the remapped end+1");
+        assert_eq!(ops[4], Op::Return);
+    }
+
+    #[test]
+    fn if_else_edges_and_weights() {
+        let code = translate(|b| {
+            b.function("abs", &[ValType::I32], &[ValType::I32], |f| {
+                f.get_local(0u32).i32_const(0).binary(BinaryOp::I32LtS);
+                f.if_(Some(ValType::I32));
+                f.i32_const(0).get_local(0u32).i32_sub();
+                f.else_();
+                f.get_local(0u32);
+                f.end();
+            });
+        });
+        let ops = &code.funcs[0].ops;
+        assert!(ops.iter().any(|op| matches!(op, Op::IfNot(_))));
+        assert!(ops.iter().any(|op| matches!(op, Op::Goto(_))));
+        let total_weight: u64 = ops.iter().map(Op::weight).sum();
+        // Weights must add up to the original instruction count (the ten
+        // explicit instructions plus the function body's own `end`).
+        assert_eq!(total_weight, 11);
+    }
+
+    #[test]
+    fn br_table_dests_are_resolved() {
+        let code = translate(|b| {
+            b.function("f", &[ValType::I32], &[ValType::I32], |f| {
+                f.block(None).block(None);
+                f.get_local(0u32).br_table(vec![0], 1);
+                f.end();
+                f.i32_const(1).return_();
+                f.end();
+                f.i32_const(2);
+            });
+        });
+        let ops = &code.funcs[0].ops;
+        let bt = ops
+            .iter()
+            .find_map(|op| match op {
+                Op::BrTable(bt) => Some(bt),
+                _ => None,
+            })
+            .expect("br_table present");
+        assert_eq!(bt.dests.len(), 1);
+        assert_ne!(bt.dests[0].target, bt.default.target);
+    }
+
+    #[test]
+    fn branch_to_function_frame_is_return_sentinel() {
+        let code = translate(|b| {
+            b.function("f", &[], &[ValType::I32], |f| {
+                f.i32_const(7);
+                f.br(0);
+            });
+        });
+        let ops = &code.funcs[0].ops;
+        let d = ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Br(d) => Some(*d),
+                _ => None,
+            })
+            .expect("br present");
+        assert_eq!(d.target, RETURN_TARGET);
+        assert_eq!(d.keep, 1);
+    }
+
+    #[test]
+    fn imported_functions_translate_empty() {
+        let code = translate(|b| {
+            b.import_function("env", "f", &[], &[]);
+            b.function("g", &[], &[], |_| {});
+        });
+        assert!(code.funcs[0].ops.is_empty());
+        assert_eq!(code.funcs[1].ops, vec![Op::Return]);
+    }
+
+    #[test]
+    fn call_indirect_signatures_dedupe() {
+        let code = translate(|b| {
+            let f = b.function("f", &[ValType::I32], &[ValType::I32], |f| {
+                f.get_local(0u32);
+            });
+            b.table(1);
+            b.elements(0, vec![f]);
+            b.function("g", &[], &[ValType::I32], |f| {
+                f.i32_const(1).i32_const(0);
+                f.call_indirect(&[ValType::I32], &[ValType::I32]);
+                f.drop_().i32_const(2).i32_const(0);
+                f.call_indirect(&[ValType::I32], &[ValType::I32]);
+            });
+        });
+        assert_eq!(code.sigs.len(), 1);
+    }
+}

@@ -1,16 +1,32 @@
 //! The interpreter: instantiation and execution of validated modules.
 //!
 //! This is the execution substrate that stands in for the browser engine in
-//! the paper's evaluation (DESIGN.md §3). It is a straightforward stack
-//! machine over the structured instruction sequence, with branch targets
-//! precomputed at instantiation time.
+//! the paper's evaluation (DESIGN.md §3). Since PR 3 the hot loop no longer
+//! walks the structured instruction sequence: each function body is
+//! translated once into the flat pre-resolved IR of [`crate::flat`] (dense
+//! `Vec<Op>`, absolute branch targets, baked-in branch arities and unwind
+//! heights, fused superinstructions), so the per-step work is a single
+//! match on a small op — no label stack, no `end`/`else` handling, no
+//! `JumpTable` lookups at runtime.
+//!
+//! Translation is owned by [`TranslatedModule`] and shared by every
+//! [`Instance`] created from it ([`Instance::instantiate_translated`]), so
+//! benchmark loops and repeated analysis runs translate once, not per run.
+//! The previous structured-walk execution survives as a differential-test
+//! oracle in [`crate::reference`].
+//!
+//! `executed_instrs` counts **original** instructions (each op carries the
+//! number of instructions it was fused from), accumulated in a per-frame
+//! local and flushed on frame exit, so the count — and fuel accounting —
+//! is exactly equal to the structured-walk semantics.
 
 use std::sync::Arc;
 
-use wasabi_wasm::instr::{FunctionSpace, GlobalOp, Idx, Instr, Label, LocalOp, Val};
+use wasabi_wasm::instr::{FunctionSpace, GlobalOp, Idx, Instr, Val};
 use wasabi_wasm::module::{GlobalKind, Module};
 use wasabi_wasm::validate::validate;
 
+use crate::flat::{self, ModuleCode, Op, RETURN_TARGET};
 use crate::host::{Host, HostCtx, HostFuncId};
 use crate::memory::LinearMemory;
 use crate::numeric;
@@ -26,74 +42,62 @@ pub const DEFAULT_MAX_CALL_DEPTH: usize = 300;
 
 /// Where a function index leads: interpreted code or a host function.
 #[derive(Debug, Clone, Copy)]
-enum FuncTarget {
+pub(crate) enum FuncTarget {
     Wasm,
     Host(HostFuncId),
 }
 
-/// Precomputed structured-control-flow targets for one function body.
-#[derive(Debug, Clone, Default)]
-struct JumpTable {
-    /// For `block`/`loop`/`if` at pc: index of the matching `end`.
-    end: Vec<u32>,
-    /// For `if` at pc: index of the matching `else` (`u32::MAX` if absent).
-    else_: Vec<u32>,
+/// A validated module together with its flat-IR translation.
+///
+/// Construct once, instantiate many times: both the validation pass and the
+/// per-function translation to the flat op stream happen here, so repeated
+/// [`Instance::instantiate_translated`] calls (benchmark iterations,
+/// repeated analysis runs over one instrumented module) pay neither again.
+///
+/// # Examples
+///
+/// ```
+/// use wasabi_vm::{Instance, TranslatedModule, host::EmptyHost};
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::{Val, ValType};
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.function("id", &[ValType::I32], &[ValType::I32], |f| {
+///     f.get_local(0u32);
+/// });
+/// let translated = TranslatedModule::new(builder.finish())?;
+/// let mut host = EmptyHost;
+/// for i in 0..3 {
+///     // No re-validation, no re-translation per iteration.
+///     let mut instance = Instance::instantiate_translated(&translated, &mut host)?;
+///     assert_eq!(instance.invoke_export("id", &[Val::I32(i)], &mut host)?, vec![Val::I32(i)]);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TranslatedModule {
+    module: Arc<Module>,
+    code: Arc<ModuleCode>,
 }
 
-fn compute_jump_table(body: &[Instr]) -> JumpTable {
-    let mut table = JumpTable {
-        end: vec![0; body.len()],
-        else_: vec![u32::MAX; body.len()],
-    };
-    let mut open: Vec<usize> = Vec::new();
-    for (pc, instr) in body.iter().enumerate() {
-        match instr {
-            Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => open.push(pc),
-            Instr::Else => {
-                let if_pc = *open.last().expect("validated: else inside if");
-                table.else_[if_pc] = pc as u32;
-            }
-            Instr::End => {
-                if let Some(start) = open.pop() {
-                    table.end[start] = pc as u32;
-                }
-                // else: the function body's own end.
-            }
-            _ => {}
-        }
+impl TranslatedModule {
+    /// Validate `module` and translate every function body to the flat IR.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not validate.
+    pub fn new(module: Module) -> Result<Self, wasabi_wasm::ValidationError> {
+        validate(&module)?;
+        let code = Arc::new(flat::translate_module(&module));
+        Ok(TranslatedModule {
+            module: Arc::new(module),
+            code,
+        })
     }
-    table
-}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CtrlKind {
-    Function,
-    Block,
-    Loop,
-    IfOrElse,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Ctrl {
-    kind: CtrlKind,
-    /// pc of the opening instruction.
-    start_pc: usize,
-    /// pc of the matching `end`.
-    end_pc: usize,
-    /// Value stack height at entry.
-    height: usize,
-    /// Number of result values of the block.
-    arity: usize,
-}
-
-impl Ctrl {
-    /// Values carried by a branch to this frame (0 for loops).
-    fn label_arity(&self) -> usize {
-        if self.kind == CtrlKind::Loop {
-            0
-        } else {
-            self.arity
-        }
+    /// The underlying module.
+    pub fn module(&self) -> &Module {
+        &self.module
     }
 }
 
@@ -118,20 +122,35 @@ impl Ctrl {
 /// ```
 #[derive(Debug)]
 pub struct Instance {
-    module: Arc<Module>,
-    jump_tables: Arc<Vec<JumpTable>>,
-    func_targets: Vec<FuncTarget>,
-    memory: Option<LinearMemory>,
-    table: Option<FuncTable>,
-    globals: Vec<Val>,
-    fuel: Option<u64>,
-    executed_instrs: u64,
-    max_call_depth: usize,
+    pub(crate) module: Arc<Module>,
+    code: Arc<ModuleCode>,
+    pub(crate) func_targets: Vec<FuncTarget>,
+    pub(crate) memory: Option<LinearMemory>,
+    pub(crate) table: Option<FuncTable>,
+    pub(crate) globals: Vec<Val>,
+    pub(crate) fuel: Option<u64>,
+    pub(crate) executed_instrs: u64,
+    pub(crate) max_call_depth: usize,
 }
 
 impl Instance {
-    /// Validate and instantiate `module` against `host`, running data and
-    /// element segment initialization and the start function (if any).
+    /// Validate, translate, and instantiate `module` against `host`,
+    /// running data and element segment initialization and the start
+    /// function (if any).
+    ///
+    /// To amortize validation and translation over several instantiations,
+    /// build a [`TranslatedModule`] once and use
+    /// [`Instance::instantiate_translated`].
+    ///
+    /// # Errors
+    ///
+    /// See [`InstantiationError`].
+    pub fn instantiate(module: Module, host: &mut dyn Host) -> Result<Self, InstantiationError> {
+        let translated = TranslatedModule::new(module)?;
+        Self::instantiate_translated(&translated, host)
+    }
+
+    /// Instantiate a pre-validated, pre-translated module against `host`.
     ///
     /// Imported memories and tables are instantiated fresh with their
     /// declared limits (this embedding is single-instance; see DESIGN.md).
@@ -139,8 +158,11 @@ impl Instance {
     /// # Errors
     ///
     /// See [`InstantiationError`].
-    pub fn instantiate(module: Module, host: &mut dyn Host) -> Result<Self, InstantiationError> {
-        validate(&module)?;
+    pub fn instantiate_translated(
+        translated: &TranslatedModule,
+        host: &mut dyn Host,
+    ) -> Result<Self, InstantiationError> {
+        let module = &*translated.module;
 
         let mut func_targets = Vec::with_capacity(module.functions.len());
         for function in &module.functions {
@@ -201,19 +223,9 @@ impl Instance {
             }
         }
 
-        let jump_tables = module
-            .functions
-            .iter()
-            .map(|f| {
-                f.code()
-                    .map(|c| compute_jump_table(&c.body))
-                    .unwrap_or_default()
-            })
-            .collect();
-
         let mut instance = Instance {
-            module: Arc::new(module),
-            jump_tables: Arc::new(jump_tables),
+            module: Arc::clone(&translated.module),
+            code: Arc::clone(&translated.code),
             func_targets,
             memory,
             table,
@@ -245,6 +257,9 @@ impl Instance {
     }
 
     /// Total number of WebAssembly instructions executed by this instance.
+    ///
+    /// Superinstructions count as the instructions they were fused from, so
+    /// the number is independent of translation choices.
     pub fn executed_instrs(&self) -> u64 {
         self.executed_instrs
     }
@@ -311,13 +326,13 @@ impl Instance {
                 "invoke arguments {args:?} do not match type {ty}"
             )));
         }
-        self.call_function(func_idx, args.to_vec(), host, 0)
+        self.call_function(func_idx, args, host, 0)
     }
 
-    fn call_function(
+    pub(crate) fn call_function(
         &mut self,
         func_idx: Idx<FunctionSpace>,
-        args: Vec<Val>,
+        args: &[Val],
         host: &mut dyn Host,
         depth: usize,
     ) -> Result<Vec<Val>, Trap> {
@@ -331,42 +346,47 @@ impl Instance {
                     table: self.table.as_mut(),
                     globals: &mut self.globals,
                 };
-                host.call(id, &args, ctx)
+                host.call(id, args, ctx)
             }
             FuncTarget::Wasm => self.run_wasm_function(func_idx, args, host, depth),
         }
     }
 
-    #[allow(clippy::too_many_lines)]
     fn run_wasm_function(
         &mut self,
         func_idx: Idx<FunctionSpace>,
-        args: Vec<Val>,
+        args: &[Val],
         host: &mut dyn Host,
         depth: usize,
     ) -> Result<Vec<Val>, Trap> {
-        // Keep the code reachable while `self` is mutated during execution.
-        let module = Arc::clone(&self.module);
-        let jump_tables = Arc::clone(&self.jump_tables);
-        let function = &module.functions[func_idx.to_usize()];
-        let code = function.code().expect("call target is a wasm function");
-        let body = &code.body;
-        let jump = &jump_tables[func_idx.to_usize()];
+        // Instructions executed by this frame accumulate in a local and are
+        // flushed exactly once per frame — including on traps — instead of
+        // bumping the shared counter every step.
+        let mut steps = 0u64;
+        let result = self.exec_ops(func_idx, args, host, depth, &mut steps);
+        self.executed_instrs += steps;
+        result
+    }
 
-        let mut locals = args;
-        locals.extend(code.locals.iter().map(|&ty| Val::zero(ty)));
+    #[allow(clippy::too_many_lines)]
+    fn exec_ops(
+        &mut self,
+        func_idx: Idx<FunctionSpace>,
+        args: &[Val],
+        host: &mut dyn Host,
+        depth: usize,
+        steps: &mut u64,
+    ) -> Result<Vec<Val>, Trap> {
+        // Keep the code reachable while `self` is mutated during execution.
+        let code = Arc::clone(&self.code);
+        let func = &code.funcs[func_idx.to_usize()];
+        let ops: &[Op] = &func.ops;
+
+        let mut locals: Vec<Val> = Vec::with_capacity(args.len() + func.zeros.len());
+        locals.extend_from_slice(args);
+        locals.extend_from_slice(&func.zeros);
 
         let mut stack: Vec<Val> = Vec::with_capacity(16);
-        let mut ctrl: Vec<Ctrl> = Vec::with_capacity(8);
-        ctrl.push(Ctrl {
-            kind: CtrlKind::Function,
-            start_pc: 0,
-            end_pc: body.len().saturating_sub(1),
-            height: 0,
-            arity: function.type_.results.len(),
-        });
-
-        let func_arity = function.type_.results.len();
         let mut pc = 0usize;
 
         macro_rules! pop {
@@ -379,175 +399,202 @@ impl Instance {
                 pop!().as_i32().expect("validated: i32 operand")
             };
         }
-
-        /// Pop the top `n` values, preserving their order.
-        fn pop_n(stack: &mut Vec<Val>, n: usize) -> Vec<Val> {
-            stack.split_off(stack.len() - n)
+        /// Take a resolved branch: either leave the function with the
+        /// carried values, or unwind the value stack and jump.
+        macro_rules! branch_to {
+            ($dest:expr) => {{
+                let dest = $dest;
+                if dest.target == RETURN_TARGET {
+                    return Ok(take_top(stack, dest.keep as usize));
+                }
+                unwind(&mut stack, dest.keep as usize, dest.height as usize);
+                pc = dest.target as usize;
+                continue;
+            }};
         }
 
+        // Fuel cannot appear mid-run (only `set_fuel` between invocations
+        // installs it), so the common no-fuel case pays one predictable
+        // branch per op instead of an `Option` inspection.
+        let fuel_active = self.fuel.is_some();
+
         loop {
-            self.executed_instrs += 1;
-            if let Some(fuel) = self.fuel.as_mut() {
-                if *fuel == 0 {
+            let op = &ops[pc];
+            let w = op.weight();
+            *steps += w;
+            if fuel_active {
+                let fuel = self.fuel.as_mut().expect("fuel checked active");
+                if *fuel < w {
+                    // The structured-walk semantics counts every instruction
+                    // it could still afford plus the one that trapped.
+                    *steps = *steps - w + *fuel + 1;
+                    *fuel = 0;
                     return Err(Trap::OutOfFuel);
                 }
-                *fuel -= 1;
+                *fuel -= w;
             }
 
-            let instr = &body[pc];
-            match instr {
-                Instr::Nop => {}
-                Instr::Unreachable => return Err(Trap::Unreachable),
-
-                Instr::Block(bt) | Instr::Loop(bt) => {
-                    ctrl.push(Ctrl {
-                        kind: if matches!(instr, Instr::Loop(_)) {
-                            CtrlKind::Loop
-                        } else {
-                            CtrlKind::Block
-                        },
-                        start_pc: pc,
-                        end_pc: jump.end[pc] as usize,
-                        height: stack.len(),
-                        arity: usize::from(bt.0.is_some()),
-                    });
-                }
-                Instr::If(bt) => {
-                    let cond = pop_i32!();
-                    let end_pc = jump.end[pc] as usize;
-                    let else_pc = jump.else_[pc];
-                    let frame = Ctrl {
-                        kind: CtrlKind::IfOrElse,
-                        start_pc: pc,
-                        end_pc,
-                        height: stack.len(),
-                        arity: usize::from(bt.0.is_some()),
-                    };
-                    if cond != 0 {
-                        ctrl.push(frame);
-                    } else if else_pc != u32::MAX {
-                        ctrl.push(frame);
-                        pc = else_pc as usize; // continue after the `else`
-                    } else {
-                        pc = end_pc; // skip the block, including its `end`
-                    }
-                }
-                Instr::Else => {
-                    // Falling into `else` means the then-branch finished:
-                    // jump to the matching `end` (which pops the frame).
-                    pc = ctrl.last().expect("validated: frame").end_pc;
+            match op {
+                Op::Skip => {}
+                Op::Unreachable => return Err(Trap::Unreachable),
+                Op::Goto(target) => {
+                    pc = *target as usize;
                     continue;
                 }
-                Instr::End => {
-                    let frame = ctrl.pop().expect("validated: frame");
-                    if frame.kind == CtrlKind::Function {
-                        debug_assert!(ctrl.is_empty());
-                        return Ok(pop_n(&mut stack, func_arity));
-                    }
-                }
-
-                Instr::Br(label) => {
-                    if let Some(results) = branch(&mut ctrl, &mut stack, *label, &mut pc) {
-                        return Ok(results);
-                    }
-                    continue;
-                }
-                Instr::BrIf(label) => {
-                    let cond = pop_i32!();
-                    if cond != 0 {
-                        if let Some(results) = branch(&mut ctrl, &mut stack, *label, &mut pc) {
-                            return Ok(results);
-                        }
+                Op::IfNot(target) => {
+                    if pop_i32!() == 0 {
+                        pc = *target as usize;
                         continue;
                     }
                 }
-                Instr::BrTable { table, default } => {
-                    let idx = pop_i32!() as u32 as usize;
-                    let label = *table.get(idx).unwrap_or(default);
-                    if let Some(results) = branch(&mut ctrl, &mut stack, label, &mut pc) {
-                        return Ok(results);
+                Op::Br(dest) => branch_to!(dest),
+                Op::BrIf(dest) => {
+                    if pop_i32!() != 0 {
+                        branch_to!(dest);
                     }
-                    continue;
                 }
-                Instr::Return => {
-                    return Ok(pop_n(&mut stack, func_arity));
+                Op::BrTable(table) => {
+                    let idx = pop_i32!() as u32 as usize;
+                    let dest = table.dests.get(idx).unwrap_or(&table.default);
+                    branch_to!(dest);
                 }
+                Op::Return => return Ok(take_top(stack, func.arity)),
 
-                Instr::Call(callee) => {
-                    let param_count = module.functions[callee.to_usize()].type_.params.len();
-                    let args = pop_n(&mut stack, param_count);
-                    let results = self.call_function(*callee, args, host, depth + 1)?;
-                    stack.extend(results);
+                Op::Call { callee, params } => {
+                    let at = stack.len() - *params as usize;
+                    let results =
+                        self.call_function(Idx::from(*callee), &stack[at..], host, depth + 1)?;
+                    stack.truncate(at);
+                    stack.extend_from_slice(&results);
                 }
-                Instr::CallIndirect(expected_ty, _) => {
+                Op::CallIndirect { sig, params } => {
                     let table_idx = pop_i32!() as u32;
                     let target = self
                         .table
                         .as_ref()
                         .expect("validated: table exists")
                         .lookup(table_idx)?;
-                    let actual_ty = &module.functions[target.to_usize()].type_;
-                    if actual_ty != expected_ty {
+                    let expected_ty = &code.sigs[*sig as usize];
+                    if &self.module.functions[target.to_usize()].type_ != expected_ty {
                         return Err(Trap::IndirectCallTypeMismatch);
                     }
-                    let args = pop_n(&mut stack, expected_ty.params.len());
-                    let results = self.call_function(target, args, host, depth + 1)?;
-                    stack.extend(results);
+                    let at = stack.len() - *params as usize;
+                    let results = self.call_function(target, &stack[at..], host, depth + 1)?;
+                    stack.truncate(at);
+                    stack.extend_from_slice(&results);
                 }
 
-                Instr::Drop => {
+                Op::Drop => {
                     pop!();
                 }
-                Instr::Select => {
+                Op::Select => {
                     let cond = pop_i32!();
                     let second = pop!();
                     let first = pop!();
                     stack.push(if cond != 0 { first } else { second });
                 }
 
-                Instr::Local(op, idx) => match op {
-                    LocalOp::Get => stack.push(locals[idx.to_usize()]),
-                    LocalOp::Set => locals[idx.to_usize()] = pop!(),
-                    LocalOp::Tee => {
-                        locals[idx.to_usize()] = *stack.last().expect("validated: operand");
-                    }
-                },
-                Instr::Global(op, idx) => match op {
-                    GlobalOp::Get => stack.push(self.globals[idx.to_usize()]),
-                    GlobalOp::Set => self.globals[idx.to_usize()] = pop!(),
-                },
+                Op::LocalGet(idx) => stack.push(locals[*idx as usize]),
+                Op::LocalSet(idx) => locals[*idx as usize] = pop!(),
+                Op::LocalTee(idx) => {
+                    locals[*idx as usize] = *stack.last().expect("validated: operand");
+                }
+                Op::GlobalGet(idx) => stack.push(self.globals[*idx as usize]),
+                Op::GlobalSet(idx) => self.globals[*idx as usize] = pop!(),
 
-                Instr::Load(op, memarg) => {
+                Op::Load { op, offset } => {
                     let addr = pop_i32!() as u32;
                     let memory = self.memory.as_ref().expect("validated: memory exists");
-                    let value = load_value(memory, *op, addr, memarg.offset)?;
-                    stack.push(value);
+                    stack.push(load_value(memory, *op, addr, *offset)?);
                 }
-                Instr::Store(op, memarg) => {
+                Op::Store { op, offset } => {
                     let value = pop!();
                     let addr = pop_i32!() as u32;
                     let memory = self.memory.as_mut().expect("validated: memory exists");
-                    store_value(memory, *op, addr, memarg.offset, value)?;
+                    store_value(memory, *op, addr, *offset, value)?;
                 }
-                Instr::MemorySize(_) => {
+                Op::MemorySize => {
                     let memory = self.memory.as_ref().expect("validated: memory exists");
                     stack.push(Val::I32(memory.size_pages() as i32));
                 }
-                Instr::MemoryGrow(_) => {
+                Op::MemoryGrow => {
                     let delta = pop_i32!() as u32;
                     let memory = self.memory.as_mut().expect("validated: memory exists");
                     stack.push(Val::I32(memory.grow(delta)));
                 }
 
-                Instr::Const(val) => stack.push(*val),
-                Instr::Unary(op) => {
+                Op::Const(val) => stack.push(*val),
+                Op::Unary(op) => {
                     let v = pop!();
                     stack.push(numeric::unary(*op, v)?);
                 }
-                Instr::Binary(op) => {
+                Op::Binary(op) => {
                     let b = pop!();
                     let a = pop!();
                     stack.push(numeric::binary(*op, a, b)?);
+                }
+
+                Op::ConstBinary { value, op } => {
+                    let a = pop!();
+                    stack.push(numeric::binary(*op, a, *value)?);
+                }
+                Op::LocalBinary { local, op } => {
+                    let a = pop!();
+                    stack.push(numeric::binary(*op, a, locals[*local as usize])?);
+                }
+                Op::LocalLocalBinary { a, b, op } => {
+                    stack.push(numeric::binary(
+                        *op,
+                        locals[*a as usize],
+                        locals[*b as usize],
+                    )?);
+                }
+                Op::LocalConstBinary { a, value, op } => {
+                    stack.push(numeric::binary(*op, locals[*a as usize], *value)?);
+                }
+                Op::LocalConstBinarySet { a, value, op, dst } => {
+                    locals[*dst as usize] = numeric::binary(*op, locals[*a as usize], *value)?;
+                }
+                Op::CmpBrIf { op, dest } => {
+                    let b = pop!();
+                    let a = pop!();
+                    let taken = numeric::binary(*op, a, b)?
+                        .as_i32()
+                        .expect("comparison yields i32");
+                    if taken != 0 {
+                        branch_to!(dest);
+                    }
+                }
+                Op::LocalConstCmpBrIf { a, value, op, dest } => {
+                    let taken = numeric::binary(*op, locals[*a as usize], *value)?
+                        .as_i32()
+                        .expect("comparison yields i32");
+                    if taken != 0 {
+                        branch_to!(dest);
+                    }
+                }
+                Op::LocalLocalCmpBrIf { a, b, op, dest } => {
+                    let taken = numeric::binary(*op, locals[*a as usize], locals[*b as usize])?
+                        .as_i32()
+                        .expect("comparison yields i32");
+                    if taken != 0 {
+                        branch_to!(dest);
+                    }
+                }
+                Op::AffineAddr { a, c1, b, c2 } => {
+                    stack.push(Val::I32(affine(&locals, *a, *c1, *b, *c2)));
+                }
+                Op::AffineLoad {
+                    a,
+                    c1,
+                    b,
+                    c2,
+                    load,
+                    offset,
+                } => {
+                    let addr = affine(&locals, *a, *c1, *b, *c2) as u32;
+                    let memory = self.memory.as_ref().expect("validated: memory exists");
+                    stack.push(load_value(memory, *load, addr, *offset)?);
                 }
             }
             pc += 1;
@@ -555,40 +602,38 @@ impl Instance {
     }
 }
 
-/// Perform a branch to `label`. Returns `Some(results)` if the branch leaves
-/// the function (branch to the function frame), otherwise updates `pc` to
-/// the next instruction.
-fn branch(
-    ctrl: &mut Vec<Ctrl>,
-    stack: &mut Vec<Val>,
-    label: Label,
-    pc: &mut usize,
-) -> Option<Vec<Val>> {
-    let target_idx = ctrl.len() - 1 - label.to_usize();
-    let target = ctrl[target_idx];
-    if target.kind == CtrlKind::Loop {
-        // Backward jump: keep the loop frame, restart after the `loop`.
-        ctrl.truncate(target_idx + 1);
-        stack.truncate(target.height);
-        *pc = target.start_pc + 1;
-        None
-    } else {
-        // Forward jump: carry the label arity, drop intermediate values.
-        let carried = stack.split_off(stack.len() - target.label_arity());
-        stack.truncate(target.height);
-        stack.extend(carried);
-        ctrl.truncate(target_idx);
-        if ctrl.is_empty() {
-            // Branch to the function frame: return.
-            let n = target.arity;
-            return Some(stack.split_off(stack.len() - n));
+/// The fused affine address chain `(locals[a]*c1 + locals[b])*c2` with
+/// WebAssembly's wrapping `i32` semantics.
+#[inline]
+fn affine(locals: &[Val], a: u32, c1: i32, b: u32, c2: i32) -> i32 {
+    let av = locals[a as usize].as_i32().expect("validated: i32 local");
+    let bv = locals[b as usize].as_i32().expect("validated: i32 local");
+    av.wrapping_mul(c1).wrapping_add(bv).wrapping_mul(c2)
+}
+
+/// Return the top `n` values of `stack`, reusing its allocation.
+#[inline]
+fn take_top(mut stack: Vec<Val>, n: usize) -> Vec<Val> {
+    let start = stack.len() - n;
+    stack.drain(..start);
+    stack
+}
+
+/// Unwind for a branch: carry the top `keep` values down to `height`.
+#[inline]
+fn unwind(stack: &mut Vec<Val>, keep: usize, height: usize) {
+    if keep == 0 {
+        stack.truncate(height);
+    } else if stack.len() != height + keep {
+        let from = stack.len() - keep;
+        for k in 0..keep {
+            stack[height + k] = stack[from + k];
         }
-        *pc = target.end_pc + 1;
-        None
+        stack.truncate(height + keep);
     }
 }
 
-fn eval_const_expr(expr: &[Instr], globals: &[Val]) -> Val {
+pub(crate) fn eval_const_expr(expr: &[Instr], globals: &[Val]) -> Val {
     match expr {
         [Instr::Const(val), Instr::End] => *val,
         [Instr::Global(GlobalOp::Get, idx), Instr::End] => globals[idx.to_usize()],
@@ -596,7 +641,7 @@ fn eval_const_expr(expr: &[Instr], globals: &[Val]) -> Val {
     }
 }
 
-fn load_value(
+pub(crate) fn load_value(
     memory: &LinearMemory,
     op: wasabi_wasm::LoadOp,
     addr: u32,
@@ -641,7 +686,7 @@ fn load_value(
     })
 }
 
-fn store_value(
+pub(crate) fn store_value(
     memory: &mut LinearMemory,
     op: wasabi_wasm::StoreOp,
     addr: u32,
@@ -1092,7 +1137,7 @@ mod tests {
         let mut host = EmptyHost;
         let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
         instance.invoke_export("f", &[], &mut host).unwrap();
-        // const, const, add, end
+        // const, const, add, end — the const+add fusion still counts as two.
         assert_eq!(instance.executed_instrs(), 4);
     }
 
@@ -1135,5 +1180,35 @@ mod tests {
             .invoke_export("f", &[Val::F64(1.0)], &mut host)
             .unwrap_err();
         assert!(matches!(err, Trap::HostError(_)));
+    }
+
+    #[test]
+    fn translated_module_is_reusable() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[], &[ValType::I32], |f| {
+            f.i32_const(11).i32_const(31).i32_add();
+        });
+        let translated = TranslatedModule::new(builder.finish()).unwrap();
+        let mut host = EmptyHost;
+        for _ in 0..3 {
+            let mut instance = Instance::instantiate_translated(&translated, &mut host).unwrap();
+            assert_eq!(
+                instance.invoke_export("f", &[], &mut host).unwrap(),
+                vec![Val::I32(42)]
+            );
+            assert_eq!(instance.executed_instrs(), 4);
+        }
+    }
+
+    #[test]
+    fn invalid_module_fails_translation() {
+        // A module with a type-incorrect body must be rejected up front.
+        let mut module = Module::new();
+        module.add_function(
+            wasabi_wasm::FuncType::new(&[], &[ValType::I32]),
+            vec![],
+            vec![Instr::End],
+        );
+        assert!(TranslatedModule::new(module).is_err());
     }
 }

@@ -8,6 +8,12 @@
 //!
 //! The interpreter:
 //!
+//! - executes a **flat, pre-translated IR** ([`TranslatedModule`]): each
+//!   function body is translated once into a dense op stream with resolved
+//!   branch targets, arities, and unwind heights, plus fused
+//!   superinstructions — no label stack or `end`/`else` bookkeeping at
+//!   runtime (the previous structured-walk semantics survives as the
+//!   [`reference`] oracle for differential testing),
 //! - executes only validated modules (instantiation validates first),
 //! - implements all numeric semantics of the spec ([`numeric`]): wrapping
 //!   integer arithmetic, trapping division and float→int truncation,
@@ -19,16 +25,19 @@
 //!
 //! See [`Instance`] for the entry point.
 
+mod flat;
 pub mod host;
 pub mod interp;
 pub mod memory;
 pub mod numeric;
+pub mod reference;
 pub mod table;
 pub mod trap;
 
 pub use host::{EmptyHost, Host, HostCtx, HostFuncId, HostFunctions};
-pub use interp::{Instance, DEFAULT_MAX_CALL_DEPTH};
+pub use interp::{Instance, TranslatedModule, DEFAULT_MAX_CALL_DEPTH};
 pub use memory::LinearMemory;
+pub use reference::Reference;
 pub use table::FuncTable;
 pub use trap::{InstantiationError, Trap};
 

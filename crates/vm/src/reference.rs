@@ -1,0 +1,465 @@
+//! The structured-walk reference interpreter — the seed's execution
+//! semantics, kept as a differential-testing **oracle** and as the
+//! "before" side of the `interp` benchmark (`BENCH_interp.json`).
+//!
+//! [`Reference`] executes the *original* structured instruction sequence of
+//! an instantiated module: a per-step label stack ([`Ctrl`] frames), `end`/
+//! `else` handling at runtime, and `JumpTable` lookups for every `if` — the
+//! exact per-step costs the flat IR of [`crate::flat`] eliminates. It
+//! shares the instance state (memory, table, globals, fuel, call-depth
+//! limit, `executed_instrs`) with the production interpreter, so the
+//! proptest differential suite can assert that both walks produce the same
+//! results, the same traps, and the same executed-instruction counts.
+//!
+//! This path is **not** performance-critical; do not optimize it. Its value
+//! is being a faithful, independent second implementation.
+
+use std::sync::Arc;
+
+use wasabi_wasm::instr::{FunctionSpace, GlobalOp, Idx, Instr, Label, LocalOp, Val};
+use wasabi_wasm::module::Module;
+
+use crate::flat::{compute_jump_table, JumpTable};
+use crate::host::{Host, HostCtx};
+use crate::interp::{load_value, store_value, FuncTarget, Instance};
+use crate::numeric;
+use crate::trap::Trap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtrlKind {
+    Function,
+    Block,
+    Loop,
+    IfOrElse,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ctrl {
+    kind: CtrlKind,
+    /// pc of the opening instruction.
+    start_pc: usize,
+    /// pc of the matching `end`.
+    end_pc: usize,
+    /// Value stack height at entry.
+    height: usize,
+    /// Number of result values of the block.
+    arity: usize,
+}
+
+impl Ctrl {
+    /// Values carried by a branch to this frame (0 for loops).
+    fn label_arity(&self) -> usize {
+        if self.kind == CtrlKind::Loop {
+            0
+        } else {
+            self.arity
+        }
+    }
+}
+
+/// The structured-walk executor for one module: per-function jump tables
+/// precomputed once (as the seed interpreter did at instantiation).
+#[derive(Debug)]
+pub struct Reference {
+    jump_tables: Vec<JumpTable>,
+}
+
+impl Reference {
+    /// Precompute the structured-control-flow jump tables of `module`.
+    pub fn new(module: &Module) -> Self {
+        Reference {
+            jump_tables: module
+                .functions
+                .iter()
+                .map(|f| {
+                    f.code()
+                        .map(|c| compute_jump_table(&c.body))
+                        .unwrap_or_default()
+                })
+                .collect(),
+        }
+    }
+
+    /// Invoke an exported function of `instance` by name, executing with
+    /// the structured-walk semantics. The instance must have been created
+    /// from the same module this [`Reference`] was built for.
+    ///
+    /// # Errors
+    ///
+    /// Traps propagate; a missing export or argument type mismatch is
+    /// reported as a [`Trap::HostError`].
+    pub fn invoke_export(
+        &self,
+        instance: &mut Instance,
+        name: &str,
+        args: &[Val],
+        host: &mut dyn Host,
+    ) -> Result<Vec<Val>, Trap> {
+        let idx = instance
+            .module()
+            .export_function(name)
+            .ok_or_else(|| Trap::HostError(format!("no exported function {name:?}")))?;
+        self.invoke(instance, idx, args, host)
+    }
+
+    /// Invoke the function at `func_idx` with the structured-walk
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Traps propagate; argument count/type mismatches are a
+    /// [`Trap::HostError`].
+    pub fn invoke(
+        &self,
+        instance: &mut Instance,
+        func_idx: Idx<FunctionSpace>,
+        args: &[Val],
+        host: &mut dyn Host,
+    ) -> Result<Vec<Val>, Trap> {
+        let ty = &instance.module().functions[func_idx.to_usize()].type_;
+        if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(&p, a)| a.ty() != p) {
+            return Err(Trap::HostError(format!(
+                "invoke arguments {args:?} do not match type {ty}"
+            )));
+        }
+        self.call_function(instance, func_idx, args.to_vec(), host, 0)
+    }
+
+    fn call_function(
+        &self,
+        instance: &mut Instance,
+        func_idx: Idx<FunctionSpace>,
+        args: Vec<Val>,
+        host: &mut dyn Host,
+        depth: usize,
+    ) -> Result<Vec<Val>, Trap> {
+        if depth >= instance.max_call_depth {
+            return Err(Trap::CallStackExhausted);
+        }
+        match instance.func_targets[func_idx.to_usize()] {
+            FuncTarget::Host(id) => {
+                let ctx = HostCtx {
+                    memory: instance.memory.as_mut(),
+                    table: instance.table.as_mut(),
+                    globals: &mut instance.globals,
+                };
+                host.call(id, &args, ctx)
+            }
+            FuncTarget::Wasm => self.run_wasm_function(instance, func_idx, args, host, depth),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_wasm_function(
+        &self,
+        instance: &mut Instance,
+        func_idx: Idx<FunctionSpace>,
+        args: Vec<Val>,
+        host: &mut dyn Host,
+        depth: usize,
+    ) -> Result<Vec<Val>, Trap> {
+        // Keep the code reachable while `instance` is mutated during
+        // execution.
+        let module = Arc::clone(&instance.module);
+        let function = &module.functions[func_idx.to_usize()];
+        let code = function.code().expect("call target is a wasm function");
+        let body = &code.body;
+        let jump = &self.jump_tables[func_idx.to_usize()];
+
+        let mut locals = args;
+        locals.extend(code.locals.iter().map(|&ty| Val::zero(ty)));
+
+        let mut stack: Vec<Val> = Vec::with_capacity(16);
+        let mut ctrl: Vec<Ctrl> = Vec::with_capacity(8);
+        ctrl.push(Ctrl {
+            kind: CtrlKind::Function,
+            start_pc: 0,
+            end_pc: body.len().saturating_sub(1),
+            height: 0,
+            arity: function.type_.results.len(),
+        });
+
+        let func_arity = function.type_.results.len();
+        let mut pc = 0usize;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().expect("validated: operand on stack")
+            };
+        }
+        macro_rules! pop_i32 {
+            () => {
+                pop!().as_i32().expect("validated: i32 operand")
+            };
+        }
+
+        /// Pop the top `n` values, preserving their order.
+        fn pop_n(stack: &mut Vec<Val>, n: usize) -> Vec<Val> {
+            stack.split_off(stack.len() - n)
+        }
+
+        loop {
+            instance.executed_instrs += 1;
+            if let Some(fuel) = instance.fuel.as_mut() {
+                if *fuel == 0 {
+                    return Err(Trap::OutOfFuel);
+                }
+                *fuel -= 1;
+            }
+
+            let instr = &body[pc];
+            match instr {
+                Instr::Nop => {}
+                Instr::Unreachable => return Err(Trap::Unreachable),
+
+                Instr::Block(bt) | Instr::Loop(bt) => {
+                    ctrl.push(Ctrl {
+                        kind: if matches!(instr, Instr::Loop(_)) {
+                            CtrlKind::Loop
+                        } else {
+                            CtrlKind::Block
+                        },
+                        start_pc: pc,
+                        end_pc: jump.end[pc] as usize,
+                        height: stack.len(),
+                        arity: usize::from(bt.0.is_some()),
+                    });
+                }
+                Instr::If(bt) => {
+                    let cond = pop_i32!();
+                    let end_pc = jump.end[pc] as usize;
+                    let else_pc = jump.else_[pc];
+                    let frame = Ctrl {
+                        kind: CtrlKind::IfOrElse,
+                        start_pc: pc,
+                        end_pc,
+                        height: stack.len(),
+                        arity: usize::from(bt.0.is_some()),
+                    };
+                    if cond != 0 {
+                        ctrl.push(frame);
+                    } else if else_pc != u32::MAX {
+                        ctrl.push(frame);
+                        pc = else_pc as usize; // continue after the `else`
+                    } else {
+                        pc = end_pc; // skip the block, including its `end`
+                    }
+                }
+                Instr::Else => {
+                    // Falling into `else` means the then-branch finished:
+                    // jump to the matching `end` (which pops the frame).
+                    pc = ctrl.last().expect("validated: frame").end_pc;
+                    continue;
+                }
+                Instr::End => {
+                    let frame = ctrl.pop().expect("validated: frame");
+                    if frame.kind == CtrlKind::Function {
+                        debug_assert!(ctrl.is_empty());
+                        return Ok(pop_n(&mut stack, func_arity));
+                    }
+                }
+
+                Instr::Br(label) => {
+                    if let Some(results) = branch(&mut ctrl, &mut stack, *label, &mut pc) {
+                        return Ok(results);
+                    }
+                    continue;
+                }
+                Instr::BrIf(label) => {
+                    let cond = pop_i32!();
+                    if cond != 0 {
+                        if let Some(results) = branch(&mut ctrl, &mut stack, *label, &mut pc) {
+                            return Ok(results);
+                        }
+                        continue;
+                    }
+                }
+                Instr::BrTable { table, default } => {
+                    let idx = pop_i32!() as u32 as usize;
+                    let label = *table.get(idx).unwrap_or(default);
+                    if let Some(results) = branch(&mut ctrl, &mut stack, label, &mut pc) {
+                        return Ok(results);
+                    }
+                    continue;
+                }
+                Instr::Return => {
+                    return Ok(pop_n(&mut stack, func_arity));
+                }
+
+                Instr::Call(callee) => {
+                    let param_count = module.functions[callee.to_usize()].type_.params.len();
+                    let args = pop_n(&mut stack, param_count);
+                    let results = self.call_function(instance, *callee, args, host, depth + 1)?;
+                    stack.extend(results);
+                }
+                Instr::CallIndirect(expected_ty, _) => {
+                    let table_idx = pop_i32!() as u32;
+                    let target = instance
+                        .table
+                        .as_ref()
+                        .expect("validated: table exists")
+                        .lookup(table_idx)?;
+                    let actual_ty = &module.functions[target.to_usize()].type_;
+                    if actual_ty != expected_ty {
+                        return Err(Trap::IndirectCallTypeMismatch);
+                    }
+                    let args = pop_n(&mut stack, expected_ty.params.len());
+                    let results = self.call_function(instance, target, args, host, depth + 1)?;
+                    stack.extend(results);
+                }
+
+                Instr::Drop => {
+                    pop!();
+                }
+                Instr::Select => {
+                    let cond = pop_i32!();
+                    let second = pop!();
+                    let first = pop!();
+                    stack.push(if cond != 0 { first } else { second });
+                }
+
+                Instr::Local(op, idx) => match op {
+                    LocalOp::Get => stack.push(locals[idx.to_usize()]),
+                    LocalOp::Set => locals[idx.to_usize()] = pop!(),
+                    LocalOp::Tee => {
+                        locals[idx.to_usize()] = *stack.last().expect("validated: operand");
+                    }
+                },
+                Instr::Global(op, idx) => match op {
+                    GlobalOp::Get => stack.push(instance.globals[idx.to_usize()]),
+                    GlobalOp::Set => instance.globals[idx.to_usize()] = pop!(),
+                },
+
+                Instr::Load(op, memarg) => {
+                    let addr = pop_i32!() as u32;
+                    let memory = instance.memory.as_ref().expect("validated: memory exists");
+                    let value = load_value(memory, *op, addr, memarg.offset)?;
+                    stack.push(value);
+                }
+                Instr::Store(op, memarg) => {
+                    let value = pop!();
+                    let addr = pop_i32!() as u32;
+                    let memory = instance.memory.as_mut().expect("validated: memory exists");
+                    store_value(memory, *op, addr, memarg.offset, value)?;
+                }
+                Instr::MemorySize(_) => {
+                    let memory = instance.memory.as_ref().expect("validated: memory exists");
+                    stack.push(Val::I32(memory.size_pages() as i32));
+                }
+                Instr::MemoryGrow(_) => {
+                    let delta = pop_i32!() as u32;
+                    let memory = instance.memory.as_mut().expect("validated: memory exists");
+                    stack.push(Val::I32(memory.grow(delta)));
+                }
+
+                Instr::Const(val) => stack.push(*val),
+                Instr::Unary(op) => {
+                    let v = pop!();
+                    stack.push(numeric::unary(*op, v)?);
+                }
+                Instr::Binary(op) => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(numeric::binary(*op, a, b)?);
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// Perform a branch to `label`. Returns `Some(results)` if the branch leaves
+/// the function (branch to the function frame), otherwise updates `pc` to
+/// the next instruction.
+fn branch(
+    ctrl: &mut Vec<Ctrl>,
+    stack: &mut Vec<Val>,
+    label: Label,
+    pc: &mut usize,
+) -> Option<Vec<Val>> {
+    let target_idx = ctrl.len() - 1 - label.to_usize();
+    let target = ctrl[target_idx];
+    if target.kind == CtrlKind::Loop {
+        // Backward jump: keep the loop frame, restart after the `loop`.
+        ctrl.truncate(target_idx + 1);
+        stack.truncate(target.height);
+        *pc = target.start_pc + 1;
+        None
+    } else {
+        // Forward jump: carry the label arity, drop intermediate values.
+        let carried = stack.split_off(stack.len() - target.label_arity());
+        stack.truncate(target.height);
+        stack.extend(carried);
+        ctrl.truncate(target_idx);
+        if ctrl.is_empty() {
+            // Branch to the function frame: return.
+            let n = target.arity;
+            return Some(stack.split_off(stack.len() - n));
+        }
+        *pc = target.end_pc + 1;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::EmptyHost;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::instr::BinaryOp;
+    use wasabi_wasm::types::ValType;
+
+    #[test]
+    fn reference_walk_matches_flat_on_a_loop() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("sum", &[ValType::I32], &[ValType::I32], |f| {
+            let i = f.local(ValType::I32);
+            let acc = f.local(ValType::I32);
+            f.block(None).loop_(None);
+            f.get_local(i)
+                .get_local(0u32)
+                .binary(BinaryOp::I32GeS)
+                .br_if(1);
+            f.get_local(acc).get_local(i).i32_add().set_local(acc);
+            f.get_local(i).i32_const(1).i32_add().set_local(i);
+            f.br(0).end().end();
+            f.get_local(acc);
+        });
+        let module = builder.finish();
+        let reference = Reference::new(&module);
+        let mut host = EmptyHost;
+
+        let mut flat = Instance::instantiate(module.clone(), &mut host).unwrap();
+        let flat_result = flat
+            .invoke_export("sum", &[Val::I32(25)], &mut host)
+            .unwrap();
+
+        let mut structured = Instance::instantiate(module, &mut host).unwrap();
+        let ref_result = reference
+            .invoke_export(&mut structured, "sum", &[Val::I32(25)], &mut host)
+            .unwrap();
+
+        assert_eq!(flat_result, ref_result);
+        assert_eq!(flat.executed_instrs(), structured.executed_instrs());
+    }
+
+    #[test]
+    fn reference_counts_the_trapped_instruction() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("spin", &[], &[], |f| {
+            f.loop_(None).br(0).end();
+        });
+        let module = builder.finish();
+        let reference = Reference::new(&module);
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(module, &mut host).unwrap();
+        instance.set_fuel(Some(100));
+        let err = reference
+            .invoke_export(&mut instance, "spin", &[], &mut host)
+            .unwrap_err();
+        assert_eq!(err, Trap::OutOfFuel);
+        // Seed semantics: every instruction the fuel paid for, plus the one
+        // that trapped.
+        assert_eq!(instance.executed_instrs(), 101);
+    }
+}
