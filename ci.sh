@@ -30,6 +30,42 @@ cargo run --release -q -p wasabi-bench --bin pipeline -- --smoke --out /tmp/BENC
 echo "==> bench smoke (interp --smoke)"
 cargo run --release -q -p wasabi-bench --bin interp -- --smoke --out /tmp/BENCH_interp_smoke.json >/dev/null
 
+echo "==> bench smoke (overhead --smoke)"
+cargo run --release -q -p wasabi-bench --bin overhead -- --smoke --out /tmp/BENCH_overhead_smoke.json >/dev/null
+
+# Host-call intrinsics gate: the committed baseline must show the >= 1.5x
+# all-hooks improvement over the generic-call path, and the freshly
+# measured all-hooks overhead must stay within 1.1x of the committed
+# baseline. Re-record with:
+#   cargo run --release -p wasabi-bench --bin overhead
+echo "==> perf gate: BENCH_overhead.json (improvement >= 1.5x, smoke within baseline x1.1)"
+python3 - <<'EOF'
+import json, math, sys
+with open("BENCH_overhead.json") as f:
+    committed = json.load(f)
+with open("/tmp/BENCH_overhead_smoke.json") as f:
+    smoke = json.load(f)
+if committed["all"]["improvement"] < 1.5:
+    sys.exit(f"committed intrinsic improvement regressed: "
+             f"{committed['all']['improvement']:.3f}x < 1.5x")
+# Compare the smoke kernels against the SAME kernels of the committed
+# baseline (the smoke subset's geomean differs from the full suite's).
+baseline = {k["name"]: k["overhead_intrinsic"] for k in committed["kernels"]}
+measured = [(k["name"], k["overhead_intrinsic"]) for k in smoke["kernels"]]
+missing = [name for name, _ in measured if name not in baseline]
+if missing:
+    sys.exit(f"kernels missing from committed baseline: {missing}")
+geo = lambda xs: math.exp(sum(math.log(x) for x in xs) / len(xs))
+smoke_geo = geo([o for _, o in measured])
+base_geo = geo([baseline[name] for name, _ in measured])
+if smoke_geo > base_geo * 1.1:
+    sys.exit(f"all-hooks overhead regressed: measured {smoke_geo:.2f}x > "
+             f"baseline {base_geo:.2f}x * 1.1 (same-kernel subset)")
+print(f"    all-hooks overhead: {smoke_geo:.2f}x "
+      f"(same-kernel baseline {base_geo:.2f}x, improvement over "
+      f"generic path {committed['all']['improvement']:.2f}x)")
+EOF
+
 # Perf regression gate: the recorded fused-pipeline speedup must stay
 # >= 2.0x. Re-record with:  cargo run --release -p wasabi-bench --bin pipeline
 echo "==> perf gate: BENCH_pipeline.json fused speedup >= 2.0x"

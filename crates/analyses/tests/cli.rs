@@ -231,3 +231,37 @@ fn rejects_unknown_hook_and_garbage_input() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn time_flag_prints_phase_breakdown_in_both_modes() {
+    let dir = temp_dir("time-flag");
+    let input = write_branchy_fixture(&dir);
+
+    // Analysis mode: instrument/translate/execute breakdown.
+    let output = cli()
+        .arg(&input)
+        .arg("--analysis=instruction_mix")
+        .arg("--invoke=main")
+        .arg("--args=2")
+        .arg("--time")
+        .output()
+        .expect("CLI runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--time: instrument "), "{stderr}");
+    assert!(stderr.contains(" translate "), "{stderr}");
+    assert!(stderr.contains(" execute "), "{stderr}");
+
+    // Instrument mode: decode/instrument/encode breakdown.
+    let output = cli()
+        .arg(&input)
+        .arg(dir.join("out"))
+        .arg("--time")
+        .output()
+        .expect("CLI runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--time: decode "), "{stderr}");
+    assert!(stderr.contains(" instrument "), "{stderr}");
+    assert!(stderr.contains(" encode "), "{stderr}");
+}

@@ -1,0 +1,212 @@
+//! The Fig. 9 **overhead artifact** of the host-call intrinsics PR:
+//! runtime of instrumented execution relative to the uninstrumented flat
+//! baseline, per hook group and for all hooks at once — with the all-hooks
+//! row measured on **both** execution paths:
+//!
+//! - **intrinsic** (post-PR): `Op::HostCall`/`Op::HostCallConst` dispatch
+//!   plus the runtime's zero-subscriber skip (`NoAnalysis` listens to
+//!   nothing, like Fig. 9's no-op analysis),
+//! - **generic** (pre-PR): the generic call machinery with full event
+//!   construction (`AllHooksNop` subscribes to everything).
+//!
+//! The recorded `improvement` (generic wall / intrinsic wall) is the PR's
+//! acceptance number (≥ 1.5×); `ci.sh` gates on the recorded all-hooks
+//! overhead not regressing past the committed baseline × 1.1.
+//!
+//! ```sh
+//! cargo run --release -p wasabi-bench --bin overhead \
+//!     [polybench_n] [kernel_count] [--out <path>] [--smoke]
+//! ```
+//!
+//! Default output path: `BENCH_overhead.json`. `--smoke` shrinks the run
+//! (3 kernels, all-hooks row only) while keeping `polybench_n` at the full
+//! value so the recorded overhead ratio stays comparable to the committed
+//! baseline.
+
+use std::fmt::Write as _;
+
+use wasabi::hooks::HookSet;
+use wasabi_bench::{
+    geomean, run_flat_amortized, run_instrumented_amortized, run_instrumented_generic_amortized,
+    FIGURE_HOOK_GROUPS,
+};
+use wasabi_vm::TranslatedModule;
+use wasabi_workloads::{compile, polybench};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    let out_path = raw
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| raw.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_overhead.json".to_string());
+    let mut positional = raw
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || raw[i - 1] != "--out"))
+        .map(|(_, a)| a);
+    // Keep n and the invocation count at the full values even in smoke
+    // mode: the overhead is a ratio, and the CI gate compares it per
+    // kernel against the committed baseline — only the kernel count and
+    // the per-hook-group sweep shrink.
+    let default_kernels: usize = if smoke { 3 } else { 8 };
+    let invocations: usize = 4;
+    let polybench_n: u32 = positional.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let kernel_count: usize = positional
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default_kernels);
+
+    let kernels: Vec<(&str, wasabi_wasm::Module)> = polybench::NAMES
+        .iter()
+        .take(kernel_count)
+        .map(|name| {
+            (
+                *name,
+                compile(&polybench::by_name(name, polybench_n).expect("known kernel")),
+            )
+        })
+        .collect();
+
+    println!(
+        "Overhead of instrumented execution vs. uninstrumented flat \
+         ({} PolyBench kernels at n={polybench_n}, {invocations} invocation(s))",
+        kernels.len()
+    );
+    println!();
+
+    // Uninstrumented flat baseline, translated once per kernel.
+    let bases: Vec<_> = kernels
+        .iter()
+        .map(|(_, module)| {
+            let translated = TranslatedModule::new(module.clone()).expect("validates");
+            run_flat_amortized(&translated, "main", invocations)
+        })
+        .collect();
+
+    // Per-hook-group overhead on the intrinsic path (skipped in smoke
+    // mode; the all-hooks row is the gated artifact).
+    let mut group_rows = Vec::new();
+    if !smoke {
+        println!("{:<14} {:>12} {:>12}", "hook", "wall", "instrs");
+        println!("{:-<14} {:->12} {:->12}", "", "", "");
+        for (name, hooks) in FIGURE_HOOK_GROUPS {
+            let set = HookSet::of(hooks);
+            let mut wall_ratios = Vec::new();
+            let mut instr_ratios = Vec::new();
+            for ((_, module), base) in kernels.iter().zip(&bases) {
+                let run = run_instrumented_amortized(module, set, "main", invocations);
+                assert_eq!(run.host_calls_slow, 0, "{name}: intrinsic path only");
+                wall_ratios.push(run.wall.as_secs_f64() / base.wall.as_secs_f64());
+                instr_ratios.push(run.vm_instrs as f64 / base.vm_instrs as f64);
+            }
+            let wall = geomean(wall_ratios.iter().copied());
+            let instrs = geomean(instr_ratios.iter().copied());
+            println!("{name:<14} {wall:>11.2}x {instrs:>11.2}x");
+            group_rows.push((name, wall, instrs));
+        }
+        println!();
+    }
+
+    // The all-hooks row, on both paths.
+    let mut base_ms = 0.0;
+    let mut intrinsic_ms = 0.0;
+    let mut generic_ms = 0.0;
+    let mut intrinsic_wall_ratios = Vec::new();
+    let mut generic_wall_ratios = Vec::new();
+    let mut instr_ratios = Vec::new();
+    let mut kernel_rows = Vec::new();
+    for ((name, module), base) in kernels.iter().zip(&bases) {
+        let intrinsic = run_instrumented_amortized(module, HookSet::all(), "main", invocations);
+        // The benches must be able to assert the intrinsic path actually
+        // fired — that is the artifact being measured.
+        assert!(
+            intrinsic.host_calls_fast > 0,
+            "{name}: intrinsic path did not fire"
+        );
+        assert_eq!(
+            intrinsic.host_calls_slow, 0,
+            "{name}: unexpected slow calls"
+        );
+        let generic =
+            run_instrumented_generic_amortized(module, HookSet::all(), "main", invocations);
+        assert_eq!(generic.host_calls_fast, 0, "{name}: generic path leaked");
+        assert_eq!(
+            generic.host_calls_slow, intrinsic.host_calls_fast,
+            "{name}: both paths must make the same hook calls"
+        );
+        assert_eq!(
+            generic.vm_instrs, intrinsic.vm_instrs,
+            "{name}: instr counts"
+        );
+        base_ms += base.wall.as_secs_f64() * 1000.0;
+        intrinsic_ms += intrinsic.wall.as_secs_f64() * 1000.0;
+        generic_ms += generic.wall.as_secs_f64() * 1000.0;
+        intrinsic_wall_ratios.push(intrinsic.wall.as_secs_f64() / base.wall.as_secs_f64());
+        generic_wall_ratios.push(generic.wall.as_secs_f64() / base.wall.as_secs_f64());
+        instr_ratios.push(intrinsic.vm_instrs as f64 / base.vm_instrs as f64);
+        kernel_rows.push((
+            *name,
+            intrinsic.wall.as_secs_f64() / base.wall.as_secs_f64(),
+            generic.wall.as_secs_f64() / base.wall.as_secs_f64(),
+        ));
+    }
+    let overhead_intrinsic = geomean(intrinsic_wall_ratios.iter().copied());
+    let overhead_generic = geomean(generic_wall_ratios.iter().copied());
+    let overhead_instrs = geomean(instr_ratios.iter().copied());
+    let improvement = generic_ms / intrinsic_ms;
+
+    println!("all hooks, geomean overhead vs. uninstrumented flat:");
+    println!(
+        "  intrinsic (post-PR): {overhead_intrinsic:>8.2}x wall, {overhead_instrs:.2}x instrs"
+    );
+    println!("  generic   (pre-PR):  {overhead_generic:>8.2}x wall");
+    println!();
+    println!(
+        "totals: base {base_ms:.1} ms, intrinsic {intrinsic_ms:.1} ms, \
+         generic {generic_ms:.1} ms -> improvement {improvement:.2}x"
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"polybench_n\":{polybench_n},\"kernel_count\":{},\
+         \"invocations\":{invocations},\"kernels\":[",
+        kernels.len()
+    );
+    for (i, (name, intrinsic, generic)) in kernel_rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"name\":\"{name}\",\"overhead_intrinsic\":{intrinsic:.3},\
+             \"overhead_generic\":{generic:.3}}}"
+        );
+    }
+    json.push_str("],\"hook_groups\":[");
+    for (i, (name, wall, instrs)) in group_rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"hook\":\"{name}\",\"wall_overhead\":{wall:.3},\
+             \"instr_overhead\":{instrs:.3}}}"
+        );
+    }
+    let _ = write!(
+        json,
+        "],\"all\":{{\"base_ms\":{base_ms:.3},\
+         \"intrinsic_ms\":{intrinsic_ms:.3},\
+         \"generic_ms\":{generic_ms:.3},\
+         \"overhead_intrinsic\":{overhead_intrinsic:.3},\
+         \"overhead_generic\":{overhead_generic:.3},\
+         \"overhead_instrs\":{overhead_instrs:.3},\
+         \"improvement\":{improvement:.3}}}}}"
+    );
+    std::fs::write(&out_path, &json).expect("write overhead json");
+    println!("wrote {out_path}");
+}

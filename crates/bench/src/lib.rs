@@ -124,6 +124,41 @@ pub struct RunMeasurement {
     /// WebAssembly instructions the VM executed (a deterministic cost
     /// metric that complements wall time).
     pub vm_instrs: u64,
+    /// Host calls dispatched through the VM's host-call intrinsic fast
+    /// path (`Op::HostCall`/`Op::HostCallConst`).
+    pub host_calls_fast: u64,
+    /// Host calls dispatched through the generic call machinery.
+    pub host_calls_slow: u64,
+}
+
+impl RunMeasurement {
+    fn from_instance(wall: Duration, instance: &wasabi_vm::Instance) -> Self {
+        let (host_calls_fast, host_calls_slow) = instance.host_call_counts();
+        RunMeasurement {
+            wall,
+            vm_instrs: instance.executed_instrs(),
+            host_calls_fast,
+            host_calls_slow,
+        }
+    }
+}
+
+/// A no-op analysis that **subscribes to all hooks**: every event is built
+/// and delivered (to empty handlers). This reproduces the pre-intrinsic
+/// runtime cost — [`NoAnalysis`] subscribes to nothing, so since the
+/// zero-subscriber skip every hook call under it returns before event
+/// construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllHooksNop;
+
+impl wasabi::hooks::Analysis for AllHooksNop {
+    fn name(&self) -> &str {
+        "all_hooks_nop"
+    }
+
+    fn hooks(&self) -> HookSet {
+        HookSet::all()
+    }
 }
 
 /// Run the uninstrumented module's export once and measure it.
@@ -134,10 +169,7 @@ pub fn run_original(module: &Module, export: &str) -> RunMeasurement {
     instance
         .invoke_export(export, &[], &mut host)
         .expect("runs without trap");
-    RunMeasurement {
-        wall: start.elapsed(),
-        vm_instrs: instance.executed_instrs(),
-    }
+    RunMeasurement::from_instance(start.elapsed(), &instance)
 }
 
 /// Instrument for `hooks`, run under the no-op analysis, and measure.
@@ -153,10 +185,7 @@ pub fn run_instrumented(module: &Module, hooks: HookSet, export: &str) -> RunMea
     instance
         .invoke_export(export, &[], &mut host)
         .expect("runs without trap");
-    RunMeasurement {
-        wall: start.elapsed(),
-        vm_instrs: instance.executed_instrs(),
-    }
+    RunMeasurement::from_instance(start.elapsed(), &instance)
 }
 
 /// Best-of-`repeats` original run (minimum wall time suppresses scheduler
@@ -174,10 +203,7 @@ pub fn run_original_repeated(module: &Module, export: &str, repeats: usize) -> R
             instance
                 .invoke_export(export, &[], &mut host)
                 .expect("runs without trap");
-            RunMeasurement {
-                wall: start.elapsed(),
-                vm_instrs: instance.executed_instrs(),
-            }
+            RunMeasurement::from_instance(start.elapsed(), &instance)
         })
         .min_by(|a, b| a.wall.cmp(&b.wall))
         .expect("at least one run")
@@ -201,10 +227,7 @@ pub fn run_instrumented_repeated(
             instance
                 .invoke_export(export, &[], &mut host)
                 .expect("runs without trap");
-            RunMeasurement {
-                wall: start.elapsed(),
-                vm_instrs: instance.executed_instrs(),
-            }
+            RunMeasurement::from_instance(start.elapsed(), &instance)
         })
         .min_by(|a, b| a.wall.cmp(&b.wall))
         .expect("at least one run")
@@ -223,10 +246,7 @@ pub fn run_original_amortized(module: &Module, export: &str, invocations: usize)
             .invoke_export(export, &[], &mut host)
             .expect("runs without trap");
     }
-    RunMeasurement {
-        wall: start.elapsed(),
-        vm_instrs: instance.executed_instrs(),
-    }
+    RunMeasurement::from_instance(start.elapsed(), &instance)
 }
 
 /// Measure `invocations` consecutive calls of the uninstrumented export
@@ -246,10 +266,7 @@ pub fn run_reference_amortized(
             .invoke_export(&mut instance, export, &[], &mut host)
             .expect("runs without trap");
     }
-    RunMeasurement {
-        wall: start.elapsed(),
-        vm_instrs: instance.executed_instrs(),
-    }
+    RunMeasurement::from_instance(start.elapsed(), &instance)
 }
 
 /// Amortized flat-IR counterpart of [`run_reference_amortized`]: the
@@ -268,10 +285,7 @@ pub fn run_flat_amortized(
             .invoke_export(export, &[], &mut host)
             .expect("runs without trap");
     }
-    RunMeasurement {
-        wall: start.elapsed(),
-        vm_instrs: instance.executed_instrs(),
-    }
+    RunMeasurement::from_instance(start.elapsed(), &instance)
 }
 
 /// Amortized counterpart of [`run_instrumented`].
@@ -292,10 +306,34 @@ pub fn run_instrumented_amortized(
             .invoke_export(export, &[], &mut host)
             .expect("runs without trap");
     }
-    RunMeasurement {
-        wall: start.elapsed(),
-        vm_instrs: instance.executed_instrs(),
+    RunMeasurement::from_instance(start.elapsed(), &instance)
+}
+
+/// Amortized instrumented run over the **pre-intrinsic generic-call
+/// path**: the instrumented module is translated *without* host-call
+/// intrinsics and runs under [`AllHooksNop`], so every hook call goes
+/// through the generic call machinery and builds its event — the "before"
+/// side of `BENCH_overhead.json`.
+pub fn run_instrumented_generic_amortized(
+    module: &Module,
+    hooks: HookSet,
+    export: &str,
+    invocations: usize,
+) -> RunMeasurement {
+    let (instrumented, info) = instrument(module, hooks).expect("instruments");
+    let translated =
+        TranslatedModule::new_without_host_intrinsics(instrumented).expect("validates");
+    let mut analysis = AllHooksNop;
+    let mut host = WasabiHost::new(&info, &mut analysis);
+    let mut instance =
+        Instance::instantiate_translated(&translated, &mut host).expect("instantiates");
+    let start = Instant::now();
+    for _ in 0..invocations.max(1) {
+        instance
+            .invoke_export(export, &[], &mut host)
+            .expect("runs without trap");
     }
+    RunMeasurement::from_instance(start.elapsed(), &instance)
 }
 
 /// Geometric mean.
@@ -379,5 +417,26 @@ mod tests {
         let all = run_instrumented(&module, HookSet::all(), "main");
         // Full instrumentation must execute strictly more VM instructions.
         assert!(all.vm_instrs > base.vm_instrs);
+        // ... and its hook calls must ride the intrinsic fast path.
+        assert!(all.host_calls_fast > 0);
+        assert_eq!(all.host_calls_slow, 0);
+        assert_eq!(base.host_calls_fast + base.host_calls_slow, 0);
+    }
+
+    #[test]
+    fn generic_path_matches_intrinsic_counts_but_takes_the_slow_route() {
+        let module = compile(&polybench::by_name("jacobi-1d", 6).unwrap());
+        let fast = run_instrumented_amortized(&module, HookSet::all(), "main", 1);
+        let slow = run_instrumented_generic_amortized(&module, HookSet::all(), "main", 1);
+        assert_eq!(fast.vm_instrs, slow.vm_instrs);
+        assert_eq!(
+            slow.host_calls_fast, 0,
+            "generic path must not use intrinsics"
+        );
+        assert_eq!(
+            fast.host_calls_fast + fast.host_calls_slow,
+            slow.host_calls_slow,
+            "same hook calls, different dispatch route"
+        );
     }
 }

@@ -32,7 +32,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use wasabi::hooks::{Analysis, Hook, HookSet};
-use wasabi::{Instrumenter, Wasabi};
+use wasabi::{stats, Instrumenter, Wasabi};
 use wasabi_analyses::registry;
 use wasabi_wasm::instr::Val;
 use wasabi_wasm::types::ValType;
@@ -48,6 +48,8 @@ struct Args {
     invoke: String,
     invoke_args: Vec<String>,
     report_dir: Option<PathBuf>,
+    /// Print a per-phase wall-time breakdown.
+    time: bool,
 }
 
 fn usage() -> &'static str {
@@ -65,7 +67,9 @@ fn usage() -> &'static str {
      to <dir>/<analysis>.json with --out\n\
      --invoke selects the export to run (default: main); --args passes\n\
      comma-separated numeric arguments, parsed against its signature\n\
-     --wat additionally writes a human-readable dump of the instrumented module"
+     --wat additionally writes a human-readable dump of the instrumented module\n\
+     --time prints a phase breakdown (instrument/translate/execute ms in\n\
+     analysis mode; decode/instrument/encode ms in instrument mode)"
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -79,6 +83,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut invoke = "main".to_string();
     let mut invoke_args = Vec::new();
     let mut report_dir = None;
+    let mut time = false;
 
     let mut raw = raw.peekable();
     while let Some(arg) = raw.next() {
@@ -98,6 +103,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
 
         if arg == "--wat" {
             emit_wat = true;
+        } else if arg == "--time" {
+            time = true;
         } else if let Some(list) = take_value(&arg, "--hooks") {
             let list = list?;
             let mut set = HookSet::empty();
@@ -173,6 +180,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         invoke,
         invoke_args,
         report_dir,
+        time,
     })
 }
 
@@ -225,10 +233,16 @@ fn run_analyses(args: &Args) -> Result<(), String> {
         builder = builder.threads(threads);
     }
 
+    // The build phase instruments and translates; the process-wide stats
+    // record each sub-phase's wall time, so `--time` can split them.
+    let instrument_before = stats::instrumentation_time();
+    let translate_before = stats::translation_time();
     let start = Instant::now();
     let mut pipeline = builder
         .build(&module)
         .map_err(|e| format!("module does not validate: {e}"))?;
+    let instrument_ms = (stats::instrumentation_time() - instrument_before).as_secs_f64() * 1000.0;
+    let translate_ms = (stats::translation_time() - translate_before).as_secs_f64() * 1000.0;
 
     let params = pipeline
         .session()
@@ -240,10 +254,19 @@ fn run_analyses(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("no exported function {:?}", args.invoke))?;
     let invoke_args = parse_invoke_args(&args.invoke_args, &params)?;
 
+    let execute_start = Instant::now();
     pipeline
         .run(&args.invoke, &invoke_args)
         .map_err(|e| format!("running {:?} failed: {e}", args.invoke))?;
+    let execute_ms = execute_start.elapsed().as_secs_f64() * 1000.0;
     let elapsed = start.elapsed();
+
+    if args.time {
+        eprintln!(
+            "--time: instrument {instrument_ms:.1} ms, translate {translate_ms:.1} ms, \
+             execute {execute_ms:.1} ms"
+        );
+    }
 
     let reports = pipeline.reports();
     eprintln!(
@@ -273,10 +296,12 @@ fn run_analyses(args: &Args) -> Result<(), String> {
 
 /// Instrument mode: write the instrumented binary + info JSON.
 fn run_instrument(args: &Args) -> Result<(), String> {
+    let decode_start = Instant::now();
     let bytes = std::fs::read(&args.input)
         .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
     let module = wasabi_wasm::decode::decode(&bytes)
         .map_err(|e| format!("cannot decode {}: {e}", args.input.display()))?;
+    let decode_ms = decode_start.elapsed().as_secs_f64() * 1000.0;
 
     let mut instrumenter = Instrumenter::new(args.hooks);
     if let Some(threads) = args.threads {
@@ -288,7 +313,16 @@ fn run_instrument(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("module does not validate: {e}"))?;
     let elapsed = start.elapsed();
 
+    let encode_start = Instant::now();
     let output = wasabi_wasm::encode::encode(&instrumented);
+    let encode_ms = encode_start.elapsed().as_secs_f64() * 1000.0;
+
+    if args.time {
+        eprintln!(
+            "--time: decode {decode_ms:.1} ms, instrument {:.1} ms, encode {encode_ms:.1} ms",
+            elapsed.as_secs_f64() * 1000.0
+        );
+    }
 
     let output_dir = args
         .output_dir

@@ -79,6 +79,13 @@ impl Instrumenter {
     /// Fails if the input module does not validate.
     pub fn run(&self, module: &Module) -> Result<(Module, ModuleInfo), ValidationError> {
         crate::stats::record_instrumentation();
+        let timer = std::time::Instant::now();
+        let result = self.run_timed(module);
+        crate::stats::record_instrumentation_time(timer.elapsed());
+        result
+    }
+
+    fn run_timed(&self, module: &Module) -> Result<(Module, ModuleInfo), ValidationError> {
         validate(module)?;
 
         let mut info = ModuleInfo::from_module(module);

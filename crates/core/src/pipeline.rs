@@ -211,7 +211,10 @@ impl<'a> Pipeline<'a> {
         // The session caches the validated, flat-IR-translated module, so
         // repeated runs instantiate without cloning or re-translating it.
         let mut instance = Instance::instantiate_translated(self.session.translated(), &mut host)?;
-        Ok(instance.invoke_export(export, args, &mut host)?)
+        let result = instance.invoke_export(export, args, &mut host);
+        let (fast, slow) = instance.host_call_counts();
+        stats::record_host_calls(fast, slow);
+        Ok(result?)
     }
 
     /// Like [`Pipeline::run`], but with a program host for the module's
@@ -234,7 +237,10 @@ impl<'a> Pipeline<'a> {
         )
         .with_program_host(program_host);
         let mut instance = Instance::instantiate_translated(self.session.translated(), &mut host)?;
-        Ok(instance.invoke_export(export, args, &mut host)?)
+        let result = instance.invoke_export(export, args, &mut host);
+        let (fast, slow) = instance.host_call_counts();
+        stats::record_host_calls(fast, slow);
+        Ok(result?)
     }
 
     /// One structured [`Report`] per analysis, in registration order.

@@ -15,6 +15,17 @@
 //! (no `String`-keyed map), each call borrows its [`LowLevelHook`]
 //! descriptor instead of cloning it, and the joined payload / branch-table
 //! target buffers are scratch space reused across calls.
+//!
+//! Dispatch is additionally **monomorphic per low-level hook ordinal**:
+//! when the host is constructed, every hook resolves once into a
+//! [`HookPlan`] — its payload shape (which slots are split i64 halves),
+//! the flattened-argument offset of the trailing `(func, instr)` location
+//! pair, and a `skip` flag. A hook whose high-level event has **zero
+//! subscribers** (no analysis in the pipeline listens, or the single
+//! analysis does not declare the hook) short-circuits before any location
+//! decoding or event construction — the low-level call returns
+//! immediately, which together with the VM's host-call intrinsics is what
+//! collapses the Fig. 9 "all hooks, no-op analysis" overhead.
 
 use std::error::Error;
 use std::fmt;
@@ -41,8 +52,9 @@ use crate::stats;
 /// Where joined high-level events go: one analysis, or the fused per-hook
 /// subscriber lists of a pipeline.
 enum Sink<'a, 'p> {
-    /// Deliver every enabled event to the one analysis (classic
-    /// [`AnalysisSession`] semantics).
+    /// Deliver events to the one analysis — only for the hooks it
+    /// declares (undeclared hooks are skipped before event construction,
+    /// see [`HookPlan`]).
     Single(&'a mut (dyn Analysis + 'p)),
     /// Deliver each event only to the analyses subscribed to its hook.
     /// `subscribers` is indexed by `Hook as usize`.
@@ -52,12 +64,57 @@ enum Sink<'a, 'p> {
     },
 }
 
+/// The per-ordinal dispatch plan of one low-level hook, resolved once at
+/// host construction instead of per call (see the module docs).
+struct HookPlan {
+    /// No subscriber for this hook's events: the low-level call returns
+    /// before any location decoding or event construction.
+    skip: bool,
+    /// Per pre-flattening payload slot: `true` = an i64, joined back from
+    /// two i32 halves.
+    splits: Box<[bool]>,
+    /// Flattened-argument index of the trailing `(func, instr)` pair.
+    loc_at: usize,
+}
+
+fn build_plans(info: &ModuleInfo, subscribed: impl Fn(Hook) -> bool) -> Vec<HookPlan> {
+    info.hooks
+        .iter()
+        .map(|hook| {
+            let mut splits = Vec::new();
+            let mut loc_at = 0;
+            hook.for_each_payload_type(|ty| {
+                let is_i64 = ty == ValType::I64;
+                splits.push(is_i64);
+                loc_at += if is_i64 { 2 } else { 1 };
+            });
+            // A br_table hook also replays `end` hooks, so it must keep
+            // firing while anyone subscribes to `end`.
+            let skip = !subscribed(hook.hook())
+                && !(matches!(hook, LowLevelHook::BrTable) && subscribed(Hook::End));
+            HookPlan {
+                skip,
+                splits: splits.into_boxed_slice(),
+                loc_at,
+            }
+        })
+        .collect()
+}
+
 /// A [`Host`] that dispatches Wasabi's low-level hooks to one or more
 /// [`Analysis`] instances and forwards all other imports to an optional
 /// program host.
 pub struct WasabiHost<'a, 'p> {
     sink: Sink<'a, 'p>,
     info: &'a ModuleInfo,
+    /// One [`HookPlan`] per entry of `info.hooks`, same order.
+    plans: Vec<HookPlan>,
+    /// The hooks some sink actually listens to (the single analysis's
+    /// declared set, or the union of non-empty subscriber lists). A
+    /// `br_table` hook emits two event kinds, so its arm re-checks this
+    /// per event kind — the instrumented set (`info.enabled`) is NOT the
+    /// right gate: it says what the module reports, not who listens.
+    subscribed: HookSet,
     program_host: Option<&'a mut dyn Host>,
     /// Cursor for ordinal hook resolution: the instrumenter emits hook
     /// imports in `info.hooks` order, so instantiation resolves them by
@@ -89,9 +146,12 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
     /// Create a host dispatching to a single `analysis`, for a module
     /// instrumented with the given `info`.
     pub fn new(info: &'a ModuleInfo, analysis: &'a mut (dyn Analysis + 'p)) -> Self {
+        let subscribed = analysis.hooks();
         WasabiHost {
             sink: Sink::Single(analysis),
             info,
+            plans: build_plans(info, |hook| subscribed.contains(hook)),
+            subscribed,
             program_host: None,
             next_hook: 0,
             scratch_vals: Vec::new(),
@@ -108,12 +168,18 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
         subscribers: &'a [Vec<usize>],
     ) -> Self {
         debug_assert_eq!(subscribers.len(), Hook::ALL.len());
+        let subscribed = Hook::ALL
+            .into_iter()
+            .filter(|&hook| !subscribers[hook as usize].is_empty())
+            .collect();
         WasabiHost {
             sink: Sink::Fused {
                 analyses,
                 subscribers,
             },
             info,
+            plans: build_plans(info, |hook| !subscribers[hook as usize].is_empty()),
+            subscribed,
             program_host: None,
             next_hook: 0,
             scratch_vals: Vec::new(),
@@ -142,31 +208,42 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
         }
     }
 
-    fn dispatch(&mut self, hook: &LowLevelHook, args: &[Val]) {
-        // Location is the trailing (func, instr) pair.
-        let n = args.len();
-        let loc = Location::new(
-            args[n - 2].as_i32().expect("location func is i32") as u32,
-            args[n - 1].as_i32().expect("location instr is i32"),
-        );
-        let ctx = AnalysisCtx::new(loc, self.info);
+    fn dispatch(&mut self, ordinal: usize, args: &[Val]) {
+        // Reborrow the descriptor through the long-lived `&ModuleInfo` so
+        // the rest of dispatch can take `&mut self` without cloning it.
+        let info: &ModuleInfo = self.info;
+        let hook = &info.hooks[ordinal];
 
         // Re-join the flattened payload (i64 halves were split, row 6) into
-        // the reused scratch buffer — no allocation per call.
+        // the reused scratch buffer — no allocation per call, and the
+        // payload shape comes from the precomputed per-ordinal plan
+        // instead of a per-call walk of the hook descriptor.
         let mut vals = std::mem::take(&mut self.scratch_vals);
         vals.clear();
-        let mut i = 0;
-        hook.for_each_payload_type(|ty| {
-            if ty == ValType::I64 {
-                let low = args[i].as_i32().expect("low i64 half");
-                let high = args[i + 1].as_i32().expect("high i64 half");
-                vals.push(Val::I64(join_i64(low, high)));
-                i += 2;
-            } else {
-                vals.push(args[i]);
-                i += 1;
+        let loc_at = {
+            let plan = &self.plans[ordinal];
+            let mut i = 0;
+            for &is_i64 in &plan.splits {
+                if is_i64 {
+                    let low = args[i].as_i32().expect("low i64 half");
+                    let high = args[i + 1].as_i32().expect("high i64 half");
+                    vals.push(Val::I64(join_i64(low, high)));
+                    i += 2;
+                } else {
+                    vals.push(args[i]);
+                    i += 1;
+                }
             }
-        });
+            plan.loc_at
+        };
+
+        // Location is the trailing (func, instr) pair, at the offset the
+        // plan resolved once at construction.
+        let loc = Location::new(
+            args[loc_at].as_i32().expect("location func is i32") as u32,
+            args[loc_at + 1].as_i32().expect("location instr is i32"),
+        );
+        let ctx = AnalysisCtx::new(loc, self.info);
 
         let as_u32 = |v: Val| v.as_i32().expect("i32 payload") as u32;
         let as_bool = |v: Val| v.as_i32().expect("i32 condition") != 0;
@@ -220,7 +297,11 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
                     .unwrap_or(&table_info.default);
                 // Replay the end hooks of the blocks this entry leaves
                 // (paper §2.4.5: selected inside the low-level hook).
-                if info.enabled.contains(Hook::End) {
+                // Both event kinds gate on the *subscription*, not on the
+                // instrumented set: a `br_table` hook call fires whenever
+                // either is listened to, and must not leak the other kind
+                // to a sink that never declared it.
+                if self.subscribed.contains(Hook::End) {
                     for end in &entry.ends {
                         self.emit(
                             &AnalysisCtx::new(end.end, info),
@@ -231,7 +312,7 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
                         );
                     }
                 }
-                if info.enabled.contains(Hook::BrTable) {
+                if self.subscribed.contains(Hook::BrTable) {
                     let mut targets = std::mem::take(&mut self.scratch_targets);
                     targets.clear();
                     targets.extend(table_info.entries.iter().map(|e| e.target));
@@ -391,10 +472,13 @@ impl Host for WasabiHost<'_, '_> {
     fn call(&mut self, id: HostFuncId, args: &[Val], ctx: HostCtx<'_>) -> Result<Vec<Val>, Trap> {
         let hook_count = self.info.hooks.len();
         if id.0 < hook_count {
-            // Reborrow the descriptor through the long-lived `&ModuleInfo`
-            // so dispatch can take `&mut self` without cloning the hook.
-            let info: &ModuleInfo = self.info;
-            self.dispatch(&info.hooks[id.0], args);
+            // Zero-subscriber fast path: nobody listens to this hook's
+            // events, so skip location decoding, payload joining, and
+            // event construction entirely.
+            if self.plans[id.0].skip {
+                return Ok(Vec::new());
+            }
+            self.dispatch(id.0, args);
             Ok(Vec::new())
         } else {
             let inner = self
@@ -510,10 +594,10 @@ impl AnalysisSession {
         module: Module,
         info: ModuleInfo,
     ) -> Result<Self, wasabi_wasm::ValidationError> {
-        Ok(AnalysisSession {
-            translated: TranslatedModule::new(module)?,
-            info,
-        })
+        let start = std::time::Instant::now();
+        let translated = TranslatedModule::new(module)?;
+        stats::record_translation_time(start.elapsed());
+        Ok(AnalysisSession { translated, info })
     }
 
     /// Instrument `module` selectively for the hooks `analysis` declares.
@@ -560,7 +644,10 @@ impl AnalysisSession {
         stats::record_execution();
         let mut host = WasabiHost::new(&self.info, analysis);
         let mut instance = Instance::instantiate_translated(&self.translated, &mut host)?;
-        Ok(instance.invoke_export(export, args, &mut host)?)
+        let result = instance.invoke_export(export, args, &mut host);
+        let (fast, slow) = instance.host_call_counts();
+        stats::record_host_calls(fast, slow);
+        Ok(result?)
     }
 
     /// Like [`AnalysisSession::run`], but with a program host for the
@@ -579,7 +666,10 @@ impl AnalysisSession {
         stats::record_execution();
         let mut host = WasabiHost::new(&self.info, analysis).with_program_host(program_host);
         let mut instance = Instance::instantiate_translated(&self.translated, &mut host)?;
-        Ok(instance.invoke_export(export, args, &mut host)?)
+        let result = instance.invoke_export(export, args, &mut host);
+        let (fast, slow) = instance.host_call_counts();
+        stats::record_host_calls(fast, slow);
+        Ok(result?)
     }
 }
 
@@ -663,6 +753,112 @@ mod tests {
         let session = session_with_hooks();
         assert!(session.module().functions.len() > session.info().original_function_count as usize);
         assert_eq!(session.info().enabled, HookSet::all());
+    }
+
+    #[test]
+    fn undeclared_hooks_are_skipped_without_event_construction() {
+        use crate::event::{AnalysisCtx, LoadEvt, StoreEvt, ValEvt};
+        use crate::hooks::Hook;
+
+        // Subscribes only to `const`; any other event delivery panics.
+        #[derive(Default)]
+        struct OnlyConsts(u64);
+        impl Analysis for OnlyConsts {
+            fn hooks(&self) -> HookSet {
+                HookSet::of(&[Hook::Const])
+            }
+            fn const_(&mut self, _: &AnalysisCtx, _: &ValEvt) {
+                self.0 += 1;
+            }
+            fn load(&mut self, _: &AnalysisCtx, _: &LoadEvt) {
+                panic!("load must be skipped");
+            }
+            fn store(&mut self, _: &AnalysisCtx, _: &StoreEvt) {
+                panic!("store must be skipped");
+            }
+        }
+
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.function("f", &[], &[], |f| {
+            f.i32_const(0)
+                .i32_const(7)
+                .store(wasabi_wasm::StoreOp::I32Store, 0);
+            f.i32_const(0).load(wasabi_wasm::LoadOp::I32Load, 0).drop_();
+        });
+        // Instrumented for ALL hooks, but the analysis declares only
+        // `const`: every other low-level hook call short-circuits.
+        let session = AnalysisSession::new(&builder.finish(), HookSet::all()).unwrap();
+        let mut analysis = OnlyConsts::default();
+        session.run(&mut analysis, "f", &[]).unwrap();
+        assert_eq!(analysis.0, 3, "one const event per original const");
+    }
+
+    #[test]
+    fn br_table_emits_only_the_subscribed_event_kinds() {
+        use crate::event::{AnalysisCtx, BranchTableEvt, EndEvt};
+        use crate::hooks::Hook;
+
+        // A br_table hook call carries two event kinds (the br_table
+        // event and the replayed end events); each must reach only sinks
+        // that subscribed to it.
+        #[derive(Default)]
+        struct EndsOnly(u64);
+        impl Analysis for EndsOnly {
+            fn hooks(&self) -> HookSet {
+                HookSet::of(&[Hook::End])
+            }
+            fn end(&mut self, _: &AnalysisCtx, _: &EndEvt) {
+                self.0 += 1;
+            }
+            fn br_table(&mut self, _: &AnalysisCtx, _: &BranchTableEvt) {
+                panic!("br_table must not leak to an end-only analysis");
+            }
+        }
+        #[derive(Default)]
+        struct BrTablesOnly(u64);
+        impl Analysis for BrTablesOnly {
+            fn hooks(&self) -> HookSet {
+                HookSet::of(&[Hook::BrTable])
+            }
+            fn br_table(&mut self, _: &AnalysisCtx, _: &BranchTableEvt) {
+                self.0 += 1;
+            }
+            fn end(&mut self, _: &AnalysisCtx, _: &EndEvt) {
+                panic!("end must not leak to a br_table-only analysis");
+            }
+        }
+
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[ValType::I32], &[], |f| {
+            f.block(None).block(None);
+            f.get_local(0u32).br_table(vec![0], 1);
+            f.end().end();
+        });
+        let module = builder.finish();
+        let session = AnalysisSession::new(&module, HookSet::all()).unwrap();
+
+        let mut ends = EndsOnly::default();
+        session.run(&mut ends, "f", &[Val::I32(0)]).unwrap();
+        assert!(ends.0 > 0, "replayed end events delivered");
+
+        let mut tables = BrTablesOnly::default();
+        session.run(&mut tables, "f", &[Val::I32(0)]).unwrap();
+        assert_eq!(tables.0, 1, "one br_table event delivered");
+    }
+
+    #[test]
+    fn session_run_records_host_call_stats() {
+        let mut builder = ModuleBuilder::new();
+        builder.function("f", &[], &[], |f| {
+            f.nop();
+        });
+        let session = AnalysisSession::new(&builder.finish(), HookSet::all()).unwrap();
+        let before_fast = stats::host_calls_fast();
+        let mut analysis = NoAnalysis;
+        session.run(&mut analysis, "f", &[]).unwrap();
+        // The nop/begin/end hook calls went through the intrinsic path.
+        assert!(stats::host_calls_fast() > before_fast);
     }
 
     #[test]

@@ -6,10 +6,23 @@
 //! property observable, so tests can assert it and the bench bins can
 //! report it.
 
+//! Since the host-call intrinsics PR the module also aggregates per-run
+//! host-call path counts (fast = VM host-call intrinsic ops, slow = generic
+//! call machinery) and instrumentation/translation wall time, so benches
+//! can assert the intrinsic path actually fired and the CLI `--time` flag
+//! can print a phase breakdown. The host-call counters are folded in once
+//! per execution pass from the instance's plain (non-atomic) counters —
+//! nothing touches an atomic on the per-call hot path.
+
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 static INSTRUMENTATION_PASSES: AtomicU64 = AtomicU64::new(0);
 static EXECUTION_PASSES: AtomicU64 = AtomicU64::new(0);
+static HOST_CALLS_FAST: AtomicU64 = AtomicU64::new(0);
+static HOST_CALLS_SLOW: AtomicU64 = AtomicU64::new(0);
+static INSTRUMENTATION_NANOS: AtomicU64 = AtomicU64::new(0);
+static TRANSLATION_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// Total number of instrumentation passes ([`crate::instrument`] /
 /// [`crate::Instrumenter::run`]) this process has performed.
@@ -23,12 +36,54 @@ pub fn execution_passes() -> u64 {
     EXECUTION_PASSES.load(Ordering::Relaxed)
 }
 
+/// Host calls dispatched through the VM's host-call intrinsic fast path
+/// (`Op::HostCall`/`Op::HostCallConst` — see `wasabi_vm`), summed over
+/// all completed [`crate::AnalysisSession`]/[`crate::Pipeline`] runs of
+/// this process.
+pub fn host_calls_fast() -> u64 {
+    HOST_CALLS_FAST.load(Ordering::Relaxed)
+}
+
+/// Host calls dispatched through the generic call machinery (the pre-
+/// intrinsic path: `call_indirect` to an import, generic-call translation,
+/// or the `Reference` oracle), summed like [`host_calls_fast`].
+pub fn host_calls_slow() -> u64 {
+    HOST_CALLS_SLOW.load(Ordering::Relaxed)
+}
+
+/// Total wall time spent in instrumentation passes.
+pub fn instrumentation_time() -> Duration {
+    Duration::from_nanos(INSTRUMENTATION_NANOS.load(Ordering::Relaxed))
+}
+
+/// Total wall time spent validating + translating modules to the flat IR.
+pub fn translation_time() -> Duration {
+    Duration::from_nanos(TRANSLATION_NANOS.load(Ordering::Relaxed))
+}
+
 pub(crate) fn record_instrumentation() {
     INSTRUMENTATION_PASSES.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn record_execution() {
     EXECUTION_PASSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_host_calls(fast: u64, slow: u64) {
+    if fast > 0 {
+        HOST_CALLS_FAST.fetch_add(fast, Ordering::Relaxed);
+    }
+    if slow > 0 {
+        HOST_CALLS_SLOW.fetch_add(slow, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn record_instrumentation_time(elapsed: Duration) {
+    INSTRUMENTATION_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_translation_time(elapsed: Duration) {
+    TRANSLATION_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -28,6 +28,45 @@
 //! | `get_local` ×2 + cmp + `br_if` | [`Op::LocalLocalCmpBrIf`] | 4 |
 //! | affine address chain `(l_a*c1 + l_b)*c2` | [`Op::AffineAddr`] | 7 |
 //! | affine address chain + load | [`Op::AffineLoad`] | 8 |
+//! | call of an imported function | [`Op::HostCall`] | 1 |
+//! | `T.const`×k + imported call | [`Op::HostCallConst`] | k+1 |
+//! | (`get_local`\|`T.const`)×k + imported call | [`Op::HostCallArgs`] | k+1 |
+//!
+//! # Host-call intrinsics
+//!
+//! Calls to *imported* functions never execute interpreted code, so routing
+//! them through the generic call machinery (per-call function-target match,
+//! interpreter frame bookkeeping) is pure overhead. The translator instead
+//! emits [`Op::HostCall`]: the callee's host identity is resolved once at
+//! instantiation into a dense per-instance table, and the arguments are
+//! passed to the host directly as a slice of the operand stack — no frame,
+//! no target match, no per-call argument buffer.
+//!
+//! On top of that, [`Op::HostCallConst`] folds a run of `T.const`
+//! instructions that feed directly into an imported call — exactly the
+//! shape an instrumenter emits for every low-level hook call, whose
+//! trailing `(func, instr)` location arguments are `i32.const`s baked in at
+//! instrumentation time. The constants are deduplicated into a per-module
+//! const table ([`ModuleCode::consts`]) and handed to the host as the
+//! trailing argument run without ever touching the operand stack. The fold
+//! is generic over hosts: it keys purely on "constants feeding an imported
+//! call", not on any hook naming convention. Folding obeys the same two
+//! legality rules as every other superinstruction (no branch into the
+//! interior; the call — the only trap-capable member — is last), and the
+//! fold is capped at the call's argument count so constants that belong to
+//! a deeper stack consumer are left alone.
+//!
+//! [`Op::HostCallArgs`] generalizes the fold to mixed runs of `get_local`
+//! and `T.const` — exactly the instrumenter's payload-marshalling shape
+//! (captured values are re-read from locals, immediates and the location
+//! pair are constants). The argument list is compiled into a per-module
+//! [`ArgSrc`] template ([`ModuleCode::args`], deduplicated like the const
+//! table), so a typical instrumented call site — five to eight
+//! marshalling instructions plus the call — executes as **one** op whose
+//! arguments are gathered straight from the frame's locals and the const
+//! table. Runs that are all-constant still prefer [`Op::HostCallConst`]
+//! (its zero-stack-argument case hands the host a const-table slice
+//! without copying anything).
 //!
 //! Two legality rules keep fusion observationally invisible:
 //!
@@ -99,6 +138,51 @@ pub(crate) enum Op {
     Call {
         callee: u32,
         params: u32,
+    },
+    /// Call of an **imported** function, dispatched straight to the host:
+    /// no interpreter frame, no per-call function-target match — the callee
+    /// resolves through the instance's dense host-id table, and the
+    /// arguments are the top `argc` operand-stack values, passed as a
+    /// borrowed slice (see the module docs, "Host-call intrinsics").
+    HostCall {
+        /// Function index of the imported callee.
+        func: u32,
+        argc: u32,
+        retc: u32,
+    },
+    /// [`Op::HostCall`] with a folded run of trailing arguments sourced
+    /// from locals and constants (the instrumenter's payload-marshalling
+    /// shape): the host receives `stack[top-stack_argc..]` followed by one
+    /// value per [`ArgSrc`] of `args[args_at..args_at+args_len]`, gathered
+    /// from the frame's locals and [`ModuleCode::consts`] without touching
+    /// the operand stack.
+    HostCallArgs {
+        /// Function index of the imported callee.
+        func: u32,
+        /// Arguments still taken from the operand stack (may be 0).
+        stack_argc: u32,
+        retc: u32,
+        /// Start of the argument template in [`ModuleCode::args`].
+        args_at: u32,
+        /// Length of the argument template (≥ 1).
+        args_len: u32,
+    },
+    /// [`Op::HostCall`] with a folded run of constant trailing arguments
+    /// (the instrumenter's `i32.const`-pushed location pair, typically):
+    /// the host receives `stack[top-stack_argc..] ++
+    /// consts[const_at..const_at+const_len]` — the constants live in the
+    /// deduplicated [`ModuleCode::consts`] table and never touch the
+    /// operand stack.
+    HostCallConst {
+        /// Function index of the imported callee.
+        func: u32,
+        /// Arguments still taken from the operand stack (may be 0).
+        stack_argc: u32,
+        retc: u32,
+        /// Start of the constant argument run in [`ModuleCode::consts`].
+        const_at: u32,
+        /// Length of the constant argument run (≥ 1).
+        const_len: u32,
     },
     CallIndirect {
         /// Index into [`ModuleCode::sigs`].
@@ -214,6 +298,8 @@ impl Op {
             | Op::LocalLocalCmpBrIf { .. } => 4,
             Op::AffineAddr { .. } => 7,
             Op::AffineLoad { .. } => 8,
+            Op::HostCallConst { const_len, .. } => 1 + u64::from(*const_len),
+            Op::HostCallArgs { args_len, .. } => 1 + u64::from(*args_len),
             _ => 1,
         }
     }
@@ -229,6 +315,16 @@ pub(crate) struct FuncCode {
     pub arity: usize,
 }
 
+/// One argument of an [`Op::HostCallArgs`] template: where the value comes
+/// from when the call executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ArgSrc {
+    /// The current value of a local.
+    Local(u32),
+    /// An immediate.
+    Value(Val),
+}
+
 /// Translated code of a whole module (imported functions get an empty
 /// [`FuncCode`]; they are never executed by the interpreter).
 #[derive(Debug, Default)]
@@ -236,6 +332,85 @@ pub(crate) struct ModuleCode {
     pub funcs: Vec<FuncCode>,
     /// Deduplicated `call_indirect` expected signatures.
     pub sigs: Vec<FuncType>,
+    /// Deduplicated constant-argument runs of [`Op::HostCallConst`] ops.
+    pub consts: Vec<Val>,
+    /// Deduplicated argument templates of [`Op::HostCallArgs`] ops.
+    pub args: Vec<ArgSrc>,
+}
+
+/// Translation knobs. The defaults are what [`crate::TranslatedModule::new`]
+/// uses; the generic-call mode (no host-call intrinsics) exists for
+/// benchmarking the pre-intrinsic path and for differential tests of the
+/// fallback.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TranslateOptions {
+    /// Emit [`Op::HostCall`]/[`Op::HostCallConst`] for calls of imported
+    /// functions (default). When `false`, imported calls go through the
+    /// generic [`Op::Call`] machinery.
+    pub host_call_intrinsics: bool,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions {
+            host_call_intrinsics: true,
+        }
+    }
+}
+
+/// Interner for the constant runs of [`Op::HostCallConst`] and the
+/// argument templates of [`Op::HostCallArgs`]: identical runs (bit-pattern
+/// equality, so NaNs and signed zeros dedupe exactly) share one slice of
+/// the respective table.
+#[derive(Debug, Default)]
+struct ConstPool {
+    consts: Vec<Val>,
+    /// Const runs already interned, keyed by the values' bit patterns.
+    runs: HashMap<Vec<(u8, u64)>, u32>,
+    args: Vec<ArgSrc>,
+    /// Templates already interned, keyed like `runs` (tag 4 = local).
+    templates: HashMap<Vec<(u8, u64)>, u32>,
+}
+
+fn val_key(v: Val) -> (u8, u64) {
+    match v {
+        Val::I32(x) => (0u8, x as u32 as u64),
+        Val::I64(x) => (1, x as u64),
+        Val::F32(x) => (2, u64::from(x.to_bits())),
+        Val::F64(x) => (3, x.to_bits()),
+    }
+}
+
+impl ConstPool {
+    /// Intern a constant run, returning its start in the const table.
+    fn intern_consts(&mut self, values: &[Val]) -> u32 {
+        let key = values.iter().map(|&v| val_key(v)).collect();
+        if let Some(&at) = self.runs.get(&key) {
+            return at;
+        }
+        let at = self.consts.len() as u32;
+        self.consts.extend_from_slice(values);
+        self.runs.insert(key, at);
+        at
+    }
+
+    /// Intern an argument template, returning its start in the args table.
+    fn intern_args(&mut self, srcs: &[ArgSrc]) -> u32 {
+        let key = srcs
+            .iter()
+            .map(|src| match src {
+                ArgSrc::Local(i) => (4u8, u64::from(*i)),
+                ArgSrc::Value(v) => val_key(*v),
+            })
+            .collect();
+        if let Some(&at) = self.templates.get(&key) {
+            return at;
+        }
+        let at = self.args.len() as u32;
+        self.args.extend_from_slice(srcs);
+        self.templates.insert(key, at);
+        at
+    }
 }
 
 /// Structured-control-flow companion table: for each `block`/`loop`/`if`
@@ -275,18 +450,32 @@ pub(crate) fn compute_jump_table(body: &[Instr]) -> JumpTable {
 }
 
 /// Translate every local function of a **validated** module.
-pub(crate) fn translate_module(module: &Module) -> ModuleCode {
+pub(crate) fn translate_module_with(module: &Module, opts: TranslateOptions) -> ModuleCode {
     let mut sigs: Vec<FuncType> = Vec::new();
     let mut sig_ids: HashMap<FuncType, u32> = HashMap::new();
+    let mut pool = ConstPool::default();
     let funcs = module
         .functions
         .iter()
         .map(|f| match f.code() {
-            Some(code) => translate_function(module, &f.type_, code, &mut sigs, &mut sig_ids),
+            Some(code) => translate_function(
+                module,
+                &f.type_,
+                code,
+                &mut sigs,
+                &mut sig_ids,
+                &mut pool,
+                opts,
+            ),
             None => FuncCode::default(),
         })
         .collect();
-    ModuleCode { funcs, sigs }
+    ModuleCode {
+        funcs,
+        sigs,
+        consts: pool.consts,
+        args: pool.args,
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -332,13 +521,15 @@ fn dest_for(frames: &[TFrame], label: Label) -> BrDest {
     }
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn translate_function(
     module: &Module,
     ty: &FuncType,
     code: &Code,
     sigs: &mut Vec<FuncType>,
     sig_ids: &mut HashMap<FuncType, u32>,
+    pool: &mut ConstPool,
+    opts: TranslateOptions,
 ) -> FuncCode {
     let body = &code.body;
     let jump = compute_jump_table(body);
@@ -448,13 +639,22 @@ fn translate_function(
             }
 
             Instr::Call(callee) => {
-                let callee_ty = &module.functions[callee.to_usize()].type_;
+                let callee_fn = &module.functions[callee.to_usize()];
+                let callee_ty = &callee_fn.type_;
                 if live {
                     h = h - callee_ty.params.len() as u32 + callee_ty.results.len() as u32;
                 }
-                Op::Call {
-                    callee: callee.to_u32(),
-                    params: callee_ty.params.len() as u32,
+                if opts.host_call_intrinsics && callee_fn.import().is_some() {
+                    Op::HostCall {
+                        func: callee.to_u32(),
+                        argc: callee_ty.params.len() as u32,
+                        retc: callee_ty.results.len() as u32,
+                    }
+                } else {
+                    Op::Call {
+                        callee: callee.to_u32(),
+                        params: callee_ty.params.len() as u32,
+                    }
                 }
             }
             Instr::CallIndirect(expected_ty, _) => {
@@ -554,7 +754,7 @@ fn translate_function(
     debug_assert_eq!(ops.len(), body.len());
 
     // ---- Phase B: fuse superinstructions and remap branch targets.
-    let ops = fuse(ops);
+    let ops = fuse(ops, pool);
 
     FuncCode {
         ops,
@@ -609,8 +809,61 @@ fn branch_targets(ops: &[Op]) -> Vec<bool> {
 /// the number of ops it consumes. Members after the first must not be
 /// branch targets (control may only enter a group at its head), and longer
 /// groups are preferred over shorter ones.
-fn try_fuse(ops: &[Op], is_target: &[bool], i: usize) -> Option<(Op, usize)> {
+fn try_fuse(ops: &[Op], is_target: &[bool], i: usize, pool: &mut ConstPool) -> Option<(Op, usize)> {
     let fusible = |k: usize| i + k < ops.len() && (1..=k).all(|j| !is_target[i + j]);
+
+    // Host-call intrinsic fold: a run of consts and local reads feeding
+    // directly into an imported call becomes one op, the argument sources
+    // interned in the module's const/template tables. The fold is capped
+    // at the call's argument count — if the run is longer, the leading
+    // values belong to a deeper stack consumer and the fold fires later,
+    // at the run's suffix.
+    if matches!(ops[i], Op::Const(_) | Op::LocalGet(_)) {
+        let mut run = 1;
+        while matches!(ops.get(i + run), Some(Op::Const(_) | Op::LocalGet(_))) {
+            run += 1;
+        }
+        if let Some(Op::HostCall { func, argc, retc }) = ops.get(i + run) {
+            if run <= *argc as usize && fusible(run) {
+                let stack_argc = *argc - run as u32;
+                let sources = &ops[i..i + run];
+                let op = if sources.iter().all(|op| matches!(op, Op::Const(_))) {
+                    // All-constant run: the zero-copy const-table form.
+                    let values: Vec<Val> = sources
+                        .iter()
+                        .map(|op| match op {
+                            Op::Const(v) => *v,
+                            _ => unreachable!("run contains only consts"),
+                        })
+                        .collect();
+                    Op::HostCallConst {
+                        func: *func,
+                        stack_argc,
+                        retc: *retc,
+                        const_at: pool.intern_consts(&values),
+                        const_len: run as u32,
+                    }
+                } else {
+                    let srcs: Vec<ArgSrc> = sources
+                        .iter()
+                        .map(|op| match op {
+                            Op::Const(v) => ArgSrc::Value(*v),
+                            Op::LocalGet(idx) => ArgSrc::Local(*idx),
+                            _ => unreachable!("run contains only consts and local reads"),
+                        })
+                        .collect();
+                    Op::HostCallArgs {
+                        func: *func,
+                        stack_argc,
+                        retc: *retc,
+                        args_at: pool.intern_args(&srcs),
+                        args_len: run as u32,
+                    }
+                };
+                return Some((op, run + 1));
+            }
+        }
+    }
 
     if fusible(3) {
         match (&ops[i], &ops[i + 1], &ops[i + 2], &ops[i + 3]) {
@@ -768,10 +1021,10 @@ fn try_fuse(ops: &[Op], is_target: &[bool], i: usize) -> Option<(Op, usize)> {
 /// Peephole-fuse `ops` to a fixpoint: a first pass forms the pair/triple/
 /// quad superinstructions, later passes combine those into the compound
 /// ops ([`Op::AffineAddr`], [`Op::AffineLoad`]).
-fn fuse(mut ops: Vec<Op>) -> Vec<Op> {
+fn fuse(mut ops: Vec<Op>, pool: &mut ConstPool) -> Vec<Op> {
     loop {
         let before = ops.len();
-        ops = fuse_pass(ops);
+        ops = fuse_pass(ops, pool);
         if ops.len() == before {
             return ops;
         }
@@ -780,7 +1033,7 @@ fn fuse(mut ops: Vec<Op>) -> Vec<Op> {
 
 /// One peephole pass: fuse groups and remap all branch targets to the new
 /// indices.
-fn fuse_pass(ops: Vec<Op>) -> Vec<Op> {
+fn fuse_pass(ops: Vec<Op>, pool: &mut ConstPool) -> Vec<Op> {
     let is_target = branch_targets(&ops);
     let mut fused: Vec<Op> = Vec::with_capacity(ops.len());
     // `map[old_pc]` = index of the fused op covering that original op.
@@ -790,7 +1043,7 @@ fn fuse_pass(ops: Vec<Op>) -> Vec<Op> {
     let mut i = 0;
     while i < ops.len() {
         let new_idx = fused.len() as u32;
-        if let Some((op, width)) = try_fuse(&ops, &is_target, i) {
+        if let Some((op, width)) = try_fuse(&ops, &is_target, i, pool) {
             for k in 0..width {
                 map[i + k] = new_idx;
             }
@@ -839,7 +1092,7 @@ mod tests {
         build(&mut builder);
         let module = builder.finish();
         validate(&module).expect("validates");
-        translate_module(&module)
+        translate_module_with(&module, TranslateOptions::default())
     }
 
     #[test]
@@ -1079,6 +1332,244 @@ mod tests {
             .expect("br present");
         assert_eq!(d.target, RETURN_TARGET);
         assert_eq!(d.keep, 1);
+    }
+
+    #[test]
+    fn imported_call_becomes_host_call() {
+        // The argument is a computed value, so it stays on the operand
+        // stack and the call itself is a bare `HostCall`.
+        let code = translate(|b| {
+            let f = b.import_function("env", "f", &[ValType::I32], &[ValType::I32]);
+            b.function("g", &[ValType::I32], &[ValType::I32], |body| {
+                body.get_local(0u32).get_local(0u32).i32_add().call(f);
+            });
+        });
+        assert_eq!(
+            code.funcs[1].ops,
+            vec![
+                Op::LocalLocalBinary {
+                    a: 0,
+                    b: 0,
+                    op: BinaryOp::I32Add
+                },
+                Op::HostCall {
+                    func: 0,
+                    argc: 1,
+                    retc: 1
+                },
+                Op::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn local_and_const_args_fold_into_a_template() {
+        // The instrumenter's payload-marshalling shape: captured locals
+        // plus immediates feeding an imported call — one op.
+        let code = translate(|b| {
+            let f = b.import_function("env", "f", &[ValType::I32, ValType::I32, ValType::I32], &[]);
+            b.function("g", &[ValType::I32, ValType::I32], &[], |body| {
+                body.get_local(0u32).i32_const(5).get_local(1u32).call(f);
+            });
+        });
+        assert_eq!(
+            code.funcs[1].ops,
+            vec![
+                Op::HostCallArgs {
+                    func: 0,
+                    stack_argc: 0,
+                    retc: 0,
+                    args_at: 0,
+                    args_len: 3,
+                },
+                Op::Return,
+            ]
+        );
+        assert_eq!(
+            code.args,
+            vec![
+                ArgSrc::Local(0),
+                ArgSrc::Value(Val::I32(5)),
+                ArgSrc::Local(1)
+            ]
+        );
+        assert_eq!(code.funcs[1].ops[0].weight(), 4);
+    }
+
+    #[test]
+    fn const_args_fold_into_host_call_const() {
+        // The instrumenter's hook-call shape: constants feeding an import.
+        let code = translate(|b| {
+            let f = b.import_function("env", "f", &[ValType::I32, ValType::I32], &[]);
+            b.function("g", &[], &[], |body| {
+                body.i32_const(3).i32_const(17).call(f);
+            });
+        });
+        assert_eq!(
+            code.funcs[1].ops,
+            vec![
+                Op::HostCallConst {
+                    func: 0,
+                    stack_argc: 0,
+                    retc: 0,
+                    const_at: 0,
+                    const_len: 2,
+                },
+                Op::Return,
+            ]
+        );
+        assert_eq!(code.consts, vec![Val::I32(3), Val::I32(17)]);
+        // Weight = the two consts + the call.
+        assert_eq!(code.funcs[1].ops[0].weight(), 3);
+    }
+
+    #[test]
+    fn host_call_const_fold_is_capped_by_argc() {
+        // Three consts, a 1-argument import: only the const adjacent to the
+        // call is its argument; the two before it feed the caller's result.
+        let code = translate(|b| {
+            let f = b.import_function("env", "f", &[ValType::I32], &[]);
+            b.function("g", &[], &[ValType::I32, ValType::I32], |body| {
+                body.i32_const(1).i32_const(2).i32_const(99).call(f);
+            });
+        });
+        assert_eq!(
+            code.funcs[1].ops,
+            vec![
+                Op::Const(Val::I32(1)),
+                Op::Const(Val::I32(2)),
+                Op::HostCallConst {
+                    func: 0,
+                    stack_argc: 0,
+                    retc: 0,
+                    const_at: 0,
+                    const_len: 1,
+                },
+                Op::Return,
+            ]
+        );
+        assert_eq!(code.consts, vec![Val::I32(99)]);
+    }
+
+    #[test]
+    fn mixed_stack_and_const_args() {
+        // First argument is computed (stays on the stack), second is a
+        // constant (folds into the const table).
+        let code = translate(|b| {
+            let f = b.import_function("env", "f", &[ValType::I32, ValType::I32], &[ValType::I32]);
+            b.function("g", &[ValType::I32], &[ValType::I32], |body| {
+                body.get_local(0u32)
+                    .get_local(0u32)
+                    .i32_mul()
+                    .i32_const(5)
+                    .call(f);
+            });
+        });
+        assert_eq!(
+            code.funcs[1].ops,
+            vec![
+                Op::LocalLocalBinary {
+                    a: 0,
+                    b: 0,
+                    op: BinaryOp::I32Mul
+                },
+                Op::HostCallConst {
+                    func: 0,
+                    stack_argc: 1,
+                    retc: 1,
+                    const_at: 0,
+                    const_len: 1,
+                },
+                Op::Return,
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_const_runs_dedupe_in_the_pool() {
+        let code = translate(|b| {
+            let f = b.import_function("env", "f", &[ValType::I32, ValType::I32], &[]);
+            b.function("g", &[], &[], |body| {
+                body.i32_const(7).i32_const(9).call(f);
+                body.i32_const(7).i32_const(9).call(f);
+                body.i32_const(8).i32_const(9).call(f);
+            });
+        });
+        // Two identical runs share one table slice; the third differs.
+        assert_eq!(code.consts.len(), 4);
+        let host_calls: Vec<_> = code.funcs[1]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::HostCallConst { const_at, .. } => Some(*const_at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(host_calls, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn intrinsics_can_be_disabled() {
+        let mut builder = ModuleBuilder::new();
+        let f = builder.import_function("env", "f", &[ValType::I32], &[]);
+        builder.function("g", &[], &[], |body| {
+            body.i32_const(1).call(f);
+        });
+        let module = builder.finish();
+        validate(&module).expect("validates");
+        let code = translate_module_with(
+            &module,
+            TranslateOptions {
+                host_call_intrinsics: false,
+            },
+        );
+        assert_eq!(
+            code.funcs[1].ops,
+            vec![
+                Op::Const(Val::I32(1)),
+                Op::Call {
+                    callee: 0,
+                    params: 1
+                },
+                Op::Return,
+            ]
+        );
+        assert!(code.consts.is_empty());
+    }
+
+    #[test]
+    fn loop_head_on_const_run_still_folds() {
+        // The back-branch of the loop lands on the head of the const run —
+        // control entering a group at its head is legal, so the fold fires
+        // and the branch target remaps onto the fused op.
+        let code = translate(|b| {
+            let f = b.import_function("env", "f", &[ValType::I32, ValType::I32], &[]);
+            b.function("g", &[ValType::I32], &[], |body| {
+                body.loop_(None);
+                body.i32_const(1).i32_const(2).call(f);
+                body.get_local(0u32).br_if(0);
+                body.end();
+            });
+        });
+        let ops = &code.funcs[1].ops;
+        assert!(ops
+            .iter()
+            .any(|op| matches!(op, Op::HostCallConst { const_len: 2, .. })));
+        let back = ops
+            .iter()
+            .find_map(|op| match op {
+                Op::BrIf(d) => Some(d.target),
+                _ => None,
+            })
+            .expect("br_if present");
+        // loop marker is op 1 (after the implicit... function starts at 0:
+        // Skip for `loop`), the fused call is the op right after it.
+        assert_eq!(
+            ops[back as usize - 1],
+            Op::Skip,
+            "target follows the loop marker"
+        );
+        assert!(matches!(ops[back as usize], Op::HostCallConst { .. }));
     }
 
     #[test]

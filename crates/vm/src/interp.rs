@@ -15,6 +15,14 @@
 //! The previous structured-walk execution survives as a differential-test
 //! oracle in [`crate::reference`].
 //!
+//! Calls of **imported** functions dispatch through the host-call
+//! intrinsic ops (see [`crate::flat`], "Host-call intrinsics"): the host
+//! identity resolves once at instantiation into a dense per-instance
+//! table, arguments are gathered from the operand stack, the frame's
+//! locals, and the module's const table with no interpreter frame and no
+//! per-call target match, and [`Instance::host_call_counts`] reports how
+//! many calls took the intrinsic vs. the generic route.
+//!
 //! `executed_instrs` counts **original** instructions (each op carries the
 //! number of instructions it was fused from), accumulated in a per-frame
 //! local and flushed on frame exit, so the count — and fuel accounting —
@@ -26,7 +34,7 @@ use wasabi_wasm::instr::{FunctionSpace, GlobalOp, Idx, Instr, Val};
 use wasabi_wasm::module::{GlobalKind, Module};
 use wasabi_wasm::validate::validate;
 
-use crate::flat::{self, ModuleCode, Op, RETURN_TARGET};
+use crate::flat::{self, ArgSrc, ModuleCode, Op, TranslateOptions, RETURN_TARGET};
 use crate::host::{Host, HostCtx, HostFuncId};
 use crate::memory::LinearMemory;
 use crate::numeric;
@@ -36,9 +44,10 @@ use crate::trap::{InstantiationError, Trap};
 /// Default limit on nested WebAssembly calls.
 ///
 /// Each WebAssembly frame is an interpreter stack frame, so the limit is
-/// conservative enough for 2 MiB threads even in debug builds; raise it with
+/// conservative enough for 2 MiB threads even in debug builds (where the
+/// interpreter's dispatch frame is at its largest); raise it with
 /// [`Instance::set_max_call_depth`] for deeply recursive workloads.
-pub const DEFAULT_MAX_CALL_DEPTH: usize = 300;
+pub const DEFAULT_MAX_CALL_DEPTH: usize = 256;
 
 /// Where a function index leads: interpreted code or a host function.
 #[derive(Debug, Clone, Copy)]
@@ -87,8 +96,37 @@ impl TranslatedModule {
     ///
     /// Fails if the module does not validate.
     pub fn new(module: Module) -> Result<Self, wasabi_wasm::ValidationError> {
+        Self::with_options(module, TranslateOptions::default())
+    }
+
+    /// Like [`TranslatedModule::new`], but calls of imported functions go
+    /// through the generic call machinery instead of the host-call
+    /// intrinsic ops ([`crate::flat`], "Host-call intrinsics").
+    ///
+    /// This is the pre-intrinsic execution path, kept addressable so
+    /// benchmarks can report before/after numbers and differential tests
+    /// can exercise the generic fallback.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not validate.
+    pub fn new_without_host_intrinsics(
+        module: Module,
+    ) -> Result<Self, wasabi_wasm::ValidationError> {
+        Self::with_options(
+            module,
+            TranslateOptions {
+                host_call_intrinsics: false,
+            },
+        )
+    }
+
+    fn with_options(
+        module: Module,
+        opts: TranslateOptions,
+    ) -> Result<Self, wasabi_wasm::ValidationError> {
         validate(&module)?;
-        let code = Arc::new(flat::translate_module(&module));
+        let code = Arc::new(flat::translate_module_with(&module, opts));
         Ok(TranslatedModule {
             module: Arc::new(module),
             code,
@@ -125,12 +163,29 @@ pub struct Instance {
     pub(crate) module: Arc<Module>,
     code: Arc<ModuleCode>,
     pub(crate) func_targets: Vec<FuncTarget>,
+    /// Dense host-identity table for the host-call intrinsic ops: for every
+    /// imported function index, the [`HostFuncId`] the host resolved it to
+    /// (non-import slots hold a never-read placeholder). Resolved once at
+    /// instantiation so [`Op::HostCall`] dispatch needs no per-call match
+    /// on [`FuncTarget`].
+    host_ids: Vec<HostFuncId>,
+    /// Argument scratch for [`Op::HostCallConst`] with mixed stack/const
+    /// arguments; reused across calls, so the steady state allocates
+    /// nothing.
+    host_args: Vec<Val>,
     pub(crate) memory: Option<LinearMemory>,
     pub(crate) table: Option<FuncTable>,
     pub(crate) globals: Vec<Val>,
     pub(crate) fuel: Option<u64>,
     pub(crate) executed_instrs: u64,
     pub(crate) max_call_depth: usize,
+    /// Host calls dispatched through the intrinsic fast path
+    /// ([`Op::HostCall`]/[`Op::HostCallConst`]).
+    pub(crate) host_calls_fast: u64,
+    /// Host calls dispatched through the generic call machinery (generic
+    /// `call`, `call_indirect` to an import, direct invocation of an
+    /// import, or the [`crate::Reference`] oracle).
+    pub(crate) host_calls_slow: u64,
 }
 
 impl Instance {
@@ -165,6 +220,7 @@ impl Instance {
         let module = &*translated.module;
 
         let mut func_targets = Vec::with_capacity(module.functions.len());
+        let mut host_ids = Vec::with_capacity(module.functions.len());
         for function in &module.functions {
             match function.import() {
                 Some(import) => {
@@ -175,8 +231,14 @@ impl Instance {
                             name: import.name.clone(),
                         })?;
                     func_targets.push(FuncTarget::Host(id));
+                    host_ids.push(id);
                 }
-                None => func_targets.push(FuncTarget::Wasm),
+                None => {
+                    func_targets.push(FuncTarget::Wasm);
+                    // Placeholder; `Op::HostCall` is only emitted for
+                    // imported callees, so this slot is never read.
+                    host_ids.push(HostFuncId(usize::MAX));
+                }
             }
         }
 
@@ -227,12 +289,16 @@ impl Instance {
             module: Arc::clone(&translated.module),
             code: Arc::clone(&translated.code),
             func_targets,
+            host_ids,
+            host_args: Vec::new(),
             memory,
             table,
             globals,
             fuel: None,
             executed_instrs: 0,
             max_call_depth: DEFAULT_MAX_CALL_DEPTH,
+            host_calls_fast: 0,
+            host_calls_slow: 0,
         };
 
         if let Some(start) = instance.module.start {
@@ -262,6 +328,18 @@ impl Instance {
     /// the number is independent of translation choices.
     pub fn executed_instrs(&self) -> u64 {
         self.executed_instrs
+    }
+
+    /// Host calls this instance has dispatched, as `(fast, slow)`: `fast`
+    /// went through the host-call intrinsic ops ([`crate::flat`],
+    /// "Host-call intrinsics"), `slow` through the generic call machinery
+    /// (generic `call` translation, `call_indirect` to an import, direct
+    /// invocation of an import, or the [`crate::Reference`] oracle).
+    ///
+    /// Benchmarks and tests use this to assert the intrinsic path actually
+    /// fired (and that the fallback is exercised where intended).
+    pub fn host_call_counts(&self) -> (u64, u64) {
+        (self.host_calls_fast, self.host_calls_slow)
     }
 
     /// The module this instance was created from.
@@ -341,6 +419,7 @@ impl Instance {
         }
         match self.func_targets[func_idx.to_usize()] {
             FuncTarget::Host(id) => {
+                self.host_calls_slow += 1;
                 let ctx = HostCtx {
                     memory: self.memory.as_mut(),
                     table: self.table.as_mut(),
@@ -350,6 +429,153 @@ impl Instance {
             }
             FuncTarget::Wasm => self.run_wasm_function(func_idx, args, host, depth),
         }
+    }
+
+    /// The generic `call` op body. Never inlined: the result buffer and
+    /// call bookkeeping must not enlarge the recursive
+    /// [`Instance::exec_ops`] frame (the call-depth limit is sized for
+    /// 2 MiB threads in debug builds).
+    #[inline(never)]
+    fn call_op(
+        &mut self,
+        callee: u32,
+        stack: &mut Vec<Val>,
+        at: usize,
+        host: &mut dyn Host,
+        depth: usize,
+    ) -> Result<(), Trap> {
+        let results = self.call_function(Idx::from(callee), &stack[at..], host, depth + 1)?;
+        stack.truncate(at);
+        stack.extend_from_slice(&results);
+        Ok(())
+    }
+
+    /// The `call_indirect` op body (see [`Instance::call_op`] for why this
+    /// is a never-inlined helper).
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn call_indirect_op(
+        &mut self,
+        code: &ModuleCode,
+        sig: u32,
+        params: u32,
+        table_idx: u32,
+        stack: &mut Vec<Val>,
+        host: &mut dyn Host,
+        depth: usize,
+    ) -> Result<(), Trap> {
+        let target = self
+            .table
+            .as_ref()
+            .expect("validated: table exists")
+            .lookup(table_idx)?;
+        let expected_ty = &code.sigs[sig as usize];
+        if &self.module.functions[target.to_usize()].type_ != expected_ty {
+            return Err(Trap::IndirectCallTypeMismatch);
+        }
+        let at = stack.len() - params as usize;
+        let results = self.call_function(target, &stack[at..], host, depth + 1)?;
+        stack.truncate(at);
+        stack.extend_from_slice(&results);
+        Ok(())
+    }
+
+    /// Dispatch one host-call intrinsic: the host receives
+    /// `stack[at..] ++ consts` and its results replace `stack[at..]`.
+    ///
+    /// Never inlined: its temporaries must not enlarge the recursive
+    /// [`Instance::exec_ops`] frame (the call-depth limit is sized for
+    /// 2 MiB threads in debug builds).
+    #[inline(never)]
+    fn host_call_fast(
+        &mut self,
+        func: u32,
+        stack: &mut Vec<Val>,
+        at: usize,
+        consts: &[Val],
+        retc: u32,
+        host: &mut dyn Host,
+    ) -> Result<(), Trap> {
+        self.host_calls_fast += 1;
+        let id = self.host_ids[func as usize];
+        let results = if at == stack.len() {
+            // All-constant argument list (or none at all): hand the host
+            // the const-table slice directly, zero copying.
+            let ctx = HostCtx {
+                memory: self.memory.as_mut(),
+                table: self.table.as_mut(),
+                globals: &mut self.globals,
+            };
+            host.call(id, consts, ctx)?
+        } else if consts.is_empty() {
+            // Arguments are already contiguous on the operand stack.
+            let ctx = HostCtx {
+                memory: self.memory.as_mut(),
+                table: self.table.as_mut(),
+                globals: &mut self.globals,
+            };
+            host.call(id, &stack[at..], ctx)?
+        } else {
+            // Mixed: stack prefix + constant tail, joined in the reused
+            // scratch buffer (allocation-free in the steady state).
+            let mut args = std::mem::take(&mut self.host_args);
+            args.clear();
+            args.extend_from_slice(&stack[at..]);
+            args.extend_from_slice(consts);
+            let ctx = HostCtx {
+                memory: self.memory.as_mut(),
+                table: self.table.as_mut(),
+                globals: &mut self.globals,
+            };
+            let result = host.call(id, &args, ctx);
+            self.host_args = args;
+            result?
+        };
+        debug_assert_eq!(results.len(), retc as usize, "host result arity");
+        stack.truncate(at);
+        stack.extend_from_slice(&results);
+        Ok(())
+    }
+
+    /// Dispatch one [`Op::HostCallArgs`] intrinsic: the host receives
+    /// `stack[at..]` followed by the template's values, gathered from the
+    /// frame's locals and the const table into the reused scratch buffer.
+    /// Never inlined, like [`Instance::host_call_fast`].
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn host_call_args(
+        &mut self,
+        func: u32,
+        stack: &mut Vec<Val>,
+        at: usize,
+        tpl: &[ArgSrc],
+        locals: &[Val],
+        retc: u32,
+        host: &mut dyn Host,
+    ) -> Result<(), Trap> {
+        self.host_calls_fast += 1;
+        let id = self.host_ids[func as usize];
+        let mut args = std::mem::take(&mut self.host_args);
+        args.clear();
+        args.extend_from_slice(&stack[at..]);
+        for src in tpl {
+            args.push(match src {
+                ArgSrc::Local(idx) => locals[*idx as usize],
+                ArgSrc::Value(v) => *v,
+            });
+        }
+        let ctx = HostCtx {
+            memory: self.memory.as_mut(),
+            table: self.table.as_mut(),
+            globals: &mut self.globals,
+        };
+        let result = host.call(id, &args, ctx);
+        self.host_args = args;
+        let results = result?;
+        debug_assert_eq!(results.len(), retc as usize, "host result arity");
+        stack.truncate(at);
+        stack.extend_from_slice(&results);
+        Ok(())
     }
 
     fn run_wasm_function(
@@ -462,26 +688,56 @@ impl Instance {
 
                 Op::Call { callee, params } => {
                     let at = stack.len() - *params as usize;
-                    let results =
-                        self.call_function(Idx::from(*callee), &stack[at..], host, depth + 1)?;
-                    stack.truncate(at);
-                    stack.extend_from_slice(&results);
+                    self.call_op(*callee, &mut stack, at, host, depth)?;
+                }
+                // Host-call intrinsics (see `flat`): the callee's host
+                // identity was resolved at instantiation, the arguments are
+                // passed straight off the operand stack (plus the folded
+                // constant tail from the module const table) — no
+                // interpreter frame, no function-target match. The body
+                // lives in a never-inlined helper so this (recursive)
+                // frame stays small.
+                Op::HostCall { func, argc, retc } => {
+                    if depth + 1 >= self.max_call_depth {
+                        return Err(Trap::CallStackExhausted);
+                    }
+                    let at = stack.len() - *argc as usize;
+                    self.host_call_fast(*func, &mut stack, at, &[], *retc, host)?;
+                }
+                Op::HostCallConst {
+                    func,
+                    stack_argc,
+                    retc,
+                    const_at,
+                    const_len,
+                } => {
+                    if depth + 1 >= self.max_call_depth {
+                        return Err(Trap::CallStackExhausted);
+                    }
+                    let at = stack.len() - *stack_argc as usize;
+                    let consts =
+                        &code.consts[*const_at as usize..(*const_at + *const_len) as usize];
+                    self.host_call_fast(*func, &mut stack, at, consts, *retc, host)?;
+                }
+                Op::HostCallArgs {
+                    func,
+                    stack_argc,
+                    retc,
+                    args_at,
+                    args_len,
+                } => {
+                    if depth + 1 >= self.max_call_depth {
+                        return Err(Trap::CallStackExhausted);
+                    }
+                    let at = stack.len() - *stack_argc as usize;
+                    let tpl = &code.args[*args_at as usize..(*args_at + *args_len) as usize];
+                    self.host_call_args(*func, &mut stack, at, tpl, &locals, *retc, host)?;
                 }
                 Op::CallIndirect { sig, params } => {
                     let table_idx = pop_i32!() as u32;
-                    let target = self
-                        .table
-                        .as_ref()
-                        .expect("validated: table exists")
-                        .lookup(table_idx)?;
-                    let expected_ty = &code.sigs[*sig as usize];
-                    if &self.module.functions[target.to_usize()].type_ != expected_ty {
-                        return Err(Trap::IndirectCallTypeMismatch);
-                    }
-                    let at = stack.len() - *params as usize;
-                    let results = self.call_function(target, &stack[at..], host, depth + 1)?;
-                    stack.truncate(at);
-                    stack.extend_from_slice(&results);
+                    self.call_indirect_op(
+                        &code, *sig, *params, table_idx, &mut stack, host, depth,
+                    )?;
                 }
 
                 Op::Drop => {
@@ -1028,6 +1284,135 @@ mod tests {
         let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
         instance.invoke_export("f", &[], &mut host).unwrap();
         assert_eq!(*seen.borrow(), vec![Val::I32(7), Val::I32(8)]);
+    }
+
+    #[test]
+    fn host_call_intrinsic_counts_and_returns_values() {
+        let mut builder = ModuleBuilder::new();
+        let add5 = builder.import_function(
+            "env",
+            "add5",
+            &[ValType::I32, ValType::I32],
+            &[ValType::I32],
+        );
+        builder.function("f", &[ValType::I32], &[ValType::I32], |f| {
+            // Mixed stack + const args through the intrinsic fast path.
+            f.get_local(0u32).i32_const(5).call(add5);
+        });
+        let mut host = HostFunctions::new();
+        host.register("env", "add5", |args, _ctx| {
+            Ok(vec![Val::I32(
+                args[0].as_i32().unwrap() + args[1].as_i32().unwrap(),
+            )])
+        });
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let r = instance
+            .invoke_export("f", &[Val::I32(37)], &mut host)
+            .unwrap();
+        assert_eq!(r, vec![Val::I32(42)]);
+        assert_eq!(instance.host_call_counts(), (1, 0));
+    }
+
+    #[test]
+    fn host_call_without_intrinsics_uses_the_generic_path() {
+        let mut builder = ModuleBuilder::new();
+        let log = builder.import_function("env", "log", &[ValType::I32], &[]);
+        builder.function("f", &[], &[], |f| {
+            f.i32_const(7).call(log);
+        });
+        let translated = TranslatedModule::new_without_host_intrinsics(builder.finish()).unwrap();
+        let mut host = HostFunctions::new();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = std::rc::Rc::clone(&seen);
+        host.register("env", "log", move |args, _ctx| {
+            seen2.borrow_mut().push(args[0]);
+            Ok(vec![])
+        });
+        let mut instance = Instance::instantiate_translated(&translated, &mut host).unwrap();
+        instance.invoke_export("f", &[], &mut host).unwrap();
+        assert_eq!(*seen.borrow(), vec![Val::I32(7)]);
+        assert_eq!(instance.host_call_counts(), (0, 1));
+    }
+
+    #[test]
+    fn indirect_call_to_an_import_takes_the_slow_path() {
+        let mut builder = ModuleBuilder::new();
+        let imp = builder.import_function("env", "id", &[ValType::I32], &[ValType::I32]);
+        builder.table(1);
+        builder.elements(0, vec![imp]);
+        builder.function("f", &[], &[ValType::I32], |f| {
+            f.i32_const(21).i32_const(0);
+            f.call_indirect(&[ValType::I32], &[ValType::I32]);
+        });
+        let mut host = HostFunctions::new();
+        host.register("env", "id", |args, _ctx| Ok(vec![args[0]]));
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let r = instance.invoke_export("f", &[], &mut host).unwrap();
+        assert_eq!(r, vec![Val::I32(21)]);
+        assert_eq!(instance.host_call_counts(), (0, 1));
+    }
+
+    #[test]
+    fn host_call_intrinsic_respects_the_depth_limit() {
+        let mut builder = ModuleBuilder::new();
+        let log = builder.import_function("env", "log", &[], &[]);
+        builder.function("f", &[], &[], |f| {
+            f.call(log);
+        });
+        let mut host = HostFunctions::new();
+        host.register("env", "log", |_, _| Ok(vec![]));
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        // f itself runs at depth 0; the host callee would be depth 1.
+        instance.set_max_call_depth(1);
+        let err = instance.invoke_export("f", &[], &mut host).unwrap_err();
+        assert_eq!(err, Trap::CallStackExhausted);
+        assert_eq!(instance.host_call_counts(), (0, 0));
+    }
+
+    #[test]
+    fn host_trap_through_the_intrinsic_counts_the_whole_group() {
+        let mut builder = ModuleBuilder::new();
+        let boom = builder.import_function("env", "boom", &[ValType::I32, ValType::I32], &[]);
+        builder.function("f", &[], &[], |f| {
+            f.i32_const(1).i32_const(2).call(boom);
+        });
+        let mut host = HostFunctions::new();
+        host.register("env", "boom", |_, _| {
+            Err(Trap::HostError("boom".to_string()))
+        });
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+        let err = instance.invoke_export("f", &[], &mut host).unwrap_err();
+        assert!(matches!(err, Trap::HostError(_)));
+        // Both consts and the trapping call are counted, like the
+        // structured walk would.
+        assert_eq!(instance.executed_instrs(), 3);
+        assert_eq!(instance.host_call_counts(), (1, 0));
+    }
+
+    #[test]
+    fn fuel_exhaustion_inside_a_folded_host_call_matches_the_oracle() {
+        let mut builder = ModuleBuilder::new();
+        let log = builder.import_function("env", "log", &[ValType::I32, ValType::I32], &[]);
+        builder.function("f", &[], &[], |f| {
+            f.i32_const(1).i32_const(2).call(log);
+        });
+        let called = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let called2 = std::rc::Rc::clone(&called);
+        let mut host = HostFunctions::new();
+        host.register("env", "log", move |_, _| {
+            called2.set(called2.get() + 1);
+            Ok(vec![])
+        });
+        let module = builder.finish();
+        // Fuel runs out on the call member of the const+const+call group:
+        // the structured walk counts both consts plus the instruction that
+        // trapped, and the host is never invoked.
+        let mut instance = Instance::instantiate(module, &mut host).unwrap();
+        instance.set_fuel(Some(2));
+        let err = instance.invoke_export("f", &[], &mut host).unwrap_err();
+        assert_eq!(err, Trap::OutOfFuel);
+        assert_eq!(instance.executed_instrs(), 3);
+        assert_eq!(called.get(), 0, "host must not run without fuel");
     }
 
     #[test]

@@ -138,6 +138,7 @@ impl Reference {
         }
         match instance.func_targets[func_idx.to_usize()] {
             FuncTarget::Host(id) => {
+                instance.host_calls_slow += 1;
                 let ctx = HostCtx {
                     memory: instance.memory.as_mut(),
                     table: instance.table.as_mut(),

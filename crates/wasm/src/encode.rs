@@ -19,6 +19,56 @@ pub fn encode(module: &Module) -> Vec<u8> {
     Encoder::new(module).run()
 }
 
+/// Heuristic estimate of the encoded size of `module`, used to preallocate
+/// the output buffer in [`encode`] (instrumented modules are encode-heavy,
+/// and growing the buffer through repeated doubling copies the whole
+/// prefix each time). Deliberately a slight over-estimate for typical
+/// instruction mixes; it is **not** a guaranteed upper bound (e.g. bodies
+/// dominated by `f64.const`, at 9 bytes per instruction, exceed it).
+pub fn size_hint(module: &Module) -> usize {
+    // Magic + version + per-section headers and counts.
+    let mut hint = 8 + 12 * 8;
+    for f in &module.functions {
+        // Type-section entry (over-counts duplicates, which is fine for a
+        // capacity hint).
+        hint += 4 + f.type_.params.len() + f.type_.results.len();
+        if let Some(import) = f.import() {
+            hint += 8 + import.module.len() + import.name.len();
+        }
+        if let Some(code) = f.code() {
+            // Body size prefix + locals RLE + ~3 bytes per instruction
+            // (opcode + a short LEB immediate).
+            hint += 16 + code.locals.len() + code.body.len() * 3;
+        }
+        for name in &f.export {
+            hint += 8 + name.len();
+        }
+        if let Some(name) = &f.name {
+            hint += 8 + name.len();
+        }
+    }
+    for t in &module.tables {
+        hint += 16;
+        for e in &t.elements {
+            hint += 16 + e.functions.len() * 3;
+        }
+    }
+    for m in &module.memories {
+        hint += 16;
+        for d in &m.data {
+            hint += 16 + d.bytes.len();
+        }
+    }
+    hint += module.globals.len() * 16;
+    for c in &module.custom_sections {
+        hint += 16 + c.name.len() + c.bytes.len();
+    }
+    if let Some(name) = &module.name {
+        hint += 16 + name.len();
+    }
+    hint
+}
+
 /// Mapping from stable AST indices to binary indices (imports first).
 ///
 /// Exposed so that tooling (e.g. the WAT printer or debuggers) can relate
@@ -111,7 +161,7 @@ impl<'a> Encoder<'a> {
     }
 
     fn run(self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1024);
+        let mut out = Vec::with_capacity(size_hint(self.module));
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION);
 
@@ -414,7 +464,7 @@ impl<'a> Encoder<'a> {
         }
         leb128::write_u32(out, local.len() as u32);
         for code in local {
-            let mut body = Vec::with_capacity(code.body.len() * 2 + 16);
+            let mut body = Vec::with_capacity(code.body.len() * 3 + code.locals.len() + 16);
 
             // Locals are run-length encoded by type.
             let mut groups: Vec<(ValType, u32)> = Vec::new();
@@ -657,6 +707,27 @@ mod tests {
         let bytes = encode(&module);
         let decoded = decode(&bytes).expect("decodes");
         assert_eq!(module, decoded);
+    }
+
+    #[test]
+    fn size_hint_covers_typical_modules() {
+        // The hint is a heuristic, but for ordinary instruction mixes it
+        // should preallocate enough that `encode` never regrows, while not
+        // overshooting absurdly.
+        let mut module = sample_module();
+        let mut memory = crate::module::Memory::new(Limits::at_least(1));
+        memory.data.push(crate::module::Data {
+            offset: vec![Instr::Const(Val::I32(0)), Instr::End],
+            bytes: vec![0u8; 4096],
+        });
+        module.memories.push(memory);
+        let bytes = encode(&module);
+        let hint = size_hint(&module);
+        assert!(hint >= bytes.len(), "hint {hint} < encoded {}", bytes.len());
+        assert!(hint <= bytes.len() * 8 + 1024, "hint {hint} overshoots");
+        // The returned buffer was allocated up front, not grown by
+        // doubling past the hint.
+        assert!(bytes.capacity() <= hint.max(bytes.len()));
     }
 
     #[test]

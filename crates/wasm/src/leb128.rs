@@ -13,7 +13,20 @@ pub const MAX_BYTES_U32: usize = 5;
 pub const MAX_BYTES_U64: usize = 10;
 
 /// Append the unsigned LEB128 encoding of `value` to `out`.
+///
+/// The one- and two-byte cases — the overwhelming majority of u32 LEB128s
+/// in a module (indices, counts, section and body lengths, memargs) — are
+/// unrolled; only values ≥ 2^14 fall back to the generic loop.
+#[inline]
 pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    if value < 0x80 {
+        out.push(value as u8);
+        return;
+    }
+    if value < 0x4000 {
+        out.extend_from_slice(&[(value as u8 & 0x7f) | 0x80, (value >> 7) as u8]);
+        return;
+    }
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -26,7 +39,12 @@ pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
 }
 
 /// Append the unsigned LEB128 encoding of `value` to `out`.
+#[inline]
 pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    if value < 0x80 {
+        out.push(value as u8);
+        return;
+    }
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -58,11 +76,11 @@ pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
     }
 }
 
-/// Number of bytes the unsigned LEB128 encoding of `value` occupies.
+/// Number of bytes the unsigned LEB128 encoding of `value` occupies,
+/// computed without encoding (⌈significant bits / 7⌉, minimum 1).
 pub fn len_u32(value: u32) -> usize {
-    let mut out = Vec::with_capacity(MAX_BYTES_U32);
-    write_u32(&mut out, value);
-    out.len()
+    let bits = (32 - value.leading_zeros()).max(1);
+    bits.div_ceil(7) as usize
 }
 
 /// A cursor over a byte slice with position tracking for error reporting.
@@ -211,6 +229,35 @@ mod tests {
         let mut buf = Vec::new();
         write_i64(&mut buf, v);
         Reader::new(&buf).i64().expect("decodes")
+    }
+
+    #[test]
+    fn unrolled_u32_fast_paths_match_the_generic_loop() {
+        // Cover every unroll boundary: 1-byte, 2-byte, and loop fallback.
+        for v in [
+            0u32,
+            1,
+            0x7e,
+            0x7f,
+            0x80,
+            0x81,
+            0x3fff,
+            0x4000,
+            0x4001,
+            0x1f_ffff,
+            0x20_0000,
+            u32::MAX,
+        ] {
+            let mut fast = Vec::new();
+            write_u32(&mut fast, v);
+            // Reference: the generic u64 loop produces the same canonical
+            // encoding for any u32 value.
+            let mut generic = Vec::new();
+            write_u64(&mut generic, u64::from(v));
+            assert_eq!(fast, generic, "value {v:#x}");
+            assert_eq!(fast.len(), len_u32(v), "len_u32 for {v:#x}");
+            assert_eq!(Reader::new(&fast).u32().expect("decodes"), v);
+        }
     }
 
     #[test]

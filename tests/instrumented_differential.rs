@@ -1,0 +1,327 @@
+//! Differential suite for the host-call intrinsic fast path (ISSUE 4
+//! acceptance criterion): random modules instrumented for random hook sets
+//! are executed three ways —
+//!
+//! 1. **intrinsic**: the flat IR with `Op::HostCall`/`Op::HostCallConst`
+//!    (the production path),
+//! 2. **generic flat**: the flat IR translated without host-call
+//!    intrinsics (the pre-intrinsic fallback, still exercised by
+//!    `call_indirect` to imports),
+//! 3. **Reference**: the structured-walk oracle with the generic call
+//!    machinery.
+//!
+//! All three must produce **bit-identical** hook event streams (recorded
+//! event-for-event with locations and payloads), analysis reports,
+//! results/traps, and `executed_instrs` — including under fuel exhaustion,
+//! which can preempt execution in the middle of a folded
+//! const+const+call group. The host-call path counters additionally prove
+//! that the intrinsic path actually fired on path 1 and that paths 2 and 3
+//! really took the generic fallback.
+
+use proptest::prelude::*;
+
+use wasabi_repro::core::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, CallPostEvt, EndEvt,
+    GlobalEvt, IfEvt, LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt,
+    UnaryEvt, ValEvt,
+};
+use wasabi_repro::core::hooks::{Analysis, Hook, HookSet};
+use wasabi_repro::core::report::{JsonValue, Report};
+use wasabi_repro::core::{instrument, ModuleInfo, WasabiHost};
+use wasabi_repro::vm::{Instance, Reference, TranslatedModule, Trap};
+use wasabi_repro::wasm::{Module, Val};
+use wasabi_repro::workloads::synthetic::{synthetic_app, SyntheticConfig};
+use wasabi_repro::workloads::{compile, polybench};
+
+/// Records every delivered event as a formatted line (location + full
+/// payload), so two runs can be compared event-for-event.
+struct Recorder {
+    subscribed: HookSet,
+    log: Vec<String>,
+}
+
+impl Recorder {
+    fn new(subscribed: HookSet) -> Self {
+        Recorder {
+            subscribed,
+            log: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, ctx: &AnalysisCtx, line: String) {
+        self.log
+            .push(format!("{}:{} {line}", ctx.loc.func, ctx.loc.instr));
+    }
+}
+
+impl Analysis for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+
+    fn hooks(&self) -> HookSet {
+        self.subscribed
+    }
+
+    fn start(&mut self, ctx: &AnalysisCtx) {
+        self.push(ctx, "start".to_string());
+    }
+    fn nop(&mut self, ctx: &AnalysisCtx) {
+        self.push(ctx, "nop".to_string());
+    }
+    fn unreachable(&mut self, ctx: &AnalysisCtx) {
+        self.push(ctx, "unreachable".to_string());
+    }
+    fn if_(&mut self, ctx: &AnalysisCtx, evt: &IfEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn br(&mut self, ctx: &AnalysisCtx, evt: &BranchEvt) {
+        self.push(ctx, format!("br {evt:?}"));
+    }
+    fn br_if(&mut self, ctx: &AnalysisCtx, evt: &BranchEvt) {
+        self.push(ctx, format!("br_if {evt:?}"));
+    }
+    fn br_table(&mut self, ctx: &AnalysisCtx, evt: &BranchTableEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn begin(&mut self, ctx: &AnalysisCtx, evt: &BlockEvt) {
+        self.push(ctx, format!("begin {evt:?}"));
+    }
+    fn end(&mut self, ctx: &AnalysisCtx, evt: &EndEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn memory_size(&mut self, ctx: &AnalysisCtx, evt: &MemSizeEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn memory_grow(&mut self, ctx: &AnalysisCtx, evt: &MemGrowEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn const_(&mut self, ctx: &AnalysisCtx, evt: &ValEvt) {
+        self.push(ctx, format!("const {evt:?}"));
+    }
+    fn drop_(&mut self, ctx: &AnalysisCtx, evt: &ValEvt) {
+        self.push(ctx, format!("drop {evt:?}"));
+    }
+    fn select(&mut self, ctx: &AnalysisCtx, evt: &SelectEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn unary(&mut self, ctx: &AnalysisCtx, evt: &UnaryEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn binary(&mut self, ctx: &AnalysisCtx, evt: &BinaryEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn load(&mut self, ctx: &AnalysisCtx, evt: &LoadEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn store(&mut self, ctx: &AnalysisCtx, evt: &StoreEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn local(&mut self, ctx: &AnalysisCtx, evt: &LocalEvt) {
+        self.push(ctx, format!("local {evt:?}"));
+    }
+    fn global(&mut self, ctx: &AnalysisCtx, evt: &GlobalEvt) {
+        self.push(ctx, format!("global {evt:?}"));
+    }
+    fn return_(&mut self, ctx: &AnalysisCtx, evt: &ReturnEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn call_pre(&mut self, ctx: &AnalysisCtx, evt: &CallEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+    fn call_post(&mut self, ctx: &AnalysisCtx, evt: &CallPostEvt) {
+        self.push(ctx, format!("{evt:?}"));
+    }
+
+    fn report(&self) -> Report {
+        Report::new(
+            "recorder",
+            JsonValue::object([
+                ("events", JsonValue::UInt(self.log.len() as u64)),
+                (
+                    "last",
+                    self.log
+                        .last()
+                        .map(|s| JsonValue::Str(s.clone()))
+                        .unwrap_or(JsonValue::Null),
+                ),
+            ]),
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Path {
+    Intrinsic,
+    GenericFlat,
+    Reference,
+}
+
+struct Outcome {
+    result: Result<Vec<Val>, Trap>,
+    executed_instrs: u64,
+    host_calls_fast: u64,
+    host_calls_slow: u64,
+    log: Vec<String>,
+    report: String,
+}
+
+/// Execute the instrumented module's `main` along one of the three paths.
+fn run_path(
+    instrumented: &Module,
+    info: &ModuleInfo,
+    hooks: HookSet,
+    fuel: Option<u64>,
+    path: Path,
+) -> Outcome {
+    let translated = match path {
+        Path::Intrinsic => TranslatedModule::new(instrumented.clone()),
+        Path::GenericFlat | Path::Reference => {
+            TranslatedModule::new_without_host_intrinsics(instrumented.clone())
+        }
+    }
+    .expect("instrumented module validates");
+
+    let mut recorder = Recorder::new(hooks);
+    let mut host = WasabiHost::new(info, &mut recorder);
+    let mut instance =
+        Instance::instantiate_translated(&translated, &mut host).expect("instantiates");
+    instance.set_fuel(fuel);
+    let result = match path {
+        Path::Reference => {
+            let reference = Reference::new(instrumented);
+            reference.invoke_export(&mut instance, "main", &[], &mut host)
+        }
+        _ => instance.invoke_export("main", &[], &mut host),
+    };
+    let (host_calls_fast, host_calls_slow) = instance.host_call_counts();
+    let executed_instrs = instance.executed_instrs();
+    drop(host);
+    let report = recorder.report().to_json();
+    Outcome {
+        result,
+        executed_instrs,
+        host_calls_fast,
+        host_calls_slow,
+        log: recorder.log,
+        report,
+    }
+}
+
+/// Assert two outcomes are bit-identical in everything observable.
+fn assert_equivalent(a: &Outcome, b: &Outcome, what: &str) {
+    assert_eq!(a.result, b.result, "{what}: results/traps");
+    assert_eq!(a.executed_instrs, b.executed_instrs, "{what}: instrs");
+    assert_eq!(a.log.len(), b.log.len(), "{what}: event count");
+    for (i, (x, y)) in a.log.iter().zip(&b.log).enumerate() {
+        assert_eq!(x, y, "{what}: event #{i}");
+    }
+    assert_eq!(a.report, b.report, "{what}: reports");
+    // Every path performs the same host calls, only the dispatch route
+    // differs.
+    assert_eq!(
+        a.host_calls_fast + a.host_calls_slow,
+        b.host_calls_fast + b.host_calls_slow,
+        "{what}: total host calls"
+    );
+}
+
+fn hook_set_from_mask(mask: u32) -> HookSet {
+    Hook::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, hook)| hook)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn intrinsic_path_matches_reference_on_random_instrumented_modules(
+        seed in any::<u64>(),
+        function_count in 2usize..6,
+        body_statements in 2usize..6,
+        mask in 1u32..(1 << 23),
+        fuel in prop::option::of(1u64..30_000),
+    ) {
+        let module = synthetic_app(&SyntheticConfig {
+            seed,
+            function_count,
+            body_statements,
+        });
+        let hooks = hook_set_from_mask(mask);
+        let (instrumented, info) = instrument(&module, hooks).expect("instruments");
+
+        let intrinsic = run_path(&instrumented, &info, hooks, fuel, Path::Intrinsic);
+        let generic = run_path(&instrumented, &info, hooks, fuel, Path::GenericFlat);
+        let reference = run_path(&instrumented, &info, hooks, fuel, Path::Reference);
+
+        assert_equivalent(&intrinsic, &generic, "intrinsic vs generic flat");
+        assert_equivalent(&intrinsic, &reference, "intrinsic vs reference");
+
+        // The fallback paths must not touch the intrinsic ops, and any
+        // direct hook call the module makes must take the fast path on the
+        // intrinsic translation.
+        prop_assert_eq!(generic.host_calls_fast, 0);
+        prop_assert_eq!(reference.host_calls_fast, 0);
+        prop_assert!(
+            intrinsic.host_calls_slow <= reference.host_calls_slow,
+            "intrinsic path must not add generic host calls"
+        );
+    }
+}
+
+#[test]
+fn all_hooks_on_a_polybench_kernel_match_the_oracle() {
+    // Deterministic anchor: full instrumentation over a real kernel. The
+    // intrinsic fast path must fire (the whole point of the PR) and the
+    // event stream must equal the structured-walk oracle's.
+    let module = compile(&polybench::by_name("jacobi-1d", 5).expect("known kernel"));
+    let hooks = HookSet::all();
+    let (instrumented, info) = instrument(&module, hooks).expect("instruments");
+
+    let intrinsic = run_path(&instrumented, &info, hooks, None, Path::Intrinsic);
+    let reference = run_path(&instrumented, &info, hooks, None, Path::Reference);
+
+    assert_equivalent(&intrinsic, &reference, "all-hooks kernel");
+    assert!(
+        intrinsic.host_calls_fast > 0,
+        "intrinsic path must actually fire"
+    );
+    assert_eq!(
+        intrinsic.host_calls_fast + intrinsic.host_calls_slow,
+        reference.host_calls_slow + reference.host_calls_fast,
+    );
+    assert!(!intrinsic.log.is_empty());
+}
+
+#[test]
+fn fuel_sweep_preempts_identically_across_paths() {
+    // Fuel exhaustion can land on any member of a folded
+    // const+const+call hook group; the trap point, the instruction count,
+    // and the event-stream prefix must match the oracle for every budget.
+    let module = synthetic_app(&SyntheticConfig {
+        seed: 0xD1FF,
+        function_count: 3,
+        body_statements: 4,
+    });
+    let hooks = HookSet::of(&[
+        Hook::Const,
+        Hook::Binary,
+        Hook::Local,
+        Hook::Begin,
+        Hook::End,
+    ]);
+    let (instrumented, info) = instrument(&module, hooks).expect("instruments");
+
+    for fuel in (1..200).step_by(7) {
+        let intrinsic = run_path(&instrumented, &info, hooks, Some(fuel), Path::Intrinsic);
+        let reference = run_path(&instrumented, &info, hooks, Some(fuel), Path::Reference);
+        assert_equivalent(&intrinsic, &reference, &format!("fuel {fuel}"));
+    }
+}
