@@ -12,6 +12,13 @@ cargo test -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# Documentation gate: the rustdoc must build without warnings (broken
+# intra-doc links, missing docs the lints catch, ...). Library targets
+# only: the `wasabi` CLI bin would collide with the `wasabi` lib's output
+# path and bins carry no public API docs.
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --lib --quiet
+
 # Downstream-consumer smoke: every example must build AND run, so an API
 # break in examples/ fails CI, not the next user.
 echo "==> examples"
@@ -32,6 +39,35 @@ cargo run --release -q -p wasabi-bench --bin interp -- --smoke --out /tmp/BENCH_
 
 echo "==> bench smoke (overhead --smoke)"
 cargo run --release -q -p wasabi-bench --bin overhead -- --smoke --out /tmp/BENCH_overhead_smoke.json >/dev/null
+
+echo "==> bench smoke (fleet --smoke)"
+cargo run --release -q -p wasabi-bench --bin fleet -- --smoke --out /tmp/BENCH_fleet_smoke.json >/dev/null
+
+# Batch-engine gate: the committed baseline must show the shared
+# translated-module cache paying off — warm-cache jobs/sec at least 1.5x
+# the cold single-worker rate. (Worker *scaling* is not gated: the CI box
+# may be single-core; the JSON records `cores` for context.) Re-record
+# with:  cargo run --release -p wasabi-bench --bin fleet
+echo "==> perf gate: BENCH_fleet.json (warm >= 1.5x cold single-worker)"
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_fleet.json") as f:
+    committed = json.load(f)
+ratio = committed["warm_allcores_vs_cold_1worker"]
+if ratio < 1.5:
+    sys.exit(f"fleet warm-cache throughput regressed: "
+             f"{ratio:.3f}x < 1.5x cold single-worker")
+with open("/tmp/BENCH_fleet_smoke.json") as f:
+    smoke = json.load(f)
+smoke_ratio = smoke["warm_allcores_vs_cold_1worker"]
+if smoke_ratio < 1.5:
+    sys.exit(f"fleet warm-cache throughput regressed in fresh smoke run: "
+             f"{smoke_ratio:.3f}x < 1.5x cold single-worker")
+print(f"    fleet warm-vs-cold: committed {ratio:.2f}x, smoke {smoke_ratio:.2f}x "
+      f"(>= 1.5x; amortization {committed['amortization_warm_vs_cold_1worker']:.2f}x, "
+      f"worker scaling {committed['scaling_1worker_to_allcores_warm']:.2f}x "
+      f"on {committed['cores']} core(s))")
+EOF
 
 # Host-call intrinsics gate: the committed baseline must show the >= 1.5x
 # all-hooks improvement over the generic-call path, and the freshly

@@ -54,6 +54,42 @@ pub fn by_name(name: &str) -> Option<Box<dyn Analysis>> {
     })
 }
 
+/// A [`wasabi::fleet::FleetBuilder`] pre-wired to construct analyses from
+/// this registry: fleet jobs name analyses (see [`NAMES`]) and every
+/// worker builds **fresh instances** via [`by_name`] inside its own
+/// thread.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use wasabi::fleet::Job;
+/// use wasabi_analyses::registry;
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::ValType;
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.function("main", &[], &[ValType::I32], |f| {
+///     f.i32_const(6).i32_const(7).i32_mul();
+/// });
+/// let module = Arc::new(builder.finish());
+///
+/// let mut fleet = registry::fleet().workers(2).build();
+/// for _ in 0..3 {
+///     fleet.submit(
+///         Job::new("m.wasm", Arc::clone(&module), "main", vec![])
+///             .analyses(["instruction_mix", "call_graph"]),
+///     );
+/// }
+/// let batch = fleet.run();
+/// assert!(batch.all_ok());
+/// assert_eq!(batch.cache_misses, 1, "translate once, run three times");
+/// assert_eq!(batch.jobs[2].reports.len(), 2);
+/// ```
+pub fn fleet() -> wasabi::fleet::FleetBuilder {
+    wasabi::Fleet::builder().factory(by_name)
+}
+
 /// Fresh instances of the eight Table-4 analyses, in table order.
 pub fn table4() -> Vec<Box<dyn Analysis>> {
     TABLE4_NAMES

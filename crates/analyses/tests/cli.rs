@@ -233,6 +233,164 @@ fn rejects_unknown_hook_and_garbage_input() {
 }
 
 #[test]
+fn batch_mode_runs_a_manifest_over_the_fleet() {
+    let dir = temp_dir("batch");
+    write_fixture(&dir); // fixture.wasm, export `f`
+    write_branchy_fixture(&dir); // branchy.wasm, export `main`
+    let manifest = dir.join("manifest.json");
+    // Module paths are relative to the manifest; one module is used by
+    // several jobs (exercising the shared cache), args come as JSON
+    // numbers, and one job runs without analyses.
+    std::fs::write(
+        &manifest,
+        r#"{"jobs": [
+            {"module": "branchy.wasm", "analyses": ["instruction_mix"], "args": [7]},
+            {"module": "branchy.wasm", "analyses": ["instruction_mix"], "args": [8]},
+            {"module": "branchy.wasm", "analyses": ["memory_tracing", "call_graph"], "args": [9]},
+            {"module": "fixture.wasm", "invoke": "f", "args": [6]}
+        ]}"#,
+    )
+    .expect("write manifest");
+
+    let output = cli()
+        .arg("--batch")
+        .arg(&manifest)
+        .arg("--workers=2")
+        .arg("--time")
+        .output()
+        .expect("CLI runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "{stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one JSON object per job: {stdout}");
+    // Results come back in submission order regardless of scheduling.
+    assert!(
+        lines[0].contains("\"job\":0") && lines[0].contains("\"i32.mul\":1"),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"job\":1"), "{}", lines[1]);
+    assert!(lines[2].contains("\"accesses\":2"), "{}", lines[2]);
+    assert!(
+        lines[3].contains("\"module\":\"fixture.wasm\""),
+        "{}",
+        lines[3]
+    );
+    assert!(lines[3].contains("I32(30)"), "{}", lines[3]);
+    // The summary reports throughput + cache amortization: jobs 0 and 1
+    // share one (module, hook set) entry, so at least one hit happened.
+    assert!(stderr.contains("jobs/sec"), "{stderr}");
+    assert!(!stderr.contains("0 cache hit(s)"), "{stderr}");
+    assert!(stderr.contains("--time: per-job sums"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_mode_writes_report_files_with_out() {
+    let dir = temp_dir("batch-out");
+    write_branchy_fixture(&dir);
+    let manifest = dir.join("manifest.json");
+    std::fs::write(
+        &manifest,
+        r#"{"jobs": [
+            {"module": "branchy.wasm", "analyses": ["instruction_coverage", "branch_coverage"], "args": [1]},
+            {"module": "branchy.wasm", "args": [2]}
+        ]}"#,
+    )
+    .expect("write manifest");
+    let out = dir.join("reports");
+
+    let output = cli()
+        .arg("--batch")
+        .arg(&manifest)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("CLI runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    for name in ["instruction_coverage", "branch_coverage"] {
+        let path = out.join(format!("job0.{name}.json"));
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        assert!(json.contains(&format!("\"analysis\":\"{name}\"")), "{json}");
+    }
+    // Every job gets a summary file — including job 1, which has no
+    // analyses and would otherwise leave no record of its results.
+    let summary = std::fs::read_to_string(out.join("job0.json")).expect("job0 summary");
+    assert!(summary.contains("\"analyses\":[\"instruction_coverage\",\"branch_coverage\"]"));
+    let summary = std::fs::read_to_string(out.join("job1.json")).expect("job1 summary");
+    assert!(summary.contains("\"results\":[\"I32(6)\"]"), "{summary}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_mode_rejects_bad_manifests_and_flag_combinations() {
+    let dir = temp_dir("batch-errors");
+    let input = write_branchy_fixture(&dir);
+
+    // --batch is exclusive with the single-run modes.
+    let output = cli()
+        .arg(&input)
+        .arg("--batch")
+        .arg("whatever.json")
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--batch"));
+
+    // --workers without --batch.
+    let output = cli()
+        .arg(&input)
+        .arg("--workers=2")
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--workers requires --batch"));
+
+    // Malformed JSON.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"jobs\": [").unwrap();
+    let output = cli().arg("--batch").arg(&bad).output().expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot parse"));
+
+    // Unknown analysis is rejected while building the batch.
+    let unknown = dir.join("unknown.json");
+    std::fs::write(
+        &unknown,
+        r#"{"jobs": [{"module": "branchy.wasm", "analyses": ["frobnicate"], "args": [1]}]}"#,
+    )
+    .unwrap();
+    let output = cli()
+        .arg("--batch")
+        .arg(&unknown)
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown analysis"));
+
+    // Wrong arity against the export signature.
+    let arity = dir.join("arity.json");
+    std::fs::write(
+        &arity,
+        r#"{"jobs": [{"module": "branchy.wasm", "analyses": ["instruction_mix"]}]}"#,
+    )
+    .unwrap();
+    let output = cli().arg("--batch").arg(&arity).output().expect("CLI runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("argument"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn time_flag_prints_phase_breakdown_in_both_modes() {
     let dir = temp_dir("time-flag");
     let input = write_branchy_fixture(&dir);

@@ -1,7 +1,7 @@
-//! # wasabi-bench — harness regenerating the paper's evaluation
+//! # wasabi-bench — harness regenerating and extending the paper's evaluation
 //!
-//! One binary per table/figure (see DESIGN.md §4 for the experiment
-//! index):
+//! Two families of binaries. First, one per paper table/figure (see
+//! DESIGN.md §4 for the experiment index):
 //!
 //! | target | paper artifact |
 //! |---|---|
@@ -10,12 +10,29 @@
 //! | `fig8` | Figure 8 (binary size increase per hook) |
 //! | `fig9` | Figure 9 (runtime overhead per hook) |
 //! | `monomorphization` | §4.5 (on-demand hook counts vs. eager blow-up) |
+//! | `ablation` | per-mechanism cost breakdown |
+//!
+//! Second, regression baselines for this reproduction's own extensions,
+//! each writing a committed `BENCH_*.json` that `ci.sh` gates on:
+//!
+//! | target | extension measured | artifact |
+//! |---|---|---|
+//! | `pipeline` | fused multi-analysis pipeline vs. N sequential sessions | `BENCH_pipeline.json` |
+//! | `interp` | flat pre-translated IR vs. the structured walk | `BENCH_interp.json` |
+//! | `overhead` | host-call intrinsics vs. the generic call path (Fig. 9 revisited) | `BENCH_overhead.json` |
+//! | `fleet` | batch engine: shared translated-module cache + work-stealing workers, cold vs. warm, 1 worker vs. all cores | `BENCH_fleet.json` |
+//!
+//! Every extension binary accepts `--smoke` (a seconds-scale workload for
+//! CI) and `--out <path>`; run them in release mode, e.g.
+//! `cargo run --release -p wasabi-bench --bin fleet`.
 //!
 //! Criterion benches (`cargo bench`) cover the timing-sensitive parts:
 //! `instrumentation_time`, `runtime_overhead`, `vm_baseline`.
 //!
-//! Run the binaries in release mode: `cargo run --release -p wasabi-bench
-//! --bin fig8`.
+//! The library part of this crate holds what the binaries share: the
+//! [`FIGURE_HOOK_GROUPS`] x-axis of Figures 8/9, workload construction
+//! ([`subjects`]), and the measurement helpers
+//! ([`run_original`], [`run_instrumented`], [`instrumentation_stats`], …).
 
 use std::time::{Duration, Instant};
 

@@ -26,19 +26,51 @@
 //!
 //! Reports go to stdout (one JSON object per line), or to
 //! `<dir>/<analysis>.json` each when `--out` is given.
+//!
+//! **Batch mode** (`--batch`): run many (module × analysis-set × input)
+//! jobs from a JSON manifest over the work-stealing [`wasabi::fleet`],
+//! sharing one translated-module cache — each distinct
+//! (module, hook set) is validated, instrumented, and translated exactly
+//! once, no matter how many jobs use it:
+//!
+//! ```text
+//! wasabi --batch <manifest.json> [--workers=<n>] [--out=<dir>] [--time]
+//! ```
+//!
+//! Manifest shape (`module` paths are resolved relative to the manifest;
+//! `analyses`, `invoke`, `args` are optional):
+//!
+//! ```json
+//! {
+//!   "jobs": [
+//!     {"module": "kernels/gemm.wasm", "analyses": ["instruction_mix"],
+//!      "invoke": "main", "args": [8]},
+//!     {"module": "kernels/gemm.wasm", "analyses": ["call_graph"]}
+//!   ]
+//! }
+//! ```
+//!
+//! One result JSON object per job goes to stdout (or, with `--out`, a
+//! `<dir>/job<N>.json` summary plus one `<dir>/job<N>.<analysis>.json`
+//! per report); a throughput + cache summary goes to stderr.
 
-use std::path::PathBuf;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
+use wasabi::fleet::Job;
 use wasabi::hooks::{Analysis, Hook, HookSet};
-use wasabi::{stats, Instrumenter, Wasabi};
+use wasabi::report::JsonValue;
+use wasabi::{json, stats, Instrumenter, Wasabi};
 use wasabi_analyses::registry;
 use wasabi_wasm::instr::Val;
+use wasabi_wasm::module::Module;
 use wasabi_wasm::types::ValType;
 
 struct Args {
-    input: PathBuf,
+    input: Option<PathBuf>,
     output_dir: Option<PathBuf>,
     hooks: HookSet,
     threads: Option<usize>,
@@ -50,12 +82,17 @@ struct Args {
     report_dir: Option<PathBuf>,
     /// Print a per-phase wall-time breakdown.
     time: bool,
+    /// Manifest path for batch mode.
+    batch: Option<PathBuf>,
+    /// Fleet worker threads for batch mode.
+    workers: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>] [--wat]\n\
      \x20      wasabi <input.wasm> --analysis=<a1,a2,...> [--invoke=<export>]\n\
      \x20             [--args=<v1,v2,...>] [--out=<dir>] [--threads=<n>]\n\
+     \x20      wasabi --batch <manifest.json> [--workers=<n>] [--out=<dir>] [--time]\n\
      hooks: start nop unreachable if br br_if br_table begin end memory_size\n\
      memory_grow const drop select unary binary load store local global\n\
      return call_pre call_post (default: all)\n\
@@ -69,7 +106,15 @@ fn usage() -> &'static str {
      comma-separated numeric arguments, parsed against its signature\n\
      --wat additionally writes a human-readable dump of the instrumented module\n\
      --time prints a phase breakdown (instrument/translate/execute ms in\n\
-     analysis mode; decode/instrument/encode ms in instrument mode)"
+     analysis mode; decode/instrument/encode ms in instrument mode; summed\n\
+     per-job phases in batch mode)\n\
+     --batch runs the manifest's jobs over a work-stealing worker fleet\n\
+     with a shared translated-module cache; each job is\n\
+     {\"module\": <path>, \"analyses\": [...], \"invoke\": <export>, \"args\": [...]}\n\
+     (module paths resolve relative to the manifest; analyses/invoke/args\n\
+     are optional). Results go to stdout as one JSON object per job, or to\n\
+     <dir>/job<N>.json (summary) + <dir>/job<N>.<analysis>.json with --out;\n\
+     --workers sets the fleet size (default: all cores)"
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -84,6 +129,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut invoke_args = Vec::new();
     let mut report_dir = None;
     let mut time = false;
+    let mut batch = None;
+    let mut workers = None;
 
     let mut raw = raw.peekable();
     while let Some(arg) = raw.next() {
@@ -146,6 +193,14 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 n.parse::<usize>()
                     .map_err(|_| format!("invalid thread count {n:?}"))?,
             );
+        } else if let Some(path) = take_value(&arg, "--batch") {
+            batch = Some(PathBuf::from(path?));
+        } else if let Some(n) = take_value(&arg, "--workers") {
+            let n = n?;
+            workers = Some(
+                n.parse::<usize>()
+                    .map_err(|_| format!("invalid worker count {n:?}"))?,
+            );
         } else if arg == "--help" || arg == "-h" {
             return Err(usage().to_string());
         } else if arg.starts_with("--") {
@@ -159,7 +214,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
 
-    // The two modes take disjoint options; reject silently-ignored
+    // The modes take disjoint options; reject silently-ignored
     // combinations instead of letting e.g. `--hooks` be overridden by the
     // analyses' union hook set.
     if !analyses.is_empty() && (hooks_given || emit_wat || output_dir.is_some()) {
@@ -169,9 +224,29 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             usage()
         ));
     }
+    if batch.is_some()
+        && (input.is_some()
+            || !analyses.is_empty()
+            || hooks_given
+            || emit_wat
+            || output_dir.is_some()
+            || threads.is_some())
+    {
+        return Err(format!(
+            "--batch takes everything from the manifest; it only combines \
+             with --workers, --out, and --time\n{}",
+            usage()
+        ));
+    }
+    if workers.is_some() && batch.is_none() {
+        return Err(format!("--workers requires --batch\n{}", usage()));
+    }
 
+    if batch.is_none() && input.is_none() {
+        return Err(usage().to_string());
+    }
     Ok(Args {
-        input: input.ok_or_else(|| usage().to_string())?,
+        input,
         output_dir,
         hooks,
         threads,
@@ -181,6 +256,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         invoke_args,
         report_dir,
         time,
+        batch,
+        workers,
     })
 }
 
@@ -214,10 +291,244 @@ fn parse_invoke_args(raw: &[String], params: &[ValType]) -> Result<Vec<Val>, Str
         .collect()
 }
 
+/// Convert one manifest `args` entry to a [`Val`] of the export's
+/// parameter type.
+fn manifest_arg_to_val(value: &JsonValue, ty: ValType) -> Result<Val, String> {
+    // Accept numbers directly and strings re-parsed like the CLI's
+    // comma-separated `--args`.
+    if let Some(text) = value.as_str() {
+        let parsed = match ty {
+            ValType::I32 => text.parse().map(Val::I32).ok(),
+            ValType::I64 => text.parse().map(Val::I64).ok(),
+            ValType::F32 => text.parse().map(Val::F32).ok(),
+            ValType::F64 => text.parse().map(Val::F64).ok(),
+        };
+        return parsed.ok_or_else(|| format!("invalid {ty} argument {text:?}"));
+    }
+    let number = value
+        .as_f64()
+        .ok_or_else(|| format!("argument {value} is not a number or string"))?;
+    Ok(match ty {
+        ValType::I32 => Val::I32(
+            value
+                .as_i64()
+                .and_then(|v| i32::try_from(v).ok())
+                .ok_or_else(|| format!("argument {value} does not fit i32"))?,
+        ),
+        ValType::I64 => Val::I64(
+            value
+                .as_i64()
+                .ok_or_else(|| format!("argument {value} does not fit i64"))?,
+        ),
+        ValType::F32 => Val::F32(number as f32),
+        ValType::F64 => Val::F64(number),
+    })
+}
+
+/// The parameter types of the export `invoke` of `module`.
+fn export_params(module: &Module, invoke: &str) -> Result<Vec<ValType>, String> {
+    module
+        .functions
+        .iter()
+        .find(|f| f.export.iter().any(|e| e == invoke))
+        .map(|f| f.type_.params.clone())
+        .ok_or_else(|| format!("no exported function {invoke:?}"))
+}
+
+/// Batch mode: run the manifest's jobs over the work-stealing fleet with
+/// a shared translated-module cache.
+fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    let manifest =
+        json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", manifest_path.display()))?;
+    let jobs_json = manifest
+        .get("jobs")
+        .and_then(|jobs| jobs.as_array())
+        .ok_or_else(|| "manifest must be an object with a \"jobs\" array".to_string())?;
+    let base_dir = manifest_path.parent().unwrap_or_else(|| Path::new("."));
+
+    // Decode each distinct module file once; all jobs on it share the Arc
+    // (and, downstream, one cache entry per hook set).
+    let mut modules: HashMap<String, Arc<Module>> = HashMap::new();
+    let mut fleet = registry::fleet();
+    if let Some(workers) = args.workers {
+        fleet = fleet.workers(workers);
+    }
+    let mut fleet = fleet.build();
+    for (index, job) in jobs_json.iter().enumerate() {
+        let bad = |what: &str| format!("job {index}: {what}");
+        let key = job
+            .get("module")
+            .and_then(|m| m.as_str())
+            .ok_or_else(|| bad("missing \"module\""))?
+            .to_string();
+        let module = match modules.get(&key) {
+            Some(module) => Arc::clone(module),
+            None => {
+                let module = Arc::new(decode_input(&base_dir.join(&key))?);
+                modules.insert(key.clone(), Arc::clone(&module));
+                module
+            }
+        };
+        let mut analyses = Vec::new();
+        if let Some(list) = job.get("analyses") {
+            for name in list
+                .as_array()
+                .ok_or_else(|| bad("\"analyses\" must be an array"))?
+            {
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| bad("analysis names must be strings"))?;
+                if !registry::NAMES.contains(&name) {
+                    return Err(bad(&format!(
+                        "unknown analysis {name:?} (known: {})",
+                        registry::NAMES.join(", ")
+                    )));
+                }
+                analyses.push(name.to_string());
+            }
+        }
+        let invoke = job
+            .get("invoke")
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad("\"invoke\" must be a string"))
+            })
+            .transpose()?
+            .unwrap_or_else(|| "main".to_string());
+        let params = export_params(&module, &invoke).map_err(|e| bad(&e))?;
+        let raw_args = job
+            .get("args")
+            .map(|v| v.as_array().ok_or_else(|| bad("\"args\" must be an array")))
+            .transpose()?
+            .unwrap_or(&[]);
+        if raw_args.len() != params.len() {
+            return Err(bad(&format!(
+                "export {invoke:?} takes {} argument(s), {} given",
+                params.len(),
+                raw_args.len()
+            )));
+        }
+        let vals = raw_args
+            .iter()
+            .zip(&params)
+            .map(|(raw, ty)| manifest_arg_to_val(raw, *ty))
+            .collect::<Result<Vec<Val>, String>>()
+            .map_err(|e| bad(&e))?;
+        fleet.submit(Job::new(key, module, invoke, vals).analyses(analyses));
+    }
+
+    let job_count = fleet.len();
+    eprintln!(
+        "batch: {job_count} job(s) over {} distinct module(s), {} worker(s)",
+        modules.len(),
+        fleet.workers(),
+    );
+    let batch = fleet.run();
+
+    if let Some(dir) = &args.report_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let mut failures = 0usize;
+    for outcome in &batch.jobs {
+        match &outcome.result {
+            Ok(results) => {
+                let results =
+                    JsonValue::array(results.iter().map(|v| JsonValue::Str(format!("{v:?}"))));
+                if let Some(dir) = &args.report_dir {
+                    // Every job leaves a record, even one with no
+                    // analyses: a summary with the invocation results,
+                    // plus one file per analysis report.
+                    let summary = JsonValue::object([
+                        ("job", JsonValue::from(outcome.job)),
+                        ("module", JsonValue::Str(outcome.key.clone())),
+                        ("invoke", JsonValue::Str(outcome.invoke.clone())),
+                        ("results", results),
+                        (
+                            "analyses",
+                            JsonValue::array(
+                                outcome
+                                    .reports
+                                    .iter()
+                                    .map(|r| JsonValue::Str(r.analysis.clone())),
+                            ),
+                        ),
+                    ]);
+                    let path = dir.join(format!("job{}.json", outcome.job));
+                    std::fs::write(&path, summary.to_string())
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    for report in &outcome.reports {
+                        let path = dir.join(format!("job{}.{}.json", outcome.job, report.analysis));
+                        std::fs::write(&path, report.to_json())
+                            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    }
+                } else {
+                    let line = JsonValue::object([
+                        ("job", JsonValue::from(outcome.job)),
+                        ("module", JsonValue::Str(outcome.key.clone())),
+                        ("invoke", JsonValue::Str(outcome.invoke.clone())),
+                        ("results", results),
+                        (
+                            "reports",
+                            JsonValue::array(outcome.reports.iter().map(|r| {
+                                JsonValue::object([
+                                    ("analysis", JsonValue::Str(r.analysis.clone())),
+                                    ("data", r.data.clone()),
+                                ])
+                            })),
+                        ),
+                    ]);
+                    println!("{line}");
+                }
+            }
+            Err(error) => {
+                failures += 1;
+                eprintln!("job {} ({}): FAILED: {error}", outcome.job, outcome.key);
+            }
+        }
+    }
+
+    if args.time {
+        let sum = |f: fn(&wasabi::fleet::JobStats) -> std::time::Duration| {
+            batch
+                .jobs
+                .iter()
+                .map(|j| f(&j.stats))
+                .sum::<std::time::Duration>()
+                .as_secs_f64()
+                * 1000.0
+        };
+        eprintln!(
+            "--time: per-job sums: instrument {:.1} ms, translate {:.1} ms, execute {:.1} ms",
+            sum(|s| s.instrument),
+            sum(|s| s.translate),
+            sum(|s| s.execute),
+        );
+    }
+    eprintln!(
+        "batch done: {} job(s) in {:.1} ms = {:.1} jobs/sec ({} cache hit(s), \
+         {} miss(es), {} failure(s))",
+        batch.jobs.len(),
+        batch.wall.as_secs_f64() * 1000.0,
+        batch.jobs_per_sec(),
+        batch.cache_hits,
+        batch.cache_misses,
+        failures,
+    );
+    if failures > 0 {
+        return Err(format!("{failures} job(s) failed"));
+    }
+    Ok(())
+}
+
 /// Analysis mode: one fused instrumentation + execution pass, one JSON
 /// report per analysis.
 fn run_analyses(args: &Args) -> Result<(), String> {
-    let module = decode_input(&args.input)?;
+    let input = args.input.as_ref().expect("checked in run()");
+    let module = decode_input(input)?;
 
     let mut analyses: Vec<Box<dyn Analysis>> = args
         .analyses
@@ -296,11 +607,12 @@ fn run_analyses(args: &Args) -> Result<(), String> {
 
 /// Instrument mode: write the instrumented binary + info JSON.
 fn run_instrument(args: &Args) -> Result<(), String> {
+    let input = args.input.as_ref().expect("checked in run()");
     let decode_start = Instant::now();
-    let bytes = std::fs::read(&args.input)
-        .map_err(|e| format!("cannot read {}: {e}", args.input.display()))?;
+    let bytes =
+        std::fs::read(input).map_err(|e| format!("cannot read {}: {e}", input.display()))?;
     let module = wasabi_wasm::decode::decode(&bytes)
-        .map_err(|e| format!("cannot decode {}: {e}", args.input.display()))?;
+        .map_err(|e| format!("cannot decode {}: {e}", input.display()))?;
     let decode_ms = decode_start.elapsed().as_secs_f64() * 1000.0;
 
     let mut instrumenter = Instrumenter::new(args.hooks);
@@ -330,10 +642,9 @@ fn run_instrument(args: &Args) -> Result<(), String> {
         .unwrap_or_else(|| PathBuf::from("out"));
     std::fs::create_dir_all(&output_dir)
         .map_err(|e| format!("cannot create {}: {e}", output_dir.display()))?;
-    let stem = args
-        .input
+    let stem = input
         .file_stem()
-        .unwrap_or_else(|| args.input.as_os_str())
+        .unwrap_or_else(|| input.as_os_str())
         .to_string_lossy()
         .to_string();
     let wasm_path = output_dir.join(format!("{stem}.wasm"));
@@ -344,7 +655,7 @@ fn run_instrument(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("cannot write {}: {e}", info_path.display()))?;
     println!(
         "instrumented {} for {} hook(s) in {:.1} ms",
-        args.input.display(),
+        input.display(),
         args.hooks.len(),
         elapsed.as_secs_f64() * 1000.0
     );
@@ -367,7 +678,9 @@ fn run_instrument(args: &Args) -> Result<(), String> {
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    if args.analyses.is_empty() {
+    if let Some(manifest) = &args.batch {
+        run_batch(args, manifest)
+    } else if args.analyses.is_empty() {
         run_instrument(args)
     } else {
         run_analyses(args)

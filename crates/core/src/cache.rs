@@ -1,0 +1,321 @@
+//! Process-wide cache of instrumented, translated modules.
+//!
+//! Validating, instrumenting, and flat-IR-translating a module is the
+//! expensive, *input-independent* part of an analysis job; executing it is
+//! the part that differs per job. A [`ModuleCache`] keys fully prepared
+//! [`AnalysisSession`]s by `(module key, hook set)` so that repeated jobs
+//! on the same binary — a batch manifest running one module under many
+//! inputs, a [`crate::fleet::Fleet`] sweeping analysis sets across a
+//! corpus — validate + instrument + translate **exactly once
+//! process-wide**, no matter how many threads race on the first request.
+//!
+//! The cached value is an `Arc<AnalysisSession>`: two `Arc`s over
+//! immutable data (`wasabi_vm::TranslatedModule` guarantees `Send + Sync`
+//! at compile time), so a hit is a reference-count bump and every worker
+//! thread instantiates its own per-run mutable state from the shared
+//! translation.
+//!
+//! The key is caller-chosen (a file path, a workload name, a content
+//! hash): the cache trusts that equal keys mean equal modules. The hook
+//! set is part of the key because instrumentation output depends on it —
+//! the same binary under `{call_pre}` and under all hooks are different
+//! instrumented modules.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wasabi::cache::ModuleCache;
+//! use wasabi::hooks::HookSet;
+//! use wasabi_wasm::builder::ModuleBuilder;
+//! use wasabi_wasm::ValType;
+//!
+//! let mut builder = ModuleBuilder::new();
+//! builder.function("main", &[], &[ValType::I32], |f| {
+//!     f.i32_const(42);
+//! });
+//! let module = builder.finish();
+//!
+//! let cache = ModuleCache::new();
+//! let first = cache.session_for("answer.wasm", HookSet::all(), &module)?;
+//! let second = cache.session_for("answer.wasm", HookSet::all(), &module)?;
+//! assert!(!first.hit && second.hit);
+//! // Both lookups share ONE instrumented translation.
+//! assert!(Arc::ptr_eq(&first.session, &second.session));
+//! assert_eq!((cache.misses(), cache.hits()), (1, 1));
+//!
+//! // A different hook set is a different instrumented module.
+//! let other = cache.session_for("answer.wasm", HookSet::empty(), &module)?;
+//! assert!(!other.hit);
+//! assert_eq!(cache.len(), 2);
+//! # Ok::<(), wasabi_wasm::ValidationError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use wasabi_wasm::module::Module;
+use wasabi_wasm::ValidationError;
+
+use crate::hooks::HookSet;
+use crate::instrument::Instrumenter;
+use crate::runtime::AnalysisSession;
+use crate::stats;
+
+/// What a cache entry is keyed by: the caller's module identity plus the
+/// hook set the module is instrumented for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    module: String,
+    hooks: HookSet,
+}
+
+/// Per-key build slot. The slot mutex serializes *same-key* builders (the
+/// first builds, the rest wait and hit), while distinct keys instrument
+/// and translate concurrently. Build costs are returned to the one caller
+/// that paid them ([`CachedSession`]), not stored: hits are free.
+#[derive(Default)]
+struct Slot {
+    built: Mutex<Option<Arc<AnalysisSession>>>,
+}
+
+/// The result of a [`ModuleCache::session_for`] lookup.
+#[derive(Clone)]
+pub struct CachedSession {
+    /// The shared instrumented + translated session.
+    pub session: Arc<AnalysisSession>,
+    /// `true` if the entry already existed (this lookup paid nothing).
+    pub hit: bool,
+    /// Instrumentation wall time paid *by this lookup* (zero on a hit).
+    pub instrument: Duration,
+    /// Validation + flat-IR translation wall time paid *by this lookup*
+    /// (zero on a hit).
+    pub translate: Duration,
+}
+
+impl std::fmt::Debug for CachedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedSession")
+            .field("hit", &self.hit)
+            .field("instrument", &self.instrument)
+            .field("translate", &self.translate)
+            .finish()
+    }
+}
+
+/// Keyed cache of instrumented, translated modules — see the
+/// [module docs](crate::cache) for the contract and an example.
+#[derive(Default)]
+pub struct ModuleCache {
+    entries: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModuleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ModuleCache::default()
+    }
+
+    /// An empty cache behind an `Arc`, ready to share across a
+    /// [`crate::fleet::Fleet`] and its submitters.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(ModuleCache::new())
+    }
+
+    /// The session for `(key, hooks)`, building it from `module` exactly
+    /// once per distinct key.
+    ///
+    /// Concurrent lookups of the **same** key block until the first
+    /// completes, then hit; lookups of distinct keys build concurrently.
+    /// `module` is only read on a miss; the caller guarantees that equal
+    /// keys always name equal modules.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not validate. Errors are not cached — a
+    /// later lookup of the same key retries the build.
+    pub fn session_for(
+        &self,
+        key: &str,
+        hooks: HookSet,
+        module: &Module,
+    ) -> Result<CachedSession, ValidationError> {
+        let slot = {
+            let mut entries = self.entries.lock().unwrap();
+            Arc::clone(
+                entries
+                    .entry(CacheKey {
+                        module: key.to_string(),
+                        hooks,
+                    })
+                    .or_default(),
+            )
+        };
+
+        let mut built = slot.built.lock().unwrap();
+        if let Some(session) = &*built {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            stats::record_cache_hit();
+            return Ok(CachedSession {
+                session: Arc::clone(session),
+                hit: true,
+                instrument: Duration::ZERO,
+                translate: Duration::ZERO,
+            });
+        }
+
+        // Miss: build while holding the slot lock, so same-key racers wait
+        // for this one build instead of duplicating it.
+        let start = Instant::now();
+        let (instrumented, info) = Instrumenter::new(hooks).run(module)?;
+        let instrument = start.elapsed();
+        let start = Instant::now();
+        let session = Arc::new(AnalysisSession::from_parts(instrumented, info)?);
+        let translate = start.elapsed();
+
+        *built = Some(Arc::clone(&session));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        stats::record_cache_miss();
+        Ok(CachedSession {
+            session,
+            hit: false,
+            instrument,
+            translate,
+        })
+    }
+
+    /// Number of lookups that found an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that built a new entry — equivalently, how many
+    /// instrument + translate passes this cache has performed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(module key, hook set)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// `true` if no entry has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+
+    /// Drop all entries (counters are kept). Subsequent lookups rebuild.
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+}
+
+impl std::fmt::Debug for ModuleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::ValType;
+
+    fn module(answer: i32) -> Module {
+        let mut builder = ModuleBuilder::new();
+        builder.function("main", &[], &[ValType::I32], |f| {
+            f.i32_const(answer);
+        });
+        builder.finish()
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_entries() {
+        let cache = ModuleCache::new();
+        let a = cache
+            .session_for("a", HookSet::all(), &module(1))
+            .expect("builds");
+        let b = cache
+            .session_for("b", HookSet::all(), &module(2))
+            .expect("builds");
+        assert!(!a.hit && !b.hit);
+        assert!(!Arc::ptr_eq(&a.session, &b.session));
+        assert_eq!(cache.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn miss_reports_build_phase_times_and_hit_reports_zero() {
+        let cache = ModuleCache::new();
+        let miss = cache
+            .session_for("m", HookSet::all(), &module(7))
+            .expect("builds");
+        assert!(miss.instrument > Duration::ZERO);
+        assert!(miss.translate > Duration::ZERO);
+        let hit = cache
+            .session_for("m", HookSet::all(), &module(7))
+            .expect("hits");
+        assert!(hit.hit);
+        assert_eq!(hit.instrument, Duration::ZERO);
+        assert_eq!(hit.translate, Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_build_exactly_once() {
+        let cache = ModuleCache::new();
+        let module = module(3);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache
+                        .session_for("shared", HookSet::all(), &module)
+                        .expect("builds or hits")
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1, "one translation per distinct module");
+        assert_eq!(cache.hits(), 7);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn validation_errors_are_not_cached() {
+        // A function body leaving the wrong type on the stack fails
+        // validation.
+        let mut builder = ModuleBuilder::new();
+        builder.function("main", &[], &[ValType::I32], |f| {
+            f.i64_const(1);
+        });
+        let bad = builder.finish();
+        let cache = ModuleCache::new();
+        assert!(cache.session_for("bad", HookSet::all(), &bad).is_err());
+        assert_eq!(cache.misses(), 0);
+        // The same key can later be built from a fixed module.
+        let good = module(1);
+        assert!(cache.session_for("bad", HookSet::all(), &good).is_ok());
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = ModuleCache::new();
+        let m = module(5);
+        cache.session_for("k", HookSet::all(), &m).expect("builds");
+        cache.clear();
+        assert!(cache.is_empty());
+        cache
+            .session_for("k", HookSet::all(), &m)
+            .expect("rebuilds");
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -1,0 +1,842 @@
+//! Concurrent batch-analysis engine: run many (module × analysis-set ×
+//! input) jobs over a work-stealing fleet of worker threads.
+//!
+//! The paper parallelizes *instrumentation* (§3, Table 5); this module
+//! parallelizes *instrumented execution*. Three pieces make that cheap and
+//! deterministic:
+//!
+//! - **Shared translations** — `wasabi_vm::TranslatedModule` is immutable
+//!   and `Send + Sync` (asserted at compile time in the VM crate), so a
+//!   [`crate::cache::ModuleCache`] hands every worker the same validated,
+//!   instrumented, flat-IR-translated session; each job only instantiates
+//!   per-run mutable state.
+//! - **Registry-driven analyses** — a [`Job`] names its analyses; the
+//!   fleet's [`AnalysisFactory`] (e.g. `wasabi_analyses::registry::by_name`)
+//!   constructs **fresh instances inside the worker thread**, so analysis
+//!   state never crosses threads and per-job reports are exactly what a
+//!   sequential [`crate::pipeline::Pipeline`] run would produce.
+//! - **Work stealing** — jobs are dealt round-robin onto per-worker FIFO
+//!   deques (`crossbeam::deque`); an idle worker steals from the back of a
+//!   busy neighbour's queue, so skewed job costs don't serialize the batch.
+//!
+//! Results come back in **submission order** regardless of which worker
+//! ran what, with per-job [`JobStats`]: cache hit/miss, queue latency, and
+//! instrument / translate / execute phase times measured *per job* on the
+//! worker's own clock (the process-global [`crate::stats`] phase timers
+//! aggregate across threads and cannot attribute time to a job — see the
+//! caveat there).
+//!
+//! # Examples
+//!
+//! ```
+//! use wasabi::fleet::{Fleet, Job};
+//! use wasabi_wasm::builder::ModuleBuilder;
+//! use wasabi_wasm::{Val, ValType};
+//!
+//! let mut builder = ModuleBuilder::new();
+//! builder.function("main", &[ValType::I32], &[ValType::I32], |f| {
+//!     f.get_local(0u32).get_local(0u32).i32_mul();
+//! });
+//! let module = builder.finish();
+//!
+//! // Three inputs through one shared module: translate once, execute
+//! // three times. (No analyses here, so no factory is needed; see
+//! // `wasabi_analyses::registry::fleet()` for a registry-wired builder.)
+//! let mut fleet = Fleet::builder().workers(2).build();
+//! for i in 1..=3 {
+//!     fleet.submit(Job::new("square.wasm", module.clone(), "main", vec![Val::I32(i)]));
+//! }
+//! let batch = fleet.run();
+//! let results: Vec<_> = batch
+//!     .jobs
+//!     .iter()
+//!     .map(|job| job.result.as_ref().unwrap()[0])
+//!     .collect();
+//! assert_eq!(results, vec![Val::I32(1), Val::I32(4), Val::I32(9)]);
+//! assert_eq!(batch.cache_misses, 1, "one translation for all three jobs");
+//! assert_eq!(batch.cache_hits, 2);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+use wasabi_wasm::instr::Val;
+use wasabi_wasm::module::Module;
+use wasabi_wasm::ValidationError;
+
+use crate::cache::ModuleCache;
+use crate::hooks::{Analysis, HookSet};
+use crate::pipeline::Wasabi;
+use crate::report::Report;
+use crate::runtime::AnalysisError;
+use crate::stats;
+
+/// Constructs a fresh analysis instance from its registry name, **inside
+/// the worker thread** that will run it. `wasabi_analyses::registry::by_name`
+/// has exactly this signature; `None` means the name is unknown.
+pub type AnalysisFactory = fn(&str) -> Option<Box<dyn Analysis>>;
+
+/// One unit of batch work: a module, the analyses to run over it, and the
+/// export + arguments to invoke.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Cache key identifying the module (a path, workload name, or content
+    /// hash). Equal keys **must** name equal modules — the
+    /// [`ModuleCache`] trusts this.
+    pub key: String,
+    /// The (uninstrumented) module. Shared, not cloned, across jobs.
+    pub module: Arc<Module>,
+    /// Registry names of the analyses to run fused over this job
+    /// (may be empty: the job then runs uninstrumented).
+    pub analyses: Vec<String>,
+    /// The export to invoke.
+    pub invoke: String,
+    /// Arguments for the invoked export.
+    pub args: Vec<Val>,
+}
+
+impl Job {
+    /// A job with no analyses; add them with [`Job::analyses`].
+    pub fn new(
+        key: impl Into<String>,
+        module: impl Into<Arc<Module>>,
+        invoke: impl Into<String>,
+        args: Vec<Val>,
+    ) -> Self {
+        Job {
+            key: key.into(),
+            module: module.into(),
+            analyses: Vec::new(),
+            invoke: invoke.into(),
+            args,
+        }
+    }
+
+    /// Set the analyses to run (builder-style).
+    pub fn analyses(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.analyses = names.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// Why a job failed. Failures are per-job: one bad job does not abort the
+/// batch.
+#[derive(Debug)]
+pub enum JobError {
+    /// An analysis name the fleet's factory does not know (or no factory
+    /// was configured while the job names analyses).
+    UnknownAnalysis(String),
+    /// The job's module failed validation during instrumentation.
+    Invalid(ValidationError),
+    /// Instantiation or execution failed.
+    Run(AnalysisError),
+    /// An analysis (or the job's execution) panicked; the payload's
+    /// message. The panic is contained to this job — the rest of the
+    /// batch completes normally.
+    Panicked(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::UnknownAnalysis(name) => write!(f, "unknown analysis {name:?}"),
+            JobError::Invalid(e) => write!(f, "invalid module: {e}"),
+            JobError::Run(e) => write!(f, "{e}"),
+            JobError::Panicked(message) => write!(f, "job panicked: {message}"),
+        }
+    }
+}
+
+impl Error for JobError {}
+
+/// Per-job accounting, measured on the executing worker's own clock.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// Whether the module cache already held this job's `(key, hook set)`
+    /// entry.
+    pub cache_hit: bool,
+    /// Time from batch start to this job being dequeued by a worker.
+    pub queue: Duration,
+    /// Instrumentation time this job paid (zero on a cache hit).
+    pub instrument: Duration,
+    /// Validation + flat-IR translation time this job paid (zero on a
+    /// cache hit).
+    pub translate: Duration,
+    /// Instantiate + invoke time.
+    pub execute: Duration,
+    /// Index of the worker that executed the job.
+    pub worker: usize,
+    /// `true` if the job was stolen: executed by a different worker than
+    /// the one it was dealt to.
+    pub stolen: bool,
+}
+
+/// The outcome of one [`Job`], in the [`BatchResult`]'s submission-ordered
+/// list.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Submission index (equals this outcome's position in
+    /// [`BatchResult::jobs`]).
+    pub job: usize,
+    /// The job's module cache key.
+    pub key: String,
+    /// The invoked export.
+    pub invoke: String,
+    /// The invocation's results, or why the job failed.
+    pub result: Result<Vec<Val>, JobError>,
+    /// One report per analysis, in the job's analysis order — identical to
+    /// what a sequential [`crate::pipeline::Pipeline`] run would report.
+    pub reports: Vec<Report>,
+    /// Per-job phase times and scheduling facts.
+    pub stats: JobStats,
+}
+
+/// Everything a [`Fleet::run`] batch produced.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// One outcome per submitted job, **in submission order** (worker
+    /// scheduling never reorders results).
+    pub jobs: Vec<JobOutcome>,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Jobs whose `(key, hook set)` entry was already cached.
+    pub cache_hits: u64,
+    /// Jobs that built (instrumented + translated) a cache entry. Jobs
+    /// that failed before or without a completed cache lookup (unknown
+    /// analysis, validation failure, panic) count as neither hit nor
+    /// miss.
+    pub cache_misses: u64,
+}
+
+impl BatchResult {
+    /// Batch throughput: completed jobs per second of wall time.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.jobs.is_empty() || self.wall.is_zero() {
+            return 0.0;
+        }
+        self.jobs.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// `true` if every job succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.jobs.iter().all(|j| j.result.is_ok())
+    }
+}
+
+/// Builder for a [`Fleet`] — see the [module docs](crate::fleet) for an
+/// end-to-end example.
+#[derive(Default)]
+pub struct FleetBuilder {
+    workers: Option<usize>,
+    cache: Option<Arc<ModuleCache>>,
+    factory: Option<AnalysisFactory>,
+    jobs: Vec<Job>,
+}
+
+impl FleetBuilder {
+    /// Use `workers` threads (clamped to at least 1). Defaults to the
+    /// machine's available parallelism.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Share `cache` with other fleets and submitters. Defaults to a
+    /// fresh private cache.
+    pub fn cache(mut self, cache: Arc<ModuleCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// How workers construct analyses from the names a [`Job`] carries
+    /// (e.g. `wasabi_analyses::registry::by_name`). Without a factory,
+    /// only jobs with an empty analysis list can run.
+    pub fn factory(mut self, factory: AnalysisFactory) -> Self {
+        self.factory = Some(factory);
+        self
+    }
+
+    /// Queue a job before building (builder-style; equivalent to
+    /// [`Fleet::submit`] after [`FleetBuilder::build`]).
+    pub fn submit(mut self, job: Job) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Finish configuration.
+    pub fn build(self) -> Fleet {
+        Fleet {
+            workers: self.workers.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            }),
+            cache: self.cache.unwrap_or_else(ModuleCache::shared),
+            factory: self.factory,
+            pending: self.jobs,
+        }
+    }
+}
+
+impl fmt::Debug for FleetBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetBuilder")
+            .field("workers", &self.workers)
+            .field("jobs", &self.jobs.len())
+            .field("has_factory", &self.factory.is_some())
+            .finish()
+    }
+}
+
+/// A work-stealing batch executor over a shared [`ModuleCache`]. Build
+/// with [`Fleet::builder`], queue with [`Fleet::submit`], execute with
+/// [`Fleet::run`].
+pub struct Fleet {
+    workers: usize,
+    cache: Arc<ModuleCache>,
+    factory: Option<AnalysisFactory>,
+    pending: Vec<Job>,
+}
+
+/// A job dealt to a worker's deque, remembering its submission index and
+/// home worker (to detect steals).
+struct QueuedJob {
+    idx: usize,
+    home: usize,
+    job: Job,
+}
+
+impl Fleet {
+    /// Start building a fleet.
+    pub fn builder() -> FleetBuilder {
+        FleetBuilder::default()
+    }
+
+    /// Queue a job for the next [`Fleet::run`]; returns its submission
+    /// index (= its position in [`BatchResult::jobs`]).
+    pub fn submit(&mut self, job: Job) -> usize {
+        self.pending.push(job);
+        self.pending.len() - 1
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The fleet's module cache (shared: warm it, inspect hit counts, or
+    /// hand it to another fleet).
+    pub fn cache(&self) -> &Arc<ModuleCache> {
+        &self.cache
+    }
+
+    /// Configured worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run all queued jobs to completion and return their outcomes in
+    /// submission order.
+    ///
+    /// Jobs are dealt round-robin onto per-worker FIFO deques; idle
+    /// workers steal from the back of the busiest-looking neighbour.
+    /// Failures are per-job ([`JobOutcome::result`]) — including a
+    /// *panicking* analysis, which is caught and reported as
+    /// [`JobError::Panicked`] — so the batch itself always completes.
+    /// The fleet can be reused: submitting and running again keeps the
+    /// (shared) cache warm.
+    pub fn run(&mut self) -> BatchResult {
+        let jobs = std::mem::take(&mut self.pending);
+        let total = jobs.len();
+        let workers = self.workers.min(total.max(1));
+        if total == 0 {
+            return BatchResult {
+                jobs: Vec::new(),
+                wall: Duration::ZERO,
+                workers,
+                cache_hits: 0,
+                cache_misses: 0,
+            };
+        }
+
+        // Deterministic deal: job i goes to deque i % workers. Stealing
+        // may move it; the outcome records where it actually ran.
+        let queues: Vec<Worker<QueuedJob>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let home = idx % workers;
+            queues[home].push(QueuedJob { idx, home, job });
+        }
+        let stealers: Vec<Stealer<QueuedJob>> = queues.iter().map(Worker::stealer).collect();
+
+        let started = Instant::now();
+        let (sender, receiver) = mpsc::channel::<JobOutcome>();
+        let cache = &self.cache;
+        let factory = self.factory;
+        let stealers = &stealers;
+
+        crossbeam::thread::scope(|scope| {
+            for (me, queue) in queues.into_iter().enumerate() {
+                let sender = sender.clone();
+                scope.spawn(move |_| {
+                    loop {
+                        // Own queue first (FIFO), then sweep the other
+                        // workers' deques. No job is ever re-enqueued, so
+                        // an empty sweep means the batch is drained.
+                        let next = queue.pop().or_else(|| {
+                            (1..stealers.len()).find_map(|offset| {
+                                match stealers[(me + offset) % stealers.len()].steal() {
+                                    Steal::Success(job) => Some(job),
+                                    Steal::Empty | Steal::Retry => None,
+                                }
+                            })
+                        });
+                        let Some(queued) = next else { break };
+                        // Contain a panicking analysis to its own job:
+                        // the failure contract is per-job, and one bad
+                        // input must not discard the rest of the batch.
+                        let (idx, home) = (queued.idx, queued.home);
+                        let (key, invoke) = (queued.job.key.clone(), queued.job.invoke.clone());
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_job(me, queued, started, cache, factory)
+                            }))
+                            .unwrap_or_else(|payload| JobOutcome {
+                                job: idx,
+                                key,
+                                invoke,
+                                result: Err(JobError::Panicked(panic_message(&*payload))),
+                                reports: Vec::new(),
+                                stats: JobStats {
+                                    cache_hit: false,
+                                    queue: started.elapsed(),
+                                    instrument: Duration::ZERO,
+                                    translate: Duration::ZERO,
+                                    execute: Duration::ZERO,
+                                    worker: me,
+                                    stolen: me != home,
+                                },
+                            });
+                        if sender.send(outcome).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("fleet worker panicked");
+        drop(sender);
+
+        let wall = started.elapsed();
+        let mut slots: Vec<Option<JobOutcome>> = (0..total).map(|_| None).collect();
+        for outcome in receiver {
+            let idx = outcome.job;
+            slots[idx] = Some(outcome);
+        }
+        let jobs: Vec<JobOutcome> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every dealt job produces exactly one outcome"))
+            .collect();
+
+        // Hits and misses are counted from jobs whose cache lookup
+        // actually completed; jobs that failed earlier (unknown analysis,
+        // validation error) or panicked built nothing and count as
+        // neither.
+        let cache_hits = jobs.iter().filter(|j| j.stats.cache_hit).count() as u64;
+        let cache_misses = jobs
+            .iter()
+            .filter(|j| {
+                !j.stats.cache_hit
+                    && !matches!(
+                        j.result,
+                        Err(JobError::UnknownAnalysis(_))
+                            | Err(JobError::Invalid(_))
+                            | Err(JobError::Panicked(_))
+                    )
+            })
+            .count() as u64;
+        stats::record_fleet_jobs(total as u64);
+
+        BatchResult {
+            jobs,
+            wall,
+            workers,
+            cache_hits,
+            cache_misses,
+        }
+    }
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("workers", &self.workers)
+            .field("pending", &self.pending.len())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+/// Render a panic payload's message (the `&str`/`String` payloads
+/// `panic!` produces; anything else becomes a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute one job on worker `me`: construct fresh analyses, fetch (or
+/// build) the shared session, assemble a per-job pipeline, run, report.
+fn run_job(
+    me: usize,
+    queued: QueuedJob,
+    batch_started: Instant,
+    cache: &ModuleCache,
+    factory: Option<AnalysisFactory>,
+) -> JobOutcome {
+    let queue = batch_started.elapsed();
+    let QueuedJob { idx, home, job } = queued;
+    let mut stats = JobStats {
+        cache_hit: false,
+        queue,
+        instrument: Duration::ZERO,
+        translate: Duration::ZERO,
+        execute: Duration::ZERO,
+        worker: me,
+        stolen: me != home,
+    };
+    let fail = |error: JobError, stats: JobStats| JobOutcome {
+        job: idx,
+        key: job.key.clone(),
+        invoke: job.invoke.clone(),
+        result: Err(error),
+        reports: Vec::new(),
+        stats,
+    };
+
+    // Fresh analysis instances, constructed in THIS thread.
+    let mut analyses: Vec<Box<dyn Analysis>> = Vec::with_capacity(job.analyses.len());
+    for name in &job.analyses {
+        match factory.and_then(|make| make(name)) {
+            Some(analysis) => analyses.push(analysis),
+            None => return fail(JobError::UnknownAnalysis(name.clone()), stats),
+        }
+    }
+    let union: HookSet = analyses
+        .iter()
+        .fold(HookSet::empty(), |set, a| set.union(a.hooks()));
+
+    let looked = match cache.session_for(&job.key, union, &job.module) {
+        Ok(looked) => looked,
+        Err(e) => return fail(JobError::Invalid(e), stats),
+    };
+    stats.cache_hit = looked.hit;
+    stats.instrument = looked.instrument;
+    stats.translate = looked.translate;
+
+    let mut builder = Wasabi::builder();
+    for analysis in &mut analyses {
+        builder = builder.analysis(analysis.as_mut());
+    }
+    let mut pipeline = builder.build_shared(looked.session);
+
+    let execute_started = Instant::now();
+    let result = pipeline.run(&job.invoke, &job.args);
+    stats.execute = execute_started.elapsed();
+    let reports = pipeline.reports();
+    drop(pipeline);
+
+    JobOutcome {
+        job: idx,
+        key: job.key,
+        invoke: job.invoke,
+        result: result.map_err(JobError::Run),
+        reports,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AnalysisCtx, BinaryEvt};
+    use crate::hooks::Hook;
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::ValType;
+
+    fn square_module() -> Module {
+        let mut builder = ModuleBuilder::new();
+        builder.function("main", &[ValType::I32], &[ValType::I32], |f| {
+            f.get_local(0u32).get_local(0u32).i32_mul();
+        });
+        builder.finish()
+    }
+
+    /// A tiny factory for tests (core cannot depend on wasabi-analyses).
+    fn test_factory(name: &str) -> Option<Box<dyn Analysis>> {
+        #[derive(Default)]
+        struct Binaries(u64);
+        impl Analysis for Binaries {
+            fn name(&self) -> &str {
+                "binaries"
+            }
+            fn hooks(&self) -> HookSet {
+                HookSet::of(&[Hook::Binary])
+            }
+            fn binary(&mut self, _: &AnalysisCtx, _: &BinaryEvt) {
+                self.0 += 1;
+            }
+            fn report(&self) -> Report {
+                Report::new("binaries", self.0.into())
+            }
+        }
+        #[derive(Default)]
+        struct Panicker;
+        impl Analysis for Panicker {
+            fn name(&self) -> &str {
+                "panicker"
+            }
+            fn hooks(&self) -> HookSet {
+                HookSet::of(&[Hook::Binary])
+            }
+            fn binary(&mut self, _: &AnalysisCtx, _: &BinaryEvt) {
+                panic!("analysis bug");
+            }
+        }
+        match name {
+            "binaries" => Some(Box::new(Binaries::default())),
+            "panicker" => Some(Box::new(Panicker)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn empty_fleet_runs_to_an_empty_batch() {
+        let mut fleet = Fleet::builder().workers(3).build();
+        assert!(fleet.is_empty());
+        let batch = fleet.run();
+        assert!(batch.jobs.is_empty());
+        assert_eq!(batch.jobs_per_sec(), 0.0);
+        assert!(batch.all_ok());
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let module = Arc::new(square_module());
+        for workers in [1, 2, 5, 16] {
+            let mut fleet = Fleet::builder().workers(workers).build();
+            for i in 0..12 {
+                fleet.submit(Job::new(
+                    "square",
+                    Arc::clone(&module),
+                    "main",
+                    vec![Val::I32(i)],
+                ));
+            }
+            let batch = fleet.run();
+            assert!(batch.all_ok());
+            for (i, outcome) in batch.jobs.iter().enumerate() {
+                assert_eq!(outcome.job, i);
+                assert_eq!(
+                    outcome.result.as_ref().unwrap(),
+                    &vec![Val::I32((i * i) as i32)],
+                    "job {i} at {workers} workers"
+                );
+            }
+            assert_eq!(batch.cache_misses, 1);
+            assert_eq!(batch.cache_hits, 11);
+        }
+    }
+
+    #[test]
+    fn analyses_are_constructed_fresh_per_job() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(2).factory(test_factory).build();
+        for i in 0..4 {
+            fleet.submit(
+                Job::new("square", Arc::clone(&module), "main", vec![Val::I32(i)])
+                    .analyses(["binaries"]),
+            );
+        }
+        let batch = fleet.run();
+        assert!(batch.all_ok());
+        for outcome in &batch.jobs {
+            assert_eq!(outcome.reports.len(), 1);
+            // One i32.mul per job — NOT accumulated across jobs, because
+            // every job got a fresh instance.
+            assert_eq!(
+                outcome.reports[0].to_json(),
+                r#"{"analysis":"binaries","data":1}"#
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_analysis_fails_only_its_job() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(2).factory(test_factory).build();
+        fleet.submit(Job::new(
+            "square",
+            Arc::clone(&module),
+            "main",
+            vec![Val::I32(2)],
+        ));
+        fleet.submit(
+            Job::new("square", Arc::clone(&module), "main", vec![Val::I32(3)])
+                .analyses(["frobnicate"]),
+        );
+        let batch = fleet.run();
+        assert!(batch.jobs[0].result.is_ok());
+        let err = batch.jobs[1].result.as_ref().unwrap_err();
+        assert!(matches!(err, JobError::UnknownAnalysis(name) if name == "frobnicate"));
+        assert!(err.to_string().contains("frobnicate"));
+        assert!(!batch.all_ok());
+    }
+
+    #[test]
+    fn a_panicking_analysis_fails_only_its_job() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(2).factory(test_factory).build();
+        fleet.submit(
+            Job::new("square", Arc::clone(&module), "main", vec![Val::I32(2)])
+                .analyses(["binaries"]),
+        );
+        fleet.submit(
+            Job::new("square", Arc::clone(&module), "main", vec![Val::I32(3)])
+                .analyses(["panicker"]),
+        );
+        fleet.submit(
+            Job::new("square", Arc::clone(&module), "main", vec![Val::I32(4)])
+                .analyses(["binaries"]),
+        );
+        let batch = fleet.run();
+        assert_eq!(batch.jobs.len(), 3, "the batch completed");
+        assert!(batch.jobs[0].result.is_ok());
+        let err = batch.jobs[1].result.as_ref().unwrap_err();
+        assert!(
+            matches!(err, JobError::Panicked(message) if message.contains("analysis bug")),
+            "{err}"
+        );
+        assert_eq!(batch.jobs[2].result.as_ref().unwrap(), &vec![Val::I32(16)]);
+        // The panicked job completed no cache lookup attribution: it is
+        // neither a hit nor a miss.
+        assert_eq!(batch.cache_hits + batch.cache_misses, 2);
+    }
+
+    #[test]
+    fn no_factory_rejects_jobs_naming_analyses() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(1).build();
+        fleet.submit(Job::new("square", module, "main", vec![Val::I32(1)]).analyses(["binaries"]));
+        let batch = fleet.run();
+        assert!(matches!(
+            batch.jobs[0].result.as_ref().unwrap_err(),
+            JobError::UnknownAnalysis(_)
+        ));
+    }
+
+    #[test]
+    fn bad_export_fails_only_its_job() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(2).build();
+        fleet.submit(Job::new("square", Arc::clone(&module), "nope", vec![]));
+        fleet.submit(Job::new(
+            "square",
+            Arc::clone(&module),
+            "main",
+            vec![Val::I32(4)],
+        ));
+        let batch = fleet.run();
+        assert!(matches!(
+            batch.jobs[0].result.as_ref().unwrap_err(),
+            JobError::Run(_)
+        ));
+        assert_eq!(batch.jobs[1].result.as_ref().unwrap(), &vec![Val::I32(16)]);
+    }
+
+    #[test]
+    fn builder_chaining_submits_jobs_and_shares_the_cache() {
+        let module = Arc::new(square_module());
+        let cache = ModuleCache::shared();
+        let mut fleet = Fleet::builder()
+            .workers(2)
+            .cache(Arc::clone(&cache))
+            .submit(Job::new(
+                "square",
+                Arc::clone(&module),
+                "main",
+                vec![Val::I32(5)],
+            ))
+            .submit(Job::new(
+                "square",
+                Arc::clone(&module),
+                "main",
+                vec![Val::I32(6)],
+            ))
+            .build();
+        assert_eq!(fleet.len(), 2);
+        let batch = fleet.run();
+        assert!(batch.all_ok());
+        assert_eq!(cache.misses(), 1, "external cache observed the build");
+
+        // A second batch over the same shared cache is all hits.
+        fleet.submit(Job::new("square", module, "main", vec![Val::I32(7)]));
+        let batch = fleet.run();
+        assert_eq!((batch.cache_hits, batch.cache_misses), (1, 0));
+    }
+
+    #[test]
+    fn stats_record_queue_and_execute_times_and_the_executing_worker() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(3).build();
+        for i in 0..9 {
+            fleet.submit(Job::new(
+                "square",
+                Arc::clone(&module),
+                "main",
+                vec![Val::I32(i)],
+            ));
+        }
+        let batch = fleet.run();
+        for outcome in &batch.jobs {
+            assert!(outcome.stats.worker < batch.workers);
+            assert!(outcome.stats.execute > Duration::ZERO);
+            // Stolen jobs record a worker different from their deal slot.
+            if !outcome.stats.stolen {
+                assert_eq!(outcome.stats.worker, outcome.job % batch.workers);
+            }
+        }
+        // Exactly the cache-missing job paid instrument + translate time.
+        let payers: Vec<_> = batch
+            .jobs
+            .iter()
+            .filter(|j| j.stats.instrument > Duration::ZERO)
+            .collect();
+        assert_eq!(payers.len(), 1);
+        assert!(!payers[0].stats.cache_hit);
+    }
+
+    #[test]
+    fn workers_are_clamped_to_the_job_count() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(64).build();
+        fleet.submit(Job::new("square", module, "main", vec![Val::I32(2)]));
+        let batch = fleet.run();
+        assert_eq!(batch.workers, 1);
+        assert!(batch.all_ok());
+    }
+}

@@ -56,10 +56,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! To run *several* analyses over one pass, see [`pipeline`].
+//! To run *several* analyses over one pass, see [`pipeline`]. To run
+//! *many jobs* — (module × analysis-set × input) combinations — over a
+//! work-stealing worker fleet with a shared translated-module [`cache`],
+//! see [`fleet`].
 
+pub mod cache;
 pub mod convention;
 pub mod event;
+pub mod fleet;
 pub mod hookmap;
 pub mod hooks;
 pub mod info;
@@ -71,7 +76,9 @@ pub mod report;
 pub mod runtime;
 pub mod stats;
 
+pub use cache::ModuleCache;
 pub use event::AnalysisCtx;
+pub use fleet::{BatchResult, Fleet, FleetBuilder, Job, JobOutcome, JobStats};
 pub use hooks::{Analysis, BlockKind, Hook, HookSet, MemArg, NoAnalysis};
 pub use info::ModuleInfo;
 pub use instrument::{instrument, Instrumenter};

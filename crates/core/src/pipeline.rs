@@ -53,6 +53,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::sync::Arc;
+
 use wasabi_vm::host::Host;
 use wasabi_vm::Instance;
 use wasabi_wasm::instr::Val;
@@ -127,20 +129,47 @@ impl<'a> PipelineBuilder<'a> {
             instrumenter = instrumenter.threads(threads);
         }
         let (instrumented, info) = instrumenter.run(module)?;
-        let session = AnalysisSession::from_parts(instrumented, info)?;
+        let session = Arc::new(AnalysisSession::from_parts(instrumented, info)?);
+        Ok(self.assemble(session))
+    }
 
+    /// Build a pipeline over an **already instrumented** shared session —
+    /// no instrumentation or translation happens here. This is how
+    /// [`crate::fleet::Fleet`] jobs reuse a [`crate::cache::ModuleCache`]
+    /// entry: the expensive per-module work is paid once process-wide, and
+    /// each job only assembles its per-job subscriber lists.
+    ///
+    /// The session must have been instrumented for (at least) the union of
+    /// the registered analyses' hook sets, otherwise subscribed events
+    /// would silently never fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registered analysis subscribes to a hook the session was
+    /// not instrumented for.
+    pub fn build_shared(self, session: Arc<AnalysisSession>) -> Pipeline<'a> {
+        let union = self.hooks();
+        assert!(
+            union.iter().all(|h| session.info().enabled.contains(h)),
+            "session instrumented for {} but analyses subscribe to {}",
+            session.info().enabled,
+            union,
+        );
+        self.assemble(session)
+    }
+
+    fn assemble(self, session: Arc<AnalysisSession>) -> Pipeline<'a> {
         let mut subscribers: Vec<Vec<usize>> = vec![Vec::new(); Hook::ALL.len()];
         for (idx, analysis) in self.analyses.iter().enumerate() {
             for hook in analysis.hooks().iter() {
                 subscribers[hook as usize].push(idx);
             }
         }
-
-        Ok(Pipeline {
+        Pipeline {
             session,
             analyses: self.analyses,
             subscribers,
-        })
+        }
     }
 }
 
@@ -157,7 +186,7 @@ impl std::fmt::Debug for PipelineBuilder<'_> {
 /// per-hook dispatch. Build with [`Wasabi::builder`]; see the
 /// [module docs](crate::pipeline) for an end-to-end example.
 pub struct Pipeline<'a> {
-    session: AnalysisSession,
+    session: Arc<AnalysisSession>,
     analyses: Vec<&'a mut dyn Analysis>,
     /// `subscribers[hook as usize]` = indices (into `analyses`) of the
     /// analyses subscribed to that hook.

@@ -56,6 +56,65 @@ impl JsonValue {
     pub fn is_null(&self) -> bool {
         matches!(self, JsonValue::Null)
     }
+
+    /// The string slice of a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean of a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Any numeric value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// An integral numeric value as an `i64` (floats only if exact).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            JsonValue::UInt(v) => i64::try_from(*v).ok(),
+            // In-range check against 2^63 exactly (both bounds are exact
+            // f64s); casting would silently saturate out-of-range values.
+            JsonValue::Float(v)
+                if v.fract() == 0.0 && *v >= -(2f64.powi(63)) && *v < 2f64.powi(63) =>
+            {
+                Some(*v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements of an `Array` value.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(values) => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an `Object` value (first match; objects built by
+    /// this crate never repeat keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 }
 
 impl From<bool> for JsonValue {
@@ -211,6 +270,22 @@ mod tests {
     fn location_renders_as_object() {
         let value: JsonValue = Location::new(2, -1).into();
         assert_eq!(value.to_string(), r#"{"func":2,"instr":-1}"#);
+    }
+
+    #[test]
+    fn as_i64_rejects_out_of_range_floats_instead_of_saturating() {
+        assert_eq!(JsonValue::Float(1e15).as_i64(), Some(1_000_000_000_000_000));
+        assert_eq!(
+            JsonValue::Float(-(2f64.powi(62))).as_i64(),
+            Some(i64::MIN / 2)
+        );
+        // 2^63 and beyond are NOT representable as i64; a saturating cast
+        // would silently produce i64::MAX here.
+        assert_eq!(JsonValue::Float(2f64.powi(63)).as_i64(), None);
+        assert_eq!(JsonValue::Float(1e19).as_i64(), None);
+        assert_eq!(JsonValue::Float(-1e19).as_i64(), None);
+        assert_eq!(JsonValue::Float(1.5).as_i64(), None);
+        assert_eq!(JsonValue::UInt(u64::MAX).as_i64(), None);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!
 //! Dispatch is additionally **monomorphic per low-level hook ordinal**:
 //! when the host is constructed, every hook resolves once into a
-//! [`HookPlan`] — its payload shape (which slots are split i64 halves),
+//! `HookPlan` — its payload shape (which slots are split i64 halves),
 //! the flattened-argument offset of the trailing `(func, instr)` location
 //! pair, and a `skip` flag. A hook whose high-level event has **zero
 //! subscribers** (no analysis in the pipeline listens, or the single
@@ -575,6 +575,13 @@ pub struct AnalysisSession {
     translated: TranslatedModule,
     info: ModuleInfo,
 }
+
+// A session is immutable shared data (translation + static info): the
+// module cache hands one `Arc<AnalysisSession>` to every fleet worker.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnalysisSession>();
+};
 
 impl AnalysisSession {
     /// Instrument `module` for the given hook set.

@@ -13,6 +13,23 @@
 //! can print a phase breakdown. The host-call counters are folded in once
 //! per execution pass from the instance's plain (non-atomic) counters —
 //! nothing touches an atomic on the per-call hot path.
+//!
+//! The batch subsystem adds [`cache_hits`]/[`cache_misses`] (lookups
+//! against any [`crate::cache::ModuleCache`]) and [`fleet_jobs`]
+//! (jobs completed by [`crate::fleet::Fleet`] batches), from which bench
+//! harnesses derive jobs/sec.
+//!
+//! # Single-run caveat: the phase timers are process-global
+//!
+//! [`instrumentation_time`] and [`translation_time`] are **sums over every
+//! pass the whole process has performed, on all threads**. Reading a
+//! before/after delta around one run (as the CLI `--time` flag does) is
+//! only meaningful while nothing runs concurrently — with a
+//! [`crate::fleet::Fleet`] executing jobs on several workers, a delta
+//! would attribute other jobs' phases to yours. That is why fleet jobs
+//! carry their **own** per-job phase times, measured on the executing
+//! worker's clock ([`crate::fleet::JobStats`]), and the global timers here
+//! remain what they are: process-lifetime aggregates.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -23,8 +40,11 @@ static HOST_CALLS_FAST: AtomicU64 = AtomicU64::new(0);
 static HOST_CALLS_SLOW: AtomicU64 = AtomicU64::new(0);
 static INSTRUMENTATION_NANOS: AtomicU64 = AtomicU64::new(0);
 static TRANSLATION_NANOS: AtomicU64 = AtomicU64::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static FLEET_JOBS: AtomicU64 = AtomicU64::new(0);
 
-/// Total number of instrumentation passes ([`crate::instrument`] /
+/// Total number of instrumentation passes ([`mod@crate::instrument`] /
 /// [`crate::Instrumenter::run`]) this process has performed.
 pub fn instrumentation_passes() -> u64 {
     INSTRUMENTATION_PASSES.load(Ordering::Relaxed)
@@ -59,6 +79,35 @@ pub fn instrumentation_time() -> Duration {
 /// Total wall time spent validating + translating modules to the flat IR.
 pub fn translation_time() -> Duration {
     Duration::from_nanos(TRANSLATION_NANOS.load(Ordering::Relaxed))
+}
+
+/// [`crate::cache::ModuleCache`] lookups that found an existing entry,
+/// summed over every cache in the process.
+pub fn cache_hits() -> u64 {
+    CACHE_HITS.load(Ordering::Relaxed)
+}
+
+/// [`crate::cache::ModuleCache`] lookups that built (instrumented +
+/// translated) a new entry, summed over every cache in the process.
+pub fn cache_misses() -> u64 {
+    CACHE_MISSES.load(Ordering::Relaxed)
+}
+
+/// Jobs completed by [`crate::fleet::Fleet`] batches in this process.
+pub fn fleet_jobs() -> u64 {
+    FLEET_JOBS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_cache_hit() {
+    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_miss() {
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_fleet_jobs(jobs: u64) {
+    FLEET_JOBS.fetch_add(jobs, Ordering::Relaxed);
 }
 
 pub(crate) fn record_instrumentation() {
@@ -98,5 +147,18 @@ mod tests {
         let before = execution_passes();
         record_execution();
         assert!(execution_passes() >= before + 1);
+    }
+
+    #[test]
+    fn batch_counters_are_monotonic() {
+        let before = cache_hits();
+        record_cache_hit();
+        assert!(cache_hits() >= before + 1);
+        let before = cache_misses();
+        record_cache_miss();
+        assert!(cache_misses() >= before + 1);
+        let before = fleet_jobs();
+        record_fleet_jobs(3);
+        assert!(fleet_jobs() >= before + 3);
     }
 }

@@ -3,7 +3,7 @@
 //! This is the execution substrate that stands in for the browser engine in
 //! the paper's evaluation (DESIGN.md §3). Since PR 3 the hot loop no longer
 //! walks the structured instruction sequence: each function body is
-//! translated once into the flat pre-resolved IR of [`crate::flat`] (dense
+//! translated once into the flat pre-resolved IR of `crate::flat` (dense
 //! `Vec<Op>`, absolute branch targets, baked-in branch arities and unwind
 //! heights, fused superinstructions), so the per-step work is a single
 //! match on a small op — no label stack, no `end`/`else` handling, no
@@ -16,7 +16,7 @@
 //! oracle in [`crate::reference`].
 //!
 //! Calls of **imported** functions dispatch through the host-call
-//! intrinsic ops (see [`crate::flat`], "Host-call intrinsics"): the host
+//! intrinsic ops (see `crate::flat`, "Host-call intrinsics"): the host
 //! identity resolves once at instantiation into a dense per-instance
 //! table, arguments are gathered from the operand stack, the frame's
 //! locals, and the module's const table with no interpreter frame and no
@@ -63,6 +63,51 @@ pub(crate) enum FuncTarget {
 /// [`Instance::instantiate_translated`] calls (benchmark iterations,
 /// repeated analysis runs over one instrumented module) pay neither again.
 ///
+/// # Sharing across threads
+///
+/// A `TranslatedModule` is two `Arc`s over **immutable** data (the
+/// validated module and its translated code) — it is `Send + Sync`, and
+/// [`Clone`] is two reference-count bumps. All mutable execution state
+/// (memory, globals, tables, fuel, counters, host-call scratch) lives in
+/// the [`Instance`] each thread creates for itself, so any number of
+/// threads can instantiate and run the same translation concurrently
+/// without synchronization. This is what the `wasabi` core's module cache
+/// and batch fleet build on: validate + translate once process-wide, run
+/// everywhere.
+///
+/// ```
+/// use std::sync::Arc;
+/// use wasabi_vm::{Instance, TranslatedModule, host::EmptyHost};
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::{Val, ValType};
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.function("sq", &[ValType::I32], &[ValType::I32], |f| {
+///     f.get_local(0u32).get_local(0u32).i32_mul();
+/// });
+/// let shared = Arc::new(TranslatedModule::new(builder.finish())?);
+///
+/// let results: Vec<_> = std::thread::scope(|s| {
+///     (0..4)
+///         .map(|i| {
+///             let shared = Arc::clone(&shared);
+///             s.spawn(move || {
+///                 // Per-thread instance over the shared translation.
+///                 let mut host = EmptyHost;
+///                 let mut instance =
+///                     Instance::instantiate_translated(&shared, &mut host).unwrap();
+///                 instance.invoke_export("sq", &[Val::I32(i)], &mut host).unwrap()
+///             })
+///         })
+///         .collect::<Vec<_>>()
+///         .into_iter()
+///         .map(|t| t.join().unwrap())
+///         .collect()
+/// });
+/// assert_eq!(results[3], vec![Val::I32(9)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
 /// # Examples
 ///
 /// ```
@@ -101,7 +146,7 @@ impl TranslatedModule {
 
     /// Like [`TranslatedModule::new`], but calls of imported functions go
     /// through the generic call machinery instead of the host-call
-    /// intrinsic ops ([`crate::flat`], "Host-call intrinsics").
+    /// intrinsic ops (`crate::flat`, "Host-call intrinsics").
     ///
     /// This is the pre-intrinsic execution path, kept addressable so
     /// benchmarks can report before/after numbers and differential tests
@@ -138,6 +183,15 @@ impl TranslatedModule {
         &self.module
     }
 }
+
+// The shared-translation contract the core's cache and fleet rely on: if a
+// future change introduces interior mutability or a non-Sync payload into
+// the translation, this fails to compile instead of failing at a
+// cross-thread use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TranslatedModule>();
+};
 
 /// An instantiated module, ready to execute.
 ///
@@ -331,7 +385,7 @@ impl Instance {
     }
 
     /// Host calls this instance has dispatched, as `(fast, slow)`: `fast`
-    /// went through the host-call intrinsic ops ([`crate::flat`],
+    /// went through the host-call intrinsic ops (`crate::flat`,
     /// "Host-call intrinsics"), `slow` through the generic call machinery
     /// (generic `call` translation, `call_indirect` to an import, direct
     /// invocation of an import, or the [`crate::Reference`] oracle).

@@ -13,7 +13,7 @@
 //!   branch targets, arities, and unwind heights, plus fused
 //!   superinstructions — no label stack or `end`/`else` bookkeeping at
 //!   runtime (the previous structured-walk semantics survives as the
-//!   [`reference`] oracle for differential testing),
+//!   [`mod@reference`] oracle for differential testing),
 //! - executes only validated modules (instantiation validates first),
 //! - implements all numeric semantics of the spec ([`numeric`]): wrapping
 //!   integer arithmetic, trapping division and float→int truncation,

@@ -3,9 +3,9 @@
 //! "before" side of the `interp` benchmark (`BENCH_interp.json`).
 //!
 //! [`Reference`] executes the *original* structured instruction sequence of
-//! an instantiated module: a per-step label stack ([`Ctrl`] frames), `end`/
+//! an instantiated module: a per-step label stack (`Ctrl` frames), `end`/
 //! `else` handling at runtime, and `JumpTable` lookups for every `if` — the
-//! exact per-step costs the flat IR of [`crate::flat`] eliminates. It
+//! exact per-step costs the flat IR of `crate::flat` eliminates. It
 //! shares the instance state (memory, table, globals, fuel, call-depth
 //! limit, `executed_instrs`) with the production interpreter, so the
 //! proptest differential suite can assert that both walks produce the same

@@ -9,6 +9,26 @@
 //!   application-like binaries (replacing the closed-source PSPDFKit and
 //!   Unreal Engine 4 binaries), plus the miner-like kernel for the
 //!   cryptominer-detection example.
+//!
+//! Everything is **deterministic**: a kernel name + problem size `n`, or
+//! a [`synthetic::SyntheticConfig`] seed, always produces the same
+//! module. That property is what the differential suites
+//! (`tests/instrumented_differential.rs`, `tests/fleet_equivalence.rs`)
+//! and the committed `BENCH_*.json` baselines lean on — two runs of the
+//! same workload are comparable bit-for-bit.
+//!
+//! Typical use (every bench binary and most integration tests):
+//!
+//! ```
+//! use wasabi_workloads::{compile, polybench};
+//!
+//! let program = polybench::by_name("gemm", 6).expect("known kernel");
+//! let module = compile(&program);
+//! assert!(module.functions.iter().any(|f| f.export.iter().any(|e| e == "main")));
+//! ```
+//!
+//! The `gen` binary writes any workload to disk as `.wasm` (inputs for
+//! the `wasabi` CLI's instrument, analysis, and `--batch` modes).
 
 pub mod compile;
 pub mod dsl;
