@@ -9,6 +9,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Differential-oracle gate: re-run the three-way oracle (direct-emit vs.
+# rewrite+flat vs. Reference) with elevated case counts so every CI run
+# gets real random-module coverage, not just the fast local default.
+echo "==> differential oracle (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q --test instrumented_differential
+PROPTEST_CASES=64 cargo test -q -p wasabi-vm --test zero_cost_unsubscribed
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -69,12 +76,14 @@ print(f"    fleet warm-vs-cold: committed {ratio:.2f}x, smoke {smoke_ratio:.2f}x
       f"on {committed['cores']} core(s))")
 EOF
 
-# Host-call intrinsics gate: the committed baseline must show the >= 1.5x
-# all-hooks improvement over the generic-call path, and the freshly
+# Host-call intrinsics + direct-emit gate: the committed baseline must
+# show the >= 1.5x all-hooks improvement over the generic-call path, the
+# direct-emit path must run all-hooks instrumentation in <= 0.75x the
+# rewrite path's wall time (committed AND fresh smoke), and the freshly
 # measured all-hooks overhead must stay within 1.1x of the committed
 # baseline. Re-record with:
 #   cargo run --release -p wasabi-bench --bin overhead
-echo "==> perf gate: BENCH_overhead.json (improvement >= 1.5x, smoke within baseline x1.1)"
+echo "==> perf gate: BENCH_overhead.json (improvement >= 1.5x, direct <= 0.75x rewrite, smoke within baseline x1.1)"
 python3 - <<'EOF'
 import json, math, sys
 with open("BENCH_overhead.json") as f:
@@ -84,6 +93,14 @@ with open("/tmp/BENCH_overhead_smoke.json") as f:
 if committed["all"]["improvement"] < 1.5:
     sys.exit(f"committed intrinsic improvement regressed: "
              f"{committed['all']['improvement']:.3f}x < 1.5x")
+for label, data in (("committed", committed), ("smoke", smoke)):
+    ratio = data["all"]["direct_vs_rewrite"]
+    if ratio > 0.75:
+        sys.exit(f"direct-emit advantage regressed ({label}): all-hooks wall "
+                 f"{ratio:.3f}x of rewrite path > 0.75x")
+print(f"    direct-emit vs rewrite: committed "
+      f"{committed['all']['direct_vs_rewrite']:.2f}x, smoke "
+      f"{smoke['all']['direct_vs_rewrite']:.2f}x (<= 0.75x)")
 # Compare the smoke kernels against the SAME kernels of the committed
 # baseline (the smoke subset's geomean differs from the full suite's).
 baseline = {k["name"]: k["overhead_intrinsic"] for k in committed["kernels"]}

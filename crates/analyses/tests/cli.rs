@@ -395,7 +395,9 @@ fn time_flag_prints_phase_breakdown_in_both_modes() {
     let dir = temp_dir("time-flag");
     let input = write_branchy_fixture(&dir);
 
-    // Analysis mode: instrument/translate/execute breakdown.
+    // Analysis mode: fused build/execute breakdown (direct-emit path —
+    // instrument and translate are one pass, so there is no split pair
+    // to report and nothing double-counted).
     let output = cli()
         .arg(&input)
         .arg("--analysis=instruction_mix")
@@ -406,8 +408,10 @@ fn time_flag_prints_phase_breakdown_in_both_modes() {
         .expect("CLI runs");
     assert!(output.status.success());
     let stderr = String::from_utf8_lossy(&output.stderr);
-    assert!(stderr.contains("--time: instrument "), "{stderr}");
-    assert!(stderr.contains(" translate "), "{stderr}");
+    assert!(
+        stderr.contains("--time: build (fused instrument+translate) "),
+        "{stderr}"
+    );
     assert!(stderr.contains(" execute "), "{stderr}");
 
     // Instrument mode: decode/instrument/encode breakdown.

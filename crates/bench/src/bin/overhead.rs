@@ -1,16 +1,22 @@
-//! The Fig. 9 **overhead artifact** of the host-call intrinsics PR:
-//! runtime of instrumented execution relative to the uninstrumented flat
-//! baseline, per hook group and for all hooks at once — with the all-hooks
-//! row measured on **both** execution paths:
+//! The Fig. 9 **overhead artifact**: runtime of instrumented execution
+//! relative to the uninstrumented flat baseline, per hook group and for
+//! all hooks at once — with the all-hooks row measured on **three**
+//! execution paths:
 //!
-//! - **intrinsic** (post-PR): `Op::HostCall`/`Op::HostCallConst` dispatch
-//!   plus the runtime's zero-subscriber skip (`NoAnalysis` listens to
-//!   nothing, like Fig. 9's no-op analysis),
-//! - **generic** (pre-PR): the generic call machinery with full event
-//!   construction (`AllHooksNop` subscribes to everything).
+//! - **direct** (direct-emit): hook calls injected at translate time as
+//!   synthetic imports (`AnalysisSession::direct`); under `NoAnalysis`
+//!   every plan is a no-op, so the instantiation-time `is_noop` mask drops
+//!   each call before argument marshalling,
+//! - **intrinsic** (rewrite + intrinsics): the binary-rewritten module on
+//!   `Op::HostCall`/`Op::HostCallConst` dispatch plus the runtime's
+//!   zero-subscriber skip (`NoAnalysis` listens to nothing, like Fig. 9's
+//!   no-op analysis),
+//! - **generic** (pre-intrinsic): the generic call machinery with full
+//!   event construction (`AllHooksNop` subscribes to everything).
 //!
-//! The recorded `improvement` (generic wall / intrinsic wall) is the PR's
-//! acceptance number (≥ 1.5×); `ci.sh` gates on the recorded all-hooks
+//! The recorded `improvement` (generic wall / intrinsic wall) and
+//! `direct_vs_rewrite` (direct wall / intrinsic wall, gated ≤ 0.75) are
+//! the acceptance numbers; `ci.sh` also gates on the recorded all-hooks
 //! overhead not regressing past the committed baseline × 1.1.
 //!
 //! ```sh
@@ -27,8 +33,8 @@ use std::fmt::Write as _;
 
 use wasabi::hooks::HookSet;
 use wasabi_bench::{
-    geomean, run_flat_amortized, run_instrumented_amortized, run_instrumented_generic_amortized,
-    FIGURE_HOOK_GROUPS,
+    geomean, run_direct_amortized, run_flat_amortized, run_instrumented_amortized,
+    run_instrumented_generic_amortized, FIGURE_HOOK_GROUPS,
 };
 use wasabi_vm::TranslatedModule;
 use wasabi_workloads::{compile, polybench};
@@ -77,14 +83,44 @@ fn main() {
     );
     println!();
 
-    // Uninstrumented flat baseline, translated once per kernel.
+    // Every gated measurement is best-of-REPEATS (minimum wall time):
+    // the per-kernel wall times are milliseconds-scale, so a single
+    // sample carries enough scheduler/cache-state noise to trip the CI
+    // regression gate; the minimum is the stable estimator of the
+    // undisturbed run (same policy as `run_original_repeated`).
+    const REPEATS: usize = 5;
+    fn best_of(
+        repeats: usize,
+        mut run: impl FnMut() -> wasabi_bench::RunMeasurement,
+    ) -> wasabi_bench::RunMeasurement {
+        (0..repeats.max(1))
+            .map(|_| run())
+            .min_by(|a, b| a.wall.cmp(&b.wall))
+            .expect("at least one run")
+    }
+
+    // Uninstrumented flat baseline, translated once per kernel. The base
+    // is the denominator of every gated ratio and an uninstrumented
+    // invocation is sub-millisecond, so it runs BASE_SCALE x more
+    // invocations than the instrumented arms and the ratios divide by a
+    // per-invocation base time — otherwise base timer noise dominates the
+    // recorded overheads.
+    const BASE_SCALE: usize = 8;
     let bases: Vec<_> = kernels
         .iter()
         .map(|(_, module)| {
             let translated = TranslatedModule::new(module.clone()).expect("validates");
-            run_flat_amortized(&translated, "main", invocations)
+            best_of(REPEATS, || {
+                run_flat_amortized(&translated, "main", invocations * BASE_SCALE)
+            })
         })
         .collect();
+    // Wall seconds and executed instructions of `invocations` base calls
+    // (the unit the instrumented arms are measured in).
+    let base_wall =
+        |base: &wasabi_bench::RunMeasurement| base.wall.as_secs_f64() / BASE_SCALE as f64;
+    let base_instrs =
+        |base: &wasabi_bench::RunMeasurement| base.vm_instrs as f64 / BASE_SCALE as f64;
 
     // Per-hook-group overhead on the intrinsic path (skipped in smoke
     // mode; the all-hooks row is the gated artifact).
@@ -99,8 +135,8 @@ fn main() {
             for ((_, module), base) in kernels.iter().zip(&bases) {
                 let run = run_instrumented_amortized(module, set, "main", invocations);
                 assert_eq!(run.host_calls_slow, 0, "{name}: intrinsic path only");
-                wall_ratios.push(run.wall.as_secs_f64() / base.wall.as_secs_f64());
-                instr_ratios.push(run.vm_instrs as f64 / base.vm_instrs as f64);
+                wall_ratios.push(run.wall.as_secs_f64() / base_wall(base));
+                instr_ratios.push(run.vm_instrs as f64 / base_instrs(base));
             }
             let wall = geomean(wall_ratios.iter().copied());
             let instrs = geomean(instr_ratios.iter().copied());
@@ -110,16 +146,20 @@ fn main() {
         println!();
     }
 
-    // The all-hooks row, on both paths.
+    // The all-hooks row, on all three paths.
     let mut base_ms = 0.0;
+    let mut direct_ms = 0.0;
     let mut intrinsic_ms = 0.0;
     let mut generic_ms = 0.0;
+    let mut direct_wall_ratios = Vec::new();
     let mut intrinsic_wall_ratios = Vec::new();
     let mut generic_wall_ratios = Vec::new();
     let mut instr_ratios = Vec::new();
     let mut kernel_rows = Vec::new();
     for ((name, module), base) in kernels.iter().zip(&bases) {
-        let intrinsic = run_instrumented_amortized(module, HookSet::all(), "main", invocations);
+        let intrinsic = best_of(REPEATS, || {
+            run_instrumented_amortized(module, HookSet::all(), "main", invocations)
+        });
         // The benches must be able to assert the intrinsic path actually
         // fired — that is the artifact being measured.
         assert!(
@@ -130,8 +170,9 @@ fn main() {
             intrinsic.host_calls_slow, 0,
             "{name}: unexpected slow calls"
         );
-        let generic =
-            run_instrumented_generic_amortized(module, HookSet::all(), "main", invocations);
+        let generic = best_of(REPEATS, || {
+            run_instrumented_generic_amortized(module, HookSet::all(), "main", invocations)
+        });
         assert_eq!(generic.host_calls_fast, 0, "{name}: generic path leaked");
         assert_eq!(
             generic.host_calls_slow, intrinsic.host_calls_fast,
@@ -141,32 +182,53 @@ fn main() {
             generic.vm_instrs, intrinsic.vm_instrs,
             "{name}: instr counts"
         );
-        base_ms += base.wall.as_secs_f64() * 1000.0;
+        let direct = best_of(REPEATS, || {
+            run_direct_amortized(module, HookSet::all(), "main", invocations)
+        });
+        // Direct-emit must inject the same hook sites as the rewrite and,
+        // under NoAnalysis, mask every one of them at instantiation.
+        assert_eq!(
+            direct.vm_instrs, intrinsic.vm_instrs,
+            "{name}: direct-emit instr counts"
+        );
+        assert_eq!(
+            direct.host_calls_fast, intrinsic.host_calls_fast,
+            "{name}: direct-emit hook-site counts"
+        );
+        assert_eq!(direct.host_calls_slow, 0, "{name}: direct-emit slow calls");
+        base_ms += base_wall(base) * 1000.0;
+        direct_ms += direct.wall.as_secs_f64() * 1000.0;
         intrinsic_ms += intrinsic.wall.as_secs_f64() * 1000.0;
         generic_ms += generic.wall.as_secs_f64() * 1000.0;
-        intrinsic_wall_ratios.push(intrinsic.wall.as_secs_f64() / base.wall.as_secs_f64());
-        generic_wall_ratios.push(generic.wall.as_secs_f64() / base.wall.as_secs_f64());
-        instr_ratios.push(intrinsic.vm_instrs as f64 / base.vm_instrs as f64);
+        direct_wall_ratios.push(direct.wall.as_secs_f64() / base_wall(base));
+        intrinsic_wall_ratios.push(intrinsic.wall.as_secs_f64() / base_wall(base));
+        generic_wall_ratios.push(generic.wall.as_secs_f64() / base_wall(base));
+        instr_ratios.push(intrinsic.vm_instrs as f64 / base_instrs(base));
         kernel_rows.push((
             *name,
-            intrinsic.wall.as_secs_f64() / base.wall.as_secs_f64(),
-            generic.wall.as_secs_f64() / base.wall.as_secs_f64(),
+            direct.wall.as_secs_f64() / base_wall(base),
+            intrinsic.wall.as_secs_f64() / base_wall(base),
+            generic.wall.as_secs_f64() / base_wall(base),
         ));
     }
+    let overhead_direct = geomean(direct_wall_ratios.iter().copied());
     let overhead_intrinsic = geomean(intrinsic_wall_ratios.iter().copied());
     let overhead_generic = geomean(generic_wall_ratios.iter().copied());
     let overhead_instrs = geomean(instr_ratios.iter().copied());
     let improvement = generic_ms / intrinsic_ms;
+    let direct_vs_rewrite = direct_ms / intrinsic_ms;
 
     println!("all hooks, geomean overhead vs. uninstrumented flat:");
+    println!("  direct    (direct-emit): {overhead_direct:>8.2}x wall");
     println!(
-        "  intrinsic (post-PR): {overhead_intrinsic:>8.2}x wall, {overhead_instrs:.2}x instrs"
+        "  intrinsic (rewrite):     {overhead_intrinsic:>8.2}x wall, {overhead_instrs:.2}x instrs"
     );
-    println!("  generic   (pre-PR):  {overhead_generic:>8.2}x wall");
+    println!("  generic   (pre-PR):      {overhead_generic:>8.2}x wall");
     println!();
     println!(
-        "totals: base {base_ms:.1} ms, intrinsic {intrinsic_ms:.1} ms, \
-         generic {generic_ms:.1} ms -> improvement {improvement:.2}x"
+        "totals: base {base_ms:.1} ms, direct {direct_ms:.1} ms, \
+         intrinsic {intrinsic_ms:.1} ms, generic {generic_ms:.1} ms \
+         -> improvement {improvement:.2}x, direct/rewrite {direct_vs_rewrite:.2}x"
     );
 
     let mut json = String::new();
@@ -176,13 +238,14 @@ fn main() {
          \"invocations\":{invocations},\"kernels\":[",
         kernels.len()
     );
-    for (i, (name, intrinsic, generic)) in kernel_rows.iter().enumerate() {
+    for (i, (name, direct, intrinsic, generic)) in kernel_rows.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "{{\"name\":\"{name}\",\"overhead_intrinsic\":{intrinsic:.3},\
+            "{{\"name\":\"{name}\",\"overhead_direct\":{direct:.3},\
+             \"overhead_intrinsic\":{intrinsic:.3},\
              \"overhead_generic\":{generic:.3}}}"
         );
     }
@@ -200,12 +263,15 @@ fn main() {
     let _ = write!(
         json,
         "],\"all\":{{\"base_ms\":{base_ms:.3},\
+         \"direct_ms\":{direct_ms:.3},\
          \"intrinsic_ms\":{intrinsic_ms:.3},\
          \"generic_ms\":{generic_ms:.3},\
+         \"overhead_direct\":{overhead_direct:.3},\
          \"overhead_intrinsic\":{overhead_intrinsic:.3},\
          \"overhead_generic\":{overhead_generic:.3},\
          \"overhead_instrs\":{overhead_instrs:.3},\
-         \"improvement\":{improvement:.3}}}}}"
+         \"improvement\":{improvement:.3},\
+         \"direct_vs_rewrite\":{direct_vs_rewrite:.3}}}}}"
     );
     std::fs::write(&out_path, &json).expect("write overhead json");
     println!("wrote {out_path}");

@@ -326,6 +326,32 @@ pub fn run_instrumented_amortized(
     RunMeasurement::from_instance(start.elapsed(), &instance)
 }
 
+/// Amortized instrumented run over the **direct-emit path**
+/// (`AnalysisSession::direct`): hook calls are injected at translate time
+/// as synthetic imports, never encoded into a rewritten binary. Under
+/// [`NoAnalysis`] every hook plan is a no-op, so the VM's instantiation-time
+/// `is_noop` mask drops the calls before argument marshalling — the "after"
+/// side of the `direct_vs_rewrite` ratio in `BENCH_overhead.json`.
+pub fn run_direct_amortized(
+    module: &Module,
+    hooks: HookSet,
+    export: &str,
+    invocations: usize,
+) -> RunMeasurement {
+    let session = AnalysisSession::direct(module, hooks).expect("instruments");
+    let mut analysis = NoAnalysis;
+    let mut host = WasabiHost::new(session.info(), &mut analysis);
+    let mut instance =
+        Instance::instantiate_translated(session.translated(), &mut host).expect("instantiates");
+    let start = Instant::now();
+    for _ in 0..invocations.max(1) {
+        instance
+            .invoke_export(export, &[], &mut host)
+            .expect("runs without trap");
+    }
+    RunMeasurement::from_instance(start.elapsed(), &instance)
+}
+
 /// Amortized instrumented run over the **pre-intrinsic generic-call
 /// path**: the instrumented module is translated *without* host-call
 /// intrinsics and runs under [`AllHooksNop`], so every hook call goes
@@ -438,6 +464,19 @@ mod tests {
         assert!(all.host_calls_fast > 0);
         assert_eq!(all.host_calls_slow, 0);
         assert_eq!(base.host_calls_fast + base.host_calls_slow, 0);
+    }
+
+    #[test]
+    fn direct_path_matches_rewrite_counts_and_masks_every_hook() {
+        let module = compile(&polybench::by_name("jacobi-1d", 6).unwrap());
+        let rewrite = run_instrumented_amortized(&module, HookSet::all(), "main", 1);
+        let direct = run_direct_amortized(&module, HookSet::all(), "main", 1);
+        // Same injected hook sites, same executed-instruction accounting.
+        assert_eq!(direct.vm_instrs, rewrite.vm_instrs);
+        assert_eq!(direct.host_calls_fast, rewrite.host_calls_fast);
+        // Under NoAnalysis every plan is a no-op, so direct-emit's synthetic
+        // imports are all masked at instantiation: zero slow-path calls.
+        assert_eq!(direct.host_calls_slow, 0);
     }
 
     #[test]

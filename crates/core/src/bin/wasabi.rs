@@ -105,9 +105,9 @@ fn usage() -> &'static str {
      --invoke selects the export to run (default: main); --args passes\n\
      comma-separated numeric arguments, parsed against its signature\n\
      --wat additionally writes a human-readable dump of the instrumented module\n\
-     --time prints a phase breakdown (instrument/translate/execute ms in\n\
-     analysis mode; decode/instrument/encode ms in instrument mode; summed\n\
-     per-job phases in batch mode)\n\
+     --time prints a phase breakdown (fused build/execute ms in analysis\n\
+     mode; decode/instrument/encode ms in instrument mode; summed per-job\n\
+     phases in batch mode)\n\
      --batch runs the manifest's jobs over a work-stealing worker fleet\n\
      with a shared translated-module cache; each job is\n\
      {\"module\": <path>, \"analyses\": [...], \"invoke\": <export>, \"args\": [...]}\n\
@@ -502,9 +502,8 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
                 * 1000.0
         };
         eprintln!(
-            "--time: per-job sums: instrument {:.1} ms, translate {:.1} ms, execute {:.1} ms",
-            sum(|s| s.instrument),
-            sum(|s| s.translate),
+            "--time: per-job sums: build {:.1} ms, execute {:.1} ms",
+            sum(|s| s.build),
             sum(|s| s.execute),
         );
     }
@@ -544,16 +543,17 @@ fn run_analyses(args: &Args) -> Result<(), String> {
         builder = builder.threads(threads);
     }
 
-    // The build phase instruments and translates; the process-wide stats
-    // record each sub-phase's wall time, so `--time` can split them.
-    let instrument_before = stats::instrumentation_time();
-    let translate_before = stats::translation_time();
+    // The build phase goes through the direct-emit path: instrumentation
+    // and translation fuse into ONE pass with no internal boundary, so
+    // `--time` reports one build phase (from the fused stats timer, which
+    // the rewrite-path instrument/translate timers never feed — no
+    // double-count, and no misleading zero instrument phase).
+    let build_before = stats::fused_build_time();
     let start = Instant::now();
     let mut pipeline = builder
         .build(&module)
         .map_err(|e| format!("module does not validate: {e}"))?;
-    let instrument_ms = (stats::instrumentation_time() - instrument_before).as_secs_f64() * 1000.0;
-    let translate_ms = (stats::translation_time() - translate_before).as_secs_f64() * 1000.0;
+    let build_ms = (stats::fused_build_time() - build_before).as_secs_f64() * 1000.0;
 
     let params = pipeline
         .session()
@@ -573,10 +573,7 @@ fn run_analyses(args: &Args) -> Result<(), String> {
     let elapsed = start.elapsed();
 
     if args.time {
-        eprintln!(
-            "--time: instrument {instrument_ms:.1} ms, translate {translate_ms:.1} ms, \
-             execute {execute_ms:.1} ms"
-        );
+        eprintln!("--time: build (fused instrument+translate) {build_ms:.1} ms, execute {execute_ms:.1} ms");
     }
 
     let reports = pipeline.reports();

@@ -88,19 +88,18 @@ pub struct CachedSession {
     pub session: Arc<AnalysisSession>,
     /// `true` if the entry already existed (this lookup paid nothing).
     pub hit: bool,
-    /// Instrumentation wall time paid *by this lookup* (zero on a hit).
-    pub instrument: Duration,
-    /// Validation + flat-IR translation wall time paid *by this lookup*
-    /// (zero on a hit).
-    pub translate: Duration,
+    /// Wall time of the fused direct-emit build (validate + instrument +
+    /// translate in one pass) paid *by this lookup* — zero on a hit.
+    /// There is no instrument/translate split: the direct-emit path has
+    /// no internal phase boundary to attribute one to.
+    pub build: Duration,
 }
 
 impl std::fmt::Debug for CachedSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CachedSession")
             .field("hit", &self.hit)
-            .field("instrument", &self.instrument)
-            .field("translate", &self.translate)
+            .field("build", &self.build)
             .finish()
     }
 }
@@ -163,19 +162,18 @@ impl ModuleCache {
             return Ok(CachedSession {
                 session: Arc::clone(session),
                 hit: true,
-                instrument: Duration::ZERO,
-                translate: Duration::ZERO,
+                build: Duration::ZERO,
             });
         }
 
         // Miss: build while holding the slot lock, so same-key racers wait
-        // for this one build instead of duplicating it.
+        // for this one build instead of duplicating it. Entries are built
+        // via the direct-emit path — the whole point of fusing instrument
+        // and translate is that every cache miss gets cheaper.
         let start = Instant::now();
-        let (instrumented, info) = Instrumenter::new(hooks).run(module)?;
-        let instrument = start.elapsed();
-        let start = Instant::now();
-        let session = Arc::new(AnalysisSession::from_parts(instrumented, info)?);
-        let translate = start.elapsed();
+        let (translated, info) = Instrumenter::new(hooks).run_direct(module)?;
+        let session = Arc::new(AnalysisSession::from_direct(translated, info));
+        let build = start.elapsed();
 
         *built = Some(Arc::clone(&session));
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -183,8 +181,7 @@ impl ModuleCache {
         Ok(CachedSession {
             session,
             hit: false,
-            instrument,
-            translate,
+            build,
         })
     }
 
@@ -194,7 +191,7 @@ impl ModuleCache {
     }
 
     /// Number of lookups that built a new entry — equivalently, how many
-    /// instrument + translate passes this cache has performed.
+    /// fused direct-emit builds this cache has performed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
@@ -255,19 +252,17 @@ mod tests {
     }
 
     #[test]
-    fn miss_reports_build_phase_times_and_hit_reports_zero() {
+    fn miss_reports_build_time_and_hit_reports_zero() {
         let cache = ModuleCache::new();
         let miss = cache
             .session_for("m", HookSet::all(), &module(7))
             .expect("builds");
-        assert!(miss.instrument > Duration::ZERO);
-        assert!(miss.translate > Duration::ZERO);
+        assert!(miss.build > Duration::ZERO);
         let hit = cache
             .session_for("m", HookSet::all(), &module(7))
             .expect("hits");
         assert!(hit.hit);
-        assert_eq!(hit.instrument, Duration::ZERO);
-        assert_eq!(hit.translate, Duration::ZERO);
+        assert_eq!(hit.build, Duration::ZERO);
     }
 
     #[test]

@@ -21,10 +21,10 @@
 //!
 //! Results come back in **submission order** regardless of which worker
 //! ran what, with per-job [`JobStats`]: cache hit/miss, queue latency, and
-//! instrument / translate / execute phase times measured *per job* on the
-//! worker's own clock (the process-global [`crate::stats`] phase timers
-//! aggregate across threads and cannot attribute time to a job — see the
-//! caveat there).
+//! fused build / execute phase times measured *per job* on the worker's
+//! own clock (the process-global [`crate::stats`] phase timers aggregate
+//! across threads and cannot attribute time to a job — see the caveat
+//! there).
 //!
 //! # Examples
 //!
@@ -161,11 +161,9 @@ pub struct JobStats {
     pub cache_hit: bool,
     /// Time from batch start to this job being dequeued by a worker.
     pub queue: Duration,
-    /// Instrumentation time this job paid (zero on a cache hit).
-    pub instrument: Duration,
-    /// Validation + flat-IR translation time this job paid (zero on a
-    /// cache hit).
-    pub translate: Duration,
+    /// Fused session-build time (validate + instrument + translate, the
+    /// direct-emit pass) this job paid — zero on a cache hit.
+    pub build: Duration,
     /// Instantiate + invoke time.
     pub execute: Duration,
     /// Index of the worker that executed the job.
@@ -207,7 +205,7 @@ pub struct BatchResult {
     pub workers: usize,
     /// Jobs whose `(key, hook set)` entry was already cached.
     pub cache_hits: u64,
-    /// Jobs that built (instrumented + translated) a cache entry. Jobs
+    /// Jobs that built (direct-emit instrument+translate) a cache entry. Jobs
     /// that failed before or without a completed cache lookup (unknown
     /// analysis, validation failure, panic) count as neither hit nor
     /// miss.
@@ -420,8 +418,7 @@ impl Fleet {
                                 stats: JobStats {
                                     cache_hit: false,
                                     queue: started.elapsed(),
-                                    instrument: Duration::ZERO,
-                                    translate: Duration::ZERO,
+                                    build: Duration::ZERO,
                                     execute: Duration::ZERO,
                                     worker: me,
                                     stolen: me != home,
@@ -513,8 +510,7 @@ fn run_job(
     let mut stats = JobStats {
         cache_hit: false,
         queue,
-        instrument: Duration::ZERO,
-        translate: Duration::ZERO,
+        build: Duration::ZERO,
         execute: Duration::ZERO,
         worker: me,
         stolen: me != home,
@@ -545,8 +541,7 @@ fn run_job(
         Err(e) => return fail(JobError::Invalid(e), stats),
     };
     stats.cache_hit = looked.hit;
-    stats.instrument = looked.instrument;
-    stats.translate = looked.translate;
+    stats.build = looked.build;
 
     let mut builder = Wasabi::builder();
     for analysis in &mut analyses {
@@ -820,11 +815,11 @@ mod tests {
                 assert_eq!(outcome.stats.worker, outcome.job % batch.workers);
             }
         }
-        // Exactly the cache-missing job paid instrument + translate time.
+        // Exactly the cache-missing job paid the fused build time.
         let payers: Vec<_> = batch
             .jobs
             .iter()
-            .filter(|j| j.stats.instrument > Duration::ZERO)
+            .filter(|j| j.stats.build > Duration::ZERO)
             .collect();
         assert_eq!(payers.len(), 1);
         assert!(!payers[0].stats.cache_hit);

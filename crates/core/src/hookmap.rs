@@ -97,6 +97,22 @@ impl HookMap {
     }
 }
 
+/// Synthetic-import descriptors for the direct-emit instrumentation path:
+/// one [`wasabi_vm::HookImport`] per monomorphized hook, in hook-map ordinal
+/// order — exactly the order (and thus the function indices) the rewrite
+/// path's `add_function_import` loop would have produced, so hook callee
+/// index `function_count + i` resolves to `hooks[i]` on both paths.
+pub fn hook_imports(hooks: &[LowLevelHook]) -> Vec<wasabi_vm::HookImport> {
+    hooks
+        .iter()
+        .map(|hook| wasabi_vm::HookImport {
+            module: crate::convention::HOOK_MODULE.to_string(),
+            name: hook.name(),
+            ty: hook.wasm_type(),
+        })
+        .collect()
+}
+
 /// Number of monomorphic call hooks an *eager* strategy would generate for
 /// calls with up to `max_args` arguments (4 value types per position):
 /// `sum_{n=0}^{max_args} 4^n`. The paper's §4.5 argument: for the Unreal
@@ -217,6 +233,24 @@ mod tests {
 
         // 8 const/drop variants + 4 distinct local-get variants.
         assert_eq!(map.len(), expected.len() + 4);
+    }
+
+    #[test]
+    fn hook_imports_mirror_rewrite_import_order() {
+        // Ordinal i of `into_hooks()` must become descriptor i, under the
+        // hook module name, with the hook's flattened type — the same
+        // function-index assignment the rewrite path's import loop makes.
+        let map = HookMap::new(3);
+        map.get_or_insert(LowLevelHook::Nop);
+        map.get_or_insert(LowLevelHook::Const(ValType::F64));
+        let hooks = map.into_hooks();
+        let imports = hook_imports(&hooks);
+        assert_eq!(imports.len(), 2);
+        for (hook, import) in hooks.iter().zip(&imports) {
+            assert_eq!(import.module, crate::convention::HOOK_MODULE);
+            assert_eq!(import.name, hook.name());
+            assert_eq!(import.ty, hook.wasm_type());
+        }
     }
 
     #[test]

@@ -28,6 +28,8 @@ use wasabi_wasm::module::{Function, Module};
 use wasabi_wasm::types::ValType;
 use wasabi_wasm::validate::{validate, TypeChecker};
 
+use wasabi_vm::{InstrumentedFunc, TranslatedModule};
+
 use crate::convention::{LowLevelHook, HOOK_MODULE};
 use crate::hookmap::HookMap;
 use crate::hooks::{BlockKind, Hook, HookSet};
@@ -86,6 +88,87 @@ impl Instrumenter {
     }
 
     fn run_timed(&self, module: &Module) -> Result<(Module, ModuleInfo), ValidationError> {
+        let (results, info) = self.instrument_functions(module)?;
+        let function_count = module.functions.len();
+
+        let mut instrumented = module.clone();
+        for (func_idx, result) in results.into_iter().enumerate() {
+            if let Some((body, extra_locals)) = result {
+                let code = instrumented.functions[func_idx]
+                    .code_mut()
+                    .expect("only local functions produce results");
+                code.body = body;
+                code.locals.extend(extra_locals);
+            }
+        }
+
+        for (i, hook) in info.hooks.iter().enumerate() {
+            let idx = instrumented.add_function_import(hook.wasm_type(), HOOK_MODULE, &hook.name());
+            debug_assert_eq!(idx.to_usize(), function_count + i);
+        }
+
+        debug_assert!(validate(&instrumented).is_ok());
+        Ok((instrumented, info))
+    }
+
+    /// Direct-emit instrumentation (ROADMAP item 2): instrument and
+    /// translate in one fused pass, skipping module surgery entirely.
+    ///
+    /// The per-function instrumentation pass is *shared* with the rewrite
+    /// path — the same instrumented bodies are produced — but instead of
+    /// cloning the module, patching bodies, and re-walking the bloated
+    /// result, the bodies are handed straight to the flat translator
+    /// ([`TranslatedModule::new_instrumented`]). Hook callees become
+    /// *synthetic imports*: function indices past the end of the original
+    /// index space, described by [`wasabi_vm::HookImport`] descriptors and
+    /// resolved against the host at instantiation like real imports.
+    ///
+    /// Timing is recorded as one fused build phase
+    /// ([`crate::stats::fused_build_time`]), not as separate
+    /// instrumentation/translation phases — there is no meaningful
+    /// boundary between the two inside this pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input module does not validate.
+    pub fn run_direct(
+        &self,
+        module: &Module,
+    ) -> Result<(TranslatedModule, ModuleInfo), ValidationError> {
+        crate::stats::record_instrumentation();
+        let timer = std::time::Instant::now();
+        let result = self.run_direct_inner(module);
+        crate::stats::record_fused_build_time(timer.elapsed());
+        result
+    }
+
+    fn run_direct_inner(
+        &self,
+        module: &Module,
+    ) -> Result<(TranslatedModule, ModuleInfo), ValidationError> {
+        let (results, info) = self.instrument_functions(module)?;
+
+        let funcs: Vec<Option<InstrumentedFunc>> = results
+            .into_iter()
+            .map(|r| r.map(|(body, extra_locals)| InstrumentedFunc { body, extra_locals }))
+            .collect();
+        let hook_imports = crate::hookmap::hook_imports(&info.hooks);
+
+        let translated = TranslatedModule::new_instrumented(module.clone(), &funcs, hook_imports)
+            .expect("direct-emit input module already validated");
+        Ok((translated, info))
+    }
+
+    /// The shared per-function instrumentation pass: returns the
+    /// instrumented `(body, extra_locals)` per local function (imports stay
+    /// `None`) plus the fully populated [`ModuleInfo`] (`enabled`, `hooks`
+    /// in hook-map ordinal order, `br_tables`). Both the rewrite and the
+    /// direct-emit paths build on this; they differ only in what they do
+    /// with the bodies afterwards.
+    fn instrument_functions(
+        &self,
+        module: &Module,
+    ) -> Result<InstrumentedFunctions, ValidationError> {
         validate(module)?;
 
         let mut info = ModuleInfo::from_module(module);
@@ -128,29 +211,15 @@ impl Instrumenter {
             .expect("instrumentation worker panicked");
         }
 
-        let mut instrumented = module.clone();
-        for (func_idx, result) in results.into_iter().enumerate() {
-            if let Some((body, extra_locals)) = result {
-                let code = instrumented.functions[func_idx]
-                    .code_mut()
-                    .expect("only local functions produce results");
-                code.body = body;
-                code.locals.extend(extra_locals);
-            }
-        }
-
-        let hooks = hook_map.into_hooks();
-        for (i, hook) in hooks.iter().enumerate() {
-            let idx = instrumented.add_function_import(hook.wasm_type(), HOOK_MODULE, &hook.name());
-            debug_assert_eq!(idx.to_usize(), function_count + i);
-        }
-        info.hooks = hooks;
+        info.hooks = hook_map.into_hooks();
         info.br_tables = br_tables.into_inner().expect("no poisoned lock");
-
-        debug_assert!(validate(&instrumented).is_ok());
-        Ok((instrumented, info))
+        Ok((results, info))
     }
 }
+
+/// Result of the shared instrumentation pass: per-function instrumented
+/// bodies (`None` for imports) plus the populated [`ModuleInfo`].
+type InstrumentedFunctions = (Vec<Option<(Vec<Instr>, Vec<ValType>)>>, ModuleInfo);
 
 /// Instrument `module` for the given hook set (paper Fig. 2, "instrument").
 ///

@@ -77,12 +77,38 @@ impl Wasabi {
     }
 }
 
+/// Which of the two instrumentation paths a build uses.
+///
+/// Both produce behaviorally identical sessions (the three-way
+/// differential oracle in `tests/instrumented_differential.rs` pins this);
+/// they differ in *how* hook calls come to exist:
+///
+/// - [`DirectEmit`](InstrumentationMode::DirectEmit) (default): hook calls
+///   are emitted straight into the VM's flat IR while translating the
+///   *uninstrumented* module — no binary rewrite, no re-encode, no
+///   translation of a bloated module. Hooks the host never subscribes to
+///   are additionally retired at the dispatch arm (`Host::is_noop`).
+/// - [`Rewrite`](InstrumentationMode::Rewrite): the paper's §2.4 binary
+///   rewriting — produce an instrumented [`Module`] with real hook
+///   imports, then translate it. This is the product path for emitting
+///   standalone instrumented `.wasm` files and the oracle the direct path
+///   is differentially tested against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstrumentationMode {
+    /// Fused instrument+translate straight from the original module.
+    #[default]
+    DirectEmit,
+    /// Binary rewriting (paper §2.4), then translation of the result.
+    Rewrite,
+}
+
 /// Builder collecting analyses and instrumentation options; `build`
 /// instruments the module once for the union of all hook sets.
 #[derive(Default)]
 pub struct PipelineBuilder<'a> {
     analyses: Vec<&'a mut dyn Analysis>,
     threads: Option<usize>,
+    mode: InstrumentationMode,
 }
 
 impl<'a> PipelineBuilder<'a> {
@@ -91,7 +117,15 @@ impl<'a> PipelineBuilder<'a> {
         PipelineBuilder {
             analyses: Vec::new(),
             threads: None,
+            mode: InstrumentationMode::default(),
         }
+    }
+
+    /// Select the instrumentation path (default:
+    /// [`InstrumentationMode::DirectEmit`]).
+    pub fn mode(mut self, mode: InstrumentationMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Register an analysis. Events are dispatched to analyses in
@@ -128,9 +162,17 @@ impl<'a> PipelineBuilder<'a> {
         if let Some(threads) = self.threads {
             instrumenter = instrumenter.threads(threads);
         }
-        let (instrumented, info) = instrumenter.run(module)?;
-        let session = Arc::new(AnalysisSession::from_parts(instrumented, info)?);
-        Ok(self.assemble(session))
+        let session = match self.mode {
+            InstrumentationMode::DirectEmit => {
+                let (translated, info) = instrumenter.run_direct(module)?;
+                AnalysisSession::from_direct(translated, info)
+            }
+            InstrumentationMode::Rewrite => {
+                let (instrumented, info) = instrumenter.run(module)?;
+                AnalysisSession::from_parts(instrumented, info)?
+            }
+        };
+        Ok(self.assemble(Arc::new(session)))
     }
 
     /// Build a pipeline over an **already instrumented** shared session —
@@ -178,6 +220,7 @@ impl std::fmt::Debug for PipelineBuilder<'_> {
         f.debug_struct("PipelineBuilder")
             .field("analyses", &self.analyses.len())
             .field("threads", &self.threads)
+            .field("mode", &self.mode)
             .finish()
     }
 }
@@ -406,6 +449,33 @@ mod tests {
         // Here: the pipeline exists and ran, and at least one pass
         // happened since `before`.
         assert!(stats::instrumentation_passes() > before);
+    }
+
+    #[test]
+    fn rewrite_mode_matches_direct_emit_default() {
+        // The default build goes through direct-emit; forcing the rewrite
+        // path must produce identical results, events, and reports.
+        let module = module_with_memory();
+        let mut direct_mem = MemOps::default();
+        let mut rewrite_mem = MemOps::default();
+        let direct = {
+            let mut p = Wasabi::builder()
+                .analysis(&mut direct_mem)
+                .build(&module)
+                .unwrap();
+            p.run("f", &[]).unwrap()
+        };
+        let rewrite = {
+            let mut p = Wasabi::builder()
+                .analysis(&mut rewrite_mem)
+                .mode(InstrumentationMode::Rewrite)
+                .build(&module)
+                .unwrap();
+            p.run("f", &[]).unwrap()
+        };
+        assert_eq!(direct, rewrite);
+        assert_eq!(direct_mem.0, rewrite_mem.0);
+        assert_eq!(direct_mem.0, 2, "one store + one load");
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::event::{
 };
 use crate::hooks::{Analysis, Hook, HookSet, MemArg};
 use crate::info::ModuleInfo;
-use crate::instrument::instrument;
+use crate::instrument::{instrument, Instrumenter};
 use crate::location::{BranchTarget, Location};
 use crate::stats;
 
@@ -492,6 +492,16 @@ impl Host for WasabiHost<'_, '_> {
     fn resolve_global(&mut self, module: &str, name: &str, ty: &GlobalType) -> Option<Val> {
         self.program_host.as_mut()?.resolve_global(module, name, ty)
     }
+
+    fn is_noop(&mut self, id: HostFuncId) -> bool {
+        // A hook whose plan says `skip` would reach `call` above only to
+        // return an empty result: result-less, observation-free, trap-free.
+        // Declaring it a no-op lets the VM retire *synthetic* hook imports
+        // (direct-emit path) at the dispatch arm without ever crossing the
+        // host boundary. Program-host imports (`id >= hook_count`) are
+        // never no-ops.
+        id.0 < self.plans.len() && self.plans[id.0].skip
+    }
 }
 
 /// Error running an analyzed program.
@@ -607,6 +617,28 @@ impl AnalysisSession {
         Ok(AnalysisSession { translated, info })
     }
 
+    /// Build a session via the *direct-emit* path
+    /// ([`crate::Instrumenter::run_direct`]): hook calls are emitted
+    /// straight into the flat IR from the uninstrumented module — no
+    /// binary rewrite, no re-encode, no translation of a bloated module.
+    /// Behaviorally equivalent to [`AnalysisSession::new`] (the
+    /// differential oracle pins this); the build is cheaper and
+    /// [`AnalysisSession::module`] returns the *original* module.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not validate.
+    pub fn direct(module: &Module, hooks: HookSet) -> Result<Self, wasabi_wasm::ValidationError> {
+        let (translated, info) = Instrumenter::new(hooks).run_direct(module)?;
+        Ok(Self::from_direct(translated, info))
+    }
+
+    /// Bundle a direct-emit translation with its static info (used by
+    /// [`crate::pipeline::PipelineBuilder::build`] and the module cache).
+    pub(crate) fn from_direct(translated: TranslatedModule, info: ModuleInfo) -> Self {
+        AnalysisSession { translated, info }
+    }
+
     /// Instrument `module` selectively for the hooks `analysis` declares.
     ///
     /// # Errors
@@ -619,7 +651,10 @@ impl AnalysisSession {
         Self::new(module, analysis.hooks())
     }
 
-    /// The instrumented module.
+    /// The session's module: the instrumented module for rewrite-path
+    /// sessions ([`AnalysisSession::new`]), the *original* module for
+    /// direct-emit sessions ([`AnalysisSession::direct`] — hook calls
+    /// exist only in the flat IR there).
     pub fn module(&self) -> &Module {
         self.translated.module()
     }

@@ -21,15 +21,23 @@
 //!
 //! # Single-run caveat: the phase timers are process-global
 //!
-//! [`instrumentation_time`] and [`translation_time`] are **sums over every
-//! pass the whole process has performed, on all threads**. Reading a
-//! before/after delta around one run (as the CLI `--time` flag does) is
-//! only meaningful while nothing runs concurrently — with a
-//! [`crate::fleet::Fleet`] executing jobs on several workers, a delta
-//! would attribute other jobs' phases to yours. That is why fleet jobs
-//! carry their **own** per-job phase times, measured on the executing
-//! worker's clock ([`crate::fleet::JobStats`]), and the global timers here
-//! remain what they are: process-lifetime aggregates.
+//! [`instrumentation_time`], [`translation_time`], and
+//! [`fused_build_time`] are **sums over every pass the whole process has
+//! performed, on all threads**. Reading a before/after delta around one
+//! run (as the CLI `--time` flag does) is only meaningful while nothing
+//! runs concurrently — with a [`crate::fleet::Fleet`] executing jobs on
+//! several workers, a delta would attribute other jobs' phases to yours.
+//! That is why fleet jobs carry their **own** per-job phase times,
+//! measured on the executing worker's clock
+//! ([`crate::fleet::JobStats`]), and the global timers here remain what
+//! they are: process-lifetime aggregates.
+//!
+//! The three build timers are *disjoint by construction*: a rewrite-path
+//! build feeds [`instrumentation_time`] + [`translation_time`], a
+//! direct-emit build feeds only [`fused_build_time`]. A single run never
+//! contributes to both sides, so phase breakdowns can print whichever is
+//! non-zero without double-counting (pinned by the `fused_stats`
+//! integration test).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -40,6 +48,7 @@ static HOST_CALLS_FAST: AtomicU64 = AtomicU64::new(0);
 static HOST_CALLS_SLOW: AtomicU64 = AtomicU64::new(0);
 static INSTRUMENTATION_NANOS: AtomicU64 = AtomicU64::new(0);
 static TRANSLATION_NANOS: AtomicU64 = AtomicU64::new(0);
+static FUSED_BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static FLEET_JOBS: AtomicU64 = AtomicU64::new(0);
@@ -79,6 +88,17 @@ pub fn instrumentation_time() -> Duration {
 /// Total wall time spent validating + translating modules to the flat IR.
 pub fn translation_time() -> Duration {
     Duration::from_nanos(TRANSLATION_NANOS.load(Ordering::Relaxed))
+}
+
+/// Total wall time spent in *fused* direct-emit builds
+/// ([`crate::Instrumenter::run_direct`]): instrumentation and translation
+/// in one pass, with no internal phase boundary. Disjoint from
+/// [`instrumentation_time`] and [`translation_time`] — a direct-emit build
+/// contributes **only** here, so summing all three never double-counts a
+/// pass, and a `--time` delta around a direct-emit run shows one non-zero
+/// build phase instead of a misleading zero instrument phase.
+pub fn fused_build_time() -> Duration {
+    Duration::from_nanos(FUSED_BUILD_NANOS.load(Ordering::Relaxed))
 }
 
 /// [`crate::cache::ModuleCache`] lookups that found an existing entry,
@@ -135,6 +155,10 @@ pub(crate) fn record_translation_time(elapsed: Duration) {
     TRANSLATION_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
 }
 
+pub(crate) fn record_fused_build_time(elapsed: Duration) {
+    FUSED_BUILD_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +171,13 @@ mod tests {
         let before = execution_passes();
         record_execution();
         assert!(execution_passes() >= before + 1);
+    }
+
+    #[test]
+    fn fused_build_timer_is_monotonic() {
+        let before = fused_build_time();
+        record_fused_build_time(Duration::from_millis(5));
+        assert!(fused_build_time() >= before + Duration::from_millis(5));
     }
 
     #[test]

@@ -86,6 +86,23 @@
 //! equal to the structured-walk semantics (see [`crate::reference`], the
 //! oracle the proptest differential suite compares against).
 //!
+//! # Direct-emit instrumentation
+//!
+//! [`crate::TranslatedModule::new_instrumented`] feeds pre-instrumented
+//! bodies straight into this translator together with a list of *synthetic*
+//! [`HookImport`]s occupying function indices past the module's own — no
+//! rewritten binary ever exists. Injected hook calls are ordinary imported
+//! calls to the translator, so they fold into
+//! [`Op::HostCallConst`]/[`Op::HostCallArgs`] under the same two legality
+//! rules as everything else (an injected call is trap-capable — the host
+//! boundary — so it is always the *last* member of its group, and no
+//! branch may enter the marshalling run feeding it). At instantiation the
+//! synthetic imports resolve after the module's real imports, and the host
+//! may declare any of them a statically-known no-op
+//! ([`crate::Host::is_noop`]), in which case the dispatch arms retire the
+//! call without crossing the host boundary at all — same weight, same fuel,
+//! same depth check, no observable difference.
+//!
 //! Translation is cached per module by [`crate::TranslatedModule`]: reusing
 //! one across [`crate::Instance::instantiate_translated`] calls translates
 //! once, not per run.
@@ -95,8 +112,8 @@ use std::collections::HashMap;
 use wasabi_wasm::instr::{
     BinaryOp, GlobalOp, Instr, Label, LoadOp, LocalOp, StoreOp, UnaryOp, Val,
 };
-use wasabi_wasm::module::{Code, Module};
-use wasabi_wasm::types::FuncType;
+use wasabi_wasm::module::Module;
+use wasabi_wasm::types::{FuncType, ValType};
 
 /// Sentinel flat pc: this branch leaves the function (returns).
 pub(crate) const RETURN_TARGET: u32 = u32::MAX;
@@ -336,6 +353,43 @@ pub(crate) struct ModuleCode {
     pub consts: Vec<Val>,
     /// Deduplicated argument templates of [`Op::HostCallArgs`] ops.
     pub args: Vec<ArgSrc>,
+    /// Synthetic function imports of the direct-emit instrumentation path
+    /// ([`crate::TranslatedModule::new_instrumented`]), occupying function
+    /// indices `module.functions.len()..`. Empty for plain translations.
+    pub hook_imports: Vec<HookImport>,
+}
+
+/// A *synthetic* function import: it exists only in the translated code,
+/// not in the underlying [`Module`]. The direct-emit instrumentation path
+/// appends one per distinct low-level hook past the module's own function
+/// index space; instantiation resolves them against the host exactly like
+/// real imports (in order, after the module's own imports).
+///
+/// Calls to a synthetic import always translate to the host-call intrinsic
+/// ops — they have no `FuncTarget` entry, so the generic call machinery
+/// could not reach them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HookImport {
+    /// Import module namespace (e.g. the instrumenter's hook module).
+    pub module: String,
+    /// Import name within the namespace.
+    pub name: String,
+    /// Signature the import is resolved and called with.
+    pub ty: FuncType,
+}
+
+/// A pre-instrumented replacement body for one function, consumed by
+/// [`crate::TranslatedModule::new_instrumented`]: the original instruction
+/// sequence with hook calls (to [`HookImport`] indices) already woven in,
+/// plus the types of any helper locals the injected code references beyond
+/// the function's own locals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentedFunc {
+    /// The instrumented body (must be structurally valid against the
+    /// original module extended by the hook imports).
+    pub body: Vec<Instr>,
+    /// Types of extra locals appended after the function's own locals.
+    pub extra_locals: Vec<ValType>,
 }
 
 /// Translation knobs. The defaults are what [`crate::TranslatedModule::new`]
@@ -460,8 +514,10 @@ pub(crate) fn translate_module_with(module: &Module, opts: TranslateOptions) -> 
         .map(|f| match f.code() {
             Some(code) => translate_function(
                 module,
+                &[],
                 &f.type_,
-                code,
+                &code.body,
+                &code.locals,
                 &mut sigs,
                 &mut sig_ids,
                 &mut pool,
@@ -475,6 +531,69 @@ pub(crate) fn translate_module_with(module: &Module, opts: TranslateOptions) -> 
         sigs,
         consts: pool.consts,
         args: pool.args,
+        hook_imports: Vec::new(),
+    }
+}
+
+/// Direct-emit instrumentation: translate a **validated** module whose
+/// function bodies have been replaced by pre-instrumented instruction
+/// sequences calling synthetic [`HookImport`]s at indices
+/// `module.functions.len()..`. No binary rewrite, no re-encode: the hook
+/// calls flow through the same translation (and host-call fusion) as any
+/// other imported call, so the emitted op stream is exactly what
+/// translating the equivalent rewritten module would produce.
+///
+/// `funcs` is aligned with `module.functions`; `None` keeps the original
+/// body (imports stay empty). Hook calls always become host-call intrinsic
+/// ops regardless of `opts.host_call_intrinsics` — synthetic imports have
+/// no function-target entry for the generic machinery to dispatch on.
+pub(crate) fn translate_module_instrumented(
+    module: &Module,
+    funcs: &[Option<InstrumentedFunc>],
+    hook_imports: Vec<HookImport>,
+    opts: TranslateOptions,
+) -> ModuleCode {
+    debug_assert_eq!(funcs.len(), module.functions.len());
+    let mut sigs: Vec<FuncType> = Vec::new();
+    let mut sig_ids: HashMap<FuncType, u32> = HashMap::new();
+    let mut pool = ConstPool::default();
+    let mut all_locals: Vec<ValType> = Vec::new();
+    let translated = module
+        .functions
+        .iter()
+        .zip(funcs)
+        .map(|(f, instrumented)| {
+            let Some(code) = f.code() else {
+                return FuncCode::default();
+            };
+            let (body, locals): (&[Instr], &[ValType]) = match instrumented {
+                Some(inst) => {
+                    all_locals.clear();
+                    all_locals.extend_from_slice(&code.locals);
+                    all_locals.extend_from_slice(&inst.extra_locals);
+                    (&inst.body, &all_locals)
+                }
+                None => (&code.body, &code.locals),
+            };
+            translate_function(
+                module,
+                &hook_imports,
+                &f.type_,
+                body,
+                locals,
+                &mut sigs,
+                &mut sig_ids,
+                &mut pool,
+                opts,
+            )
+        })
+        .collect();
+    ModuleCode {
+        funcs: translated,
+        sigs,
+        consts: pool.consts,
+        args: pool.args,
+        hook_imports,
     }
 }
 
@@ -524,14 +643,15 @@ fn dest_for(frames: &[TFrame], label: Label) -> BrDest {
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn translate_function(
     module: &Module,
+    hook_imports: &[HookImport],
     ty: &FuncType,
-    code: &Code,
+    body: &[Instr],
+    locals: &[ValType],
     sigs: &mut Vec<FuncType>,
     sig_ids: &mut HashMap<FuncType, u32>,
     pool: &mut ConstPool,
     opts: TranslateOptions,
 ) -> FuncCode {
-    let body = &code.body;
     let jump = compute_jump_table(body);
     let mut ops: Vec<Op> = Vec::with_capacity(body.len());
     let mut frames: Vec<TFrame> = vec![TFrame {
@@ -639,12 +759,17 @@ fn translate_function(
             }
 
             Instr::Call(callee) => {
-                let callee_fn = &module.functions[callee.to_usize()];
-                let callee_ty = &callee_fn.type_;
+                // Indices past the module's own function space name the
+                // synthetic hook imports of the direct-emit path.
+                let idx = callee.to_usize();
+                let (callee_ty, is_import, is_synthetic) = match module.functions.get(idx) {
+                    Some(f) => (&f.type_, f.import().is_some(), false),
+                    None => (&hook_imports[idx - module.functions.len()].ty, true, true),
+                };
                 if live {
                     h = h - callee_ty.params.len() as u32 + callee_ty.results.len() as u32;
                 }
-                if opts.host_call_intrinsics && callee_fn.import().is_some() {
+                if is_import && (opts.host_call_intrinsics || is_synthetic) {
                     Op::HostCall {
                         func: callee.to_u32(),
                         argc: callee_ty.params.len() as u32,
@@ -758,7 +883,7 @@ fn translate_function(
 
     FuncCode {
         ops,
-        zeros: code.locals.iter().map(|&ty| Val::zero(ty)).collect(),
+        zeros: locals.iter().map(|&ty| Val::zero(ty)).collect(),
         arity: ty.results.len(),
     }
 }

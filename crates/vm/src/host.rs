@@ -50,6 +50,22 @@ pub trait Host {
         let _ = (module, name, ty);
         None
     }
+
+    /// Whether calls of the resolved import `id` are statically known
+    /// no-ops: result-less, observation-free, and guaranteed never to trap.
+    ///
+    /// Queried once per *synthetic* hook import at instantiation (the
+    /// direct-emit instrumentation path, see
+    /// [`TranslatedModule::new_instrumented`](crate::TranslatedModule::new_instrumented));
+    /// real module imports always cross the host boundary regardless of this
+    /// answer. When `true`, the interpreter retires calls of `id` at the
+    /// dispatch arm — still paying instruction weight, fuel, and the
+    /// call-depth check — without marshalling arguments or calling
+    /// [`Host::call`]. Default: `false`.
+    fn is_noop(&mut self, id: HostFuncId) -> bool {
+        let _ = id;
+        false
+    }
 }
 
 /// A host with no imports at all. Instantiation fails if the module imports

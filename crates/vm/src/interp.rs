@@ -34,7 +34,9 @@ use wasabi_wasm::instr::{FunctionSpace, GlobalOp, Idx, Instr, Val};
 use wasabi_wasm::module::{GlobalKind, Module};
 use wasabi_wasm::validate::validate;
 
-use crate::flat::{self, ArgSrc, ModuleCode, Op, TranslateOptions, RETURN_TARGET};
+use crate::flat::{
+    self, ArgSrc, HookImport, InstrumentedFunc, ModuleCode, Op, TranslateOptions, RETURN_TARGET,
+};
 use crate::host::{Host, HostCtx, HostFuncId};
 use crate::memory::LinearMemory;
 use crate::numeric;
@@ -178,9 +180,72 @@ impl TranslatedModule {
         })
     }
 
+    /// Direct-emit instrumentation: validate the **uninstrumented** module
+    /// and translate the given pre-instrumented bodies in its place — no
+    /// binary rewrite, no re-encode, no validation of a bloated rewritten
+    /// module.
+    ///
+    /// `funcs` is aligned with `module.functions` (`None` keeps the
+    /// original body); injected hook calls target the synthetic
+    /// `hook_imports` at function indices `module.functions.len()..`, are
+    /// always emitted as host-call intrinsic ops, and fuse with their
+    /// marshalling runs exactly like calls of real imports (`crate::flat`,
+    /// "Direct-emit instrumentation"). At instantiation the synthetic
+    /// imports resolve against the host after the module's real imports,
+    /// and hooks the host declares no-op ([`Host::is_noop`]) retire
+    /// without crossing the host boundary.
+    ///
+    /// The caller guarantees the instrumented bodies are valid against the
+    /// original module extended by the hook imports — this constructor
+    /// validates only the original module (instrumenters type-check while
+    /// injecting, so re-checking their output would be pure overhead).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the (original) module does not validate.
+    pub fn new_instrumented(
+        module: Module,
+        funcs: &[Option<InstrumentedFunc>],
+        hook_imports: Vec<HookImport>,
+    ) -> Result<Self, wasabi_wasm::ValidationError> {
+        validate(&module)?;
+        let code = Arc::new(flat::translate_module_instrumented(
+            &module,
+            funcs,
+            hook_imports,
+            TranslateOptions::default(),
+        ));
+        Ok(TranslatedModule {
+            module: Arc::new(module),
+            code,
+        })
+    }
+
     /// The underlying module.
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// The synthetic hook imports of a direct-emit translation (empty for
+    /// plain translations), in resolution order.
+    pub fn hook_imports(&self) -> &[HookImport] {
+        &self.code.hook_imports
+    }
+
+    /// Debug-formatted flat op streams, one `Vec<String>` per function in
+    /// module order (imports are empty).
+    ///
+    /// This is an introspection surface for tests pinning translation
+    /// equalities (e.g. "instrumenting for an empty hook set emits
+    /// op-for-op the uninstrumented translation"); the formatting is not a
+    /// stable API.
+    #[doc(hidden)]
+    pub fn op_streams(&self) -> Vec<Vec<String>> {
+        self.code
+            .funcs
+            .iter()
+            .map(|f| f.ops.iter().map(|op| format!("{op:?}")).collect())
+            .collect()
     }
 }
 
@@ -221,8 +286,15 @@ pub struct Instance {
     /// imported function index, the [`HostFuncId`] the host resolved it to
     /// (non-import slots hold a never-read placeholder). Resolved once at
     /// instantiation so [`Op::HostCall`] dispatch needs no per-call match
-    /// on [`FuncTarget`].
+    /// on [`FuncTarget`]. Synthetic hook imports of a direct-emit
+    /// translation extend the table past the module's own function count.
     host_ids: Vec<HostFuncId>,
+    /// Aligned with `host_ids`: `true` if the host declared the import a
+    /// statically-known no-op ([`Host::is_noop`]). Only *synthetic* hook
+    /// imports are ever queried — real imports always cross the host
+    /// boundary. A masked call still pays its weight, fuel, and depth
+    /// check; it just skips argument marshalling and the host call.
+    host_noop: Vec<bool>,
     /// Argument scratch for [`Op::HostCallConst`] with mixed stack/const
     /// arguments; reused across calls, so the steady state allocates
     /// nothing.
@@ -273,8 +345,10 @@ impl Instance {
     ) -> Result<Self, InstantiationError> {
         let module = &*translated.module;
 
+        let hook_imports = &translated.code.hook_imports;
         let mut func_targets = Vec::with_capacity(module.functions.len());
-        let mut host_ids = Vec::with_capacity(module.functions.len());
+        let mut host_ids = Vec::with_capacity(module.functions.len() + hook_imports.len());
+        let mut host_noop = Vec::with_capacity(module.functions.len() + hook_imports.len());
         for function in &module.functions {
             match function.import() {
                 Some(import) => {
@@ -286,14 +360,32 @@ impl Instance {
                         })?;
                     func_targets.push(FuncTarget::Host(id));
                     host_ids.push(id);
+                    host_noop.push(false);
                 }
                 None => {
                     func_targets.push(FuncTarget::Wasm);
                     // Placeholder; `Op::HostCall` is only emitted for
                     // imported callees, so this slot is never read.
                     host_ids.push(HostFuncId(usize::MAX));
+                    host_noop.push(false);
                 }
             }
+        }
+        // Synthetic hook imports of a direct-emit translation resolve after
+        // the module's real imports (same relative order as they appear in
+        // the code). They are the only imports the no-op mask is consulted
+        // for: a hook the host statically knows it will ignore retires at
+        // the dispatch arm without marshalling arguments or crossing the
+        // host boundary.
+        for hook in hook_imports {
+            let id = host
+                .resolve(&hook.module, &hook.name, &hook.ty)
+                .ok_or_else(|| InstantiationError::UnresolvedFunctionImport {
+                    module: hook.module.clone(),
+                    name: hook.name.clone(),
+                })?;
+            host_ids.push(id);
+            host_noop.push(host.is_noop(id));
         }
 
         let mut globals = Vec::with_capacity(module.globals.len());
@@ -344,6 +436,7 @@ impl Instance {
             code: Arc::clone(&translated.code),
             func_targets,
             host_ids,
+            host_noop,
             host_args: Vec::new(),
             memory,
             table,
@@ -756,7 +849,20 @@ impl Instance {
                         return Err(Trap::CallStackExhausted);
                     }
                     let at = stack.len() - *argc as usize;
-                    self.host_call_fast(*func, &mut stack, at, &[], *retc, host)?;
+                    // No-op mask (direct-emit instrumentation): a hook the
+                    // host declared dead retires here — weight, fuel, and
+                    // the depth check above were already paid, so traps and
+                    // `executed_instrs` are unchanged; only argument
+                    // marshalling and the host boundary are skipped. Hooks
+                    // return no results (`retc == 0`), so popping the
+                    // arguments restores the stack exactly.
+                    if self.host_noop[*func as usize] {
+                        debug_assert_eq!(*retc, 0, "no-op mask requires resultless hooks");
+                        self.host_calls_fast += 1;
+                        stack.truncate(at);
+                    } else {
+                        self.host_call_fast(*func, &mut stack, at, &[], *retc, host)?;
+                    }
                 }
                 Op::HostCallConst {
                     func,
@@ -769,9 +875,15 @@ impl Instance {
                         return Err(Trap::CallStackExhausted);
                     }
                     let at = stack.len() - *stack_argc as usize;
-                    let consts =
-                        &code.consts[*const_at as usize..(*const_at + *const_len) as usize];
-                    self.host_call_fast(*func, &mut stack, at, consts, *retc, host)?;
+                    if self.host_noop[*func as usize] {
+                        debug_assert_eq!(*retc, 0, "no-op mask requires resultless hooks");
+                        self.host_calls_fast += 1;
+                        stack.truncate(at);
+                    } else {
+                        let consts =
+                            &code.consts[*const_at as usize..(*const_at + *const_len) as usize];
+                        self.host_call_fast(*func, &mut stack, at, consts, *retc, host)?;
+                    }
                 }
                 Op::HostCallArgs {
                     func,
@@ -784,8 +896,14 @@ impl Instance {
                         return Err(Trap::CallStackExhausted);
                     }
                     let at = stack.len() - *stack_argc as usize;
-                    let tpl = &code.args[*args_at as usize..(*args_at + *args_len) as usize];
-                    self.host_call_args(*func, &mut stack, at, tpl, &locals, *retc, host)?;
+                    if self.host_noop[*func as usize] {
+                        debug_assert_eq!(*retc, 0, "no-op mask requires resultless hooks");
+                        self.host_calls_fast += 1;
+                        stack.truncate(at);
+                    } else {
+                        let tpl = &code.args[*args_at as usize..(*args_at + *args_len) as usize];
+                        self.host_call_args(*func, &mut stack, at, tpl, &locals, *retc, host)?;
+                    }
                 }
                 Op::CallIndirect { sig, params } => {
                     let table_idx = pop_i32!() as u32;

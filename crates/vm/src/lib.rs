@@ -34,6 +34,7 @@ pub mod reference;
 pub mod table;
 pub mod trap;
 
+pub use flat::{HookImport, InstrumentedFunc};
 pub use host::{EmptyHost, Host, HostCtx, HostFuncId, HostFunctions};
 pub use interp::{Instance, TranslatedModule, DEFAULT_MAX_CALL_DEPTH};
 pub use memory::LinearMemory;

@@ -13,9 +13,15 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Mirrors upstream proptest: the `PROPTEST_CASES` environment variable
+    /// overrides the built-in case count, so CI can elevate coverage
+    /// (`PROPTEST_CASES=256 cargo test ...`) without touching test sources.
+    /// An explicit `cases:` in struct-update syntax still wins, as upstream;
+    /// tests that want to stay env-tunable should use
+    /// [`ProptestConfig::env_cases`] for their override.
     fn default() -> Self {
         ProptestConfig {
-            cases: 128,
+            cases: Self::env_cases(128),
             failure_persistence: None,
             max_shrink_iters: 0,
         }
@@ -25,9 +31,20 @@ impl Default for ProptestConfig {
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig {
-            cases,
+            cases: Self::env_cases(cases),
             ..ProptestConfig::default()
         }
+    }
+
+    /// The `PROPTEST_CASES` environment override, or `fallback` when the
+    /// variable is unset or unparsable. Used by [`Default`] and
+    /// [`ProptestConfig::with_cases`]; also available to tests that spell
+    /// out a custom per-test count but still want CI to be able to raise it.
+    pub fn env_cases(fallback: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(fallback)
     }
 }
 

@@ -1,22 +1,29 @@
-//! Differential suite for the host-call intrinsic fast path (ISSUE 4
-//! acceptance criterion): random modules instrumented for random hook sets
-//! are executed three ways —
+//! Three-way differential oracle for the two instrumentation paths
+//! (ISSUE 6 acceptance criterion): random modules × random hook subsets
+//! are executed along —
 //!
-//! 1. **intrinsic**: the flat IR with `Op::HostCall`/`Op::HostCallConst`
-//!    (the production path),
-//! 2. **generic flat**: the flat IR translated without host-call
-//!    intrinsics (the pre-intrinsic fallback, still exercised by
-//!    `call_indirect` to imports),
-//! 3. **Reference**: the structured-walk oracle with the generic call
-//!    machinery.
+//! 1. **direct-emit**: hook calls emitted straight into the flat IR from
+//!    the *uninstrumented* module (`AnalysisSession::direct`, the default
+//!    production path since ISSUE 6),
+//! 2. **binary-rewrite + flat**: the paper's §2.4 rewriting, translated
+//!    with host-call intrinsics (the previous production path, now the
+//!    product path for standalone `.wasm` output — and this oracle's
+//!    middle arm), plus its no-intrinsics generic-flat variant,
+//! 3. **Reference**: the structured-walk oracle over the rewritten
+//!    module, with the generic call machinery.
 //!
-//! All three must produce **bit-identical** hook event streams (recorded
+//! All paths must produce **bit-identical** hook event streams (recorded
 //! event-for-event with locations and payloads), analysis reports,
-//! results/traps, and `executed_instrs` — including under fuel exhaustion,
-//! which can preempt execution in the middle of a folded
-//! const+const+call group. The host-call path counters additionally prove
-//! that the intrinsic path actually fired on path 1 and that paths 2 and 3
-//! really took the generic fallback.
+//! results/traps, `executed_instrs`, final linear-memory contents, and
+//! final globals — including under fuel exhaustion, which can preempt
+//! execution in the middle of an injected const+const+call hook group,
+//! and including *subscription subsets*: when the analysis subscribes to
+//! fewer hooks than were instrumented, the direct path retires the dead
+//! hook calls at the dispatch arm (`Host::is_noop` masking) while the
+//! rewrite paths cross the host boundary and return early — the
+//! observable behavior must not differ. The host-call path counters
+//! additionally prove that each arm really took its intended dispatch
+//! route.
 
 use proptest::prelude::*;
 
@@ -27,7 +34,7 @@ use wasabi_repro::core::event::{
 };
 use wasabi_repro::core::hooks::{Analysis, Hook, HookSet};
 use wasabi_repro::core::report::{JsonValue, Report};
-use wasabi_repro::core::{instrument, ModuleInfo, WasabiHost};
+use wasabi_repro::core::{instrument, AnalysisSession, ModuleInfo, WasabiHost};
 use wasabi_repro::vm::{Instance, Reference, TranslatedModule, Trap};
 use wasabi_repro::wasm::{Module, Val};
 use wasabi_repro::workloads::synthetic::{synthetic_app, SyntheticConfig};
@@ -152,6 +159,7 @@ impl Analysis for Recorder {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Path {
+    DirectEmit,
     Intrinsic,
     GenericFlat,
     Reference,
@@ -164,38 +172,65 @@ struct Outcome {
     host_calls_slow: u64,
     log: Vec<String>,
     report: String,
+    globals: Vec<Val>,
+    memory: Option<u64>,
 }
 
-/// Execute the instrumented module's `main` along one of the three paths.
-fn run_path(
-    instrumented: &Module,
-    info: &ModuleInfo,
-    hooks: HookSet,
-    fuel: Option<u64>,
-    path: Path,
-) -> Outcome {
-    let translated = match path {
-        Path::Intrinsic => TranslatedModule::new(instrumented.clone()),
-        Path::GenericFlat | Path::Reference => {
-            TranslatedModule::new_without_host_intrinsics(instrumented.clone())
-        }
-    }
-    .expect("instrumented module validates");
+/// Both instrumentation paths' artifacts for one (module, hook set) pair:
+/// the rewrite path's instrumented module (also the `Reference` oracle's
+/// input) and the direct-emit session built from the *original* module.
+struct Prepared {
+    instrumented: Module,
+    rewrite_info: ModuleInfo,
+    direct: AnalysisSession,
+}
 
-    let mut recorder = Recorder::new(hooks);
+fn prepare(module: &Module, instr_hooks: HookSet) -> Prepared {
+    let (instrumented, rewrite_info) = instrument(module, instr_hooks).expect("instruments");
+    let direct = AnalysisSession::direct(module, instr_hooks).expect("instruments");
+    Prepared {
+        instrumented,
+        rewrite_info,
+        direct,
+    }
+}
+
+/// Execute `main` along one of the four arms, with the analysis subscribed
+/// to `subscribed` (a subset of the instrumented hooks — the difference is
+/// where masking/skipping kicks in).
+fn run_path(prepared: &Prepared, subscribed: HookSet, fuel: Option<u64>, path: Path) -> Outcome {
+    let rewrite_translated;
+    let (translated, info) = match path {
+        Path::DirectEmit => (prepared.direct.translated(), prepared.direct.info()),
+        Path::Intrinsic => {
+            rewrite_translated = TranslatedModule::new(prepared.instrumented.clone())
+                .expect("instrumented module validates");
+            (&rewrite_translated, &prepared.rewrite_info)
+        }
+        Path::GenericFlat | Path::Reference => {
+            rewrite_translated =
+                TranslatedModule::new_without_host_intrinsics(prepared.instrumented.clone())
+                    .expect("instrumented module validates");
+            (&rewrite_translated, &prepared.rewrite_info)
+        }
+    };
+
+    let mut recorder = Recorder::new(subscribed);
     let mut host = WasabiHost::new(info, &mut recorder);
     let mut instance =
-        Instance::instantiate_translated(&translated, &mut host).expect("instantiates");
+        Instance::instantiate_translated(translated, &mut host).expect("instantiates");
     instance.set_fuel(fuel);
     let result = match path {
         Path::Reference => {
-            let reference = Reference::new(instrumented);
+            let reference = Reference::new(&prepared.instrumented);
             reference.invoke_export(&mut instance, "main", &[], &mut host)
         }
         _ => instance.invoke_export("main", &[], &mut host),
     };
     let (host_calls_fast, host_calls_slow) = instance.host_call_counts();
     let executed_instrs = instance.executed_instrs();
+    let globals = instance.globals().to_vec();
+    let memory = instance.memory().map(|m| m.checksum());
     drop(host);
     let report = recorder.report().to_json();
     Outcome {
@@ -205,6 +240,8 @@ fn run_path(
         host_calls_slow,
         log: recorder.log,
         report,
+        globals,
+        memory,
     }
 }
 
@@ -217,6 +254,8 @@ fn assert_equivalent(a: &Outcome, b: &Outcome, what: &str) {
         assert_eq!(x, y, "{what}: event #{i}");
     }
     assert_eq!(a.report, b.report, "{what}: reports");
+    assert_eq!(a.globals, b.globals, "{what}: final globals");
+    assert_eq!(a.memory, b.memory, "{what}: final linear memory");
     // Every path performs the same host calls, only the dispatch route
     // differs.
     assert_eq!(
@@ -236,17 +275,20 @@ fn hook_set_from_mask(mask: u32) -> HookSet {
 }
 
 proptest! {
+    // 10 random modules by default keeps `cargo test` fast; CI elevates
+    // coverage via `PROPTEST_CASES` (see ci.sh), which overrides this.
     #![proptest_config(ProptestConfig {
-        cases: 10,
+        cases: ProptestConfig::env_cases(10),
         ..ProptestConfig::default()
     })]
 
     #[test]
-    fn intrinsic_path_matches_reference_on_random_instrumented_modules(
+    fn direct_emit_matches_rewrite_and_reference_on_random_modules(
         seed in any::<u64>(),
         function_count in 2usize..6,
         body_statements in 2usize..6,
         mask in 1u32..(1 << 23),
+        submask in 0u32..(1 << 23),
         fuel in prop::option::of(1u64..30_000),
     ) {
         let module = synthetic_app(&SyntheticConfig {
@@ -254,57 +296,93 @@ proptest! {
             function_count,
             body_statements,
         });
+        // Instrument for `hooks`, subscribe the analysis only to a subset
+        // of them: on the direct path the unsubscribed remainder is
+        // retired by `is_noop` masking, on the rewrite paths it crosses
+        // the host boundary and returns early — behavior must not differ.
         let hooks = hook_set_from_mask(mask);
-        let (instrumented, info) = instrument(&module, hooks).expect("instruments");
+        let subscribed = hook_set_from_mask(mask & submask);
+        let prepared = prepare(&module, hooks);
 
-        let intrinsic = run_path(&instrumented, &info, hooks, fuel, Path::Intrinsic);
-        let generic = run_path(&instrumented, &info, hooks, fuel, Path::GenericFlat);
-        let reference = run_path(&instrumented, &info, hooks, fuel, Path::Reference);
+        let direct = run_path(&prepared, subscribed, fuel, Path::DirectEmit);
+        let intrinsic = run_path(&prepared, subscribed, fuel, Path::Intrinsic);
+        let generic = run_path(&prepared, subscribed, fuel, Path::GenericFlat);
+        let reference = run_path(&prepared, subscribed, fuel, Path::Reference);
 
-        assert_equivalent(&intrinsic, &generic, "intrinsic vs generic flat");
-        assert_equivalent(&intrinsic, &reference, "intrinsic vs reference");
+        assert_equivalent(&direct, &intrinsic, "direct-emit vs rewrite intrinsic");
+        assert_equivalent(&direct, &generic, "direct-emit vs rewrite generic flat");
+        assert_equivalent(&direct, &reference, "direct-emit vs reference");
 
-        // The fallback paths must not touch the intrinsic ops, and any
-        // direct hook call the module makes must take the fast path on the
-        // intrinsic translation.
+        // The fallback paths must not touch the intrinsic ops, and hook
+        // calls must take the fast path on both production arms.
         prop_assert_eq!(generic.host_calls_fast, 0);
         prop_assert_eq!(reference.host_calls_fast, 0);
         prop_assert!(
             intrinsic.host_calls_slow <= reference.host_calls_slow,
             "intrinsic path must not add generic host calls"
         );
+        prop_assert!(
+            direct.host_calls_slow <= intrinsic.host_calls_slow,
+            "direct-emit path must not add generic host calls"
+        );
     }
 }
 
 #[test]
 fn all_hooks_on_a_polybench_kernel_match_the_oracle() {
-    // Deterministic anchor: full instrumentation over a real kernel. The
-    // intrinsic fast path must fire (the whole point of the PR) and the
-    // event stream must equal the structured-walk oracle's.
+    // Deterministic anchor: full instrumentation over a real kernel. Both
+    // production fast paths must fire and the event streams must equal
+    // the structured-walk oracle's.
     let module = compile(&polybench::by_name("jacobi-1d", 5).expect("known kernel"));
     let hooks = HookSet::all();
-    let (instrumented, info) = instrument(&module, hooks).expect("instruments");
+    let prepared = prepare(&module, hooks);
 
-    let intrinsic = run_path(&instrumented, &info, hooks, None, Path::Intrinsic);
-    let reference = run_path(&instrumented, &info, hooks, None, Path::Reference);
+    let direct = run_path(&prepared, hooks, None, Path::DirectEmit);
+    let intrinsic = run_path(&prepared, hooks, None, Path::Intrinsic);
+    let reference = run_path(&prepared, hooks, None, Path::Reference);
 
-    assert_equivalent(&intrinsic, &reference, "all-hooks kernel");
+    assert_equivalent(&direct, &intrinsic, "all-hooks kernel, direct vs rewrite");
+    assert_equivalent(&direct, &reference, "all-hooks kernel, direct vs oracle");
     assert!(
-        intrinsic.host_calls_fast > 0,
-        "intrinsic path must actually fire"
+        direct.host_calls_fast > 0 && intrinsic.host_calls_fast > 0,
+        "both production fast paths must actually fire"
     );
     assert_eq!(
-        intrinsic.host_calls_fast + intrinsic.host_calls_slow,
+        direct.host_calls_fast + direct.host_calls_slow,
         reference.host_calls_slow + reference.host_calls_fast,
     );
-    assert!(!intrinsic.log.is_empty());
+    assert!(!direct.log.is_empty());
+}
+
+#[test]
+fn unsubscribed_hooks_are_masked_without_observable_difference() {
+    // The Fig. 9 bench shape: instrument for ALL hooks, subscribe to NONE.
+    // The direct path retires every hook call at the dispatch arm
+    // (`is_noop` masking — no marshalling, no host boundary) yet must stay
+    // indistinguishable from the oracle in results, instruction counts,
+    // memory, and globals. Zero events on every arm, by construction.
+    let module = compile(&polybench::by_name("jacobi-1d", 5).expect("known kernel"));
+    let prepared = prepare(&module, HookSet::all());
+
+    let direct = run_path(&prepared, HookSet::empty(), None, Path::DirectEmit);
+    let reference = run_path(&prepared, HookSet::empty(), None, Path::Reference);
+
+    assert_equivalent(&direct, &reference, "all instrumented, none subscribed");
+    assert!(direct.log.is_empty() && reference.log.is_empty());
+    assert!(
+        direct.host_calls_fast > 0,
+        "masked hook calls still count as fast-path dispatches"
+    );
 }
 
 #[test]
 fn fuel_sweep_preempts_identically_across_paths() {
-    // Fuel exhaustion can land on any member of a folded
+    // Fuel exhaustion can land on any member of an injected
     // const+const+call hook group; the trap point, the instruction count,
-    // and the event-stream prefix must match the oracle for every budget.
+    // and the event-stream prefix must match the oracle for every budget
+    // on BOTH production paths — including with a subscription subset, so
+    // the direct path's masked (is_noop) dispatch arm is exercised
+    // mid-group too.
     let module = synthetic_app(&SyntheticConfig {
         seed: 0xD1FF,
         function_count: 3,
@@ -317,11 +395,16 @@ fn fuel_sweep_preempts_identically_across_paths() {
         Hook::Begin,
         Hook::End,
     ]);
-    let (instrumented, info) = instrument(&module, hooks).expect("instruments");
+    let subscribed = HookSet::of(&[Hook::Const, Hook::Begin, Hook::End]);
+    let prepared = prepare(&module, hooks);
 
     for fuel in (1..200).step_by(7) {
-        let intrinsic = run_path(&instrumented, &info, hooks, Some(fuel), Path::Intrinsic);
-        let reference = run_path(&instrumented, &info, hooks, Some(fuel), Path::Reference);
-        assert_equivalent(&intrinsic, &reference, &format!("fuel {fuel}"));
+        for subs in [hooks, subscribed] {
+            let direct = run_path(&prepared, subs, Some(fuel), Path::DirectEmit);
+            let intrinsic = run_path(&prepared, subs, Some(fuel), Path::Intrinsic);
+            let reference = run_path(&prepared, subs, Some(fuel), Path::Reference);
+            assert_equivalent(&direct, &intrinsic, &format!("fuel {fuel} direct/rewrite"));
+            assert_equivalent(&direct, &reference, &format!("fuel {fuel} direct/oracle"));
+        }
     }
 }
