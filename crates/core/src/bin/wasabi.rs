@@ -65,6 +65,7 @@ use wasabi::hooks::{Analysis, Hook, HookSet};
 use wasabi::report::JsonValue;
 use wasabi::{json, stats, Instrumenter, Wasabi};
 use wasabi_analyses::registry;
+use wasabi_server::protocol::{export_params, typed_args};
 use wasabi_wasm::instr::Val;
 use wasabi_wasm::module::Module;
 use wasabi_wasm::types::ValType;
@@ -114,7 +115,10 @@ fn usage() -> &'static str {
      (module paths resolve relative to the manifest; analyses/invoke/args\n\
      are optional). Results go to stdout as one JSON object per job, or to\n\
      <dir>/job<N>.json (summary) + <dir>/job<N>.<analysis>.json with --out;\n\
-     --workers sets the fleet size (default: all cores)"
+     --workers sets the fleet size (default: all cores)\n\
+     server mode: `wasabi serve ...` runs the persistent daemon and\n\
+     `wasabi client ...` talks to it (same as the wasabid/wasabi-client\n\
+     bins; see `wasabi serve --help` / `wasabi client --help`)"
 }
 
 fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -291,50 +295,6 @@ fn parse_invoke_args(raw: &[String], params: &[ValType]) -> Result<Vec<Val>, Str
         .collect()
 }
 
-/// Convert one manifest `args` entry to a [`Val`] of the export's
-/// parameter type.
-fn manifest_arg_to_val(value: &JsonValue, ty: ValType) -> Result<Val, String> {
-    // Accept numbers directly and strings re-parsed like the CLI's
-    // comma-separated `--args`.
-    if let Some(text) = value.as_str() {
-        let parsed = match ty {
-            ValType::I32 => text.parse().map(Val::I32).ok(),
-            ValType::I64 => text.parse().map(Val::I64).ok(),
-            ValType::F32 => text.parse().map(Val::F32).ok(),
-            ValType::F64 => text.parse().map(Val::F64).ok(),
-        };
-        return parsed.ok_or_else(|| format!("invalid {ty} argument {text:?}"));
-    }
-    let number = value
-        .as_f64()
-        .ok_or_else(|| format!("argument {value} is not a number or string"))?;
-    Ok(match ty {
-        ValType::I32 => Val::I32(
-            value
-                .as_i64()
-                .and_then(|v| i32::try_from(v).ok())
-                .ok_or_else(|| format!("argument {value} does not fit i32"))?,
-        ),
-        ValType::I64 => Val::I64(
-            value
-                .as_i64()
-                .ok_or_else(|| format!("argument {value} does not fit i64"))?,
-        ),
-        ValType::F32 => Val::F32(number as f32),
-        ValType::F64 => Val::F64(number),
-    })
-}
-
-/// The parameter types of the export `invoke` of `module`.
-fn export_params(module: &Module, invoke: &str) -> Result<Vec<ValType>, String> {
-    module
-        .functions
-        .iter()
-        .find(|f| f.export.iter().any(|e| e == invoke))
-        .map(|f| f.type_.params.clone())
-        .ok_or_else(|| format!("no exported function {invoke:?}"))
-}
-
 /// Batch mode: run the manifest's jobs over the work-stealing fleet with
 /// a shared translated-module cache.
 fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
@@ -404,19 +364,7 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
             .map(|v| v.as_array().ok_or_else(|| bad("\"args\" must be an array")))
             .transpose()?
             .unwrap_or(&[]);
-        if raw_args.len() != params.len() {
-            return Err(bad(&format!(
-                "export {invoke:?} takes {} argument(s), {} given",
-                params.len(),
-                raw_args.len()
-            )));
-        }
-        let vals = raw_args
-            .iter()
-            .zip(&params)
-            .map(|(raw, ty)| manifest_arg_to_val(raw, *ty))
-            .collect::<Result<Vec<Val>, String>>()
-            .map_err(|e| bad(&e))?;
+        let vals = typed_args(raw_args, &params).map_err(|e| bad(&e))?;
         fleet.submit(Job::new(key, module, invoke, vals).analyses(analyses));
     }
 
@@ -685,7 +633,31 @@ fn run(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match parse_args(std::env::args().skip(1)) {
+    // The server-mode subcommands parse their own flags; everything else
+    // is the classic flag grammar below.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            return match wasabi_server::cli::serve_main(args[1..].to_vec()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("client") => {
+            return match wasabi_server::cli::client_main(args[1..].to_vec()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
+    match parse_args(args.into_iter()) {
         Ok(args) => match run(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {

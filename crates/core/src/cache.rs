@@ -15,11 +15,17 @@
 //! thread instantiates its own per-run mutable state from the shared
 //! translation.
 //!
-//! The key is caller-chosen (a file path, a workload name, a content
-//! hash): the cache trusts that equal keys mean equal modules. The hook
-//! set is part of the key because instrumentation output depends on it —
-//! the same binary under `{call_pre}` and under all hooks are different
-//! instrumented modules.
+//! The key is caller-chosen (a file path, a workload name, or a
+//! [`content_key`] over the wasm bytes): the cache trusts that equal keys
+//! mean equal modules. The hook set is part of the key because
+//! instrumentation output depends on it — the same binary under
+//! `{call_pre}` and under all hooks are different instrumented modules.
+//!
+//! A resident process (the `wasabi-server` daemon) must not grow its
+//! prepared-session cache without bound: [`ModuleCache::bounded`] caps
+//! the entry count and evicts the least-recently-used entry past the
+//! cap ([`ModuleCache::evictions`] counts them; an evicted key simply
+//! rebuilds on its next request).
 //!
 //! # Examples
 //!
@@ -64,6 +70,33 @@ use crate::instrument::Instrumenter;
 use crate::runtime::AnalysisSession;
 use crate::stats;
 
+/// Content-addressed cache key for a wasm binary: a 64-bit FNV-1a hash
+/// over the raw bytes, rendered as `fnv64:<16 hex digits>`.
+///
+/// This is what makes module identity *content*- rather than
+/// caller-chosen: two uploads of the same bytes produce the same key, so
+/// the `wasabi-server` content store dedups re-uploads and every client
+/// submitting the same binary shares one [`ModuleCache`] entry. FNV-1a is
+/// not collision-resistant against adversaries — it identifies modules
+/// for deduplication, it does not authenticate them.
+///
+/// # Examples
+///
+/// ```
+/// use wasabi::cache::content_key;
+/// assert_eq!(content_key(b""), "fnv64:cbf29ce484222325");
+/// assert_eq!(content_key(b"\0asm"), content_key(b"\0asm"));
+/// assert_ne!(content_key(b"\0asm"), content_key(b"\0asn"));
+/// ```
+pub fn content_key(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv64:{hash:016x}")
+}
+
 /// What a cache entry is keyed by: the caller's module identity plus the
 /// hook set the module is instrumented for.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -76,9 +109,12 @@ struct CacheKey {
 /// first builds, the rest wait and hit), while distinct keys instrument
 /// and translate concurrently. Build costs are returned to the one caller
 /// that paid them ([`CachedSession`]), not stored: hits are free.
+/// `last_used` is the cache's logical clock value of the most recent
+/// lookup, the recency that LRU eviction compares.
 #[derive(Default)]
 struct Slot {
     built: Mutex<Option<Arc<AnalysisSession>>>,
+    last_used: AtomicU64,
 }
 
 /// The result of a [`ModuleCache::session_for`] lookup.
@@ -109,8 +145,15 @@ impl std::fmt::Debug for CachedSession {
 #[derive(Default)]
 pub struct ModuleCache {
     entries: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    /// Maximum number of entries; `None` = unbounded (the pre-daemon
+    /// behavior, still right for one-shot batch runs).
+    capacity: Option<usize>,
+    /// Logical clock: incremented on every lookup, stamped into the
+    /// touched slot's `last_used`.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ModuleCache {
@@ -123,6 +166,19 @@ impl ModuleCache {
     /// [`crate::fleet::Fleet`] and its submitters.
     pub fn shared() -> Arc<Self> {
         Arc::new(ModuleCache::new())
+    }
+
+    /// An empty cache holding at most `capacity` entries (clamped to at
+    /// least 1). Past the cap, completing a build evicts the
+    /// least-recently-used *built* entry; entries mid-build are never
+    /// evicted. Evicted sessions stay alive for whoever still holds
+    /// their `Arc` — eviction only forgets the cache's own reference, so
+    /// the evicted key rebuilds on its next request.
+    pub fn bounded(capacity: usize) -> Self {
+        ModuleCache {
+            capacity: Some(capacity.max(1)),
+            ..ModuleCache::default()
+        }
     }
 
     /// The session for `(key, hooks)`, building it from `module` exactly
@@ -154,6 +210,12 @@ impl ModuleCache {
                     .or_default(),
             )
         };
+        // Stamp recency on every lookup (hit or miss): LRU eviction
+        // compares these logical-clock values.
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
 
         let mut built = slot.built.lock().unwrap();
         if let Some(session) = &*built {
@@ -178,11 +240,47 @@ impl ModuleCache {
         *built = Some(Arc::clone(&session));
         self.misses.fetch_add(1, Ordering::Relaxed);
         stats::record_cache_miss();
+        drop(built);
+        self.evict_past_capacity(&slot);
         Ok(CachedSession {
             session,
             hit: false,
             build,
         })
+    }
+
+    /// Drop least-recently-used entries until the map fits the capacity
+    /// bound. `keep` is the slot the caller just built — never a victim,
+    /// even if a racing lookup has not re-stamped it yet. Slots still
+    /// mid-build (their `built` mutex is held, or holds `None`) are
+    /// skipped: evicting one would discard a build another thread is
+    /// paying for right now.
+    fn evict_past_capacity(&self, keep: &Arc<Slot>) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        let mut entries = self.entries.lock().unwrap();
+        while entries.len() > capacity {
+            let victim = entries
+                .iter()
+                .filter(|(_, slot)| !Arc::ptr_eq(slot, keep))
+                .filter(|(_, slot)| {
+                    slot.built
+                        .try_lock()
+                        .map(|built| built.is_some())
+                        .unwrap_or(false)
+                })
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(key, _)| key.clone());
+            let Some(victim) = victim else {
+                // Everything over the cap is mid-build; those builders'
+                // completions will re-run eviction.
+                break;
+            };
+            entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            stats::record_cache_eviction();
+        }
     }
 
     /// Number of lookups that found an existing entry.
@@ -194,6 +292,16 @@ impl ModuleCache {
     /// fused direct-emit builds this cache has performed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by LRU eviction (always 0 for an unbounded cache).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The entry cap, if this cache is [`bounded`](ModuleCache::bounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of distinct `(module key, hook set)` entries.
@@ -216,8 +324,10 @@ impl std::fmt::Debug for ModuleCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModuleCache")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -299,6 +409,88 @@ mod tests {
         let good = module(1);
         assert!(cache.session_for("bad", HookSet::all(), &good).is_ok());
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_the_coldest_key_and_rebuilds_on_rerequest() {
+        let cache = ModuleCache::bounded(2);
+        let (a, b, c) = (module(1), module(2), module(3));
+        cache.session_for("a", HookSet::all(), &a).expect("builds");
+        cache.session_for("b", HookSet::all(), &b).expect("builds");
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+
+        // Touch "a" so "b" is now the coldest entry, then overflow.
+        cache.session_for("a", HookSet::all(), &a).expect("hits");
+        cache.session_for("c", HookSet::all(), &c).expect("builds");
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        assert_eq!(cache.evictions(), 1);
+
+        // The hot key survived, the cold one was evicted and rebuilds.
+        assert!(cache.session_for("a", HookSet::all(), &a).expect("hit").hit);
+        let b_again = cache
+            .session_for("b", HookSet::all(), &b)
+            .expect("rebuilds");
+        assert!(!b_again.hit, "evicted key rebuilds on re-request");
+        assert_eq!(cache.misses(), 4, "a, b, c, and the b rebuild");
+        assert_eq!(
+            cache.evictions(),
+            2,
+            "rebuilding b evicted the next-coldest"
+        );
+    }
+
+    #[test]
+    fn bounded_cache_keeps_distinct_hook_sets_as_distinct_entries() {
+        let cache = ModuleCache::bounded(1);
+        let m = module(4);
+        let all = cache.session_for("m", HookSet::all(), &m).expect("builds");
+        let none = cache
+            .session_for("m", HookSet::empty(), &m)
+            .expect("builds");
+        assert!(!Arc::ptr_eq(&all.session, &none.session));
+        assert_eq!(cache.len(), 1, "capacity 1 holds one of the two");
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ModuleCache::new();
+        for i in 0..16 {
+            cache
+                .session_for(&format!("k{i}"), HookSet::all(), &module(i))
+                .expect("builds");
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.capacity(), None);
+    }
+
+    #[test]
+    fn concurrent_lookups_respect_the_capacity_bound() {
+        let cache = ModuleCache::bounded(2);
+        let modules: Vec<Module> = (0..6).map(module).collect();
+        let cache_ref = &cache;
+        std::thread::scope(|s| {
+            for (i, m) in modules.iter().enumerate() {
+                s.spawn(move || {
+                    cache_ref
+                        .session_for(&format!("k{i}"), HookSet::all(), m)
+                        .expect("builds or hits")
+                });
+            }
+        });
+        assert!(cache.len() <= 2, "len {} over capacity", cache.len());
+        assert_eq!(cache.evictions(), cache.misses() - cache.len() as u64);
+    }
+
+    #[test]
+    fn content_key_is_deterministic_and_content_sensitive() {
+        let bytes = wasabi_wasm::encode::encode(&module(9));
+        assert_eq!(content_key(&bytes), content_key(&bytes));
+        let other = wasabi_wasm::encode::encode(&module(10));
+        assert_ne!(content_key(&bytes), content_key(&other));
+        assert!(content_key(&bytes).starts_with("fnv64:"));
+        assert_eq!(content_key(&bytes).len(), "fnv64:".len() + 16);
     }
 
     #[test]

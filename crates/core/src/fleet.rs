@@ -24,7 +24,11 @@
 //! fused build / execute phase times measured *per job* on the worker's
 //! own clock (the process-global [`crate::stats`] phase timers aggregate
 //! across threads and cannot attribute time to a job — see the caveat
-//! there).
+//! there). A consumer that wants results **as they finish** — the
+//! `wasabi-server` daemon streaming per-job frames back to a client —
+//! uses [`Fleet::run_streaming`] instead, which delivers each
+//! [`JobOutcome`] to a completion callback in completion order;
+//! [`Fleet::run`] is the batch-at-end convenience built on top of it.
 //!
 //! # Examples
 //!
@@ -212,6 +216,35 @@ pub struct BatchResult {
     pub cache_misses: u64,
 }
 
+/// What a [`Fleet::run_streaming`] batch reports once every outcome has
+/// been delivered to the completion callback: the batch-level facts of a
+/// [`BatchResult`] without the outcomes themselves (those already
+/// streamed).
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Number of jobs the batch delivered.
+    pub jobs: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Jobs whose `(key, hook set)` entry was already cached.
+    pub cache_hits: u64,
+    /// Jobs that built a cache entry (same attribution rules as
+    /// [`BatchResult::cache_misses`]).
+    pub cache_misses: u64,
+}
+
+impl BatchSummary {
+    /// Batch throughput: completed jobs per second of wall time.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.jobs == 0 || self.wall.is_zero() {
+            return 0.0;
+        }
+        self.jobs as f64 / self.wall.as_secs_f64()
+    }
+}
+
 impl BatchResult {
     /// Batch throughput: completed jobs per second of wall time.
     pub fn jobs_per_sec(&self) -> f64 {
@@ -354,13 +387,52 @@ impl Fleet {
     /// [`JobError::Panicked`] — so the batch itself always completes.
     /// The fleet can be reused: submitting and running again keeps the
     /// (shared) cache warm.
+    ///
+    /// This is the batch-at-end convenience over [`Fleet::run_streaming`]:
+    /// it buffers the streamed outcomes and reorders them by submission
+    /// index.
     pub fn run(&mut self) -> BatchResult {
+        let total = self.pending.len();
+        let mut slots: Vec<Option<JobOutcome>> = (0..total).map(|_| None).collect();
+        let summary = self.run_streaming(|outcome| {
+            let idx = outcome.job;
+            slots[idx] = Some(outcome);
+        });
+        let jobs: Vec<JobOutcome> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every dealt job produces exactly one outcome"))
+            .collect();
+        BatchResult {
+            jobs,
+            wall: summary.wall,
+            workers: summary.workers,
+            cache_hits: summary.cache_hits,
+            cache_misses: summary.cache_misses,
+        }
+    }
+
+    /// Run all queued jobs, delivering each [`JobOutcome`] to
+    /// `on_complete` **as it finishes** — in completion order, not
+    /// submission order — and return the batch facts once every outcome
+    /// has been delivered.
+    ///
+    /// The callback runs on the calling thread while the workers keep
+    /// executing, so a consumer (the `wasabi-server` daemon streaming
+    /// per-job result frames to a client) forwards early results while
+    /// later jobs are still running instead of waiting for the whole
+    /// batch. [`JobOutcome::job`] carries the submission index; the
+    /// union of streamed outcomes is exactly what [`Fleet::run`] would
+    /// return, job for job.
+    pub fn run_streaming<F>(&mut self, mut on_complete: F) -> BatchSummary
+    where
+        F: FnMut(JobOutcome),
+    {
         let jobs = std::mem::take(&mut self.pending);
         let total = jobs.len();
         let workers = self.workers.min(total.max(1));
         if total == 0 {
-            return BatchResult {
-                jobs: Vec::new(),
+            return BatchSummary {
+                jobs: 0,
                 wall: Duration::ZERO,
                 workers,
                 cache_hits: 0,
@@ -382,6 +454,13 @@ impl Fleet {
         let cache = &self.cache;
         let factory = self.factory;
         let stealers = &stealers;
+
+        // Hits and misses are counted from jobs whose cache lookup
+        // actually completed; jobs that failed earlier (unknown analysis,
+        // validation error) or panicked built nothing and count as
+        // neither.
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
 
         crossbeam::thread::scope(|scope| {
             for (me, queue) in queues.into_iter().enumerate() {
@@ -430,42 +509,32 @@ impl Fleet {
                     }
                 });
             }
+
+            // Stream outcomes on THIS thread while the workers run: the
+            // channel closes once the last worker drops its sender, which
+            // is what ends the drain loop.
+            drop(sender);
+            for outcome in receiver {
+                if outcome.stats.cache_hit {
+                    cache_hits += 1;
+                } else if !matches!(
+                    outcome.result,
+                    Err(JobError::UnknownAnalysis(_))
+                        | Err(JobError::Invalid(_))
+                        | Err(JobError::Panicked(_))
+                ) {
+                    cache_misses += 1;
+                }
+                on_complete(outcome);
+            }
         })
         .expect("fleet worker panicked");
-        drop(sender);
 
         let wall = started.elapsed();
-        let mut slots: Vec<Option<JobOutcome>> = (0..total).map(|_| None).collect();
-        for outcome in receiver {
-            let idx = outcome.job;
-            slots[idx] = Some(outcome);
-        }
-        let jobs: Vec<JobOutcome> = slots
-            .into_iter()
-            .map(|slot| slot.expect("every dealt job produces exactly one outcome"))
-            .collect();
-
-        // Hits and misses are counted from jobs whose cache lookup
-        // actually completed; jobs that failed earlier (unknown analysis,
-        // validation error) or panicked built nothing and count as
-        // neither.
-        let cache_hits = jobs.iter().filter(|j| j.stats.cache_hit).count() as u64;
-        let cache_misses = jobs
-            .iter()
-            .filter(|j| {
-                !j.stats.cache_hit
-                    && !matches!(
-                        j.result,
-                        Err(JobError::UnknownAnalysis(_))
-                            | Err(JobError::Invalid(_))
-                            | Err(JobError::Panicked(_))
-                    )
-            })
-            .count() as u64;
         stats::record_fleet_jobs(total as u64);
 
-        BatchResult {
-            jobs,
+        BatchSummary {
+            jobs: total,
             wall,
             workers,
             cache_hits,
@@ -823,6 +892,86 @@ mod tests {
             .collect();
         assert_eq!(payers.len(), 1);
         assert!(!payers[0].stats.cache_hit);
+    }
+
+    #[test]
+    fn streaming_delivers_every_outcome_exactly_once_with_matching_summary() {
+        let module = Arc::new(square_module());
+        for workers in [1, 3, 8] {
+            let mut fleet = Fleet::builder().workers(workers).build();
+            for i in 0..10 {
+                fleet.submit(Job::new(
+                    "square",
+                    Arc::clone(&module),
+                    "main",
+                    vec![Val::I32(i)],
+                ));
+            }
+            let mut seen: Vec<Option<Vec<Val>>> = vec![None; 10];
+            let summary = fleet.run_streaming(|outcome| {
+                assert!(
+                    seen[outcome.job].is_none(),
+                    "job {} delivered twice",
+                    outcome.job
+                );
+                seen[outcome.job] = Some(outcome.result.expect("runs"));
+            });
+            for (i, result) in seen.iter().enumerate() {
+                assert_eq!(
+                    result.as_ref().expect("delivered"),
+                    &vec![Val::I32((i * i) as i32)],
+                    "job {i} at {workers} workers"
+                );
+            }
+            assert_eq!(summary.jobs, 10);
+            assert_eq!((summary.cache_hits, summary.cache_misses), (9, 1));
+            assert!(summary.jobs_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn streaming_delivers_early_outcomes_before_the_batch_completes() {
+        // One worker, FIFO deal: job 0 must reach the callback while job 2
+        // has not yet produced an outcome — the callback observes how many
+        // outcomes exist at delivery time.
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(1).build();
+        for i in 0..3 {
+            fleet.submit(Job::new(
+                "square",
+                Arc::clone(&module),
+                "main",
+                vec![Val::I32(i)],
+            ));
+        }
+        let mut delivered_at: Vec<(usize, usize)> = Vec::new(); // (job, delivery rank)
+        fleet.run_streaming(|outcome| {
+            let rank = delivered_at.len();
+            delivered_at.push((outcome.job, rank));
+        });
+        // With one worker the completion order IS the submission order,
+        // and each outcome arrived at its own rank: job 0 was delivered
+        // when 2 jobs were still outstanding.
+        assert_eq!(delivered_at, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn streaming_panics_are_contained_like_batch_runs() {
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(2).factory(test_factory).build();
+        fleet.submit(
+            Job::new("square", Arc::clone(&module), "main", vec![Val::I32(3)])
+                .analyses(["panicker"]),
+        );
+        fleet.submit(
+            Job::new("square", Arc::clone(&module), "main", vec![Val::I32(4)])
+                .analyses(["binaries"]),
+        );
+        let mut results: Vec<(usize, bool)> = Vec::new();
+        let summary = fleet.run_streaming(|o| results.push((o.job, o.result.is_ok())));
+        results.sort_unstable();
+        assert_eq!(results, vec![(0, false), (1, true)]);
+        assert_eq!(summary.cache_hits + summary.cache_misses, 1);
     }
 
     #[test]

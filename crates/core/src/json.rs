@@ -1,12 +1,15 @@
 //! Minimal JSON rendering of [`crate::info::ModuleInfo`], plus a small
-//! strict JSON parser for inputs like the CLI's `--batch` manifest.
+//! strict JSON parser for inputs like the CLI's `--batch` manifest and a
+//! canonical [`emit`] serializer for [`crate::report::JsonValue`].
 //!
 //! The paper's instrumenter hands its static module information to the
 //! JavaScript runtime as generated JS/JSON (Fig. 2). This module mirrors
 //! that boundary for the CLI without pulling in a JSON crate: a small,
-//! purpose-built serializer for exactly the `ModuleInfo` shape, and
+//! purpose-built serializer for exactly the `ModuleInfo` shape,
 //! [`parse`] for reading documents back into
-//! [`crate::report::JsonValue`].
+//! [`crate::report::JsonValue`], and [`emit`] — the round-trip-exact
+//! inverse of [`parse`] that the `wasabi-server` wire protocol frames
+//! requests and responses with.
 
 use std::fmt::Write as _;
 
@@ -112,6 +115,87 @@ impl ModuleInfo {
                 .map_or_else(|| "null".to_string(), |s| s.to_string()),
             self.original_function_count
         )
+    }
+}
+
+/// Serialize a [`JsonValue`] to its canonical JSON text — the
+/// round-trip-exact inverse of [`parse`].
+///
+/// This differs from `JsonValue`'s `Display` impl in exactly one way:
+/// **finite floats always carry a fraction or exponent** (`5.0`, not `5`),
+/// so [`parse`] reads them back as `Float` instead of `UInt`/`Int`. That
+/// makes `parse(emit(v)) == v` hold for every canonical value — the
+/// property the `wasabi-server` wire protocol depends on (a response
+/// frame must decode to the value that was encoded). Canonical means:
+/// non-negative integers are `UInt` (never `Int` — [`parse`] always picks
+/// `UInt` for them) and floats are finite. Non-finite floats have no JSON
+/// literal and emit as `null`, exactly like `Display`.
+///
+/// # Examples
+///
+/// ```
+/// use wasabi::json::{emit, parse};
+/// use wasabi::report::JsonValue;
+///
+/// let value = JsonValue::object([
+///     ("rate", JsonValue::Float(200.0)),
+///     ("count", JsonValue::UInt(200)),
+/// ]);
+/// let text = emit(&value);
+/// assert_eq!(text, r#"{"rate":200.0,"count":200}"#);
+/// assert_eq!(parse(&text).unwrap(), value);
+/// ```
+pub fn emit(value: &JsonValue) -> String {
+    let mut out = String::new();
+    emit_into(&mut out, value);
+    out
+}
+
+fn emit_into(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        JsonValue::UInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        // `{:?}` is Rust's shortest round-tripping float form and always
+        // includes `.0` or an exponent for integral values, so the text
+        // parses back as `Float`; NaN/Inf have no JSON literal.
+        JsonValue::Float(v) if v.is_finite() => {
+            let _ = write!(out, "{v:?}");
+        }
+        JsonValue::Float(_) => out.push_str("null"),
+        JsonValue::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        JsonValue::Array(values) => {
+            out.push('[');
+            for (i, value) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_into(out, value);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(pairs) => {
+            out.push('{');
+            for (i, (key, value)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape(key));
+                out.push_str("\":");
+                emit_into(out, value);
+            }
+            out.push('}');
+        }
     }
 }
 
@@ -529,6 +613,49 @@ mod tests {
         assert!(err.to_string().contains("nesting"), "{err}");
         let deep_objects = "{\"k\":".repeat(500) + "1" + &"}".repeat(500);
         assert!(parse(&deep_objects).is_err());
+    }
+
+    #[test]
+    fn emit_keeps_floats_floats() {
+        // Display renders 200.0 as "200", which would parse back as
+        // UInt(200); emit must keep the Float-ness.
+        assert_eq!(JsonValue::Float(200.0).to_string(), "200");
+        assert_eq!(emit(&JsonValue::Float(200.0)), "200.0");
+        assert_eq!(parse("200.0").unwrap(), JsonValue::Float(200.0));
+        for v in [0.5, -3.25, 1e300, 5e-324, -0.0, 1e19] {
+            let text = emit(&JsonValue::Float(v));
+            assert_eq!(parse(&text).unwrap(), JsonValue::Float(v), "{text}");
+        }
+    }
+
+    #[test]
+    fn emit_renders_non_finite_floats_as_null() {
+        assert_eq!(emit(&JsonValue::Float(f64::NAN)), "null");
+        assert_eq!(emit(&JsonValue::Float(f64::INFINITY)), "null");
+        assert_eq!(emit(&JsonValue::Float(f64::NEG_INFINITY)), "null");
+        assert_eq!(
+            emit(&JsonValue::array([JsonValue::Float(f64::NAN)])),
+            "[null]"
+        );
+    }
+
+    #[test]
+    fn emit_round_trips_nested_documents() {
+        let value = JsonValue::object([
+            ("s", JsonValue::Str("a\"b\\c\n\u{1}π😀".to_string())),
+            ("n", JsonValue::Int(-7)),
+            ("u", JsonValue::UInt(u64::MAX)),
+            (
+                "a",
+                JsonValue::array([
+                    JsonValue::Null,
+                    JsonValue::Bool(true),
+                    JsonValue::Float(1.5),
+                ]),
+            ),
+            ("o", JsonValue::object([("", JsonValue::UInt(0))])),
+        ]);
+        assert_eq!(parse(&emit(&value)).unwrap(), value);
     }
 
     #[test]

@@ -76,9 +76,9 @@ pub mod report;
 pub mod runtime;
 pub mod stats;
 
-pub use cache::ModuleCache;
+pub use cache::{content_key, ModuleCache};
 pub use event::AnalysisCtx;
-pub use fleet::{BatchResult, Fleet, FleetBuilder, Job, JobOutcome, JobStats};
+pub use fleet::{BatchResult, BatchSummary, Fleet, FleetBuilder, Job, JobOutcome, JobStats};
 pub use hooks::{Analysis, BlockKind, Hook, HookSet, MemArg, NoAnalysis};
 pub use info::ModuleInfo;
 pub use instrument::{instrument, Instrumenter};

@@ -19,6 +19,13 @@
 //! (jobs completed by [`crate::fleet::Fleet`] batches), from which bench
 //! harnesses derive jobs/sec.
 //!
+//! The persistent-service subsystem adds [`cache_evictions`] (LRU
+//! evictions from bounded caches) and the daemon counters
+//! [`server_connections`]/[`server_requests`]/[`server_jobs`], recorded
+//! by the `wasabi-server` crate through the public `record_server_*`
+//! functions (they live here so the daemon's `status` response and the
+//! rest of the process share one set of books).
+//!
 //! # Single-run caveat: the phase timers are process-global
 //!
 //! [`instrumentation_time`], [`translation_time`], and
@@ -51,7 +58,11 @@ static TRANSLATION_NANOS: AtomicU64 = AtomicU64::new(0);
 static FUSED_BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static FLEET_JOBS: AtomicU64 = AtomicU64::new(0);
+static SERVER_CONNECTIONS: AtomicU64 = AtomicU64::new(0);
+static SERVER_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static SERVER_JOBS: AtomicU64 = AtomicU64::new(0);
 
 /// Total number of instrumentation passes ([`mod@crate::instrument`] /
 /// [`crate::Instrumenter::run`]) this process has performed.
@@ -113,9 +124,46 @@ pub fn cache_misses() -> u64 {
     CACHE_MISSES.load(Ordering::Relaxed)
 }
 
+/// Entries dropped from bounded [`crate::cache::ModuleCache`]s by LRU
+/// eviction, summed over every cache in the process.
+pub fn cache_evictions() -> u64 {
+    CACHE_EVICTIONS.load(Ordering::Relaxed)
+}
+
 /// Jobs completed by [`crate::fleet::Fleet`] batches in this process.
 pub fn fleet_jobs() -> u64 {
     FLEET_JOBS.load(Ordering::Relaxed)
+}
+
+/// Client connections the `wasabi-server` daemon has accepted.
+pub fn server_connections() -> u64 {
+    SERVER_CONNECTIONS.load(Ordering::Relaxed)
+}
+
+/// Protocol request frames the daemon has dispatched (well-formed or
+/// not: a malformed frame that produced an error response still counts).
+pub fn server_requests() -> u64 {
+    SERVER_REQUESTS.load(Ordering::Relaxed)
+}
+
+/// Analysis jobs the daemon has completed (streamed a result frame for).
+pub fn server_jobs() -> u64 {
+    SERVER_JOBS.load(Ordering::Relaxed)
+}
+
+/// Record an accepted daemon connection (called by `wasabi-server`).
+pub fn record_server_connection() {
+    SERVER_CONNECTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a dispatched daemon request frame (called by `wasabi-server`).
+pub fn record_server_request() {
+    SERVER_REQUESTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record `jobs` completed daemon jobs (called by `wasabi-server`).
+pub fn record_server_jobs(jobs: u64) {
+    SERVER_JOBS.fetch_add(jobs, Ordering::Relaxed);
 }
 
 pub(crate) fn record_cache_hit() {
@@ -124,6 +172,10 @@ pub(crate) fn record_cache_hit() {
 
 pub(crate) fn record_cache_miss() {
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_eviction() {
+    CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn record_fleet_jobs(jobs: u64) {
@@ -191,5 +243,21 @@ mod tests {
         let before = fleet_jobs();
         record_fleet_jobs(3);
         assert!(fleet_jobs() >= before + 3);
+        let before = cache_evictions();
+        record_cache_eviction();
+        assert!(cache_evictions() >= before + 1);
+    }
+
+    #[test]
+    fn server_counters_are_monotonic() {
+        let before = server_connections();
+        record_server_connection();
+        assert!(server_connections() >= before + 1);
+        let before = server_requests();
+        record_server_request();
+        assert!(server_requests() >= before + 1);
+        let before = server_jobs();
+        record_server_jobs(5);
+        assert!(server_jobs() >= before + 5);
     }
 }

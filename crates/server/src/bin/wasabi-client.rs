@@ -1,0 +1,14 @@
+//! `wasabi-client` — talk to a running `wasabid` daemon.
+//!
+//! Uploads modules, submits jobs (streaming one JSON line per result as
+//! the daemon finishes it), queries status, drains, shuts down. All
+//! behavior lives in [`wasabi_server::cli::client_main`]; this bin only
+//! maps the result to an exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = wasabi_server::cli::client_main(args) {
+        eprintln!("wasabi-client: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,14 @@
+//! `wasabid` — the persistent wasabi analysis daemon.
+//!
+//! Binds a unix-domain (default) or TCP socket and serves uploads and
+//! analysis jobs until a client drains it. All behavior lives in
+//! [`wasabi_server::cli::serve_main`]; this bin only maps the result to
+//! an exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = wasabi_server::cli::serve_main(args) {
+        eprintln!("wasabid: {message}");
+        std::process::exit(1);
+    }
+}

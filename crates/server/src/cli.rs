@@ -1,0 +1,287 @@
+//! Entry points shared by the `wasabid` / `wasabi-client` bins and the
+//! `wasabi serve` / `wasabi client` subcommands — one implementation,
+//! three spellings.
+
+use wasabi::report::JsonValue;
+use wasabi_analyses::registry;
+
+use crate::client::Client;
+use crate::daemon::{Server, ServerConfig};
+use crate::protocol::JobSpec;
+
+const SERVE_USAGE: &str = "\
+usage: wasabid [--socket <path> | --tcp <addr>] [options]
+
+Serve wasabi analysis jobs over a socket until drained.
+
+  --socket <path>        unix-domain socket to listen on (default
+                         wasabid.sock in the current directory)
+  --tcp <addr>           TCP address to listen on instead (e.g.
+                         127.0.0.1:7077; port 0 picks an ephemeral port,
+                         printed on startup)
+  --workers <n>          fleet workers per submit (default: one per core)
+  --max-pending <n>      admission bound on daemon-wide in-flight jobs
+                         (default 256)
+  --cache-capacity <n>   bound on the shared prepared-session cache;
+                         0 means unbounded (default 64)
+";
+
+const CLIENT_USAGE: &str = "\
+usage: wasabi-client [--socket <path> | --tcp <addr>] <command> [options]
+
+Talk to a running wasabid daemon.
+
+commands:
+  upload <file.wasm>     store a module content-addressed; prints its hash
+  submit <file.wasm>     upload, then run jobs on it; streams one JSON
+                         line per job result as the daemon finishes it
+      --analyses <a,b>   analyses to run per job (default: none)
+      --invoke <name>    export to invoke (default main)
+      --args <v1,v2>     invocation arguments
+      --jobs <n>         submit n identical jobs (default 1)
+  status                 print the daemon's status counters as JSON
+  drain                  finish in-flight work, refuse new work, exit
+  shutdown               stop as soon as in-flight work completes
+";
+
+/// Where to reach (or bind) the daemon.
+enum Endpoint {
+    Unix(String),
+    Tcp(String),
+}
+
+fn take_value(
+    args: &mut std::vec::IntoIter<String>,
+    flag: &str,
+    usage: &str,
+) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} needs a value\n\n{usage}"))
+}
+
+/// `wasabid` / `wasabi serve`: bind and serve until drained.
+///
+/// # Errors
+///
+/// A usage or transport error message for the bin to print and exit
+/// non-zero with.
+pub fn serve_main(args: Vec<String>) -> Result<(), String> {
+    let mut endpoint = Endpoint::Unix("wasabid.sock".to_string());
+    let mut config = ServerConfig::new(registry::by_name);
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => {
+                endpoint = Endpoint::Unix(take_value(&mut args, "--socket", SERVE_USAGE)?)
+            }
+            "--tcp" => endpoint = Endpoint::Tcp(take_value(&mut args, "--tcp", SERVE_USAGE)?),
+            "--workers" => {
+                let value = take_value(&mut args, "--workers", SERVE_USAGE)?;
+                config.workers = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --workers {value:?}"))?,
+                );
+            }
+            "--max-pending" => {
+                let value = take_value(&mut args, "--max-pending", SERVE_USAGE)?;
+                config.max_pending = value
+                    .parse()
+                    .map_err(|_| format!("invalid --max-pending {value:?}"))?;
+            }
+            "--cache-capacity" => {
+                let value = take_value(&mut args, "--cache-capacity", SERVE_USAGE)?;
+                let capacity: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --cache-capacity {value:?}"))?;
+                config.cache_capacity = (capacity > 0).then_some(capacity);
+            }
+            "--help" | "-h" => {
+                print!("{SERVE_USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{SERVE_USAGE}")),
+        }
+    }
+
+    let server = match &endpoint {
+        Endpoint::Unix(path) => Server::bind_unix(path, config),
+        Endpoint::Tcp(addr) => Server::bind_tcp(addr, config),
+    }
+    .map_err(|e| format!("cannot bind: {e}"))?;
+    eprintln!(
+        "wasabid: listening on {} (workers={}, max-pending={}, cache-capacity={})",
+        server.addr(),
+        config
+            .workers
+            .map_or_else(|| "auto".to_string(), |w| w.to_string()),
+        config.max_pending,
+        config
+            .cache_capacity
+            .map_or_else(|| "unbounded".to_string(), |c| c.to_string()),
+    );
+    server.serve().map_err(|e| format!("serve failed: {e}"))?;
+    eprintln!("wasabid: drained, exiting");
+    Ok(())
+}
+
+fn connect(endpoint: &Endpoint) -> Result<Client, String> {
+    match endpoint {
+        Endpoint::Unix(path) => Client::connect_unix(path),
+        Endpoint::Tcp(addr) => Client::connect_tcp(addr),
+    }
+    .map_err(|e| format!("cannot connect: {e}"))
+}
+
+/// `wasabi-client` / `wasabi client`: one command against a daemon.
+///
+/// # Errors
+///
+/// A usage, transport, or daemon-refusal message for the bin to print
+/// and exit non-zero with.
+pub fn client_main(args: Vec<String>) -> Result<(), String> {
+    let mut endpoint = Endpoint::Unix("wasabid.sock".to_string());
+    let mut args = args.into_iter();
+    let command = loop {
+        match args.next() {
+            Some(arg) => match arg.as_str() {
+                "--socket" => {
+                    endpoint = Endpoint::Unix(take_value(&mut args, "--socket", CLIENT_USAGE)?);
+                }
+                "--tcp" => endpoint = Endpoint::Tcp(take_value(&mut args, "--tcp", CLIENT_USAGE)?),
+                "--help" | "-h" => {
+                    print!("{CLIENT_USAGE}");
+                    return Ok(());
+                }
+                command => break command.to_string(),
+            },
+            None => return Err(format!("no command given\n\n{CLIENT_USAGE}")),
+        }
+    };
+
+    match command.as_str() {
+        "upload" => {
+            let path = take_value(&mut args, "upload", CLIENT_USAGE)?;
+            let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut client = connect(&endpoint)?;
+            let (hash, dedup) = client.upload(&bytes).map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                JsonValue::object([
+                    ("hash", JsonValue::from(hash)),
+                    ("dedup", JsonValue::from(dedup)),
+                ])
+            );
+            Ok(())
+        }
+        "submit" => {
+            let path = take_value(&mut args, "submit", CLIENT_USAGE)?;
+            let mut analyses: Vec<String> = Vec::new();
+            let mut invoke = "main".to_string();
+            let mut invoke_args: Vec<JsonValue> = Vec::new();
+            let mut jobs = 1usize;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--analyses" => {
+                        analyses = take_value(&mut args, "--analyses", CLIENT_USAGE)?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .collect();
+                    }
+                    "--invoke" => invoke = take_value(&mut args, "--invoke", CLIENT_USAGE)?,
+                    "--args" => {
+                        invoke_args = take_value(&mut args, "--args", CLIENT_USAGE)?
+                            .split(',')
+                            .filter(|s| !s.is_empty())
+                            .map(|s| JsonValue::from(s.to_string()))
+                            .collect();
+                    }
+                    "--jobs" => {
+                        let value = take_value(&mut args, "--jobs", CLIENT_USAGE)?;
+                        jobs = value
+                            .parse()
+                            .map_err(|_| format!("invalid --jobs {value:?}"))?;
+                    }
+                    other => return Err(format!("unknown argument {other:?}\n\n{CLIENT_USAGE}")),
+                }
+            }
+            let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut client = connect(&endpoint)?;
+            let (hash, _) = client.upload(&bytes).map_err(|e| e.to_string())?;
+            let specs: Vec<JobSpec> = (0..jobs)
+                .map(|_| JobSpec {
+                    hash: hash.clone(),
+                    analyses: analyses.clone(),
+                    invoke: invoke.clone(),
+                    args: invoke_args.clone(),
+                })
+                .collect();
+            let mut failures = 0usize;
+            let mut stream = client.submit(specs).map_err(|e| e.to_string())?;
+            for result in &mut stream {
+                let result = result.map_err(|e| e.to_string())?;
+                match &result.results {
+                    Ok(values) => {
+                        // Same line shape as `wasabi --batch`, so outputs
+                        // are directly comparable job-for-job.
+                        let line = JsonValue::object([
+                            ("job", JsonValue::from(result.job)),
+                            ("module", JsonValue::from(result.hash.clone())),
+                            ("invoke", JsonValue::from(result.invoke.clone())),
+                            (
+                                "results",
+                                JsonValue::array(values.iter().map(|v| JsonValue::from(v.clone()))),
+                            ),
+                            (
+                                "reports",
+                                JsonValue::array(result.reports.iter().map(|r| {
+                                    JsonValue::object([
+                                        ("analysis", JsonValue::from(r.analysis.clone())),
+                                        ("data", r.data.clone()),
+                                    ])
+                                })),
+                            ),
+                            ("cache_hit", JsonValue::from(result.cache_hit)),
+                        ]);
+                        println!("{line}");
+                    }
+                    Err(error) => {
+                        failures += 1;
+                        eprintln!("job {} ({}): FAILED: {error}", result.job, result.hash);
+                    }
+                }
+            }
+            let done = stream
+                .done()
+                .ok_or_else(|| "stream ended without a done frame".to_string())?;
+            eprintln!(
+                "client: {} job(s) in {:.1} ms ({} cache hit(s), {} miss(es), {} failure(s))",
+                done.jobs, done.wall_ms, done.cache_hits, done.cache_misses, failures,
+            );
+            if failures > 0 {
+                return Err(format!("{failures} job(s) failed"));
+            }
+            Ok(())
+        }
+        "status" => {
+            let mut client = connect(&endpoint)?;
+            let status = client.status().map_err(|e| e.to_string())?;
+            println!("{}", crate::protocol::Response::Status(status).to_json());
+            Ok(())
+        }
+        "drain" => {
+            let mut client = connect(&endpoint)?;
+            let in_flight = client.drain().map_err(|e| e.to_string())?;
+            eprintln!("draining ({in_flight} job(s) in flight)");
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = connect(&endpoint)?;
+            client.shutdown().map_err(|e| e.to_string())?;
+            eprintln!("shutting down");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{CLIENT_USAGE}")),
+    }
+}

@@ -1,0 +1,280 @@
+//! Client side of the `wasabid` protocol.
+//!
+//! [`Client`] wraps one connection and exposes the request/response
+//! cycle typed: upload bytes, submit jobs and **iterate streamed results
+//! as the daemon finishes them**, query status, drain, shut down. The
+//! `wasabi-client` bin and the `wasabi client` subcommand are thin
+//! wrappers over this; integration tests drive it directly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{read_frame, write_frame, FrameError, JobResult, JobSpec, Request, Response};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// A frame arrived but was not the expected response shape.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Protocol(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a `wasabid` daemon.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connect over a unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from connecting.
+    pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        Ok(Client {
+            conn: Conn::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connect over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from connecting.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        Ok(Client {
+            conn: Conn::Tcp(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Send one request frame and read one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, or an unparseable response.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, &request.to_json())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let value = read_frame(&mut self.conn)?;
+        Response::from_json(&value).map_err(ClientError::Protocol)
+    }
+
+    /// Upload a module's bytes, content-addressed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; a daemon-side `error` response (e.g. invalid
+    /// module) surfaces as [`ClientError::Protocol`].
+    pub fn upload(&mut self, bytes: &[u8]) -> Result<(String, bool), ClientError> {
+        match self.roundtrip(&Request::Upload {
+            bytes: bytes.to_vec(),
+        })? {
+            Response::Uploaded { hash, dedup, .. } => Ok((hash, dedup)),
+            Response::Error { code, message } => Err(ClientError::Protocol(format!(
+                "upload refused ({}): {message}",
+                code.as_str()
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to upload: {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit jobs and return the stream of per-job results. The daemon
+    /// writes a `result` frame as each job finishes; iterate to observe
+    /// them in completion order, then read the batch summary from
+    /// [`ResultStream::done`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures writing the request; an `error` response (queue
+    /// full, unknown module, draining, ...) surfaces from the stream's
+    /// first `next()`.
+    pub fn submit(&mut self, jobs: Vec<JobSpec>) -> Result<ResultStream<'_>, ClientError> {
+        write_frame(&mut self.conn, &Request::Submit { jobs }.to_json())?;
+        Ok(ResultStream {
+            client: self,
+            done: None,
+            failed: false,
+        })
+    }
+
+    /// Ask for the daemon's status counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response shape.
+    pub fn status(&mut self) -> Result<crate::protocol::StatusReply, ClientError> {
+        match self.roundtrip(&Request::Status)? {
+            Response::Status(status) => Ok(status),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to status: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the daemon to drain: finish in-flight work, refuse new work,
+    /// exit. Returns the in-flight count at the moment of the request.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response shape.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Drain)? {
+            Response::Draining { in_flight } => Ok(in_flight),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to drain: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected response shape.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The streamed results of one `submit`: yields a [`JobResult`] per
+/// finished job in **completion order**, ends at the daemon's `done`
+/// frame (available afterwards via [`ResultStream::done`]).
+pub struct ResultStream<'a> {
+    client: &'a mut Client,
+    done: Option<DoneSummary>,
+    failed: bool,
+}
+
+/// The `done` frame's batch summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoneSummary {
+    /// Jobs in the batch.
+    pub jobs: u64,
+    /// Batch wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Jobs served from the warm session cache.
+    pub cache_hits: u64,
+    /// Jobs that built a session.
+    pub cache_misses: u64,
+}
+
+impl ResultStream<'_> {
+    /// The batch summary — `Some` once the stream has been iterated to
+    /// its end without error.
+    pub fn done(&self) -> Option<DoneSummary> {
+        self.done
+    }
+}
+
+impl Iterator for ResultStream<'_> {
+    type Item = Result<JobResult, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done.is_some() || self.failed {
+            return None;
+        }
+        let response = match self.client.read_response() {
+            Ok(response) => response,
+            Err(e) => {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        };
+        match response {
+            Response::Result(result) => Some(Ok(result)),
+            Response::Done {
+                jobs,
+                wall_ms,
+                cache_hits,
+                cache_misses,
+            } => {
+                self.done = Some(DoneSummary {
+                    jobs,
+                    wall_ms,
+                    cache_hits,
+                    cache_misses,
+                });
+                None
+            }
+            Response::Error { code, message } => {
+                self.failed = true;
+                Some(Err(ClientError::Protocol(format!(
+                    "submit refused ({}): {message}",
+                    code.as_str()
+                ))))
+            }
+            other => {
+                self.failed = true;
+                Some(Err(ClientError::Protocol(format!(
+                    "unexpected response in result stream: {other:?}"
+                ))))
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Content-addressed module store.
+//!
+//! Uploaded wasm binaries are keyed by [`wasabi::cache::content_key`]
+//! over their raw bytes, so a client (or ten clients) re-uploading the
+//! same module costs one decode and one stored [`Module`] — the second
+//! upload is acknowledged as a **dedup hit** without touching the stored
+//! entry. Submit requests then name modules by hash, which is what makes
+//! the daemon's warm [`wasabi::ModuleCache`] effective across
+//! connections: the same bytes always map to the same cache key.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wasabi::cache::content_key;
+use wasabi_wasm::decode::decode;
+use wasabi_wasm::error::DecodeError;
+use wasabi_wasm::module::Module;
+
+/// Receipt for one upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadReceipt {
+    /// The module's content key (`fnv64:<16 hex>`).
+    pub hash: String,
+    /// `true` if identical bytes were already stored (no decode happened).
+    pub dedup: bool,
+}
+
+/// Thread-safe content-addressed store of decoded modules.
+#[derive(Debug, Default)]
+pub struct ContentStore {
+    modules: Mutex<HashMap<String, Arc<Module>>>,
+    uploads: AtomicU64,
+    dedup_hits: AtomicU64,
+}
+
+impl ContentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ContentStore::default()
+    }
+
+    /// Store `bytes` content-addressed. Identical bytes dedup: the module
+    /// is decoded at most once per distinct content.
+    ///
+    /// # Errors
+    ///
+    /// If the bytes do not decode as a wasm module (nothing is stored).
+    pub fn insert(&self, bytes: &[u8]) -> Result<UploadReceipt, DecodeError> {
+        self.uploads.fetch_add(1, Ordering::Relaxed);
+        let hash = content_key(bytes);
+        {
+            let modules = self.modules.lock().expect("store lock");
+            if modules.contains_key(&hash) {
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(UploadReceipt { hash, dedup: true });
+            }
+        }
+        // Decode outside the lock: a big module must not stall other
+        // connections' lookups. A racing identical upload just wastes one
+        // decode; the entry stays single.
+        let module = Arc::new(decode(bytes)?);
+        let mut modules = self.modules.lock().expect("store lock");
+        if modules.insert(hash.clone(), module).is_some() {
+            self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(UploadReceipt { hash, dedup: true });
+        }
+        Ok(UploadReceipt { hash, dedup: false })
+    }
+
+    /// The module stored under `hash`, if any.
+    pub fn get(&self, hash: &str) -> Option<Arc<Module>> {
+        self.modules.lock().expect("store lock").get(hash).cloned()
+    }
+
+    /// Distinct modules stored.
+    pub fn len(&self) -> usize {
+        self.modules.lock().expect("store lock").len()
+    }
+
+    /// `true` if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total `upload` calls (including dedup hits and failed decodes).
+    pub fn uploads(&self) -> u64 {
+        self.uploads.load(Ordering::Relaxed)
+    }
+
+    /// Uploads that found their bytes already stored.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use wasabi_wasm::builder::ModuleBuilder;
+    use wasabi_wasm::encode::encode;
+    use wasabi_wasm::types::ValType;
+
+    fn wasm(constant: i32) -> Vec<u8> {
+        let mut builder = ModuleBuilder::new();
+        builder.function("main", &[], &[ValType::I32], |f| {
+            f.i32_const(constant);
+        });
+        encode(&builder.finish())
+    }
+
+    #[test]
+    fn identical_bytes_dedup_and_distinct_bytes_do_not() {
+        let store = ContentStore::new();
+        let a = wasm(1);
+        let b = wasm(2);
+
+        let first = store.insert(&a).expect("decodes");
+        assert!(!first.dedup);
+        let again = store.insert(&a).expect("decodes");
+        assert!(again.dedup);
+        assert_eq!(again.hash, first.hash);
+
+        let other = store.insert(&b).expect("decodes");
+        assert!(!other.dedup);
+        assert_ne!(other.hash, first.hash);
+
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.uploads(), 3);
+        assert_eq!(store.dedup_hits(), 1);
+        assert!(store.get(&first.hash).is_some());
+        assert!(store.get("fnv64:0000000000000000").is_none());
+    }
+
+    #[test]
+    fn invalid_bytes_store_nothing() {
+        let store = ContentStore::new();
+        assert!(store.insert(b"not wasm at all").is_err());
+        assert!(store.is_empty());
+        assert_eq!(store.uploads(), 1);
+    }
+}

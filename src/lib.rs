@@ -12,6 +12,7 @@
 
 pub use wasabi as core;
 pub use wasabi_analyses as analyses;
+pub use wasabi_server as server;
 pub use wasabi_vm as vm;
 pub use wasabi_wasm as wasm;
 pub use wasabi_workloads as workloads;

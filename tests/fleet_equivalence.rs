@@ -200,3 +200,108 @@ fn one_translation_per_distinct_module_across_batches() {
     assert_eq!(cache.misses(), 6);
     assert_eq!(cache.len(), 6);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        ..ProptestConfig::default()
+    })]
+
+    /// PR 7 satellite: the streaming completion callback delivers the
+    /// SAME result set as a submission-ordered batch run — every job
+    /// exactly once, payloads identical once re-sorted by submission
+    /// index — and the callback fires in completion order (per-outcome
+    /// delivery indices exist for every job; nothing is held back until
+    /// the end).
+    #[test]
+    fn streamed_outcomes_match_submission_ordered_batches(
+        seed in any::<u64>(),
+        module_count in 1usize..3,
+        job_count in 1usize..8,
+        workers in 1usize..5,
+        masks in proptest::collection::vec(0u32..512, 8),
+        picks in proptest::collection::vec(0usize..3, 8),
+    ) {
+        let modules: Vec<Arc<Module>> = (0..module_count)
+            .map(|i| {
+                Arc::new(synthetic_app(&SyntheticConfig {
+                    seed: seed.wrapping_add(i as u64),
+                    function_count: 3,
+                    body_statements: 3,
+                }))
+            })
+            .collect();
+        let jobs: Vec<(usize, Vec<String>)> = (0..job_count)
+            .map(|j| {
+                let module = picks[j] % module_count;
+                let names: Vec<String> = registry::NAMES
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| masks[j] & (1 << i) != 0)
+                    .map(|(_, name)| name.to_string())
+                    .collect();
+                (module, names)
+            })
+            .collect();
+
+        let build = |cache: &Arc<ModuleCache>| {
+            let mut fleet = registry::fleet()
+                .workers(workers)
+                .cache(Arc::clone(cache))
+                .build();
+            for (module, names) in &jobs {
+                fleet.submit(
+                    Job::new(
+                        format!("m{module}"),
+                        Arc::clone(&modules[*module]),
+                        "main",
+                        vec![],
+                    )
+                    .analyses(names.iter().cloned()),
+                );
+            }
+            fleet
+        };
+
+        // Reference: the submission-ordered batch API.
+        let batch = build(&ModuleCache::shared()).run();
+        prop_assert!(batch.all_ok());
+
+        // Same jobs, fresh fleet + cache, through the streaming API.
+        let mut streamed = Vec::new();
+        let summary = build(&ModuleCache::shared()).run_streaming(|outcome| {
+            streamed.push(outcome);
+        });
+
+        // Summary agrees with the batch on everything deterministic.
+        prop_assert_eq!(summary.jobs, batch.jobs.len());
+        prop_assert_eq!(summary.cache_hits, batch.cache_hits);
+        prop_assert_eq!(summary.cache_misses, batch.cache_misses);
+
+        // Every job exactly once (completion order is a permutation of
+        // the submission indices)...
+        let mut seen: Vec<usize> = streamed.iter().map(|o| o.job).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..job_count).collect::<Vec<_>>());
+
+        // ...and payload-identical to the batch once re-sorted into
+        // submission order.
+        streamed.sort_by_key(|o| o.job);
+        for (streamed, batched) in streamed.iter().zip(&batch.jobs) {
+            prop_assert_eq!(&streamed.key, &batched.key);
+            prop_assert_eq!(&streamed.invoke, &batched.invoke);
+            prop_assert_eq!(
+                format!("{:?}", streamed.result),
+                format!("{:?}", batched.result)
+            );
+            let streamed_reports: Vec<String> =
+                streamed.reports.iter().map(|r| r.to_json()).collect();
+            let batched_reports: Vec<String> =
+                batched.reports.iter().map(|r| r.to_json()).collect();
+            prop_assert_eq!(streamed_reports, batched_reports);
+            // NOT compared: per-job cache_hit. Which racing job wins the
+            // build slot is scheduling-dependent; only the totals are
+            // deterministic (asserted on the summaries above).
+        }
+    }
+}
