@@ -50,6 +50,42 @@ cargo run --release -q -p wasabi-bench --bin overhead -- --smoke --out /tmp/BENC
 echo "==> bench smoke (fleet --smoke)"
 cargo run --release -q -p wasabi-bench --bin fleet -- --smoke --out /tmp/BENCH_fleet_smoke.json >/dev/null
 
+echo "==> bench smoke (parallel --smoke)"
+cargo run --release -q -p wasabi-bench --bin parallel -- --smoke --out /tmp/BENCH_parallel_smoke.json >/dev/null
+
+# Parallel-build + persistent-cache gate: a disk-warm process start must
+# load prepared sessions at least 2x faster than a cold build (committed
+# AND fresh smoke), and the committed thread-sweep must show >= 1.5x
+# build speedup at max threads — judged only when the recording box had
+# more than one core (like the fleet gate, the JSON records `cores`).
+# Re-record with:  cargo run --release -p wasabi-bench --bin parallel
+echo "==> perf gate: BENCH_parallel.json (disk-warm >= 2x; threads >= 1.5x when cores > 1)"
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_parallel.json") as f:
+    committed = json.load(f)
+with open("/tmp/BENCH_parallel_smoke.json") as f:
+    smoke = json.load(f)
+for label, data in (("committed", committed), ("smoke", smoke)):
+    ratio = data["disk_warm_vs_cold"]
+    if ratio < 2.0:
+        sys.exit(f"disk-warm start regressed ({label}): "
+                 f"{ratio:.3f}x < 2x the cold build")
+if committed["cores"] > 1:
+    speedup = committed["speedup_max_threads"]
+    if speedup < 1.5:
+        sys.exit(f"parallel build speedup regressed: {speedup:.3f}x < 1.5x "
+                 f"at {committed['max_threads']} thread(s)")
+    print(f"    build speedup: {speedup:.2f}x at {committed['max_threads']} "
+          f"thread(s) (>= 1.5x on {committed['cores']} cores)")
+else:
+    print(f"    thread-scaling gate skipped: committed baseline recorded on "
+          f"1 core (speedup {committed['speedup_max_threads']:.2f}x)")
+print(f"    disk-warm vs cold start: committed "
+      f"{committed['disk_warm_vs_cold']:.2f}x, smoke "
+      f"{smoke['disk_warm_vs_cold']:.2f}x (>= 2x)")
+EOF
+
 # Batch-engine gate: the committed baseline must show the shared
 # translated-module cache paying off — warm-cache jobs/sec at least 1.5x
 # the cold single-worker rate. (Worker *scaling* is not gated: the CI box
@@ -229,5 +265,77 @@ if [ -e "$SOCK" ]; then
     echo "wasabid left its socket file behind"; exit 1
 fi
 echo "    drained: wasabid exited 0 and removed its socket"
+
+# Disk-tier e2e: a daemon started with --disk-cache persists every
+# prepared session; a RESTARTED daemon over the same directory must serve
+# the same module from the disk tier — no rebuild — proven by its own
+# counters: disk_cache_hits goes to 1 and the build-phase timer stays at
+# zero in the fresh process.
+echo "==> server e2e: disk cache survives a daemon restart"
+DCACHE="$SMOKE_DIR/diskcache"
+SOCK2="$SMOKE_DIR/wasabid2.sock"
+target/release/wasabid --socket "$SOCK2" --workers 2 --disk-cache "$DCACHE" \
+    2>"$SMOKE_DIR/wasabid2.log" &
+WASABID_PID=$!
+for _ in $(seq 1 200); do [ -S "$SOCK2" ] && break; sleep 0.05; done
+[ -S "$SOCK2" ] || { cat "$SMOKE_DIR/wasabid2.log"; echo "wasabid (disk cache) did not come up"; exit 1; }
+target/release/wasabi-client --socket "$SOCK2" submit "$SMOKE_DIR/gemm.wasm" \
+    --analyses instruction_mix >/dev/null 2>&1
+target/release/wasabi-client --socket "$SOCK2" status >"$SMOKE_DIR/status3.json"
+python3 - "$SMOKE_DIR/status3.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    s = json.load(f)
+assert s["cache_misses"] == 1, s
+assert s["disk_cache_misses"] == 1 and s["disk_cache_hits"] == 0, (
+    f"a cold daemon must miss the disk tier exactly once: {s}")
+assert s["build_ms"] > 0, f"a cold daemon must report its build phase: {s}"
+print(f"    cold daemon: disk_cache_misses={s['disk_cache_misses']}, "
+      f"built in {s['build_ms']:.1f} ms "
+      f"(worker busy {s['build_worker_ms']:.1f} ms)")
+EOF
+target/release/wasabi-client --socket "$SOCK2" drain 2>/dev/null
+for _ in $(seq 1 200); do kill -0 "$WASABID_PID" 2>/dev/null || break; sleep 0.05; done
+if kill -0 "$WASABID_PID" 2>/dev/null; then
+    echo "wasabid (disk cache) did not exit after drain"; exit 1
+fi
+wait "$WASABID_PID"
+WASABID_PID=""
+
+# Restart over the SAME cache directory: the upload is new (fresh content
+# store), the memory tier is cold (cache_misses goes to 1), but the disk
+# tier serves the prepared session — zero rebuilds in this process.
+target/release/wasabid --socket "$SOCK2" --workers 2 --disk-cache "$DCACHE" \
+    2>"$SMOKE_DIR/wasabid3.log" &
+WASABID_PID=$!
+for _ in $(seq 1 200); do [ -S "$SOCK2" ] && break; sleep 0.05; done
+[ -S "$SOCK2" ] || { cat "$SMOKE_DIR/wasabid3.log"; echo "restarted wasabid did not come up"; exit 1; }
+target/release/wasabi-client --socket "$SOCK2" submit "$SMOKE_DIR/gemm.wasm" \
+    --analyses instruction_mix >"$SMOKE_DIR/restarted.jsonl" 2>/dev/null
+target/release/wasabi-client --socket "$SOCK2" status >"$SMOKE_DIR/status4.json"
+python3 - "$SMOKE_DIR/status4.json" "$SMOKE_DIR/restarted.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    s = json.load(f)
+assert s["jobs_done"] == 1, s
+assert s["cache_misses"] == 1, f"memory tier starts cold after a restart: {s}"
+assert s["disk_cache_hits"] == 1 and s["disk_cache_misses"] == 0, (
+    f"restarted daemon must serve the module from the disk tier: {s}")
+assert s["build_ms"] == 0, (
+    f"a disk hit must not rebuild — the build phase stayed idle: {s}")
+with open(sys.argv[2]) as f:
+    results = [json.loads(line) for line in f]
+assert len(results) == 1 and "reports" in results[0], results
+print(f"    restarted daemon: disk_cache_hits={s['disk_cache_hits']}, "
+      f"build_ms={s['build_ms']} (served from disk, no rebuild)")
+EOF
+target/release/wasabi-client --socket "$SOCK2" drain 2>/dev/null
+for _ in $(seq 1 200); do kill -0 "$WASABID_PID" 2>/dev/null || break; sleep 0.05; done
+if kill -0 "$WASABID_PID" 2>/dev/null; then
+    echo "restarted wasabid did not exit after drain"; exit 1
+fi
+wait "$WASABID_PID"
+WASABID_PID=""
+echo "    disk tier: rebuild-free restart verified"
 
 echo "ci.sh: all checks passed"

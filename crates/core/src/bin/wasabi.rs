@@ -63,7 +63,7 @@ use std::time::Instant;
 use wasabi::fleet::Job;
 use wasabi::hooks::{Analysis, Hook, HookSet};
 use wasabi::report::JsonValue;
-use wasabi::{json, stats, Instrumenter, Wasabi};
+use wasabi::{json, stats, DiskCache, Instrumenter, ModuleCache, Wasabi};
 use wasabi_analyses::registry;
 use wasabi_server::protocol::{export_params, typed_args};
 use wasabi_wasm::instr::Val;
@@ -87,13 +87,16 @@ struct Args {
     batch: Option<PathBuf>,
     /// Fleet worker threads for batch mode.
     workers: Option<usize>,
+    /// On-disk prepared-session cache directory for batch mode.
+    disk_cache: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>] [--wat]\n\
      \x20      wasabi <input.wasm> --analysis=<a1,a2,...> [--invoke=<export>]\n\
      \x20             [--args=<v1,v2,...>] [--out=<dir>] [--threads=<n>]\n\
-     \x20      wasabi --batch <manifest.json> [--workers=<n>] [--out=<dir>] [--time]\n\
+     \x20      wasabi --batch <manifest.json> [--workers=<n>] [--disk-cache=<dir>]\n\
+     \x20             [--out=<dir>] [--time]\n\
      hooks: start nop unreachable if br br_if br_table begin end memory_size\n\
      memory_grow const drop select unary binary load store local global\n\
      return call_pre call_post (default: all)\n\
@@ -115,7 +118,8 @@ fn usage() -> &'static str {
      (module paths resolve relative to the manifest; analyses/invoke/args\n\
      are optional). Results go to stdout as one JSON object per job, or to\n\
      <dir>/job<N>.json (summary) + <dir>/job<N>.<analysis>.json with --out;\n\
-     --workers sets the fleet size (default: all cores)\n\
+     --workers sets the fleet size (default: all cores); --disk-cache\n\
+     persists prepared sessions to <dir> so later runs skip the build\n\
      server mode: `wasabi serve ...` runs the persistent daemon and\n\
      `wasabi client ...` talks to it (same as the wasabid/wasabi-client\n\
      bins; see `wasabi serve --help` / `wasabi client --help`)"
@@ -135,6 +139,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut time = false;
     let mut batch = None;
     let mut workers = None;
+    let mut disk_cache = None;
 
     let mut raw = raw.peekable();
     while let Some(arg) = raw.next() {
@@ -205,6 +210,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 n.parse::<usize>()
                     .map_err(|_| format!("invalid worker count {n:?}"))?,
             );
+        } else if let Some(dir) = take_value(&arg, "--disk-cache") {
+            disk_cache = Some(PathBuf::from(dir?));
         } else if arg == "--help" || arg == "-h" {
             return Err(usage().to_string());
         } else if arg.starts_with("--") {
@@ -238,12 +245,15 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     {
         return Err(format!(
             "--batch takes everything from the manifest; it only combines \
-             with --workers, --out, and --time\n{}",
+             with --workers, --disk-cache, --out, and --time\n{}",
             usage()
         ));
     }
     if workers.is_some() && batch.is_none() {
         return Err(format!("--workers requires --batch\n{}", usage()));
+    }
+    if disk_cache.is_some() && batch.is_none() {
+        return Err(format!("--disk-cache requires --batch\n{}", usage()));
     }
 
     if batch.is_none() && input.is_none() {
@@ -262,6 +272,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         time,
         batch,
         workers,
+        disk_cache,
     })
 }
 
@@ -314,6 +325,11 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
     let mut fleet = registry::fleet();
     if let Some(workers) = args.workers {
         fleet = fleet.workers(workers);
+    }
+    if let Some(dir) = &args.disk_cache {
+        let disk = DiskCache::new(dir)
+            .map_err(|e| format!("cannot open disk cache {}: {e}", dir.display()))?;
+        fleet = fleet.cache(Arc::new(ModuleCache::new().with_disk(disk)));
     }
     let mut fleet = fleet.build();
     for (index, job) in jobs_json.iter().enumerate() {

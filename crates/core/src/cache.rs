@@ -65,6 +65,7 @@ use std::time::{Duration, Instant};
 use wasabi_wasm::module::Module;
 use wasabi_wasm::ValidationError;
 
+use crate::diskcache::DiskCache;
 use crate::hooks::HookSet;
 use crate::instrument::Instrumenter;
 use crate::runtime::AnalysisSession;
@@ -151,8 +152,14 @@ pub struct ModuleCache {
     /// Logical clock: incremented on every lookup, stamped into the
     /// touched slot's `last_used`.
     clock: AtomicU64,
+    /// Second tier: on-disk prepared sessions, consulted on a memory miss
+    /// before building and written back after every build (memory → disk
+    /// → build). `None` = memory-only (the default).
+    disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -179,6 +186,19 @@ impl ModuleCache {
             capacity: Some(capacity.max(1)),
             ..ModuleCache::default()
         }
+    }
+
+    /// Attach an on-disk second tier: memory misses consult `disk` before
+    /// building, and every completed build is written back to it — so a
+    /// fresh process (a restarted daemon) warm-starts known modules from
+    /// small file reads instead of rebuilds. Disk entries survive memory
+    /// LRU eviction *and* process exit; a corrupt or stale entry is a
+    /// disk miss and gets overwritten by the rebuild
+    /// ([`crate::diskcache`]).
+    #[must_use]
+    pub fn with_disk(mut self, disk: DiskCache) -> Self {
+        self.disk = Some(disk);
+        self
     }
 
     /// The session for `(key, hooks)`, building it from `module` exactly
@@ -228,13 +248,36 @@ impl ModuleCache {
             });
         }
 
-        // Miss: build while holding the slot lock, so same-key racers wait
-        // for this one build instead of duplicating it. Entries are built
-        // via the direct-emit path — the whole point of fusing instrument
-        // and translate is that every cache miss gets cheaper.
+        // Memory miss: consult the disk tier, then build — all while
+        // holding the slot lock, so same-key racers wait for this one
+        // build instead of duplicating it.
         let start = Instant::now();
-        let (translated, info) = Instrumenter::new(hooks).run_direct(module)?;
-        let session = Arc::new(AnalysisSession::from_direct(translated, info));
+        let disk_loaded = self.disk.as_ref().and_then(|disk| {
+            let loaded = disk.load(key, hooks, module);
+            if loaded.is_some() {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                stats::record_disk_cache_hit();
+            } else {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                stats::record_disk_cache_miss();
+            }
+            loaded
+        });
+        let session = match disk_loaded {
+            Some(session) => Arc::new(session),
+            None => {
+                // Entries are built via the direct-emit path — the whole
+                // point of fusing instrument and translate is that every
+                // cache miss gets cheaper — and written back to the disk
+                // tier (overwriting any corrupt entry that just missed).
+                let (translated, info) = Instrumenter::new(hooks).run_direct(module)?;
+                let session = Arc::new(AnalysisSession::from_direct(translated, info));
+                if let Some(disk) = &self.disk {
+                    disk.store(key, hooks, &session);
+                }
+                session
+            }
+        };
         let build = start.elapsed();
 
         *built = Some(Arc::clone(&session));
@@ -288,10 +331,26 @@ impl ModuleCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of lookups that built a new entry — equivalently, how many
-    /// fused direct-emit builds this cache has performed.
+    /// Number of lookups the in-memory tier could not serve (each either
+    /// loaded from the disk tier or performed a fused direct-emit build —
+    /// split by [`disk_hits`](ModuleCache::disk_hits) /
+    /// [`disk_misses`](ModuleCache::disk_misses) when a disk tier is
+    /// attached; with none, every miss is a build).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Memory misses served by loading a prepared session from the disk
+    /// tier (no rebuild). Always 0 without [`with_disk`](ModuleCache::with_disk).
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Memory misses the disk tier could not serve either (absent,
+    /// corrupt, or stale entry) — each one paid a full build. Always 0
+    /// without [`with_disk`](ModuleCache::with_disk).
+    pub fn disk_misses(&self) -> u64 {
+        self.disk_misses.load(Ordering::Relaxed)
     }
 
     /// Entries dropped by LRU eviction (always 0 for an unbounded cache).
@@ -327,6 +386,9 @@ impl std::fmt::Debug for ModuleCache {
             .field("capacity", &self.capacity)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("disk", &self.disk.as_ref().map(DiskCache::dir))
+            .field("disk_hits", &self.disk_hits())
+            .field("disk_misses", &self.disk_misses())
             .field("evictions", &self.evictions())
             .finish()
     }
@@ -481,6 +543,36 @@ mod tests {
         });
         assert!(cache.len() <= 2, "len {} over capacity", cache.len());
         assert_eq!(cache.evictions(), cache.misses() - cache.len() as u64);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_cache_restart() {
+        let dir = std::env::temp_dir().join(format!("wasabi-cache-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = module(6);
+        let cold = ModuleCache::new().with_disk(DiskCache::new(&dir).expect("creates dir"));
+        let first = cold.session_for("k", HookSet::all(), &m).expect("builds");
+        assert!(!first.hit);
+        assert_eq!((cold.disk_hits(), cold.disk_misses()), (0, 1), "cold build");
+
+        // A fresh cache over the same directory — a restarted daemon.
+        let warm = ModuleCache::new().with_disk(DiskCache::new(&dir).expect("opens dir"));
+        let second = warm.session_for("k", HookSet::all(), &m).expect("loads");
+        assert!(!second.hit, "memory tier is cold after restart");
+        assert_eq!(
+            (warm.disk_hits(), warm.disk_misses()),
+            (1, 0),
+            "served from the disk tier, no rebuild"
+        );
+        assert_eq!(
+            second.session.translated().code_debug(),
+            first.session.translated().code_debug(),
+            "disk-loaded code is bit-identical to the built one"
+        );
+        // Third lookup: memory tier now holds it, disk untouched.
+        assert!(warm.session_for("k", HookSet::all(), &m).expect("hits").hit);
+        assert_eq!(warm.disk_hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

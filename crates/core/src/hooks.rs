@@ -217,6 +217,24 @@ impl HookSet {
     pub fn len(&self) -> usize {
         self.bits.count_ones() as usize
     }
+
+    /// The raw membership bitmask (bit position = [`Hook`] discriminant).
+    /// Stable identity for serialization — the on-disk session cache keys
+    /// entries by it.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Rebuild a set from [`HookSet::bits`]. Unknown high bits are
+    /// dropped, so a bitmask from a newer build degrades to the hooks
+    /// this build knows.
+    pub fn from_bits(bits: u32) -> Self {
+        let mut known = 0u32;
+        for hook in Hook::ALL {
+            known |= hook.bit();
+        }
+        HookSet { bits: bits & known }
+    }
 }
 
 impl fmt::Display for HookSet {

@@ -17,10 +17,13 @@
 //! - selective instrumentation: only instructions with a matching hook in
 //!   the analysis' [`HookSet`] are instrumented (§2.4.2),
 //! - functions are instrumented in parallel; the only shared mutable state
-//!   is the hook map and the `br_table` info list (§3).
+//!   is the hook map (§3). Each worker collects its functions' `br_table`
+//!   info locally; the join merges the lists in function-index order and
+//!   patches the baked indices, and renumbers hook ordinals by first use —
+//!   so the output is **bit-identical** to a single-threaded run no
+//!   matter how workers interleave (see `canonicalize` in this module).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 use wasabi_wasm::error::ValidationError;
 use wasabi_wasm::instr::{BlockType, Idx, Instr, Label, LocalOp, LocalSpace, UnaryOp, Val};
@@ -88,7 +91,8 @@ impl Instrumenter {
     }
 
     fn run_timed(&self, module: &Module) -> Result<(Module, ModuleInfo), ValidationError> {
-        let (results, info) = self.instrument_functions(module)?;
+        let (results, info, worker_busy) = self.instrument_functions(module)?;
+        crate::stats::record_build_worker_time(worker_busy);
         let function_count = module.functions.len();
 
         let mut instrumented = module.clone();
@@ -146,7 +150,7 @@ impl Instrumenter {
         &self,
         module: &Module,
     ) -> Result<(TranslatedModule, ModuleInfo), ValidationError> {
-        let (results, info) = self.instrument_functions(module)?;
+        let (results, info, instrument_busy) = self.instrument_functions(module)?;
 
         let funcs: Vec<Option<InstrumentedFunc>> = results
             .into_iter()
@@ -154,15 +158,23 @@ impl Instrumenter {
             .collect();
         let hook_imports = crate::hookmap::hook_imports(&info.hooks);
 
-        let translated = TranslatedModule::new_instrumented(module.clone(), &funcs, hook_imports)
-            .expect("direct-emit input module already validated");
+        let (translated, translate_busy) = TranslatedModule::new_instrumented_with_threads(
+            module.clone(),
+            &funcs,
+            hook_imports,
+            self.threads,
+        )
+        .expect("direct-emit input module already validated");
+        crate::stats::record_build_worker_time(instrument_busy + translate_busy);
         Ok((translated, info))
     }
 
     /// The shared per-function instrumentation pass: returns the
     /// instrumented `(body, extra_locals)` per local function (imports stay
-    /// `None`) plus the fully populated [`ModuleInfo`] (`enabled`, `hooks`
-    /// in hook-map ordinal order, `br_tables`). Both the rewrite and the
+    /// `None`), the fully populated [`ModuleInfo`] (`enabled`, `hooks` in
+    /// canonical ordinal order, `br_tables`), and the summed busy time of
+    /// the worker threads (each worker accumulates locally; folded into
+    /// the phase timers once per build). Both the rewrite and the
     /// direct-emit paths build on this; they differ only in what they do
     /// with the bodies afterwards.
     fn instrument_functions(
@@ -175,20 +187,22 @@ impl Instrumenter {
         info.enabled = self.hooks;
 
         let hook_map = HookMap::new(module.functions.len());
-        let br_tables: Mutex<Vec<BrTableInfo>> = Mutex::new(Vec::new());
 
         let function_count = module.functions.len();
-        let mut results: Vec<Option<(Vec<Instr>, Vec<ValType>)>> = vec![None; function_count];
+        let mut bodies: Vec<Option<InstrumentedBody>> = Vec::new();
+        bodies.resize_with(function_count, || None);
+        let busy = std::sync::atomic::AtomicU64::new(0);
 
         if function_count > 0 {
             let chunk_size = function_count.div_ceil(self.threads);
             crossbeam::thread::scope(|scope| {
-                for (chunk_idx, out_chunk) in results.chunks_mut(chunk_size).enumerate() {
+                for (chunk_idx, out_chunk) in bodies.chunks_mut(chunk_size).enumerate() {
                     let hook_map = &hook_map;
-                    let br_tables = &br_tables;
+                    let busy = &busy;
                     let hooks = self.hooks;
                     let reuse_temps = self.reuse_temps;
                     scope.spawn(move |_| {
+                        let timer = std::time::Instant::now();
                         let base = chunk_idx * chunk_size;
                         for (offset, slot) in out_chunk.iter_mut().enumerate() {
                             let func_idx = base + offset;
@@ -200,26 +214,122 @@ impl Instrumenter {
                                     function,
                                     hook_map,
                                     hooks,
-                                    br_tables,
                                     reuse_temps,
                                 ));
                             }
                         }
+                        busy.fetch_add(
+                            timer.elapsed().as_nanos() as u64,
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
                     });
                 }
             })
             .expect("instrumentation worker panicked");
         }
 
-        info.hooks = hook_map.into_hooks();
-        info.br_tables = br_tables.into_inner().expect("no poisoned lock");
-        Ok((results, info))
+        let (hooks, br_tables) = canonicalize(&mut bodies, hook_map.into_hooks(), function_count);
+        info.hooks = hooks;
+        info.br_tables = br_tables;
+
+        let results = bodies
+            .into_iter()
+            .map(|b| b.map(|b| (b.body, b.extra_locals)))
+            .collect();
+        Ok((
+            results,
+            info,
+            std::time::Duration::from_nanos(busy.into_inner()),
+        ))
     }
 }
 
 /// Result of the shared instrumentation pass: per-function instrumented
-/// bodies (`None` for imports) plus the populated [`ModuleInfo`].
-type InstrumentedFunctions = (Vec<Option<(Vec<Instr>, Vec<ValType>)>>, ModuleInfo);
+/// bodies (`None` for imports), the populated [`ModuleInfo`], and the
+/// summed worker busy time.
+type InstrumentedFunctions = (
+    Vec<Option<(Vec<Instr>, Vec<ValType>)>>,
+    ModuleInfo,
+    std::time::Duration,
+);
+
+/// One function's output of the parallel instrumentation pass, before the
+/// deterministic join: hook calls still carry discovery-order ordinals and
+/// `br_table` info indices are still function-local.
+#[derive(Debug)]
+struct InstrumentedBody {
+    body: Vec<Instr>,
+    extra_locals: Vec<ValType>,
+    /// `br_table` infos of this function, in instruction order.
+    br_tables: Vec<BrTableInfo>,
+    /// Positions in `body` of the `i32.const` pushing each info's index
+    /// (parallel to `br_tables`); the join rebases them onto the merged
+    /// module-global list.
+    br_table_patches: Vec<usize>,
+}
+
+/// The deterministic join of the parallel instrumentation pass. Workers
+/// interleave nondeterministically, so two artifacts come out in
+/// scheduling order: hook-map ordinals (assigned at first
+/// [`HookMap::get_or_insert`] across all threads) and, previously, the
+/// shared `br_table` info list. This pass renumbers both to exactly what a
+/// single-threaded left-to-right run (function-index order, instruction
+/// order within a function) would have produced:
+///
+/// - hook ordinals are remapped by **first use**, walking every emitted
+///   `Call` to a hook index (≥ `function_count`; original calls can never
+///   reach past the module's own index space) in body order, and the hook
+///   list is permuted to match — every map entry was emitted as at least
+///   one call, so the walk sees them all;
+/// - per-function `br_table` lists are concatenated in function-index
+///   order and each baked `i32.const` info index is rebased by its
+///   function's offset into the merged list.
+///
+/// Under `threads(1)` both remaps are the identity, which is what makes
+/// the parallel build's output **bit-identical** to the sequential one.
+/// The [`HookMap`] itself keeps the paper's upgradable-lock discipline
+/// (§3) — this pass only renames its ordinals after the fact.
+fn canonicalize(
+    bodies: &mut [Option<InstrumentedBody>],
+    hooks: Vec<LowLevelHook>,
+    function_count: usize,
+) -> (Vec<LowLevelHook>, Vec<BrTableInfo>) {
+    let mut remap: Vec<Option<u32>> = vec![None; hooks.len()];
+    let mut next = 0u32;
+    let mut br_tables: Vec<BrTableInfo> = Vec::new();
+    for body in bodies.iter_mut().flatten() {
+        for instr in &mut body.body {
+            if let Instr::Call(idx) = instr {
+                let hook_ordinal = idx.to_usize().wrapping_sub(function_count);
+                if let Some(slot) = remap.get_mut(hook_ordinal) {
+                    let new = *slot.get_or_insert_with(|| {
+                        let n = next;
+                        next += 1;
+                        n
+                    });
+                    *idx = Idx::from(function_count as u32 + new);
+                }
+            }
+        }
+        let base = br_tables.len() as i32;
+        if base != 0 {
+            for &at in &body.br_table_patches {
+                if let Instr::Const(Val::I32(info_idx)) = &mut body.body[at] {
+                    *info_idx += base;
+                }
+            }
+        }
+        br_tables.append(&mut body.br_tables);
+    }
+    debug_assert_eq!(next as usize, hooks.len(), "every hook is called");
+    let mut canonical: Vec<Option<LowLevelHook>> = vec![None; hooks.len()];
+    for (old, hook) in hooks.into_iter().enumerate() {
+        if let Some(new) = remap[old] {
+            canonical[new as usize] = Some(hook);
+        }
+    }
+    (canonical.into_iter().flatten().collect(), br_tables)
+}
 
 /// Instrument `module` for the given hook set (paper Fig. 2, "instrument").
 ///
@@ -310,23 +420,25 @@ struct FunctionCtx<'a> {
     func: u32,
     hooks: HookSet,
     hook_map: &'a HookMap,
-    br_tables: &'a Mutex<Vec<BrTableInfo>>,
+    /// This function's `br_table` infos, local to the worker; merged and
+    /// rebased by [`canonicalize`] at the join.
+    br_tables: Vec<BrTableInfo>,
+    /// Positions in `out` of the baked `br_table` info indices.
+    br_table_patches: Vec<usize>,
     checker: TypeChecker,
     control: Vec<ControlFrame>,
     temps: TempLocals,
     out: Vec<Instr>,
 }
 
-#[allow(clippy::too_many_arguments)]
 fn instrument_function(
     module: &Module,
     func: u32,
     function: &Function,
     hook_map: &HookMap,
     hooks: HookSet,
-    br_tables: &Mutex<Vec<BrTableInfo>>,
     reuse_temps: bool,
-) -> (Vec<Instr>, Vec<ValType>) {
+) -> InstrumentedBody {
     let code = function.code().expect("local function");
     let body = &code.body;
     let matching_end = match_ends(body);
@@ -337,7 +449,8 @@ fn instrument_function(
         func,
         hooks,
         hook_map,
-        br_tables,
+        br_tables: Vec::new(),
+        br_table_patches: Vec::new(),
         checker: TypeChecker::begin_function(function),
         control: vec![ControlFrame {
             kind: BlockKind::Function,
@@ -367,7 +480,12 @@ fn instrument_function(
             .expect("module was validated before instrumentation");
     }
 
-    (ctx.out, ctx.temps.into_locals())
+    InstrumentedBody {
+        body: ctx.out,
+        extra_locals: ctx.temps.into_locals(),
+        br_tables: ctx.br_tables,
+        br_table_patches: ctx.br_table_patches,
+    }
 }
 
 /// Pre-pass: for each `block`/`loop`/`if`, the index of its matching `end`.
@@ -649,13 +767,13 @@ fn instrument_instr(ctx: &mut FunctionCtx<'_>, pc: u32, instr: &Instr, matching_
                     entries: table.iter().map(|&l| make_entry(ctx, l)).collect(),
                     default: make_entry(ctx, *default),
                 };
-                let info_idx = {
-                    let mut br_tables = ctx.br_tables.lock().expect("no poisoned lock");
-                    br_tables.push(info);
-                    (br_tables.len() - 1) as i32
-                };
+                // Function-local index, rebased onto the merged module
+                // list by `canonicalize` via the recorded patch position.
+                let info_idx = ctx.br_tables.len() as i32;
+                ctx.br_tables.push(info);
                 let idx = ctx.temps.get(ValType::I32);
                 ctx.emit(Local(LocalOp::Set, idx));
+                ctx.br_table_patches.push(ctx.out.len());
                 ctx.emit(Const(Val::I32(info_idx)));
                 ctx.emit(Local(LocalOp::Get, idx));
                 ctx.call_hook(LowLevelHook::BrTable, ipc);
@@ -1012,29 +1130,39 @@ mod tests {
     }
 
     #[test]
-    fn single_threaded_and_parallel_agree() {
+    fn single_threaded_and_parallel_are_bit_identical() {
+        // Mixed bodies (loads, br_tables, calls) so hook discovery and
+        // br_table collection genuinely race across workers; the
+        // canonicalization join must erase any trace of the interleaving.
         let mut builder = ModuleBuilder::new();
         builder.memory(1, None);
         for i in 0..20 {
             builder.function(&format!("f{i}"), &[ValType::I32], &[ValType::I32], |f| {
+                if i % 3 == 0 {
+                    f.block(None).block(None).block(None);
+                    f.get_local(0u32).br_table(vec![0, 1], 2);
+                    f.end().end().end();
+                }
+                if i % 2 == 0 {
+                    f.get_local(0u32).load(wasabi_wasm::LoadOp::I32Load, 0);
+                    f.drop_();
+                }
                 f.get_local(0u32).i32_const(i).i32_add();
             });
         }
         let module = builder.finish();
-        let (a, _) = Instrumenter::new(HookSet::all())
+        validate(&module).unwrap();
+        let (a, info_a) = Instrumenter::new(HookSet::all())
             .threads(1)
             .run(&module)
             .unwrap();
-        let (b, _) = Instrumenter::new(HookSet::all())
-            .threads(4)
-            .run(&module)
-            .unwrap();
-        // Function bodies must be identical; hook import indices are
-        // assigned in discovery order which may differ between runs, so
-        // compare after normalizing through the encoder? No: bodies call
-        // hooks by index. Instead check counts and validity.
-        assert_eq!(a.functions.len(), b.functions.len());
-        validate(&a).unwrap();
-        validate(&b).unwrap();
+        for threads in [2, 4, 7] {
+            let (b, info_b) = Instrumenter::new(HookSet::all())
+                .threads(threads)
+                .run(&module)
+                .unwrap();
+            assert_eq!(encode(&a), encode(&b), "threads={threads}");
+            assert_eq!(info_a, info_b, "threads={threads}");
+        }
     }
 }

@@ -63,6 +63,7 @@
 
 pub mod cache;
 pub mod convention;
+pub mod diskcache;
 pub mod event;
 pub mod fleet;
 pub mod hookmap;
@@ -77,6 +78,7 @@ pub mod runtime;
 pub mod stats;
 
 pub use cache::{content_key, ModuleCache};
+pub use diskcache::DiskCache;
 pub use event::AnalysisCtx;
 pub use fleet::{BatchResult, BatchSummary, Fleet, FleetBuilder, Job, JobOutcome, JobStats};
 pub use hooks::{Analysis, BlockKind, Hook, HookSet, MemArg, NoAnalysis};

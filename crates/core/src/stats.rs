@@ -26,18 +26,32 @@
 //! functions (they live here so the daemon's `status` response and the
 //! rest of the process share one set of books).
 //!
+//! # Aggregation across build worker threads
+//!
+//! The build phase timers ([`instrumentation_time`],
+//! [`translation_time`], [`fused_build_time`]) measure **wall time on the
+//! coordinating thread**, recorded once per build — so the
+//! function-granular parallel pipeline (instrumentation and translation
+//! workers fanned out per build, paper §3) does not multiply them: a
+//! build that keeps 8 workers busy for 1 ms adds 1 ms of wall time, not
+//! 8. The workers' cumulative busy time is tracked separately in
+//! [`build_worker_time`]: each worker accumulates its own busy nanos
+//! locally and the build folds the sum in **once** at the join — no
+//! atomics on the per-function path, and `--time` /
+//! [`crate::fleet::JobStats`] stay truthful under the parallel pipeline
+//! (`build_worker_time / fused_build_time` ≈ effective build
+//! parallelism).
+//!
 //! # Single-run caveat: the phase timers are process-global
 //!
-//! [`instrumentation_time`], [`translation_time`], and
-//! [`fused_build_time`] are **sums over every pass the whole process has
-//! performed, on all threads**. Reading a before/after delta around one
-//! run (as the CLI `--time` flag does) is only meaningful while nothing
-//! runs concurrently — with a [`crate::fleet::Fleet`] executing jobs on
-//! several workers, a delta would attribute other jobs' phases to yours.
-//! That is why fleet jobs carry their **own** per-job phase times,
-//! measured on the executing worker's clock
-//! ([`crate::fleet::JobStats`]), and the global timers here remain what
-//! they are: process-lifetime aggregates.
+//! The timers are still **sums over every build the whole process has
+//! performed**. Reading a before/after delta around one run (as the CLI
+//! `--time` flag does) is only meaningful while nothing runs concurrently
+//! — with a [`crate::fleet::Fleet`] executing jobs on several workers, a
+//! delta would attribute other jobs' phases to yours. That is why fleet
+//! jobs carry their **own** per-job phase times, measured on the
+//! executing worker's clock ([`crate::fleet::JobStats`]), and the global
+//! timers here remain what they are: process-lifetime aggregates.
 //!
 //! The three build timers are *disjoint by construction*: a rewrite-path
 //! build feeds [`instrumentation_time`] + [`translation_time`], a
@@ -56,8 +70,11 @@ static HOST_CALLS_SLOW: AtomicU64 = AtomicU64::new(0);
 static INSTRUMENTATION_NANOS: AtomicU64 = AtomicU64::new(0);
 static TRANSLATION_NANOS: AtomicU64 = AtomicU64::new(0);
 static FUSED_BUILD_NANOS: AtomicU64 = AtomicU64::new(0);
+static BUILD_WORKER_NANOS: AtomicU64 = AtomicU64::new(0);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static DISK_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static FLEET_JOBS: AtomicU64 = AtomicU64::new(0);
 static SERVER_CONNECTIONS: AtomicU64 = AtomicU64::new(0);
@@ -112,6 +129,16 @@ pub fn fused_build_time() -> Duration {
     Duration::from_nanos(FUSED_BUILD_NANOS.load(Ordering::Relaxed))
 }
 
+/// Cumulative **busy** time of build worker threads (instrumentation and
+/// translation workers of the function-granular parallel pipeline),
+/// summed over all builds. Each worker accumulates its own busy nanos
+/// locally; the build folds the total in once at the join. Compare with
+/// the wall-clock build timers: `build_worker_time / fused_build_time`
+/// approximates the effective parallelism of a build.
+pub fn build_worker_time() -> Duration {
+    Duration::from_nanos(BUILD_WORKER_NANOS.load(Ordering::Relaxed))
+}
+
 /// [`crate::cache::ModuleCache`] lookups that found an existing entry,
 /// summed over every cache in the process.
 pub fn cache_hits() -> u64 {
@@ -122,6 +149,19 @@ pub fn cache_hits() -> u64 {
 /// translated) a new entry, summed over every cache in the process.
 pub fn cache_misses() -> u64 {
     CACHE_MISSES.load(Ordering::Relaxed)
+}
+
+/// On-disk prepared-session cache lookups that loaded a valid entry
+/// (no rebuild needed), summed over every disk cache in the process.
+pub fn disk_cache_hits() -> u64 {
+    DISK_CACHE_HITS.load(Ordering::Relaxed)
+}
+
+/// On-disk prepared-session cache lookups that found no usable entry
+/// (absent, corrupt, stale format, or mismatched hook set) and fell back
+/// to a clean rebuild, summed over every disk cache in the process.
+pub fn disk_cache_misses() -> u64 {
+    DISK_CACHE_MISSES.load(Ordering::Relaxed)
 }
 
 /// Entries dropped from bounded [`crate::cache::ModuleCache`]s by LRU
@@ -211,6 +251,18 @@ pub(crate) fn record_fused_build_time(elapsed: Duration) {
     FUSED_BUILD_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
 }
 
+pub(crate) fn record_build_worker_time(elapsed: Duration) {
+    BUILD_WORKER_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+pub(crate) fn record_disk_cache_hit() {
+    DISK_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_disk_cache_miss() {
+    DISK_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +298,19 @@ mod tests {
         let before = cache_evictions();
         record_cache_eviction();
         assert!(cache_evictions() >= before + 1);
+    }
+
+    #[test]
+    fn parallel_build_counters_are_monotonic() {
+        let before = build_worker_time();
+        record_build_worker_time(Duration::from_millis(2));
+        assert!(build_worker_time() >= before + Duration::from_millis(2));
+        let before = disk_cache_hits();
+        record_disk_cache_hit();
+        assert!(disk_cache_hits() >= before + 1);
+        let before = disk_cache_misses();
+        record_disk_cache_miss();
+        assert!(disk_cache_misses() >= before + 1);
     }
 
     #[test]

@@ -70,4 +70,35 @@ fn build_timers_are_disjoint_between_the_two_paths() {
         fused_before,
         "rewrite build must not feed the fused timer"
     );
+
+    // Parallel direct-emit: worker busy time is accumulated per thread
+    // and folded into the worker timer exactly ONCE per build, next to
+    // (never instead of) the fused coordinator phase. The split rewrite
+    // timers still do not move.
+    let instrument_before = stats::instrumentation_time();
+    let translate_before = stats::translation_time();
+    let fused_before = stats::fused_build_time();
+    let worker_before = stats::build_worker_time();
+    let (_translated, _info) = Instrumenter::new(HookSet::all())
+        .threads(4)
+        .run_direct(&module)
+        .expect("module validates");
+    assert!(
+        stats::fused_build_time() > fused_before,
+        "a parallel build still reports its fused coordinator phase"
+    );
+    assert!(
+        stats::build_worker_time() > worker_before,
+        "a parallel build folds the workers' busy time into the worker timer"
+    );
+    assert_eq!(
+        stats::instrumentation_time(),
+        instrument_before,
+        "parallel direct-emit must not feed the instrument timer"
+    );
+    assert_eq!(
+        stats::translation_time(),
+        translate_before,
+        "parallel direct-emit must not feed the translate timer"
+    );
 }

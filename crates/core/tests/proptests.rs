@@ -12,10 +12,18 @@
 //! kinds (consts, numeric ops, memory, locals/globals, blocks, loops,
 //! branches, br_table, calls, indirect calls, select, drop, return).
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 
-use wasabi::hooks::{Hook, HookSet, NoAnalysis};
-use wasabi::{instrument, AnalysisSession, WasabiHost};
+use wasabi::event::{
+    AnalysisCtx, BinaryEvt, BlockEvt, BranchEvt, BranchTableEvt, CallEvt, CallPostEvt, EndEvt,
+    GlobalEvt, IfEvt, LoadEvt, LocalEvt, MemGrowEvt, MemSizeEvt, ReturnEvt, SelectEvt, StoreEvt,
+    UnaryEvt, ValEvt,
+};
+use wasabi::hooks::{Analysis, Hook, HookSet, NoAnalysis};
+use wasabi::report::{JsonValue, Report};
+use wasabi::{instrument, AnalysisSession, Instrumenter, Wasabi, WasabiHost};
 use wasabi_vm::{EmptyHost, Instance, Trap};
 use wasabi_wasm::builder::{FunctionBuilder, ModuleBuilder};
 use wasabi_wasm::instr::{BinaryOp, Instr, UnaryOp, Val};
@@ -444,6 +452,114 @@ fn arb_hookset() -> impl Strategy<Value = HookSet> {
         .prop_map(|hooks| hooks.into_iter().collect())
 }
 
+/// Counts every dispatched high-level hook event by name. Its report is a
+/// complete behavioural fingerprint of a run: two builds that differ in
+/// any op the analysis can observe produce different reports.
+struct EventCounter {
+    hooks: HookSet,
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl EventCounter {
+    fn new(hooks: HookSet) -> Self {
+        EventCounter {
+            hooks,
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, name: &'static str) {
+        *self.counts.entry(name).or_insert(0) += 1;
+    }
+}
+
+impl Analysis for EventCounter {
+    fn name(&self) -> &str {
+        "event_counter"
+    }
+
+    fn hooks(&self) -> HookSet {
+        self.hooks
+    }
+
+    fn report(&self) -> Report {
+        Report::new(
+            "event_counter",
+            JsonValue::object(self.counts.iter().map(|(k, v)| (*k, JsonValue::from(*v)))),
+        )
+    }
+
+    fn start(&mut self, _: &AnalysisCtx) {
+        self.bump("start");
+    }
+    fn nop(&mut self, _: &AnalysisCtx) {
+        self.bump("nop");
+    }
+    fn unreachable(&mut self, _: &AnalysisCtx) {
+        self.bump("unreachable");
+    }
+    fn if_(&mut self, _: &AnalysisCtx, _: &IfEvt) {
+        self.bump("if");
+    }
+    fn br(&mut self, _: &AnalysisCtx, _: &BranchEvt) {
+        self.bump("br");
+    }
+    fn br_if(&mut self, _: &AnalysisCtx, _: &BranchEvt) {
+        self.bump("br_if");
+    }
+    fn br_table(&mut self, _: &AnalysisCtx, _: &BranchTableEvt<'_>) {
+        self.bump("br_table");
+    }
+    fn begin(&mut self, _: &AnalysisCtx, _: &BlockEvt) {
+        self.bump("begin");
+    }
+    fn end(&mut self, _: &AnalysisCtx, _: &EndEvt) {
+        self.bump("end");
+    }
+    fn memory_size(&mut self, _: &AnalysisCtx, _: &MemSizeEvt) {
+        self.bump("memory_size");
+    }
+    fn memory_grow(&mut self, _: &AnalysisCtx, _: &MemGrowEvt) {
+        self.bump("memory_grow");
+    }
+    fn const_(&mut self, _: &AnalysisCtx, _: &ValEvt) {
+        self.bump("const");
+    }
+    fn drop_(&mut self, _: &AnalysisCtx, _: &ValEvt) {
+        self.bump("drop");
+    }
+    fn select(&mut self, _: &AnalysisCtx, _: &SelectEvt) {
+        self.bump("select");
+    }
+    fn unary(&mut self, _: &AnalysisCtx, _: &UnaryEvt) {
+        self.bump("unary");
+    }
+    fn binary(&mut self, _: &AnalysisCtx, _: &BinaryEvt) {
+        self.bump("binary");
+    }
+    fn load(&mut self, _: &AnalysisCtx, _: &LoadEvt) {
+        self.bump("load");
+    }
+    fn store(&mut self, _: &AnalysisCtx, _: &StoreEvt) {
+        self.bump("store");
+    }
+    fn local(&mut self, _: &AnalysisCtx, _: &LocalEvt) {
+        self.bump("local");
+    }
+    fn global(&mut self, _: &AnalysisCtx, _: &GlobalEvt) {
+        self.bump("global");
+    }
+    fn return_(&mut self, _: &AnalysisCtx, _: &ReturnEvt<'_>) {
+        self.bump("return");
+    }
+    fn call_pre(&mut self, _: &AnalysisCtx, _: &CallEvt<'_>) {
+        self.bump("call_pre");
+    }
+    fn call_post(&mut self, _: &AnalysisCtx, _: &CallPostEvt<'_>) {
+        self.bump("call_post");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
@@ -476,6 +592,58 @@ proptest! {
             prop_assert_eq!(original.1, instrumented_run.1, "memory diverged, hooks: {}", set);
             prop_assert_eq!(&original.2, &instrumented_run.2, "globals diverged, hooks: {}", set);
         }
+    }
+
+    #[test]
+    fn parallel_fused_build_is_bit_identical(
+        functions in prop::collection::vec(prop::collection::vec(arb_stmt(), 0..6), 1..4),
+        hooks in arb_hookset(),
+        threads in 2usize..9,
+    ) {
+        // Paper §3 at scale: fanning the fused instrument+translate build
+        // out over worker threads is a pure performance knob — the
+        // translated code, the static info, and the reports of a run over
+        // it must be indistinguishable from the single-threaded build.
+        let module = build_module(&functions);
+
+        let (base, base_info) = Instrumenter::new(hooks)
+            .threads(1)
+            .run_direct(&module)
+            .expect("single-threaded build");
+        let (par, par_info) = Instrumenter::new(hooks)
+            .threads(threads)
+            .run_direct(&module)
+            .expect("parallel build");
+        prop_assert_eq!(
+            base.code_debug(), par.code_debug(),
+            "ops diverged at {} thread(s), hooks: {}", threads, hooks
+        );
+        prop_assert_eq!(
+            base.encode_code(), par.encode_code(),
+            "encoded code diverged at {} thread(s), hooks: {}", threads, hooks
+        );
+        prop_assert_eq!(
+            &base_info, &par_info,
+            "static info diverged at {} thread(s), hooks: {}", threads, hooks
+        );
+
+        // And a full run over each build tells the analysis the same story.
+        let fingerprint = |n: usize| {
+            let mut counter = EventCounter::new(hooks);
+            let mut pipeline = Wasabi::builder()
+                .analysis(&mut counter)
+                .threads(n)
+                .build(&module)
+                .expect("pipeline builds");
+            let outcome = match pipeline.run("main", &[]) {
+                Ok(values) => format!("{values:?}"),
+                Err(e) => format!("error: {e}"),
+            };
+            let reports: Vec<String> =
+                pipeline.reports().iter().map(Report::to_json).collect();
+            (outcome, reports)
+        };
+        prop_assert_eq!(fingerprint(1), fingerprint(threads));
     }
 
     #[test]

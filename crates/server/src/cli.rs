@@ -24,6 +24,10 @@ Serve wasabi analysis jobs over a socket until drained.
                          (default 256)
   --cache-capacity <n>   bound on the shared prepared-session cache;
                          0 means unbounded (default 64)
+  --disk-cache <dir>     persist prepared sessions to <dir> as a second
+                         cache tier (memory -> disk -> build); entries
+                         survive daemon restarts, so a fresh daemon
+                         serves known modules without rebuilding
 ";
 
 const CLIENT_USAGE: &str = "\
@@ -96,6 +100,13 @@ pub fn serve_main(args: Vec<String>) -> Result<(), String> {
                     .map_err(|_| format!("invalid --cache-capacity {value:?}"))?;
                 config.cache_capacity = (capacity > 0).then_some(capacity);
             }
+            "--disk-cache" => {
+                config.disk_cache = Some(std::path::PathBuf::from(take_value(
+                    &mut args,
+                    "--disk-cache",
+                    SERVE_USAGE,
+                )?));
+            }
             "--help" | "-h" => {
                 print!("{SERVE_USAGE}");
                 return Ok(());
@@ -105,12 +116,12 @@ pub fn serve_main(args: Vec<String>) -> Result<(), String> {
     }
 
     let server = match &endpoint {
-        Endpoint::Unix(path) => Server::bind_unix(path, config),
-        Endpoint::Tcp(addr) => Server::bind_tcp(addr, config),
+        Endpoint::Unix(path) => Server::bind_unix(path, config.clone()),
+        Endpoint::Tcp(addr) => Server::bind_tcp(addr, config.clone()),
     }
     .map_err(|e| format!("cannot bind: {e}"))?;
     eprintln!(
-        "wasabid: listening on {} (workers={}, max-pending={}, cache-capacity={})",
+        "wasabid: listening on {} (workers={}, max-pending={}, cache-capacity={}, disk-cache={})",
         server.addr(),
         config
             .workers
@@ -119,6 +130,10 @@ pub fn serve_main(args: Vec<String>) -> Result<(), String> {
         config
             .cache_capacity
             .map_or_else(|| "unbounded".to_string(), |c| c.to_string()),
+        config
+            .disk_cache
+            .as_ref()
+            .map_or_else(|| "off".to_string(), |d| d.display().to_string()),
     );
     server.serve().map_err(|e| format!("serve failed: {e}"))?;
     eprintln!("wasabid: drained, exiting");

@@ -43,7 +43,7 @@ use std::time::Duration;
 
 use wasabi::fleet::{AnalysisFactory, Fleet};
 use wasabi::report::JsonValue;
-use wasabi::{stats, Job, ModuleCache};
+use wasabi::{stats, DiskCache, Job, ModuleCache};
 
 use crate::protocol::{
     export_params, typed_args, write_frame, ErrorCode, FrameError, FrameReader, JobResult, Request,
@@ -53,7 +53,7 @@ use crate::store::ContentStore;
 
 /// How the daemon is built: worker count, admission bound, cache bound,
 /// and the analysis registry its fleets construct from.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Fleet workers per `submit` (`None`: the fleet's own default, one
     /// per available core).
@@ -63,6 +63,10 @@ pub struct ServerConfig {
     pub max_pending: u64,
     /// Capacity of the shared prepared-session cache (`None`: unbounded).
     pub cache_capacity: Option<usize>,
+    /// Directory for the on-disk prepared-session cache tier (`None`:
+    /// memory only). Entries persist across daemon restarts, so a fresh
+    /// daemon serves known modules without rebuilding them.
+    pub disk_cache: Option<PathBuf>,
     /// Constructs analyses by registry name for every job.
     pub factory: AnalysisFactory,
 }
@@ -75,6 +79,7 @@ impl ServerConfig {
             workers: None,
             max_pending: 256,
             cache_capacity: Some(64),
+            disk_cache: None,
             factory,
         }
     }
@@ -141,6 +146,10 @@ impl Shared {
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.len() as u64,
             cache_evictions: self.cache.evictions(),
+            disk_cache_hits: self.cache.disk_hits(),
+            disk_cache_misses: self.cache.disk_misses(),
+            build_ms: stats::fused_build_time().as_secs_f64() * 1e3,
+            build_worker_ms: stats::build_worker_time().as_secs_f64() * 1e3,
             jobs_done: self.jobs_done.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
@@ -266,10 +275,21 @@ impl Server {
     }
 
     fn shared(config: ServerConfig) -> Arc<Shared> {
-        let cache = match config.cache_capacity {
+        let mut cache = match config.cache_capacity {
             Some(capacity) => ModuleCache::bounded(capacity),
             None => ModuleCache::new(),
         };
+        if let Some(dir) = &config.disk_cache {
+            // A broken disk tier degrades the daemon, it never stops it:
+            // fall back to memory-only and say so.
+            match DiskCache::new(dir) {
+                Ok(disk) => cache = cache.with_disk(disk),
+                Err(e) => eprintln!(
+                    "wasabid: cannot open disk cache {}: {e} (continuing memory-only)",
+                    dir.display()
+                ),
+            }
+        }
         Arc::new(Shared {
             config,
             store: ContentStore::new(),

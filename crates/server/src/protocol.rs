@@ -481,7 +481,7 @@ impl ErrorCode {
 }
 
 /// Daemon-side counters in a `status` response.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatusReply {
     /// Lifecycle state name: `accepting`, `draining`, or `stopped`.
     pub state: String,
@@ -499,6 +499,18 @@ pub struct StatusReply {
     pub cache_entries: u64,
     /// LRU evictions from the bounded session cache.
     pub cache_evictions: u64,
+    /// Memory-tier misses served from the on-disk session cache (no
+    /// rebuild). Zero when the daemon runs without `--disk-cache`.
+    pub disk_cache_hits: u64,
+    /// Memory-tier misses that also missed the disk tier and rebuilt.
+    /// Zero when the daemon runs without `--disk-cache`.
+    pub disk_cache_misses: u64,
+    /// Total fused instrument+translate build wall time, milliseconds
+    /// (coordinator clock, summed over all builds this process did).
+    pub build_ms: f64,
+    /// Summed busy time of all build worker threads, milliseconds.
+    /// `build_worker_ms / build_ms` approximates effective parallelism.
+    pub build_worker_ms: f64,
     /// Jobs whose result frame has been streamed.
     pub jobs_done: u64,
     /// Jobs admitted but not yet streamed.
@@ -632,6 +644,10 @@ impl Response {
                 ("cache_misses", JsonValue::from(s.cache_misses)),
                 ("cache_entries", JsonValue::from(s.cache_entries)),
                 ("cache_evictions", JsonValue::from(s.cache_evictions)),
+                ("disk_cache_hits", JsonValue::from(s.disk_cache_hits)),
+                ("disk_cache_misses", JsonValue::from(s.disk_cache_misses)),
+                ("build_ms", JsonValue::from(s.build_ms)),
+                ("build_worker_ms", JsonValue::from(s.build_worker_ms)),
                 ("jobs_done", JsonValue::from(s.jobs_done)),
                 ("in_flight", JsonValue::from(s.in_flight)),
                 ("connections", JsonValue::from(s.connections)),
@@ -748,6 +764,16 @@ impl Response {
                 cache_misses: u64_member("cache_misses")?,
                 cache_entries: u64_member("cache_entries")?,
                 cache_evictions: u64_member("cache_evictions")?,
+                disk_cache_hits: u64_member("disk_cache_hits")?,
+                disk_cache_misses: u64_member("disk_cache_misses")?,
+                build_ms: value
+                    .get("build_ms")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("status response has no numeric \"build_ms\"")?,
+                build_worker_ms: value
+                    .get("build_worker_ms")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("status response has no numeric \"build_worker_ms\"")?,
                 jobs_done: u64_member("jobs_done")?,
                 in_flight: u64_member("in_flight")?,
                 connections: u64_member("connections")?,
@@ -1005,6 +1031,10 @@ mod tests {
                 cache_misses: 2,
                 cache_entries: 2,
                 cache_evictions: 0,
+                disk_cache_hits: 1,
+                disk_cache_misses: 1,
+                build_ms: 40.5,
+                build_worker_ms: 120.25,
                 jobs_done: 6,
                 in_flight: 1,
                 connections: 2,

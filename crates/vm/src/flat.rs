@@ -505,96 +505,178 @@ pub(crate) fn compute_jump_table(body: &[Instr]) -> JumpTable {
 
 /// Translate every local function of a **validated** module.
 pub(crate) fn translate_module_with(module: &Module, opts: TranslateOptions) -> ModuleCode {
-    let mut sigs: Vec<FuncType> = Vec::new();
-    let mut sig_ids: HashMap<FuncType, u32> = HashMap::new();
-    let mut pool = ConstPool::default();
-    let funcs = module
-        .functions
-        .iter()
-        .map(|f| match f.code() {
-            Some(code) => translate_function(
-                module,
-                &[],
-                &f.type_,
-                &code.body,
-                &code.locals,
-                &mut sigs,
-                &mut sig_ids,
-                &mut pool,
-                opts,
-            ),
-            None => FuncCode::default(),
-        })
-        .collect();
-    ModuleCode {
-        funcs,
-        sigs,
-        consts: pool.consts,
-        args: pool.args,
-        hook_imports: Vec::new(),
-    }
+    translate_module_parallel(module, None, Vec::new(), opts, 1).0
 }
 
-/// Direct-emit instrumentation: translate a **validated** module whose
-/// function bodies have been replaced by pre-instrumented instruction
-/// sequences calling synthetic [`HookImport`]s at indices
-/// `module.functions.len()..`. No binary rewrite, no re-encode: the hook
-/// calls flow through the same translation (and host-call fusion) as any
-/// other imported call, so the emitted op stream is exactly what
-/// translating the equivalent rewritten module would produce.
+/// Per-function output of the independent translation pass: the function's
+/// fused ops with every cross-function table reference
+/// ([`Op::CallIndirect`]'s signature id, [`Op::HostCallConst`]'s const run,
+/// [`Op::HostCallArgs`]'s template) still pointing into these **local**
+/// tables. [`merge_local`] re-interns them into the module-global tables at
+/// the deterministic join.
+#[derive(Debug, Default)]
+struct LocalTranslation {
+    code: FuncCode,
+    sigs: Vec<FuncType>,
+    pool: ConstPool,
+}
+
+/// Module-global interning state built up at the join, in function-index
+/// order — byte-for-byte the tables the old sequential translation built.
+#[derive(Debug, Default)]
+struct GlobalTables {
+    sigs: Vec<FuncType>,
+    sig_ids: HashMap<FuncType, u32>,
+    pool: ConstPool,
+}
+
+/// Re-intern one function's local tables into the global ones and remap its
+/// ops. Determinism argument: within a function, table references appear in
+/// the op stream in exactly the order the sequential translator interned
+/// them (Phase A interns `call_indirect` signatures in instruction order;
+/// the host-call folds of Phase B intern const runs / templates in
+/// left-to-right scan order of the first fuse pass, and fusion never
+/// reorders ops) — so walking the final ops in order and interning on first
+/// sight replays the sequential interning sequence. Calling `merge_local`
+/// in function-index order therefore reproduces the single-threaded global
+/// tables *exactly*, no matter how many threads translated the bodies.
+fn merge_local(tables: &mut GlobalTables, local: LocalTranslation) -> FuncCode {
+    let LocalTranslation {
+        mut code,
+        sigs,
+        pool,
+    } = local;
+    for op in &mut code.ops {
+        match op {
+            Op::CallIndirect { sig, .. } => {
+                let ty = &sigs[*sig as usize];
+                *sig = match tables.sig_ids.get(ty) {
+                    Some(&id) => id,
+                    None => {
+                        let id = tables.sigs.len() as u32;
+                        tables.sigs.push(ty.clone());
+                        tables.sig_ids.insert(ty.clone(), id);
+                        id
+                    }
+                };
+            }
+            Op::HostCallConst {
+                const_at,
+                const_len,
+                ..
+            } => {
+                let at = *const_at as usize;
+                let run = &pool.consts[at..at + *const_len as usize];
+                *const_at = tables.pool.intern_consts(run);
+            }
+            Op::HostCallArgs {
+                args_at, args_len, ..
+            } => {
+                let at = *args_at as usize;
+                let run = &pool.args[at..at + *args_len as usize];
+                *args_at = tables.pool.intern_args(run);
+            }
+            _ => {}
+        }
+    }
+    code
+}
+
+/// The function-granular build pipeline (paper §3): translate every body as
+/// an independent pass — immutable module/type context in, per-function
+/// [`FuncCode`] plus local const pool out — fanned out over `threads`
+/// scoped workers in contiguous chunks, then merge the local pools into the
+/// module-global tables in function-index order. The merge is the only
+/// sequential section, and it makes the output **bit-identical** to
+/// `threads = 1` (see [`merge_local`]).
 ///
-/// `funcs` is aligned with `module.functions`; `None` keeps the original
-/// body (imports stay empty). Hook calls always become host-call intrinsic
-/// ops regardless of `opts.host_call_intrinsics` — synthetic imports have
-/// no function-target entry for the generic machinery to dispatch on.
-pub(crate) fn translate_module_instrumented(
+/// `funcs` supplies pre-instrumented replacement bodies (the direct-emit
+/// path); `None` translates the module as-is.
+///
+/// Returns the translated module code and the summed worker busy time in
+/// nanoseconds (the per-thread accumulation the caller folds into its build
+/// phase timers exactly once).
+pub(crate) fn translate_module_parallel(
     module: &Module,
-    funcs: &[Option<InstrumentedFunc>],
+    funcs: Option<&[Option<InstrumentedFunc>]>,
     hook_imports: Vec<HookImport>,
     opts: TranslateOptions,
-) -> ModuleCode {
-    debug_assert_eq!(funcs.len(), module.functions.len());
-    let mut sigs: Vec<FuncType> = Vec::new();
-    let mut sig_ids: HashMap<FuncType, u32> = HashMap::new();
-    let mut pool = ConstPool::default();
-    let mut all_locals: Vec<ValType> = Vec::new();
-    let translated = module
-        .functions
-        .iter()
-        .zip(funcs)
-        .map(|(f, instrumented)| {
-            let Some(code) = f.code() else {
-                return FuncCode::default();
-            };
-            let (body, locals): (&[Instr], &[ValType]) = match instrumented {
-                Some(inst) => {
-                    all_locals.clear();
-                    all_locals.extend_from_slice(&code.locals);
-                    all_locals.extend_from_slice(&inst.extra_locals);
-                    (&inst.body, &all_locals)
-                }
-                None => (&code.body, &code.locals),
-            };
-            translate_function(
-                module,
-                &hook_imports,
-                &f.type_,
-                body,
-                locals,
-                &mut sigs,
-                &mut sig_ids,
-                &mut pool,
-                opts,
-            )
-        })
-        .collect();
-    ModuleCode {
-        funcs: translated,
-        sigs,
-        consts: pool.consts,
-        args: pool.args,
-        hook_imports,
+    threads: usize,
+) -> (ModuleCode, u64) {
+    if let Some(funcs) = funcs {
+        debug_assert_eq!(funcs.len(), module.functions.len());
     }
+    let function_count = module.functions.len();
+    let hook_imports_ref = &hook_imports;
+    let translate_one = move |idx: usize| -> LocalTranslation {
+        let f = &module.functions[idx];
+        let Some(code) = f.code() else {
+            return LocalTranslation::default();
+        };
+        let instrumented = funcs.and_then(|funcs| funcs[idx].as_ref());
+        let all_locals: Vec<ValType>;
+        let (body, locals): (&[Instr], &[ValType]) = match instrumented {
+            Some(inst) => {
+                all_locals = code
+                    .locals
+                    .iter()
+                    .chain(&inst.extra_locals)
+                    .copied()
+                    .collect();
+                (&inst.body, &all_locals)
+            }
+            None => (&code.body, &code.locals),
+        };
+        translate_function(module, hook_imports_ref, &f.type_, body, locals, opts)
+    };
+
+    let threads = threads.max(1).min(function_count.max(1));
+    let mut locals: Vec<LocalTranslation> = Vec::with_capacity(function_count);
+    let busy_nanos: u64;
+    if threads <= 1 {
+        let start = std::time::Instant::now();
+        locals.extend((0..function_count).map(translate_one));
+        busy_nanos = start.elapsed().as_nanos() as u64;
+    } else {
+        locals.resize_with(function_count, LocalTranslation::default);
+        let chunk_size = function_count.div_ceil(threads);
+        let busy = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in locals.chunks_mut(chunk_size).enumerate() {
+                let base = chunk_idx * chunk_size;
+                let busy = &busy;
+                let translate_one = &translate_one;
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        *slot = translate_one(base + offset);
+                    }
+                    busy.fetch_add(
+                        start.elapsed().as_nanos() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+        });
+        busy_nanos = busy.into_inner();
+    }
+
+    // Deterministic join: merge in function-index order, sequentially.
+    let mut tables = GlobalTables::default();
+    let merged = locals
+        .into_iter()
+        .map(|local| merge_local(&mut tables, local))
+        .collect();
+    (
+        ModuleCode {
+            funcs: merged,
+            sigs: tables.sigs,
+            consts: tables.pool.consts,
+            args: tables.pool.args,
+            hook_imports,
+        },
+        busy_nanos,
+    )
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -640,18 +722,18 @@ fn dest_for(frames: &[TFrame], label: Label) -> BrDest {
     }
 }
 
-#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+#[allow(clippy::too_many_lines)]
 fn translate_function(
     module: &Module,
     hook_imports: &[HookImport],
     ty: &FuncType,
     body: &[Instr],
     locals: &[ValType],
-    sigs: &mut Vec<FuncType>,
-    sig_ids: &mut HashMap<FuncType, u32>,
-    pool: &mut ConstPool,
     opts: TranslateOptions,
-) -> FuncCode {
+) -> LocalTranslation {
+    let mut sigs: Vec<FuncType> = Vec::new();
+    let mut sig_ids: HashMap<FuncType, u32> = HashMap::new();
+    let mut pool = ConstPool::default();
     let jump = compute_jump_table(body);
     let mut ops: Vec<Op> = Vec::with_capacity(body.len());
     let mut frames: Vec<TFrame> = vec![TFrame {
@@ -879,12 +961,16 @@ fn translate_function(
     debug_assert_eq!(ops.len(), body.len());
 
     // ---- Phase B: fuse superinstructions and remap branch targets.
-    let ops = fuse(ops, pool);
+    let ops = fuse(ops, &mut pool);
 
-    FuncCode {
-        ops,
-        zeros: locals.iter().map(|&ty| Val::zero(ty)).collect(),
-        arity: ty.results.len(),
+    LocalTranslation {
+        code: FuncCode {
+            ops,
+            zeros: locals.iter().map(|&ty| Val::zero(ty)).collect(),
+            arity: ty.results.len(),
+        },
+        sigs,
+        pool,
     }
 }
 

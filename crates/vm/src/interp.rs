@@ -146,6 +146,39 @@ impl TranslatedModule {
         Self::with_options(module, TranslateOptions::default())
     }
 
+    /// Like [`TranslatedModule::new`], but fans function bodies out over
+    /// `threads` scoped workers (the function-granular parallel build,
+    /// paper §3). The output is **bit-identical** to `threads = 1`: bodies
+    /// translate independently against local tables, and the join merges
+    /// them into the module-global tables in function-index order.
+    ///
+    /// Also returns the summed worker busy time, for callers that fold
+    /// per-thread accumulation into build phase timers once per build.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the module does not validate.
+    pub fn new_with_threads(
+        module: Module,
+        threads: usize,
+    ) -> Result<(Self, std::time::Duration), wasabi_wasm::ValidationError> {
+        validate(&module)?;
+        let (code, busy_nanos) = flat::translate_module_parallel(
+            &module,
+            None,
+            Vec::new(),
+            TranslateOptions::default(),
+            threads,
+        );
+        Ok((
+            TranslatedModule {
+                module: Arc::new(module),
+                code: Arc::new(code),
+            },
+            std::time::Duration::from_nanos(busy_nanos),
+        ))
+    }
+
     /// Like [`TranslatedModule::new`], but calls of imported functions go
     /// through the generic call machinery instead of the host-call
     /// intrinsic ops (`crate::flat`, "Host-call intrinsics").
@@ -208,17 +241,43 @@ impl TranslatedModule {
         funcs: &[Option<InstrumentedFunc>],
         hook_imports: Vec<HookImport>,
     ) -> Result<Self, wasabi_wasm::ValidationError> {
+        Self::new_instrumented_with_threads(module, funcs, hook_imports, 1).map(|(this, _)| this)
+    }
+
+    /// Like [`TranslatedModule::new_instrumented`], but fans the
+    /// pre-instrumented bodies out over `threads` scoped translation
+    /// workers — the second half of the fused instrument+translate build,
+    /// driven by the same `threads(n)` knob as the instrumenter. Output is
+    /// **bit-identical** to `threads = 1` (see
+    /// [`TranslatedModule::new_with_threads`]).
+    ///
+    /// Also returns the summed worker busy time, for callers that fold
+    /// per-thread accumulation into build phase timers once per build.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the (original) module does not validate.
+    pub fn new_instrumented_with_threads(
+        module: Module,
+        funcs: &[Option<InstrumentedFunc>],
+        hook_imports: Vec<HookImport>,
+        threads: usize,
+    ) -> Result<(Self, std::time::Duration), wasabi_wasm::ValidationError> {
         validate(&module)?;
-        let code = Arc::new(flat::translate_module_instrumented(
+        let (code, busy_nanos) = flat::translate_module_parallel(
             &module,
-            funcs,
+            Some(funcs),
             hook_imports,
             TranslateOptions::default(),
-        ));
-        Ok(TranslatedModule {
-            module: Arc::new(module),
-            code,
-        })
+            threads,
+        );
+        Ok((
+            TranslatedModule {
+                module: Arc::new(module),
+                code: Arc::new(code),
+            },
+            std::time::Duration::from_nanos(busy_nanos),
+        ))
     }
 
     /// The underlying module.
@@ -246,6 +305,47 @@ impl TranslatedModule {
             .iter()
             .map(|f| f.ops.iter().map(|op| format!("{op:?}")).collect())
             .collect()
+    }
+
+    /// Debug-formatted dump of the *entire* translated module code — ops,
+    /// jump destinations, const/args/sigs tables, hook imports. Two
+    /// translations are bit-identical iff these strings are equal.
+    ///
+    /// Introspection surface for the parallel-equivalence tests; the
+    /// formatting is not a stable API.
+    #[doc(hidden)]
+    pub fn code_debug(&self) -> String {
+        format!("{:?}", self.code)
+    }
+
+    /// Serialize the translated code (ops, jump tables, const/args/sigs
+    /// tables, hook imports) to the compact binary form consumed by the
+    /// on-disk prepared-session cache. The underlying [`Module`] is *not*
+    /// serialized — the cache keys entries by module content hash and
+    /// already holds the module bytes.
+    pub fn encode_code(&self) -> Vec<u8> {
+        crate::codec::encode(&self.code)
+    }
+
+    /// Rebuild a translated module from `module` plus code bytes produced
+    /// by [`TranslatedModule::encode_code`] — the disk-warm path: no
+    /// instrumentation, no translation, just validation plus decoding.
+    ///
+    /// Returns `None` when the bytes are malformed (truncated, garbled, a
+    /// different format) or structurally inconsistent with `module`, or
+    /// when the module itself does not validate — callers fall back to a
+    /// clean rebuild.
+    #[must_use]
+    pub fn from_encoded_code(module: Module, bytes: &[u8]) -> Option<Self> {
+        validate(&module).ok()?;
+        let code = crate::codec::decode(bytes)?;
+        if code.funcs.len() != module.functions.len() {
+            return None;
+        }
+        Some(TranslatedModule {
+            module: Arc::new(module),
+            code: Arc::new(code),
+        })
     }
 }
 

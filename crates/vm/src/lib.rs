@@ -25,6 +25,7 @@
 //!
 //! See [`Instance`] for the entry point.
 
+mod codec;
 mod flat;
 pub mod host;
 pub mod interp;
