@@ -16,6 +16,15 @@ echo "==> differential oracle (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q --test instrumented_differential
 PROPTEST_CASES=64 cargo test -q -p wasabi-vm --test zero_cost_unsubscribed
 
+# Chaos gate: the seeded fault-injection suite. Failpoints fire inside
+# the disk cache, the build slots, the fleet workers, and the server
+# frame layer; every injected fault must degrade to a structured error
+# on a surviving process, retries must stay bounded, and the jobs that
+# dodge the faults must produce reports bit-identical to a fault-free
+# run. The suite seeds its own registry, so it is fully deterministic.
+echo "==> chaos suite (seeded fault injection)"
+cargo test -q -p wasabi --test chaos
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -337,5 +346,47 @@ fi
 wait "$WASABID_PID"
 WASABID_PID=""
 echo "    disk tier: rebuild-free restart verified"
+
+# Governance e2e: a job that never terminates is killed by its deadline
+# on a live daemon — the client exits non-zero with a structured error,
+# the worker is reclaimed (not leaked), the next batch completes
+# normally, and the daemon's own counters record the timeout.
+echo "==> server e2e: deadline kills a spinning job, daemon keeps serving"
+SOCK3="$SMOKE_DIR/wasabid-gov.sock"
+cargo run --release -q -p wasabi-workloads --bin gen -- \
+    spin "$SMOKE_DIR/spin.wasm" >/dev/null
+target/release/wasabid --socket "$SOCK3" --workers 2 2>"$SMOKE_DIR/wasabid-gov.log" &
+WASABID_PID=$!
+for _ in $(seq 1 200); do [ -S "$SOCK3" ] && break; sleep 0.05; done
+[ -S "$SOCK3" ] || { cat "$SMOKE_DIR/wasabid-gov.log"; echo "wasabid (governance) did not come up"; exit 1; }
+if target/release/wasabi-client --socket "$SOCK3" submit "$SMOKE_DIR/spin.wasm" \
+    --deadline-ms 100 >/dev/null 2>"$SMOKE_DIR/deadline.err"; then
+    echo "client must exit non-zero when its job is killed by the deadline"; exit 1
+fi
+grep -q "deadline" "$SMOKE_DIR/deadline.err" || {
+    cat "$SMOKE_DIR/deadline.err"
+    echo "expected a structured deadline error on stderr"; exit 1; }
+target/release/wasabi-client --socket "$SOCK3" submit "$SMOKE_DIR/gemm.wasm" \
+    --analyses instruction_mix >"$SMOKE_DIR/after-deadline.jsonl" 2>/dev/null
+[ -s "$SMOKE_DIR/after-deadline.jsonl" ] || {
+    echo "daemon did not serve the batch after the deadline kill"; exit 1; }
+target/release/wasabi-client --socket "$SOCK3" status >"$SMOKE_DIR/status-gov.json"
+python3 - "$SMOKE_DIR/status-gov.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    s = json.load(f)
+assert s["timeouts"] >= 1, f"status must count the deadline kill: {s}"
+assert s["jobs_done"] >= 2, f"the follow-up batch must have run: {s}"
+print(f"    deadline kill counted (timeouts={s['timeouts']}), "
+      f"daemon kept serving ({s['jobs_done']} jobs done)")
+EOF
+target/release/wasabi-client --socket "$SOCK3" drain 2>/dev/null
+for _ in $(seq 1 200); do kill -0 "$WASABID_PID" 2>/dev/null || break; sleep 0.05; done
+if kill -0 "$WASABID_PID" 2>/dev/null; then
+    echo "wasabid (governance) did not exit after drain"; exit 1
+fi
+wait "$WASABID_PID"
+WASABID_PID=""
+echo "    governance: deadline e2e verified"
 
 echo "ci.sh: all checks passed"

@@ -266,6 +266,13 @@ impl ModuleCache {
         let session = match disk_loaded {
             Some(session) => Arc::new(session),
             None => {
+                // Failpoint: a `delay` here stalls every same-key racer
+                // (they wait on this slot's build), a `panic` unwinds
+                // into the caller's containment, an `error` surfaces as
+                // a structured build failure.
+                if let Some(msg) = crate::fault::fire("cache/build") {
+                    return Err(ValidationError::module(msg));
+                }
                 // Entries are built via the direct-emit path — the whole
                 // point of fusing instrument and translate is that every
                 // cache miss gets cheaper — and written back to the disk

@@ -58,6 +58,7 @@ use crate::hooks::{BlockKind, HookSet};
 use crate::info::{BrTableEntry, BrTableInfo, EndInfo, ModuleInfo};
 use crate::location::{BranchTarget, Location};
 use crate::runtime::AnalysisSession;
+use crate::stats;
 
 /// Bump on ANY change to this layout or to the VM code codec.
 const FORMAT_VERSION: u32 = 1;
@@ -91,6 +92,7 @@ impl DiskCache {
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        sweep_stale_tmp(&dir);
         Ok(DiskCache { dir })
     }
 
@@ -116,6 +118,9 @@ impl DiskCache {
     /// Returns `None` — never panics, never serves mismatched code — when
     /// there is no usable entry; the caller rebuilds.
     pub fn load(&self, key: &str, hooks: HookSet, module: &Module) -> Option<AnalysisSession> {
+        if crate::fault::fire("disk/load").is_some() {
+            return None;
+        }
         let bytes = fs::read(self.entry_path(key, hooks)).ok()?;
         let (payload, checksum) = bytes.split_at(bytes.len().checked_sub(8)?);
         if fnv64(payload) != u64::from_le_bytes(checksum.try_into().ok()?) {
@@ -163,7 +168,9 @@ impl DiskCache {
     /// existing (possibly corrupt) entry via tmp-file + atomic rename.
     /// Best-effort: IO failures leave the cache without the entry (a
     /// later load rebuilds), they never fail the build that produced the
-    /// session.
+    /// session — but they are **counted**
+    /// ([`crate::stats::disk_cache_write_errors`]), not swallowed, so a
+    /// misconfigured or full cache volume is observable.
     pub fn store(&self, key: &str, hooks: HookSet, session: &AnalysisSession) {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -187,12 +194,37 @@ impl DiskCache {
 
         let path = self.entry_path(key, hooks);
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        let written =
-            fs::File::create(&tmp).and_then(|mut f| f.write_all(&out).and_then(|()| f.sync_all()));
-        if written.is_ok() {
-            let _ = fs::rename(&tmp, &path);
+        let written = match crate::fault::fire("disk/store") {
+            Some(msg) => Err(std::io::Error::other(msg)),
+            None => fs::File::create(&tmp)
+                .and_then(|mut f| f.write_all(&out).and_then(|()| f.sync_all())),
+        };
+        let stored = written.and_then(|()| fs::rename(&tmp, &path));
+        if stored.is_err() {
+            stats::record_disk_cache_write_error();
         }
         let _ = fs::remove_file(&tmp);
+    }
+}
+
+/// Remove tmp files orphaned by a crash between `File::create` and the
+/// rename/cleanup in [`DiskCache::store`]. `entry_path` names tmp files
+/// `<stem>.tmp<pid>` (`with_extension` replaces `.wsbc`), so anything
+/// whose extension starts with `tmp` is store debris — entries
+/// themselves always end in `.wsbc`.
+fn sweep_stale_tmp(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.starts_with("tmp"));
+        if is_tmp {
+            let _ = fs::remove_file(&path);
+        }
     }
 }
 
@@ -651,6 +683,95 @@ mod tests {
         std::fs::copy(cache.entry_path("k1", hooks), cache.entry_path("k2", hooks))
             .expect("copies");
         assert!(cache.load("k2", hooks, &module).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_store_is_counted_not_swallowed() {
+        let dir = tempdir("write-error");
+        let cache = DiskCache::new(&dir).expect("creates dir");
+        let module = sample_module();
+        let hooks = HookSet::all();
+        let session = build(&module, hooks);
+
+        // Make the write fail regardless of privileges (the tests run as
+        // root, so permission bits are no obstacle): delete the cache
+        // directory out from under the handle — `File::create` of the
+        // tmp file has nowhere to go.
+        std::fs::remove_dir_all(&dir).expect("removes dir");
+        let before = stats::disk_cache_write_errors();
+        cache.store("k", hooks, &session);
+        assert!(
+            stats::disk_cache_write_errors() > before,
+            "failed create/write bumps the counter"
+        );
+
+        // Same for a failed *rename*: the tmp write succeeds but a
+        // directory squats on the entry path.
+        let cache = DiskCache::new(&dir).expect("recreates dir");
+        std::fs::create_dir_all(cache.entry_path("k", hooks)).expect("squats entry path");
+        let before = stats::disk_cache_write_errors();
+        cache.store("k", hooks, &session);
+        assert!(
+            stats::disk_cache_write_errors() > before,
+            "failed rename bumps the counter"
+        );
+        // And the failed store left no tmp debris behind.
+        let tmp_left = std::fs::read_dir(&dir)
+            .expect("reads dir")
+            .flatten()
+            .any(|e| {
+                e.path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    .is_some_and(|x| x.starts_with("tmp"))
+            });
+        assert!(!tmp_left, "store cleans up its tmp file on failure");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = tempdir("sweep");
+        std::fs::create_dir_all(&dir).expect("creates dir");
+        // Orphans from a crashed store (any pid), next to a live entry.
+        std::fs::write(dir.join("deadbeef-000000ff.tmp12345"), b"orphan").unwrap();
+        std::fs::write(dir.join("cafebabe-000000ff.tmp1"), b"orphan").unwrap();
+        let keep = dir.join("deadbeef-000000ff.wsbc");
+        std::fs::write(&keep, b"entry").unwrap();
+
+        let cache = DiskCache::new(&dir).expect("opens");
+        let names: Vec<String> = std::fs::read_dir(cache.dir())
+            .expect("reads dir")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["deadbeef-000000ff.wsbc".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_degrade_to_miss_and_write_error() {
+        let _g = crate::fault::test_lock();
+        let dir = tempdir("faults");
+        let cache = DiskCache::new(&dir).expect("creates dir");
+        let module = sample_module();
+        let hooks = HookSet::all();
+        let session = build(&module, hooks);
+        cache.store("k", hooks, &session);
+        assert!(cache.load("k", hooks, &module).is_some());
+
+        // A load fault turns a present entry into a clean miss.
+        crate::fault::configure("disk/load=error", 1).unwrap();
+        assert!(cache.load("k", hooks, &module).is_none());
+
+        // A store fault is a counted write error; the old entry survives.
+        crate::fault::configure("disk/store=error", 1).unwrap();
+        let before = stats::disk_cache_write_errors();
+        cache.store("k", hooks, &session);
+        assert!(stats::disk_cache_write_errors() > before);
+        crate::fault::clear();
+        assert!(cache.load("k", hooks, &module).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,373 @@
+//! Deterministic fault injection (failpoints).
+//!
+//! Production code threads named **sites** through its failure-prone
+//! paths — disk-cache I/O, cache build slots, fleet workers, the server
+//! frame layer — by calling [`fire`]. With no configuration (the default)
+//! every call is a single relaxed atomic load and a compare: the
+//! registry compiles down to a no-op check, so sites can sit on warm
+//! paths without a measurable cost.
+//!
+//! Configuration comes from the `WASABI_FAULTS` environment variable (or
+//! programmatically via [`configure`], which tests use so they don't
+//! race on process-global env state). The spec grammar is
+//!
+//! ```text
+//! WASABI_FAULTS="site=action[:prob][:limit];site2=..."
+//! WASABI_FAULT_SEED=42          # optional, default 0
+//! ```
+//!
+//! where `action` is `error`, `panic`, or `delay<ms>` (e.g. `delay25`),
+//! `prob` is a probability in `(0, 1]` (default 1.0 — always fire), and
+//! `limit` caps how many times the site triggers (default unlimited).
+//! Example: `disk/store=error;fleet/job=panic:0.5:3`.
+//!
+//! Randomized sites draw from a per-site SplitMix64 stream seeded from
+//! `WASABI_FAULT_SEED` and the site name, so a chaos run is reproducible
+//! from its seed alone — same seed, same faults, same order (per site).
+//!
+//! ## Site catalog
+//!
+//! | site          | where it fires                          | `error` means                     |
+//! |---------------|------------------------------------------|-----------------------------------|
+//! | `disk/load`   | `DiskCache::load`, before reading        | entry treated as a miss           |
+//! | `disk/store`  | `DiskCache::store`, before writing       | write error (counted, not fatal)  |
+//! | `cache/build` | `ModuleCache` build slot, before a build | build retried/reported upstream   |
+//! | `fleet/job`   | fleet worker, before running a job       | `JobError::Transient` (retryable) |
+//! | `server/frame`| daemon result-frame writer               | frame corrupted / write fails     |
+//!
+//! `panic` at any site must be *contained*: workers catch it, the daemon
+//! survives, the client sees a structured error. The chaos suite
+//! (`crates/core/tests/chaos.rs` and the ci.sh chaos smoke) asserts
+//! exactly that.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats;
+
+/// Fast-path state: 0 = not yet initialized, 1 = disabled (no spec),
+/// 2 = active (registry populated).
+static STATE: AtomicU8 = AtomicU8::new(0);
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+const UNINIT: u8 = 0;
+const DISABLED: u8 = 1;
+const ACTIVE: u8 = 2;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Action {
+    /// Return an injected error message from [`fire`].
+    Error,
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Panic at the site (must be contained by the surrounding layer).
+    Panic,
+}
+
+#[derive(Debug)]
+struct Site {
+    action: Action,
+    prob: f64,
+    limit: Option<u64>,
+    hits: u64,
+    rng: SmallRng,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    sites: HashMap<String, Site>,
+}
+
+/// A fault spec failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_spec(spec: &str, seed: u64) -> Result<Registry, SpecError> {
+    let mut registry = Registry::default();
+    for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+        let (site, rest) = clause
+            .split_once('=')
+            .ok_or_else(|| SpecError(format!("missing '=' in {clause:?}")))?;
+        let site = site.trim();
+        let mut parts = rest.trim().split(':');
+        let action = parts.next().unwrap_or("");
+        let action = if action == "error" {
+            Action::Error
+        } else if action == "panic" {
+            Action::Panic
+        } else if let Some(ms) = action.strip_prefix("delay") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| SpecError(format!("bad delay in {clause:?}")))?;
+            Action::Delay(Duration::from_millis(ms))
+        } else {
+            return Err(SpecError(format!("unknown action in {clause:?}")));
+        };
+        let prob = match parts.next() {
+            None | Some("") => 1.0,
+            Some(p) => {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| SpecError(format!("bad probability in {clause:?}")))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(SpecError(format!("probability out of range in {clause:?}")));
+                }
+                p
+            }
+        };
+        let limit = match parts.next() {
+            None | Some("") => None,
+            Some(l) => Some(
+                l.parse::<u64>()
+                    .map_err(|_| SpecError(format!("bad limit in {clause:?}")))?,
+            ),
+        };
+        if parts.next().is_some() {
+            return Err(SpecError(format!("trailing fields in {clause:?}")));
+        }
+        // Per-site stream: mix the site name into the seed so two sites
+        // configured with the same probability don't fire in lockstep.
+        let mut site_seed = seed;
+        for b in site.bytes() {
+            site_seed = site_seed
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(u64::from(b));
+        }
+        registry.sites.insert(
+            site.to_string(),
+            Site {
+                action,
+                prob,
+                limit,
+                hits: 0,
+                rng: SmallRng::seed_from_u64(site_seed),
+            },
+        );
+    }
+    Ok(registry)
+}
+
+/// Install a fault configuration programmatically (tests, chaos
+/// harnesses). An empty `spec` disables injection entirely. Replaces any
+/// previous configuration, including one read from the environment.
+pub fn configure(spec: &str, seed: u64) -> Result<(), SpecError> {
+    let registry = parse_spec(spec, seed)?;
+    let active = !registry.sites.is_empty();
+    let mut guard = REGISTRY.lock().expect("fault registry poisoned");
+    *guard = if active { Some(registry) } else { None };
+    STATE.store(if active { ACTIVE } else { DISABLED }, Ordering::Release);
+    Ok(())
+}
+
+/// Remove all failpoints; [`fire`] returns to its no-op fast path.
+pub fn clear() {
+    let mut guard = REGISTRY.lock().expect("fault registry poisoned");
+    *guard = None;
+    STATE.store(DISABLED, Ordering::Release);
+}
+
+/// Serialize tests that reconfigure the process-global registry.
+/// Recovers from a poisoned lock (a `panic` fault inside a test is
+/// expected, not an error).
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How many times `site` has triggered since it was configured.
+pub fn hits(site: &str) -> u64 {
+    let guard = REGISTRY.lock().expect("fault registry poisoned");
+    guard
+        .as_ref()
+        .and_then(|r| r.sites.get(site))
+        .map_or(0, |s| s.hits)
+}
+
+#[cold]
+fn init_from_env() -> u8 {
+    let spec = std::env::var("WASABI_FAULTS").unwrap_or_default();
+    let seed = std::env::var("WASABI_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    match parse_spec(&spec, seed) {
+        Ok(registry) if !registry.sites.is_empty() => {
+            let mut guard = REGISTRY.lock().expect("fault registry poisoned");
+            // configure() may have won the race; respect it.
+            if guard.is_none() && STATE.load(Ordering::Acquire) == UNINIT {
+                *guard = Some(registry);
+                STATE.store(ACTIVE, Ordering::Release);
+                return ACTIVE;
+            }
+            STATE.load(Ordering::Acquire)
+        }
+        Ok(_) => {
+            let _ = STATE.compare_exchange(UNINIT, DISABLED, Ordering::AcqRel, Ordering::Acquire);
+            STATE.load(Ordering::Acquire)
+        }
+        Err(e) => {
+            eprintln!("wasabi: ignoring WASABI_FAULTS: {e}");
+            let _ = STATE.compare_exchange(UNINIT, DISABLED, Ordering::AcqRel, Ordering::Acquire);
+            STATE.load(Ordering::Acquire)
+        }
+    }
+}
+
+/// Evaluate the failpoint `site`.
+///
+/// Returns `Some(message)` when an `error` fault fires (the caller turns
+/// it into its layer's structured error), `None` otherwise. A `delay`
+/// fault sleeps here and then continues; a `panic` fault panics here
+/// (the surrounding layer's containment — `catch_unwind`, connection
+/// handler — is exactly what's under test).
+///
+/// With no configuration this is one relaxed load and a branch.
+#[inline]
+pub fn fire(site: &str) -> Option<String> {
+    let state = STATE.load(Ordering::Relaxed);
+    if state == DISABLED {
+        return None;
+    }
+    fire_slow(site, state)
+}
+
+#[cold]
+#[inline(never)]
+fn fire_slow(site: &str, state: u8) -> Option<String> {
+    if state == UNINIT && init_from_env() == DISABLED {
+        return None;
+    }
+    let action = {
+        let mut guard = REGISTRY.lock().expect("fault registry poisoned");
+        let registry = guard.as_mut()?;
+        let entry = registry.sites.get_mut(site)?;
+        if entry.limit.is_some_and(|l| entry.hits >= l) {
+            return None;
+        }
+        if entry.prob < 1.0 && !entry.rng.gen_bool(entry.prob) {
+            return None;
+        }
+        entry.hits += 1;
+        entry.action.clone()
+    };
+    // Lock released before acting: a delay must not serialize unrelated
+    // sites, and a panic must not poison the registry.
+    stats::record_fault_injected();
+    match action {
+        Action::Error => Some(format!("injected fault at {site}")),
+        Action::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        Action::Panic => panic!("injected fault at {site}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; tests serialize on `test_lock` so
+    // parallel test threads don't clobber each other's specs.
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        test_lock()
+    }
+
+    #[test]
+    fn unconfigured_fire_is_a_no_op() {
+        let _g = locked();
+        clear();
+        assert_eq!(fire("disk/store"), None);
+    }
+
+    #[test]
+    fn error_fault_fires_and_counts() {
+        let _g = locked();
+        configure("disk/store=error", 7).unwrap();
+        let before = stats::faults_injected();
+        let msg = fire("disk/store").expect("fires");
+        assert!(msg.contains("disk/store"), "{msg}");
+        assert_eq!(hits("disk/store"), 1);
+        assert!(stats::faults_injected() > before);
+        // Unconfigured sites stay quiet.
+        assert_eq!(fire("disk/load"), None);
+        clear();
+    }
+
+    #[test]
+    fn limit_bounds_the_number_of_injections() {
+        let _g = locked();
+        configure("fleet/job=error:1:2", 7).unwrap();
+        assert!(fire("fleet/job").is_some());
+        assert!(fire("fleet/job").is_some());
+        assert_eq!(fire("fleet/job"), None);
+        assert_eq!(hits("fleet/job"), 2);
+        clear();
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_per_seed() {
+        let _g = locked();
+        let run = |seed| {
+            configure("x=error:0.5", seed).unwrap();
+            let fired: Vec<bool> = (0..32).map(|_| fire("x").is_some()).collect();
+            clear();
+            fired
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed, same faults");
+        assert_ne!(a, c, "different seed, different stream");
+        assert!(a.iter().any(|&f| f) && !a.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn delay_fault_sleeps_then_continues() {
+        let _g = locked();
+        configure("slow=delay20", 0).unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(fire("slow"), None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        clear();
+    }
+
+    #[test]
+    fn panic_fault_panics_with_the_site_name() {
+        let _g = locked();
+        configure("boom=panic", 0).unwrap();
+        let result = std::panic::catch_unwind(|| fire("boom"));
+        clear();
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = locked();
+        assert!(configure("no-equals", 0).is_err());
+        assert!(configure("x=frobnicate", 0).is_err());
+        assert!(configure("x=error:2.0", 0).is_err());
+        assert!(configure("x=delayhuh", 0).is_err());
+        assert!(configure("x=error:0.5:3:extra", 0).is_err());
+        // A failed configure leaves the previous state alone.
+        clear();
+        assert_eq!(fire("x"), None);
+    }
+}

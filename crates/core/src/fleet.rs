@@ -63,11 +63,15 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Steal, Stealer, Worker};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wasabi_vm::{Budget, CancelToken, Trap};
 use wasabi_wasm::instr::Val;
 use wasabi_wasm::module::Module;
 use wasabi_wasm::ValidationError;
@@ -101,6 +105,18 @@ pub struct Job {
     pub invoke: String,
     /// Arguments for the invoked export.
     pub args: Vec<Val>,
+    /// Wall-clock execution deadline, measured from the moment a worker
+    /// dequeues the job (each retry attempt gets a fresh deadline). The
+    /// fleet watchdog fires it and the VM polls it; an expired job fails
+    /// with [`JobError::TimedOut`] without losing the worker.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: fire the token (from any thread) and
+    /// the job fails with [`JobError::Cancelled`] within one VM poll
+    /// interval.
+    pub cancel: Option<CancelToken>,
+    /// Cap on the job's linear memory, in 64 KiB pages; `memory.grow`
+    /// past it fails the job with [`JobError::MemoryLimit`].
+    pub max_memory_pages: Option<u32>,
 }
 
 impl Job {
@@ -117,12 +133,33 @@ impl Job {
             analyses: Vec::new(),
             invoke: invoke.into(),
             args,
+            deadline: None,
+            cancel: None,
+            max_memory_pages: None,
         }
     }
 
     /// Set the analyses to run (builder-style).
     pub fn analyses(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
         self.analyses = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Execution deadline (builder-style); see [`Job::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Cancellation token (builder-style); see [`Job::cancel`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Memory cap in pages (builder-style); see [`Job::max_memory_pages`].
+    pub fn max_memory_pages(mut self, pages: u32) -> Self {
+        self.max_memory_pages = Some(pages);
         self
     }
 }
@@ -142,6 +179,28 @@ pub enum JobError {
     /// message. The panic is contained to this job — the rest of the
     /// batch completes normally.
     Panicked(String),
+    /// The job's wall-clock deadline passed; the worker survives and
+    /// moves on to the next job.
+    TimedOut,
+    /// The job's [`CancelToken`] was fired.
+    Cancelled,
+    /// The job grew its linear memory past [`Job::max_memory_pages`].
+    MemoryLimit,
+    /// A transient infrastructure failure (e.g. an injected fleet
+    /// fault). Retried up to [`FleetBuilder::retries`] times before
+    /// surfacing.
+    Transient(String),
+}
+
+impl JobError {
+    /// Would retrying the job plausibly succeed? Transient
+    /// infrastructure failures and contained panics are retryable;
+    /// validation failures, unknown analyses, traps, timeouts, and
+    /// cancellations are not (retrying deterministic failures only
+    /// burns workers).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::Transient(_) | JobError::Panicked(_))
+    }
 }
 
 impl fmt::Display for JobError {
@@ -151,6 +210,10 @@ impl fmt::Display for JobError {
             JobError::Invalid(e) => write!(f, "invalid module: {e}"),
             JobError::Run(e) => write!(f, "{e}"),
             JobError::Panicked(message) => write!(f, "job panicked: {message}"),
+            JobError::TimedOut => f.write_str("job deadline exceeded"),
+            JobError::Cancelled => f.write_str("job cancelled"),
+            JobError::MemoryLimit => f.write_str("job memory limit exceeded"),
+            JobError::Transient(message) => write!(f, "transient failure: {message}"),
         }
     }
 }
@@ -175,6 +238,10 @@ pub struct JobStats {
     /// `true` if the job was stolen: executed by a different worker than
     /// the one it was dealt to.
     pub stolen: bool,
+    /// Retry attempts this job consumed (0 = first attempt succeeded or
+    /// failed fatally; the phase times are those of the **last**
+    /// attempt).
+    pub retries: u32,
 }
 
 /// The outcome of one [`Job`], in the [`BatchResult`]'s submission-ordered
@@ -268,6 +335,7 @@ pub struct FleetBuilder {
     cache: Option<Arc<ModuleCache>>,
     factory: Option<AnalysisFactory>,
     jobs: Vec<Job>,
+    retries: u32,
 }
 
 impl FleetBuilder {
@@ -300,6 +368,16 @@ impl FleetBuilder {
         self
     }
 
+    /// Retry a job up to `retries` extra times when it fails with a
+    /// *transient* error ([`JobError::is_transient`]), with jittered
+    /// exponential backoff between attempts. Deterministic failures
+    /// (validation, traps, timeouts, cancellation) are never retried.
+    /// Default: 0 (fail fast).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
     /// Finish configuration.
     pub fn build(self) -> Fleet {
         Fleet {
@@ -311,6 +389,7 @@ impl FleetBuilder {
             cache: self.cache.unwrap_or_else(ModuleCache::shared),
             factory: self.factory,
             pending: self.jobs,
+            retries: self.retries,
         }
     }
 }
@@ -333,6 +412,7 @@ pub struct Fleet {
     cache: Arc<ModuleCache>,
     factory: Option<AnalysisFactory>,
     pending: Vec<Job>,
+    retries: u32,
 }
 
 /// A job dealt to a worker's deque, remembering its submission index and
@@ -429,6 +509,7 @@ impl Fleet {
     {
         let jobs = std::mem::take(&mut self.pending);
         let total = jobs.len();
+        let watched = jobs.iter().any(|job| job.deadline.is_some());
         let workers = self.workers.min(total.max(1));
         if total == 0 {
             return BatchSummary {
@@ -453,7 +534,9 @@ impl Fleet {
         let (sender, receiver) = mpsc::channel::<JobOutcome>();
         let cache = &self.cache;
         let factory = self.factory;
+        let retries = self.retries;
         let stealers = &stealers;
+        let watchdog = &Watchdog::default();
 
         // Hits and misses are counted from jobs whose cache lookup
         // actually completed; jobs that failed earlier (unknown analysis,
@@ -462,7 +545,14 @@ impl Fleet {
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
 
+        // The watchdog thread exists only when some job carries a
+        // deadline: it fires expired tokens so even a job stuck outside
+        // the VM's own deadline poll (e.g. stalled in a host call or an
+        // injected delay) is reclaimed, without losing the worker.
         crossbeam::thread::scope(|scope| {
+            if watched {
+                scope.spawn(move |_| watchdog.run());
+            }
             for (me, queue) in queues.into_iter().enumerate() {
                 let sender = sender.clone();
                 scope.spawn(move |_| {
@@ -479,30 +569,10 @@ impl Fleet {
                             })
                         });
                         let Some(queued) = next else { break };
-                        // Contain a panicking analysis to its own job:
-                        // the failure contract is per-job, and one bad
-                        // input must not discard the rest of the batch.
-                        let (idx, home) = (queued.idx, queued.home);
-                        let (key, invoke) = (queued.job.key.clone(), queued.job.invoke.clone());
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                run_job(me, queued, started, cache, factory)
-                            }))
-                            .unwrap_or_else(|payload| JobOutcome {
-                                job: idx,
-                                key,
-                                invoke,
-                                result: Err(JobError::Panicked(panic_message(&*payload))),
-                                reports: Vec::new(),
-                                stats: JobStats {
-                                    cache_hit: false,
-                                    queue: started.elapsed(),
-                                    build: Duration::ZERO,
-                                    execute: Duration::ZERO,
-                                    worker: me,
-                                    stolen: me != home,
-                                },
-                            });
+                        let QueuedJob { idx, home, job } = queued;
+                        let outcome = run_with_retries(
+                            me, idx, home, &job, started, cache, factory, retries, watchdog,
+                        );
                         if sender.send(outcome).is_err() {
                             break;
                         }
@@ -522,11 +592,13 @@ impl Fleet {
                     Err(JobError::UnknownAnalysis(_))
                         | Err(JobError::Invalid(_))
                         | Err(JobError::Panicked(_))
+                        | Err(JobError::Transient(_))
                 ) {
                     cache_misses += 1;
                 }
                 on_complete(outcome);
             }
+            watchdog.shut_down();
         })
         .expect("fleet worker panicked");
 
@@ -565,17 +637,167 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Execute one job on worker `me`: construct fresh analyses, fetch (or
-/// build) the shared session, assemble a per-job pipeline, run, report.
-fn run_job(
+/// The fleet's deadline enforcer: workers register `(expiry, token)`
+/// pairs for deadline-carrying attempts; one thread scans every
+/// [`Watchdog::TICK`] and fires expired tokens. The VM polls the same
+/// tokens, so an expired job unwinds with a structured trap and the
+/// worker moves on — nothing is killed, nothing leaks.
+#[derive(Default)]
+struct Watchdog {
+    slots: Mutex<Vec<Option<(Instant, CancelToken)>>>,
+    done: AtomicBool,
+}
+
+impl Watchdog {
+    const TICK: Duration = Duration::from_millis(2);
+
+    fn register(&self, expires: Instant, token: CancelToken) -> usize {
+        let mut slots = self.slots.lock().expect("watchdog lock");
+        if let Some(free) = slots.iter().position(Option::is_none) {
+            slots[free] = Some((expires, token));
+            free
+        } else {
+            slots.push(Some((expires, token)));
+            slots.len() - 1
+        }
+    }
+
+    fn release(&self, slot: usize) {
+        self.slots.lock().expect("watchdog lock")[slot] = None;
+    }
+
+    fn shut_down(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    fn run(&self) {
+        while !self.done.load(Ordering::Relaxed) {
+            {
+                let mut slots = self.slots.lock().expect("watchdog lock");
+                let now = Instant::now();
+                for slot in slots.iter_mut() {
+                    if let Some((expires, token)) = slot {
+                        if now >= *expires {
+                            token.fire_deadline();
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Self::TICK);
+        }
+    }
+}
+
+/// Run one job, retrying transient failures with jittered exponential
+/// backoff. Panic containment lives here too: each attempt runs under
+/// `catch_unwind`, so a panicking analysis (or injected panic fault)
+/// fails — or retries — only its own job.
+#[allow(clippy::too_many_arguments)]
+fn run_with_retries(
     me: usize,
-    queued: QueuedJob,
+    idx: usize,
+    home: usize,
+    job: &Job,
     batch_started: Instant,
     cache: &ModuleCache,
     factory: Option<AnalysisFactory>,
+    retries: u32,
+    watchdog: &Watchdog,
+) -> JobOutcome {
+    // Deterministic jitter: seeded from the job's identity, not a global
+    // RNG, so a chaos run's backoff schedule reproduces from its seed.
+    let mut rng = SmallRng::seed_from_u64(0x9e37_79b9 ^ (idx as u64) << 8 ^ me as u64);
+    let mut attempt = 0u32;
+    loop {
+        // Per-attempt governance: a fresh deadline (measured from attempt
+        // start) and a token the watchdog can fire. An externally supplied
+        // token is shared across attempts — cancelling cancels them all.
+        let token = job.cancel.clone();
+        let governed = job.deadline.is_some() || token.is_some() || job.max_memory_pages.is_some();
+        let budget = governed.then(|| {
+            let mut budget = Budget::new();
+            let token = token.clone().unwrap_or_default();
+            budget = budget.cancel_token(token);
+            if let Some(deadline) = job.deadline {
+                budget = budget.deadline(deadline);
+            }
+            if let Some(pages) = job.max_memory_pages {
+                budget = budget.max_memory_pages(pages);
+            }
+            budget
+        });
+        let slot = match (&budget, job.deadline) {
+            (Some(budget), Some(deadline)) => {
+                let token = budget.token().expect("governed budget has a token").clone();
+                Some(watchdog.register(Instant::now() + deadline, token))
+            }
+            _ => None,
+        };
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(me, idx, home, job, batch_started, cache, factory, budget)
+        }))
+        .unwrap_or_else(|payload| JobOutcome {
+            job: idx,
+            key: job.key.clone(),
+            invoke: job.invoke.clone(),
+            result: Err(JobError::Panicked(panic_message(&*payload))),
+            reports: Vec::new(),
+            stats: JobStats {
+                cache_hit: false,
+                queue: batch_started.elapsed(),
+                build: Duration::ZERO,
+                execute: Duration::ZERO,
+                worker: me,
+                stolen: me != home,
+                retries: 0,
+            },
+        });
+        if let Some(slot) = slot {
+            watchdog.release(slot);
+        }
+
+        let transient = matches!(&outcome.result, Err(e) if e.is_transient());
+        if !transient || attempt >= retries {
+            match &outcome.result {
+                Err(JobError::TimedOut) => stats::record_job_timeout(),
+                Err(JobError::Cancelled) => stats::record_job_cancellation(),
+                _ => {}
+            }
+            return JobOutcome {
+                stats: JobStats {
+                    retries: attempt,
+                    ..outcome.stats
+                },
+                ..outcome
+            };
+        }
+
+        // Transient failure with budget left: back off (1, 2, 4, ... ms,
+        // ±50% jitter, capped) and go again.
+        stats::record_job_retry();
+        attempt += 1;
+        let base_ms = (1u64 << attempt.min(6)).min(50);
+        let jitter = rng.gen_range(0..base_ms + 1);
+        std::thread::sleep(Duration::from_millis(base_ms / 2 + jitter / 2));
+    }
+}
+
+/// Execute one job on worker `me`: construct fresh analyses, fetch (or
+/// build) the shared session, assemble a per-job pipeline, run, report.
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    me: usize,
+    idx: usize,
+    home: usize,
+    job: &Job,
+    batch_started: Instant,
+    cache: &ModuleCache,
+    factory: Option<AnalysisFactory>,
+    budget: Option<Budget>,
 ) -> JobOutcome {
     let queue = batch_started.elapsed();
-    let QueuedJob { idx, home, job } = queued;
     let mut stats = JobStats {
         cache_hit: false,
         queue,
@@ -583,6 +805,7 @@ fn run_job(
         execute: Duration::ZERO,
         worker: me,
         stolen: me != home,
+        retries: 0,
     };
     let fail = |error: JobError, stats: JobStats| JobOutcome {
         job: idx,
@@ -592,6 +815,13 @@ fn run_job(
         reports: Vec::new(),
         stats,
     };
+
+    // Failpoint: `error` → a retryable transient failure, `panic` →
+    // contained by the attempt's catch_unwind, `delay` → a stalled
+    // worker the deadline machinery has to reclaim.
+    if let Some(message) = crate::fault::fire("fleet/job") {
+        return fail(JobError::Transient(message), stats);
+    }
 
     // Fresh analysis instances, constructed in THIS thread.
     let mut analyses: Vec<Box<dyn Analysis>> = Vec::with_capacity(job.analyses.len());
@@ -616,6 +846,9 @@ fn run_job(
     for analysis in &mut analyses {
         builder = builder.analysis(analysis.as_mut());
     }
+    if let Some(budget) = budget {
+        builder = builder.budget(budget);
+    }
     let mut pipeline = builder.build_shared(looked.session);
 
     let execute_started = Instant::now();
@@ -626,9 +859,14 @@ fn run_job(
 
     JobOutcome {
         job: idx,
-        key: job.key,
-        invoke: job.invoke,
-        result: result.map_err(JobError::Run),
+        key: job.key.clone(),
+        invoke: job.invoke.clone(),
+        result: result.map_err(|error| match error {
+            AnalysisError::Trap(Trap::DeadlineExceeded) => JobError::TimedOut,
+            AnalysisError::Trap(Trap::Cancelled) => JobError::Cancelled,
+            AnalysisError::Trap(Trap::MemoryLimit) => JobError::MemoryLimit,
+            other => JobError::Run(other),
+        }),
         reports,
         stats,
     }
@@ -982,5 +1220,112 @@ mod tests {
         let batch = fleet.run();
         assert_eq!(batch.workers, 1);
         assert!(batch.all_ok());
+    }
+
+    fn spin_module() -> Module {
+        let mut builder = ModuleBuilder::new();
+        builder.function("spin", &[], &[], |f| {
+            f.block(None).loop_(None).br(0).end().end();
+        });
+        builder.finish()
+    }
+
+    #[test]
+    fn deadline_times_out_a_spinning_job_while_siblings_complete() {
+        let spin = Arc::new(spin_module());
+        let square = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(2).build();
+        fleet.submit(Job::new("spin", spin, "spin", vec![]).deadline(Duration::from_millis(50)));
+        for i in 0..3 {
+            fleet.submit(Job::new(
+                "square",
+                Arc::clone(&square),
+                "main",
+                vec![Val::I32(i)],
+            ));
+        }
+        let started = Instant::now();
+        let batch = fleet.run();
+        assert!(matches!(
+            batch.jobs[0].result.as_ref().unwrap_err(),
+            JobError::TimedOut
+        ));
+        // The worker came back: the spinning job was reclaimed, not leaked,
+        // and every sibling still produced its answer.
+        assert!(started.elapsed() < Duration::from_secs(10));
+        for (i, outcome) in batch.jobs.iter().enumerate().skip(1) {
+            let i = (i - 1) as i32;
+            assert_eq!(outcome.result.as_ref().unwrap(), &vec![Val::I32(i * i)]);
+        }
+    }
+
+    #[test]
+    fn pre_fired_cancel_token_cancels_the_job() {
+        let spin = Arc::new(spin_module());
+        let token = CancelToken::new();
+        token.cancel();
+        let mut fleet = Fleet::builder().workers(1).build();
+        fleet.submit(Job::new("spin", spin, "spin", vec![]).cancel_token(token));
+        let batch = fleet.run();
+        assert!(matches!(
+            batch.jobs[0].result.as_ref().unwrap_err(),
+            JobError::Cancelled
+        ));
+    }
+
+    #[test]
+    fn memory_cap_fails_the_job_with_memory_limit() {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.function("grow", &[], &[ValType::I32], |f| {
+            f.i32_const(4).memory_grow();
+        });
+        let module = Arc::new(builder.finish());
+        let mut fleet = Fleet::builder().workers(1).build();
+        fleet.submit(Job::new("grow", Arc::clone(&module), "grow", vec![]).max_memory_pages(4));
+        fleet.submit(Job::new("grow", module, "grow", vec![]).max_memory_pages(8));
+        let batch = fleet.run();
+        assert!(matches!(
+            batch.jobs[0].result.as_ref().unwrap_err(),
+            JobError::MemoryLimit
+        ));
+        // Under the cap the same grow behaves exactly like an ungoverned one.
+        assert_eq!(batch.jobs[1].result.as_ref().unwrap(), &vec![Val::I32(1)]);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_within_the_budget() {
+        let _serial = crate::fault::test_lock();
+        crate::fault::configure("fleet/job=error:1:2", 7).unwrap();
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(1).retries(3).build();
+        fleet.submit(Job::new("square", module, "main", vec![Val::I32(6)]));
+        let batch = fleet.run();
+        crate::fault::clear();
+        // Two injected failures, then the limit is exhausted and the third
+        // attempt succeeds — bounded retries recovered the job.
+        assert_eq!(batch.jobs[0].result.as_ref().unwrap(), &vec![Val::I32(36)]);
+        assert_eq!(batch.jobs[0].stats.retries, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        let _serial = crate::fault::test_lock();
+        crate::fault::configure("fleet/job=error", 7).unwrap();
+        let module = Arc::new(square_module());
+        let mut fleet = Fleet::builder().workers(1).retries(1).build();
+        fleet.submit(Job::new("square", module, "main", vec![Val::I32(6)]));
+        let batch = fleet.run();
+        crate::fault::clear();
+        let outcome = &batch.jobs[0];
+        assert!(matches!(
+            outcome.result.as_ref().unwrap_err(),
+            JobError::Transient(_)
+        ));
+        assert!(outcome.result.as_ref().unwrap_err().is_transient());
+        assert_eq!(outcome.stats.retries, 1);
+        // Transient failures are excluded from cache attribution, like
+        // panicked jobs: the job never reached a lookup.
+        assert_eq!(batch.cache_hits + batch.cache_misses, 0);
     }
 }

@@ -65,6 +65,7 @@ pub mod cache;
 pub mod convention;
 pub mod diskcache;
 pub mod event;
+pub mod fault;
 pub mod fleet;
 pub mod hookmap;
 pub mod hooks;
@@ -88,3 +89,4 @@ pub use location::{BranchTarget, Location};
 pub use pipeline::{InstrumentationMode, Pipeline, PipelineBuilder, Wasabi};
 pub use report::{JsonValue, Report};
 pub use runtime::{AnalysisError, AnalysisSession, WasabiHost};
+pub use wasabi_vm::{Budget, CancelToken};

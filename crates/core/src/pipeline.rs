@@ -56,7 +56,7 @@
 use std::sync::Arc;
 
 use wasabi_vm::host::Host;
-use wasabi_vm::Instance;
+use wasabi_vm::{Budget, Instance};
 use wasabi_wasm::instr::Val;
 use wasabi_wasm::module::Module;
 
@@ -109,6 +109,7 @@ pub struct PipelineBuilder<'a> {
     analyses: Vec<&'a mut dyn Analysis>,
     threads: Option<usize>,
     mode: InstrumentationMode,
+    budget: Option<Budget>,
 }
 
 impl<'a> PipelineBuilder<'a> {
@@ -118,6 +119,7 @@ impl<'a> PipelineBuilder<'a> {
             analyses: Vec::new(),
             threads: None,
             mode: InstrumentationMode::default(),
+            budget: None,
         }
     }
 
@@ -139,6 +141,17 @@ impl<'a> PipelineBuilder<'a> {
     /// §3/§4.4). Defaults to all available cores.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Govern every run of the built pipeline with `budget` (wall-clock
+    /// deadline, cancellation token, memory-growth cap): execution traps
+    /// with `Trap::{DeadlineExceeded, Cancelled, MemoryLimit}` instead
+    /// of running away. Deadlines are resolved when the budget is
+    /// *created* (`Budget::deadline` captures an instant), which is what
+    /// a per-job budget wants: queue time counts against the job.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -211,6 +224,7 @@ impl<'a> PipelineBuilder<'a> {
             session,
             analyses: self.analyses,
             subscribers,
+            budget: self.budget,
         }
     }
 }
@@ -234,6 +248,9 @@ pub struct Pipeline<'a> {
     /// `subscribers[hook as usize]` = indices (into `analyses`) of the
     /// analyses subscribed to that hook.
     subscribers: Vec<Vec<usize>>,
+    /// Resource governance applied to every run (see
+    /// [`PipelineBuilder::budget`]); `None` = ungoverned.
+    budget: Option<Budget>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -283,6 +300,7 @@ impl<'a> Pipeline<'a> {
         // The session caches the validated, flat-IR-translated module, so
         // repeated runs instantiate without cloning or re-translating it.
         let mut instance = Instance::instantiate_translated(self.session.translated(), &mut host)?;
+        instance.set_budget(self.budget.clone());
         let result = instance.invoke_export(export, args, &mut host);
         let (fast, slow) = instance.host_call_counts();
         stats::record_host_calls(fast, slow);
@@ -309,6 +327,7 @@ impl<'a> Pipeline<'a> {
         )
         .with_program_host(program_host);
         let mut instance = Instance::instantiate_translated(self.session.translated(), &mut host)?;
+        instance.set_budget(self.budget.clone());
         let result = instance.invoke_export(export, args, &mut host);
         let (fast, slow) = instance.host_call_counts();
         stats::record_host_calls(fast, slow);

@@ -80,6 +80,13 @@ static FLEET_JOBS: AtomicU64 = AtomicU64::new(0);
 static SERVER_CONNECTIONS: AtomicU64 = AtomicU64::new(0);
 static SERVER_REQUESTS: AtomicU64 = AtomicU64::new(0);
 static SERVER_JOBS: AtomicU64 = AtomicU64::new(0);
+static DISK_CACHE_WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
+static JOB_TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+static JOB_CANCELLATIONS: AtomicU64 = AtomicU64::new(0);
+static JOB_RETRIES: AtomicU64 = AtomicU64::new(0);
+static SERVER_SHEDS: AtomicU64 = AtomicU64::new(0);
+static CLIENT_RECONNECTS: AtomicU64 = AtomicU64::new(0);
+static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
 
 /// Total number of instrumentation passes ([`mod@crate::instrument`] /
 /// [`crate::Instrumenter::run`]) this process has performed.
@@ -191,6 +198,57 @@ pub fn server_jobs() -> u64 {
     SERVER_JOBS.load(Ordering::Relaxed)
 }
 
+/// [`crate::diskcache::DiskCache`] store attempts that failed (create,
+/// write, sync, or rename) — the entry is simply not persisted and the
+/// next lookup rebuilds, but the failure is no longer silent.
+pub fn disk_cache_write_errors() -> u64 {
+    DISK_CACHE_WRITE_ERRORS.load(Ordering::Relaxed)
+}
+
+/// Fleet jobs that hit their wall-clock deadline
+/// (`JobError::TimedOut`).
+pub fn job_timeouts() -> u64 {
+    JOB_TIMEOUTS.load(Ordering::Relaxed)
+}
+
+/// Fleet jobs cancelled through a `CancelToken`
+/// (`JobError::Cancelled`).
+pub fn job_cancellations() -> u64 {
+    JOB_CANCELLATIONS.load(Ordering::Relaxed)
+}
+
+/// Transient-failure retries performed by Fleet workers (each retry of
+/// each job counts once).
+pub fn job_retries() -> u64 {
+    JOB_RETRIES.load(Ordering::Relaxed)
+}
+
+/// Batches the daemon shed (cancelled to make room) under admission
+/// pressure.
+pub fn server_sheds() -> u64 {
+    SERVER_SHEDS.load(Ordering::Relaxed)
+}
+
+/// Successful client auto-reconnects after a broken daemon connection.
+pub fn client_reconnects() -> u64 {
+    CLIENT_RECONNECTS.load(Ordering::Relaxed)
+}
+
+/// Faults deliberately injected by the [`crate::fault`] registry.
+pub fn faults_injected() -> u64 {
+    FAULTS_INJECTED.load(Ordering::Relaxed)
+}
+
+/// Record a shed batch (called by `wasabi-server`).
+pub fn record_server_shed() {
+    SERVER_SHEDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record a successful client reconnect (called by `wasabi-server`).
+pub fn record_client_reconnect() {
+    CLIENT_RECONNECTS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Record an accepted daemon connection (called by `wasabi-server`).
 pub fn record_server_connection() {
     SERVER_CONNECTIONS.fetch_add(1, Ordering::Relaxed);
@@ -263,6 +321,26 @@ pub(crate) fn record_disk_cache_miss() {
     DISK_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn record_disk_cache_write_error() {
+    DISK_CACHE_WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_job_timeout() {
+    JOB_TIMEOUTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_job_cancellation() {
+    JOB_CANCELLATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_job_retry() {
+    JOB_RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_fault_injected() {
+    FAULTS_INJECTED.fetch_add(1, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +389,31 @@ mod tests {
         let before = disk_cache_misses();
         record_disk_cache_miss();
         assert!(disk_cache_misses() >= before + 1);
+    }
+
+    #[test]
+    fn robustness_counters_are_monotonic() {
+        let before = disk_cache_write_errors();
+        record_disk_cache_write_error();
+        assert!(disk_cache_write_errors() >= before + 1);
+        let before = job_timeouts();
+        record_job_timeout();
+        assert!(job_timeouts() >= before + 1);
+        let before = job_cancellations();
+        record_job_cancellation();
+        assert!(job_cancellations() >= before + 1);
+        let before = job_retries();
+        record_job_retry();
+        assert!(job_retries() >= before + 1);
+        let before = server_sheds();
+        record_server_shed();
+        assert!(server_sheds() >= before + 1);
+        let before = client_reconnects();
+        record_client_reconnect();
+        assert!(client_reconnects() >= before + 1);
+        let before = faults_injected();
+        record_fault_injected();
+        assert!(faults_injected() >= before + 1);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Chaos differential suite (ISSUE 9 tentpole): run realistic fleet
+//! batches under seeded fault injection and resource governance, and
+//! assert the robustness invariants the paper's tooling story depends on:
+//!
+//! 1. Every injected fault surfaces as a *structured* per-job error on a
+//!    surviving process — no crash, no hang, no silent wrong answer.
+//! 2. Bounded retries actually bound: a persistent transient fault fails
+//!    after exactly the configured number of retries.
+//! 3. A cancelled or deadline-exceeded job releases its worker promptly;
+//!    sibling jobs in the same batch complete.
+//! 4. Jobs that survive a faulted run produce results and analysis
+//!    reports bit-identical to a fault-free run of the same batch.
+//!
+//! The fault registry is process-global, so every test here serializes on
+//! [`wasabi::fault::test_lock`] — including the ones that inject nothing,
+//! because they must observe an *empty* registry.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wasabi::event::{AnalysisCtx, BinaryEvt};
+use wasabi::fleet::JobError;
+use wasabi::hooks::{Analysis, Hook, HookSet};
+use wasabi::{fault, CancelToken, DiskCache, Fleet, Job, ModuleCache, Report};
+use wasabi_wasm::builder::ModuleBuilder;
+use wasabi_wasm::instr::Val;
+use wasabi_wasm::module::Module;
+use wasabi_wasm::types::ValType;
+
+fn square_module() -> Module {
+    let mut builder = ModuleBuilder::new();
+    builder.function("main", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32).get_local(0u32).i32_mul();
+    });
+    builder.finish()
+}
+
+fn spin_module() -> Module {
+    let mut builder = ModuleBuilder::new();
+    builder.function("spin", &[], &[], |f| {
+        f.block(None).loop_(None).br(0).end().end();
+    });
+    builder.finish()
+}
+
+/// Counts binary ops — deterministic per input, so its report is a
+/// bit-exact differential witness.
+#[derive(Default)]
+struct Binaries(u64);
+impl Analysis for Binaries {
+    fn name(&self) -> &str {
+        "binaries"
+    }
+    fn hooks(&self) -> HookSet {
+        HookSet::of(&[Hook::Binary])
+    }
+    fn binary(&mut self, _: &AnalysisCtx, _: &BinaryEvt) {
+        self.0 += 1;
+    }
+    fn report(&self) -> Report {
+        Report::new("binaries", self.0.into())
+    }
+}
+
+fn factory(name: &str) -> Option<Box<dyn Analysis>> {
+    match name {
+        "binaries" => Some(Box::new(Binaries::default())),
+        _ => None,
+    }
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wasabi-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Eight governed-but-unfaulted square jobs, analyses attached.
+fn square_batch(module: &Arc<Module>) -> Vec<Job> {
+    (0..8)
+        .map(|i| {
+            Job::new("square", Arc::clone(module), "main", vec![Val::I32(i)]).analyses(["binaries"])
+        })
+        .collect()
+}
+
+/// Run a batch on a fresh fleet and return `(result, report-json)` rows.
+#[allow(clippy::type_complexity)]
+fn run_batch(
+    jobs: Vec<Job>,
+    disk: Option<DiskCache>,
+    retries: u32,
+) -> Vec<(Result<Vec<Val>, String>, Vec<String>)> {
+    let mut cache = ModuleCache::new();
+    if let Some(disk) = disk {
+        cache = cache.with_disk(disk);
+    }
+    let mut fleet = Fleet::builder()
+        .workers(2)
+        .factory(factory)
+        .cache(Arc::new(cache))
+        .retries(retries)
+        .build();
+    for job in jobs {
+        fleet.submit(job);
+    }
+    fleet
+        .run()
+        .jobs
+        .into_iter()
+        .map(|o| {
+            (
+                o.result.map_err(|e| e.to_string()),
+                o.reports.iter().map(Report::to_json).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn faulted_runs_degrade_to_structured_errors_and_identical_survivors() {
+    let _serial = fault::test_lock();
+    fault::clear();
+    let module = Arc::new(square_module());
+    let baseline = run_batch(square_batch(&module), None, 0);
+    assert!(baseline.iter().all(|(r, _)| r.is_ok()), "baseline is clean");
+
+    // Each spec exercises one failpoint site. `disk/*` faults are
+    // absorbed (a failed load is a miss, a failed store is a counted
+    // warning); `cache/build` and unrecovered `fleet/job` faults must
+    // surface as structured per-job errors; retried `fleet/job` faults
+    // must recover completely.
+    let specs = [
+        "disk/load=error",
+        "disk/store=error",
+        "cache/build=error:0.5",
+        "fleet/job=error:0.4",
+        "fleet/job=panic:0.4:2",
+    ];
+    for spec in specs {
+        for seed in [1, 42, 1337] {
+            let dir = temp_dir("faulted");
+            fault::configure(spec, seed).unwrap();
+            let out = run_batch(
+                square_batch(&module),
+                Some(DiskCache::new(&dir).unwrap()),
+                2,
+            );
+            fault::clear();
+            let _ = std::fs::remove_dir_all(&dir);
+            assert_eq!(out.len(), baseline.len(), "{spec}@{seed}: no lost jobs");
+            for (i, (row, want)) in out.iter().zip(&baseline).enumerate() {
+                match &row.0 {
+                    // Survivor: bit-identical to the fault-free run.
+                    Ok(_) => assert_eq!(row, want, "{spec}@{seed}: job {i} diverged"),
+                    // Casualty: a structured, printable error.
+                    Err(message) => {
+                        assert!(!message.is_empty(), "{spec}@{seed}: job {i} lost its error")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn retry_budget_is_a_hard_bound() {
+    let _serial = fault::test_lock();
+    fault::clear();
+    let module = Arc::new(square_module());
+    fault::configure("fleet/job=error", 9).unwrap();
+    let before = fault::hits("fleet/job");
+    let out = run_batch(
+        vec![Job::new("square", module, "main", vec![Val::I32(3)])],
+        None,
+        2,
+    );
+    let attempts = fault::hits("fleet/job") - before;
+    fault::clear();
+    assert!(
+        matches!(&out[0].0, Err(m) if m.contains("transient")),
+        "{:?}",
+        out[0].0
+    );
+    assert_eq!(attempts, 3, "1 try + 2 retries, then the fleet gave up");
+}
+
+#[test]
+fn deadline_reclaims_a_spinning_job_and_survivors_match_baseline() {
+    let _serial = fault::test_lock();
+    fault::clear();
+    let square = Arc::new(square_module());
+    let spin = Arc::new(spin_module());
+    let baseline = run_batch(square_batch(&square), None, 0);
+
+    let mut jobs = square_batch(&square);
+    jobs.insert(
+        4,
+        Job::new("spin", spin, "spin", vec![]).deadline(Duration::from_millis(100)),
+    );
+    let started = Instant::now();
+    let out = run_batch(jobs, None, 0);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the spinning job was reclaimed, not leaked"
+    );
+    assert_eq!(out[4].0, Err(JobError::TimedOut.to_string()));
+    let survivors: Vec<_> = out
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 4)
+        .map(|(_, row)| row.clone())
+        .collect();
+    assert_eq!(
+        survivors, baseline,
+        "governance left survivors bit-identical"
+    );
+}
+
+#[test]
+fn cancellation_releases_the_worker_and_the_batch_completes() {
+    let _serial = fault::test_lock();
+    fault::clear();
+    let square = Arc::new(square_module());
+    let spin = Arc::new(spin_module());
+    let token = CancelToken::new();
+
+    let mut fleet = Fleet::builder().workers(1).build();
+    fleet.submit(Job::new("spin", spin, "spin", vec![]).cancel_token(token.clone()));
+    fleet.submit(Job::new("square", square, "main", vec![Val::I32(5)]));
+
+    // One worker: the spin job pins it until the token fires, the square
+    // job is stuck behind it. Cancel from outside after a beat.
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(60));
+        token.cancel();
+    });
+    let started = Instant::now();
+    let batch = fleet.run();
+    canceller.join().unwrap();
+
+    assert!(matches!(
+        batch.jobs[0].result.as_ref().unwrap_err(),
+        JobError::Cancelled
+    ));
+    assert_eq!(batch.jobs[1].result.as_ref().unwrap(), &vec![Val::I32(25)]);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "cancellation released the worker promptly"
+    );
+}

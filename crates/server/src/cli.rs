@@ -5,9 +5,21 @@
 use wasabi::report::JsonValue;
 use wasabi_analyses::registry;
 
-use crate::client::Client;
+use crate::client::{Client, ClientError};
 use crate::daemon::{Server, ServerConfig};
 use crate::protocol::JobSpec;
+
+/// Render a client failure as the one-line message the bins print,
+/// prefixed so a human (or a script) can tell *retry later* from *give
+/// up*: daemon backpressure and transport drops are `retryable:`, bad
+/// requests are `fatal:`.
+fn render_client_error(e: &ClientError) -> String {
+    if e.is_retryable() {
+        format!("retryable: {e}")
+    } else {
+        format!("fatal: {e}")
+    }
+}
 
 const SERVE_USAGE: &str = "\
 usage: wasabid [--socket <path> | --tcp <addr>] [options]
@@ -28,6 +40,14 @@ Serve wasabi analysis jobs over a socket until drained.
                          cache tier (memory -> disk -> build); entries
                          survive daemon restarts, so a fresh daemon
                          serves known modules without rebuilding
+  --max-batch <n>        per-submit job cap (a connection handles one
+                         submit at a time, so this is also the
+                         per-connection in-flight cap; default: none)
+  --shed                 when a submit would overflow --max-pending,
+                         cancel the oldest in-flight batch to make room
+                         instead of refusing the newcomer
+  --retries <n>          retry transiently failed jobs up to n times with
+                         jittered backoff (default 0)
 ";
 
 const CLIENT_USAGE: &str = "\
@@ -43,9 +63,23 @@ commands:
       --invoke <name>    export to invoke (default main)
       --args <v1,v2>     invocation arguments
       --jobs <n>         submit n identical jobs (default 1)
+      --deadline-ms <n>  per-job wall-clock deadline; an expired job
+                         fails with a structured error, the daemon and
+                         its worker survive
+      --tag <name>       tag the batch so `cancel <name>` can stop it
+                         from another connection
+      --retries <n>      if the daemon refuses with a retryable error
+                         (queue_full, draining), retry the submit up to
+                         n times with backoff (default 0)
+  cancel <tag>           fire the cancel tokens of an in-flight batch
+                         submitted with --tag <tag>
   status                 print the daemon's status counters as JSON
   drain                  finish in-flight work, refuse new work, exit
   shutdown               stop as soon as in-flight work completes
+
+errors are one line on stderr, prefixed `retryable:` (daemon
+backpressure -- try again later) or `fatal:` (the request can never
+succeed as written); the exit status is nonzero either way.
 ";
 
 /// Where to reach (or bind) the daemon.
@@ -106,6 +140,21 @@ pub fn serve_main(args: Vec<String>) -> Result<(), String> {
                     "--disk-cache",
                     SERVE_USAGE,
                 )?));
+            }
+            "--max-batch" => {
+                let value = take_value(&mut args, "--max-batch", SERVE_USAGE)?;
+                config.max_batch = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --max-batch {value:?}"))?,
+                );
+            }
+            "--shed" => config.shed = true,
+            "--retries" => {
+                let value = take_value(&mut args, "--retries", SERVE_USAGE)?;
+                config.retries = value
+                    .parse()
+                    .map_err(|_| format!("invalid --retries {value:?}"))?;
             }
             "--help" | "-h" => {
                 print!("{SERVE_USAGE}");
@@ -195,6 +244,9 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
             let mut invoke = "main".to_string();
             let mut invoke_args: Vec<JsonValue> = Vec::new();
             let mut jobs = 1usize;
+            let mut deadline_ms: Option<u64> = None;
+            let mut tag = String::new();
+            let mut retries = 0u32;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
                     "--analyses" => {
@@ -218,58 +270,95 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
                             .parse()
                             .map_err(|_| format!("invalid --jobs {value:?}"))?;
                     }
+                    "--deadline-ms" => {
+                        let value = take_value(&mut args, "--deadline-ms", CLIENT_USAGE)?;
+                        deadline_ms = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("invalid --deadline-ms {value:?}"))?,
+                        );
+                    }
+                    "--tag" => tag = take_value(&mut args, "--tag", CLIENT_USAGE)?,
+                    "--retries" => {
+                        let value = take_value(&mut args, "--retries", CLIENT_USAGE)?;
+                        retries = value
+                            .parse()
+                            .map_err(|_| format!("invalid --retries {value:?}"))?;
+                    }
                     other => return Err(format!("unknown argument {other:?}\n\n{CLIENT_USAGE}")),
                 }
             }
             let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let mut client = connect(&endpoint)?;
-            let (hash, _) = client.upload(&bytes).map_err(|e| e.to_string())?;
+            let (hash, _) = client.upload(&bytes).map_err(|e| render_client_error(&e))?;
             let specs: Vec<JobSpec> = (0..jobs)
                 .map(|_| JobSpec {
                     hash: hash.clone(),
                     analyses: analyses.clone(),
                     invoke: invoke.clone(),
                     args: invoke_args.clone(),
+                    deadline_ms,
                 })
                 .collect();
             let mut failures = 0usize;
-            let mut stream = client.submit(specs).map_err(|e| e.to_string())?;
-            for result in &mut stream {
-                let result = result.map_err(|e| e.to_string())?;
-                match &result.results {
-                    Ok(values) => {
-                        // Same line shape as `wasabi --batch`, so outputs
-                        // are directly comparable job-for-job.
-                        let line = JsonValue::object([
-                            ("job", JsonValue::from(result.job)),
-                            ("module", JsonValue::from(result.hash.clone())),
-                            ("invoke", JsonValue::from(result.invoke.clone())),
-                            (
-                                "results",
-                                JsonValue::array(values.iter().map(|v| JsonValue::from(v.clone()))),
-                            ),
-                            (
-                                "reports",
-                                JsonValue::array(result.reports.iter().map(|r| {
-                                    JsonValue::object([
-                                        ("analysis", JsonValue::from(r.analysis.clone())),
-                                        ("data", r.data.clone()),
-                                    ])
-                                })),
-                            ),
-                            ("cache_hit", JsonValue::from(result.cache_hit)),
-                        ]);
-                        println!("{line}");
-                    }
-                    Err(error) => {
-                        failures += 1;
-                        eprintln!("job {} ({}): FAILED: {error}", result.job, result.hash);
+            let mut attempt = 0u32;
+            // A refused submit with budget left (queue_full, draining)
+            // retries with backoff; anything else — including per-job
+            // failures — streams through once.
+            let done = loop {
+                let mut stream = client
+                    .submit_tagged(specs.clone(), &tag)
+                    .map_err(|e| render_client_error(&e))?;
+                let first = stream.next();
+                if let Some(Err(e)) = &first {
+                    if e.is_retryable() && attempt < retries {
+                        attempt += 1;
+                        eprintln!("retryable: {e}; retrying submit ({attempt}/{retries})");
+                        drop(stream);
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            50u64 << attempt.min(5),
+                        ));
+                        continue;
                     }
                 }
-            }
-            let done = stream
-                .done()
-                .ok_or_else(|| "stream ended without a done frame".to_string())?;
+                for result in first.into_iter().chain(&mut stream) {
+                    let result = result.map_err(|e| render_client_error(&e))?;
+                    match &result.results {
+                        Ok(values) => {
+                            // Same line shape as `wasabi --batch`, so outputs
+                            // are directly comparable job-for-job.
+                            let line = JsonValue::object([
+                                ("job", JsonValue::from(result.job)),
+                                ("module", JsonValue::from(result.hash.clone())),
+                                ("invoke", JsonValue::from(result.invoke.clone())),
+                                (
+                                    "results",
+                                    JsonValue::array(
+                                        values.iter().map(|v| JsonValue::from(v.clone())),
+                                    ),
+                                ),
+                                (
+                                    "reports",
+                                    JsonValue::array(result.reports.iter().map(|r| {
+                                        JsonValue::object([
+                                            ("analysis", JsonValue::from(r.analysis.clone())),
+                                            ("data", r.data.clone()),
+                                        ])
+                                    })),
+                                ),
+                                ("cache_hit", JsonValue::from(result.cache_hit)),
+                            ]);
+                            println!("{line}");
+                        }
+                        Err(error) => {
+                            failures += 1;
+                            eprintln!("job {} ({}): FAILED: {error}", result.job, result.hash);
+                        }
+                    }
+                }
+                break stream.done();
+            };
+            let done = done.ok_or_else(|| "stream ended without a done frame".to_string())?;
             eprintln!(
                 "client: {} job(s) in {:.1} ms ({} cache hit(s), {} miss(es), {} failure(s))",
                 done.jobs, done.wall_ms, done.cache_hits, done.cache_misses, failures,
@@ -279,21 +368,28 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "cancel" => {
+            let tag = take_value(&mut args, "cancel", CLIENT_USAGE)?;
+            let mut client = connect(&endpoint)?;
+            let jobs = client.cancel(&tag).map_err(|e| render_client_error(&e))?;
+            eprintln!("cancelled {jobs} job(s) tagged {tag:?}");
+            Ok(())
+        }
         "status" => {
             let mut client = connect(&endpoint)?;
-            let status = client.status().map_err(|e| e.to_string())?;
+            let status = client.status().map_err(|e| render_client_error(&e))?;
             println!("{}", crate::protocol::Response::Status(status).to_json());
             Ok(())
         }
         "drain" => {
             let mut client = connect(&endpoint)?;
-            let in_flight = client.drain().map_err(|e| e.to_string())?;
+            let in_flight = client.drain().map_err(|e| render_client_error(&e))?;
             eprintln!("draining ({in_flight} job(s) in flight)");
             Ok(())
         }
         "shutdown" => {
             let mut client = connect(&endpoint)?;
-            client.shutdown().map_err(|e| e.to_string())?;
+            client.shutdown().map_err(|e| render_client_error(&e))?;
             eprintln!("shutting down");
             Ok(())
         }

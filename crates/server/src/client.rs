@@ -2,16 +2,28 @@
 //!
 //! [`Client`] wraps one connection and exposes the request/response
 //! cycle typed: upload bytes, submit jobs and **iterate streamed results
-//! as the daemon finishes them**, query status, drain, shut down. The
-//! `wasabi-client` bin and the `wasabi client` subcommand are thin
-//! wrappers over this; integration tests drive it directly.
+//! as the daemon finishes them**, cancel a tagged batch, query status,
+//! drain, shut down. The `wasabi-client` bin and the `wasabi client`
+//! subcommand are thin wrappers over this; integration tests drive it
+//! directly.
+//!
+//! The client remembers its endpoint, so a daemon restart is survivable:
+//! [`Client::reconnect_with_backoff`] re-dials with capped exponential
+//! backoff (each successful re-dial bumps
+//! [`wasabi::stats::client_reconnects`]). Daemon refusals surface as
+//! [`ClientError::Daemon`] with the machine-readable [`ErrorCode`], so
+//! callers can distinguish *retry later* (`queue_full`, `draining`) from
+//! *fatal* (everything else) without string matching.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use crate::protocol::{read_frame, write_frame, FrameError, JobResult, JobSpec, Request, Response};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, JobResult, JobSpec, Request, Response,
+};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -20,6 +32,27 @@ pub enum ClientError {
     Frame(FrameError),
     /// A frame arrived but was not the expected response shape.
     Protocol(String),
+    /// The daemon refused the request with a structured `error` frame.
+    Daemon {
+        /// Machine-readable class; `code.is_retryable()` separates
+        /// backpressure from permanent failures.
+        code: ErrorCode,
+        /// Human-readable detail from the daemon.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// Whether retrying the same request later can succeed: daemon
+    /// backpressure (`queue_full`/`draining`) and transport drops are
+    /// retryable, malformed requests are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Daemon { code, .. } => code.is_retryable(),
+            ClientError::Frame(_) => true,
+            ClientError::Protocol(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -27,6 +60,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Frame(e) => write!(f, "{e}"),
             ClientError::Protocol(message) => f.write_str(message),
+            ClientError::Daemon { code, message } => {
+                write!(f, "daemon refused ({}): {message}", code.as_str())
+            }
         }
     }
 }
@@ -75,9 +111,26 @@ impl Write for Conn {
     }
 }
 
+/// The remembered dial target, for reconnects after a daemon restart.
+#[derive(Clone)]
+enum Endpoint {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Endpoint {
+    fn dial(&self) -> std::io::Result<Conn> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Conn::Tcp),
+        }
+    }
+}
+
 /// One connection to a `wasabid` daemon.
 pub struct Client {
     conn: Conn,
+    endpoint: Endpoint,
 }
 
 impl Client {
@@ -87,8 +140,10 @@ impl Client {
     ///
     /// Transport errors from connecting.
     pub fn connect_unix(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        let endpoint = Endpoint::Unix(path.as_ref().to_path_buf());
         Ok(Client {
-            conn: Conn::Unix(UnixStream::connect(path)?),
+            conn: endpoint.dial()?,
+            endpoint,
         })
     }
 
@@ -98,9 +153,47 @@ impl Client {
     ///
     /// Transport errors from connecting.
     pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let endpoint = Endpoint::Tcp(addr.to_string());
         Ok(Client {
-            conn: Conn::Tcp(TcpStream::connect(addr)?),
+            conn: endpoint.dial()?,
+            endpoint,
         })
+    }
+
+    /// Re-dial the remembered endpoint once, replacing the connection.
+    /// Records a [`wasabi::stats::client_reconnects`] tick on success.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from connecting (e.g. the daemon is not back yet).
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.conn = self.endpoint.dial()?;
+        wasabi::stats::record_client_reconnect();
+        Ok(())
+    }
+
+    /// Re-dial the remembered endpoint with capped exponential backoff:
+    /// up to `attempts` tries, sleeping 10 ms, 20 ms, ... capped at
+    /// 500 ms between them. Use after a transport error to survive a
+    /// daemon restart.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error if every attempt fails.
+    pub fn reconnect_with_backoff(&mut self, attempts: u32) -> std::io::Result<()> {
+        let mut delay = Duration::from_millis(10);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+            match self.reconnect() {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
     }
 
     /// Send one request frame and read one response frame.
@@ -129,10 +222,7 @@ impl Client {
             bytes: bytes.to_vec(),
         })? {
             Response::Uploaded { hash, dedup, .. } => Ok((hash, dedup)),
-            Response::Error { code, message } => Err(ClientError::Protocol(format!(
-                "upload refused ({}): {message}",
-                code.as_str()
-            ))),
+            Response::Error { code, message } => Err(ClientError::Daemon { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response to upload: {other:?}"
             ))),
@@ -150,12 +240,53 @@ impl Client {
     /// full, unknown module, draining, ...) surfaces from the stream's
     /// first `next()`.
     pub fn submit(&mut self, jobs: Vec<JobSpec>) -> Result<ResultStream<'_>, ClientError> {
-        write_frame(&mut self.conn, &Request::Submit { jobs }.to_json())?;
+        self.submit_tagged(jobs, "")
+    }
+
+    /// Like [`Client::submit`], with a client-chosen batch tag: while the
+    /// batch is in flight, any connection can `cancel` that tag and every
+    /// job's cancel token fires.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`].
+    pub fn submit_tagged(
+        &mut self,
+        jobs: Vec<JobSpec>,
+        tag: &str,
+    ) -> Result<ResultStream<'_>, ClientError> {
+        write_frame(
+            &mut self.conn,
+            &Request::Submit {
+                jobs,
+                tag: tag.to_string(),
+            }
+            .to_json(),
+        )?;
         Ok(ResultStream {
             client: self,
             done: None,
             failed: false,
         })
+    }
+
+    /// Fire the cancel tokens of every in-flight batch tagged `tag`.
+    /// Returns how many jobs had their token fired (0: nothing in flight
+    /// under that tag — cancellation of finished work is a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a daemon refusal, or an unexpected response.
+    pub fn cancel(&mut self, tag: &str) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Cancel {
+            tag: tag.to_string(),
+        })? {
+            Response::Cancelled { jobs } => Ok(jobs),
+            Response::Error { code, message } => Err(ClientError::Daemon { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to cancel: {other:?}"
+            ))),
+        }
     }
 
     /// Ask for the daemon's status counters.
@@ -166,6 +297,7 @@ impl Client {
     pub fn status(&mut self) -> Result<crate::protocol::StatusReply, ClientError> {
         match self.roundtrip(&Request::Status)? {
             Response::Status(status) => Ok(status),
+            Response::Error { code, message } => Err(ClientError::Daemon { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response to status: {other:?}"
             ))),
@@ -181,6 +313,7 @@ impl Client {
     pub fn drain(&mut self) -> Result<u64, ClientError> {
         match self.roundtrip(&Request::Drain)? {
             Response::Draining { in_flight } => Ok(in_flight),
+            Response::Error { code, message } => Err(ClientError::Daemon { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response to drain: {other:?}"
             ))),
@@ -195,6 +328,7 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.roundtrip(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Daemon { code, message }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response to shutdown: {other:?}"
             ))),
@@ -264,10 +398,7 @@ impl Iterator for ResultStream<'_> {
             }
             Response::Error { code, message } => {
                 self.failed = true;
-                Some(Err(ClientError::Protocol(format!(
-                    "submit refused ({}): {message}",
-                    code.as_str()
-                ))))
+                Some(Err(ClientError::Daemon { code, message }))
             }
             other => {
                 self.failed = true;

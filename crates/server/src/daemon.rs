@@ -37,13 +37,13 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wasabi::fleet::{AnalysisFactory, Fleet};
 use wasabi::report::JsonValue;
-use wasabi::{stats, DiskCache, Job, ModuleCache};
+use wasabi::{stats, CancelToken, DiskCache, Job, ModuleCache};
 
 use crate::protocol::{
     export_params, typed_args, write_frame, ErrorCode, FrameError, FrameReader, JobResult, Request,
@@ -67,6 +67,16 @@ pub struct ServerConfig {
     /// memory only). Entries persist across daemon restarts, so a fresh
     /// daemon serves known modules without rebuilding them.
     pub disk_cache: Option<PathBuf>,
+    /// Per-submit batch size cap (`None`: only `max_pending` bounds a
+    /// submit). Because a connection handles one submit at a time, this
+    /// is also the per-connection in-flight cap.
+    pub max_batch: Option<u64>,
+    /// Load-shedding: when a submit would overflow `max_pending`, cancel
+    /// the **oldest** in-flight batch to make room instead of refusing
+    /// the newcomer outright (default off: refuse with `queue_full`).
+    pub shed: bool,
+    /// Transient-failure retries per job (jittered backoff, fleet-side).
+    pub retries: u32,
     /// Constructs analyses by registry name for every job.
     pub factory: AnalysisFactory,
 }
@@ -80,6 +90,9 @@ impl ServerConfig {
             max_pending: 256,
             cache_capacity: Some(64),
             disk_cache: None,
+            max_batch: None,
+            shed: false,
+            retries: 0,
             factory,
         }
     }
@@ -115,6 +128,15 @@ impl Lifecycle {
     }
 }
 
+/// One in-flight tagged batch: its cancel tokens, registered for the
+/// duration of its fleet run so `cancel` requests and load-shedding can
+/// fire them from other connections.
+struct BatchEntry {
+    id: u64,
+    tag: String,
+    tokens: Vec<CancelToken>,
+}
+
 /// State shared by the accept loop and every connection handler.
 struct Shared {
     config: ServerConfig,
@@ -125,6 +147,12 @@ struct Shared {
     jobs_done: AtomicU64,
     connections: AtomicU64,
     requests: AtomicU64,
+    /// In-flight batches in registration order (oldest first — the shed
+    /// victim order).
+    batches: Mutex<Vec<BatchEntry>>,
+    /// Monotonic id handed to each registered batch so deregistration
+    /// removes exactly its own entry.
+    batch_seq: AtomicU64,
 }
 
 impl Shared {
@@ -134,6 +162,55 @@ impl Shared {
 
     fn set_lifecycle(&self, state: Lifecycle) {
         self.lifecycle.store(state as u8, Ordering::SeqCst);
+    }
+
+    fn register_batch(&self, tag: &str, tokens: Vec<CancelToken>) -> u64 {
+        let id = self.batch_seq.fetch_add(1, Ordering::Relaxed);
+        self.batches
+            .lock()
+            .expect("batch registry")
+            .push(BatchEntry {
+                id,
+                tag: tag.to_string(),
+                tokens,
+            });
+        id
+    }
+
+    fn deregister_batch(&self, id: u64) {
+        self.batches
+            .lock()
+            .expect("batch registry")
+            .retain(|entry| entry.id != id);
+    }
+
+    /// Fire the cancel tokens of every in-flight batch tagged `tag`.
+    /// Returns the number of jobs whose token was fired.
+    fn cancel_tag(&self, tag: &str) -> u64 {
+        let batches = self.batches.lock().expect("batch registry");
+        let mut fired = 0u64;
+        for entry in batches.iter().filter(|entry| entry.tag == tag) {
+            for token in &entry.tokens {
+                token.cancel();
+                fired += 1;
+            }
+        }
+        fired
+    }
+
+    /// Load-shedding victim selection: fire the tokens of the oldest
+    /// in-flight batch. Returns `false` when nothing is sheddable.
+    fn shed_oldest(&self) -> bool {
+        let batches = self.batches.lock().expect("batch registry");
+        match batches.first() {
+            Some(oldest) => {
+                for token in &oldest.tokens {
+                    token.cancel();
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     fn status(&self) -> StatusReply {
@@ -154,6 +231,11 @@ impl Shared {
             in_flight: self.in_flight.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
+            timeouts: stats::job_timeouts(),
+            cancellations: stats::job_cancellations(),
+            retries: stats::job_retries(),
+            sheds: stats::server_sheds(),
+            faults_injected: stats::faults_injected(),
         }
     }
 }
@@ -299,6 +381,8 @@ impl Server {
             jobs_done: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
+            batches: Mutex::new(Vec::new()),
+            batch_seq: AtomicU64::new(0),
         })
     }
 
@@ -445,7 +529,13 @@ fn dispatch(shared: &Shared, conn: &mut Conn, value: &JsonValue) -> io::Result<(
                 Err(e) => respond_error(conn, ErrorCode::InvalidModule, &e.to_string()),
             }
         }
-        Request::Submit { jobs } => handle_submit(shared, conn, &jobs),
+        Request::Submit { jobs, tag } => handle_submit(shared, conn, &jobs, &tag),
+        // Cancellation works in every lifecycle state: it only helps a
+        // draining daemon reach idle faster.
+        Request::Cancel { tag } => {
+            let jobs = shared.cancel_tag(&tag);
+            respond(conn, &Response::Cancelled { jobs })
+        }
         Request::Status => respond(conn, &Response::Status(shared.status())),
         Request::Drain => {
             // Idempotent; never moves the lifecycle backwards.
@@ -467,13 +557,38 @@ fn dispatch(shared: &Shared, conn: &mut Conn, value: &JsonValue) -> io::Result<(
     }
 }
 
+/// Try to reserve `n` in-flight slots. Optimistically adds, rolls back
+/// on overflow.
+fn try_reserve(shared: &Shared, n: u64) -> Result<(), u64> {
+    let previous = shared.in_flight.fetch_add(n, Ordering::SeqCst);
+    if previous + n > shared.config.max_pending {
+        shared.in_flight.fetch_sub(n, Ordering::SeqCst);
+        Err(previous)
+    } else {
+        Ok(())
+    }
+}
+
 fn handle_submit(
     shared: &Shared,
     conn: &mut Conn,
     jobs: &[crate::protocol::JobSpec],
+    tag: &str,
 ) -> io::Result<()> {
     if shared.lifecycle() != Lifecycle::Accepting {
         return respond_error(conn, ErrorCode::Draining, "daemon is draining");
+    }
+    if let Some(max_batch) = shared.config.max_batch {
+        if jobs.len() as u64 > max_batch {
+            return respond_error(
+                conn,
+                ErrorCode::BadRequest,
+                &format!(
+                    "batch of {} job(s) exceeds the per-submit cap of {max_batch}",
+                    jobs.len()
+                ),
+            );
+        }
     }
 
     // Resolve every job before admitting any: a submit is atomic — it
@@ -502,11 +617,21 @@ fn handle_submit(
         resolved.push((spec, module, args));
     }
 
-    // Admission control: optimistically reserve, roll back on overflow.
+    // Admission control: reserve or refuse. With `--shed`, one overflow
+    // cancels the oldest in-flight batch and re-polls briefly — newest
+    // work wins, oldest pays, and the newcomer still gets `queue_full`
+    // if the shed victim does not release slots in time.
     let n = resolved.len() as u64;
-    let previous = shared.in_flight.fetch_add(n, Ordering::SeqCst);
-    if previous + n > shared.config.max_pending {
-        shared.in_flight.fetch_sub(n, Ordering::SeqCst);
+    let mut admitted = try_reserve(shared, n);
+    if admitted.is_err() && shared.config.shed && shared.shed_oldest() {
+        stats::record_server_shed();
+        let patience = Instant::now() + Duration::from_secs(2);
+        while admitted.is_err() && Instant::now() < patience {
+            thread::sleep(Duration::from_millis(5));
+            admitted = try_reserve(shared, n);
+        }
+    }
+    if let Err(previous) = admitted {
         return respond_error(
             conn,
             ErrorCode::QueueFull,
@@ -519,17 +644,28 @@ fn handle_submit(
 
     let mut builder = Fleet::builder()
         .cache(Arc::clone(&shared.cache))
-        .factory(shared.config.factory);
+        .factory(shared.config.factory)
+        .retries(shared.config.retries);
     if let Some(workers) = shared.config.workers {
         builder = builder.workers(workers);
     }
+    // Every job gets a cancel token, registered under the batch's tag for
+    // the duration of the run so `cancel` requests and load-shedding can
+    // reach it from other connections.
+    let mut tokens = Vec::with_capacity(resolved.len());
     for (spec, module, args) in resolved {
-        builder = builder.submit(
-            Job::new(spec.hash.clone(), module, spec.invoke.clone(), args)
-                .analyses(spec.analyses.iter().cloned()),
-        );
+        let token = CancelToken::new();
+        tokens.push(token.clone());
+        let mut job = Job::new(spec.hash.clone(), module, spec.invoke.clone(), args)
+            .analyses(spec.analyses.iter().cloned())
+            .cancel_token(token);
+        if let Some(ms) = spec.deadline_ms {
+            job = job.deadline(Duration::from_millis(ms));
+        }
+        builder = builder.submit(job);
     }
     let mut fleet = builder.build();
+    let batch_id = shared.register_batch(tag, tokens);
 
     // Stream one result frame per job, in completion order. A write
     // failure (client gone) cannot abort the running fleet — jobs finish
@@ -540,6 +676,12 @@ fn handle_submit(
         shared.jobs_done.fetch_add(1, Ordering::Relaxed);
         stats::record_server_jobs(1);
         if write_error.is_some() {
+            return;
+        }
+        // Failpoint: a fault at the frame layer behaves exactly like the
+        // client vanishing mid-stream.
+        if let Some(message) = wasabi::fault::fire("server/frame") {
+            write_error = Some(io::Error::other(message));
             return;
         }
         let result = JobResult {
@@ -557,6 +699,7 @@ fn handle_submit(
             write_error = Some(e);
         }
     });
+    shared.deregister_batch(batch_id);
     if let Some(e) = write_error {
         return Err(e);
     }

@@ -18,10 +18,17 @@
 //! |---|---|
 //! | `upload` | `uploaded` (content-addressed: re-uploads dedup) |
 //! | `submit` | streamed `result` per job as it finishes, then `done` |
+//! | `cancel` | `cancelled` (fires the cancel tokens of a tagged submit) |
 //! | `status` | `status` |
 //! | `drain` | `draining` (refuse new work, finish in-flight, exit) |
 //! | `shutdown` | `shutting_down` |
 //! | anything else | `error` with a machine-readable [`ErrorCode`] |
+//!
+//! A `submit` may carry a client-chosen `tag`; a concurrent connection
+//! can then `cancel` that tag to fire the cancel tokens of every job in
+//! the batch. Cancellation is keyed by tag — not by a daemon-assigned id
+//! — so the submit response stream stays exactly `result*` + `done` and
+//! existing raw-protocol consumers keep working unchanged.
 
 use std::io::{self, Read, Write};
 
@@ -259,6 +266,10 @@ pub struct JobSpec {
     pub invoke: String,
     /// Raw argument values from the client.
     pub args: Vec<JsonValue>,
+    /// Wall-clock deadline for this job in milliseconds, measured from
+    /// the moment a fleet worker dequeues it (`None`: ungoverned). An
+    /// expired job fails with a structured error; its worker survives.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A request frame, typed.
@@ -275,6 +286,17 @@ pub enum Request {
     Submit {
         /// The jobs, in submission order.
         jobs: Vec<JobSpec>,
+        /// Client-chosen batch tag; a concurrent `cancel` request with
+        /// the same tag fires every job's cancel token. Empty: untagged
+        /// (still sheddable, never cancellable by name).
+        tag: String,
+    },
+    /// Fire the cancel tokens of every in-flight `submit` whose tag
+    /// matches. Cancelled jobs fail with a structured error on their own
+    /// stream; this request's connection gets a `cancelled` count.
+    Cancel {
+        /// The tag to cancel.
+        tag: String,
     },
     /// Report counters and lifecycle state.
     Status,
@@ -293,24 +315,38 @@ impl Request {
                 ("type", JsonValue::from("upload")),
                 ("bytes", JsonValue::from(hex_encode(bytes))),
             ]),
-            Request::Submit { jobs } => JsonValue::object([
-                ("type", JsonValue::from("submit")),
-                (
-                    "jobs",
-                    JsonValue::array(jobs.iter().map(|job| {
-                        JsonValue::object([
-                            ("hash", JsonValue::from(job.hash.clone())),
-                            (
-                                "analyses",
-                                JsonValue::array(
-                                    job.analyses.iter().map(|a| JsonValue::from(a.clone())),
+            Request::Submit { jobs, tag } => {
+                let mut pairs = vec![
+                    ("type", JsonValue::from("submit")),
+                    (
+                        "jobs",
+                        JsonValue::array(jobs.iter().map(|job| {
+                            let mut members = vec![
+                                ("hash", JsonValue::from(job.hash.clone())),
+                                (
+                                    "analyses",
+                                    JsonValue::array(
+                                        job.analyses.iter().map(|a| JsonValue::from(a.clone())),
+                                    ),
                                 ),
-                            ),
-                            ("invoke", JsonValue::from(job.invoke.clone())),
-                            ("args", JsonValue::Array(job.args.clone())),
-                        ])
-                    })),
-                ),
+                                ("invoke", JsonValue::from(job.invoke.clone())),
+                                ("args", JsonValue::Array(job.args.clone())),
+                            ];
+                            if let Some(ms) = job.deadline_ms {
+                                members.push(("deadline_ms", JsonValue::from(ms)));
+                            }
+                            JsonValue::object(members)
+                        })),
+                    ),
+                ];
+                if !tag.is_empty() {
+                    pairs.push(("tag", JsonValue::from(tag.clone())));
+                }
+                JsonValue::object(pairs)
+            }
+            Request::Cancel { tag } => JsonValue::object([
+                ("type", JsonValue::from("cancel")),
+                ("tag", JsonValue::from(tag.clone())),
             ]),
             Request::Status => JsonValue::object([("type", JsonValue::from("status"))]),
             Request::Drain => JsonValue::object([("type", JsonValue::from("drain"))]),
@@ -382,15 +418,45 @@ impl Request {
                                 .ok_or_else(|| bad("\"args\" must be an array"))?
                                 .to_vec(),
                         };
+                        let deadline_ms = match job.get("deadline_ms") {
+                            None => None,
+                            Some(v) => Some(
+                                v.as_i64()
+                                    .and_then(|ms| u64::try_from(ms).ok())
+                                    .ok_or_else(|| {
+                                        bad("\"deadline_ms\" must be a non-negative integer")
+                                    })?,
+                            ),
+                        };
                         Ok(JobSpec {
                             hash,
                             analyses,
                             invoke,
                             args,
+                            deadline_ms,
                         })
                     })
                     .collect::<Result<Vec<_>, RequestError>>()?;
-                Ok(Request::Submit { jobs })
+                let tag = match value.get("tag") {
+                    None => String::new(),
+                    Some(v) => v
+                        .as_str()
+                        .ok_or_else(|| RequestError::bad("\"tag\" must be a string"))?
+                        .to_string(),
+                };
+                Ok(Request::Submit { jobs, tag })
+            }
+            "cancel" => {
+                let tag = value
+                    .get("tag")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| RequestError::bad("cancel has no string \"tag\""))?;
+                if tag.is_empty() {
+                    return Err(RequestError::bad("cancel tag must be non-empty"));
+                }
+                Ok(Request::Cancel {
+                    tag: tag.to_string(),
+                })
             }
             "status" => Ok(Request::Status),
             "drain" => Ok(Request::Drain),
@@ -463,6 +529,15 @@ impl ErrorCode {
         }
     }
 
+    /// Whether a client can reasonably retry the refused request later:
+    /// `queue_full` clears as results drain, `draining` clears when a
+    /// fresh daemon takes over the endpoint. Everything else (malformed
+    /// frames, unknown modules, bad arguments) will fail identically on
+    /// every retry and is fatal.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::QueueFull | ErrorCode::Draining)
+    }
+
     /// Parse a wire name.
     pub fn from_str(text: &str) -> Option<ErrorCode> {
         [
@@ -519,6 +594,16 @@ pub struct StatusReply {
     pub connections: u64,
     /// Request frames dispatched over the daemon's lifetime.
     pub requests: u64,
+    /// Jobs that exceeded their deadline (process-wide).
+    pub timeouts: u64,
+    /// Jobs cancelled via their cancel token (process-wide).
+    pub cancellations: u64,
+    /// Transient-failure retry attempts (process-wide).
+    pub retries: u64,
+    /// Batches load-shed to admit newer work (process-wide).
+    pub sheds: u64,
+    /// Faults injected by the failpoint registry (0 outside chaos runs).
+    pub faults_injected: u64,
 }
 
 /// One streamed per-job result.
@@ -566,6 +651,11 @@ pub enum Response {
     },
     /// Reply to `status`.
     Status(StatusReply),
+    /// Reply to `cancel`: how many in-flight jobs had their token fired.
+    Cancelled {
+        /// Jobs whose cancel token this request fired.
+        jobs: u64,
+    },
     /// Reply to `drain`: the daemon finishes `in_flight` jobs, then exits.
     Draining {
         /// Jobs still in flight at the moment of the drain request.
@@ -652,6 +742,15 @@ impl Response {
                 ("in_flight", JsonValue::from(s.in_flight)),
                 ("connections", JsonValue::from(s.connections)),
                 ("requests", JsonValue::from(s.requests)),
+                ("timeouts", JsonValue::from(s.timeouts)),
+                ("cancellations", JsonValue::from(s.cancellations)),
+                ("retries", JsonValue::from(s.retries)),
+                ("sheds", JsonValue::from(s.sheds)),
+                ("faults_injected", JsonValue::from(s.faults_injected)),
+            ]),
+            Response::Cancelled { jobs } => JsonValue::object([
+                ("type", JsonValue::from("cancelled")),
+                ("jobs", JsonValue::from(*jobs)),
             ]),
             Response::Draining { in_flight } => JsonValue::object([
                 ("type", JsonValue::from("draining")),
@@ -778,7 +877,15 @@ impl Response {
                 in_flight: u64_member("in_flight")?,
                 connections: u64_member("connections")?,
                 requests: u64_member("requests")?,
+                timeouts: u64_member("timeouts")?,
+                cancellations: u64_member("cancellations")?,
+                retries: u64_member("retries")?,
+                sheds: u64_member("sheds")?,
+                faults_injected: u64_member("faults_injected")?,
             })),
+            "cancelled" => Ok(Response::Cancelled {
+                jobs: u64_member("jobs")?,
+            }),
             "draining" => Ok(Response::Draining {
                 in_flight: u64_member("in_flight")?,
             }),
@@ -873,7 +980,9 @@ mod tests {
                 analyses: vec!["instruction_mix".to_string()],
                 invoke: "main".to_string(),
                 args: vec![JsonValue::UInt(3), JsonValue::Float(0.5)],
+                deadline_ms: None,
             }],
+            tag: String::new(),
         }
         .to_json();
         let mut pipe = Vec::new();
@@ -952,14 +1061,20 @@ mod tests {
                         analyses: vec![],
                         invoke: "main".to_string(),
                         args: vec![],
+                        deadline_ms: None,
                     },
                     JobSpec {
                         hash: "fnv64:ff".to_string(),
                         analyses: vec!["call_graph".to_string(), "taint_analysis".to_string()],
                         invoke: "run".to_string(),
                         args: vec![JsonValue::Int(-4)],
+                        deadline_ms: Some(250),
                     },
                 ],
+                tag: "batch-7".to_string(),
+            },
+            Request::Cancel {
+                tag: "batch-7".to_string(),
             },
             Request::Status,
             Request::Drain,
@@ -1039,7 +1154,13 @@ mod tests {
                 in_flight: 1,
                 connections: 2,
                 requests: 9,
+                timeouts: 1,
+                cancellations: 2,
+                retries: 3,
+                sheds: 1,
+                faults_injected: 0,
             }),
+            Response::Cancelled { jobs: 4 },
             Response::Draining { in_flight: 2 },
             Response::ShuttingDown,
             Response::Error {
@@ -1076,5 +1197,50 @@ mod tests {
             assert_eq!(ErrorCode::from_str(code.as_str()), Some(code));
         }
         assert_eq!(ErrorCode::from_str("nope"), None);
+    }
+
+    #[test]
+    fn only_backpressure_codes_are_retryable() {
+        assert!(ErrorCode::QueueFull.is_retryable());
+        assert!(ErrorCode::Draining.is_retryable());
+        for fatal in [
+            ErrorCode::MalformedFrame,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::UnknownRequest,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownModule,
+            ErrorCode::InvalidModule,
+        ] {
+            assert!(!fatal.is_retryable(), "{}", fatal.as_str());
+        }
+    }
+
+    #[test]
+    fn governance_members_are_optional_on_the_wire() {
+        // A submit without tag/deadline_ms — what every pre-existing raw
+        // protocol consumer sends — still parses, with the defaults.
+        let bare = JsonValue::object([
+            ("type", JsonValue::from("submit")),
+            (
+                "jobs",
+                JsonValue::array([JsonValue::object([("hash", JsonValue::from("fnv64:00"))])]),
+            ),
+        ]);
+        let Ok(Request::Submit { jobs, tag }) = Request::from_json(&bare) else {
+            panic!("bare submit must parse");
+        };
+        assert_eq!(tag, "");
+        assert_eq!(jobs[0].deadline_ms, None);
+
+        // Cancel requires a non-empty tag (an empty one could never have
+        // been attached to a submit).
+        let empty = JsonValue::object([
+            ("type", JsonValue::from("cancel")),
+            ("tag", JsonValue::from("")),
+        ]);
+        assert!(matches!(
+            Request::from_json(&empty),
+            Err(RequestError::Bad(_))
+        ));
     }
 }

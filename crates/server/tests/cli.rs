@@ -427,3 +427,191 @@ fn time_flag_prints_phase_breakdown_in_both_modes() {
     assert!(stderr.contains(" instrument "), "{stderr}");
     assert!(stderr.contains(" encode "), "{stderr}");
 }
+
+// ---------------------------------------------------------------------
+// `wasabi client` against a live daemon: exit status + one-line errors
+// (retryable vs fatal), deadlines from the command line, cancel.
+// ---------------------------------------------------------------------
+
+use wasabi_analyses::registry;
+use wasabi_server::{Client, Server, ServerConfig};
+
+fn daemon(name: &str) -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+    daemon_with(name, ServerConfig::new(registry::by_name))
+}
+
+fn daemon_with(
+    name: &str,
+    config: ServerConfig,
+) -> (PathBuf, std::thread::JoinHandle<std::io::Result<()>>) {
+    let path = std::env::temp_dir().join(format!(
+        "wasabi-cli-daemon-{name}-{}.sock",
+        std::process::id()
+    ));
+    let server = Server::bind_unix(&path, config).expect("binds");
+    let serve = std::thread::spawn(move || server.serve());
+    (path, serve)
+}
+
+fn shutdown_daemon(path: &std::path::Path, serve: std::thread::JoinHandle<std::io::Result<()>>) {
+    let mut client = Client::connect_unix(path).expect("connects");
+    client.shutdown().expect("shuts down");
+    serve.join().expect("serve thread").expect("clean exit");
+}
+
+fn write_spin_fixture(dir: &std::path::Path) -> PathBuf {
+    let mut builder = ModuleBuilder::new();
+    builder.function("main", &[], &[], |f| {
+        f.block(None).loop_(None).br(0).end().end();
+    });
+    let path = dir.join("spin.wasm");
+    std::fs::write(&path, wasabi_wasm::encode::encode(&builder.finish())).expect("write");
+    path
+}
+
+#[test]
+fn client_with_no_daemon_exits_nonzero_with_one_line() {
+    let output = cli()
+        .args(["client", "--socket", "/nonexistent/wasabid.sock", "status"])
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot connect"), "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "one line: {stderr}");
+}
+
+#[test]
+fn fatal_daemon_refusals_exit_nonzero_with_a_fatal_line() {
+    let dir = temp_dir("client-fatal");
+    let garbage = dir.join("garbage.wasm");
+    std::fs::write(&garbage, b"not wasm").unwrap();
+    let (path, serve) = daemon("fatal");
+
+    let output = cli()
+        .args(["client", "--socket"])
+        .arg(&path)
+        .arg("submit")
+        .arg(&garbage)
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success(), "refusal must exit nonzero");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("fatal:"), "{stderr}");
+    assert!(stderr.contains("invalid_module"), "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "one line: {stderr}");
+
+    shutdown_daemon(&path, serve);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retryable_daemon_refusals_exit_nonzero_with_a_retryable_line() {
+    let dir = temp_dir("client-retryable");
+    let input = write_fixture(&dir);
+    let spin = write_spin_fixture(&dir);
+    // A draining daemon stops accepting *new* connections, so a fresh
+    // CLI process can never observe that refusal — queue_full is the
+    // retryable condition reachable from the outside. Bound the daemon
+    // at one job and pin that slot with a spinner.
+    let mut config = ServerConfig::new(registry::by_name);
+    config.max_pending = 1;
+    let (path, serve) = daemon_with("retryable", config);
+
+    let mut holder = Client::connect_unix(&path).expect("connects");
+    let (hash, _) = holder
+        .upload(&std::fs::read(&spin).unwrap())
+        .expect("uploads");
+    let held = std::thread::spawn(move || {
+        let mut stream = holder
+            .submit_tagged(
+                vec![wasabi_server::JobSpec {
+                    hash,
+                    analyses: vec![],
+                    invoke: "main".to_string(),
+                    args: vec![],
+                    deadline_ms: None,
+                }],
+                "hold",
+            )
+            .expect("submits");
+        let _ = stream.by_ref().count();
+    });
+    let mut op = Client::connect_unix(&path).expect("connects");
+    while op.status().expect("status").in_flight < 1 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let output = cli()
+        .args(["client", "--socket"])
+        .arg(&path)
+        .arg("submit")
+        .arg(&input)
+        .args(["--invoke", "f", "--args", "3"])
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success(), "refusal must exit nonzero");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("retryable:"), "{stderr}");
+    assert!(stderr.contains("queue_full"), "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "one line: {stderr}");
+
+    // Release the pinned job, then shut down cleanly.
+    while op.cancel("hold").expect("cancel") == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    held.join().expect("holder thread");
+    shutdown_daemon(&path, serve);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_flag_times_out_a_spinning_module_with_nonzero_exit() {
+    let dir = temp_dir("client-deadline");
+    let spin = write_spin_fixture(&dir);
+    let (path, serve) = daemon("deadline");
+
+    let output = cli()
+        .args(["client", "--socket"])
+        .arg(&path)
+        .arg("submit")
+        .arg(&spin)
+        .args(["--deadline-ms", "100"])
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success(), "a failed job must exit nonzero");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("FAILED"), "{stderr}");
+    assert!(stderr.contains("deadline"), "{stderr}");
+    assert!(stderr.contains("1 job(s) failed"), "{stderr}");
+
+    // The daemon survived the timeout and still answers.
+    let output = cli()
+        .args(["client", "--socket"])
+        .arg(&path)
+        .arg("status")
+        .output()
+        .expect("CLI runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"timeouts\":1"), "{stdout}");
+
+    shutdown_daemon(&path, serve);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_command_reports_the_fired_count() {
+    let (path, serve) = daemon("cancel");
+
+    let output = cli()
+        .args(["client", "--socket"])
+        .arg(&path)
+        .args(["cancel", "no-such-tag"])
+        .output()
+        .expect("CLI runs");
+    assert!(output.status.success(), "cancel of an idle tag is a no-op");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cancelled 0 job(s)"), "{stderr}");
+
+    shutdown_daemon(&path, serve);
+}

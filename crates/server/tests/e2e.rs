@@ -15,7 +15,6 @@
 //!   structured `draining` error, the daemon exits cleanly.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wasabi::event::{AnalysisCtx, BinaryEvt};
@@ -45,6 +44,7 @@ fn spec(hash: &str, analyses: &[&str]) -> JobSpec {
         analyses: analyses.iter().map(|s| s.to_string()).collect(),
         invoke: "main".to_string(),
         args: vec![],
+        deadline_ms: None,
     }
 }
 
@@ -295,6 +295,7 @@ fn raw_protocol_round_trip_matches_typed_client() {
         &mut conn,
         &Request::Submit {
             jobs: vec![spec(&hash, &["call_graph"])],
+            tag: String::new(),
         }
         .to_json(),
     )

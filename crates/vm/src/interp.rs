@@ -34,6 +34,7 @@ use wasabi_wasm::instr::{FunctionSpace, GlobalOp, Idx, Instr, Val};
 use wasabi_wasm::module::{GlobalKind, Module};
 use wasabi_wasm::validate::validate;
 
+use crate::budget::{Budget, BUDGET_POLL_INTERVAL};
 use crate::flat::{
     self, ArgSrc, HookImport, InstrumentedFunc, ModuleCode, Op, TranslateOptions, RETURN_TARGET,
 };
@@ -403,6 +404,12 @@ pub struct Instance {
     pub(crate) table: Option<FuncTable>,
     pub(crate) globals: Vec<Val>,
     pub(crate) fuel: Option<u64>,
+    /// Optional resource governance (deadline / cancellation / memory
+    /// cap), polled every [`BUDGET_POLL_INTERVAL`] weight units.
+    budget: Option<Budget>,
+    /// Weight units until the next budget poll; counts down only while a
+    /// budget is attached.
+    poll_countdown: u64,
     pub(crate) executed_instrs: u64,
     pub(crate) max_call_depth: usize,
     /// Host calls dispatched through the intrinsic fast path
@@ -542,6 +549,8 @@ impl Instance {
             table,
             globals,
             fuel: None,
+            budget: None,
+            poll_countdown: BUDGET_POLL_INTERVAL,
             executed_instrs: 0,
             max_call_depth: DEFAULT_MAX_CALL_DEPTH,
             host_calls_fast: 0,
@@ -561,6 +570,28 @@ impl Instance {
     /// after this many instructions. `None` disables the limit.
     pub fn set_fuel(&mut self, fuel: Option<u64>) {
         self.fuel = fuel;
+    }
+
+    /// Attach (or detach, with `None`) a resource [`Budget`]: wall-clock
+    /// deadline, cooperative cancellation, and/or a memory-growth cap.
+    /// With no budget the hot loop pays one hoisted branch, exactly like
+    /// disabled fuel.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.budget = budget;
+        self.poll_countdown = BUDGET_POLL_INTERVAL;
+    }
+
+    /// Poll the attached budget's deadline/token and rearm the countdown.
+    /// Out of line: it runs at most once per [`BUDGET_POLL_INTERVAL`]
+    /// weight units and must not bloat the dispatch loop.
+    #[cold]
+    #[inline(never)]
+    fn check_budget(&mut self) -> Result<(), Trap> {
+        self.poll_countdown = BUDGET_POLL_INTERVAL;
+        match &self.budget {
+            Some(budget) => budget.check(),
+            None => Ok(()),
+        }
     }
 
     /// Limit on nested WebAssembly calls (default
@@ -888,8 +919,12 @@ impl Instance {
 
         // Fuel cannot appear mid-run (only `set_fuel` between invocations
         // installs it), so the common no-fuel case pays one predictable
-        // branch per op instead of an `Option` inspection.
+        // branch per op instead of an `Option` inspection. The budget
+        // check is hoisted the same way: ungoverned runs see one
+        // never-taken branch, governed runs decrement a countdown and
+        // touch the clock/token only when it hits zero.
         let fuel_active = self.fuel.is_some();
+        let budget_active = self.budget.is_some();
 
         loop {
             let op = &ops[pc];
@@ -905,6 +940,12 @@ impl Instance {
                     return Err(Trap::OutOfFuel);
                 }
                 *fuel -= w;
+            }
+            if budget_active {
+                self.poll_countdown = self.poll_countdown.saturating_sub(w);
+                if self.poll_countdown == 0 {
+                    self.check_budget()?;
+                }
             }
 
             match op {
@@ -1047,6 +1088,18 @@ impl Instance {
                 }
                 Op::MemoryGrow => {
                     let delta = pop_i32!() as u32;
+                    if budget_active {
+                        if let Some(cap) = self.budget.as_ref().and_then(Budget::memory_cap) {
+                            let current = self
+                                .memory
+                                .as_ref()
+                                .expect("validated: memory exists")
+                                .size_pages();
+                            if current.saturating_add(delta) > cap {
+                                return Err(Trap::MemoryLimit);
+                            }
+                        }
+                    }
                     let memory = self.memory.as_mut().expect("validated: memory exists");
                     stack.push(Val::I32(memory.grow(delta)));
                 }
@@ -1867,5 +1920,108 @@ mod tests {
             vec![Instr::End],
         );
         assert!(TranslatedModule::new(module).is_err());
+    }
+
+    /// `loop (br 0)`: spins forever unless something preempts it.
+    fn spin_module() -> Module {
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.function("spin", &[], &[], |f| {
+            f.block(None).loop_(None).br(0).end().end();
+        });
+        builder.finish()
+    }
+
+    #[test]
+    fn deadline_preempts_an_infinite_loop() {
+        use crate::budget::Budget;
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(spin_module(), &mut host).unwrap();
+        instance.set_budget(Some(
+            Budget::new().deadline(std::time::Duration::from_millis(20)),
+        ));
+        let start = std::time::Instant::now();
+        let err = instance.invoke_export("spin", &[], &mut host).unwrap_err();
+        assert_eq!(err, Trap::DeadlineExceeded);
+        // Generous bound: the poll interval reacts in microseconds; the
+        // assertion only guards against the check not firing at all.
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_execution_within_one_interval() {
+        use crate::budget::{Budget, CancelToken};
+        let token = CancelToken::new();
+        token.cancel();
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(spin_module(), &mut host).unwrap();
+        instance.set_budget(Some(Budget::new().cancel_token(token)));
+        let err = instance.invoke_export("spin", &[], &mut host).unwrap_err();
+        assert_eq!(err, Trap::Cancelled);
+        // At most one poll interval of work ran (plus the op that tripped).
+        assert!(instance.executed_instrs() <= BUDGET_POLL_INTERVAL + 1);
+    }
+
+    #[test]
+    fn memory_cap_converts_grow_into_a_trap() {
+        use crate::budget::Budget;
+        let mut builder = ModuleBuilder::new();
+        builder.memory(1, None);
+        builder.function("f", &[], &[ValType::I32], |f| {
+            f.i32_const(4).memory_grow();
+        });
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(builder.finish(), &mut host).unwrap();
+
+        // Under the cap: behaves exactly like an ungoverned grow.
+        instance.set_budget(Some(Budget::new().max_memory_pages(8)));
+        assert_eq!(
+            instance.invoke_export("f", &[], &mut host).unwrap(),
+            vec![Val::I32(1)]
+        );
+
+        // 5 pages + 4 > 8: trap instead of growing.
+        let err = instance.invoke_export("f", &[], &mut host).unwrap_err();
+        assert_eq!(err, Trap::MemoryLimit);
+        assert_eq!(instance.memory().unwrap().size_pages(), 5);
+    }
+
+    #[test]
+    fn no_budget_execution_is_bit_identical() {
+        use crate::budget::Budget;
+        let mut builder = ModuleBuilder::new();
+        builder.function("sum", &[ValType::I32], &[ValType::I32], |f| {
+            let i = f.local(ValType::I32);
+            let acc = f.local(ValType::I32);
+            f.block(None).loop_(None);
+            f.get_local(i)
+                .get_local(0u32)
+                .binary(BinaryOp::I32GeS)
+                .br_if(1);
+            f.get_local(acc).get_local(i).i32_add().set_local(acc);
+            f.get_local(i).i32_const(1).i32_add().set_local(i);
+            f.br(0).end().end();
+            f.get_local(acc);
+        });
+        let translated = TranslatedModule::new(builder.finish()).unwrap();
+        let mut host = EmptyHost;
+
+        let mut plain = Instance::instantiate_translated(&translated, &mut host).unwrap();
+        let r1 = plain
+            .invoke_export("sum", &[Val::I32(5000)], &mut host)
+            .unwrap();
+
+        // An attached-but-unlimited budget must not change results or the
+        // instruction count (the budget path only reads the clock).
+        let mut governed = Instance::instantiate_translated(&translated, &mut host).unwrap();
+        governed.set_budget(Some(
+            Budget::new().deadline(std::time::Duration::from_secs(600)),
+        ));
+        let r2 = governed
+            .invoke_export("sum", &[Val::I32(5000)], &mut host)
+            .unwrap();
+
+        assert_eq!(r1, r2);
+        assert_eq!(plain.executed_instrs(), governed.executed_instrs());
     }
 }

@@ -18,13 +18,16 @@
 //! - implements all numeric semantics of the spec ([`numeric`]): wrapping
 //!   integer arithmetic, trapping division and float→int truncation,
 //!   NaN-propagating `min`/`max`, round-ties-even `nearest`,
-//! - implements all traps, plus host-side fuel and call-depth limits,
+//! - implements all traps, plus host-side fuel and call-depth limits and
+//!   an optional [`Budget`] (wall-clock deadline, cooperative
+//!   cancellation, memory-growth cap) polled from the hot loop,
 //! - counts executed instructions ([`Instance::executed_instrs`]), which the
 //!   benchmark harness uses as a deterministic cost metric alongside wall
 //!   time.
 //!
 //! See [`Instance`] for the entry point.
 
+pub mod budget;
 mod codec;
 mod flat;
 pub mod host;
@@ -35,6 +38,7 @@ pub mod reference;
 pub mod table;
 pub mod trap;
 
+pub use budget::{Budget, CancelToken, BUDGET_POLL_INTERVAL};
 pub use flat::{HookImport, InstrumentedFunc};
 pub use host::{EmptyHost, Host, HostCtx, HostFuncId, HostFunctions};
 pub use interp::{Instance, TranslatedModule, DEFAULT_MAX_CALL_DEPTH};

@@ -29,6 +29,15 @@ pub enum Trap {
     CallStackExhausted,
     /// The configured fuel budget was exhausted (host-side, not in the spec).
     OutOfFuel,
+    /// The wall-clock deadline of the active [`Budget`](crate::Budget)
+    /// passed (host-side, not in the spec).
+    DeadlineExceeded,
+    /// Execution was cancelled through a [`CancelToken`](crate::CancelToken)
+    /// (host-side, not in the spec).
+    Cancelled,
+    /// `memory.grow` would exceed the budget's memory cap (host-side; the
+    /// spec would return -1, but a governed run fails loudly instead).
+    MemoryLimit,
     /// A host function failed.
     HostError(String),
 }
@@ -46,6 +55,9 @@ impl fmt::Display for Trap {
             Trap::IndirectCallTypeMismatch => f.write_str("indirect call type mismatch"),
             Trap::CallStackExhausted => f.write_str("call stack exhausted"),
             Trap::OutOfFuel => f.write_str("fuel exhausted"),
+            Trap::DeadlineExceeded => f.write_str("deadline exceeded"),
+            Trap::Cancelled => f.write_str("execution cancelled"),
+            Trap::MemoryLimit => f.write_str("memory limit exceeded"),
             Trap::HostError(msg) => write!(f, "host error: {msg}"),
         }
     }
@@ -111,6 +123,9 @@ mod tests {
             Trap::HostError("boom".into()).to_string(),
             "host error: boom"
         );
+        assert_eq!(Trap::DeadlineExceeded.to_string(), "deadline exceeded");
+        assert_eq!(Trap::Cancelled.to_string(), "execution cancelled");
+        assert_eq!(Trap::MemoryLimit.to_string(), "memory limit exceeded");
     }
 
     #[test]

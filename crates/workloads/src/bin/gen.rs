@@ -14,14 +14,27 @@
 
 use std::process::ExitCode;
 
-use wasabi_workloads::synthetic::{synthetic_app, SyntheticConfig};
+use wasabi_workloads::synthetic::{spin, synthetic_app, SyntheticConfig};
 use wasabi_workloads::{compile, polybench};
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `spin` takes no parameters: `gen spin <output.wasm>`.
+    if let ["spin", output] = args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        let bytes = wasabi_wasm::encode::encode(&spin());
+        std::fs::write(output, &bytes).map_err(|e| format!("cannot write {output}: {e}"))?;
+        println!("wrote {output}: {} bytes", bytes.len());
+        return Ok(());
+    }
     let [kind, ident, size, output] = args.as_slice() else {
         return Err(format!(
             "usage: gen <kernel|app> <name|seed> <size> <output.wasm>\n\
+             \x20      gen spin <output.wasm>\n\
              kernels: {}",
             polybench::NAMES.join(", ")
         ));

@@ -407,6 +407,17 @@ pub fn miner(rounds: i32) -> Module {
     builder.finish()
 }
 
+/// A module whose `main` loops forever: the adversarial workload for
+/// deadline/cancellation testing — only resource governance (a deadline,
+/// a cancel token, or fuel) can stop it.
+pub fn spin() -> Module {
+    let mut builder = ModuleBuilder::new();
+    builder.function("main", &[], &[], |f| {
+        f.block(None).loop_(None).br(0).end().end();
+    });
+    builder.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +435,18 @@ mod tests {
             .invoke_export("main", &[], &mut host)
             .expect("runs");
         assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn spin_validates_and_only_fuel_stops_it() {
+        let module = spin();
+        validate(&module).expect("valid");
+        let mut host = EmptyHost;
+        let mut instance = Instance::instantiate(module, &mut host).expect("instantiates");
+        instance.set_fuel(Some(100_000));
+        instance
+            .invoke_export("main", &[], &mut host)
+            .expect_err("an ungoverned spin never returns; fuel must trap it");
     }
 
     #[test]
