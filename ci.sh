@@ -16,6 +16,13 @@ echo "==> differential oracle (PROPTEST_CASES=64)"
 PROPTEST_CASES=64 cargo test -q --test instrumented_differential
 PROPTEST_CASES=64 cargo test -q -p wasabi-vm --test zero_cost_unsubscribed
 
+# Cohort differential gate: N interleaved instances must stay
+# bit-identical to N sequential runs (results, traps, instruction
+# counts, memory, globals) across random modules, chunk sizes, fuel
+# limits, and budget preemption.
+echo "==> cohort differential (PROPTEST_CASES=64)"
+PROPTEST_CASES=64 cargo test -q -p wasabi-vm --test cohort_vs_sequential
+
 # Chaos gate: the seeded fault-injection suite. Failpoints fire inside
 # the disk cache, the build slots, the fleet workers, and the server
 # frame layer; every injected fault must degrade to a structured error
@@ -61,6 +68,9 @@ cargo run --release -q -p wasabi-bench --bin fleet -- --smoke --out /tmp/BENCH_f
 
 echo "==> bench smoke (parallel --smoke)"
 cargo run --release -q -p wasabi-bench --bin parallel -- --smoke --out /tmp/BENCH_parallel_smoke.json >/dev/null
+
+echo "==> bench smoke (cohort --smoke)"
+cargo run --release -q -p wasabi-bench --bin cohort -- --smoke --out /tmp/BENCH_cohort_smoke.json >/dev/null
 
 # Parallel-build + persistent-cache gate: a disk-warm process start must
 # load prepared sessions at least 2x faster than a cold build (committed
@@ -119,6 +129,29 @@ print(f"    fleet warm-vs-cold: committed {ratio:.2f}x, smoke {smoke_ratio:.2f}x
       f"(>= 1.5x; amortization {committed['amortization_warm_vs_cold_1worker']:.2f}x, "
       f"worker scaling {committed['scaling_1worker_to_allcores_warm']:.2f}x "
       f"on {committed['cores']} core(s))")
+EOF
+
+# Cohort-sweep gate: one N-input sweep through `Pipeline::run_cohort`
+# must beat N fleet jobs on a warm cache by >= 1.5x (committed AND fresh
+# smoke) — both arms at 1 worker, so the ratio measures the per-job
+# overhead (dispatch, host-plan build, analysis instantiation) the
+# cohort amortizes, not parallelism. Re-record with:
+#   cargo run --release -p wasabi-bench --bin cohort
+echo "==> perf gate: BENCH_cohort.json (cohort >= 1.5x warm 1-worker fleet)"
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_cohort.json") as f:
+    committed = json.load(f)
+with open("/tmp/BENCH_cohort_smoke.json") as f:
+    smoke = json.load(f)
+for label, data in (("committed", committed), ("smoke", smoke)):
+    ratio = data["speedup_cohort_vs_fleet"]
+    if ratio < 1.5:
+        sys.exit(f"cohort sweep speedup regressed ({label}): "
+                 f"{ratio:.3f}x < 1.5x warm 1-worker fleet")
+print(f"    cohort vs warm fleet: committed "
+      f"{committed['speedup_cohort_vs_fleet']:.2f}x ({committed['inputs']} inputs), "
+      f"smoke {smoke['speedup_cohort_vs_fleet']:.2f}x (>= 1.5x)")
 EOF
 
 # Host-call intrinsics + direct-emit gate: the committed baseline must
@@ -388,5 +421,43 @@ fi
 wait "$WASABID_PID"
 WASABID_PID=""
 echo "    governance: deadline e2e verified"
+
+# Cohort e2e: a `sweep_args` job expands daemon-side into one cohort and
+# streams ONE result frame per instance, tagged with its index — the
+# aggregate analysis reports ride the last instance's frame.
+echo "==> server e2e: sweep_args job streams one frame per instance"
+SOCK4="$SMOKE_DIR/wasabid-sweep.sock"
+cat >"$SMOKE_DIR/sweep-args.json" <<'EOF'
+[[], [], []]
+EOF
+target/release/wasabid --socket "$SOCK4" --workers 2 2>"$SMOKE_DIR/wasabid-sweep.log" &
+WASABID_PID=$!
+for _ in $(seq 1 200); do [ -S "$SOCK4" ] && break; sleep 0.05; done
+[ -S "$SOCK4" ] || { cat "$SMOKE_DIR/wasabid-sweep.log"; echo "wasabid (sweep) did not come up"; exit 1; }
+target/release/wasabi-client --socket "$SOCK4" submit "$SMOKE_DIR/gemm.wasm" \
+    --analyses instruction_mix --sweep-args "$SMOKE_DIR/sweep-args.json" \
+    >"$SMOKE_DIR/sweep.jsonl" 2>/dev/null
+python3 - "$SMOKE_DIR/sweep.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    frames = [json.loads(line) for line in f]
+assert len(frames) == 3, f"expected one frame per instance, got {len(frames)}"
+assert [f["instance"] for f in frames] == [0, 1, 2], frames
+assert len({f["job"] for f in frames}) == 1, "all frames belong to one job"
+assert all(f["results"] == frames[0]["results"] for f in frames), (
+    "identical inputs must produce identical per-instance results")
+assert all(not f["reports"] for f in frames[:-1]), (
+    "aggregate reports must ride only the last frame")
+assert frames[-1]["reports"], "the last frame carries the analysis reports"
+print(f"    sweep: 3 instance frames, reports on frame {frames[-1]['instance']} only")
+EOF
+target/release/wasabi-client --socket "$SOCK4" drain 2>/dev/null
+for _ in $(seq 1 200); do kill -0 "$WASABID_PID" 2>/dev/null || break; sleep 0.05; done
+if kill -0 "$WASABID_PID" 2>/dev/null; then
+    echo "wasabid (sweep) did not exit after drain"; exit 1
+fi
+wait "$WASABID_PID"
+WASABID_PID=""
+echo "    cohort: sweep_args e2e verified"
 
 echo "ci.sh: all checks passed"

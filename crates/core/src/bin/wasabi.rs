@@ -27,6 +27,21 @@
 //! Reports go to stdout (one JSON object per line), or to
 //! `<dir>/<analysis>.json` each when `--out` is given.
 //!
+//! **Sweep mode** (`--sweep`): run ONE module against MANY input vectors
+//! as a cohort — one instrumentation + translation pass, N instances
+//! sharing the translated code and stepped in interleaved rounds (see
+//! [`wasabi::Pipeline::run_cohort`]):
+//!
+//! ```text
+//! wasabi <input.wasm> --sweep <args.json> [--analysis=<a1,...>] \
+//!        [--invoke=<export>] [--out=<dir>] [--threads=<n>]
+//! ```
+//!
+//! `<args.json>` is a JSON array of argument arrays, one per instance,
+//! e.g. `[[1], [2], [3]]`. One result JSON object per instance goes to
+//! stdout; analysis reports (with per-instance events tagged by
+//! `instance`) follow the `--analysis` conventions above.
+//!
 //! **Batch mode** (`--batch`): run many (module × analysis-set × input)
 //! jobs from a JSON manifest over the work-stealing [`wasabi::fleet`],
 //! sharing one translated-module cache — each distinct
@@ -45,10 +60,17 @@
 //!   "jobs": [
 //!     {"module": "kernels/gemm.wasm", "analyses": ["instruction_mix"],
 //!      "invoke": "main", "args": [8]},
-//!     {"module": "kernels/gemm.wasm", "analyses": ["call_graph"]}
+//!     {"module": "kernels/gemm.wasm", "analyses": ["call_graph"]},
+//!     {"module": "kernels/gemm.wasm", "invoke": "main",
+//!      "sweep": [[1], [2], [3]]}
 //!   ]
 //! }
 //! ```
+//!
+//! A job with `"sweep"` (mutually exclusive with `"args"`) expands into
+//! one cohort: every inner array is typed against the invoked export's
+//! signature and becomes one instance, and the job's result carries one
+//! per-instance outcome.
 //!
 //! One result JSON object per job goes to stdout (or, with `--out`, a
 //! `<dir>/job<N>.json` summary plus one `<dir>/job<N>.<analysis>.json`
@@ -83,6 +105,8 @@ struct Args {
     report_dir: Option<PathBuf>,
     /// Print a per-phase wall-time breakdown.
     time: bool,
+    /// Input-vector file for sweep (cohort) mode.
+    sweep: Option<PathBuf>,
     /// Manifest path for batch mode.
     batch: Option<PathBuf>,
     /// Fleet worker threads for batch mode.
@@ -95,6 +119,8 @@ fn usage() -> &'static str {
     "usage: wasabi <input.wasm> [<output_dir>] [--hooks=<h1,h2,...>] [--threads=<n>] [--wat]\n\
      \x20      wasabi <input.wasm> --analysis=<a1,a2,...> [--invoke=<export>]\n\
      \x20             [--args=<v1,v2,...>] [--out=<dir>] [--threads=<n>]\n\
+     \x20      wasabi <input.wasm> --sweep <args.json> [--analysis=<a1,...>]\n\
+     \x20             [--invoke=<export>] [--out=<dir>] [--threads=<n>]\n\
      \x20      wasabi --batch <manifest.json> [--workers=<n>] [--disk-cache=<dir>]\n\
      \x20             [--out=<dir>] [--time]\n\
      hooks: start nop unreachable if br br_if br_table begin end memory_size\n\
@@ -109,6 +135,10 @@ fn usage() -> &'static str {
      --invoke selects the export to run (default: main); --args passes\n\
      comma-separated numeric arguments, parsed against its signature\n\
      --wat additionally writes a human-readable dump of the instrumented module\n\
+     --sweep runs the module once per input vector in <args.json> (a JSON\n\
+     array of argument arrays, e.g. [[1],[2],[3]]) as ONE cohort sharing\n\
+     the translated module, printing one result JSON object per instance;\n\
+     analysis events carry the instance index\n\
      --time prints a phase breakdown (fused build/execute ms in analysis\n\
      mode; decode/instrument/encode ms in instrument mode; summed per-job\n\
      phases in batch mode)\n\
@@ -137,6 +167,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut invoke_args = Vec::new();
     let mut report_dir = None;
     let mut time = false;
+    let mut sweep = None;
     let mut batch = None;
     let mut workers = None;
     let mut disk_cache = None;
@@ -202,6 +233,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 n.parse::<usize>()
                     .map_err(|_| format!("invalid thread count {n:?}"))?,
             );
+        } else if let Some(path) = take_value(&arg, "--sweep") {
+            sweep = Some(PathBuf::from(path?));
         } else if let Some(path) = take_value(&arg, "--batch") {
             batch = Some(PathBuf::from(path?));
         } else if let Some(n) = take_value(&arg, "--workers") {
@@ -228,6 +261,31 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     // The modes take disjoint options; reject silently-ignored
     // combinations instead of letting e.g. `--hooks` be overridden by the
     // analyses' union hook set.
+    if sweep.is_some() {
+        if batch.is_some() {
+            return Err(format!(
+                "--sweep cannot be combined with --batch\n{}",
+                usage()
+            ));
+        }
+        if !invoke_args.is_empty() {
+            return Err(format!(
+                "--sweep takes its inputs from the sweep file; it cannot be \
+                 combined with --args\n{}",
+                usage()
+            ));
+        }
+        if hooks_given || emit_wat || output_dir.is_some() {
+            return Err(format!(
+                "--sweep cannot be combined with --hooks, --wat, or an \
+                 output directory (use --out for reports)\n{}",
+                usage()
+            ));
+        }
+        if input.is_none() {
+            return Err(format!("--sweep requires an input module\n{}", usage()));
+        }
+    }
     if !analyses.is_empty() && (hooks_given || emit_wat || output_dir.is_some()) {
         return Err(format!(
             "--analysis cannot be combined with --hooks, --wat, or an \
@@ -270,6 +328,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         invoke_args,
         report_dir,
         time,
+        sweep,
         batch,
         workers,
         disk_cache,
@@ -304,6 +363,119 @@ fn parse_invoke_args(raw: &[String], params: &[ValType]) -> Result<Vec<Val>, Str
             parsed.ok_or_else(|| format!("invalid {ty} argument {text:?}"))
         })
         .collect()
+}
+
+/// Parse a JSON array-of-arrays of sweep inputs against the invoked
+/// export's parameter types.
+fn parse_sweep_inputs(value: &JsonValue, params: &[ValType]) -> Result<Vec<Vec<Val>>, String> {
+    let rows = value
+        .as_array()
+        .ok_or_else(|| "sweep inputs must be a JSON array of argument arrays".to_string())?;
+    if rows.is_empty() {
+        return Err("sweep inputs are empty (need at least one argument array)".to_string());
+    }
+    rows.iter()
+        .enumerate()
+        .map(|(index, row)| {
+            let row = row
+                .as_array()
+                .ok_or_else(|| format!("sweep entry {index} must be an array"))?;
+            typed_args(row, params).map_err(|e| format!("sweep entry {index}: {e}"))
+        })
+        .collect()
+}
+
+/// Render one cohort member's result for JSON output.
+fn sweep_result_json<E: std::fmt::Display>(result: &Result<Vec<Val>, E>) -> JsonValue {
+    match result {
+        Ok(values) => JsonValue::array(values.iter().map(|v| JsonValue::Str(format!("{v:?}")))),
+        Err(error) => JsonValue::object([("error", JsonValue::Str(error.to_string()))]),
+    }
+}
+
+/// Sweep mode: one module, many input vectors, executed as ONE cohort —
+/// a single instrumentation + translation pass shared by all instances.
+fn run_sweep(args: &Args, sweep_path: &Path) -> Result<(), String> {
+    let input = args.input.as_ref().expect("checked in parse_args");
+    let module = decode_input(input)?;
+    let text = std::fs::read_to_string(sweep_path)
+        .map_err(|e| format!("cannot read {}: {e}", sweep_path.display()))?;
+    let parsed =
+        json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", sweep_path.display()))?;
+    let params = export_params(&module, &args.invoke)?;
+    let inputs = parse_sweep_inputs(&parsed, &params)
+        .map_err(|e| format!("{}: {e}", sweep_path.display()))?;
+
+    let mut analyses: Vec<Box<dyn Analysis>> = args
+        .analyses
+        .iter()
+        .map(|name| registry::by_name(name).expect("validated during parsing"))
+        .collect();
+    let mut builder = Wasabi::builder();
+    for analysis in &mut analyses {
+        builder = builder.analysis(analysis.as_mut());
+    }
+    if let Some(threads) = args.threads {
+        builder = builder.threads(threads);
+    }
+
+    let build_before = stats::fused_build_time();
+    let start = Instant::now();
+    let mut pipeline = builder
+        .build(&module)
+        .map_err(|e| format!("module does not validate: {e}"))?;
+    let build_ms = (stats::fused_build_time() - build_before).as_secs_f64() * 1000.0;
+
+    let execute_start = Instant::now();
+    let outcomes = pipeline.run_cohort(&args.invoke, &inputs);
+    let execute_ms = execute_start.elapsed().as_secs_f64() * 1000.0;
+    let elapsed = start.elapsed();
+
+    let mut traps = 0usize;
+    for (instance, outcome) in outcomes.iter().enumerate() {
+        if outcome.result.is_err() {
+            traps += 1;
+        }
+        let line = JsonValue::object([
+            ("instance", JsonValue::from(instance as u64)),
+            ("result", sweep_result_json(&outcome.result)),
+            ("executed_instrs", JsonValue::from(outcome.executed_instrs)),
+            ("rounds", JsonValue::from(outcome.rounds)),
+        ]);
+        println!("{line}");
+    }
+
+    if args.time {
+        eprintln!(
+            "--time: build (fused instrument+translate) {build_ms:.1} ms, execute {execute_ms:.1} ms"
+        );
+    }
+    eprintln!(
+        "sweep done: {} instance(s) of {:?} as one cohort in {:.1} ms \
+         ({} analysis(es) fused, {} trap(s))",
+        outcomes.len(),
+        args.invoke,
+        elapsed.as_secs_f64() * 1000.0,
+        args.analyses.len(),
+        traps,
+    );
+
+    let reports = pipeline.reports();
+    if let Some(dir) = &args.report_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for report in &reports {
+            let path = dir.join(format!("{}.json", report.analysis));
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("  wrote {}", path.display());
+        }
+    } else {
+        for report in &reports {
+            println!("{}", report.to_json());
+        }
+    }
+    Ok(())
 }
 
 /// Batch mode: run the manifest's jobs over the work-stealing fleet with
@@ -375,13 +547,22 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
             .transpose()?
             .unwrap_or_else(|| "main".to_string());
         let params = export_params(&module, &invoke).map_err(|e| bad(&e))?;
-        let raw_args = job
-            .get("args")
-            .map(|v| v.as_array().ok_or_else(|| bad("\"args\" must be an array")))
-            .transpose()?
-            .unwrap_or(&[]);
-        let vals = typed_args(raw_args, &params).map_err(|e| bad(&e))?;
-        fleet.submit(Job::new(key, module, invoke, vals).analyses(analyses));
+        let job_spec = if let Some(sweep_json) = job.get("sweep") {
+            if job.get("args").is_some() {
+                return Err(bad("\"sweep\" and \"args\" are mutually exclusive"));
+            }
+            let inputs = parse_sweep_inputs(sweep_json, &params).map_err(|e| bad(&e))?;
+            Job::sweep(key, module, invoke, inputs)
+        } else {
+            let raw_args = job
+                .get("args")
+                .map(|v| v.as_array().ok_or_else(|| bad("\"args\" must be an array")))
+                .transpose()?
+                .unwrap_or(&[]);
+            let vals = typed_args(raw_args, &params).map_err(|e| bad(&e))?;
+            Job::new(key, module, invoke, vals)
+        };
+        fleet.submit(job_spec.analyses(analyses));
     }
 
     let job_count = fleet.len();
@@ -402,11 +583,22 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
             Ok(results) => {
                 let results =
                     JsonValue::array(results.iter().map(|v| JsonValue::Str(format!("{v:?}"))));
+                // A sweep job additionally records one outcome per cohort
+                // instance; plain jobs omit the field entirely.
+                let sweep = outcome.sweep.as_ref().map(|members| {
+                    JsonValue::array(members.iter().map(|m| {
+                        JsonValue::object([
+                            ("instance", JsonValue::from(u64::from(m.instance))),
+                            ("result", sweep_result_json(&m.result)),
+                            ("executed_instrs", JsonValue::from(m.executed_instrs)),
+                        ])
+                    }))
+                });
                 if let Some(dir) = &args.report_dir {
                     // Every job leaves a record, even one with no
                     // analyses: a summary with the invocation results,
                     // plus one file per analysis report.
-                    let summary = JsonValue::object([
+                    let mut pairs = vec![
                         ("job", JsonValue::from(outcome.job)),
                         ("module", JsonValue::Str(outcome.key.clone())),
                         ("invoke", JsonValue::Str(outcome.invoke.clone())),
@@ -420,7 +612,11 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
                                     .map(|r| JsonValue::Str(r.analysis.clone())),
                             ),
                         ),
-                    ]);
+                    ];
+                    if let Some(sweep) = sweep {
+                        pairs.push(("sweep", sweep));
+                    }
+                    let summary = JsonValue::object(pairs);
                     let path = dir.join(format!("job{}.json", outcome.job));
                     std::fs::write(&path, summary.to_string())
                         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -430,7 +626,7 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
                             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
                     }
                 } else {
-                    let line = JsonValue::object([
+                    let mut pairs = vec![
                         ("job", JsonValue::from(outcome.job)),
                         ("module", JsonValue::Str(outcome.key.clone())),
                         ("invoke", JsonValue::Str(outcome.invoke.clone())),
@@ -444,7 +640,11 @@ fn run_batch(args: &Args, manifest_path: &Path) -> Result<(), String> {
                                 ])
                             })),
                         ),
-                    ]);
+                    ];
+                    if let Some(sweep) = sweep {
+                        pairs.push(("sweep", sweep));
+                    }
+                    let line = JsonValue::object(pairs);
                     println!("{line}");
                 }
             }
@@ -641,6 +841,8 @@ fn run_instrument(args: &Args) -> Result<(), String> {
 fn run(args: &Args) -> Result<(), String> {
     if let Some(manifest) = &args.batch {
         run_batch(args, manifest)
+    } else if let Some(sweep) = &args.sweep {
+        run_sweep(args, sweep)
     } else if args.analyses.is_empty() {
         run_instrument(args)
     } else {

@@ -25,6 +25,11 @@ use crate::location::{BranchTarget, Location};
 pub struct AnalysisCtx<'a> {
     /// Location of the instruction that triggered the event.
     pub loc: Location,
+    /// Which cohort member triggered the event: 0 for ordinary
+    /// single-instance runs, the member index for
+    /// `Pipeline::run_cohort` sweeps. Analyses subscribe once and use
+    /// this to aggregate or partition per instance.
+    pub instance: u32,
     info: Option<&'a ModuleInfo>,
 }
 
@@ -33,13 +38,24 @@ impl<'a> AnalysisCtx<'a> {
     pub fn new(loc: Location, info: &'a ModuleInfo) -> Self {
         AnalysisCtx {
             loc,
+            instance: 0,
             info: Some(info),
         }
     }
 
     /// A bare context (no module info), for driving hooks directly.
     pub fn at(loc: Location) -> AnalysisCtx<'static> {
-        AnalysisCtx { loc, info: None }
+        AnalysisCtx {
+            loc,
+            instance: 0,
+            info: None,
+        }
+    }
+
+    /// The same context attributed to cohort member `instance`.
+    pub fn with_instance(mut self, instance: u32) -> Self {
+        self.instance = instance;
+        self
     }
 
     /// The static module info, if this event was dispatched by the runtime.

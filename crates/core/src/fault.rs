@@ -33,6 +33,8 @@
 //! | `disk/store`  | `DiskCache::store`, before writing       | write error (counted, not fatal)  |
 //! | `cache/build` | `ModuleCache` build slot, before a build | build retried/reported upstream   |
 //! | `fleet/job`   | fleet worker, before running a job       | `JobError::Transient` (retryable) |
+//! | `cohort/step` | cohort round loop, before a member step  | that one member retired with a    |
+//! |               | (`Pipeline::run_cohort`)                 | trap; siblings undisturbed        |
 //! | `server/frame`| daemon result-frame writer               | frame corrupted / write fails     |
 //!
 //! `panic` at any site must be *contained*: workers catch it, the daemon

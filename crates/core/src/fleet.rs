@@ -63,7 +63,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -117,6 +117,14 @@ pub struct Job {
     /// Cap on the job's linear memory, in 64 KiB pages; `memory.grow`
     /// past it fails the job with [`JobError::MemoryLimit`].
     pub max_memory_pages: Option<u32>,
+    /// `Some(inputs)` makes this a **sweep job**: the export is invoked
+    /// once per input vector, as one interleaved cohort sharing a single
+    /// instrumentation/translation/host-plan build (see
+    /// [`crate::pipeline::Pipeline::run_cohort`]), instead of expanding
+    /// into N fleet jobs. `args` is unused for sweep jobs. Per-input
+    /// results land in [`JobOutcome::sweep`]; governance (deadline,
+    /// cancellation, memory cap) applies to every member.
+    pub sweep: Option<Vec<Vec<Val>>>,
 }
 
 impl Job {
@@ -136,6 +144,21 @@ impl Job {
             deadline: None,
             cancel: None,
             max_memory_pages: None,
+            sweep: None,
+        }
+    }
+
+    /// A sweep job: invoke `invoke` once per entry of `inputs`, as one
+    /// cohort (see [`Job::sweep`]).
+    pub fn sweep(
+        key: impl Into<String>,
+        module: impl Into<Arc<Module>>,
+        invoke: impl Into<String>,
+        inputs: Vec<Vec<Val>>,
+    ) -> Self {
+        Job {
+            sweep: Some(inputs),
+            ..Job::new(key, module, invoke, Vec::new())
         }
     }
 
@@ -244,6 +267,18 @@ pub struct JobStats {
     pub retries: u32,
 }
 
+/// One cohort member's result within a sweep job's [`JobOutcome::sweep`].
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Member index = position of the input in [`Job::sweep`].
+    pub instance: u32,
+    /// The member's invocation results, or why it failed. Failures are
+    /// per-member: a trapping member does not fail its siblings.
+    pub result: Result<Vec<Val>, JobError>,
+    /// Instructions (weight units) the member executed.
+    pub executed_instrs: u64,
+}
+
 /// The outcome of one [`Job`], in the [`BatchResult`]'s submission-ordered
 /// list.
 #[derive(Debug)]
@@ -255,13 +290,21 @@ pub struct JobOutcome {
     pub key: String,
     /// The invoked export.
     pub invoke: String,
-    /// The invocation's results, or why the job failed.
+    /// The invocation's results, or why the job failed. For a sweep job
+    /// this is `Ok(vec![])` when the cohort ran (per-member results are in
+    /// [`JobOutcome::sweep`]); `Err` only for whole-job failures (unknown
+    /// analysis, invalid module, injected fleet fault).
     pub result: Result<Vec<Val>, JobError>,
     /// One report per analysis, in the job's analysis order — identical to
     /// what a sequential [`crate::pipeline::Pipeline`] run would report.
+    /// For a sweep job, analyses observe every member's events (tagged
+    /// with the instance index), so reports aggregate the whole sweep.
     pub reports: Vec<Report>,
     /// Per-job phase times and scheduling facts.
     pub stats: JobStats,
+    /// Per-member results of a sweep job, in input order; `None` for
+    /// ordinary jobs.
+    pub sweep: Option<Vec<SweepOutcome>>,
 }
 
 /// Everything a [`Fleet::run`] batch produced.
@@ -645,6 +688,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[derive(Default)]
 struct Watchdog {
     slots: Mutex<Vec<Option<(Instant, CancelToken)>>>,
+    /// Registered-and-unfired entries. When this is zero the scan thread
+    /// sleeps without touching the lock: a job that finished (or a cohort
+    /// whose members all retired) before its deadline stops consuming
+    /// watchdog ticks immediately, instead of its empty slot being
+    /// re-scanned until batch end.
+    active: AtomicUsize,
     done: AtomicBool,
 }
 
@@ -653,6 +702,7 @@ impl Watchdog {
 
     fn register(&self, expires: Instant, token: CancelToken) -> usize {
         let mut slots = self.slots.lock().expect("watchdog lock");
+        self.active.fetch_add(1, Ordering::Relaxed);
         if let Some(free) = slots.iter().position(Option::is_none) {
             slots[free] = Some((expires, token));
             free
@@ -663,7 +713,13 @@ impl Watchdog {
     }
 
     fn release(&self, slot: usize) {
-        self.slots.lock().expect("watchdog lock")[slot] = None;
+        // `take` so a slot the scan already fired is not double-counted.
+        if self.slots.lock().expect("watchdog lock")[slot]
+            .take()
+            .is_some()
+        {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 
     fn shut_down(&self) {
@@ -672,7 +728,7 @@ impl Watchdog {
 
     fn run(&self) {
         while !self.done.load(Ordering::Relaxed) {
-            {
+            if self.active.load(Ordering::Relaxed) > 0 {
                 let mut slots = self.slots.lock().expect("watchdog lock");
                 let now = Instant::now();
                 for slot in slots.iter_mut() {
@@ -680,6 +736,7 @@ impl Watchdog {
                         if now >= *expires {
                             token.fire_deadline();
                             *slot = None;
+                            self.active.fetch_sub(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -753,6 +810,7 @@ fn run_with_retries(
                 stolen: me != home,
                 retries: 0,
             },
+            sweep: None,
         });
         if let Some(slot) = slot {
             watchdog.release(slot);
@@ -814,6 +872,7 @@ fn run_job(
         result: Err(error),
         reports: Vec::new(),
         stats,
+        sweep: None,
     };
 
     // Failpoint: `error` → a retryable transient failure, `panic` →
@@ -851,6 +910,40 @@ fn run_job(
     }
     let mut pipeline = builder.build_shared(looked.session);
 
+    // A sweep job runs its whole input set as one interleaved cohort:
+    // one build, one pipeline, N instances. Per-member outcomes (traps
+    // included) land in `JobOutcome::sweep`.
+    if let Some(inputs) = &job.sweep {
+        let execute_started = Instant::now();
+        let outcomes = pipeline.run_cohort(&job.invoke, inputs);
+        stats.execute = execute_started.elapsed();
+        let reports = pipeline.reports();
+        drop(pipeline);
+        let sweep = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, outcome)| SweepOutcome {
+                instance: i as u32,
+                result: outcome.result.map_err(|trap| match trap {
+                    Trap::DeadlineExceeded => JobError::TimedOut,
+                    Trap::Cancelled => JobError::Cancelled,
+                    Trap::MemoryLimit => JobError::MemoryLimit,
+                    other => JobError::Run(AnalysisError::Trap(other)),
+                }),
+                executed_instrs: outcome.executed_instrs,
+            })
+            .collect();
+        return JobOutcome {
+            job: idx,
+            key: job.key.clone(),
+            invoke: job.invoke.clone(),
+            result: Ok(Vec::new()),
+            reports,
+            stats,
+            sweep: Some(sweep),
+        };
+    }
+
     let execute_started = Instant::now();
     let result = pipeline.run(&job.invoke, &job.args);
     stats.execute = execute_started.elapsed();
@@ -869,6 +962,7 @@ fn run_job(
         }),
         reports,
         stats,
+        sweep: None,
     }
 }
 

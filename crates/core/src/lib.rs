@@ -81,7 +81,9 @@ pub mod stats;
 pub use cache::{content_key, ModuleCache};
 pub use diskcache::DiskCache;
 pub use event::AnalysisCtx;
-pub use fleet::{BatchResult, BatchSummary, Fleet, FleetBuilder, Job, JobOutcome, JobStats};
+pub use fleet::{
+    BatchResult, BatchSummary, Fleet, FleetBuilder, Job, JobOutcome, JobStats, SweepOutcome,
+};
 pub use hooks::{Analysis, BlockKind, Hook, HookSet, MemArg, NoAnalysis};
 pub use info::ModuleInfo;
 pub use instrument::{instrument, Instrumenter};
@@ -89,4 +91,4 @@ pub use location::{BranchTarget, Location};
 pub use pipeline::{InstrumentationMode, Pipeline, PipelineBuilder, Wasabi};
 pub use report::{JsonValue, Report};
 pub use runtime::{AnalysisError, AnalysisSession, WasabiHost};
-pub use wasabi_vm::{Budget, CancelToken};
+pub use wasabi_vm::{Budget, CancelToken, CohortRunner, RunOutcome, DEFAULT_COHORT_CHUNK};

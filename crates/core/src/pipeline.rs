@@ -56,7 +56,7 @@
 use std::sync::Arc;
 
 use wasabi_vm::host::Host;
-use wasabi_vm::{Budget, Instance};
+use wasabi_vm::{Budget, CohortRunner, Instance, RunOutcome, Trap, DEFAULT_COHORT_CHUNK};
 use wasabi_wasm::instr::Val;
 use wasabi_wasm::module::Module;
 
@@ -332,6 +332,78 @@ impl<'a> Pipeline<'a> {
         let (fast, slow) = instance.host_call_counts();
         stats::record_host_calls(fast, slow);
         Ok(result?)
+    }
+
+    /// Sweep `export` over `inputs` as one **cohort**: the instrumented
+    /// module is instantiated once per input from the shared translation,
+    /// and the instances are interleaved in chunked rounds by a
+    /// [`wasabi_vm::CohortRunner`] — per-job instrumentation, translation,
+    /// and host-plan construction are paid once for the whole sweep.
+    ///
+    /// Every event is delivered to the same subscribed analyses, tagged
+    /// with the member index in [`AnalysisCtx::instance`](crate::event::AnalysisCtx),
+    /// so analyses aggregate across the sweep or partition per instance.
+    /// The pipeline's [`Budget`] is cloned per member: a member that
+    /// traps, finishes, or exhausts its budget is retired without
+    /// disturbing its siblings — including a member whose step hits the
+    /// `cohort/step` failpoint (injected error or panic), which this loop
+    /// contains to that one member.
+    ///
+    /// Returns one [`RunOutcome`] per input, in input order.
+    pub fn run_cohort(&mut self, export: &str, inputs: &[Vec<Val>]) -> Vec<RunOutcome> {
+        stats::record_cohort_run(inputs.len() as u64);
+        let mut host = WasabiHost::fused(
+            self.session.info(),
+            self.analyses.as_mut_slice(),
+            &self.subscribers,
+        );
+        let mut cohort = CohortRunner::new(DEFAULT_COHORT_CHUNK);
+        for args in inputs {
+            cohort.admit(
+                self.session.translated(),
+                self.budget.clone(),
+                export,
+                args,
+                &mut host,
+            );
+        }
+        // Drive the round-robin loop here rather than via
+        // `CohortRunner::run` so every member step passes the
+        // `cohort/step` failpoint with panic containment.
+        while let Some(idx) = cohort.peek_next() {
+            let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(message) = crate::fault::fire("cohort/step") {
+                    return Some(message);
+                }
+                cohort.step_one(&mut host);
+                None
+            }));
+            match step {
+                Ok(None) => {}
+                Ok(Some(message)) => cohort.retire(idx, Err(Trap::HostError(message))),
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                        .unwrap_or_else(|| "panic".to_string());
+                    cohort.retire(
+                        idx,
+                        Err(Trap::HostError(format!(
+                            "cohort member panicked: {message}"
+                        ))),
+                    );
+                }
+            }
+        }
+        let outcomes = cohort.finish();
+        let (mut fast, mut slow) = (0, 0);
+        for outcome in &outcomes {
+            fast += outcome.host_calls_fast;
+            slow += outcome.host_calls_slow;
+        }
+        stats::record_host_calls(fast, slow);
+        outcomes
     }
 
     /// One structured [`Report`] per analysis, in registration order.

@@ -124,6 +124,9 @@ pub struct WasabiHost<'a, 'p> {
     scratch_vals: Vec<Val>,
     /// Resolved `br_table` targets, reused across hook calls.
     scratch_targets: Vec<BranchTarget>,
+    /// Cohort member currently executing; stamped on every delivered
+    /// [`AnalysisCtx`]. 0 outside cohort execution.
+    instance: u32,
 }
 
 impl fmt::Debug for WasabiHost<'_, '_> {
@@ -156,6 +159,7 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
             next_hook: 0,
             scratch_vals: Vec::new(),
             scratch_targets: Vec::new(),
+            instance: 0,
         }
     }
 
@@ -184,6 +188,7 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
             next_hook: 0,
             scratch_vals: Vec::new(),
             scratch_targets: Vec::new(),
+            instance: 0,
         }
     }
 
@@ -191,6 +196,13 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
     pub fn with_program_host(mut self, host: &'a mut dyn Host) -> Self {
         self.program_host = Some(host);
         self
+    }
+
+    /// Attribute all following events to cohort member `instance` (see
+    /// [`wasabi_vm::CohortHost`]); `Pipeline::run_cohort` calls this
+    /// before each member's instantiation and step.
+    pub fn set_instance(&mut self, instance: u32) {
+        self.instance = instance;
     }
 
     /// Deliver one joined event to the sink.
@@ -243,7 +255,7 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
             args[loc_at].as_i32().expect("location func is i32") as u32,
             args[loc_at + 1].as_i32().expect("location instr is i32"),
         );
-        let ctx = AnalysisCtx::new(loc, self.info);
+        let ctx = AnalysisCtx::new(loc, self.info).with_instance(self.instance);
 
         let as_u32 = |v: Val| v.as_i32().expect("i32 payload") as u32;
         let as_bool = |v: Val| v.as_i32().expect("i32 condition") != 0;
@@ -304,7 +316,7 @@ impl<'a, 'p> WasabiHost<'a, 'p> {
                 if self.subscribed.contains(Hook::End) {
                     for end in &entry.ends {
                         self.emit(
-                            &AnalysisCtx::new(end.end, info),
+                            &AnalysisCtx::new(end.end, info).with_instance(self.instance),
                             &Event::End(EndEvt {
                                 kind: end.kind,
                                 begin: end.begin,
@@ -501,6 +513,12 @@ impl Host for WasabiHost<'_, '_> {
         // host boundary. Program-host imports (`id >= hook_count`) are
         // never no-ops.
         id.0 < self.plans.len() && self.plans[id.0].skip
+    }
+}
+
+impl wasabi_vm::CohortHost for WasabiHost<'_, '_> {
+    fn select_instance(&mut self, idx: u32) {
+        self.set_instance(idx);
     }
 }
 

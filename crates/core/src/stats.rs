@@ -87,6 +87,8 @@ static JOB_RETRIES: AtomicU64 = AtomicU64::new(0);
 static SERVER_SHEDS: AtomicU64 = AtomicU64::new(0);
 static CLIENT_RECONNECTS: AtomicU64 = AtomicU64::new(0);
 static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
+static COHORT_RUNS: AtomicU64 = AtomicU64::new(0);
+static COHORT_INSTANCES: AtomicU64 = AtomicU64::new(0);
 
 /// Total number of instrumentation passes ([`mod@crate::instrument`] /
 /// [`crate::Instrumenter::run`]) this process has performed.
@@ -113,6 +115,18 @@ pub fn host_calls_fast() -> u64 {
 /// or the `Reference` oracle), summed like [`host_calls_fast`].
 pub fn host_calls_slow() -> u64 {
     HOST_CALLS_SLOW.load(Ordering::Relaxed)
+}
+
+/// Cohort sweeps executed via `Pipeline::run_cohort` (each sweep is one
+/// instrumentation + translation + host-plan build amortized over all of
+/// its member instances).
+pub fn cohort_runs() -> u64 {
+    COHORT_RUNS.load(Ordering::Relaxed)
+}
+
+/// Total member instances admitted across all cohort sweeps.
+pub fn cohort_instances() -> u64 {
+    COHORT_INSTANCES.load(Ordering::Relaxed)
 }
 
 /// Total wall time spent in instrumentation passes.
@@ -286,6 +300,11 @@ pub(crate) fn record_instrumentation() {
 
 pub(crate) fn record_execution() {
     EXECUTION_PASSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cohort_run(instances: u64) {
+    COHORT_RUNS.fetch_add(1, Ordering::Relaxed);
+    COHORT_INSTANCES.fetch_add(instances, Ordering::Relaxed);
 }
 
 pub(crate) fn record_host_calls(fast: u64, slow: u64) {

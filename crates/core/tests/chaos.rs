@@ -21,7 +21,8 @@ use std::time::{Duration, Instant};
 use wasabi::event::{AnalysisCtx, BinaryEvt};
 use wasabi::fleet::JobError;
 use wasabi::hooks::{Analysis, Hook, HookSet};
-use wasabi::{fault, CancelToken, DiskCache, Fleet, Job, ModuleCache, Report};
+use wasabi::{fault, Budget, CancelToken, DiskCache, Fleet, Job, ModuleCache, Report, Wasabi};
+use wasabi_vm::Trap;
 use wasabi_wasm::builder::ModuleBuilder;
 use wasabi_wasm::instr::Val;
 use wasabi_wasm::module::Module;
@@ -249,4 +250,102 @@ fn cancellation_releases_the_worker_and_the_batch_completes() {
         started.elapsed() < Duration::from_secs(30),
         "cancellation released the worker promptly"
     );
+}
+
+/// `main(x)`: spins forever when `x != 0`, otherwise returns `x * x` —
+/// one cohort input selects the runaway member.
+fn conditional_spin_module() -> Module {
+    let mut builder = ModuleBuilder::new();
+    builder.function("main", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32).if_(None);
+        f.block(None).loop_(None).br(0).end().end();
+        f.end();
+        f.get_local(0u32).get_local(0u32).i32_mul();
+    });
+    builder.finish()
+}
+
+/// Run `inputs` through a fresh analysis pipeline as one cohort,
+/// returning `(result, executed_instrs)` per member.
+#[allow(clippy::type_complexity)]
+fn run_cohort(
+    module: &Module,
+    inputs: &[i32],
+    budget: Option<Budget>,
+) -> Vec<(Result<Vec<Val>, Trap>, u64)> {
+    let mut binaries = Binaries::default();
+    let mut builder = Wasabi::builder().analysis(&mut binaries);
+    if let Some(budget) = budget {
+        builder = builder.budget(budget);
+    }
+    let mut pipeline = builder.build(module).expect("module validates");
+    let args: Vec<Vec<Val>> = inputs.iter().map(|&i| vec![Val::I32(i)]).collect();
+    pipeline
+        .run_cohort("main", &args)
+        .into_iter()
+        .map(|o| (o.result, o.executed_instrs))
+        .collect()
+}
+
+#[test]
+fn cohort_step_faults_retire_only_the_struck_member() {
+    // An injected error or panic at the `cohort/step` failpoint lands on
+    // exactly one member step: that member retires with a structured
+    // trap, every sibling stays bit-identical to the fault-free cohort.
+    let _serial = fault::test_lock();
+    fault::clear();
+    let module = square_module();
+    let inputs: Vec<i32> = (0..8).collect();
+    let baseline = run_cohort(&module, &inputs, None);
+    assert!(baseline.iter().all(|(r, _)| r.is_ok()), "baseline is clean");
+
+    let mut casualties = 0;
+    for spec in ["cohort/step=error:0.35", "cohort/step=panic:0.35:3"] {
+        for seed in [1, 42, 1337] {
+            fault::configure(spec, seed).unwrap();
+            let out = run_cohort(&module, &inputs, None);
+            fault::clear();
+            assert_eq!(out.len(), baseline.len(), "{spec}@{seed}: no lost members");
+            for (i, (row, want)) in out.iter().zip(&baseline).enumerate() {
+                match &row.0 {
+                    Ok(_) => assert_eq!(row, want, "{spec}@{seed}: member {i} diverged"),
+                    Err(trap) => {
+                        casualties += 1;
+                        assert!(
+                            matches!(trap, Trap::HostError(m) if !m.is_empty()),
+                            "{spec}@{seed}: member {i} lost its error: {trap:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(casualties > 0, "the failpoint never fired across all seeds");
+}
+
+#[test]
+fn cohort_deadline_retires_only_the_runaway_member() {
+    // One member spins forever; the pipeline budget's deadline reclaims
+    // it while its siblings — already finished in the first round —
+    // stay bit-identical to an ungoverned cohort of the same inputs.
+    let _serial = fault::test_lock();
+    fault::clear();
+    let module = conditional_spin_module();
+    let baseline = run_cohort(&module, &[0, 0, 0], None);
+    assert!(baseline.iter().all(|(r, _)| r.is_ok()), "baseline is clean");
+
+    let started = Instant::now();
+    let out = run_cohort(
+        &module,
+        &[0, 0, 1, 0],
+        Some(Budget::new().deadline(Duration::from_millis(100))),
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the spinning member was reclaimed, not leaked"
+    );
+    assert_eq!(out[2].0, Err(Trap::DeadlineExceeded), "runaway member");
+    for (survivor, want) in [&out[0], &out[1], &out[3]].into_iter().zip(&baseline) {
+        assert_eq!(survivor, want, "sibling bit-identical to fault-free cohort");
+    }
 }

@@ -62,6 +62,12 @@ commands:
       --analyses <a,b>   analyses to run per job (default: none)
       --invoke <name>    export to invoke (default main)
       --args <v1,v2>     invocation arguments
+      --sweep-args <f>   JSON file with an array of argument arrays
+                         (e.g. [[1],[2],[3]]); the job runs as one
+                         cohort sharing a translated module, and the
+                         daemon streams one result line PER INSTANCE,
+                         each tagged with its instance index (mutually
+                         exclusive with --args)
       --jobs <n>         submit n identical jobs (default 1)
       --deadline-ms <n>  per-job wall-clock deadline; an expired job
                          fails with a structured error, the daemon and
@@ -243,6 +249,7 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
             let mut analyses: Vec<String> = Vec::new();
             let mut invoke = "main".to_string();
             let mut invoke_args: Vec<JsonValue> = Vec::new();
+            let mut sweep_args: Option<Vec<Vec<JsonValue>>> = None;
             let mut jobs = 1usize;
             let mut deadline_ms: Option<u64> = None;
             let mut tag = String::new();
@@ -263,6 +270,26 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
                             .filter(|s| !s.is_empty())
                             .map(|s| JsonValue::from(s.to_string()))
                             .collect();
+                    }
+                    "--sweep-args" => {
+                        let path = take_value(&mut args, "--sweep-args", CLIENT_USAGE)?;
+                        let text = std::fs::read_to_string(&path)
+                            .map_err(|e| format!("cannot read {path}: {e}"))?;
+                        let parsed = wasabi::json::parse(&text)
+                            .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                        let rows = parsed.as_array().ok_or_else(|| {
+                            format!("{path}: sweep inputs must be a JSON array of argument arrays")
+                        })?;
+                        sweep_args = Some(
+                            rows.iter()
+                                .enumerate()
+                                .map(|(index, row)| {
+                                    row.as_array().map(<[JsonValue]>::to_vec).ok_or_else(|| {
+                                        format!("{path}: sweep entry {index} must be an array")
+                                    })
+                                })
+                                .collect::<Result<Vec<_>, _>>()?,
+                        );
                     }
                     "--jobs" => {
                         let value = take_value(&mut args, "--jobs", CLIENT_USAGE)?;
@@ -288,6 +315,11 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
                     other => return Err(format!("unknown argument {other:?}\n\n{CLIENT_USAGE}")),
                 }
             }
+            if sweep_args.is_some() && !invoke_args.is_empty() {
+                return Err(format!(
+                    "--sweep-args and --args are mutually exclusive\n\n{CLIENT_USAGE}"
+                ));
+            }
             let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let mut client = connect(&endpoint)?;
             let (hash, _) = client.upload(&bytes).map_err(|e| render_client_error(&e))?;
@@ -297,6 +329,7 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
                     analyses: analyses.clone(),
                     invoke: invoke.clone(),
                     args: invoke_args.clone(),
+                    sweep_args: sweep_args.clone(),
                     deadline_ms,
                 })
                 .collect();
@@ -326,9 +359,13 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
                     match &result.results {
                         Ok(values) => {
                             // Same line shape as `wasabi --batch`, so outputs
-                            // are directly comparable job-for-job.
-                            let line = JsonValue::object([
-                                ("job", JsonValue::from(result.job)),
+                            // are directly comparable job-for-job. Sweep
+                            // frames additionally carry the instance index.
+                            let mut pairs = vec![("job", JsonValue::from(result.job))];
+                            if let Some(instance) = result.instance {
+                                pairs.push(("instance", JsonValue::from(u64::from(instance))));
+                            }
+                            pairs.extend([
                                 ("module", JsonValue::from(result.hash.clone())),
                                 ("invoke", JsonValue::from(result.invoke.clone())),
                                 (
@@ -348,11 +385,18 @@ pub fn client_main(args: Vec<String>) -> Result<(), String> {
                                 ),
                                 ("cache_hit", JsonValue::from(result.cache_hit)),
                             ]);
+                            let line = JsonValue::object(pairs);
                             println!("{line}");
                         }
                         Err(error) => {
                             failures += 1;
-                            eprintln!("job {} ({}): FAILED: {error}", result.job, result.hash);
+                            let instance = result
+                                .instance
+                                .map_or_else(String::new, |i| format!(" instance {i}"));
+                            eprintln!(
+                                "job {}{instance} ({}): FAILED: {error}",
+                                result.job, result.hash
+                            );
                         }
                     }
                 }

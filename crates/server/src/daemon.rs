@@ -44,6 +44,7 @@ use std::time::{Duration, Instant};
 use wasabi::fleet::{AnalysisFactory, Fleet};
 use wasabi::report::JsonValue;
 use wasabi::{stats, CancelToken, DiskCache, Job, ModuleCache};
+use wasabi_wasm::instr::Val;
 
 use crate::protocol::{
     export_params, typed_args, write_frame, ErrorCode, FrameError, FrameReader, JobResult, Request,
@@ -569,6 +570,13 @@ fn try_reserve(shared: &Shared, n: u64) -> Result<(), u64> {
     }
 }
 
+/// A job's typed invocation inputs: one argument list, or one list per
+/// cohort instance for sweep jobs.
+enum ResolvedArgs {
+    Single(Vec<Val>),
+    Sweep(Vec<Vec<Val>>),
+}
+
 fn handle_submit(
     shared: &Shared,
     conn: &mut Conn,
@@ -608,10 +616,36 @@ fn handle_submit(
                 return respond_error(conn, ErrorCode::BadRequest, &format!("job {index}: {e}"))
             }
         };
-        let args = match typed_args(&spec.args, &params) {
-            Ok(args) => args,
-            Err(e) => {
-                return respond_error(conn, ErrorCode::BadRequest, &format!("job {index}: {e}"))
+        // A sweep job types every input row against the export's
+        // signature; an ordinary job types its single argument list.
+        let args = if let Some(rows) = &spec.sweep_args {
+            if rows.is_empty() {
+                return respond_error(
+                    conn,
+                    ErrorCode::BadRequest,
+                    &format!("job {index}: sweep_args is empty (need at least one argument array)"),
+                );
+            }
+            let mut inputs = Vec::with_capacity(rows.len());
+            for (row_index, row) in rows.iter().enumerate() {
+                match typed_args(row, &params) {
+                    Ok(vals) => inputs.push(vals),
+                    Err(e) => {
+                        return respond_error(
+                            conn,
+                            ErrorCode::BadRequest,
+                            &format!("job {index}: sweep entry {row_index}: {e}"),
+                        )
+                    }
+                }
+            }
+            ResolvedArgs::Sweep(inputs)
+        } else {
+            match typed_args(&spec.args, &params) {
+                Ok(args) => ResolvedArgs::Single(args),
+                Err(e) => {
+                    return respond_error(conn, ErrorCode::BadRequest, &format!("job {index}: {e}"))
+                }
             }
         };
         resolved.push((spec, module, args));
@@ -656,7 +690,15 @@ fn handle_submit(
     for (spec, module, args) in resolved {
         let token = CancelToken::new();
         tokens.push(token.clone());
-        let mut job = Job::new(spec.hash.clone(), module, spec.invoke.clone(), args)
+        let mut job = match args {
+            ResolvedArgs::Single(args) => {
+                Job::new(spec.hash.clone(), module, spec.invoke.clone(), args)
+            }
+            ResolvedArgs::Sweep(inputs) => {
+                Job::sweep(spec.hash.clone(), module, spec.invoke.clone(), inputs)
+            }
+        };
+        job = job
             .analyses(spec.analyses.iter().cloned())
             .cancel_token(token);
         if let Some(ms) = spec.deadline_ms {
@@ -671,7 +713,7 @@ fn handle_submit(
     // failure (client gone) cannot abort the running fleet — jobs finish
     // and the counters stay truthful; we just stop writing.
     let mut write_error: Option<io::Error> = None;
-    let summary = fleet.run_streaming(|outcome| {
+    let summary = fleet.run_streaming(|mut outcome| {
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         shared.jobs_done.fetch_add(1, Ordering::Relaxed);
         stats::record_server_jobs(1);
@@ -684,8 +726,40 @@ fn handle_submit(
             write_error = Some(io::Error::other(message));
             return;
         }
+        // A sweep job streams one frame per cohort instance (the job's
+        // aggregate analysis reports ride the LAST instance's frame); an
+        // ordinary job streams its single frame. A sweep job that failed
+        // before its cohort ran (build error, shed) has no per-instance
+        // outcomes and degrades to the ordinary single error frame.
+        if let Some(members) = outcome.sweep.filter(|m| !m.is_empty()) {
+            let last = members.len() - 1;
+            for (position, member) in members.into_iter().enumerate() {
+                let result = JobResult {
+                    job: outcome.job,
+                    instance: Some(member.instance),
+                    hash: outcome.key.clone(),
+                    invoke: outcome.invoke.clone(),
+                    results: match &member.result {
+                        Ok(values) => Ok(values.iter().map(|v| format!("{v:?}")).collect()),
+                        Err(e) => Err(e.to_string()),
+                    },
+                    reports: if position == last {
+                        std::mem::take(&mut outcome.reports)
+                    } else {
+                        Vec::new()
+                    },
+                    cache_hit: outcome.stats.cache_hit,
+                };
+                if let Err(e) = write_frame(conn, &Response::Result(result).to_json()) {
+                    write_error = Some(e);
+                    return;
+                }
+            }
+            return;
+        }
         let result = JobResult {
             job: outcome.job,
+            instance: None,
             hash: outcome.key,
             invoke: outcome.invoke,
             results: match &outcome.result {

@@ -266,6 +266,12 @@ pub struct JobSpec {
     pub invoke: String,
     /// Raw argument values from the client.
     pub args: Vec<JsonValue>,
+    /// Sweep inputs: one raw argument array per cohort instance. When
+    /// set, the job expands into a cohort of instances sharing one
+    /// translated module, and the daemon streams one `result` frame per
+    /// instance (each tagged with its `instance` index) instead of a
+    /// single frame. Mutually exclusive with non-empty `args`.
+    pub sweep_args: Option<Vec<Vec<JsonValue>>>,
     /// Wall-clock deadline for this job in milliseconds, measured from
     /// the moment a fleet worker dequeues it (`None`: ungoverned). An
     /// expired job fails with a structured error; its worker survives.
@@ -332,6 +338,14 @@ impl Request {
                                 ("invoke", JsonValue::from(job.invoke.clone())),
                                 ("args", JsonValue::Array(job.args.clone())),
                             ];
+                            if let Some(rows) = &job.sweep_args {
+                                members.push((
+                                    "sweep_args",
+                                    JsonValue::array(
+                                        rows.iter().map(|row| JsonValue::Array(row.clone())),
+                                    ),
+                                ));
+                            }
                             if let Some(ms) = job.deadline_ms {
                                 members.push(("deadline_ms", JsonValue::from(ms)));
                             }
@@ -418,6 +432,23 @@ impl Request {
                                 .ok_or_else(|| bad("\"args\" must be an array"))?
                                 .to_vec(),
                         };
+                        let sweep_args = match job.get("sweep_args") {
+                            None => None,
+                            Some(v) => Some(
+                                v.as_array()
+                                    .ok_or_else(|| bad("\"sweep_args\" must be an array"))?
+                                    .iter()
+                                    .map(|row| {
+                                        row.as_array()
+                                            .map(<[JsonValue]>::to_vec)
+                                            .ok_or_else(|| bad("sweep_args entries must be arrays"))
+                                    })
+                                    .collect::<Result<Vec<_>, _>>()?,
+                            ),
+                        };
+                        if sweep_args.is_some() && !args.is_empty() {
+                            return Err(bad("\"sweep_args\" and \"args\" are mutually exclusive"));
+                        }
                         let deadline_ms = match job.get("deadline_ms") {
                             None => None,
                             Some(v) => Some(
@@ -433,6 +464,7 @@ impl Request {
                             analyses,
                             invoke,
                             args,
+                            sweep_args,
                             deadline_ms,
                         })
                     })
@@ -611,6 +643,9 @@ pub struct StatusReply {
 pub struct JobResult {
     /// Submission index within its `submit` request.
     pub job: usize,
+    /// Cohort instance index for sweep jobs (one frame per instance);
+    /// `None` for ordinary single-invocation jobs.
+    pub instance: Option<u32>,
     /// The module's content hash.
     pub hash: String,
     /// The invoked export.
@@ -691,9 +726,14 @@ impl Response {
                     ("type", JsonValue::from("result")),
                     ("job", JsonValue::from(result.job)),
                     ("hash", JsonValue::from(result.hash.clone())),
+                ];
+                if let Some(instance) = result.instance {
+                    pairs.push(("instance", JsonValue::from(u64::from(instance))));
+                }
+                pairs.extend([
                     ("invoke", JsonValue::from(result.invoke.clone())),
                     ("cache_hit", JsonValue::from(result.cache_hit)),
-                ];
+                ]);
                 match &result.results {
                     Ok(values) => pairs.push((
                         "results",
@@ -833,8 +873,17 @@ impl Response {
                         Ok::<Report, String>(Report::new(analysis, data.clone()))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
+                let instance = match value.get("instance") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_i64()
+                            .and_then(|i| u32::try_from(i).ok())
+                            .ok_or("result \"instance\" must be a non-negative integer")?,
+                    ),
+                };
                 Ok(Response::Result(JobResult {
                     job: u64_member("job")? as usize,
+                    instance,
                     hash: str_member("hash")?,
                     invoke: str_member("invoke")?,
                     results,
@@ -980,6 +1029,7 @@ mod tests {
                 analyses: vec!["instruction_mix".to_string()],
                 invoke: "main".to_string(),
                 args: vec![JsonValue::UInt(3), JsonValue::Float(0.5)],
+                sweep_args: None,
                 deadline_ms: None,
             }],
             tag: String::new(),
@@ -1061,6 +1111,7 @@ mod tests {
                         analyses: vec![],
                         invoke: "main".to_string(),
                         args: vec![],
+                        sweep_args: None,
                         deadline_ms: None,
                     },
                     JobSpec {
@@ -1068,7 +1119,20 @@ mod tests {
                         analyses: vec!["call_graph".to_string(), "taint_analysis".to_string()],
                         invoke: "run".to_string(),
                         args: vec![JsonValue::Int(-4)],
+                        sweep_args: None,
                         deadline_ms: Some(250),
+                    },
+                    JobSpec {
+                        hash: "fnv64:aa".to_string(),
+                        analyses: vec!["instruction_mix".to_string()],
+                        invoke: "main".to_string(),
+                        args: vec![],
+                        sweep_args: Some(vec![
+                            vec![JsonValue::UInt(1)],
+                            vec![JsonValue::UInt(2)],
+                            vec![JsonValue::UInt(3)],
+                        ]),
+                        deadline_ms: Some(1000),
                     },
                 ],
                 tag: "batch-7".to_string(),
@@ -1114,6 +1178,7 @@ mod tests {
             },
             Response::Result(JobResult {
                 job: 2,
+                instance: None,
                 hash: "fnv64:1234".to_string(),
                 invoke: "main".to_string(),
                 results: Ok(vec!["I32(25)".to_string()]),
@@ -1125,11 +1190,21 @@ mod tests {
             }),
             Response::Result(JobResult {
                 job: 0,
+                instance: None,
                 hash: "fnv64:1234".to_string(),
                 invoke: "main".to_string(),
                 results: Err("trap: unreachable".to_string()),
                 reports: vec![],
                 cache_hit: false,
+            }),
+            Response::Result(JobResult {
+                job: 1,
+                instance: Some(4),
+                hash: "fnv64:1234".to_string(),
+                invoke: "main".to_string(),
+                results: Ok(vec!["I32(16)".to_string()]),
+                reports: vec![],
+                cache_hit: true,
             }),
             Response::Done {
                 jobs: 3,
@@ -1231,6 +1306,28 @@ mod tests {
         };
         assert_eq!(tag, "");
         assert_eq!(jobs[0].deadline_ms, None);
+        assert_eq!(jobs[0].sweep_args, None);
+
+        // A job cannot carry both single-invocation args and sweep
+        // inputs — which set would the daemon honor?
+        let both = JsonValue::object([
+            ("type", JsonValue::from("submit")),
+            (
+                "jobs",
+                JsonValue::array([JsonValue::object([
+                    ("hash", JsonValue::from("fnv64:00")),
+                    ("args", JsonValue::array([JsonValue::UInt(1)])),
+                    (
+                        "sweep_args",
+                        JsonValue::array([JsonValue::Array(vec![JsonValue::UInt(2)])]),
+                    ),
+                ])]),
+            ),
+        ]);
+        assert!(matches!(
+            Request::from_json(&both),
+            Err(RequestError::Bad(_))
+        ));
 
         // Cancel requires a non-empty tag (an empty one could never have
         // been attached to a submit).

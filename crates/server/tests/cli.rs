@@ -530,6 +530,7 @@ fn retryable_daemon_refusals_exit_nonzero_with_a_retryable_line() {
                     analyses: vec![],
                     invoke: "main".to_string(),
                     args: vec![],
+                    sweep_args: None,
                     deadline_ms: None,
                 }],
                 "hold",

@@ -44,8 +44,72 @@ fn spec(hash: &str, analyses: &[&str]) -> JobSpec {
         analyses: analyses.iter().map(|s| s.to_string()).collect(),
         invoke: "main".to_string(),
         args: vec![],
+        sweep_args: None,
         deadline_ms: None,
     }
+}
+
+/// A sweep job streams one result frame per cohort instance, tagged
+/// with its instance index, with the job's aggregate analysis reports
+/// riding the final frame.
+#[test]
+fn sweep_job_streams_one_frame_per_instance() {
+    let socket = unix_socket_path("sweep");
+    let _ = std::fs::remove_file(&socket);
+    let server = Server::bind_unix(&socket, ServerConfig::new(registry::by_name)).expect("binds");
+    let serve = std::thread::spawn(move || server.serve());
+
+    // main(x) = x * x, so every instance's result encodes its input.
+    let mut builder = ModuleBuilder::new();
+    builder.function("main", &[ValType::I32], &[ValType::I32], |f| {
+        f.get_local(0u32).get_local(0u32).i32_mul();
+    });
+    let wasm = encode(&builder.finish());
+
+    let mut client = Client::connect_unix(&socket).expect("connects");
+    let (hash, _) = client.upload(&wasm).expect("uploads");
+    let job = JobSpec {
+        hash: hash.clone(),
+        analyses: vec!["instruction_mix".to_string()],
+        invoke: "main".to_string(),
+        args: vec![],
+        sweep_args: Some(
+            [2i64, 3, 4, 5]
+                .iter()
+                .map(|&v| vec![wasabi::report::JsonValue::Int(v)])
+                .collect(),
+        ),
+        deadline_ms: None,
+    };
+    let mut stream = client.submit(vec![job]).expect("submits");
+    let results: Vec<_> = stream
+        .by_ref()
+        .collect::<Result<Vec<_>, _>>()
+        .expect("streams");
+    let done = stream.done().expect("done frame");
+
+    assert_eq!(done.jobs, 1, "one submitted job");
+    assert_eq!(results.len(), 4, "one frame per cohort instance");
+    for (index, result) in results.iter().enumerate() {
+        assert_eq!(result.job, 0);
+        assert_eq!(result.instance, Some(index as u32), "admission order");
+        let input = (index + 2) as i32;
+        assert_eq!(
+            result.results.as_ref().expect("instance ok"),
+            &vec![format!("I32({})", input * input)]
+        );
+        // The cohort's aggregate reports ride the last instance's frame.
+        if index == results.len() - 1 {
+            assert_eq!(result.reports.len(), 1);
+            assert_eq!(result.reports[0].analysis, "instruction_mix");
+        } else {
+            assert!(result.reports.is_empty(), "instance {index} has reports");
+        }
+    }
+
+    assert_eq!(client.drain().expect("drains"), 0);
+    serve.join().expect("serve thread").expect("clean exit");
+    let _ = std::fs::remove_file(&socket);
 }
 
 #[test]

@@ -39,6 +39,7 @@ fn spec(hash: &str, arg: i32) -> JobSpec {
         analyses: vec![],
         invoke: "main".to_string(),
         args: vec![wasabi::report::JsonValue::Int(arg.into())],
+        sweep_args: None,
         deadline_ms: None,
     }
 }
@@ -66,6 +67,7 @@ fn deadline_reclaims_a_worker_and_the_daemon_serves_the_next_batch() {
                 analyses: vec![],
                 invoke: "main".to_string(),
                 args: vec![],
+                sweep_args: None,
                 deadline_ms: Some(100),
             },
             spec(&square, 6),
@@ -129,6 +131,7 @@ fn a_tagged_batch_is_cancelled_from_a_second_connection() {
                     analyses: vec![],
                     invoke: "main".to_string(),
                     args: vec![],
+                    sweep_args: None,
                     deadline_ms: None,
                 }],
                 "doomed",
@@ -197,6 +200,7 @@ fn shedding_cancels_the_oldest_batch_to_admit_new_work() {
                         analyses: vec![],
                         invoke: "main".to_string(),
                         args: vec![],
+                        sweep_args: None,
                         deadline_ms: None,
                     })
                     .collect(),

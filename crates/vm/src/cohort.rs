@@ -1,0 +1,343 @@
+//! Cohort execution: one translated module, N interleaved instances.
+//!
+//! A parameter sweep or fuzzing campaign runs the *same* module over many
+//! inputs. Run as N independent jobs, every input pays full per-job
+//! dispatch even though the flat IR is identical. A [`CohortRunner`]
+//! instead instantiates one [`TranslatedModule`]
+//! into N [`Instance`]s — code and const/arg tables shared via `Arc`;
+//! memory, globals, tables, fuel, and [`Budget`] owned per
+//! instance — and steps them round-robin in chunked rounds (default
+//! [`DEFAULT_COHORT_CHUNK`] weight units per instance per round) so the
+//! op stream stays hot in icache while every member makes progress.
+//!
+//! An instance that returns, traps, or exhausts its budget is **retired**:
+//! removed from the dense live-set with its [`RunOutcome`] recorded, and
+//! never stepped again — siblings are undisturbed. External supervisors
+//! (fault injection, deadlines) can force-retire a member via
+//! [`CohortRunner::retire`].
+//!
+//! Hosts that care which member is calling implement
+//! [`CohortHost::select_instance`]; the runner announces the member index
+//! before every instantiation and step, which is how the core layer tags
+//! analysis events with an `instance: u32` using a single shared host.
+
+use wasabi_wasm::Val;
+
+use crate::host::{EmptyHost, Host, HostFunctions};
+use crate::interp::{Instance, Resumable, StepOutcome, TranslatedModule};
+use crate::trap::Trap;
+use crate::Budget;
+
+/// Default weight-unit quota per instance per round: one icache-friendly
+/// burst of flat-IR ops, deliberately equal to the budget poll interval
+/// so a round never outruns deadline/cancellation checks by much.
+pub const DEFAULT_COHORT_CHUNK: u64 = 4096;
+
+/// A [`Host`] that can be told which cohort member is about to execute.
+///
+/// The default implementation ignores the announcement, so any
+/// instance-agnostic host participates in a cohort unchanged. The core
+/// layer's `WasabiHost` overrides it to stamp `AnalysisCtx::instance`.
+pub trait CohortHost: Host {
+    /// Called before instantiating or stepping member `idx`; every host
+    /// callback until the next call is on behalf of that member.
+    fn select_instance(&mut self, idx: u32) {
+        let _ = idx;
+    }
+}
+
+impl CohortHost for EmptyHost {}
+impl CohortHost for HostFunctions {}
+
+/// What one cohort member produced, recorded at retirement.
+///
+/// Counters are the member instance's totals (including its start
+/// function), exactly what a standalone sequential run of the same input
+/// would report — the differential suites compare them bit-for-bit.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The invoked export's results, or the trap that retired the member.
+    pub result: Result<Vec<Val>, Trap>,
+    /// Total executed instruction weight for this member.
+    pub executed_instrs: u64,
+    /// Intrinsic (fast-path) host calls for this member.
+    pub host_calls_fast: u64,
+    /// Full host-boundary crossings for this member.
+    pub host_calls_slow: u64,
+    /// Rounds this member was stepped before retiring (0 if it never ran,
+    /// e.g. instantiation failed or it was force-retired first).
+    pub rounds: u64,
+}
+
+/// One cohort member: its instance plus the suspended activation.
+struct Member {
+    /// `None` only when instantiation itself failed.
+    instance: Option<Instance>,
+    activation: Option<Resumable>,
+    rounds: u64,
+    outcome: Option<RunOutcome>,
+}
+
+impl Member {
+    fn retire(&mut self, result: Result<Vec<Val>, Trap>) {
+        let (executed, fast, slow) = match &self.instance {
+            Some(instance) => {
+                let (fast, slow) = instance.host_call_counts();
+                (instance.executed_instrs(), fast, slow)
+            }
+            None => (0, 0, 0),
+        };
+        self.outcome = Some(RunOutcome {
+            result,
+            executed_instrs: executed,
+            host_calls_fast: fast,
+            host_calls_slow: slow,
+            rounds: self.rounds,
+        });
+        self.activation = None;
+    }
+}
+
+/// Round-robin scheduler over N instances of one translated module.
+///
+/// Build with [`CohortRunner::new`], add members with
+/// [`CohortRunner::admit`], then either drive rounds yourself with
+/// [`CohortRunner::step_one`]/[`CohortRunner::step_round`] (the core
+/// layer does this so it can interleave fault-injection and deadline
+/// checks between member steps) or call [`CohortRunner::run`] to
+/// completion. [`CohortRunner::finish`] yields per-member outcomes in
+/// admission order.
+///
+/// # Examples
+///
+/// ```
+/// use wasabi_vm::cohort::CohortRunner;
+/// use wasabi_vm::{host::EmptyHost, TranslatedModule, Value};
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::types::ValType;
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.function("square", &[ValType::I32], &[ValType::I32], |f| {
+///     f.get_local(0u32).get_local(0u32).i32_mul();
+/// });
+/// let translated = TranslatedModule::new(builder.finish())?;
+/// let mut host = EmptyHost;
+/// let mut cohort = CohortRunner::new(64);
+/// for i in 0..5 {
+///     cohort.admit(&translated, None, "square", &[Value::I32(i)], &mut host);
+/// }
+/// cohort.run(&mut host);
+/// let outcomes = cohort.finish();
+/// assert_eq!(outcomes[3].result.as_ref().unwrap(), &vec![Value::I32(9)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct CohortRunner {
+    members: Vec<Member>,
+    /// Member indices still running, dense, stepped round-robin by
+    /// position; retirement is `Vec::remove`, which keeps rotation order
+    /// stable for the survivors.
+    live: Vec<u32>,
+    /// Cursor into `live`: the position stepped next.
+    next: usize,
+    chunk: u64,
+}
+
+impl CohortRunner {
+    /// A runner stepping `chunk` weight units per instance per round
+    /// (clamped to ≥ 1; [`DEFAULT_COHORT_CHUNK`] is the tuned default).
+    pub fn new(chunk: u64) -> Self {
+        CohortRunner {
+            members: Vec::new(),
+            live: Vec::new(),
+            next: 0,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Instantiate one member from the shared translated module and queue
+    /// its invocation of export `export` with `args`, returning the member
+    /// index. `budget` and `fuel` are per-member limits (sibling members
+    /// are governed independently). Instantiation and begin errors retire
+    /// the member immediately (its [`RunOutcome`] carries the error as a
+    /// trap); siblings are unaffected.
+    pub fn admit(
+        &mut self,
+        translated: &TranslatedModule,
+        budget: Option<Budget>,
+        export: &str,
+        args: &[Val],
+        host: &mut dyn CohortHost,
+    ) -> u32 {
+        self.admit_with_fuel(translated, budget, None, export, args, host)
+    }
+
+    /// [`CohortRunner::admit`] with a per-member fuel limit.
+    pub fn admit_with_fuel(
+        &mut self,
+        translated: &TranslatedModule,
+        budget: Option<Budget>,
+        fuel: Option<u64>,
+        export: &str,
+        args: &[Val],
+        host: &mut dyn CohortHost,
+    ) -> u32 {
+        let idx = self.members.len() as u32;
+        host.select_instance(idx);
+        let mut member = Member {
+            instance: None,
+            activation: None,
+            rounds: 0,
+            outcome: None,
+        };
+        match Instance::instantiate_translated(translated, host) {
+            Ok(mut instance) => {
+                instance.set_budget(budget);
+                instance.set_fuel(fuel);
+                match instance.begin_resumable_export(export, args) {
+                    Ok(activation) => {
+                        member.instance = Some(instance);
+                        member.activation = Some(activation);
+                        self.live.push(idx);
+                    }
+                    Err(trap) => {
+                        member.instance = Some(instance);
+                        member.retire(Err(trap));
+                    }
+                }
+            }
+            Err(err) => {
+                member.retire(Err(Trap::HostError(format!("instantiation failed: {err}"))));
+            }
+        }
+        self.members.push(member);
+        idx
+    }
+
+    /// Member indices still live, in rotation order.
+    pub fn live(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// Total members admitted.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no members were admitted.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member [`CohortRunner::step_one`] would step next, without
+    /// stepping it. External supervisors use this to attribute a fault or
+    /// deadline decision to the right member *before* it runs.
+    pub fn peek_next(&self) -> Option<u32> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let pos = if self.next >= self.live.len() {
+            0
+        } else {
+            self.next
+        };
+        Some(self.live[pos])
+    }
+
+    /// Step the next live member for one chunk, returning its index, or
+    /// `None` if the cohort is drained. A member that returns, traps, or
+    /// exhausts its budget during the chunk is retired in place.
+    pub fn step_one(&mut self, host: &mut dyn CohortHost) -> Option<u32> {
+        if self.live.is_empty() {
+            return None;
+        }
+        if self.next >= self.live.len() {
+            self.next = 0;
+        }
+        let pos = self.next;
+        let idx = self.live[pos];
+        host.select_instance(idx);
+        let member = &mut self.members[idx as usize];
+        member.rounds += 1;
+        let activation = member
+            .activation
+            .as_mut()
+            .expect("live member has an activation");
+        let instance = member
+            .instance
+            .as_mut()
+            .expect("live member has an instance");
+        match instance.resume(activation, host, self.chunk) {
+            Ok(StepOutcome::Pending) => {
+                self.next = pos + 1;
+            }
+            Ok(StepOutcome::Done(results)) => {
+                member.retire(Ok(results));
+                self.live.remove(pos);
+                self.next = pos; // the next member shifted into this slot
+            }
+            Err(trap) => {
+                member.retire(Err(trap));
+                self.live.remove(pos);
+                self.next = pos;
+            }
+        }
+        Some(idx)
+    }
+
+    /// Step every currently-live member once (one full rotation).
+    /// Returns the number of members stepped.
+    pub fn step_round(&mut self, host: &mut dyn CohortHost) -> usize {
+        let goal = self.live.len();
+        let mut stepped = 0;
+        while stepped < goal {
+            if self.step_one(host).is_none() {
+                break;
+            }
+            stepped += 1;
+        }
+        stepped
+    }
+
+    /// Force-retire member `idx` with `result` (fault injection, external
+    /// deadline). No-op if the member already retired. Siblings keep
+    /// their rotation order.
+    pub fn retire(&mut self, idx: u32, result: Result<Vec<Val>, Trap>) {
+        let member = &mut self.members[idx as usize];
+        if member.outcome.is_some() {
+            return;
+        }
+        member.retire(result);
+        if let Some(pos) = self.live.iter().position(|&l| l == idx) {
+            self.live.remove(pos);
+            if pos < self.next {
+                self.next -= 1;
+            }
+        }
+    }
+
+    /// Drive rounds until every member has retired.
+    pub fn run(&mut self, host: &mut dyn CohortHost) {
+        while !self.live.is_empty() {
+            self.step_round(host);
+        }
+    }
+
+    /// Consume the runner, yielding per-member outcomes in admission
+    /// order. Members still live are retired as [`Trap::Cancelled`].
+    pub fn finish(mut self) -> Vec<RunOutcome> {
+        for idx in std::mem::take(&mut self.live) {
+            self.members[idx as usize].retire(Err(Trap::Cancelled));
+        }
+        self.members
+            .into_iter()
+            .map(|m| m.outcome.expect("every member retired"))
+            .collect()
+    }
+
+    /// A member's instance, for post-run state comparison (memory
+    /// checksums, globals — the differential suites inspect these).
+    /// `None` only if the member's instantiation failed.
+    pub fn instance(&self, idx: u32) -> Option<&Instance> {
+        self.members[idx as usize].instance.as_ref()
+    }
+}

@@ -1183,6 +1183,639 @@ impl Instance {
     }
 }
 
+/// What one [`Instance::resume`] round produced.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The round's weight quota ran out mid-execution; the activation is
+    /// suspended in its [`Resumable`] and can be resumed later.
+    Pending,
+    /// The invoked function returned these results; the [`Resumable`] is
+    /// finished.
+    Done(Vec<Val>),
+}
+
+/// One suspended activation frame of a [`Resumable`]: a function, its
+/// program counter, and the frame-owned locals and operand stack.
+#[derive(Debug)]
+struct Frame {
+    func: u32,
+    pc: usize,
+    locals: Vec<Val>,
+    stack: Vec<Val>,
+}
+
+/// A suspended (resumable) invocation of one function, driven in bounded
+/// rounds by [`Instance::resume`].
+///
+/// Unlike [`Instance::invoke`] — whose WebAssembly frames are recursive
+/// interpreter frames and therefore cannot be suspended — a `Resumable`
+/// keeps its call stack as explicit frames, so execution can stop
+/// after a weight quota and continue later with zero re-execution and
+/// zero double-counting. This is what cohort execution
+/// ([`crate::cohort::CohortRunner`]) interleaves N instances on.
+///
+/// All observable semantics (results, traps and their order, fuel
+/// accounting including the out-of-fuel adjustment, budget poll cadence,
+/// `executed_instrs`, host-call counters, call-depth limits) are
+/// **bit-identical** to the recursive path; the differential suites
+/// (`tests/cohort_vs_sequential.rs`, the repo-level instrumented oracle)
+/// pin this equivalence on random modules.
+///
+/// A `Resumable` is tied to the [`Instance`] that created it: resuming it
+/// against a different instance is a logic error (frames index that
+/// instance's translated code).
+///
+/// # Examples
+///
+/// ```
+/// use wasabi_vm::{Instance, StepOutcome, host::EmptyHost};
+/// use wasabi_wasm::builder::ModuleBuilder;
+/// use wasabi_wasm::{Val, ValType};
+///
+/// let mut builder = ModuleBuilder::new();
+/// builder.function("sum", &[ValType::I32], &[ValType::I32], |f| {
+///     let i = f.local(ValType::I32);
+///     let acc = f.local(ValType::I32);
+///     f.block(None).loop_(None);
+///     f.get_local(i).get_local(0u32).binary(wasabi_wasm::BinaryOp::I32GeS).br_if(1);
+///     f.get_local(acc).get_local(i).i32_add().set_local(acc);
+///     f.get_local(i).i32_const(1).i32_add().set_local(i);
+///     f.br(0).end().end();
+///     f.get_local(acc);
+/// });
+/// let mut host = EmptyHost;
+/// let mut instance = Instance::instantiate(builder.finish(), &mut host)?;
+/// let mut activation = instance.begin_resumable_export("sum", &[Val::I32(100)])?;
+/// // Step in small rounds; a plain run would execute ~700 instructions.
+/// let mut rounds = 0;
+/// let results = loop {
+///     rounds += 1;
+///     match instance.resume(&mut activation, &mut host, 64)? {
+///         StepOutcome::Pending => continue,
+///         StepOutcome::Done(results) => break results,
+///     }
+/// };
+/// assert_eq!(results, vec![Val::I32(4950)]);
+/// assert!(rounds > 5, "the quota actually preempted execution");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Resumable {
+    frames: Vec<Frame>,
+    /// `Some` when the invoked function itself is a host import: the call
+    /// happens wholesale on the first resume (there is no wasm frame to
+    /// suspend), mirroring [`Instance::call_function`]'s host arm.
+    entry_host: Option<(u32, Vec<Val>)>,
+    done: bool,
+}
+
+impl Resumable {
+    /// `true` once the activation returned or trapped; resuming a finished
+    /// activation is a logic error.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Current wasm call depth (suspended frames).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl Instance {
+    /// Begin a resumable invocation of the exported function `name`; drive
+    /// it with [`Instance::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Like [`Instance::invoke_export`]: a missing export or argument
+    /// type mismatch is a [`Trap::HostError`] (reported immediately, not
+    /// on first resume).
+    pub fn begin_resumable_export(&mut self, name: &str, args: &[Val]) -> Result<Resumable, Trap> {
+        let idx = self
+            .module
+            .export_function(name)
+            .ok_or_else(|| Trap::HostError(format!("no exported function {name:?}")))?;
+        self.begin_resumable(idx, args)
+    }
+
+    /// Begin a resumable invocation of the function at `func_idx` —
+    /// argument checking as in [`Instance::invoke`], but no execution
+    /// happens yet.
+    ///
+    /// # Errors
+    ///
+    /// Argument count/type mismatches are a [`Trap::HostError`]; a
+    /// call-depth limit of zero is [`Trap::CallStackExhausted`] (the same
+    /// check the recursive entry performs before its first frame).
+    pub fn begin_resumable(
+        &mut self,
+        func_idx: Idx<FunctionSpace>,
+        args: &[Val],
+    ) -> Result<Resumable, Trap> {
+        let ty = &self.module.functions[func_idx.to_usize()].type_;
+        if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(&p, a)| a.ty() != p) {
+            return Err(Trap::HostError(format!(
+                "invoke arguments {args:?} do not match type {ty}"
+            )));
+        }
+        if self.max_call_depth == 0 {
+            return Err(Trap::CallStackExhausted);
+        }
+        match self.func_targets[func_idx.to_usize()] {
+            FuncTarget::Host(_) => Ok(Resumable {
+                frames: Vec::new(),
+                entry_host: Some((func_idx.to_usize() as u32, args.to_vec())),
+                done: false,
+            }),
+            FuncTarget::Wasm => {
+                let func = &self.code.funcs[func_idx.to_usize()];
+                let mut locals = Vec::with_capacity(args.len() + func.zeros.len());
+                locals.extend_from_slice(args);
+                locals.extend_from_slice(&func.zeros);
+                Ok(Resumable {
+                    frames: vec![Frame {
+                        func: func_idx.to_usize() as u32,
+                        pc: 0,
+                        locals,
+                        stack: Vec::with_capacity(16),
+                    }],
+                    entry_host: None,
+                    done: false,
+                })
+            }
+        }
+    }
+
+    /// Run the activation for (at least) one op and at most ~`quota`
+    /// weight units, then suspend. Returns [`StepOutcome::Pending`] when
+    /// the quota preempted execution, [`StepOutcome::Done`] with the
+    /// results when the invoked function returned; traps finish the
+    /// activation exactly like the recursive path.
+    ///
+    /// The quota is checked *before* each op executes, so a preempted
+    /// round resumes at the saved program counter with no op executed or
+    /// accounted twice. An op's full weight is always spent once started
+    /// (a round may overshoot the quota by at most one superinstruction).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the traps [`Instance::invoke`] would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a finished [`Resumable`].
+    pub fn resume(
+        &mut self,
+        activation: &mut Resumable,
+        host: &mut dyn Host,
+        quota: u64,
+    ) -> Result<StepOutcome, Trap> {
+        assert!(!activation.done, "resume called on a finished Resumable");
+        if let Some((func, args)) = activation.entry_host.take() {
+            // The invoked function is itself a host import: one slow host
+            // call, no wasm frames (`call_function`'s host arm, depth 0).
+            activation.done = true;
+            let FuncTarget::Host(id) = self.func_targets[func as usize] else {
+                unreachable!("entry_host recorded for a wasm target");
+            };
+            self.host_calls_slow += 1;
+            let ctx = HostCtx {
+                memory: self.memory.as_mut(),
+                table: self.table.as_mut(),
+                globals: &mut self.globals,
+            };
+            return host.call(id, &args, ctx).map(StepOutcome::Done);
+        }
+        let code = Arc::clone(&self.code);
+        // Like `run_wasm_function`: steps accumulate in a round-local and
+        // flush once — including on traps — so `executed_instrs` equals
+        // the recursive path's sum of per-frame flushes.
+        let mut steps = 0u64;
+        let mut remaining = quota.max(1);
+        let result = self.resume_frames(&code, activation, host, &mut steps, &mut remaining);
+        self.executed_instrs += steps;
+        if !matches!(result, Ok(StepOutcome::Pending)) {
+            activation.done = true;
+        }
+        result
+    }
+
+    /// The resumable dispatch loop. This deliberately mirrors
+    /// [`Instance::exec_ops`] arm for arm — weight, fuel (including the
+    /// out-of-fuel `steps` adjustment), budget-poll cadence, depth checks,
+    /// and host-call counters must stay bit-identical, and the cohort
+    /// differential suites pin that equality. The only structural
+    /// difference: wasm calls push an explicit [`Frame`] instead of
+    /// recursing, returns pop it, and the weight quota can suspend the
+    /// loop between ops.
+    #[allow(clippy::too_many_lines)]
+    fn resume_frames(
+        &mut self,
+        code: &ModuleCode,
+        activation: &mut Resumable,
+        host: &mut dyn Host,
+        steps: &mut u64,
+        remaining: &mut u64,
+    ) -> Result<StepOutcome, Trap> {
+        let fuel_active = self.fuel.is_some();
+        let budget_active = self.budget.is_some();
+
+        'frames: loop {
+            let depth = activation.frames.len() - 1;
+            let frame = activation
+                .frames
+                .last_mut()
+                .expect("resumable has a live frame");
+            let func = &code.funcs[frame.func as usize];
+            let ops: &[Op] = &func.ops;
+
+            'dispatch: loop {
+                // Defined inside the labeled loop so `continue 'dispatch` /
+                // `continue 'frames` resolve (labels are macro-hygienic).
+                macro_rules! pop {
+                    () => {
+                        frame.stack.pop().expect("validated: operand on stack")
+                    };
+                }
+                macro_rules! pop_i32 {
+                    () => {
+                        pop!().as_i32().expect("validated: i32 operand")
+                    };
+                }
+                // Pop the top frame with `keep` results: either finish the
+                // activation or push the results onto the caller's stack.
+                macro_rules! ret {
+                    ($keep:expr) => {{
+                        let results = take_top(std::mem::take(&mut frame.stack), $keep);
+                        activation.frames.pop();
+                        match activation.frames.last_mut() {
+                            None => return Ok(StepOutcome::Done(results)),
+                            Some(parent) => {
+                                parent.stack.extend_from_slice(&results);
+                                continue 'frames;
+                            }
+                        }
+                    }};
+                }
+                // Take a resolved branch: either leave the function with the
+                // carried values, or unwind the value stack and jump.
+                macro_rules! branch_to {
+                    ($dest:expr) => {{
+                        let dest = $dest;
+                        if dest.target == RETURN_TARGET {
+                            ret!(dest.keep as usize);
+                        }
+                        unwind(&mut frame.stack, dest.keep as usize, dest.height as usize);
+                        frame.pc = dest.target as usize;
+                        continue 'dispatch;
+                    }};
+                }
+                if *remaining == 0 {
+                    return Ok(StepOutcome::Pending);
+                }
+                let op = &ops[frame.pc];
+                let w = op.weight();
+                *steps += w;
+                *remaining = remaining.saturating_sub(w);
+                if fuel_active {
+                    let fuel = self.fuel.as_mut().expect("fuel checked active");
+                    if *fuel < w {
+                        // The structured-walk semantics counts every
+                        // instruction it could still afford plus the one
+                        // that trapped.
+                        *steps = *steps - w + *fuel + 1;
+                        *fuel = 0;
+                        return Err(Trap::OutOfFuel);
+                    }
+                    *fuel -= w;
+                }
+                if budget_active {
+                    self.poll_countdown = self.poll_countdown.saturating_sub(w);
+                    if self.poll_countdown == 0 {
+                        self.check_budget()?;
+                    }
+                }
+
+                match op {
+                    Op::Skip => {}
+                    Op::Unreachable => return Err(Trap::Unreachable),
+                    Op::Goto(target) => {
+                        frame.pc = *target as usize;
+                        continue;
+                    }
+                    Op::IfNot(target) => {
+                        if pop_i32!() == 0 {
+                            frame.pc = *target as usize;
+                            continue;
+                        }
+                    }
+                    Op::Br(dest) => branch_to!(dest),
+                    Op::BrIf(dest) => {
+                        if pop_i32!() != 0 {
+                            branch_to!(dest);
+                        }
+                    }
+                    Op::BrTable(table) => {
+                        let idx = pop_i32!() as u32 as usize;
+                        let dest = table.dests.get(idx).unwrap_or(&table.default);
+                        branch_to!(dest);
+                    }
+                    Op::Return => ret!(func.arity),
+
+                    Op::Call { callee, params } => {
+                        // `call_op` → `call_function(depth + 1)`: the new
+                        // frame's depth is checked before the target match.
+                        if depth + 1 >= self.max_call_depth {
+                            return Err(Trap::CallStackExhausted);
+                        }
+                        let at = frame.stack.len() - *params as usize;
+                        match self.func_targets[*callee as usize] {
+                            FuncTarget::Host(id) => {
+                                self.host_calls_slow += 1;
+                                let ctx = HostCtx {
+                                    memory: self.memory.as_mut(),
+                                    table: self.table.as_mut(),
+                                    globals: &mut self.globals,
+                                };
+                                let results = host.call(id, &frame.stack[at..], ctx)?;
+                                frame.stack.truncate(at);
+                                frame.stack.extend_from_slice(&results);
+                            }
+                            FuncTarget::Wasm => {
+                                let callee_func = &code.funcs[*callee as usize];
+                                let mut locals =
+                                    Vec::with_capacity(*params as usize + callee_func.zeros.len());
+                                locals.extend_from_slice(&frame.stack[at..]);
+                                locals.extend_from_slice(&callee_func.zeros);
+                                frame.stack.truncate(at);
+                                // Resume after the call once the callee
+                                // returns (the recursive loop's `pc += 1`).
+                                frame.pc += 1;
+                                activation.frames.push(Frame {
+                                    func: *callee,
+                                    pc: 0,
+                                    locals,
+                                    stack: Vec::with_capacity(16),
+                                });
+                                continue 'frames;
+                            }
+                        }
+                    }
+                    Op::HostCall { func, argc, retc } => {
+                        if depth + 1 >= self.max_call_depth {
+                            return Err(Trap::CallStackExhausted);
+                        }
+                        let at = frame.stack.len() - *argc as usize;
+                        if self.host_noop[*func as usize] {
+                            debug_assert_eq!(*retc, 0, "no-op mask requires resultless hooks");
+                            self.host_calls_fast += 1;
+                            frame.stack.truncate(at);
+                        } else {
+                            self.host_call_fast(*func, &mut frame.stack, at, &[], *retc, host)?;
+                        }
+                    }
+                    Op::HostCallConst {
+                        func,
+                        stack_argc,
+                        retc,
+                        const_at,
+                        const_len,
+                    } => {
+                        if depth + 1 >= self.max_call_depth {
+                            return Err(Trap::CallStackExhausted);
+                        }
+                        let at = frame.stack.len() - *stack_argc as usize;
+                        if self.host_noop[*func as usize] {
+                            debug_assert_eq!(*retc, 0, "no-op mask requires resultless hooks");
+                            self.host_calls_fast += 1;
+                            frame.stack.truncate(at);
+                        } else {
+                            let consts =
+                                &code.consts[*const_at as usize..(*const_at + *const_len) as usize];
+                            self.host_call_fast(*func, &mut frame.stack, at, consts, *retc, host)?;
+                        }
+                    }
+                    Op::HostCallArgs {
+                        func,
+                        stack_argc,
+                        retc,
+                        args_at,
+                        args_len,
+                    } => {
+                        if depth + 1 >= self.max_call_depth {
+                            return Err(Trap::CallStackExhausted);
+                        }
+                        let at = frame.stack.len() - *stack_argc as usize;
+                        if self.host_noop[*func as usize] {
+                            debug_assert_eq!(*retc, 0, "no-op mask requires resultless hooks");
+                            self.host_calls_fast += 1;
+                            frame.stack.truncate(at);
+                        } else {
+                            let tpl =
+                                &code.args[*args_at as usize..(*args_at + *args_len) as usize];
+                            self.host_call_args(
+                                *func,
+                                &mut frame.stack,
+                                at,
+                                tpl,
+                                &frame.locals,
+                                *retc,
+                                host,
+                            )?;
+                        }
+                    }
+                    Op::CallIndirect { sig, params } => {
+                        // `call_indirect_op`: table lookup and signature
+                        // check trap before the depth check.
+                        let table_idx = pop_i32!() as u32;
+                        let target = self
+                            .table
+                            .as_ref()
+                            .expect("validated: table exists")
+                            .lookup(table_idx)?;
+                        let expected_ty = &code.sigs[*sig as usize];
+                        if &self.module.functions[target.to_usize()].type_ != expected_ty {
+                            return Err(Trap::IndirectCallTypeMismatch);
+                        }
+                        if depth + 1 >= self.max_call_depth {
+                            return Err(Trap::CallStackExhausted);
+                        }
+                        let at = frame.stack.len() - *params as usize;
+                        match self.func_targets[target.to_usize()] {
+                            FuncTarget::Host(id) => {
+                                self.host_calls_slow += 1;
+                                let ctx = HostCtx {
+                                    memory: self.memory.as_mut(),
+                                    table: self.table.as_mut(),
+                                    globals: &mut self.globals,
+                                };
+                                let results = host.call(id, &frame.stack[at..], ctx)?;
+                                frame.stack.truncate(at);
+                                frame.stack.extend_from_slice(&results);
+                            }
+                            FuncTarget::Wasm => {
+                                let callee_func = &code.funcs[target.to_usize()];
+                                let mut locals =
+                                    Vec::with_capacity(*params as usize + callee_func.zeros.len());
+                                locals.extend_from_slice(&frame.stack[at..]);
+                                locals.extend_from_slice(&callee_func.zeros);
+                                frame.stack.truncate(at);
+                                frame.pc += 1;
+                                activation.frames.push(Frame {
+                                    func: target.to_usize() as u32,
+                                    pc: 0,
+                                    locals,
+                                    stack: Vec::with_capacity(16),
+                                });
+                                continue 'frames;
+                            }
+                        }
+                    }
+
+                    Op::Drop => {
+                        pop!();
+                    }
+                    Op::Select => {
+                        let cond = pop_i32!();
+                        let second = pop!();
+                        let first = pop!();
+                        frame.stack.push(if cond != 0 { first } else { second });
+                    }
+
+                    Op::LocalGet(idx) => frame.stack.push(frame.locals[*idx as usize]),
+                    Op::LocalSet(idx) => frame.locals[*idx as usize] = pop!(),
+                    Op::LocalTee(idx) => {
+                        frame.locals[*idx as usize] =
+                            *frame.stack.last().expect("validated: operand");
+                    }
+                    Op::GlobalGet(idx) => frame.stack.push(self.globals[*idx as usize]),
+                    Op::GlobalSet(idx) => self.globals[*idx as usize] = pop!(),
+
+                    Op::Load { op, offset } => {
+                        let addr = pop_i32!() as u32;
+                        let memory = self.memory.as_ref().expect("validated: memory exists");
+                        frame.stack.push(load_value(memory, *op, addr, *offset)?);
+                    }
+                    Op::Store { op, offset } => {
+                        let value = pop!();
+                        let addr = pop_i32!() as u32;
+                        let memory = self.memory.as_mut().expect("validated: memory exists");
+                        store_value(memory, *op, addr, *offset, value)?;
+                    }
+                    Op::MemorySize => {
+                        let memory = self.memory.as_ref().expect("validated: memory exists");
+                        frame.stack.push(Val::I32(memory.size_pages() as i32));
+                    }
+                    Op::MemoryGrow => {
+                        let delta = pop_i32!() as u32;
+                        if budget_active {
+                            if let Some(cap) = self.budget.as_ref().and_then(Budget::memory_cap) {
+                                let current = self
+                                    .memory
+                                    .as_ref()
+                                    .expect("validated: memory exists")
+                                    .size_pages();
+                                if current.saturating_add(delta) > cap {
+                                    return Err(Trap::MemoryLimit);
+                                }
+                            }
+                        }
+                        let memory = self.memory.as_mut().expect("validated: memory exists");
+                        frame.stack.push(Val::I32(memory.grow(delta)));
+                    }
+
+                    Op::Const(val) => frame.stack.push(*val),
+                    Op::Unary(op) => {
+                        let v = pop!();
+                        frame.stack.push(numeric::unary(*op, v)?);
+                    }
+                    Op::Binary(op) => {
+                        let b = pop!();
+                        let a = pop!();
+                        frame.stack.push(numeric::binary(*op, a, b)?);
+                    }
+
+                    Op::ConstBinary { value, op } => {
+                        let a = pop!();
+                        frame.stack.push(numeric::binary(*op, a, *value)?);
+                    }
+                    Op::LocalBinary { local, op } => {
+                        let a = pop!();
+                        frame
+                            .stack
+                            .push(numeric::binary(*op, a, frame.locals[*local as usize])?);
+                    }
+                    Op::LocalLocalBinary { a, b, op } => {
+                        frame.stack.push(numeric::binary(
+                            *op,
+                            frame.locals[*a as usize],
+                            frame.locals[*b as usize],
+                        )?);
+                    }
+                    Op::LocalConstBinary { a, value, op } => {
+                        frame
+                            .stack
+                            .push(numeric::binary(*op, frame.locals[*a as usize], *value)?);
+                    }
+                    Op::LocalConstBinarySet { a, value, op, dst } => {
+                        frame.locals[*dst as usize] =
+                            numeric::binary(*op, frame.locals[*a as usize], *value)?;
+                    }
+                    Op::CmpBrIf { op, dest } => {
+                        let b = pop!();
+                        let a = pop!();
+                        let taken = numeric::binary(*op, a, b)?
+                            .as_i32()
+                            .expect("comparison yields i32");
+                        if taken != 0 {
+                            branch_to!(dest);
+                        }
+                    }
+                    Op::LocalConstCmpBrIf { a, value, op, dest } => {
+                        let taken = numeric::binary(*op, frame.locals[*a as usize], *value)?
+                            .as_i32()
+                            .expect("comparison yields i32");
+                        if taken != 0 {
+                            branch_to!(dest);
+                        }
+                    }
+                    Op::LocalLocalCmpBrIf { a, b, op, dest } => {
+                        let taken = numeric::binary(
+                            *op,
+                            frame.locals[*a as usize],
+                            frame.locals[*b as usize],
+                        )?
+                        .as_i32()
+                        .expect("comparison yields i32");
+                        if taken != 0 {
+                            branch_to!(dest);
+                        }
+                    }
+                    Op::AffineAddr { a, c1, b, c2 } => {
+                        frame
+                            .stack
+                            .push(Val::I32(affine(&frame.locals, *a, *c1, *b, *c2)));
+                    }
+                    Op::AffineLoad {
+                        a,
+                        c1,
+                        b,
+                        c2,
+                        load,
+                        offset,
+                    } => {
+                        let addr = affine(&frame.locals, *a, *c1, *b, *c2) as u32;
+                        let memory = self.memory.as_ref().expect("validated: memory exists");
+                        frame.stack.push(load_value(memory, *load, addr, *offset)?);
+                    }
+                }
+                frame.pc += 1;
+            }
+        }
+    }
+}
+
 /// The fused affine address chain `(locals[a]*c1 + locals[b])*c2` with
 /// WebAssembly's wrapping `i32` semantics.
 #[inline]

@@ -29,6 +29,7 @@
 
 pub mod budget;
 mod codec;
+pub mod cohort;
 mod flat;
 pub mod host;
 pub mod interp;
@@ -39,9 +40,10 @@ pub mod table;
 pub mod trap;
 
 pub use budget::{Budget, CancelToken, BUDGET_POLL_INTERVAL};
+pub use cohort::{CohortHost, CohortRunner, RunOutcome, DEFAULT_COHORT_CHUNK};
 pub use flat::{HookImport, InstrumentedFunc};
 pub use host::{EmptyHost, Host, HostCtx, HostFuncId, HostFunctions};
-pub use interp::{Instance, TranslatedModule, DEFAULT_MAX_CALL_DEPTH};
+pub use interp::{Instance, Resumable, StepOutcome, TranslatedModule, DEFAULT_MAX_CALL_DEPTH};
 pub use memory::LinearMemory;
 pub use reference::Reference;
 pub use table::FuncTable;

@@ -35,7 +35,7 @@ use wasabi_repro::core::event::{
 use wasabi_repro::core::hooks::{Analysis, Hook, HookSet};
 use wasabi_repro::core::report::{JsonValue, Report};
 use wasabi_repro::core::{instrument, AnalysisSession, ModuleInfo, WasabiHost};
-use wasabi_repro::vm::{Instance, Reference, TranslatedModule, Trap};
+use wasabi_repro::vm::{CohortRunner, Instance, Reference, TranslatedModule, Trap};
 use wasabi_repro::wasm::{Module, Val};
 use wasabi_repro::workloads::synthetic::{synthetic_app, SyntheticConfig};
 use wasabi_repro::workloads::{compile, polybench};
@@ -56,8 +56,12 @@ impl Recorder {
     }
 
     fn push(&mut self, ctx: &AnalysisCtx, line: String) {
-        self.log
-            .push(format!("{}:{} {line}", ctx.loc.func, ctx.loc.instr));
+        // The `i<N>` prefix is the cohort member tag (always `i0` for
+        // single-instance runs); the cohort leg partitions on it.
+        self.log.push(format!(
+            "i{} {}:{} {line}",
+            ctx.instance, ctx.loc.func, ctx.loc.instr
+        ));
     }
 }
 
@@ -407,4 +411,104 @@ fn fuel_sweep_preempts_identically_across_paths() {
             assert_equivalent(&direct, &reference, &format!("fuel {fuel} direct/oracle"));
         }
     }
+}
+
+#[test]
+fn cohort_events_partition_into_per_instance_sequential_logs() {
+    // Cohort leg of the oracle (ISSUE 10): N members of one instrumented
+    // module interleaved through a CohortRunner share ONE analysis, whose
+    // events arrive tagged with `ctx.instance`. Partitioning the fused
+    // event log by that tag must reproduce each member's standalone
+    // sequential log exactly — same events, same order, same trap point —
+    // with no bleed between members. `main` is nullary, so per-member fuel
+    // limits provide the divergence: members retire in different rounds,
+    // some mid-hook-group.
+    let module = synthetic_app(&SyntheticConfig {
+        seed: 0xC0407,
+        function_count: 3,
+        body_statements: 4,
+    });
+    let hooks = HookSet::of(&[
+        Hook::Const,
+        Hook::Binary,
+        Hook::Local,
+        Hook::Begin,
+        Hook::End,
+    ]);
+    let prepared = prepare(&module, hooks);
+    let fuels: [Option<u64>; 6] = [None, Some(40), Some(173), Some(9), None, Some(1000)];
+
+    // Cohort arm: one shared recorder across all members, small chunk so
+    // members genuinely interleave (several suspend points per hook-dense
+    // function body).
+    let mut recorder = Recorder::new(hooks);
+    let mut host = WasabiHost::new(prepared.direct.info(), &mut recorder);
+    let mut cohort = CohortRunner::new(17);
+    for fuel in fuels {
+        cohort.admit_with_fuel(
+            prepared.direct.translated(),
+            None,
+            fuel,
+            "main",
+            &[],
+            &mut host,
+        );
+    }
+    cohort.run(&mut host);
+    let outcomes = cohort.finish();
+    drop(host);
+
+    // Partition the fused log by member tag. Every line must carry a tag
+    // naming an admitted member — anything else is tag bleed.
+    let mut streams: Vec<Vec<&str>> = vec![Vec::new(); fuels.len()];
+    for line in &recorder.log {
+        let (tag, event) = line.split_once(' ').expect("tagged event line");
+        let idx: usize = tag
+            .strip_prefix('i')
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("malformed member tag in {line:?}"));
+        assert!(
+            idx < fuels.len(),
+            "tag bleed: unknown member {idx} in {line:?}"
+        );
+        streams[idx].push(event);
+    }
+
+    for (idx, fuel) in fuels.iter().enumerate() {
+        let expected = run_path(&prepared, hooks, *fuel, Path::DirectEmit);
+        let expected_stream: Vec<&str> = expected
+            .log
+            .iter()
+            .map(|line| {
+                line.strip_prefix("i0 ")
+                    .expect("sequential events are tagged instance 0")
+            })
+            .collect();
+        assert_eq!(
+            streams[idx], expected_stream,
+            "member {idx} (fuel {fuel:?}): per-instance event stream"
+        );
+        assert_eq!(
+            outcomes[idx].result, expected.result,
+            "member {idx}: result/trap"
+        );
+        assert_eq!(
+            outcomes[idx].executed_instrs, expected.executed_instrs,
+            "member {idx}: executed instrs"
+        );
+        assert_eq!(
+            (outcomes[idx].host_calls_fast, outcomes[idx].host_calls_slow),
+            (expected.host_calls_fast, expected.host_calls_slow),
+            "member {idx}: host-call route counters"
+        );
+    }
+    // The partition is exhaustive: no event was dropped or duplicated.
+    assert_eq!(
+        recorder.log.len(),
+        streams.iter().map(Vec::len).sum::<usize>()
+    );
+    assert!(
+        streams.iter().all(|s| !s.is_empty()),
+        "every member produced events"
+    );
 }
